@@ -1,0 +1,95 @@
+//! Batched MaxRS in the plane: many rectangle sizes (or disk radii) against
+//! one point set.
+//!
+//! Section 1.2 of the paper frames the batched problem in the plane — `m`
+//! rectangle sizes answered by running the exact `O(n log n)` sweep per query,
+//! for `O(m·n log n)` total — and notes (via Theorem 1.3) that beating
+//! `O(m·n)` is unlikely even on the line.  The open-problems section adds the
+//! disk version, answered by the exact `O(n² log n)` sweep per radius.  Both
+//! batched drivers are provided here so the upper bounds the paper quotes are
+//! runnable.
+
+use mrs_core::exact::disk2d::max_disk_placement;
+use mrs_core::exact::rect2d::{max_rect_placement, RectPlacement};
+use mrs_core::input::Placement;
+use mrs_geom::WeightedPoint;
+
+/// Batched rectangle MaxRS: one exact sweep per requested `(width, height)`
+/// size, `O(m·n log n)` total.
+pub fn batched_rect_maxrs(
+    points: &[WeightedPoint<2>],
+    sizes: &[(f64, f64)],
+) -> Vec<RectPlacement> {
+    sizes.iter().map(|&(w, h)| max_rect_placement(points, w, h)).collect()
+}
+
+/// Batched disk MaxRS: one exact sweep per requested radius, `O(m·n² log n)`
+/// total (the upper bound quoted in the paper's open problems).
+pub fn batched_disk_maxrs(points: &[WeightedPoint<2>], radii: &[f64]) -> Vec<Placement<2>> {
+    radii.iter().map(|&r| max_disk_placement(points, r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_geom::Point2;
+    use rand::prelude::*;
+
+    fn random_points(n: usize, seed: u64) -> Vec<WeightedPoint<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                WeightedPoint::new(
+                    Point2::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)),
+                    rng.gen_range(0.5..2.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_rectangles_are_monotone_in_size() {
+        let points = random_points(150, 3);
+        let sizes: Vec<(f64, f64)> = (1..8).map(|i| (0.5 * i as f64, 0.5 * i as f64)).collect();
+        let answers = batched_rect_maxrs(&points, &sizes);
+        assert_eq!(answers.len(), sizes.len());
+        for pair in answers.windows(2) {
+            assert!(pair[1].value + 1e-9 >= pair[0].value);
+        }
+    }
+
+    #[test]
+    fn batched_disks_are_monotone_in_radius() {
+        let points = random_points(80, 4);
+        let radii = vec![0.25, 0.5, 1.0, 2.0, 4.0, 16.0];
+        let answers = batched_disk_maxrs(&points, &radii);
+        for pair in answers.windows(2) {
+            assert!(pair[1].value + 1e-9 >= pair[0].value);
+        }
+        // A huge radius covers everything.
+        let total: f64 = points.iter().map(|p| p.weight).sum();
+        assert!((answers.last().unwrap().value - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn each_batched_answer_matches_the_single_query_solver() {
+        let points = random_points(60, 5);
+        let sizes = vec![(1.0, 2.0), (2.0, 1.0), (3.0, 0.5)];
+        let batched = batched_rect_maxrs(&points, &sizes);
+        for (&(w, h), ans) in sizes.iter().zip(&batched) {
+            let single = max_rect_placement(&points, w, h);
+            assert_eq!(single.value, ans.value);
+        }
+        let radii = vec![0.7, 1.3];
+        let batched = batched_disk_maxrs(&points, &radii);
+        for (&r, ans) in radii.iter().zip(&batched) {
+            assert_eq!(max_disk_placement(&points, r).value, ans.value);
+        }
+    }
+
+    #[test]
+    fn empty_point_set() {
+        assert!(batched_rect_maxrs(&[], &[(1.0, 1.0)])[0].value == 0.0);
+        assert!(batched_disk_maxrs(&[], &[1.0])[0].value == 0.0);
+    }
+}

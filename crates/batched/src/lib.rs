@@ -1,0 +1,30 @@
+//! # mrs-batched — batched 1-D MaxRS and smallest k-enclosing intervals
+//!
+//! The batched problems of Sections 5 and 6 of the bouquet paper:
+//!
+//! * [`batched_maxrs`] — given `n` weighted points on the line and `m`
+//!   interval lengths, solve MaxRS for every length in `O(n log n + m·n)`
+//!   total.  Theorem 1.3 shows Ω(mn) is required assuming the hardness of
+//!   (min,+)-convolution, so this upper bound is essentially tight; the
+//!   executable reduction lives in `mrs-hardness`.
+//! * [`sei`] — the smallest `k`-enclosing interval for a single `k` (`O(n)`
+//!   after sorting) and for all `k ∈ [1, n]` at once (`O(n²)`), matching the
+//!   conditional Ω(n²) lower bound of Theorem 1.4.
+//! * [`batched_rect2d`] — the planar batched drivers the paper quotes as upper
+//!   bounds: `O(m·n log n)` for rectangles and `O(m·n² log n)` for disks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batched_maxrs;
+pub mod batched_rect2d;
+pub mod sei;
+
+pub use batched_maxrs::{batched_maxrs_1d, BatchedMaxRS1D};
+pub use batched_rect2d::{batched_disk_maxrs, batched_rect_maxrs};
+pub use sei::{batched_sei_lengths, smallest_k_enclosing_interval, BatchedSei, SeiResult};
+
+// Re-export the 1-D point/placement types so downstream crates (notably the
+// hardness reductions) can build batched instances without depending on
+// `mrs-core` directly.
+pub use mrs_core::exact::interval1d::{IntervalPlacement, LinePoint};

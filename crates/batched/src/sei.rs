@@ -1,0 +1,178 @@
+//! Smallest `k`-enclosing interval (SEI) and its batched version (Section 6).
+//!
+//! Given `n` points on the real line, the SEI problem asks for the shortest
+//! interval containing `k` of them; the batched version asks for all
+//! `k ∈ [1, n]` at once.  A sliding window answers a single `k` in `O(n)`
+//! after sorting, and the batched version runs that window for every `k`, for
+//! `O(n²)` total — the upper bound that Theorem 1.4's conditional Ω(n²) lower
+//! bound (via monotone (min,+)-convolution, see `mrs-hardness`) shows is
+//! essentially optimal.
+
+use mrs_geom::Interval;
+
+/// Result of a smallest-`k`-enclosing-interval query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeiResult {
+    /// The shortest interval found.
+    pub interval: Interval,
+    /// Number of points it encloses (the queried `k`).
+    pub k: usize,
+}
+
+impl SeiResult {
+    /// Length of the found interval.
+    pub fn length(&self) -> f64 {
+        self.interval.length()
+    }
+}
+
+/// A batched SEI solver over a fixed point set.
+///
+/// # Example
+/// ```
+/// use mrs_batched::BatchedSei;
+///
+/// let solver = BatchedSei::new(&[0.0, 1.0, 1.5, 9.0]);
+/// assert_eq!(solver.smallest_enclosing(2).length(), 0.5);
+/// assert_eq!(solver.all_lengths().len(), 4);
+/// ```
+///
+#[derive(Clone, Debug)]
+pub struct BatchedSei {
+    xs: Vec<f64>,
+}
+
+impl BatchedSei {
+    /// Builds the solver (sorts the points) in `O(n log n)`.
+    pub fn new(points: &[f64]) -> Self {
+        let mut xs = points.to_vec();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("coordinates must be comparable"));
+        Self { xs }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Returns `true` if there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The sorted coordinates.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The smallest interval enclosing `k` points, in `O(n)`.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or exceeds the number of points.
+    pub fn smallest_enclosing(&self, k: usize) -> SeiResult {
+        let n = self.xs.len();
+        assert!(k >= 1 && k <= n, "k must lie in [1, n]; got k={k}, n={n}");
+        let mut best_start = 0usize;
+        let mut best_len = f64::INFINITY;
+        for start in 0..=(n - k) {
+            let len = self.xs[start + k - 1] - self.xs[start];
+            if len < best_len {
+                best_len = len;
+                best_start = start;
+            }
+        }
+        SeiResult {
+            interval: Interval::new(self.xs[best_start], self.xs[best_start + k - 1]),
+            k,
+        }
+    }
+
+    /// The batched problem: the length of the smallest `k`-enclosing interval
+    /// for every `k ∈ [1, n]`, in `O(n²)` total.  Entry `k - 1` of the result
+    /// is the answer for `k`.
+    pub fn all_lengths(&self) -> Vec<f64> {
+        (1..=self.xs.len()).map(|k| self.smallest_enclosing(k).length()).collect()
+    }
+}
+
+/// Convenience function: the smallest `k`-enclosing interval of an unsorted
+/// point list.
+pub fn smallest_k_enclosing_interval(points: &[f64], k: usize) -> SeiResult {
+    BatchedSei::new(points).smallest_enclosing(k)
+}
+
+/// Convenience function: the batched SEI lengths of an unsorted point list.
+pub fn batched_sei_lengths(points: &[f64]) -> Vec<f64> {
+    BatchedSei::new(points).all_lengths()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn simple_instance() {
+        let solver = BatchedSei::new(&[0.0, 1.0, 1.2, 5.0, 5.1]);
+        assert_eq!(solver.smallest_enclosing(1).length(), 0.0);
+        assert!((solver.smallest_enclosing(2).length() - 0.1).abs() < 1e-12);
+        assert!((solver.smallest_enclosing(3).length() - 1.2).abs() < 1e-12);
+        assert!((solver.smallest_enclosing(5).length() - 5.1).abs() < 1e-12);
+        let all = solver.all_lengths();
+        assert_eq!(all.len(), 5);
+        assert!((all[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lengths_are_monotone_in_k() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let points: Vec<f64> = (0..200).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let all = batched_sei_lengths(&points);
+        for w in all.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "SEI lengths must be non-decreasing in k");
+        }
+    }
+
+    #[test]
+    fn found_interval_really_encloses_k_points() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let points: Vec<f64> = (0..80).map(|_| rng.gen_range(0.0..50.0)).collect();
+        let solver = BatchedSei::new(&points);
+        for k in [1, 2, 10, 40, 80] {
+            let res = solver.smallest_enclosing(k);
+            let covered = points.iter().filter(|&&x| res.interval.contains(x)).count();
+            assert!(covered >= k, "k={k}: interval covers only {covered}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must lie in [1, n]")]
+    fn rejects_out_of_range_k() {
+        BatchedSei::new(&[1.0, 2.0]).smallest_enclosing(3);
+    }
+
+    #[test]
+    fn duplicate_coordinates() {
+        let solver = BatchedSei::new(&[2.0, 2.0, 2.0, 7.0]);
+        assert_eq!(solver.smallest_enclosing(3).length(), 0.0);
+        assert_eq!(solver.smallest_enclosing(4).length(), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_brute_force(points in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+            let solver = BatchedSei::new(&points);
+            let mut sorted = points.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for k in 1..=points.len() {
+                let mut best = f64::INFINITY;
+                for s in 0..=(points.len() - k) {
+                    best = best.min(sorted[s + k - 1] - sorted[s]);
+                }
+                prop_assert!((solver.smallest_enclosing(k).length() - best).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Ablation of the design choices called out in DESIGN.md:
+//!
+//! * how many shifted grids from the Lemma 2.1 family are kept
+//!   (`SamplingConfig::max_grids`) — the worst-case guarantee needs all of
+//!   them, the practical configurations cap them;
+//! * how many sample points are drawn per non-empty cell
+//!   (`max_samples_per_cell`);
+//! * Technique 1 (point sampling) vs the prior-work input-sampling `(1 − ε)`
+//!   baseline on the same planar workload.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_bench::workloads;
+use mrs_core::baselines::{approx_disk_by_input_sampling, InputSamplingConfig};
+use mrs_core::config::SamplingConfig;
+use mrs_core::input::WeightedBallInstance;
+use mrs_core::technique1::approx_static_ball;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let points = workloads::clustered_points_2d(1500, 6, 14.0, 1.2, 5);
+    let instance = WeightedBallInstance::new(points, 1.0);
+
+    let mut group = c.benchmark_group("ablation_sampling_parameters");
+    for &grids in &[1usize, 4, 16] {
+        let cfg = SamplingConfig::practical(0.25).with_seed(2).with_max_grids(Some(grids));
+        group.bench_with_input(BenchmarkId::new("max_grids", grids), &grids, |b, _| {
+            b.iter(|| black_box(approx_static_ball(&instance, cfg).value));
+        });
+    }
+    for &samples in &[8usize, 32, 128] {
+        let mut cfg = SamplingConfig::practical(0.25).with_seed(2);
+        cfg.max_samples_per_cell = samples;
+        cfg.min_samples_per_cell = samples.min(4);
+        group.bench_with_input(BenchmarkId::new("samples_per_cell", samples), &samples, |b, _| {
+            b.iter(|| black_box(approx_static_ball(&instance, cfg).value));
+        });
+    }
+
+    // Technique 1 vs the prior-work input-sampling baseline (§1.5 trade-off).
+    let t1 = SamplingConfig::practical(0.25).with_seed(3);
+    group.bench_function("technique1_point_sampling", |b| {
+        b.iter(|| black_box(approx_static_ball(&instance, t1).value));
+    });
+    let baseline = InputSamplingConfig::new(0.25).with_seed(3);
+    group.bench_function("prior_work_input_sampling", |b| {
+        b.iter(|| black_box(approx_disk_by_input_sampling(&instance, baseline).value));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ablation
+}
+criterion_main!(benches);

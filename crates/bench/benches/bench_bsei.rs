@@ -1,0 +1,44 @@
+//! E5 (Theorem 1.4): batched smallest k-enclosing interval — O(n²) total time
+//! matching the conditional Ω(n²) lower bound — plus the Section 6 chain.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrs_batched::BatchedSei;
+use mrs_bench::workloads;
+use mrs_hardness::reductions::min_plus_via_bsei;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_bsei(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_batched_sei");
+    for &n in &[512usize, 2048] {
+        let points = workloads::random_sequence(n, 0.0, 1000.0, 41);
+        let solver = BatchedSei::new(&points);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("all_k", n), &n, |b, _| {
+            b.iter(|| black_box(solver.all_lengths().len()));
+        });
+    }
+    for &n in &[128usize, 512] {
+        let a = workloads::random_sequence(n, -50.0, 50.0, 43);
+        let b = workloads::random_sequence(n, -50.0, 50.0, 44);
+        group.bench_with_input(BenchmarkId::new("section6_chain", n), &n, |bench, _| {
+            bench.iter(|| black_box(min_plus_via_bsei(&a, &b).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bsei
+}
+criterion_main!(benches);

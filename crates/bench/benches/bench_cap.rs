@@ -1,0 +1,38 @@
+//! E9 (Lemma 3.2 / Figure 2): spherical-cap coverage fractions — closed form
+//! vs Monte-Carlo estimation cost.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_geom::cap::{lemma32_configuration, lemma32_covered_fraction, monte_carlo_covered_fraction};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_cap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_cap_fractions");
+    for &d in &[2usize, 5] {
+        group.bench_with_input(BenchmarkId::new("closed_form", d), &d, |b, _| {
+            b.iter(|| black_box(lemma32_covered_fraction(d, 0.1)));
+        });
+    }
+    group.bench_function("monte_carlo_d3_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(97);
+        let (cfg_c, cfg_b) = lemma32_configuration::<3>(0.1);
+        b.iter(|| black_box(monte_carlo_covered_fraction(&cfg_c, &cfg_b, 10_000, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cap
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E8 (Theorem 1.6): the (1 − ε) color-sampling algorithm vs the exact
+//! output-sensitive algorithm on large-opt workloads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_bench::workloads;
+use mrs_core::config::ColorSamplingConfig;
+use mrs_core::input::ColoredBallInstance;
+use mrs_core::technique2::approx_colored_disk_sampling;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_color_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_color_sampling");
+    for &(n, colors) in &[(1500usize, 150usize)] {
+        let mut sites = workloads::colored_clusters_2d(n / 2, colors, 1, 1.0, 0.8, 71);
+        sites.extend(workloads::colored_clusters_2d(n / 2, colors / 4, 10, 60.0, 1.0, 72));
+        let instance = ColoredBallInstance::new(sites.clone(), 1.0);
+
+        let mut cfg = ColorSamplingConfig::new(0.25).with_seed(5);
+        cfg.c1 = 0.5;
+        group.bench_with_input(BenchmarkId::new("color_sampling_eps_0.25", n), &n, |b, _| {
+            b.iter(|| black_box(approx_colored_disk_sampling(&instance, cfg).distinct));
+        });
+        // The exact comparator on the dense hotspot is far too slow for a
+        // Criterion loop; the quality-vs-exact comparison is reported by the
+        // experiments binary (E8).
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_color_sampling
+}
+criterion_main!(benches);

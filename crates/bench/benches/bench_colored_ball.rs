@@ -1,0 +1,49 @@
+//! E6 (Theorem 1.5): the colored sampling technique vs the exact
+//! output-sensitive algorithm.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_bench::workloads;
+use mrs_core::config::SamplingConfig;
+use mrs_core::input::ColoredBallInstance;
+use mrs_core::technique1::approx_colored_ball;
+use mrs_core::technique2::output_sensitive_colored_disk;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_colored_ball(c: &mut Criterion) {
+    let cfg = SamplingConfig::practical(0.25).with_seed(13);
+    let mut group = c.benchmark_group("e6_colored_ball");
+    for &(n, colors) in &[(1000usize, 20usize), (4000, 80)] {
+        let sites = workloads::colored_clusters_2d(n, colors, 6, 14.0, 1.2, 51);
+        let instance = ColoredBallInstance::new(sites.clone(), 1.0);
+        group.bench_with_input(BenchmarkId::new("sampling_eps_0.25", n), &n, |b, _| {
+            b.iter(|| black_box(approx_colored_ball(&instance, cfg).distinct));
+        });
+        // The exact comparator is too slow for a Criterion loop at any of
+        // these sizes; the quality-and-time comparison lives in the
+        // experiments binary (E6).  Keep a single cheap exact case so the
+        // baseline still appears in the report.
+        if n <= 1000 {
+            let small = workloads::colored_clusters_2d(400, 10, 6, 14.0, 1.2, 52);
+            group.bench_function("exact_output_sensitive_n_400", |b| {
+                b.iter(|| black_box(output_sensitive_colored_disk(&small, 1.0).distinct));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_colored_ball
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E3 (Theorem 1.2): the sampling technique across dimensions — the running
+//! time must not blow up like log^d n.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_bench::workloads;
+use mrs_core::config::SamplingConfig;
+use mrs_core::input::WeightedBallInstance;
+use mrs_core::technique1::approx_static_ball;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn run_in_dimension<const D: usize>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    let points = workloads::uniform_points_d::<D>(200, 5.0, 17);
+    let instance = WeightedBallInstance::new(points, 1.0);
+    let mut cfg = SamplingConfig::new(0.4).with_seed(5);
+    cfg.max_grids = Some(4);
+    cfg.max_samples_per_cell = 16;
+    group.bench_with_input(BenchmarkId::new("sampling_eps_0.4_n_200", D), &D, |b, _| {
+        b.iter(|| black_box(approx_static_ball(&instance, cfg).value));
+    });
+}
+
+fn bench_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_dimension_scaling");
+    run_in_dimension::<2>(&mut group);
+    run_in_dimension::<3>(&mut group);
+    run_in_dimension::<4>(&mut group);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dimension
+}
+criterion_main!(benches);

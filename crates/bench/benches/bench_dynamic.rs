@@ -1,0 +1,61 @@
+//! E1 (Theorem 1.1): amortized dynamic update cost vs n, against a
+//! recompute-from-scratch baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_bench::workloads;
+use mrs_core::config::SamplingConfig;
+use mrs_core::input::WeightedBallInstance;
+use mrs_core::technique1::{approx_static_ball, DynamicBallMaxRS};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let cfg = SamplingConfig::practical(0.25).with_seed(11);
+    let mut group = c.benchmark_group("e1_dynamic_maxrs");
+    for &n in &[1000usize, 4000] {
+        let points = workloads::clustered_points_2d(n, 8, 30.0, 1.5, 42);
+
+        // Amortized cost of a delete+insert pair on a warm structure.
+        group.bench_with_input(BenchmarkId::new("update_pair", n), &n, |b, _| {
+            let mut dynamic = DynamicBallMaxRS::<2>::new(1.0, cfg);
+            let mut ids: Vec<usize> =
+                points.iter().map(|p| dynamic.insert(p.point, p.weight)).collect();
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let victim = rng.gen_range(0..ids.len());
+                let id = ids.swap_remove(victim);
+                dynamic.remove(id);
+                let p = points[victim % points.len()];
+                ids.push(dynamic.insert(p.point, p.weight));
+                black_box(ids.len())
+            });
+        });
+
+        // The naive alternative: rebuild a static answer from scratch.  Only
+        // benchmarked at the smaller size to keep the Criterion loop short;
+        // the full scaling column is in the experiments binary (E1).
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("static_rebuild", n), &n, |b, _| {
+                let instance = WeightedBallInstance::new(points.clone(), 1.0);
+                b.iter(|| black_box(approx_static_ball(&instance, cfg).value));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dynamic
+}
+criterion_main!(benches);

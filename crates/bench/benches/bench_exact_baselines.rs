@@ -1,0 +1,48 @@
+//! Ablation: the exact baselines the paper builds on — 1-D interval sweep
+//! (O(n log n)), rectangle sweep (O(n log n), [IA83]/[NB95]) and the planar
+//! disk sweep (O(n² log n), [CL86]) — to show where the quadratic wall sits
+//! and why the approximation algorithms are needed.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_bench::workloads;
+use mrs_core::exact::disk2d::max_disk_placement;
+use mrs_core::exact::interval1d::max_interval_placement;
+use mrs_core::exact::rect2d::max_rect_placement;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_exact_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_baselines");
+    for &n in &[1000usize, 4000] {
+        let line = workloads::line_points(n, 500.0, 1);
+        group.bench_with_input(BenchmarkId::new("interval_1d", n), &n, |b, _| {
+            b.iter(|| black_box(max_interval_placement(&line, 5.0).value));
+        });
+
+        let points = workloads::uniform_weighted_2d(n, (n as f64).sqrt() / 4.0, 2);
+        group.bench_with_input(BenchmarkId::new("rectangle_sweep", n), &n, |b, _| {
+            b.iter(|| black_box(max_rect_placement(&points, 1.0, 1.0).value));
+        });
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("disk_sweep", n), &n, |b, _| {
+                b.iter(|| black_box(max_disk_placement(&points, 1.0).value));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_exact_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E7 (Theorem 4.6): output-sensitive exact colored MaxRS — cost scales with
+//! the planted optimum, while the straightforward candidate-enumeration
+//! algorithm does not benefit from a small opt.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_bench::workloads;
+use mrs_core::exact::colored_disk2d::exact_colored_disk;
+use mrs_core::technique2::output_sensitive_colored_disk;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_output_sensitive(c: &mut Criterion) {
+    let n = 600usize;
+    let mut group = c.benchmark_group("e7_output_sensitive");
+    for &opt in &[4usize, 32] {
+        let sites = workloads::colored_planted_opt(n, opt, 61 + opt as u64);
+        group.bench_with_input(BenchmarkId::new("theorem_4_6", opt), &opt, |b, _| {
+            b.iter(|| black_box(output_sensitive_colored_disk(&sites, 1.0).distinct));
+        });
+        group.bench_with_input(BenchmarkId::new("straightforward", opt), &opt, |b, _| {
+            b.iter(|| black_box(exact_colored_disk(&sites, 1.0).distinct));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_output_sensitive
+}
+criterion_main!(benches);

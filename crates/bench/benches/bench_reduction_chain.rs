@@ -1,0 +1,39 @@
+//! E4b (Theorem 1.3): the Figure 6 chain — (min,+)-convolution answered via
+//! the batched MaxRS oracle — compared to the naive quadratic convolution.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_bench::workloads;
+use mrs_hardness::convolution::min_plus_convolution;
+use mrs_hardness::reductions::min_plus_via_batched_maxrs;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_reduction_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_figure6_chain");
+    for &n in &[128usize, 512] {
+        let a = workloads::random_sequence(n, -100.0, 100.0, 31);
+        let b = workloads::random_sequence(n, -100.0, 100.0, 32);
+        group.bench_with_input(BenchmarkId::new("naive_min_plus", n), &n, |bench, _| {
+            bench.iter(|| black_box(min_plus_convolution(&a, &b).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("via_batched_maxrs", n), &n, |bench, _| {
+            bench.iter(|| black_box(min_plus_via_batched_maxrs(&a, &b, 64).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_reduction_chain
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E2 (Theorem 1.2): the static sampling technique vs the exact planar disk
+//! algorithm as n grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_bench::workloads;
+use mrs_core::config::SamplingConfig;
+use mrs_core::exact::disk2d::max_disk_placement;
+use mrs_core::input::WeightedBallInstance;
+use mrs_core::technique1::approx_static_ball;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_static_ball(c: &mut Criterion) {
+    let cfg = SamplingConfig::practical(0.25).with_seed(3);
+    let mut group = c.benchmark_group("e2_static_ball");
+    for &n in &[1000usize, 2000, 4000] {
+        let points = workloads::uniform_weighted_2d(n, (n as f64).sqrt() / 4.0, 7);
+        let instance = WeightedBallInstance::new(points.clone(), 1.0);
+        group.bench_with_input(BenchmarkId::new("sampling_eps_0.25", n), &n, |b, _| {
+            b.iter(|| black_box(approx_static_ball(&instance, cfg).value));
+        });
+        if n <= 2000 {
+            group.bench_with_input(BenchmarkId::new("exact_disk_sweep", n), &n, |b, _| {
+                b.iter(|| black_box(max_disk_placement(&points, 1.0).value));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_static_ball
+}
+criterion_main!(benches);

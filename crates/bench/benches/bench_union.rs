@@ -1,0 +1,51 @@
+//! E10 (Lemma 4.4 / Figure 5): union-boundary extraction and boundary-crossing
+//! counts for two unit-disk sets — the crossing count is linear in the input.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_geom::union_disks::{exposed_arc_intersections, union_boundary_arcs};
+use mrs_geom::{Ball, Point2};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn random_disks(n: usize, seed: u64) -> Vec<Ball<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let extent = (n as f64).sqrt() * 1.2;
+    (0..n)
+        .map(|_| Ball::unit(Point2::xy(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent))))
+        .collect()
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_union_boundaries");
+    for &n in &[200usize, 800, 3200] {
+        let red = random_disks(n, 5);
+        let blue = random_disks(n, 6);
+        group.bench_with_input(BenchmarkId::new("union_boundary", n), &n, |b, _| {
+            b.iter(|| black_box(union_boundary_arcs(&red).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("cross_set_intersections", n), &n, |b, _| {
+            let red_arcs = union_boundary_arcs(&red);
+            let blue_arcs = union_boundary_arcs(&blue);
+            b.iter(|| {
+                black_box(exposed_arc_intersections(&red, &red_arcs, &blue, &blue_arcs).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_union
+}
+criterion_main!(benches);

@@ -1,0 +1,386 @@
+//! Experiment runner: regenerates every table of EXPERIMENTS.md.
+//!
+//! Run with `cargo run --release -p mrs-bench --bin experiments`.
+//! Each section below corresponds to one experiment id (E1–E10) in
+//! DESIGN.md / EXPERIMENTS.md and validates one of the paper's claims:
+//! running-time shapes, approximation floors, and the executable hardness
+//! chains.  Absolute times depend on the machine; the *shapes* (who wins, how
+//! quantities scale) are what the tables are for.
+
+use mrs_batched::{BatchedMaxRS1D, BatchedSei};
+use mrs_bench::measure::{ms, table_header, table_row, time, time_mean, us};
+use mrs_bench::workloads;
+use mrs_core::config::{ColorSamplingConfig, SamplingConfig};
+use mrs_core::exact::colored_disk2d::exact_colored_disk;
+use mrs_core::exact::disk2d::max_disk_placement;
+use mrs_core::input::{ColoredBallInstance, WeightedBallInstance};
+use mrs_core::technique1::{approx_colored_ball, approx_static_ball, DynamicBallMaxRS};
+use mrs_core::technique2::{
+    approx_colored_disk_sampling_with_details, output_sensitive_colored_disk_with_stats,
+};
+use mrs_geom::cap::{lemma32_configuration, lemma32_covered_fraction, monte_carlo_covered_fraction};
+use mrs_geom::union_disks::{exposed_arc_intersections, union_boundary_arcs};
+use mrs_geom::Ball;
+use mrs_hardness::convolution::min_plus_convolution;
+use mrs_hardness::reductions::{min_plus_via_batched_maxrs, min_plus_via_bsei};
+use rand::prelude::*;
+
+fn main() {
+    println!("# MaxRS experiment suite");
+    println!("(shapes matter, absolute numbers are machine-dependent)");
+
+    e1_dynamic_updates();
+    e2_static_ball_vs_exact();
+    e3_dimension_scaling();
+    e4_batched_maxrs_and_figure6_chain();
+    e5_bsei_and_section6_chain();
+    e6_colored_ball();
+    e7_output_sensitive();
+    e8_color_sampling();
+    e9_cap_fractions();
+    e10_union_intersections();
+
+    println!("\nall experiments completed");
+}
+
+/// E1 (Theorem 1.1): amortized dynamic update time vs n, against the cost of
+/// recomputing a static answer from scratch after every update.
+fn e1_dynamic_updates() {
+    table_header(
+        "E1 — dynamic MaxRS (Theorem 1.1): amortized update cost vs n",
+        &["n", "update µs (amortized)", "static rebuild ms", "answer / exact"],
+    );
+    let cfg = SamplingConfig::practical(0.25).with_seed(11);
+    for &n in &[1000usize, 2000, 4000, 8000] {
+        let points = workloads::clustered_points_2d(n, 8, 30.0, 1.5, 42 + n as u64);
+        let mut rng = StdRng::seed_from_u64(7);
+
+        let mut dynamic = DynamicBallMaxRS::<2>::new(1.0, cfg);
+        let (_, build) = time(|| {
+            for p in &points {
+                dynamic.insert(p.point, p.weight);
+            }
+        });
+        // Mixed update stream: delete a random live point, insert a fresh one.
+        let updates = 1000usize;
+        let mut live: Vec<usize> = (0..n).collect();
+        let (_, update_time) = time(|| {
+            for i in 0..updates {
+                let victim = rng.gen_range(0..live.len());
+                let id = live.swap_remove(victim);
+                dynamic.remove(id);
+                let p = points[i % n];
+                live.push(dynamic.insert(p.point, p.weight));
+            }
+        });
+        let per_update = update_time / updates as u32;
+
+        // Recompute-from-scratch baseline: one full static build of the same
+        // sampling structure (what a naive "re-run on every update" would pay).
+        let instance = WeightedBallInstance::new(points.clone(), 1.0);
+        let (_, rebuild) = time(|| approx_static_ball(&instance, cfg));
+
+        // Solution quality against the exact planar algorithm (only affordable
+        // for the smaller sizes).
+        let quality = if n <= 2000 {
+            let exact = max_disk_placement(&points, 1.0);
+            let answer = dynamic.best().map(|p| p.value).unwrap_or(0.0);
+            format!("{:.2}", answer / exact.value)
+        } else {
+            "-".to_string()
+        };
+        let _ = build;
+        table_row(&[n.to_string(), us(per_update), ms(rebuild), quality]);
+    }
+}
+
+/// E2 (Theorem 1.2): static sampling technique vs the exact disk algorithm.
+fn e2_static_ball_vs_exact() {
+    table_header(
+        "E2 — static ball MaxRS (Theorem 1.2): sampling vs exact, d = 2, ε = 0.25",
+        &["workload", "n", "sampling ms", "exact ms", "ratio (≥ 0.25 required)"],
+    );
+    let cfg = SamplingConfig::practical(0.25).with_seed(3);
+    for (name, points) in [
+        ("uniform", workloads::uniform_weighted_2d(2000, 12.0, 1)),
+        ("clustered", workloads::clustered_points_2d(2000, 6, 12.0, 1.0, 2)),
+        ("uniform", workloads::uniform_weighted_2d(4000, 16.0, 3)),
+    ] {
+        let n = points.len();
+        let instance = WeightedBallInstance::new(points.clone(), 1.0);
+        let (approx, t_approx) = time(|| approx_static_ball(&instance, cfg));
+        let (exact, t_exact) = time(|| max_disk_placement(&points, 1.0));
+        table_row(&[
+            name.to_string(),
+            n.to_string(),
+            ms(t_approx),
+            ms(t_exact),
+            format!("{:.2}", approx.value / exact.value),
+        ]);
+    }
+}
+
+/// E3 (Theorem 1.2): running time as the dimension grows — the point of the
+/// technique is that the log-factor does not become log^d.
+fn e3_dimension_scaling() {
+    table_header(
+        "E3 — sampling technique vs dimension (n = 300, ε = 0.4)",
+        &["d", "grids", "cells", "time ms", "value / point-lower-bound"],
+    );
+    fn run<const D: usize>() -> [String; 5] {
+        let points = workloads::uniform_points_d::<D>(300, 5.0, 17);
+        let instance = WeightedBallInstance::new(points.clone(), 1.0);
+        let mut cfg = SamplingConfig::new(0.4).with_seed(5);
+        cfg.max_grids = Some(4);
+        cfg.max_samples_per_cell = 16;
+        let (placement_stats, elapsed) =
+            time(|| mrs_core::technique1::approx_static_ball_with_stats(&instance, cfg));
+        let (placement, stats) = placement_stats;
+        // Lower bound on opt: the best depth over input locations.
+        let lb = points
+            .iter()
+            .map(|p| instance.value_at(&p.point))
+            .fold(0.0f64, f64::max);
+        [
+            D.to_string(),
+            stats.grids.to_string(),
+            stats.cells.to_string(),
+            ms(elapsed),
+            format!("{:.2}", placement.value / lb.max(1.0)),
+        ]
+    }
+    table_row(&run::<2>());
+    table_row(&run::<3>());
+    table_row(&run::<4>());
+}
+
+/// E4 (Theorem 1.3): batched MaxRS cost grows like m·n, and the Figure 6 chain
+/// reproduces (min,+)-convolution through the batched MaxRS oracle.
+fn e4_batched_maxrs_and_figure6_chain() {
+    table_header(
+        "E4a — batched MaxRS in R¹: total time vs m (n = 4096)",
+        &["m", "total ms", "ns per (m·n) pair"],
+    );
+    let n = 4096usize;
+    let points = workloads::line_points(n, 1000.0, 23);
+    let solver = BatchedMaxRS1D::new(&points);
+    let mut rng = StdRng::seed_from_u64(9);
+    for &m in &[16usize, 64, 256, 1024] {
+        let lengths: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..500.0)).collect();
+        let elapsed = time_mean(3, || solver.solve(&lengths));
+        let per_pair = elapsed.as_secs_f64() * 1e9 / (m * n) as f64;
+        table_row(&[m.to_string(), ms(elapsed), format!("{per_pair:.1}")]);
+    }
+
+    table_header(
+        "E4b — Figure 6 chain: (min,+)-convolution via batched MaxRS",
+        &["n", "naive ms", "via chain ms", "max |error|"],
+    );
+    for &cn in &[128usize, 256, 512] {
+        let a = workloads::random_sequence(cn, -100.0, 100.0, 31);
+        let b = workloads::random_sequence(cn, -100.0, 100.0, 32);
+        let (naive, t_naive) = time(|| min_plus_convolution(&a, &b));
+        let (chain, t_chain) = time(|| min_plus_via_batched_maxrs(&a, &b, 64));
+        let err = naive
+            .iter()
+            .zip(&chain)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        table_row(&[cn.to_string(), ms(t_naive), ms(t_chain), format!("{err:.1e}")]);
+    }
+}
+
+/// E5 (Theorem 1.4): batched SEI cost grows like n², and the Section 6 chain
+/// reproduces (min,+)-convolution through the BSEI oracle.
+fn e5_bsei_and_section6_chain() {
+    table_header(
+        "E5 — batched smallest k-enclosing interval: time vs n, and the Section 6 chain",
+        &["n", "BSEI total ms", "ns per n² pair", "chain max |error|"],
+    );
+    for &n in &[512usize, 1024, 2048, 4096] {
+        let points: Vec<f64> = workloads::random_sequence(n, 0.0, 1000.0, 41);
+        let solver = BatchedSei::new(&points);
+        let elapsed = time_mean(3, || solver.all_lengths());
+        let per_pair = elapsed.as_secs_f64() * 1e9 / (n * n) as f64;
+
+        let err = if n <= 1024 {
+            let a = workloads::random_sequence(n.min(512), -50.0, 50.0, 43);
+            let b = workloads::random_sequence(n.min(512), -50.0, 50.0, 44);
+            let naive = min_plus_convolution(&a, &b);
+            let chain = min_plus_via_bsei(&a, &b);
+            let err = naive
+                .iter()
+                .zip(&chain)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max);
+            format!("{err:.1e}")
+        } else {
+            "-".to_string()
+        };
+        table_row(&[n.to_string(), ms(elapsed), format!("{per_pair:.2}"), err]);
+    }
+}
+
+/// E6 (Theorem 1.5): colored sampling technique vs the exact colored answer.
+fn e6_colored_ball() {
+    table_header(
+        "E6 — colored ball MaxRS (Theorem 1.5): sampling vs exact, ε = 0.25",
+        &["n", "colors", "sampling ms", "exact ms", "ratio (≥ 0.25 required)"],
+    );
+    let cfg = SamplingConfig::practical(0.25).with_seed(13);
+    for &(n, colors) in &[(1000usize, 20usize), (2000, 40), (4000, 80)] {
+        let sites = workloads::colored_clusters_2d(n, colors, 6, 14.0, 1.2, 51 + n as u64);
+        let instance = ColoredBallInstance::new(sites.clone(), 1.0);
+        let (approx, t_approx) = time(|| approx_colored_ball(&instance, cfg));
+        // The exact comparator is only affordable at the smaller sizes.
+        if n <= 2000 {
+            let (exact, t_exact) =
+                time(|| output_sensitive_colored_disk_with_stats(&sites, 1.0).0);
+            table_row(&[
+                n.to_string(),
+                colors.to_string(),
+                ms(t_approx),
+                ms(t_exact),
+                format!("{:.2}", approx.distinct as f64 / exact.distinct as f64),
+            ]);
+        } else {
+            table_row(&[
+                n.to_string(),
+                colors.to_string(),
+                ms(t_approx),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+    }
+}
+
+/// E7 (Theorem 4.6): the output-sensitive exact algorithm's cost scales with
+/// the answer, not with n², while the straightforward candidate-enumeration
+/// algorithm does not care how small opt is.
+fn e7_output_sensitive() {
+    table_header(
+        "E7 — output-sensitive exact colored MaxRS (Theorem 4.6), n = 1200",
+        &["planted opt", "found", "crossings k", "output-sensitive ms", "straightforward ms"],
+    );
+    let n = 1200usize;
+    for &opt in &[4usize, 16, 64, 256] {
+        let sites = workloads::colored_planted_opt(n, opt, 61 + opt as u64);
+        let ((placement, stats), t_fast) =
+            time(|| output_sensitive_colored_disk_with_stats(&sites, 1.0));
+        let (_, t_slow) = time(|| exact_colored_disk(&sites, 1.0));
+        table_row(&[
+            opt.to_string(),
+            placement.distinct.to_string(),
+            stats.boundary_intersections.to_string(),
+            ms(t_fast),
+            ms(t_slow),
+        ]);
+    }
+}
+
+/// E8 (Theorem 1.6): the color-sampling (1 − ε) algorithm vs the exact
+/// output-sensitive algorithm on large-opt workloads.
+fn e8_color_sampling() {
+    table_header(
+        "E8 — color sampling (Theorem 1.6) on large-opt workloads",
+        &["n", "opt (exact)", "ε", "branch", "answer", "ratio", "sampling ms", "exact ms"],
+    );
+    for &(n, colors) in &[(2000usize, 200usize)] {
+        // Dense single hotspot so opt ≈ number of colors.
+        let mut sites = workloads::colored_clusters_2d(n / 2, colors, 1, 1.0, 0.8, 71);
+        sites.extend(workloads::colored_clusters_2d(n / 2, colors / 4, 10, 60.0, 1.0, 72));
+        let instance = ColoredBallInstance::new(sites.clone(), 1.0);
+        let (exact, t_exact) = time(|| output_sensitive_colored_disk_with_stats(&sites, 1.0).0);
+        for &eps in &[0.2f64, 0.35] {
+            let mut cfg = ColorSamplingConfig::new(eps).with_seed(5);
+            cfg.c1 = 0.5;
+            let (details, t_approx) =
+                time(|| approx_colored_disk_sampling_with_details(&instance, cfg));
+            let branch = match details.branch {
+                mrs_core::technique2::ColorSamplingBranch::ExactOnFullInput => "exact".to_string(),
+                mrs_core::technique2::ColorSamplingBranch::SampledColors { kept_colors, .. } => {
+                    format!("sampled ({kept_colors} colors)")
+                }
+            };
+            table_row(&[
+                n.to_string(),
+                exact.distinct.to_string(),
+                format!("{eps}"),
+                branch,
+                details.placement.distinct.to_string(),
+                format!("{:.2}", details.placement.distinct as f64 / exact.distinct as f64),
+                ms(t_approx),
+                ms(t_exact),
+            ]);
+        }
+    }
+}
+
+/// E9 (Lemma 3.2 / Figure 2): spherical-cap coverage fractions.
+fn e9_cap_fractions() {
+    table_header(
+        "E9 — Lemma 3.2 cap fractions: covered fraction vs the 1/2 − Θ(ε) floor",
+        &["d", "ε", "closed form", "Monte Carlo", "1/2 − 2.5ε"],
+    );
+    let mut rng = StdRng::seed_from_u64(97);
+    for &d in &[2usize, 3, 5] {
+        for &eps in &[0.05f64, 0.1, 0.2] {
+            let exact = lemma32_covered_fraction(d, eps);
+            let mc = match d {
+                2 => {
+                    let (c, b) = lemma32_configuration::<2>(eps);
+                    monte_carlo_covered_fraction(&c, &b, 20_000, &mut rng)
+                }
+                3 => {
+                    let (c, b) = lemma32_configuration::<3>(eps);
+                    monte_carlo_covered_fraction(&c, &b, 20_000, &mut rng)
+                }
+                _ => {
+                    let (c, b) = lemma32_configuration::<5>(eps);
+                    monte_carlo_covered_fraction(&c, &b, 20_000, &mut rng)
+                }
+            };
+            table_row(&[
+                d.to_string(),
+                format!("{eps}"),
+                format!("{exact:.4}"),
+                format!("{mc:.4}"),
+                format!("{:.4}", 0.5 - 2.5 * eps),
+            ]);
+        }
+    }
+}
+
+/// E10 (Lemma 4.4 / Figure 5): the number of crossings between the union
+/// boundaries of two disk sets grows linearly, not quadratically.
+fn e10_union_intersections() {
+    table_header(
+        "E10 — Lemma 4.4: |I(D_R, D_B)| vs |D_R| + |D_B|",
+        &["disks per set", "crossings", "crossings / (|R|+|B|)"],
+    );
+    let mut rng = StdRng::seed_from_u64(101);
+    for &n in &[100usize, 400, 1600] {
+        let extent = (n as f64).sqrt() * 1.2;
+        let gen = |rng: &mut StdRng| -> Vec<Ball<2>> {
+            (0..n)
+                .map(|_| {
+                    Ball::unit(mrs_geom::Point2::xy(
+                        rng.gen_range(0.0..extent),
+                        rng.gen_range(0.0..extent),
+                    ))
+                })
+                .collect()
+        };
+        let red = gen(&mut rng);
+        let blue = gen(&mut rng);
+        let red_arcs = union_boundary_arcs(&red);
+        let blue_arcs = union_boundary_arcs(&blue);
+        let crossings = exposed_arc_intersections(&red, &red_arcs, &blue, &blue_arcs).len();
+        table_row(&[
+            n.to_string(),
+            crossings.to_string(),
+            format!("{:.2}", crossings as f64 / (2 * n) as f64),
+        ]);
+    }
+}

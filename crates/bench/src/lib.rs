@@ -1,0 +1,253 @@
+//! # mrs-bench — workload generators and measurement helpers
+//!
+//! Shared infrastructure for the Criterion benchmarks (`benches/`) and the
+//! experiment runner (`src/bin/experiments.rs`) that regenerates every table
+//! in EXPERIMENTS.md.  Nothing here is specific to a single experiment: the
+//! generators produce the uniform / clustered / planted-optimum workloads the
+//! paper's scenarios describe (hotspots, trajectories, customer clusters), and
+//! the measurement helpers time closures and format result tables.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Synthetic workload generators.
+pub mod workloads {
+    use mrs_batched::LinePoint;
+    use mrs_geom::{ColoredSite, Point, Point2, WeightedPoint};
+    use rand::prelude::*;
+
+    /// Uniform unit-weight points in `[0, extent]²`.
+    pub fn uniform_points_2d(n: usize, extent: f64, seed: u64) -> Vec<WeightedPoint<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                WeightedPoint::unit(Point2::xy(
+                    rng.gen_range(0.0..extent),
+                    rng.gen_range(0.0..extent),
+                ))
+            })
+            .collect()
+    }
+
+    /// Uniform weighted points in `[0, extent]²` with weights in `[0.5, 3)`.
+    pub fn uniform_weighted_2d(n: usize, extent: f64, seed: u64) -> Vec<WeightedPoint<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                WeightedPoint::new(
+                    Point2::xy(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)),
+                    rng.gen_range(0.5..3.0),
+                )
+            })
+            .collect()
+    }
+
+    /// Clustered unit-weight points: `clusters` Gaussian-ish hotspots of
+    /// radius `spread` scattered in `[0, extent]²` (the hotspot workloads of
+    /// the paper's motivating applications).
+    pub fn clustered_points_2d(
+        n: usize,
+        clusters: usize,
+        extent: f64,
+        spread: f64,
+        seed: u64,
+    ) -> Vec<WeightedPoint<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Point2> = (0..clusters.max(1))
+            .map(|_| Point2::xy(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)))
+            .collect();
+        (0..n)
+            .map(|_| {
+                let c = centers[rng.gen_range(0..centers.len())];
+                WeightedPoint::unit(Point2::xy(
+                    c.x() + rng.gen_range(-spread..spread),
+                    c.y() + rng.gen_range(-spread..spread),
+                ))
+            })
+            .collect()
+    }
+
+    /// Uniform unit-weight points in `[0, extent]^D`.
+    pub fn uniform_points_d<const D: usize>(
+        n: usize,
+        extent: f64,
+        seed: u64,
+    ) -> Vec<WeightedPoint<D>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut p = Point::<D>::origin();
+                for i in 0..D {
+                    p[i] = rng.gen_range(0.0..extent);
+                }
+                WeightedPoint::unit(p)
+            })
+            .collect()
+    }
+
+    /// Colored sites grouped into clusters: each cluster draws its sites from
+    /// a random subset of the color palette (the trajectory-style workloads of
+    /// Section 1.3).
+    pub fn colored_clusters_2d(
+        n: usize,
+        colors: usize,
+        clusters: usize,
+        extent: f64,
+        spread: f64,
+        seed: u64,
+    ) -> Vec<ColoredSite<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Point2> = (0..clusters.max(1))
+            .map(|_| Point2::xy(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)))
+            .collect();
+        (0..n)
+            .map(|_| {
+                let c = centers[rng.gen_range(0..centers.len())];
+                ColoredSite::new(
+                    Point2::xy(
+                        c.x() + rng.gen_range(-spread..spread),
+                        c.y() + rng.gen_range(-spread..spread),
+                    ),
+                    rng.gen_range(0..colors.max(1)),
+                )
+            })
+            .collect()
+    }
+
+    /// A colored workload with a *planted* optimum: `opt` distinct colors, each
+    /// with many duplicate sites, packed inside one unit disk at the origin;
+    /// the remaining sites are spread thinly (at most 3 colors per far-away
+    /// mini-cluster) so no other placement comes close.  Used by the
+    /// output-sensitive experiment (E7): the dense cluster makes candidate
+    /// enumeration quadratic in the cluster size, while the per-color unions
+    /// collapse its boundary complexity to `O(opt)`.
+    pub fn colored_planted_opt(n: usize, opt: usize, seed: u64) -> Vec<ColoredSite<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sites = Vec::with_capacity(n);
+        let opt = opt.max(1);
+        // Half the sites form the planted hotspot, cycling through the `opt`
+        // planted colors so every color appears several times.
+        let hotspot = (n / 2).max(opt).min(n);
+        for i in 0..hotspot {
+            sites.push(ColoredSite::new(
+                Point2::xy(rng.gen_range(-0.4..0.4), rng.gen_range(-0.4..0.4)),
+                i % opt,
+            ));
+        }
+        // Background: isolated mini-clusters of at most 3 colors each, far from
+        // the planted optimum and from each other.
+        let mut cluster = 0usize;
+        while sites.len() < n {
+            cluster += 1;
+            let cx = 10.0 + 5.0 * (cluster % 97) as f64;
+            let cy = 10.0 + 5.0 * (cluster / 97) as f64;
+            for k in 0..3 {
+                if sites.len() >= n {
+                    break;
+                }
+                sites.push(ColoredSite::new(
+                    Point2::xy(cx + rng.gen_range(-0.4..0.4), cy + rng.gen_range(-0.4..0.4)),
+                    opt + (cluster * 3 + k) % opt.max(3),
+                ));
+            }
+        }
+        sites
+    }
+
+    /// Weighted points on the line, uniform in `[0, extent]`.
+    pub fn line_points(n: usize, extent: f64, seed: u64) -> Vec<LinePoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| LinePoint::new(rng.gen_range(0.0..extent), rng.gen_range(0.5..2.0)))
+            .collect()
+    }
+
+    /// A random real sequence for the convolution experiments.
+    pub fn random_sequence(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+}
+
+/// Timing and table-formatting helpers for the experiment runner.
+pub mod measure {
+    use std::time::{Duration, Instant};
+
+    /// Runs `f` once and returns its result together with the elapsed time.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let start = Instant::now();
+        let out = f();
+        (out, start.elapsed())
+    }
+
+    /// Runs `f` `reps` times and returns the mean duration (result discarded).
+    pub fn time_mean<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+        assert!(reps > 0);
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(f());
+        }
+        start.elapsed() / reps as u32
+    }
+
+    /// Formats a duration in milliseconds with two decimals.
+    pub fn ms(d: Duration) -> String {
+        format!("{:.2}", d.as_secs_f64() * 1e3)
+    }
+
+    /// Formats a duration in microseconds with two decimals.
+    pub fn us(d: Duration) -> String {
+        format!("{:.2}", d.as_secs_f64() * 1e6)
+    }
+
+    /// Prints a table header followed by a separator row.
+    pub fn table_header(title: &str, columns: &[&str]) {
+        println!("\n### {title}");
+        println!("| {} |", columns.join(" | "));
+        println!("|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    }
+
+    /// Prints one table row.
+    pub fn table_row(cells: &[String]) {
+        println!("| {} |", cells.join(" | "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_sizes() {
+        assert_eq!(workloads::uniform_points_2d(100, 10.0, 1).len(), 100);
+        assert_eq!(workloads::clustered_points_2d(64, 4, 10.0, 1.0, 2).len(), 64);
+        assert_eq!(workloads::uniform_points_d::<5>(32, 4.0, 3).len(), 32);
+        assert_eq!(workloads::colored_clusters_2d(50, 8, 3, 10.0, 1.0, 4).len(), 50);
+        assert_eq!(workloads::line_points(20, 10.0, 5).len(), 20);
+        assert_eq!(workloads::random_sequence(16, -1.0, 1.0, 6).len(), 16);
+    }
+
+    #[test]
+    fn planted_opt_workload_really_plants_the_optimum() {
+        use mrs_core::technique2::output_sensitive_colored_disk;
+        let sites = workloads::colored_planted_opt(200, 24, 7);
+        assert_eq!(sites.len(), 200);
+        let placement = output_sensitive_colored_disk(&sites, 1.0);
+        assert_eq!(placement.distinct, 24, "the planted cluster must be the optimum");
+    }
+
+    #[test]
+    fn colored_sites_use_the_requested_palette() {
+        let sites = workloads::colored_clusters_2d(200, 9, 4, 10.0, 1.0, 8);
+        assert!(sites.iter().all(|s| s.color < 9));
+    }
+
+    #[test]
+    fn timing_helpers_are_sane() {
+        let (value, elapsed) = measure::time(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(elapsed.as_secs() < 1);
+        let mean = measure::time_mean(3, || 1 + 1);
+        assert!(mean.as_secs() < 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Brute-force oracles in arbitrary (small) dimension.
+//!
+//! The exact algorithms in this crate are planar; in higher dimensions exact
+//! MaxRS for balls costs `Ω(n^d)` (the paper conjectures matching lower
+//! bounds), so tests of the `d`-dimensional sampling technique validate
+//! against *lower bounds* on `opt` instead: the best depth over all input
+//! point locations, and the best depth over midpoints of nearby pairs.  Both
+//! are genuine placements, hence genuine lower bounds on the optimum, which is
+//! all the `(1/2 − ε)` guarantee needs for a one-sided check.
+
+use std::collections::HashSet;
+
+use mrs_geom::{Ball, ColoredSite, Point, WeightedPoint};
+
+/// Weighted depth at `q`: total weight of points within distance `radius`.
+pub fn weighted_depth_at<const D: usize>(
+    points: &[WeightedPoint<D>],
+    radius: f64,
+    q: &Point<D>,
+) -> f64 {
+    let query = Ball::new(*q, radius);
+    points.iter().filter(|p| query.contains(&p.point)).map(|p| p.weight).sum()
+}
+
+/// Colored depth at `q`: number of distinct colors within distance `radius`.
+pub fn colored_depth_at<const D: usize>(
+    sites: &[ColoredSite<D>],
+    radius: f64,
+    q: &Point<D>,
+) -> usize {
+    let query = Ball::new(*q, radius);
+    let mut colors = HashSet::new();
+    for s in sites {
+        if query.contains(&s.point) {
+            colors.insert(s.color);
+        }
+    }
+    colors.len()
+}
+
+/// Best weighted depth over a set of candidate centers.
+pub fn best_weighted_over_candidates<const D: usize>(
+    points: &[WeightedPoint<D>],
+    radius: f64,
+    candidates: &[Point<D>],
+) -> f64 {
+    candidates
+        .iter()
+        .map(|c| weighted_depth_at(points, radius, c))
+        .fold(0.0, f64::max)
+}
+
+/// Best colored depth over a set of candidate centers.
+pub fn best_colored_over_candidates<const D: usize>(
+    sites: &[ColoredSite<D>],
+    radius: f64,
+    candidates: &[Point<D>],
+) -> usize {
+    candidates.iter().map(|c| colored_depth_at(sites, radius, c)).max().unwrap_or(0)
+}
+
+/// A strong *lower bound* on the weighted MaxRS optimum in any dimension:
+/// the best depth over all input locations and over midpoints of pairs within
+/// distance `2·radius`.  `O(n²)` candidates.
+pub fn weighted_opt_lower_bound<const D: usize>(points: &[WeightedPoint<D>], radius: f64) -> f64 {
+    let mut candidates: Vec<Point<D>> = points.iter().map(|p| p.point).collect();
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let a = points[i].point;
+            let b = points[j].point;
+            if a.dist(&b) <= 2.0 * radius {
+                candidates.push(a.lerp(&b, 0.5));
+            }
+        }
+    }
+    best_weighted_over_candidates(points, radius, &candidates)
+}
+
+/// A strong lower bound on the colored MaxRS optimum in any dimension,
+/// analogous to [`weighted_opt_lower_bound`].
+pub fn colored_opt_lower_bound<const D: usize>(sites: &[ColoredSite<D>], radius: f64) -> usize {
+    let mut candidates: Vec<Point<D>> = sites.iter().map(|s| s.point).collect();
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            let a = sites[i].point;
+            let b = sites[j].point;
+            if a.dist(&b) <= 2.0 * radius {
+                candidates.push(a.lerp(&b, 0.5));
+            }
+        }
+    }
+    best_colored_over_candidates(sites, radius, &candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_geom::Point2;
+
+    #[test]
+    fn depth_queries_match_hand_counts() {
+        let points = vec![
+            WeightedPoint::new(Point2::xy(0.0, 0.0), 1.0),
+            WeightedPoint::new(Point2::xy(0.5, 0.0), 2.0),
+            WeightedPoint::new(Point2::xy(3.0, 0.0), 4.0),
+        ];
+        assert_eq!(weighted_depth_at(&points, 1.0, &Point2::xy(0.25, 0.0)), 3.0);
+        assert_eq!(weighted_depth_at(&points, 1.0, &Point2::xy(3.0, 0.0)), 4.0);
+
+        let sites = vec![
+            ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+            ColoredSite::new(Point2::xy(0.2, 0.0), 0),
+            ColoredSite::new(Point2::xy(0.4, 0.0), 1),
+        ];
+        assert_eq!(colored_depth_at(&sites, 1.0, &Point2::xy(0.0, 0.0)), 2);
+    }
+
+    #[test]
+    fn lower_bounds_are_at_least_single_point_depth() {
+        let points = vec![
+            WeightedPoint::unit(Point2::xy(0.0, 0.0)),
+            WeightedPoint::unit(Point2::xy(1.5, 0.0)),
+        ];
+        // Neither input point sees the other within radius 1, but the midpoint
+        // sees both — the pair-midpoint candidates catch that.
+        let lb = weighted_opt_lower_bound(&points, 1.0);
+        assert_eq!(lb, 2.0);
+    }
+
+    #[test]
+    fn works_in_higher_dimensions() {
+        let points = vec![
+            WeightedPoint::unit(Point::new([0.0, 0.0, 0.0, 0.0])),
+            WeightedPoint::unit(Point::new([0.5, 0.5, 0.5, 0.5])),
+            WeightedPoint::unit(Point::new([5.0, 5.0, 5.0, 5.0])),
+        ];
+        let lb = weighted_opt_lower_bound(&points, 1.0);
+        assert_eq!(lb, 2.0);
+
+        let sites = vec![
+            ColoredSite::new(Point::new([0.0, 0.0, 0.0]), 0),
+            ColoredSite::new(Point::new([0.3, 0.0, 0.0]), 1),
+            ColoredSite::new(Point::new([0.0, 0.3, 0.0]), 2),
+        ];
+        assert_eq!(colored_opt_lower_bound(&sites, 1.0), 3);
+    }
+
+    #[test]
+    fn empty_inputs_give_zero() {
+        assert_eq!(weighted_opt_lower_bound::<3>(&[], 1.0), 0.0);
+        assert_eq!(colored_opt_lower_bound::<3>(&[], 1.0), 0);
+    }
+}

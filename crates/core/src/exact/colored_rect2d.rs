@@ -1,0 +1,262 @@
+//! Exact colored rectangle MaxRS in the plane.
+//!
+//! The colored problem for axis-aligned rectangles is the setting of
+//! [ZGH+22], which the paper cites as prior work (Section 1.3) and whose
+//! `O(n log n)` algorithm motivates asking the same question for balls.  This
+//! module provides an exact solver so the colored-ball algorithms have a
+//! rectangle counterpart to be compared with: a sweep over candidate vertical
+//! positions with an incremental sliding window over x, running in `O(n²)`
+//! after sorting — not as sharp as [ZGH+22] but exact, simple and fast enough
+//! to serve as a baseline and test oracle for every workload in this
+//! repository.
+
+use std::collections::HashMap;
+
+use mrs_geom::{Aabb, ColoredSite, Point2, Rect};
+
+/// Result of an exact colored rectangle MaxRS query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColoredRectPlacement {
+    /// The chosen rectangle.
+    pub rect: Rect,
+    /// Number of distinct colors it covers.
+    pub distinct: usize,
+}
+
+/// Number of distinct colors among sites inside the closed rectangle.
+pub fn colored_rect_count(sites: &[ColoredSite<2>], rect: &Rect) -> usize {
+    let mut colors: Vec<usize> =
+        sites.iter().filter(|s| rect.contains(&s.point)).map(|s| s.color).collect();
+    colors.sort_unstable();
+    colors.dedup();
+    colors.len()
+}
+
+/// Incremental distinct-color counter over a multiset of colors.
+#[derive(Default)]
+struct DistinctCounter {
+    counts: HashMap<usize, usize>,
+}
+
+impl DistinctCounter {
+    fn add(&mut self, color: usize) {
+        *self.counts.entry(color).or_insert(0) += 1;
+    }
+
+    fn remove(&mut self, color: usize) {
+        if let Some(c) = self.counts.get_mut(&color) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(&color);
+            }
+        }
+    }
+
+    fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Exact colored MaxRS for a closed `width × height` axis-aligned rectangle:
+/// returns a placement covering the maximum number of distinct colors.
+///
+/// The sweep enumerates the `2n` candidate bottom edges (every site's `y` and
+/// every site's `y − height`); for each it performs one linear two-pointer
+/// pass over the sites sorted by `x`, maintaining a distinct-color counter for
+/// the current window of width `width`.  Total time `O(n²)` after an
+/// `O(n log n)` sort.
+///
+/// # Panics
+/// Panics if `width` or `height` is negative or not finite.
+pub fn exact_colored_rect(
+    sites: &[ColoredSite<2>],
+    width: f64,
+    height: f64,
+) -> ColoredRectPlacement {
+    assert!(width.is_finite() && width >= 0.0, "rectangle width must be non-negative");
+    assert!(height.is_finite() && height >= 0.0, "rectangle height must be non-negative");
+    if sites.is_empty() {
+        return ColoredRectPlacement {
+            rect: Aabb::new(Point2::xy(0.0, 0.0), Point2::xy(width, height)),
+            distinct: 0,
+        };
+    }
+
+    // Sites sorted by x once; reused by every horizontal pass.
+    let mut by_x: Vec<&ColoredSite<2>> = sites.iter().collect();
+    by_x.sort_by(|a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
+
+    // Candidate bottom edges: a maximum-depth rectangle can always be pushed
+    // down until its bottom or top edge touches a site.
+    let mut bottoms: Vec<f64> = Vec::with_capacity(2 * sites.len());
+    for s in sites {
+        bottoms.push(s.point.y());
+        bottoms.push(s.point.y() - height);
+    }
+    bottoms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    bottoms.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut best = ColoredRectPlacement {
+        rect: Aabb::new(
+            Point2::xy(by_x[0].point.x(), bottoms[0]),
+            Point2::xy(by_x[0].point.x() + width, bottoms[0] + height),
+        ),
+        distinct: 0,
+    };
+
+    for &bottom in &bottoms {
+        let top = bottom + height;
+        // The strip of sites whose y lies in [bottom, top], in x order.
+        let strip: Vec<&ColoredSite<2>> = by_x
+            .iter()
+            .copied()
+            .filter(|s| s.point.y() >= bottom - 1e-12 && s.point.y() <= top + 1e-12)
+            .collect();
+        if strip.len() <= best.distinct {
+            // Even if every strip site had a unique color we could not improve.
+            continue;
+        }
+        // Two-pointer pass over candidate left edges: every strip x and every
+        // strip x − width, in increasing order.
+        let xs: Vec<f64> = strip.iter().map(|s| s.point.x()).collect();
+        let mut starts: Vec<f64> = xs.iter().map(|x| x - width).chain(xs.iter().copied()).collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        starts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let mut counter = DistinctCounter::default();
+        let mut lo = 0usize; // first strip index inside the window
+        let mut hi = 0usize; // one past the last strip index inside the window
+        for &left in &starts {
+            let right = left + width;
+            while hi < strip.len() && xs[hi] <= right + 1e-12 {
+                counter.add(strip[hi].color);
+                hi += 1;
+            }
+            while lo < hi && xs[lo] < left - 1e-12 {
+                counter.remove(strip[lo].color);
+                lo += 1;
+            }
+            if counter.distinct() > best.distinct {
+                best = ColoredRectPlacement {
+                    rect: Aabb::new(Point2::xy(left, bottom), Point2::xy(right, top)),
+                    distinct: counter.distinct(),
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn site(x: f64, y: f64, color: usize) -> ColoredSite<2> {
+        ColoredSite::new(Point2::xy(x, y), color)
+    }
+
+    /// O(n³) oracle over the candidate anchor grid.
+    fn brute(sites: &[ColoredSite<2>], w: f64, h: f64) -> usize {
+        let mut best = 0;
+        for sx in sites {
+            for sy in sites {
+                for (ax, ay) in [
+                    (sx.point.x(), sy.point.y()),
+                    (sx.point.x() - w, sy.point.y()),
+                    (sx.point.x(), sy.point.y() - h),
+                    (sx.point.x() - w, sy.point.y() - h),
+                ] {
+                    let rect = Aabb::new(Point2::xy(ax, ay), Point2::xy(ax + w, ay + h));
+                    best = best.max(colored_rect_count(sites, &rect));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(exact_colored_rect(&[], 1.0, 1.0).distinct, 0);
+        let one = vec![site(3.0, 4.0, 9)];
+        let res = exact_colored_rect(&one, 0.5, 0.5);
+        assert_eq!(res.distinct, 1);
+        assert!(res.rect.contains(&Point2::xy(3.0, 4.0)));
+    }
+
+    #[test]
+    fn duplicate_colors_do_not_inflate_the_count() {
+        let sites = vec![
+            site(0.0, 0.0, 0),
+            site(0.1, 0.1, 0),
+            site(0.2, 0.2, 0),
+            site(0.3, 0.3, 1),
+        ];
+        assert_eq!(exact_colored_rect(&sites, 1.0, 1.0).distinct, 2);
+    }
+
+    #[test]
+    fn figure_1b_style_instance_with_a_rectangle() {
+        let sites = vec![
+            site(0.0, 0.0, 0),
+            site(0.3, 0.2, 0),
+            site(0.5, 0.0, 1),
+            site(0.1, 0.6, 2),
+            site(10.0, 10.0, 3),
+        ];
+        let res = exact_colored_rect(&sites, 1.0, 1.0);
+        assert_eq!(res.distinct, 3);
+        assert_eq!(colored_rect_count(&sites, &res.rect), 3);
+    }
+
+    #[test]
+    fn tall_and_wide_rectangles_behave_differently() {
+        // Colors stacked vertically: only a tall rectangle collects them all.
+        let sites = vec![site(0.0, 0.0, 0), site(0.0, 2.0, 1), site(0.0, 4.0, 2)];
+        assert_eq!(exact_colored_rect(&sites, 1.0, 1.0).distinct, 1);
+        assert_eq!(exact_colored_rect(&sites, 1.0, 4.0).distinct, 3);
+        assert_eq!(exact_colored_rect(&sites, 4.0, 1.0).distinct, 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for round in 0..40 {
+            let n = rng.gen_range(1..35);
+            let m = rng.gen_range(1..8usize);
+            let sites: Vec<ColoredSite<2>> = (0..n)
+                .map(|_| {
+                    site(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0), rng.gen_range(0..m))
+                })
+                .collect();
+            let w = rng.gen_range(0.3..3.0);
+            let h = rng.gen_range(0.3..3.0);
+            let fast = exact_colored_rect(&sites, w, h);
+            let slow = brute(&sites, w, h);
+            assert_eq!(fast.distinct, slow, "round {round} (w={w:.2}, h={h:.2})");
+            assert_eq!(colored_rect_count(&sites, &fast.rect), fast.distinct);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn count_is_bounded_by_palette_size(
+            coords in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0usize..6), 1..40),
+            w in 0.5f64..4.0,
+            h in 0.5f64..4.0,
+        ) {
+            let sites: Vec<ColoredSite<2>> =
+                coords.iter().map(|&(x, y, c)| site(x, y, c)).collect();
+            let palette: std::collections::HashSet<usize> =
+                sites.iter().map(|s| s.color).collect();
+            let res = exact_colored_rect(&sites, w, h);
+            prop_assert!(res.distinct >= 1);
+            prop_assert!(res.distinct <= palette.len());
+            // A bigger rectangle never covers fewer colors.
+            let bigger = exact_colored_rect(&sites, w * 2.0, h * 2.0);
+            prop_assert!(bigger.distinct >= res.distinct);
+        }
+    }
+}

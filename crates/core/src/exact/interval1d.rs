@@ -1,0 +1,269 @@
+//! Exact MaxRS on the real line: place an interval of a fixed length to
+//! maximize the total weight of covered points.
+//!
+//! This is the 1-D exact baseline the batched problem of Section 5 calls `m`
+//! times, and — via the guard-point construction of Section 5.4 — the oracle
+//! the hardness reduction drives.  Unlike the higher-dimensional baselines it
+//! must accept *negative* weights, because the reduction plants negative
+//! "guard" points.
+
+use mrs_geom::Interval;
+
+/// A weighted point on the real line.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinePoint {
+    /// Coordinate of the point.
+    pub x: f64,
+    /// Weight of the point (may be negative).
+    pub weight: f64,
+}
+
+impl LinePoint {
+    /// Creates a weighted point on the line.
+    pub const fn new(x: f64, weight: f64) -> Self {
+        Self { x, weight }
+    }
+}
+
+/// Result of a 1-D MaxRS query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntervalPlacement {
+    /// The chosen interval.
+    pub interval: Interval,
+    /// Total weight of the points covered by it.
+    pub value: f64,
+}
+
+/// Points pre-sorted by coordinate, with prefix sums, so that many interval
+/// lengths can be answered against the same point set (the batched setting).
+#[derive(Clone, Debug)]
+pub struct SortedLine {
+    xs: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl SortedLine {
+    /// Builds the sorted representation in `O(n log n)`.
+    pub fn new(points: &[LinePoint]) -> Self {
+        let mut sorted: Vec<LinePoint> = points.to_vec();
+        sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("point coordinates must be comparable"));
+        let xs: Vec<f64> = sorted.iter().map(|p| p.x).collect();
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for p in &sorted {
+            acc += p.weight;
+            prefix.push(acc);
+        }
+        Self { xs, prefix }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Returns `true` if there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The sorted coordinates.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Index of the first point with coordinate `>= x` (within tolerance).
+    fn lower_bound(&self, x: f64) -> usize {
+        self.xs.partition_point(|&v| v < x - 1e-12)
+    }
+
+    /// Index one past the last point with coordinate `<= x` (within tolerance).
+    fn upper_bound(&self, x: f64) -> usize {
+        self.xs.partition_point(|&v| v <= x + 1e-12)
+    }
+
+    /// Total weight of points with coordinates in the closed interval
+    /// `[lo, hi]`.
+    pub fn weight_in(&self, lo: f64, hi: f64) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        let a = self.lower_bound(lo);
+        let b = self.upper_bound(hi);
+        self.prefix[b] - self.prefix[a]
+    }
+
+    /// Exact MaxRS for a closed interval of length `len`, in `O(n log n)`.
+    ///
+    /// The covered point set only changes when an interval endpoint crosses a
+    /// point, so it suffices to evaluate placements whose left endpoint is at
+    /// a point or whose right endpoint is at a point.  With negative weights
+    /// both candidate families are required.
+    ///
+    /// # Panics
+    /// Panics if `len` is negative or not finite.
+    pub fn max_interval(&self, len: f64) -> IntervalPlacement {
+        assert!(len.is_finite() && len >= 0.0, "interval length must be non-negative");
+        if self.is_empty() {
+            return IntervalPlacement { interval: Interval::from_start(0.0, len), value: 0.0 };
+        }
+        let mut best = IntervalPlacement {
+            // The empty placement (covering nothing) is always available; put
+            // it far to the left of every point.
+            interval: Interval::from_start(self.xs[0] - 2.0 * len - 2.0, len),
+            value: 0.0,
+        };
+        let mut consider = |start: f64| {
+            let value = self.weight_in(start, start + len);
+            if value > best.value + 1e-15 {
+                best = IntervalPlacement { interval: Interval::from_start(start, len), value };
+            }
+        };
+        for &x in &self.xs {
+            consider(x); // left endpoint on a point
+            consider(x - len); // right endpoint on a point
+        }
+        best
+    }
+}
+
+/// Convenience wrapper: exact 1-D MaxRS over an unsorted point list.
+pub fn max_interval_placement(points: &[LinePoint], len: f64) -> IntervalPlacement {
+    SortedLine::new(points).max_interval(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_geom::interval::covered_weight;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn brute(points: &[LinePoint], len: f64) -> f64 {
+        // Evaluate every candidate placement with either endpoint at a point,
+        // plus the empty placement.
+        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+        let ws: Vec<f64> = points.iter().map(|p| p.weight).collect();
+        let mut best = 0.0f64;
+        for &x in &xs {
+            for start in [x, x - len] {
+                let v = covered_weight(&xs, &ws, &Interval::from_start(start, len));
+                best = best.max(v);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn simple_cluster() {
+        let pts = vec![
+            LinePoint::new(0.0, 1.0),
+            LinePoint::new(0.5, 2.0),
+            LinePoint::new(0.9, 1.0),
+            LinePoint::new(5.0, 3.0),
+        ];
+        let res = max_interval_placement(&pts, 1.0);
+        assert_eq!(res.value, 4.0);
+        assert!(res.interval.contains(0.0) && res.interval.contains(0.9));
+    }
+
+    #[test]
+    fn prefers_isolated_heavy_point() {
+        let pts = vec![
+            LinePoint::new(0.0, 1.0),
+            LinePoint::new(0.5, 1.0),
+            LinePoint::new(100.0, 10.0),
+        ];
+        let res = max_interval_placement(&pts, 1.0);
+        assert_eq!(res.value, 10.0);
+        assert!(res.interval.contains(100.0));
+    }
+
+    #[test]
+    fn negative_weights_can_yield_empty_placement() {
+        let pts = vec![LinePoint::new(0.0, -5.0), LinePoint::new(1.0, -2.0)];
+        let res = max_interval_placement(&pts, 10.0);
+        assert_eq!(res.value, 0.0);
+    }
+
+    #[test]
+    fn guard_point_style_instance() {
+        // A positive point glued to a negative guard just left of it, as in the
+        // reduction of Section 5.4: the best interval picks up the positive
+        // point but not its guard.
+        let pts = vec![
+            LinePoint::new(0.0, 4.0),
+            LinePoint::new(-0.5, -4.0),
+            LinePoint::new(3.0, 7.0),
+            LinePoint::new(3.5, -7.0),
+        ];
+        let res = max_interval_placement(&pts, 3.0);
+        assert_eq!(res.value, 11.0);
+        assert!(res.interval.contains(0.0) && res.interval.contains(3.0));
+        assert!(!res.interval.contains(-0.5) && !res.interval.contains(3.5));
+    }
+
+    #[test]
+    fn zero_length_interval_picks_heaviest_stack() {
+        let pts = vec![
+            LinePoint::new(1.0, 2.0),
+            LinePoint::new(1.0, 3.0),
+            LinePoint::new(2.0, 4.0),
+        ];
+        let res = max_interval_placement(&pts, 0.0);
+        assert_eq!(res.value, 5.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = max_interval_placement(&[], 2.0);
+        assert_eq!(res.value, 0.0);
+    }
+
+    #[test]
+    fn randomized_against_brute_force() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..40);
+            let pts: Vec<LinePoint> = (0..n)
+                .map(|_| LinePoint::new(rng.gen_range(-10.0..10.0), rng.gen_range(-3.0..5.0)))
+                .collect();
+            let len = rng.gen_range(0.0..8.0);
+            let fast = max_interval_placement(&pts, len);
+            let want = brute(&pts, len);
+            assert!((fast.value - want).abs() < 1e-9, "len={len} fast={} want={want}", fast.value);
+            // The reported interval must actually cover the reported value.
+            let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+            let ws: Vec<f64> = pts.iter().map(|p| p.weight).collect();
+            let check = covered_weight(&xs, &ws, &fast.interval);
+            assert!((check - fast.value).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn value_is_never_below_single_best_point(
+            coords in proptest::collection::vec(-50.0f64..50.0, 1..30),
+            len in 0.1f64..10.0,
+        ) {
+            let pts: Vec<LinePoint> =
+                coords.iter().map(|&x| LinePoint::new(x, 1.0)).collect();
+            let res = max_interval_placement(&pts, len);
+            prop_assert!(res.value >= 1.0 - 1e-12);
+            prop_assert!(res.value <= pts.len() as f64 + 1e-12);
+        }
+
+        #[test]
+        fn longer_intervals_never_cover_less_with_positive_weights(
+            coords in proptest::collection::vec(-20.0f64..20.0, 1..25),
+        ) {
+            let pts: Vec<LinePoint> =
+                coords.iter().map(|&x| LinePoint::new(x, 1.0)).collect();
+            let short = max_interval_placement(&pts, 1.0).value;
+            let long = max_interval_placement(&pts, 5.0).value;
+            prop_assert!(long + 1e-12 >= short);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Exact rectangle MaxRS in the plane in `O(n log n)` time.
+//!
+//! This is the classic sweep of Imai–Asano [IA83] and Nandy–Bhattacharya
+//! [NB95] that the paper uses as the per-query baseline for batched MaxRS with
+//! axis-aligned rectangles (Section 1.2): each input point, viewed from the
+//! rectangle's anchor, becomes an axis-aligned box of feasible anchors, and
+//! the optimal anchor is a point of maximum depth in that box arrangement,
+//! found by a y-sweep with a segment tree over x.
+
+use mrs_geom::{Aabb, MaxSegmentTree, Point2, Rect, WeightedPoint};
+
+/// Result of an exact rectangle MaxRS query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RectPlacement {
+    /// The chosen rectangle (axis-aligned, of the requested dimensions).
+    pub rect: Rect,
+    /// Total weight of the points covered by it.
+    pub value: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum EventKind {
+    Add,
+    Remove,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    y: f64,
+    kind: EventKind,
+    x_lo: usize,
+    x_hi: usize,
+    weight: f64,
+}
+
+/// Exact MaxRS for an axis-aligned `width × height` rectangle over weighted
+/// points with non-negative weights, in `O(n log n)`.
+///
+/// Returns a rectangle whose covered weight is maximum; ties are broken
+/// arbitrarily.  For an empty input the rectangle is placed at the origin
+/// with value 0.
+///
+/// # Example
+/// ```
+/// use mrs_core::exact::rect2d::max_rect_placement;
+/// use mrs_geom::{Point2, WeightedPoint};
+///
+/// let points = vec![
+///     WeightedPoint::unit(Point2::xy(0.0, 0.0)),
+///     WeightedPoint::unit(Point2::xy(0.6, 0.4)),
+///     WeightedPoint::unit(Point2::xy(5.0, 5.0)),
+/// ];
+/// let best = max_rect_placement(&points, 1.0, 1.0);
+/// assert_eq!(best.value, 2.0);
+/// ```
+///
+/// # Panics
+/// Panics if `width` or `height` is negative/non-finite, or if any weight is
+/// negative (the sweep's "snap to a box corner" argument needs monotone
+/// gains).
+pub fn max_rect_placement(points: &[WeightedPoint<2>], width: f64, height: f64) -> RectPlacement {
+    assert!(width.is_finite() && width >= 0.0, "rectangle width must be non-negative");
+    assert!(height.is_finite() && height >= 0.0, "rectangle height must be non-negative");
+    for p in points {
+        assert!(p.weight >= 0.0, "rectangle MaxRS requires non-negative weights");
+    }
+    if points.is_empty() {
+        return RectPlacement {
+            rect: Aabb::new(Point2::xy(0.0, 0.0), Point2::xy(width, height)),
+            value: 0.0,
+        };
+    }
+
+    // Anchor = lower-left corner of the placed rectangle.  Point p is covered
+    // iff the anchor lies in [p.x - width, p.x] × [p.y - height, p.y].
+    let mut xs: Vec<f64> = Vec::with_capacity(points.len() * 2);
+    for p in points {
+        xs.push(p.point.x() - width);
+        xs.push(p.point.x());
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let x_index = |x: f64| -> usize {
+        // Position of the compressed coordinate equal to x.
+        xs.partition_point(|&v| v < x - 1e-9)
+    };
+
+    let mut events: Vec<Event> = Vec::with_capacity(points.len() * 2);
+    for p in points {
+        let x_lo = x_index(p.point.x() - width);
+        let x_hi = x_index(p.point.x());
+        events.push(Event {
+            y: p.point.y() - height,
+            kind: EventKind::Add,
+            x_lo,
+            x_hi,
+            weight: p.weight,
+        });
+        events.push(Event { y: p.point.y(), kind: EventKind::Remove, x_lo, x_hi, weight: p.weight });
+    }
+    // Sort by y; at equal y process additions before removals so that an
+    // anchor exactly on both a box top and another box bottom counts both
+    // (closed boxes).
+    events.sort_by(|a, b| {
+        a.y.partial_cmp(&b.y).unwrap().then_with(|| {
+            let rank = |k: EventKind| match k {
+                EventKind::Add => 0,
+                EventKind::Remove => 1,
+            };
+            rank(a.kind).cmp(&rank(b.kind))
+        })
+    });
+
+    let mut tree = MaxSegmentTree::new(xs.len());
+    let mut best_value = 0.0f64;
+    let mut best_anchor = Point2::xy(xs[0], events[0].y);
+    let mut i = 0;
+    while i < events.len() {
+        let y = events[i].y;
+        // Apply every addition at this y, then evaluate, then apply removals.
+        let mut j = i;
+        while j < events.len() && events[j].y == y && events[j].kind == EventKind::Add {
+            tree.add(events[j].x_lo, events[j].x_hi, events[j].weight);
+            j += 1;
+        }
+        let current = tree.global_max();
+        if current > best_value + 1e-15 {
+            best_value = current;
+            best_anchor = Point2::xy(xs[tree.argmax()], y);
+        }
+        while j < events.len() && events[j].y == y {
+            debug_assert_eq!(events[j].kind, EventKind::Remove);
+            tree.add(events[j].x_lo, events[j].x_hi, -events[j].weight);
+            j += 1;
+        }
+        i = j;
+    }
+
+    RectPlacement {
+        rect: Aabb::new(best_anchor, Point2::xy(best_anchor.x() + width, best_anchor.y() + height)),
+        value: best_value,
+    }
+}
+
+/// Brute-force reference: evaluates every candidate anchor `(p.x - a*width,
+/// q.y - b*height)` pair of input coordinates.  `O(n^3)`; used by tests and by
+/// the figure-style examples where `n` is tiny.
+pub fn brute_force_rect(points: &[WeightedPoint<2>], width: f64, height: f64) -> RectPlacement {
+    let mut best = RectPlacement {
+        rect: Aabb::new(Point2::xy(0.0, 0.0), Point2::xy(width, height)),
+        value: 0.0,
+    };
+    for px in points {
+        for py in points {
+            for (ax, ay) in [
+                (px.point.x(), py.point.y()),
+                (px.point.x() - width, py.point.y()),
+                (px.point.x(), py.point.y() - height),
+                (px.point.x() - width, py.point.y() - height),
+            ] {
+                let rect = Aabb::new(Point2::xy(ax, ay), Point2::xy(ax + width, ay + height));
+                let value: f64 =
+                    points.iter().filter(|p| rect.contains(&p.point)).map(|p| p.weight).sum();
+                if value > best.value {
+                    best = RectPlacement { rect, value };
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn covered(points: &[WeightedPoint<2>], rect: &Rect) -> f64 {
+        points.iter().filter(|p| rect.contains(&p.point)).map(|p| p.weight).sum()
+    }
+
+    #[test]
+    fn figure_1a_style_instance() {
+        // Six points that can be covered together, two stragglers.
+        let pts: Vec<WeightedPoint<2>> = [
+            (0.0, 0.0),
+            (0.5, 0.3),
+            (0.8, 0.9),
+            (0.2, 0.7),
+            (0.9, 0.1),
+            (0.4, 0.5),
+            (5.0, 5.0),
+            (-4.0, 2.0),
+        ]
+        .iter()
+        .map(|&(x, y)| WeightedPoint::unit(Point2::xy(x, y)))
+        .collect();
+        let res = max_rect_placement(&pts, 1.0, 1.0);
+        assert_eq!(res.value, 6.0);
+        assert_eq!(covered(&pts, &res.rect), 6.0);
+    }
+
+    #[test]
+    fn weighted_instance_prefers_heavy_cluster() {
+        let pts = vec![
+            WeightedPoint::new(Point2::xy(0.0, 0.0), 1.0),
+            WeightedPoint::new(Point2::xy(0.1, 0.1), 1.0),
+            WeightedPoint::new(Point2::xy(10.0, 10.0), 5.0),
+        ];
+        let res = max_rect_placement(&pts, 2.0, 2.0);
+        assert_eq!(res.value, 5.0);
+        assert!(res.rect.contains(&Point2::xy(10.0, 10.0)));
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        assert_eq!(max_rect_placement(&[], 1.0, 1.0).value, 0.0);
+        let one = vec![WeightedPoint::new(Point2::xy(3.0, -2.0), 2.5)];
+        let res = max_rect_placement(&one, 0.5, 0.5);
+        assert_eq!(res.value, 2.5);
+        assert!(res.rect.contains(&Point2::xy(3.0, -2.0)));
+    }
+
+    #[test]
+    fn degenerate_zero_size_rectangle() {
+        let pts = vec![
+            WeightedPoint::new(Point2::xy(1.0, 1.0), 1.0),
+            WeightedPoint::new(Point2::xy(1.0, 1.0), 2.0),
+            WeightedPoint::new(Point2::xy(2.0, 2.0), 1.5),
+        ];
+        let res = max_rect_placement(&pts, 0.0, 0.0);
+        assert_eq!(res.value, 3.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for round in 0..40 {
+            let n = rng.gen_range(1..35);
+            let pts: Vec<WeightedPoint<2>> = (0..n)
+                .map(|_| {
+                    WeightedPoint::new(
+                        Point2::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)),
+                        rng.gen_range(0.0..4.0),
+                    )
+                })
+                .collect();
+            let w = rng.gen_range(0.5..4.0);
+            let h = rng.gen_range(0.5..4.0);
+            let fast = max_rect_placement(&pts, w, h);
+            let slow = brute_force_rect(&pts, w, h);
+            assert!(
+                (fast.value - slow.value).abs() < 1e-9,
+                "round {round}: fast {} vs brute {}",
+                fast.value,
+                slow.value
+            );
+            assert!((covered(&pts, &fast.rect) - fast.value).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn value_bounded_by_total_weight(
+            coords in proptest::collection::vec((0.0f64..20.0, 0.0f64..20.0, 0.0f64..3.0), 1..40),
+            w in 0.5f64..5.0,
+            h in 0.5f64..5.0,
+        ) {
+            let pts: Vec<WeightedPoint<2>> = coords
+                .iter()
+                .map(|&(x, y, wt)| WeightedPoint::new(Point2::xy(x, y), wt))
+                .collect();
+            let total: f64 = pts.iter().map(|p| p.weight).sum();
+            let res = max_rect_placement(&pts, w, h);
+            prop_assert!(res.value <= total + 1e-9);
+            // The single heaviest point is always coverable.
+            let heaviest = pts.iter().map(|p| p.weight).fold(0.0, f64::max);
+            prop_assert!(res.value + 1e-9 >= heaviest);
+            // Reported rectangle must cover the reported value.
+            let check: f64 = pts.iter().filter(|p| res.rect.contains(&p.point)).map(|p| p.weight).sum();
+            prop_assert!((check - res.value).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Problem instances and result types shared by every MaxRS algorithm in this
+//! crate.
+//!
+//! The paper states all ball algorithms in the *dual* setting (Section 1.4):
+//! after scaling so the query ball has unit radius, every weighted input point
+//! becomes a unit ball centered at it, and placing the query ball optimally is
+//! the same as finding a point of maximum (weighted or colored) depth in that
+//! ball collection.  The instance types here perform that scaling and
+//! dualization once so the algorithms can work with unit balls throughout.
+
+use mrs_geom::{Ball, ColoredSite, Point, WeightedPoint};
+
+/// A placement of the query range for a weighted MaxRS problem: where to put
+/// the range's center, and the total weight it covers there.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Placement<const D: usize> {
+    /// Center of the query ball (original, unscaled coordinates).
+    pub center: Point<D>,
+    /// Total covered weight at this placement.
+    pub value: f64,
+}
+
+impl<const D: usize> Placement<D> {
+    /// A placement covering nothing, used for empty inputs.
+    pub fn empty() -> Self {
+        Self { center: Point::origin(), value: 0.0 }
+    }
+}
+
+/// A placement of the query range for a colored MaxRS problem: where to put
+/// the range's center, and how many distinct colors it covers there.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColoredPlacement<const D: usize> {
+    /// Center of the query ball (original, unscaled coordinates).
+    pub center: Point<D>,
+    /// Number of distinct colors covered at this placement.
+    pub distinct: usize,
+}
+
+impl<const D: usize> ColoredPlacement<D> {
+    /// A placement covering nothing, used for empty inputs.
+    pub fn empty() -> Self {
+        Self { center: Point::origin(), distinct: 0 }
+    }
+}
+
+/// A weighted MaxRS instance with a `d`-ball query range of radius `radius`.
+#[derive(Clone, Debug)]
+pub struct WeightedBallInstance<const D: usize> {
+    /// Input points with their weights.
+    pub points: Vec<WeightedPoint<D>>,
+    /// Radius of the query ball.
+    pub radius: f64,
+}
+
+impl<const D: usize> WeightedBallInstance<D> {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    /// Panics if the radius is not strictly positive, if any coordinate is not
+    /// finite, or if any weight is negative or not finite (the paper's
+    /// algorithms require non-negative weights).
+    pub fn new(points: Vec<WeightedPoint<D>>, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "query radius must be positive");
+        for wp in &points {
+            assert!(wp.point.is_finite(), "point coordinates must be finite");
+            assert!(
+                wp.weight.is_finite() && wp.weight >= 0.0,
+                "weights must be finite and non-negative"
+            );
+        }
+        Self { points, radius }
+    }
+
+    /// An unweighted instance (every weight 1).
+    pub fn unweighted(points: Vec<Point<D>>, radius: f64) -> Self {
+        Self::new(points.into_iter().map(WeightedPoint::unit).collect(), radius)
+    }
+
+    /// Number of input points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the instance has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total weight of all points (an upper bound on any placement value).
+    pub fn total_weight(&self) -> f64 {
+        self.points.iter().map(|p| p.weight).sum()
+    }
+
+    /// The dual view: one *unit* ball per input point, in coordinates scaled
+    /// by `1/radius`, paired with the point's weight.
+    pub fn dual_unit_balls(&self) -> Vec<(Ball<D>, f64)> {
+        let inv = 1.0 / self.radius;
+        self.points
+            .iter()
+            .map(|wp| (Ball::unit(wp.point.scale(inv)), wp.weight))
+            .collect()
+    }
+
+    /// Maps a point expressed in the scaled (dual) coordinate system back to
+    /// the original coordinates.
+    pub fn unscale(&self, scaled: Point<D>) -> Point<D> {
+        scaled.scale(self.radius)
+    }
+
+    /// The weighted depth at `center` in the *original* coordinates: total
+    /// weight of input points within distance `radius` of `center`.  This is
+    /// the value of the placement with that center.
+    pub fn value_at(&self, center: &Point<D>) -> f64 {
+        let query = Ball::new(*center, self.radius);
+        self.points
+            .iter()
+            .filter(|wp| query.contains(&wp.point))
+            .map(|wp| wp.weight)
+            .sum()
+    }
+}
+
+/// A colored MaxRS instance with a `d`-ball query range of radius `radius`.
+#[derive(Clone, Debug)]
+pub struct ColoredBallInstance<const D: usize> {
+    /// Input sites with their colors.
+    pub sites: Vec<ColoredSite<D>>,
+    /// Radius of the query ball.
+    pub radius: f64,
+}
+
+impl<const D: usize> ColoredBallInstance<D> {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    /// Panics if the radius is not strictly positive or any coordinate is not
+    /// finite.
+    pub fn new(sites: Vec<ColoredSite<D>>, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "query radius must be positive");
+        for s in &sites {
+            assert!(s.point.is_finite(), "site coordinates must be finite");
+        }
+        Self { sites, radius }
+    }
+
+    /// Number of input sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns `true` if the instance has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Number of distinct colors present in the input (an upper bound on any
+    /// placement's distinct-color count).
+    pub fn distinct_colors(&self) -> usize {
+        let mut colors: Vec<usize> = self.sites.iter().map(|s| s.color).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        colors.len()
+    }
+
+    /// The dual view: one unit ball per site in coordinates scaled by
+    /// `1/radius`, paired with the site's color.
+    pub fn dual_unit_balls(&self) -> Vec<(Ball<D>, usize)> {
+        let inv = 1.0 / self.radius;
+        self.sites
+            .iter()
+            .map(|s| (Ball::unit(s.point.scale(inv)), s.color))
+            .collect()
+    }
+
+    /// Maps a point expressed in the scaled (dual) coordinate system back to
+    /// the original coordinates.
+    pub fn unscale(&self, scaled: Point<D>) -> Point<D> {
+        scaled.scale(self.radius)
+    }
+
+    /// The colored depth at `center` in the original coordinates: number of
+    /// distinct colors among sites within distance `radius` of `center`.
+    pub fn distinct_at(&self, center: &Point<D>) -> usize {
+        let query = Ball::new(*center, self.radius);
+        let mut colors: Vec<usize> = self
+            .sites
+            .iter()
+            .filter(|s| query.contains(&s.point))
+            .map(|s| s.color)
+            .collect();
+        colors.sort_unstable();
+        colors.dedup();
+        colors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_geom::Point2;
+
+    #[test]
+    fn weighted_instance_basics() {
+        let inst = WeightedBallInstance::new(
+            vec![
+                WeightedPoint::new(Point2::xy(0.0, 0.0), 2.0),
+                WeightedPoint::new(Point2::xy(1.0, 0.0), 3.0),
+                WeightedPoint::new(Point2::xy(10.0, 0.0), 5.0),
+            ],
+            2.0,
+        );
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.total_weight(), 10.0);
+        assert_eq!(inst.value_at(&Point2::xy(0.5, 0.0)), 5.0);
+        assert_eq!(inst.value_at(&Point2::xy(10.0, 0.0)), 5.0);
+        let dual = inst.dual_unit_balls();
+        assert_eq!(dual.len(), 3);
+        assert!((dual[1].0.center.x() - 0.5).abs() < 1e-12);
+        assert_eq!(dual[1].0.radius, 1.0);
+        assert_eq!(inst.unscale(Point2::xy(0.5, 0.0)), Point2::xy(1.0, 0.0));
+    }
+
+    #[test]
+    fn unweighted_constructor_gives_unit_weights() {
+        let inst = WeightedBallInstance::unweighted(vec![Point2::xy(0.0, 0.0); 4], 1.0);
+        assert_eq!(inst.total_weight(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite and non-negative")]
+    fn negative_weights_rejected() {
+        WeightedBallInstance::new(vec![WeightedPoint::new(Point2::xy(0.0, 0.0), -1.0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query radius must be positive")]
+    fn zero_radius_rejected() {
+        WeightedBallInstance::<2>::new(vec![], 0.0);
+    }
+
+    #[test]
+    fn colored_instance_basics() {
+        let inst = ColoredBallInstance::new(
+            vec![
+                ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+                ColoredSite::new(Point2::xy(0.2, 0.0), 0),
+                ColoredSite::new(Point2::xy(0.4, 0.0), 1),
+                ColoredSite::new(Point2::xy(9.0, 9.0), 2),
+            ],
+            1.0,
+        );
+        assert_eq!(inst.distinct_colors(), 3);
+        assert_eq!(inst.distinct_at(&Point2::xy(0.0, 0.0)), 2);
+        assert_eq!(inst.distinct_at(&Point2::xy(9.0, 9.0)), 1);
+        assert_eq!(inst.distinct_at(&Point2::xy(50.0, 50.0)), 0);
+    }
+
+    #[test]
+    fn placements_default_to_empty() {
+        assert_eq!(Placement::<2>::empty().value, 0.0);
+        assert_eq!(ColoredPlacement::<3>::empty().distinct, 0);
+    }
+}

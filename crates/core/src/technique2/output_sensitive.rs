@@ -1,0 +1,234 @@
+//! The output-sensitive exact algorithm for colored disk MaxRS (Theorem 4.6).
+//!
+//! Running the union-boundary algorithm (Lemma 4.2) on the whole input costs
+//! time proportional to the total number of boundary crossings, which can be
+//! quadratic.  Theorem 4.6 brings this down to `O(n log n + n·opt)` expected
+//! time by localizing: a family of shifted unit grids (Lemma 2.1 with `s = 1`,
+//! `Δ = 0.25`) is laid over the plane, in each cell every unit disk that does
+//! not contain a corner of the cell is discarded (Lemma 4.3 shows such a disk
+//! cannot contain the optimum when the optimum is `0.25`-near that cell), and
+//! the exact algorithm runs on what remains — at most `4·opt` colors per cell,
+//! so at most `O(n_C · opt)` crossings per cell (Lemmas 4.4/4.5).
+
+use std::collections::HashMap;
+
+use mrs_geom::grid::CellCoord;
+use mrs_geom::{Ball, ColoredSite, Point2, ShiftedGrids};
+
+use crate::input::ColoredPlacement;
+use crate::technique2::union_exact::max_colored_depth_union;
+
+/// Statistics from an output-sensitive run, reported for the experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OutputSensitiveStats {
+    /// Number of shifted grids processed.
+    pub grids: usize,
+    /// Number of non-empty cells across all grids.
+    pub cells: usize,
+    /// Total number of (disk, cell) incidences that survived the corner test.
+    pub surviving_disks: usize,
+    /// Total number of boundary–boundary crossings examined across all cells
+    /// (the output-sensitive `k`).
+    pub boundary_intersections: usize,
+}
+
+/// Exact maximum colored depth for *unit* disks (dual setting) in
+/// `O(n log n + n·opt)` expected time.
+///
+/// # Panics
+/// Panics if `disks` and `colors` have different lengths or any disk is not of
+/// unit radius (the corner-discarding argument of Lemma 4.3 requires unit
+/// disks and the `s = 1` grid).
+pub fn max_colored_depth_output_sensitive(
+    disks: &[Ball<2>],
+    colors: &[usize],
+) -> (Point2, usize, OutputSensitiveStats) {
+    assert_eq!(disks.len(), colors.len(), "one color per disk is required");
+    for d in disks {
+        assert!(
+            (d.radius - 1.0).abs() < 1e-9,
+            "the output-sensitive algorithm operates on unit disks (got radius {})",
+            d.radius
+        );
+    }
+    let mut stats = OutputSensitiveStats::default();
+    if disks.is_empty() {
+        return (Point2::xy(0.0, 0.0), 0, stats);
+    }
+
+    // Lemma 2.1 family with s = 1 and Δ = 0.25.
+    let grids = ShiftedGrids::<2>::full(1.0, 0.25);
+    stats.grids = grids.len();
+
+    let mut best_point = disks[0].center;
+    let mut best_depth = 0usize;
+
+    for grid in grids.grids() {
+        // Bucket disks by the cells they intersect.
+        let mut cells: HashMap<CellCoord<2>, Vec<usize>> = HashMap::new();
+        for (i, disk) in disks.iter().enumerate() {
+            for cell in grid.cells_intersecting_ball(disk) {
+                cells.entry(cell).or_default().push(i);
+            }
+        }
+        stats.cells += cells.len();
+
+        for (cell, members) in &cells {
+            let cell_box = grid.cell_aabb(cell);
+            let corners = cell_box.corners();
+            // Lemma 4.3(1): only disks containing a corner of the cell can
+            // contain an optimum that is 0.25-near this cell.
+            let surviving: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&i| corners.iter().any(|c| disks[i].contains(c)))
+                .collect();
+            if surviving.is_empty() {
+                continue;
+            }
+            stats.surviving_disks += surviving.len();
+            let sub_disks: Vec<Ball<2>> = surviving.iter().map(|&i| disks[i]).collect();
+            let sub_colors: Vec<usize> = surviving.iter().map(|&i| colors[i]).collect();
+            let result = max_colored_depth_union(&sub_disks, &sub_colors);
+            stats.boundary_intersections += result.boundary_intersections;
+            if result.depth > best_depth {
+                best_depth = result.depth;
+                best_point = result.point;
+            }
+        }
+    }
+    (best_point, best_depth, stats)
+}
+
+/// Exact colored disk MaxRS in the primal setting via the output-sensitive
+/// algorithm of Theorem 4.6.
+///
+/// # Example
+/// ```
+/// use mrs_core::technique2::output_sensitive_colored_disk;
+/// use mrs_geom::{ColoredSite, Point2};
+///
+/// let sites = vec![
+///     ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+///     ColoredSite::new(Point2::xy(0.4, 0.0), 1),
+///     ColoredSite::new(Point2::xy(0.4, 0.3), 1), // duplicate color
+///     ColoredSite::new(Point2::xy(9.0, 9.0), 2),
+/// ];
+/// let best = output_sensitive_colored_disk(&sites, 1.0);
+/// assert_eq!(best.distinct, 2);
+/// ```
+///
+pub fn output_sensitive_colored_disk(
+    sites: &[ColoredSite<2>],
+    radius: f64,
+) -> ColoredPlacement<2> {
+    output_sensitive_colored_disk_with_stats(sites, radius).0
+}
+
+/// Like [`output_sensitive_colored_disk`] but also reports run statistics.
+pub fn output_sensitive_colored_disk_with_stats(
+    sites: &[ColoredSite<2>],
+    radius: f64,
+) -> (ColoredPlacement<2>, OutputSensitiveStats) {
+    assert!(radius.is_finite() && radius > 0.0, "query radius must be positive");
+    if sites.is_empty() {
+        return (ColoredPlacement::empty(), OutputSensitiveStats::default());
+    }
+    let inv = 1.0 / radius;
+    let disks: Vec<Ball<2>> = sites.iter().map(|s| Ball::unit(s.point.scale(inv))).collect();
+    let colors: Vec<usize> = sites.iter().map(|s| s.color).collect();
+    let (point, depth, stats) = max_colored_depth_output_sensitive(&disks, &colors);
+    (ColoredPlacement { center: point.scale(radius), distinct: depth }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::colored_disk2d::{colored_depth_at, exact_colored_disk};
+    use rand::prelude::*;
+
+    fn site(x: f64, y: f64, color: usize) -> ColoredSite<2> {
+        ColoredSite::new(Point2::xy(x, y), color)
+    }
+
+    #[test]
+    fn empty_input() {
+        let (res, stats) = output_sensitive_colored_disk_with_stats(&[], 1.0);
+        assert_eq!(res.distinct, 0);
+        assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn single_site() {
+        let res = output_sensitive_colored_disk(&[site(3.0, 4.0, 2)], 1.0);
+        assert_eq!(res.distinct, 1);
+    }
+
+    #[test]
+    fn three_colors_in_a_cluster() {
+        let sites = vec![
+            site(0.0, 0.0, 0),
+            site(0.3, 0.2, 0),
+            site(0.5, 0.0, 1),
+            site(0.1, 0.6, 2),
+            site(10.0, 10.0, 3),
+        ];
+        let res = output_sensitive_colored_disk(&sites, 1.0);
+        assert_eq!(res.distinct, 3);
+        assert_eq!(colored_depth_at(&sites, 1.0, &res.center), 3);
+    }
+
+    #[test]
+    fn matches_candidate_enumeration_oracle_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for round in 0..20 {
+            let n = rng.gen_range(2..40);
+            let m = rng.gen_range(1..6usize);
+            let sites: Vec<ColoredSite<2>> = (0..n)
+                .map(|_| {
+                    site(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0), rng.gen_range(0..m))
+                })
+                .collect();
+            let radius = rng.gen_range(0.5..1.5);
+            let fast = output_sensitive_colored_disk(&sites, radius);
+            let oracle = exact_colored_disk(&sites, radius);
+            assert_eq!(
+                fast.distinct, oracle.distinct,
+                "round {round}: output-sensitive {} vs oracle {}",
+                fast.distinct, oracle.distinct
+            );
+        }
+    }
+
+    #[test]
+    fn stats_reflect_localization() {
+        // Two far-apart clusters: the surviving-disk incidences stay small per
+        // cell and the boundary crossing count stays near-linear.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sites = Vec::new();
+        for i in 0..40 {
+            let base = if i % 2 == 0 { 0.0 } else { 30.0 };
+            sites.push(site(
+                base + rng.gen_range(0.0..1.5),
+                base + rng.gen_range(0.0..1.5),
+                i % 8,
+            ));
+        }
+        let (res, stats) = output_sensitive_colored_disk_with_stats(&sites, 1.0);
+        assert!(res.distinct >= 4);
+        assert_eq!(stats.grids, 36, "s=1, Δ=0.25 family in the plane has 6² grids");
+        assert!(stats.cells > 0);
+        assert!(stats.surviving_disks > 0);
+    }
+
+    #[test]
+    fn opt_one_instances_are_cheap_in_crossings() {
+        // Pairwise-disjoint color classes far apart: opt = 1, so the
+        // output-sensitive crossing count must be zero.
+        let sites: Vec<ColoredSite<2>> =
+            (0..30).map(|i| site(10.0 * i as f64, 0.0, i % 10)).collect();
+        let (res, stats) = output_sensitive_colored_disk_with_stats(&sites, 1.0);
+        assert_eq!(res.distinct, 1);
+        assert_eq!(stats.boundary_intersections, 0);
+    }
+}

@@ -1,0 +1,402 @@
+//! The exact union-boundary algorithm for colored disk MaxRS (Lemma 4.2).
+//!
+//! The colored problem is first transformed into an uncolored one: for each
+//! color `c` the disks of that color are replaced by their union `U_c`, and
+//! the goal becomes finding a point contained in the maximum number of the
+//! regions `U_1, …, U_m`.  The maximum-depth face of that region arrangement
+//! always has, on its closure, a point of some exposed boundary arc, so it
+//! suffices to sweep every exposed arc: compute the colored depth once at the
+//! arc's start, then walk its crossings with *other colors'* exposed arcs in
+//! angular order, incrementing or decrementing the depth as the arc enters or
+//! leaves the other color's union.  The total cost is
+//! `O(n log n + Σ_arc local + k log k)` where `k` is the number of
+//! boundary–boundary crossings — the same output-sensitive shape as the
+//! trapezoidal-map formulation of the paper (see DESIGN.md, "Substitutions").
+
+use mrs_geom::arcs::normalize_angle;
+use mrs_geom::union_disks::{union_boundary_arcs, ExposedArc};
+use mrs_geom::{Ball, ColoredSite, HashGrid, Point2};
+
+use crate::input::ColoredPlacement;
+
+/// An exposed arc of one color's union boundary, referencing the *global* disk
+/// index that carries it (the disk's color is recovered from the global color
+/// table when needed).
+#[derive(Clone, Copy, Debug)]
+struct ColoredArc {
+    disk: usize,
+    start: f64,
+    end: f64,
+}
+
+impl ColoredArc {
+    fn contains_angle(&self, theta: f64) -> bool {
+        ExposedArc { disk: self.disk, start: self.start, end: self.end }.contains_angle(theta)
+    }
+}
+
+/// Reusable distinct-color counter: a stamp array avoids clearing a hash set
+/// for every evaluation.
+struct ColorCounter {
+    stamp: Vec<u64>,
+    generation: u64,
+}
+
+impl ColorCounter {
+    fn new(num_colors: usize) -> Self {
+        Self { stamp: vec![0; num_colors], generation: 0 }
+    }
+
+    fn count<F: FnMut(&mut dyn FnMut(usize))>(&mut self, mut for_each_color: F) -> usize {
+        self.generation += 1;
+        let generation = self.generation;
+        let mut distinct = 0;
+        for_each_color(&mut |color| {
+            if self.stamp[color] != generation {
+                self.stamp[color] = generation;
+                distinct += 1;
+            }
+        });
+        distinct
+    }
+}
+
+/// A crossing between the swept arc and another color's union boundary.
+#[derive(Clone, Copy, Debug)]
+struct CrossingEvent {
+    /// Angle on the swept disk, in `[0, 2π)`.
+    theta: f64,
+    /// `+1` if the swept arc enters the other color's union here, `-1` if it
+    /// leaves it.
+    delta: i32,
+}
+
+/// Result of the dual-space exact computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DepthResult {
+    /// A point of maximum colored depth (dual coordinates).
+    pub point: Point2,
+    /// The maximum colored depth.
+    pub depth: usize,
+    /// Number of boundary–boundary crossings processed (the `k` of
+    /// Lemma 4.2 / Lemma 4.5), reported for the experiments.
+    pub boundary_intersections: usize,
+}
+
+/// Exact maximum colored depth for a set of disks with colors in `0..m`
+/// (dual setting).  Disks may have arbitrary positive radii, although the
+/// paper's setting (and the output-sensitive wrapper) uses unit disks.
+///
+/// # Panics
+/// Panics if `disks` and `colors` have different lengths.
+pub fn max_colored_depth_union(disks: &[Ball<2>], colors: &[usize]) -> DepthResult {
+    assert_eq!(disks.len(), colors.len(), "one color per disk is required");
+    if disks.is_empty() {
+        return DepthResult { point: Point2::xy(0.0, 0.0), depth: 0, boundary_intersections: 0 };
+    }
+    let num_colors = colors.iter().copied().max().unwrap_or(0) + 1;
+    let max_radius = disks.iter().map(|d| d.radius).fold(0.0f64, f64::max);
+
+    // Per-color union boundaries, re-indexed to global disk ids.
+    let mut by_color: Vec<Vec<usize>> = vec![Vec::new(); num_colors];
+    for (i, &c) in colors.iter().enumerate() {
+        by_color[c].push(i);
+    }
+    let mut arcs_by_disk: Vec<Vec<ColoredArc>> = vec![Vec::new(); disks.len()];
+    for members in by_color.iter() {
+        if members.is_empty() {
+            continue;
+        }
+        let subset: Vec<Ball<2>> = members.iter().map(|&i| disks[i]).collect();
+        for arc in union_boundary_arcs(&subset) {
+            let global = members[arc.disk];
+            arcs_by_disk[global].push(ColoredArc { disk: global, start: arc.start, end: arc.end });
+        }
+    }
+
+    // Global neighbour index over disk centers, used for crossing generation
+    // and for the per-arc initial depth evaluation.
+    let centers: Vec<Point2> = disks.iter().map(|d| d.center).collect();
+    let index = HashGrid::build((2.0 * max_radius).max(1e-6), &centers);
+    let mut counter = ColorCounter::new(num_colors);
+
+    // Colored depth at an arbitrary point (full neighbourhood query).
+    let depth_at = |p: &Point2, counter: &mut ColorCounter| -> usize {
+        counter.count(|visit| {
+            index.for_each_within(p, max_radius * (1.0 + 1e-12), |j| {
+                if disks[j].contains(p) {
+                    visit(colors[j]);
+                }
+            });
+        })
+    };
+
+    let mut best_point = disks[0].center;
+    let mut best_depth = 0usize;
+    let mut boundary_intersections = 0usize;
+
+    // Sweep every disk that carries at least one exposed arc.
+    let mut events_by_arc: Vec<Vec<CrossingEvent>> = Vec::new();
+    for i in 0..disks.len() {
+        if arcs_by_disk[i].is_empty() {
+            continue;
+        }
+        let di = &disks[i];
+        events_by_arc.clear();
+        events_by_arc.resize(arcs_by_disk[i].len(), Vec::new());
+
+        // Crossings of ∂D_i with exposed arcs of *other colors*.  Rather than
+        // classifying intersection points by a derivative sign (fragile near
+        // tangencies), use the covered angular interval directly: ∂D_i enters
+        // disk j at the interval's start angle and leaves it at its end angle.
+        index.for_each_within(&di.center, di.radius + max_radius, |j| {
+            if j == i || arcs_by_disk[j].is_empty() || colors[i] == colors[j] {
+                return;
+            }
+            let dj = &disks[j];
+            let mut push_event = |theta_i: f64, delta: i32| {
+                // The crossing only changes membership in the other color's
+                // union if the crossing point lies on that union's boundary
+                // (i.e. on one of disk j's exposed arcs).
+                let p = di.center.polar_offset(di.radius, theta_i);
+                let theta_j = dj.center.angle_to(&p);
+                if !arcs_by_disk[j].iter().any(|a| a.contains_angle(theta_j)) {
+                    return;
+                }
+                for (arc_idx, arc) in arcs_by_disk[i].iter().enumerate() {
+                    if arc.contains_angle(theta_i) {
+                        events_by_arc[arc_idx].push(CrossingEvent { theta: theta_i, delta });
+                    }
+                }
+            };
+            let d = di.center.dist(&dj.center);
+            if (d - (di.radius + dj.radius)).abs() <= 1e-9 {
+                // External tangency: a single touch point where the depth rises
+                // by one for a moment; emit an enter/leave pair at that angle.
+                let theta = normalize_angle(di.center.angle_to(&dj.center));
+                push_event(theta, 1);
+                push_event(theta, -1);
+                return;
+            }
+            let Some(interval) = mrs_geom::arcs::boundary_covered_by(di, dj) else {
+                return;
+            };
+            if interval.width >= mrs_geom::TAU - 1e-12 {
+                // Disk j covers all of ∂D_i: constant membership, no events.
+                return;
+            }
+            push_event(normalize_angle(interval.start), 1);
+            push_event(normalize_angle(interval.start + interval.width), -1);
+        });
+
+        for (arc_idx, arc) in arcs_by_disk[i].iter().enumerate() {
+            let events = &mut events_by_arc[arc_idx];
+            boundary_intersections += events.len();
+            let start_point = di.center.polar_offset(di.radius, arc.start);
+            let closed_at_start = depth_at(&start_point, &mut counter);
+            if closed_at_start > best_depth {
+                best_depth = closed_at_start;
+                best_point = start_point;
+            }
+            if events.is_empty() {
+                continue;
+            }
+            // Clamp event angles into the arc range and sort; at equal angles
+            // apply "enter" before "leave" so the closed depth at the crossing
+            // itself is observed.
+            for e in events.iter_mut() {
+                if e.theta < arc.start {
+                    e.theta = arc.start;
+                }
+                if e.theta > arc.end {
+                    e.theta = arc.end;
+                }
+            }
+            events.sort_by(|a, b| {
+                a.theta.partial_cmp(&b.theta).unwrap().then(b.delta.cmp(&a.delta))
+            });
+            // Unions entered exactly at the start angle are already included in
+            // the closed depth of the start point; discount them so applying
+            // their "+1" events does not double-count.
+            let entered_at_start = events
+                .iter()
+                .filter(|e| e.delta > 0 && e.theta <= arc.start + 1e-9)
+                .count();
+            let mut running = closed_at_start as i64 - entered_at_start as i64;
+            for e in events.iter() {
+                running += e.delta as i64;
+                if running > 0 && running as usize > best_depth {
+                    best_depth = running as usize;
+                    best_point = di.center.polar_offset(di.radius, e.theta);
+                }
+            }
+        }
+    }
+
+    // Degenerate fallback (e.g. every disk swallowed in ties): disk centers are
+    // always safe candidates.
+    if best_depth == 0 {
+        for d in disks {
+            let depth = depth_at(&d.center, &mut counter);
+            if depth > best_depth {
+                best_depth = depth;
+                best_point = d.center;
+            }
+        }
+    }
+
+    DepthResult { point: best_point, depth: best_depth, boundary_intersections }
+}
+
+/// Exact colored disk MaxRS in the primal setting via the union-boundary
+/// algorithm: returns where to center a disk of radius `radius` to cover the
+/// maximum number of distinct colors.
+pub fn exact_colored_disk_by_union(sites: &[ColoredSite<2>], radius: f64) -> ColoredPlacement<2> {
+    assert!(radius.is_finite() && radius > 0.0, "query radius must be positive");
+    if sites.is_empty() {
+        return ColoredPlacement::empty();
+    }
+    let inv = 1.0 / radius;
+    let disks: Vec<Ball<2>> = sites.iter().map(|s| Ball::unit(s.point.scale(inv))).collect();
+    let colors: Vec<usize> = sites.iter().map(|s| s.color).collect();
+    let result = max_colored_depth_union(&disks, &colors);
+    ColoredPlacement { center: result.point.scale(radius), distinct: result.depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::colored_disk2d::{colored_depth_at, exact_colored_disk};
+    use rand::prelude::*;
+
+    fn site(x: f64, y: f64, color: usize) -> ColoredSite<2> {
+        ColoredSite::new(Point2::xy(x, y), color)
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(max_colored_depth_union(&[], &[]).depth, 0);
+        assert_eq!(exact_colored_disk_by_union(&[], 1.0).distinct, 0);
+    }
+
+    #[test]
+    fn single_disk() {
+        let res = max_colored_depth_union(&[Ball::unit(Point2::xy(0.0, 0.0))], &[0]);
+        assert_eq!(res.depth, 1);
+    }
+
+    #[test]
+    fn two_disks_of_different_colors() {
+        let disks = vec![Ball::unit(Point2::xy(0.0, 0.0)), Ball::unit(Point2::xy(1.2, 0.0))];
+        let res = max_colored_depth_union(&disks, &[0, 1]);
+        assert_eq!(res.depth, 2);
+        // The reported point must genuinely lie in both disks.
+        assert!(disks[0].contains(&res.point) && disks[1].contains(&res.point));
+    }
+
+    #[test]
+    fn three_colors_in_a_cluster() {
+        let sites = vec![
+            site(0.0, 0.0, 0),
+            site(0.3, 0.2, 0),
+            site(0.5, 0.0, 1),
+            site(0.1, 0.6, 2),
+            site(10.0, 10.0, 3),
+        ];
+        let res = exact_colored_disk_by_union(&sites, 1.0);
+        assert_eq!(res.distinct, 3);
+        assert_eq!(colored_depth_at(&sites, 1.0, &res.center), 3);
+    }
+
+    #[test]
+    fn duplicate_colors_collapse_via_union() {
+        // Many disks of the same color stacked on top of each other plus one
+        // disk of a second color: depth is 2, not 1 + duplicates.
+        let sites = vec![
+            site(0.0, 0.0, 0),
+            site(0.01, 0.0, 0),
+            site(0.02, 0.0, 0),
+            site(0.03, 0.0, 0),
+            site(0.5, 0.0, 1),
+        ];
+        let res = exact_colored_disk_by_union(&sites, 1.0);
+        assert_eq!(res.distinct, 2);
+    }
+
+    #[test]
+    fn deep_overlap_of_many_colors_in_one_spot() {
+        // Every color has several disks piled into one tiny cluster, so the
+        // optimum equals the number of colors and the sweep must track the
+        // incremental depth correctly through many same-angle-ish crossings.
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut sites = Vec::new();
+        for color in 0..30usize {
+            for _ in 0..4 {
+                sites.push(site(rng.gen_range(0.0..0.6), rng.gen_range(0.0..0.6), color));
+            }
+        }
+        let res = exact_colored_disk_by_union(&sites, 1.0);
+        assert_eq!(res.distinct, 30);
+    }
+
+    #[test]
+    fn matches_candidate_enumeration_oracle_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..40 {
+            let n = rng.gen_range(2..45);
+            let m = rng.gen_range(1..7usize);
+            let sites: Vec<ColoredSite<2>> = (0..n)
+                .map(|_| {
+                    site(rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0), rng.gen_range(0..m))
+                })
+                .collect();
+            let union = exact_colored_disk_by_union(&sites, 1.0);
+            let oracle = exact_colored_disk(&sites, 1.0);
+            assert_eq!(
+                union.distinct, oracle.distinct,
+                "round {round}: union {} vs oracle {}",
+                union.distinct, oracle.distinct
+            );
+            assert_eq!(colored_depth_at(&sites, 1.0 + 1e-9, &union.center), union.distinct);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_dense_instances() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for round in 0..10 {
+            let m = rng.gen_range(2..10usize);
+            let sites: Vec<ColoredSite<2>> = (0..60)
+                .map(|_| {
+                    site(rng.gen_range(0.0..1.5), rng.gen_range(0.0..1.5), rng.gen_range(0..m))
+                })
+                .collect();
+            let union = exact_colored_disk_by_union(&sites, 1.0);
+            let oracle = exact_colored_disk(&sites, 1.0);
+            assert_eq!(union.distinct, oracle.distinct, "round {round}");
+        }
+    }
+
+    #[test]
+    fn non_unit_radius_is_scaled_correctly() {
+        let sites = vec![site(0.0, 0.0, 0), site(3.0, 0.0, 1), site(6.0, 0.0, 2)];
+        // Radius 1 covers a single site; radius 3 covers all three (centered on
+        // the middle site).
+        assert_eq!(exact_colored_disk_by_union(&sites, 1.0).distinct, 1);
+        assert_eq!(exact_colored_disk_by_union(&sites, 3.0).distinct, 3);
+    }
+
+    #[test]
+    fn reports_boundary_intersection_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let disks: Vec<Ball<2>> = (0..60)
+            .map(|_| Ball::unit(Point2::xy(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0))))
+            .collect();
+        let colors: Vec<usize> = (0..60).map(|i| i % 5).collect();
+        let res = max_colored_depth_union(&disks, &colors);
+        assert!(res.depth >= 1);
+        // Lemma 4.5-style sanity: the crossing count stays well below the
+        // trivial O(n²) bound for a spread-out instance.
+        assert!(res.boundary_intersections < 60 * 60);
+    }
+}

@@ -1,0 +1,57 @@
+//! Regression tests for the union-boundary exact algorithm (Lemma 4.2):
+//! degenerate configurations that once over- or under-counted the colored
+//! depth.
+
+use mrs_core::technique2::union_exact::max_colored_depth_union;
+use mrs_geom::{Ball, Point2};
+
+/// Three colinear unit disks whose only triple point is a tangency: the
+/// optimum (3) is attained at a single point, and a naive sign classification
+/// of the tangential crossing used to report 4.
+#[test]
+fn colinear_tangency_is_counted_exactly_once() {
+    let disks = vec![
+        Ball::unit(Point2::xy(0.0, 0.0)),
+        Ball::unit(Point2::xy(1.0, 0.0)),
+        Ball::unit(Point2::xy(2.0, 0.0)),
+    ];
+    let res = max_colored_depth_union(&disks, &[0, 1, 2]);
+    assert_eq!(res.depth, 3);
+    let true_depth = disks.iter().filter(|d| d.contains(&res.point)).count();
+    assert_eq!(true_depth, 3, "the reported point must achieve the reported depth");
+}
+
+/// Two disks that only touch externally: the tangency point covers both
+/// colors, and the reported depth must never exceed the number of colors.
+#[test]
+fn external_tangency_of_two_colors() {
+    let disks = vec![Ball::unit(Point2::xy(0.0, 0.0)), Ball::unit(Point2::xy(2.0, 0.0))];
+    let res = max_colored_depth_union(&disks, &[0, 1]);
+    assert_eq!(res.depth, 2);
+}
+
+/// A grid of tangent disks with alternating colors: lots of simultaneous
+/// tangencies, still bounded by the palette size.
+#[test]
+fn tangent_grid_never_exceeds_palette() {
+    let mut disks = Vec::new();
+    let mut colors = Vec::new();
+    for i in 0..4 {
+        for j in 0..4 {
+            disks.push(Ball::unit(Point2::xy(2.0 * i as f64, 2.0 * j as f64)));
+            colors.push((i + j) % 3);
+        }
+    }
+    let res = max_colored_depth_union(&disks, &colors);
+    assert!(res.depth <= 3);
+    assert!(res.depth >= 2, "some tangency point touches at least two colors");
+}
+
+/// Coincident disks of different colors: every point of the common boundary
+/// has depth 2.
+#[test]
+fn coincident_disks_of_different_colors() {
+    let disks = vec![Ball::unit(Point2::xy(0.0, 0.0)), Ball::unit(Point2::xy(0.0, 0.0))];
+    let res = max_colored_depth_union(&disks, &[0, 1]);
+    assert_eq!(res.depth, 2);
+}

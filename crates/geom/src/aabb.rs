@@ -1,0 +1,189 @@
+//! Axis-aligned boxes (`d`-boxes in the paper's terminology), used both as a
+//! query range for the exact rectangle MaxRS baseline and as grid cells.
+
+use crate::point::Point;
+
+/// A closed axis-aligned box in `R^D`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb<const D: usize> {
+    /// Coordinate-wise lower corner.
+    pub lo: Point<D>,
+    /// Coordinate-wise upper corner.
+    pub hi: Point<D>,
+}
+
+/// Convenience alias for rectangles in the plane.
+pub type Rect = Aabb<2>;
+
+impl<const D: usize> Aabb<D> {
+    /// Creates a box from its lower and upper corners.
+    ///
+    /// # Panics
+    /// Panics if any `lo[i] > hi[i]`.
+    pub fn new(lo: Point<D>, hi: Point<D>) -> Self {
+        for i in 0..D {
+            assert!(lo[i] <= hi[i], "Aabb lower corner exceeds upper corner in dimension {i}");
+        }
+        Self { lo, hi }
+    }
+
+    /// The box centered at `center` with side length `side` in every
+    /// dimension.
+    pub fn cube(center: Point<D>, side: f64) -> Self {
+        let h = side / 2.0;
+        let mut lo = center;
+        let mut hi = center;
+        for i in 0..D {
+            lo[i] -= h;
+            hi[i] += h;
+        }
+        Self::new(lo, hi)
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Point<D> {
+        self.lo.lerp(&self.hi, 0.5)
+    }
+
+    /// Side length along `axis`.
+    pub fn side(&self, axis: usize) -> f64 {
+        self.hi[axis] - self.lo[axis]
+    }
+
+    /// Returns `true` if the closed box contains `p`.
+    #[inline]
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        for i in 0..D {
+            if p[i] < self.lo[i] - 1e-12 || p[i] > self.hi[i] + 1e-12 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if this box intersects `other` (closed intersection).
+    pub fn intersects(&self, other: &Self) -> bool {
+        for i in 0..D {
+            if self.hi[i] < other.lo[i] || other.hi[i] < self.lo[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns the smallest box containing both boxes.
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            lo: self.lo.component_min(&other.lo),
+            hi: self.hi.component_max(&other.hi),
+        }
+    }
+
+    /// Volume (Lebesgue measure) of the box.
+    pub fn volume(&self) -> f64 {
+        (0..D).map(|i| self.side(i)).product()
+    }
+
+    /// Radius of the circumscribed ball (half the diagonal length).
+    pub fn circumradius(&self) -> f64 {
+        self.lo.dist(&self.hi) / 2.0
+    }
+
+    /// Enumerates all `2^D` corners of the box.
+    pub fn corners(&self) -> Vec<Point<D>> {
+        let mut out = Vec::with_capacity(1 << D);
+        for mask in 0..(1usize << D) {
+            let mut p = self.lo;
+            for i in 0..D {
+                if mask & (1 << i) != 0 {
+                    p[i] = self.hi[i];
+                }
+            }
+            out.push(p);
+        }
+        out
+    }
+
+    /// Grows the box by `margin` in every direction.
+    pub fn inflated(&self, margin: f64) -> Self {
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for i in 0..D {
+            lo[i] -= margin;
+            hi[i] += margin;
+        }
+        Self::new(lo, hi)
+    }
+}
+
+/// Smallest axis-aligned box containing every point, or `None` if empty.
+pub fn bounding_box<const D: usize>(points: &[Point<D>]) -> Option<Aabb<D>> {
+    let first = *points.first()?;
+    let mut lo = first;
+    let mut hi = first;
+    for p in &points[1..] {
+        lo = lo.component_min(p);
+        hi = hi.component_max(p);
+    }
+    Some(Aabb::new(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+
+    #[test]
+    fn contains_and_intersects() {
+        let a = Aabb::new(Point2::xy(0.0, 0.0), Point2::xy(2.0, 2.0));
+        let b = Aabb::new(Point2::xy(1.0, 1.0), Point2::xy(3.0, 3.0));
+        let c = Aabb::new(Point2::xy(5.0, 5.0), Point2::xy(6.0, 6.0));
+        assert!(a.contains(&Point2::xy(1.0, 1.5)));
+        assert!(a.contains(&Point2::xy(2.0, 2.0)));
+        assert!(!a.contains(&Point2::xy(2.1, 1.0)));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn cube_and_center() {
+        let c = Aabb::cube(Point2::xy(1.0, 1.0), 2.0);
+        assert_eq!(c.lo, Point2::xy(0.0, 0.0));
+        assert_eq!(c.hi, Point2::xy(2.0, 2.0));
+        assert_eq!(c.center(), Point2::xy(1.0, 1.0));
+        assert!((c.volume() - 4.0).abs() < 1e-12);
+        assert!((c.circumradius() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corners_enumeration() {
+        let c = Aabb::new(Point::new([0.0, 0.0, 0.0]), Point::new([1.0, 2.0, 3.0]));
+        let corners = c.corners();
+        assert_eq!(corners.len(), 8);
+        assert!(corners.contains(&Point::new([0.0, 0.0, 0.0])));
+        assert!(corners.contains(&Point::new([1.0, 2.0, 3.0])));
+        assert!(corners.contains(&Point::new([1.0, 0.0, 3.0])));
+    }
+
+    #[test]
+    fn union_and_bounding_box() {
+        let a = Aabb::new(Point2::xy(0.0, 0.0), Point2::xy(1.0, 1.0));
+        let b = Aabb::new(Point2::xy(2.0, -1.0), Point2::xy(3.0, 0.5));
+        let u = a.union(&b);
+        assert_eq!(u.lo, Point2::xy(0.0, -1.0));
+        assert_eq!(u.hi, Point2::xy(3.0, 1.0));
+
+        let pts = vec![Point2::xy(1.0, 4.0), Point2::xy(-1.0, 2.0), Point2::xy(0.0, 9.0)];
+        let bb = bounding_box(&pts).unwrap();
+        assert_eq!(bb.lo, Point2::xy(-1.0, 2.0));
+        assert_eq!(bb.hi, Point2::xy(1.0, 9.0));
+        assert!(bounding_box::<2>(&[]).is_none());
+    }
+
+    #[test]
+    fn inflate() {
+        let a = Aabb::new(Point2::xy(0.0, 0.0), Point2::xy(1.0, 1.0)).inflated(0.5);
+        assert_eq!(a.lo, Point2::xy(-0.5, -0.5));
+        assert_eq!(a.hi, Point2::xy(1.5, 1.5));
+    }
+}

@@ -1,0 +1,251 @@
+//! Angular-interval arithmetic on circle boundaries.
+//!
+//! Section 4 of the paper works with the boundaries `∂U_c` of per-color unions
+//! of unit disks; those boundaries are collections of circular arcs.  This
+//! module provides the interval bookkeeping needed to extract them: which
+//! angular portion of one circle is covered by another disk, unions of covered
+//! portions, and complements (the *exposed* arcs).
+
+use crate::ball::Ball;
+
+/// Full turn, `2π`.
+pub const TAU: f64 = std::f64::consts::TAU;
+
+/// Normalizes an angle to `[0, 2π)`.
+pub fn normalize_angle(theta: f64) -> f64 {
+    let mut t = theta % TAU;
+    if t < 0.0 {
+        t += TAU;
+    }
+    if t >= TAU {
+        t -= TAU;
+    }
+    t
+}
+
+/// An angular interval on a circle, traversed counter-clockwise from `start`
+/// for `width` radians.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AngularInterval {
+    /// Start angle, normalized to `[0, 2π)`.
+    pub start: f64,
+    /// Width in radians, in `(0, 2π]`.
+    pub width: f64,
+}
+
+impl AngularInterval {
+    /// Creates an interval from a start angle and width.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `(0, 2π]`.
+    pub fn new(start: f64, width: f64) -> Self {
+        assert!(width > 0.0 && width <= TAU + 1e-9, "angular width {width} out of range");
+        Self { start: normalize_angle(start), width: width.min(TAU) }
+    }
+
+    /// The full circle.
+    pub fn full() -> Self {
+        Self { start: 0.0, width: TAU }
+    }
+
+    /// Creates the interval centered at `center` with the given `half_width`.
+    pub fn centered(center: f64, half_width: f64) -> Self {
+        Self::new(center - half_width, 2.0 * half_width)
+    }
+
+    /// End angle (may exceed `2π`; compare with `start + width`).
+    pub fn end(&self) -> f64 {
+        self.start + self.width
+    }
+
+    /// Returns `true` if the interval contains the angle `theta` (closed).
+    pub fn contains(&self, theta: f64) -> bool {
+        let t = normalize_angle(theta);
+        let rel = if t >= self.start { t - self.start } else { t + TAU - self.start };
+        rel <= self.width + 1e-12
+    }
+
+    /// Splits the interval into at most two non-wrapping segments
+    /// `(lo, hi) ⊆ [0, 2π]`.
+    pub fn segments(&self) -> Vec<(f64, f64)> {
+        if self.end() <= TAU + 1e-15 {
+            vec![(self.start, self.end().min(TAU))]
+        } else {
+            vec![(self.start, TAU), (0.0, self.end() - TAU)]
+        }
+    }
+}
+
+/// Merges a list of non-wrapping segments on `[0, 2π]` into disjoint sorted
+/// segments.
+fn merge_segments(mut segments: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    segments.retain(|(lo, hi)| hi > lo);
+    segments.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(segments.len());
+    for (lo, hi) in segments {
+        match merged.last_mut() {
+            Some(last) if lo <= last.1 + 1e-12 => {
+                last.1 = last.1.max(hi);
+            }
+            _ => merged.push((lo, hi)),
+        }
+    }
+    merged
+}
+
+/// The union of a collection of angular intervals, as disjoint non-wrapping
+/// segments on `[0, 2π]`.
+pub fn union_of_intervals(intervals: &[AngularInterval]) -> Vec<(f64, f64)> {
+    let mut segments = Vec::with_capacity(intervals.len() * 2);
+    for interval in intervals {
+        segments.extend(interval.segments());
+    }
+    merge_segments(segments)
+}
+
+/// Total angular measure (in radians) of the union of the intervals.
+pub fn covered_measure(intervals: &[AngularInterval]) -> f64 {
+    union_of_intervals(intervals).iter().map(|(lo, hi)| hi - lo).sum()
+}
+
+/// The complement of the union of `intervals` on the circle, as non-wrapping
+/// segments on `[0, 2π]`.  These are the *exposed* portions of a disk's
+/// boundary once the covering intervals from its neighbours are removed.
+pub fn complement_on_circle(intervals: &[AngularInterval]) -> Vec<(f64, f64)> {
+    let covered = union_of_intervals(intervals);
+    if covered.is_empty() {
+        return vec![(0.0, TAU)];
+    }
+    let mut gaps = Vec::new();
+    let mut cursor = 0.0;
+    for (lo, hi) in &covered {
+        if *lo > cursor + 1e-12 {
+            gaps.push((cursor, *lo));
+        }
+        cursor = cursor.max(*hi);
+    }
+    if cursor < TAU - 1e-12 {
+        gaps.push((cursor, TAU));
+    }
+    gaps
+}
+
+/// The angular interval of `∂a` that lies inside the closed disk `b`, or
+/// `None` if the boundaries do not overlap that way.
+///
+/// Returns `Some(full circle)` when `b` contains `a` entirely, and `None` when
+/// `b` is disjoint from `∂a` or nested strictly inside `a` (in which case it
+/// covers no part of `a`'s boundary).
+pub fn boundary_covered_by(a: &Ball<2>, b: &Ball<2>) -> Option<AngularInterval> {
+    let d = a.center.dist(&b.center);
+    if d >= a.radius + b.radius {
+        // Disjoint or externally tangent: tangency covers a measure-zero set.
+        return None;
+    }
+    if d + a.radius <= b.radius {
+        // a (and hence its whole boundary) lies inside b.
+        return Some(AngularInterval::full());
+    }
+    if d + b.radius <= a.radius {
+        // b lies strictly inside a and does not reach a's boundary.
+        return None;
+    }
+    // Law of cosines on the triangle (a.center, b.center, intersection point).
+    let cos_half = (d * d + a.radius * a.radius - b.radius * b.radius) / (2.0 * d * a.radius);
+    let half = cos_half.clamp(-1.0, 1.0).acos();
+    if half <= 1e-12 {
+        return None;
+    }
+    let center_angle = a.center.angle_to(&b.center);
+    Some(AngularInterval::centered(center_angle, half))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn normalize_angles() {
+        assert!((normalize_angle(-PI / 2.0) - 3.0 * PI / 2.0).abs() < 1e-12);
+        assert!((normalize_angle(5.0 * PI) - PI).abs() < 1e-12);
+        assert_eq!(normalize_angle(0.0), 0.0);
+    }
+
+    #[test]
+    fn interval_containment_with_wrap() {
+        let iv = AngularInterval::new(3.0 * PI / 2.0, PI); // wraps through 0
+        assert!(iv.contains(0.0));
+        assert!(iv.contains(7.0 * PI / 4.0));
+        assert!(iv.contains(PI / 4.0));
+        assert!(!iv.contains(PI));
+    }
+
+    #[test]
+    fn union_and_complement() {
+        let a = AngularInterval::new(0.0, PI / 2.0);
+        let b = AngularInterval::new(PI / 4.0, PI / 2.0);
+        let c = AngularInterval::new(PI, PI / 4.0);
+        let union = union_of_intervals(&[a, b, c]);
+        assert_eq!(union.len(), 2);
+        assert!((covered_measure(&[a, b, c]) - (3.0 * PI / 4.0 + PI / 4.0)).abs() < 1e-9);
+
+        let gaps = complement_on_circle(&[a, b, c]);
+        let gap_measure: f64 = gaps.iter().map(|(lo, hi)| hi - lo).sum();
+        assert!((gap_measure + covered_measure(&[a, b, c]) - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complement_of_nothing_is_full_circle() {
+        assert_eq!(complement_on_circle(&[]), vec![(0.0, TAU)]);
+    }
+
+    #[test]
+    fn complement_of_full_cover_is_empty() {
+        let full = AngularInterval::full();
+        assert!(complement_on_circle(&[full]).is_empty());
+    }
+
+    #[test]
+    fn boundary_cover_of_equal_disks() {
+        // Two unit disks at distance 1: the covered half-angle is acos(1/2) = π/3.
+        let a = Ball::unit(Point2::xy(0.0, 0.0));
+        let b = Ball::unit(Point2::xy(1.0, 0.0));
+        let iv = boundary_covered_by(&a, &b).unwrap();
+        assert!((iv.width - 2.0 * PI / 3.0).abs() < 1e-9);
+        assert!(iv.contains(0.0));
+        assert!(!iv.contains(PI));
+    }
+
+    #[test]
+    fn boundary_cover_degenerate_cases() {
+        let a = Ball::unit(Point2::xy(0.0, 0.0));
+        let far = Ball::unit(Point2::xy(3.0, 0.0));
+        assert!(boundary_covered_by(&a, &far).is_none());
+        let containing = Ball::new(Point2::xy(0.1, 0.0), 3.0);
+        assert_eq!(boundary_covered_by(&a, &containing), Some(AngularInterval::full()));
+        let inner = Ball::new(Point2::xy(0.0, 0.0), 0.3);
+        assert!(boundary_covered_by(&a, &inner).is_none());
+    }
+
+    #[test]
+    fn covered_interval_matches_pointwise_test() {
+        // Sample the boundary of `a` and verify that membership in disk `b`
+        // agrees with the computed angular interval.
+        let a = Ball::unit(Point2::xy(0.5, -0.25));
+        let b = Ball::new(Point2::xy(1.4, 0.3), 0.8);
+        let iv = boundary_covered_by(&a, &b).unwrap();
+        for k in 0..720 {
+            let theta = k as f64 * TAU / 720.0;
+            let p = a.center.polar_offset(a.radius, theta);
+            let inside = b.center.dist(&p) <= b.radius + 1e-9;
+            let in_interval = iv.contains(theta);
+            // Skip angles extremely close to the interval boundary.
+            let boundary_dist = (b.center.dist(&p) - b.radius).abs();
+            if boundary_dist > 1e-3 {
+                assert_eq!(inside, in_interval, "theta={theta}");
+            }
+        }
+    }
+}

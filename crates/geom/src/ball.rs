@@ -1,0 +1,228 @@
+//! Euclidean `d`-balls, the query range of Theorems 1.1, 1.2, 1.5 and 1.6 and
+//! the dual objects of Section 1.4 (each weighted input point becomes a unit
+//! ball centered at it).
+
+use crate::aabb::Aabb;
+use crate::point::Point;
+
+/// A closed Euclidean ball in `R^D`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ball<const D: usize> {
+    /// Center of the ball.
+    pub center: Point<D>,
+    /// Radius of the ball (non-negative).
+    pub radius: f64,
+}
+
+/// Convenience alias for disks in the plane.
+pub type Disk = Ball<2>;
+
+impl<const D: usize> Ball<D> {
+    /// Creates a ball from its center and radius.
+    ///
+    /// # Panics
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Point<D>, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "ball radius must be finite and non-negative");
+        Self { center, radius }
+    }
+
+    /// A unit-radius ball, the dual object of Section 1.4.
+    pub fn unit(center: Point<D>) -> Self {
+        Self::new(center, 1.0)
+    }
+
+    /// Returns `true` if the closed ball contains `p`.
+    #[inline]
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        // A small relative tolerance keeps boundary points (which the closed
+        // ball must contain) from being dropped to floating-point noise; the
+        // exact sweeps in `mrs-core` rely on this.
+        let r = self.radius * (1.0 + 1e-12) + 1e-12;
+        self.center.dist_sq(p) <= r * r
+    }
+
+    /// Returns `true` if the closed ball contains `p` with an explicit slack.
+    #[inline]
+    pub fn contains_with_tolerance(&self, p: &Point<D>, tol: f64) -> bool {
+        let r = self.radius + tol;
+        self.center.dist_sq(p) <= r * r
+    }
+
+    /// Returns `true` if this ball intersects `other` (closed intersection).
+    #[inline]
+    pub fn intersects_ball(&self, other: &Self) -> bool {
+        let r = self.radius + other.radius;
+        self.center.dist_sq(&other.center) <= r * r * (1.0 + 1e-12)
+    }
+
+    /// Returns `true` if the ball intersects the axis-aligned box `aabb`.
+    pub fn intersects_aabb(&self, aabb: &Aabb<D>) -> bool {
+        // Distance from the center to the box, clamped per dimension.
+        let mut dist_sq = 0.0;
+        for i in 0..D {
+            let c = self.center[i];
+            let lo = aabb.lo[i];
+            let hi = aabb.hi[i];
+            if c < lo {
+                dist_sq += (lo - c) * (lo - c);
+            } else if c > hi {
+                dist_sq += (c - hi) * (c - hi);
+            }
+        }
+        dist_sq <= self.radius * self.radius * (1.0 + 1e-12) + 1e-12
+    }
+
+    /// Returns `true` if the ball fully contains the axis-aligned box `aabb`.
+    pub fn contains_aabb(&self, aabb: &Aabb<D>) -> bool {
+        // The farthest point of the box from the center is a corner; check the
+        // farthest corner coordinate-wise.
+        let mut dist_sq = 0.0;
+        for i in 0..D {
+            let c = self.center[i];
+            let d = (c - aabb.lo[i]).abs().max((c - aabb.hi[i]).abs());
+            dist_sq += d * d;
+        }
+        dist_sq <= self.radius * self.radius * (1.0 + 1e-12)
+    }
+
+    /// The axis-aligned bounding box of the ball.
+    pub fn bounding_box(&self) -> Aabb<D> {
+        let mut lo = self.center;
+        let mut hi = self.center;
+        for i in 0..D {
+            lo[i] -= self.radius;
+            hi[i] += self.radius;
+        }
+        Aabb::new(lo, hi)
+    }
+
+    /// Volume of the ball (Lebesgue measure in `R^D`).
+    pub fn volume(&self) -> f64 {
+        unit_ball_volume(D) * self.radius.powi(D as i32)
+    }
+
+    /// Scales the ball about the origin by `factor` (both center and radius).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self::new(self.center.scale(factor), self.radius * factor)
+    }
+}
+
+impl Ball<2> {
+    /// The two intersection points of this circle's boundary with `other`'s
+    /// boundary, or `None` if the boundaries do not cross (disjoint, nested,
+    /// or identical circles).
+    pub fn boundary_intersections(&self, other: &Self) -> Option<(Point<2>, Point<2>)> {
+        let d = self.center.dist(&other.center);
+        if d < 1e-15 {
+            return None;
+        }
+        let (r0, r1) = (self.radius, other.radius);
+        if d > r0 + r1 || d < (r0 - r1).abs() {
+            return None;
+        }
+        // Classic two-circle intersection: a = distance from self.center to the
+        // chord's midpoint along the center line, h = half chord length.
+        let a = (r0 * r0 - r1 * r1 + d * d) / (2.0 * d);
+        let h_sq = r0 * r0 - a * a;
+        let h = h_sq.max(0.0).sqrt();
+        let ex = (other.center.x() - self.center.x()) / d;
+        let ey = (other.center.y() - self.center.y()) / d;
+        let mx = self.center.x() + a * ex;
+        let my = self.center.y() + a * ey;
+        let p1 = Point::xy(mx + h * ey, my - h * ex);
+        let p2 = Point::xy(mx - h * ey, my + h * ex);
+        Some((p1, p2))
+    }
+}
+
+/// Volume of the unit ball in `R^d`, computed via the gamma function
+/// recurrence `V_d = V_{d-2} * 2π / d` with `V_0 = 1`, `V_1 = 2`.
+pub fn unit_ball_volume(d: usize) -> f64 {
+    match d {
+        0 => 1.0,
+        1 => 2.0,
+        _ => unit_ball_volume(d - 2) * 2.0 * std::f64::consts::PI / d as f64,
+    }
+}
+
+/// Surface area of the unit sphere `S^{d-1}` bounding the unit ball in `R^d`:
+/// `A_d = d * V_d`.
+pub fn unit_sphere_area(d: usize) -> f64 {
+    d as f64 * unit_ball_volume(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let b = Ball::unit(Point::xy(0.0, 0.0));
+        assert!(b.contains(&Point::xy(0.5, 0.5)));
+        assert!(b.contains(&Point::xy(1.0, 0.0)));
+        assert!(!b.contains(&Point::xy(1.0, 0.1)));
+    }
+
+    #[test]
+    fn ball_ball_intersection() {
+        let a = Ball::unit(Point::xy(0.0, 0.0));
+        let b = Ball::unit(Point::xy(1.5, 0.0));
+        let c = Ball::unit(Point::xy(2.5, 0.0));
+        assert!(a.intersects_ball(&b));
+        assert!(!a.intersects_ball(&c));
+        // Tangent balls intersect (closed sets).
+        let t = Ball::unit(Point::xy(2.0, 0.0));
+        assert!(a.intersects_ball(&t));
+    }
+
+    #[test]
+    fn ball_aabb_intersection() {
+        let b = Ball::new(Point::xy(0.0, 0.0), 1.0);
+        let inside = Aabb::new(Point::xy(-0.1, -0.1), Point::xy(0.1, 0.1));
+        let overlapping = Aabb::new(Point::xy(0.9, -0.5), Point::xy(2.0, 0.5));
+        let outside = Aabb::new(Point::xy(2.0, 2.0), Point::xy(3.0, 3.0));
+        // Corner-near box: closest point of the box is at distance > 1.
+        let corner = Aabb::new(Point::xy(0.8, 0.8), Point::xy(2.0, 2.0));
+        assert!(b.intersects_aabb(&inside));
+        assert!(b.intersects_aabb(&overlapping));
+        assert!(!b.intersects_aabb(&outside));
+        assert!(!b.intersects_aabb(&corner));
+        assert!(b.contains_aabb(&inside));
+        assert!(!b.contains_aabb(&overlapping));
+    }
+
+    #[test]
+    fn unit_volumes_match_closed_forms() {
+        assert!((unit_ball_volume(2) - PI).abs() < 1e-12);
+        assert!((unit_ball_volume(3) - 4.0 * PI / 3.0).abs() < 1e-12);
+        assert!((unit_sphere_area(2) - 2.0 * PI).abs() < 1e-12);
+        assert!((unit_sphere_area(3) - 4.0 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circle_intersections() {
+        let a = Ball::unit(Point::xy(0.0, 0.0));
+        let b = Ball::unit(Point::xy(1.0, 0.0));
+        let (p, q) = a.boundary_intersections(&b).unwrap();
+        for pt in [p, q] {
+            assert!((a.center.dist(&pt) - 1.0).abs() < 1e-9);
+            assert!((b.center.dist(&pt) - 1.0).abs() < 1e-9);
+        }
+        // Disjoint circles have no boundary intersection.
+        let far = Ball::unit(Point::xy(5.0, 0.0));
+        assert!(a.boundary_intersections(&far).is_none());
+        // Concentric circles have none either.
+        let nested = Ball::new(Point::xy(0.0, 0.0), 0.3);
+        assert!(a.boundary_intersections(&nested).is_none());
+    }
+
+    #[test]
+    fn bounding_box_encloses_ball() {
+        let b = Ball::new(Point::new([1.0, -2.0, 0.5]), 2.0);
+        let bb = b.bounding_box();
+        assert_eq!(bb.lo, Point::new([-1.0, -4.0, -1.5]));
+        assert_eq!(bb.hi, Point::new([3.0, 0.0, 2.5]));
+    }
+}

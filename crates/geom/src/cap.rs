@@ -1,0 +1,175 @@
+//! Spherical-cap surface areas, used to validate the volume argument of
+//! Lemma 3.2: if the boundary of a unit ball passes within distance `ε²` of
+//! the center of a ball `C` of radius `ε`, then the unit ball covers at least
+//! a `1/2 − Θ(ε)` fraction of `∂C`'s surface measure.
+
+use crate::ball::Ball;
+use crate::point::Point;
+use crate::sphere::sample_unit_sphere;
+use rand::Rng;
+
+/// The incomplete integral `G_d(x) = ∫_0^x (1 - t²)^{(d-1)/2} dt` from the
+/// hyperspherical-cap area formula ([Chu86]); evaluated with composite
+/// Simpson quadrature.
+pub fn g_integral(d: usize, x: f64) -> f64 {
+    let x = x.clamp(0.0, 1.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    // Substitute t = sin(u): the integral becomes ∫_0^{arcsin x} cos(u)^d du,
+    // whose integrand is smooth even for d = 0 (where the original form has an
+    // inverse-square-root singularity at t = 1).
+    let upper = x.asin();
+    let f = |u: f64| u.cos().powi(d as i32);
+    let panels = 4096;
+    let h = upper / panels as f64;
+    let mut acc = f(0.0) + f(upper);
+    for i in 1..panels {
+        let u = i as f64 * h;
+        acc += if i % 2 == 0 { 2.0 * f(u) } else { 4.0 * f(u) };
+    }
+    acc * h / 3.0
+}
+
+/// Fraction of the surface measure of the unit sphere `S^{d-1} ⊂ R^d` lying in
+/// the cap `{x : x_d ≥ q}` for `q ∈ [-1, 1]`.
+///
+/// For `d = 2` this is `arccos(q)/π`; for `d = 3` it is `(1 - q)/2`; in general
+/// it follows the estimate of [Chu86]/[Wik] used in the proof of Lemma 3.2:
+/// `1/2 − G_{d-2}(q) / (2 G_{d-2}(1))` for `q ≥ 0` (and symmetric for `q < 0`).
+pub fn cap_fraction(d: usize, q: f64) -> f64 {
+    assert!(d >= 2, "cap_fraction requires dimension at least 2");
+    let q = q.clamp(-1.0, 1.0);
+    if q < 0.0 {
+        return 1.0 - cap_fraction(d, -q);
+    }
+    0.5 - g_integral(d - 2, q) / (2.0 * g_integral(d - 2, 1.0))
+}
+
+/// The threshold height `b` of Lemma 3.2: for a unit ball whose boundary
+/// passes through a point at distance `ε²` from the center of a radius-`ε`
+/// ball `C` (tangency configuration of Figure 2), the covered part of `∂C` is
+/// the cap `{x ∈ ∂C : x_d ≥ b}` with `b = (3ε² + ε⁴) / (2 + 2ε²)`.
+pub fn lemma32_cap_height(eps: f64) -> f64 {
+    (3.0 * eps * eps + eps.powi(4)) / (2.0 + 2.0 * eps * eps)
+}
+
+/// The exact fraction of `∂C`'s surface measure covered by the unit ball in
+/// the configuration of Lemma 3.2, as a function of the dimension and `ε`.
+/// Lemma 3.2 asserts this is at least `1/2 − Θ(ε)`.
+pub fn lemma32_covered_fraction(d: usize, eps: f64) -> f64 {
+    let b = lemma32_cap_height(eps);
+    cap_fraction(d, b / eps)
+}
+
+/// Monte-Carlo estimate of the fraction of `∂C` covered by `cover`, using
+/// `samples` uniform points on `∂C`.  Used to cross-check the closed form and
+/// by the E9 experiment.
+pub fn monte_carlo_covered_fraction<const D: usize, R: Rng + ?Sized>(
+    c: &Ball<D>,
+    cover: &Ball<D>,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(samples > 0);
+    let mut hit = 0usize;
+    for _ in 0..samples {
+        let dir = sample_unit_sphere::<D, R>(rng);
+        let p = c.center.add_point(&dir.scale(c.radius));
+        if cover.contains(&p) {
+            hit += 1;
+        }
+    }
+    hit as f64 / samples as f64
+}
+
+/// Builds the exact geometric configuration of Lemma 3.2 / Figure 2(a) in
+/// `R^D`: returns `(C, B)` where `C` is the radius-`ε` ball at the origin and
+/// `B` is the unit ball centered at `(0, …, 0, 1 + ε²)`, whose boundary passes
+/// through the point at distance `ε²` below its center line.
+pub fn lemma32_configuration<const D: usize>(eps: f64) -> (Ball<D>, Ball<D>) {
+    let c = Ball::new(Point::origin(), eps);
+    let mut b_center = Point::<D>::origin();
+    b_center[D - 1] = 1.0 + eps * eps;
+    let b = Ball::unit(b_center);
+    (c, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn g_integral_known_values() {
+        // G_0(x) = arcsin(x); G_1(x) = x; G_2(x) = (x sqrt(1-x²) + arcsin x)/2.
+        assert!((g_integral(0, 1.0) - PI / 2.0).abs() < 1e-6);
+        assert!((g_integral(0, 0.5) - 0.5f64.asin()).abs() < 1e-6);
+        assert!((g_integral(1, 0.7) - 0.7).abs() < 1e-9);
+        let x: f64 = 0.3;
+        let expected = (x * (1.0 - x * x).sqrt() + x.asin()) / 2.0;
+        assert!((g_integral(2, x) - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cap_fraction_closed_forms() {
+        for q in [0.0, 0.1, 0.4, 0.9] {
+            let circle = cap_fraction(2, q);
+            assert!((circle - q.acos() / PI).abs() < 1e-6, "d=2 q={q}");
+            let sphere = cap_fraction(3, q);
+            assert!((sphere - (1.0 - q) / 2.0).abs() < 1e-6, "d=3 q={q}");
+        }
+        // Hemisphere and degenerate caps.
+        assert!((cap_fraction(5, 0.0) - 0.5).abs() < 1e-9);
+        assert!(cap_fraction(4, 1.0).abs() < 1e-9);
+        assert!((cap_fraction(4, -1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma32_height_bounds() {
+        // The paper notes ε² ≤ b ≤ 2ε² for all ε ∈ (0,1).
+        for eps in [0.05, 0.1, 0.25, 0.5, 0.9] {
+            let b = lemma32_cap_height(eps);
+            assert!(b >= eps * eps - 1e-12, "eps={eps} b={b}");
+            assert!(b <= 2.0 * eps * eps + 1e-12, "eps={eps} b={b}");
+        }
+    }
+
+    #[test]
+    fn lemma32_fraction_is_at_least_half_minus_theta_eps() {
+        // Lemma 3.2: covered fraction ≥ 1/2 − Θ(ε).  With the explicit d=2
+        // bound from the paper (1/π · arccos(2ε) ≥ 1/2 − 2ε) a factor of 2.5
+        // comfortably covers every dimension we exercise.
+        for d in 2..=6usize {
+            for eps in [0.02, 0.05, 0.1, 0.2, 0.3] {
+                let frac = lemma32_covered_fraction(d, eps);
+                assert!(
+                    frac >= 0.5 - 2.5 * eps,
+                    "d={d} eps={eps} fraction={frac}"
+                );
+                assert!(frac <= 0.5 + 1e-9, "cover cannot exceed half: d={d} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_monte_carlo_2d() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let eps = 0.2;
+        let (c, b) = lemma32_configuration::<2>(eps);
+        let mc = monte_carlo_covered_fraction(&c, &b, 40_000, &mut rng);
+        let exact = lemma32_covered_fraction(2, eps);
+        assert!((mc - exact).abs() < 0.02, "mc={mc} exact={exact}");
+    }
+
+    #[test]
+    fn closed_form_matches_monte_carlo_4d() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let eps = 0.25;
+        let (c, b) = lemma32_configuration::<4>(eps);
+        let mc = monte_carlo_covered_fraction(&c, &b, 40_000, &mut rng);
+        let exact = lemma32_covered_fraction(4, eps);
+        assert!((mc - exact).abs() < 0.02, "mc={mc} exact={exact}");
+    }
+}

@@ -1,0 +1,144 @@
+//! A Fenwick (binary indexed) tree over `f64` prefix sums.
+//!
+//! Used by the batched 1-D solvers and by workload statistics: point-update /
+//! prefix-sum in `O(log n)` with a flat memory layout.
+
+/// Fenwick tree over `len` positions holding `f64` values.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    tree: Vec<f64>,
+}
+
+impl Fenwick {
+    /// Creates a tree of `len` zeroed positions.
+    pub fn new(len: usize) -> Self {
+        Self { tree: vec![0.0; len + 1] }
+    }
+
+    /// Builds a tree from initial values in `O(n)`.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut tree = vec![0.0; values.len() + 1];
+        for (i, &v) in values.iter().enumerate() {
+            let idx = i + 1;
+            tree[idx] += v;
+            let parent = idx + (idx & idx.wrapping_neg());
+            if parent < tree.len() {
+                let val = tree[idx];
+                tree[parent] += val;
+            }
+        }
+        Self { tree }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Returns `true` if the tree has zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` to position `index`.
+    pub fn add(&mut self, index: usize, delta: f64) {
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=index`.
+    pub fn prefix_sum(&self, index: usize) -> f64 {
+        let mut i = (index + 1).min(self.tree.len() - 1);
+        let mut acc = 0.0;
+        while i > 0 {
+            acc += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        acc
+    }
+
+    /// Sum of positions `lo..=hi` (empty if `lo > hi`).
+    pub fn range_sum(&self, lo: usize, hi: usize) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        let upper = self.prefix_sum(hi);
+        if lo == 0 {
+            upper
+        } else {
+            upper - self.prefix_sum(lo - 1)
+        }
+    }
+
+    /// Total sum of all positions.
+    pub fn total(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.prefix_sum(self.len() - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn prefix_and_range_sums() {
+        let mut f = Fenwick::new(6);
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].iter().enumerate() {
+            f.add(i, *v);
+        }
+        assert_eq!(f.prefix_sum(0), 1.0);
+        assert_eq!(f.prefix_sum(5), 21.0);
+        assert_eq!(f.range_sum(2, 4), 12.0);
+        assert_eq!(f.range_sum(3, 2), 0.0);
+        assert_eq!(f.total(), 21.0);
+    }
+
+    #[test]
+    fn from_values_matches_incremental() {
+        let values = vec![0.5, -1.0, 2.25, 3.0, -0.75];
+        let built = Fenwick::from_values(&values);
+        let mut inc = Fenwick::new(values.len());
+        for (i, v) in values.iter().enumerate() {
+            inc.add(i, *v);
+        }
+        for i in 0..values.len() {
+            assert!((built.prefix_sum(i) - inc.prefix_sum(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let len = 100;
+        let mut f = Fenwick::new(len);
+        let mut naive = vec![0.0f64; len];
+        for _ in 0..500 {
+            if rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..len);
+                let delta = rng.gen_range(-3.0..3.0);
+                f.add(i, delta);
+                naive[i] += delta;
+            } else {
+                let lo = rng.gen_range(0..len);
+                let hi = rng.gen_range(lo..len);
+                let want: f64 = naive[lo..=hi].iter().sum();
+                assert!((f.range_sum(lo, hi) - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! A hash-grid spatial index for neighbour queries over point sets.
+//!
+//! The exact colored-disk algorithms of Section 4 repeatedly ask "which unit
+//! disks can contain this point?" — exactly the disks whose centers lie within
+//! distance 1 — and "which unit disks can overlap this one?" — centers within
+//! distance 2.  Bucketing the centers into a uniform grid answers both in time
+//! proportional to the local density, which is what makes the overall
+//! algorithm output-sensitive in practice.
+
+use std::collections::HashMap;
+
+use crate::grid::{CellCoord, Grid};
+use crate::point::Point;
+
+/// A uniform-grid index over a set of points identified by `usize` ids.
+#[derive(Clone, Debug)]
+pub struct HashGrid<const D: usize> {
+    grid: Grid<D>,
+    buckets: HashMap<CellCoord<D>, Vec<usize>>,
+    points: Vec<Point<D>>,
+    len: usize,
+}
+
+impl<const D: usize> HashGrid<D> {
+    /// Creates an empty index with the given cell side.
+    pub fn new(cell_side: f64) -> Self {
+        Self {
+            grid: Grid::at_origin(cell_side),
+            buckets: HashMap::new(),
+            points: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Builds an index over `points`, using their slice positions as ids.
+    pub fn build(cell_side: f64, points: &[Point<D>]) -> Self {
+        let mut index = Self::new(cell_side);
+        for (id, p) in points.iter().enumerate() {
+            index.insert(id, *p);
+        }
+        index
+    }
+
+    /// Number of live points in the index.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts point `p` under identifier `id`.  Ids beyond the current
+    /// capacity grow the internal table; re-inserting an existing id replaces
+    /// its location.
+    pub fn insert(&mut self, id: usize, p: Point<D>) {
+        if id >= self.points.len() {
+            self.points.resize(id + 1, Point::origin());
+        } else if self.contains_id(id) {
+            self.remove(id);
+        }
+        self.points[id] = p;
+        self.buckets.entry(self.grid.cell_of(&p)).or_default().push(id);
+        self.len += 1;
+    }
+
+    /// Removes the point with identifier `id`.  Returns `true` if it was
+    /// present.
+    pub fn remove(&mut self, id: usize) -> bool {
+        if id >= self.points.len() {
+            return false;
+        }
+        let cell = self.grid.cell_of(&self.points[id]);
+        if let Some(bucket) = self.buckets.get_mut(&cell) {
+            if let Some(pos) = bucket.iter().position(|&x| x == id) {
+                bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    self.buckets.remove(&cell);
+                }
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if `id` is currently stored.
+    pub fn contains_id(&self, id: usize) -> bool {
+        if id >= self.points.len() {
+            return false;
+        }
+        let cell = self.grid.cell_of(&self.points[id]);
+        self.buckets.get(&cell).map_or(false, |b| b.contains(&id))
+    }
+
+    /// Location stored for `id` (meaningful only if [`contains_id`] is true).
+    pub fn point(&self, id: usize) -> Point<D> {
+        self.points[id]
+    }
+
+    /// Ids of every stored point within Euclidean distance `radius` of `q`
+    /// (closed ball query).
+    pub fn within(&self, q: &Point<D>, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(q, radius, |id| out.push(id));
+        out
+    }
+
+    /// Calls `f` for every stored id within distance `radius` of `q`.
+    pub fn for_each_within<F: FnMut(usize)>(&self, q: &Point<D>, radius: f64, mut f: F) {
+        let r_sq = {
+            let r = radius * (1.0 + 1e-12) + 1e-12;
+            r * r
+        };
+        let reach = (radius / self.grid.side).ceil() as i64;
+        let center = self.grid.cell_of(q);
+        let mut cursor = [0i64; D];
+        let mut offsets = [-reach; D];
+        loop {
+            for i in 0..D {
+                cursor[i] = center[i] + offsets[i];
+            }
+            if let Some(bucket) = self.buckets.get(&cursor) {
+                for &id in bucket {
+                    if self.points[id].dist_sq(q) <= r_sq {
+                        f(id);
+                    }
+                }
+            }
+            // Odometer increment of `offsets` over [-reach, reach]^D.
+            let mut axis = 0;
+            loop {
+                if axis == D {
+                    return;
+                }
+                offsets[axis] += 1;
+                if offsets[axis] <= reach {
+                    break;
+                }
+                offsets[axis] = -reach;
+                axis += 1;
+            }
+        }
+    }
+
+    /// Number of stored points within distance `radius` of `q`.
+    pub fn count_within(&self, q: &Point<D>, radius: f64) -> usize {
+        let mut count = 0;
+        self.for_each_within(q, radius, |_| count += 1);
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+    use rand::prelude::*;
+
+    fn brute_within(points: &[Point2], q: &Point2, r: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(q) <= r + 1e-9)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points: Vec<Point2> = (0..500)
+            .map(|_| Point2::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let index = HashGrid::build(1.0, &points);
+        for _ in 0..50 {
+            let q = Point2::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0));
+            let r = rng.gen_range(0.1..3.0);
+            let mut got = index.within(&q, r);
+            let mut want = brute_within(&points, &q, r);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "query at {q:?} radius {r}");
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut index = HashGrid::<2>::new(1.0);
+        index.insert(0, Point2::xy(0.0, 0.0));
+        index.insert(1, Point2::xy(0.5, 0.5));
+        index.insert(2, Point2::xy(5.0, 5.0));
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.count_within(&Point2::xy(0.0, 0.0), 1.0), 2);
+        assert!(index.remove(1));
+        assert!(!index.remove(1));
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.count_within(&Point2::xy(0.0, 0.0), 1.0), 1);
+        // Re-insert with a new location replaces the old one.
+        index.insert(0, Point2::xy(5.0, 5.0));
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.count_within(&Point2::xy(5.0, 5.0), 0.1), 2);
+    }
+
+    #[test]
+    fn works_in_three_dimensions() {
+        let pts = vec![
+            Point::new([0.0, 0.0, 0.0]),
+            Point::new([0.5, 0.5, 0.5]),
+            Point::new([3.0, 3.0, 3.0]),
+        ];
+        let index = HashGrid::build(1.0, &pts);
+        assert_eq!(index.within(&Point::new([0.1, 0.1, 0.1]), 1.0).len(), 2);
+        assert_eq!(index.within(&Point::new([3.0, 3.0, 3.0]), 0.5).len(), 1);
+    }
+
+    #[test]
+    fn empty_index_queries() {
+        let index = HashGrid::<2>::new(1.0);
+        assert!(index.is_empty());
+        assert!(index.within(&Point2::xy(0.0, 0.0), 10.0).is_empty());
+    }
+}

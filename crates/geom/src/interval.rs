@@ -1,0 +1,98 @@
+//! Closed intervals on the real line, the query range of the batched MaxRS
+//! problem in `R^1` (Section 5) and of the smallest-k-enclosing-interval
+//! problem (Section 6).
+
+/// A closed interval `[lo, hi]` on the real line.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Left endpoint.
+    pub lo: f64,
+    /// Right endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "interval endpoints out of order: [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The interval of length `len` whose left endpoint is `lo`.
+    pub fn from_start(lo: f64, len: f64) -> Self {
+        Self::new(lo, lo + len)
+    }
+
+    /// Length of the interval.
+    pub fn length(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the interval.
+    pub fn center(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    /// Returns `true` if the closed interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo - 1e-12 && x <= self.hi + 1e-12
+    }
+
+    /// Returns `true` if the closed intervals overlap.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Translates the interval by `offset`.
+    pub fn translated(&self, offset: f64) -> Self {
+        Self::new(self.lo + offset, self.hi + offset)
+    }
+}
+
+/// Sum of the weights of the points of `(xs, weights)` covered by `interval`.
+/// A brute-force helper used as a test oracle by the 1-D solvers.
+pub fn covered_weight(xs: &[f64], weights: &[f64], interval: &Interval) -> f64 {
+    xs.iter()
+        .zip(weights)
+        .filter(|(x, _)| interval.contains(**x))
+        .map(|(_, w)| *w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let iv = Interval::new(1.0, 3.5);
+        assert_eq!(iv.length(), 2.5);
+        assert_eq!(iv.center(), 2.25);
+        assert!(iv.contains(1.0));
+        assert!(iv.contains(3.5));
+        assert!(!iv.contains(3.6));
+        assert_eq!(Interval::from_start(2.0, 1.0), Interval::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn intersection_and_translation() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(2.0, 4.0);
+        let c = Interval::new(5.0, 6.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.translated(5.0), Interval::new(5.0, 7.0));
+    }
+
+    #[test]
+    fn covered_weight_counts_boundaries() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0];
+        let ws = vec![1.0, 2.0, 4.0, 8.0];
+        assert_eq!(covered_weight(&xs, &ws, &Interval::new(1.0, 2.0)), 6.0);
+        assert_eq!(covered_weight(&xs, &ws, &Interval::new(-1.0, 10.0)), 15.0);
+        assert_eq!(covered_weight(&xs, &ws, &Interval::new(4.0, 5.0)), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # mrs-geom — geometric substrate for the MaxRS suite
+//!
+//! This crate provides every geometric and data-structure primitive the
+//! MaxRS algorithms of the bouquet paper (PODS 2025) are built on:
+//!
+//! * [`point`], [`ball`], [`aabb`], [`interval`] — points, Euclidean balls,
+//!   axis-aligned boxes and real intervals in small constant dimension;
+//! * [`grid`] — uniform grids and the shifted-grid family of Lemma 2.1;
+//! * [`hashgrid`] — a hash-grid neighbour index for unit-disk locality queries;
+//! * [`sphere`] — uniform sampling on sphere boundaries (Muller's method),
+//!   the primitive of the paper's first technique;
+//! * [`cap`] — hyperspherical-cap areas validating the volume argument of
+//!   Lemma 3.2;
+//! * [`arcs`], [`union_disks`] — angular-interval arithmetic and boundaries of
+//!   unions of disks, the substrate of the paper's second technique;
+//! * [`segtree`], [`fenwick`] — sweep-line data structures used by the exact
+//!   baselines.
+//!
+//! Everything is implemented from scratch on top of `std` and `rand`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aabb;
+pub mod arcs;
+pub mod ball;
+pub mod cap;
+pub mod fenwick;
+pub mod grid;
+pub mod hashgrid;
+pub mod interval;
+pub mod point;
+pub mod segtree;
+pub mod sphere;
+pub mod union_disks;
+
+pub use aabb::{bounding_box, Aabb, Rect};
+pub use arcs::{AngularInterval, TAU};
+pub use ball::{Ball, Disk};
+pub use grid::{CellCoord, Grid, ShiftedGrids};
+pub use hashgrid::HashGrid;
+pub use interval::Interval;
+pub use point::{ColoredSite, Point, Point2, WeightedPoint};
+pub use segtree::MaxSegmentTree;
+pub use union_disks::{union_boundary_arcs, ExposedArc};

@@ -1,0 +1,400 @@
+//! Points in `R^d` with a compile-time dimension, plus the weighted and
+//! colored point records used throughout the MaxRS suite.
+//!
+//! The paper treats the dimension `d` as a small constant (2–8).  We encode it
+//! as a const generic so the hot loops (distance computations, grid cell
+//! lookups) compile down to fixed-length arithmetic without heap traffic.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A point in `R^D`.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+/// Convenience alias for the planar case, which most of the exact algorithms
+/// (rectangle sweep, disk sweep, colored disk union) operate in.
+pub type Point2 = Point<2>;
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinate array.
+    pub const fn new(coords: [f64; D]) -> Self {
+        Self { coords }
+    }
+
+    /// The origin of `R^D`.
+    pub const fn origin() -> Self {
+        Self { coords: [0.0; D] }
+    }
+
+    /// Returns the coordinate array.
+    pub const fn coords(&self) -> [f64; D] {
+        self.coords
+    }
+
+    /// Returns a mutable reference to the coordinate array.
+    pub fn coords_mut(&mut self) -> &mut [f64; D] {
+        &mut self.coords
+    }
+
+    /// The compile-time dimension.
+    pub const fn dim(&self) -> usize {
+        D
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.coords[i] - other.coords[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Self) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.coords.iter().map(|c| c * c).sum()
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Component-wise addition.
+    #[inline]
+    pub fn add_point(&self, other: &Self) -> Self {
+        let mut coords = self.coords;
+        for i in 0..D {
+            coords[i] += other.coords[i];
+        }
+        Self { coords }
+    }
+
+    /// Component-wise subtraction.
+    #[inline]
+    pub fn sub_point(&self, other: &Self) -> Self {
+        let mut coords = self.coords;
+        for i in 0..D {
+            coords[i] -= other.coords[i];
+        }
+        Self { coords }
+    }
+
+    /// Scales every coordinate by `factor`.
+    #[inline]
+    pub fn scale(&self, factor: f64) -> Self {
+        let mut coords = self.coords;
+        for c in &mut coords {
+            *c *= factor;
+        }
+        Self { coords }
+    }
+
+    /// Translates the point by `offset` in dimension `axis`.
+    #[inline]
+    pub fn translated(&self, axis: usize, offset: f64) -> Self {
+        let mut coords = self.coords;
+        coords[axis] += offset;
+        Self { coords }
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(&self, other: &Self, t: f64) -> Self {
+        let mut coords = self.coords;
+        for i in 0..D {
+            coords[i] += t * (other.coords[i] - self.coords[i]);
+        }
+        Self { coords }
+    }
+
+    /// Dot product with `other` interpreted as a vector from the origin.
+    pub fn dot(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            acc += self.coords[i] * other.coords[i];
+        }
+        acc
+    }
+
+    /// Returns `true` if every coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.coords.iter().all(|c| c.is_finite())
+    }
+
+    /// Returns the point whose coordinates are the component-wise minimum.
+    pub fn component_min(&self, other: &Self) -> Self {
+        let mut coords = self.coords;
+        for i in 0..D {
+            coords[i] = coords[i].min(other.coords[i]);
+        }
+        Self { coords }
+    }
+
+    /// Returns the point whose coordinates are the component-wise maximum.
+    pub fn component_max(&self, other: &Self) -> Self {
+        let mut coords = self.coords;
+        for i in 0..D {
+            coords[i] = coords[i].max(other.coords[i]);
+        }
+        Self { coords }
+    }
+}
+
+impl Point<2> {
+    /// Shorthand constructor for the planar case.
+    pub const fn xy(x: f64, y: f64) -> Self {
+        Self::new([x, y])
+    }
+
+    /// The x coordinate.
+    pub const fn x(&self) -> f64 {
+        self.coords[0]
+    }
+
+    /// The y coordinate.
+    pub const fn y(&self) -> f64 {
+        self.coords[1]
+    }
+
+    /// The polar angle of the vector `other - self`, in `(-π, π]`.
+    pub fn angle_to(&self, other: &Self) -> f64 {
+        (other.y() - self.y()).atan2(other.x() - self.x())
+    }
+
+    /// The point at distance `r` and angle `theta` from `self`.
+    pub fn polar_offset(&self, r: f64, theta: f64) -> Self {
+        Self::xy(self.x() + r * theta.cos(), self.y() + r * theta.sin())
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.coords[index]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    fn index_mut(&mut self, index: usize) -> &mut f64 {
+        &mut self.coords[index]
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        self.add_point(&rhs)
+    }
+}
+
+impl<const D: usize> Sub for Point<D> {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        self.sub_point(&rhs)
+    }
+}
+
+impl<const D: usize> Mul<f64> for Point<D> {
+    type Output = Self;
+
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.coords)
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Self::new(coords)
+    }
+}
+
+/// A point together with a real-valued weight, the input record of the
+/// (weighted) MaxRS problem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightedPoint<const D: usize> {
+    /// Location of the point.
+    pub point: Point<D>,
+    /// Weight contributed when the query range covers the point.
+    pub weight: f64,
+}
+
+impl<const D: usize> WeightedPoint<D> {
+    /// Creates a weighted point.
+    pub const fn new(point: Point<D>, weight: f64) -> Self {
+        Self { point, weight }
+    }
+
+    /// A unit-weight point, the record of the unweighted MaxRS problem.
+    pub const fn unit(point: Point<D>) -> Self {
+        Self { point, weight: 1.0 }
+    }
+}
+
+/// A point together with a color class, the input record of the colored
+/// MaxRS problem (Section 1.3 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ColoredPoint<const D: usize>
+where
+    Point<D>: PartialEq,
+{
+    /// Index of the point in the original input (used to keep results stable).
+    pub id: usize,
+    /// Color class in `0..m`.
+    pub color: usize,
+}
+
+/// A colored site: location plus color class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColoredSite<const D: usize> {
+    /// Location of the site.
+    pub point: Point<D>,
+    /// Color class in `0..m`.
+    pub color: usize,
+}
+
+impl<const D: usize> ColoredSite<D> {
+    /// Creates a colored site.
+    pub const fn new(point: Point<D>, color: usize) -> Self {
+        Self { point, color }
+    }
+}
+
+/// Returns the centroid of a non-empty slice of points.
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn centroid<const D: usize>(points: &[Point<D>]) -> Point<D> {
+    assert!(!points.is_empty(), "centroid of an empty point set");
+    let mut acc = Point::<D>::origin();
+    for p in points {
+        acc = acc.add_point(p);
+    }
+    acc.scale(1.0 / points.len() as f64)
+}
+
+/// Returns the axis-aligned bounding interval of the points along `axis`.
+pub fn extent<const D: usize>(points: &[Point<D>], axis: usize) -> Option<(f64, f64)> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for p in points {
+        lo = lo.min(p[axis]);
+        hi = hi.max(p[axis]);
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new([1.0, 2.0, 3.0]);
+        let b = Point::new([4.0, 6.0, 3.0]);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+        assert!((b.dist(&a) - 5.0).abs() < 1e-12);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Point::xy(1.0, 2.0);
+        let b = Point::xy(3.0, -1.0);
+        assert_eq!(a + b, Point::xy(4.0, 1.0));
+        assert_eq!(b - a, Point::xy(2.0, -3.0));
+        assert_eq!(a * 2.0, Point::xy(2.0, 4.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::xy(0.0, 0.0);
+        let b = Point::xy(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::xy(1.0, 2.0));
+    }
+
+    #[test]
+    fn polar_offset_matches_angle() {
+        let c = Point::xy(1.0, 1.0);
+        let p = c.polar_offset(2.0, std::f64::consts::FRAC_PI_2);
+        assert!((p.x() - 1.0).abs() < 1e-12);
+        assert!((p.y() - 3.0).abs() < 1e-12);
+        assert!((c.angle_to(&p) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(2.0, 0.0),
+            Point::xy(2.0, 2.0),
+            Point::xy(0.0, 2.0),
+        ];
+        assert_eq!(centroid(&pts), Point::xy(1.0, 1.0));
+    }
+
+    #[test]
+    fn extent_bounds() {
+        let pts = vec![Point::xy(1.0, -5.0), Point::xy(-2.0, 7.0), Point::xy(4.0, 0.0)];
+        assert_eq!(extent(&pts, 0), Some((-2.0, 4.0)));
+        assert_eq!(extent(&pts, 1), Some((-5.0, 7.0)));
+        let empty: Vec<Point2> = vec![];
+        assert_eq!(extent(&empty, 0), None);
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Point::new([1.0, 5.0, -2.0]);
+        let b = Point::new([0.0, 7.0, -1.0]);
+        assert_eq!(a.component_min(&b), Point::new([0.0, 5.0, -2.0]));
+        assert_eq!(a.component_max(&b), Point::new([1.0, 7.0, -1.0]));
+    }
+
+    #[test]
+    fn index_access() {
+        let mut p = Point::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p[2], 3.0);
+        p[2] = 9.0;
+        assert_eq!(p[2], 9.0);
+    }
+
+    #[test]
+    fn weighted_and_colored_records() {
+        let w = WeightedPoint::unit(Point::xy(1.0, 1.0));
+        assert_eq!(w.weight, 1.0);
+        let c = ColoredSite::new(Point::xy(0.0, 0.0), 3);
+        assert_eq!(c.color, 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! A lazy segment tree supporting range-add and range-maximum queries.
+//!
+//! This is the sweep-line workhorse behind the exact `O(n log n)` rectangle
+//! MaxRS baseline ([IA83]/[NB95]): points become x-intervals that are added to
+//! and removed from the tree as a horizontal line sweeps the plane, and the
+//! global maximum tracks the best placement seen so far.
+
+/// Lazy segment tree over `len` positions (indices `0..len`), supporting
+/// `add(range, delta)` and `max(range)` in `O(log len)`.
+#[derive(Clone, Debug)]
+pub struct MaxSegmentTree {
+    len: usize,
+    max: Vec<f64>,
+    lazy: Vec<f64>,
+}
+
+impl MaxSegmentTree {
+    /// Creates a tree over `len` positions, all initialized to `0.0`.
+    pub fn new(len: usize) -> Self {
+        let size = len.max(1).next_power_of_two() * 2;
+        Self { len: len.max(1), max: vec![0.0; size], lazy: vec![0.0; size] }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree has no positions (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `delta` to every position in `lo..=hi` (inclusive, clamped).
+    pub fn add(&mut self, lo: usize, hi: usize, delta: f64) {
+        if lo > hi || lo >= self.len {
+            return;
+        }
+        let hi = hi.min(self.len - 1);
+        self.add_rec(1, 0, self.len - 1, lo, hi, delta);
+    }
+
+    /// Maximum value over every position in `lo..=hi` (inclusive, clamped).
+    /// Returns `f64::NEG_INFINITY` for an empty range.
+    pub fn max(&self, lo: usize, hi: usize) -> f64 {
+        if lo > hi || lo >= self.len {
+            return f64::NEG_INFINITY;
+        }
+        let hi = hi.min(self.len - 1);
+        self.max_rec(1, 0, self.len - 1, lo, hi)
+    }
+
+    /// Maximum value over the whole tree.
+    pub fn global_max(&self) -> f64 {
+        self.max[1] + self.lazy[1]
+    }
+
+    /// Index of one position attaining the global maximum.
+    pub fn argmax(&self) -> usize {
+        let mut node = 1;
+        let mut node_lo = 0;
+        let mut node_hi = self.len - 1;
+        while node_lo < node_hi {
+            let mid = (node_lo + node_hi) / 2;
+            let left = node * 2;
+            let right = node * 2 + 1;
+            let left_val = self.max[left] + self.lazy[left];
+            let right_val = self.max[right] + self.lazy[right];
+            if left_val >= right_val {
+                node = left;
+                node_hi = mid;
+            } else {
+                node = right;
+                node_lo = mid + 1;
+            }
+        }
+        node_lo
+    }
+
+    fn add_rec(&mut self, node: usize, node_lo: usize, node_hi: usize, lo: usize, hi: usize, delta: f64) {
+        if hi < node_lo || node_hi < lo {
+            return;
+        }
+        if lo <= node_lo && node_hi <= hi {
+            self.lazy[node] += delta;
+            return;
+        }
+        let mid = (node_lo + node_hi) / 2;
+        self.add_rec(node * 2, node_lo, mid, lo, hi, delta);
+        self.add_rec(node * 2 + 1, mid + 1, node_hi, lo, hi, delta);
+        let left = self.max[node * 2] + self.lazy[node * 2];
+        let right = self.max[node * 2 + 1] + self.lazy[node * 2 + 1];
+        self.max[node] = left.max(right);
+    }
+
+    fn max_rec(&self, node: usize, node_lo: usize, node_hi: usize, lo: usize, hi: usize) -> f64 {
+        if hi < node_lo || node_hi < lo {
+            return f64::NEG_INFINITY;
+        }
+        if lo <= node_lo && node_hi <= hi {
+            return self.max[node] + self.lazy[node];
+        }
+        let mid = (node_lo + node_hi) / 2;
+        let left = self.max_rec(node * 2, node_lo, mid, lo, hi);
+        let right = self.max_rec(node * 2 + 1, mid + 1, node_hi, lo, hi);
+        self.lazy[node] + left.max(right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    /// Brute-force reference model.
+    struct Naive {
+        values: Vec<f64>,
+    }
+
+    impl Naive {
+        fn new(len: usize) -> Self {
+            Self { values: vec![0.0; len] }
+        }
+        fn add(&mut self, lo: usize, hi: usize, delta: f64) {
+            for i in lo..=hi.min(self.values.len() - 1) {
+                self.values[i] += delta;
+            }
+        }
+        fn max(&self, lo: usize, hi: usize) -> f64 {
+            self.values[lo..=hi.min(self.values.len() - 1)]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    #[test]
+    fn basic_add_and_max() {
+        let mut tree = MaxSegmentTree::new(8);
+        tree.add(0, 3, 2.0);
+        tree.add(2, 5, 1.5);
+        assert_eq!(tree.max(0, 7), 3.5);
+        assert_eq!(tree.max(4, 7), 1.5);
+        assert_eq!(tree.max(6, 7), 0.0);
+        assert_eq!(tree.global_max(), 3.5);
+        let arg = tree.argmax();
+        assert!(arg == 2 || arg == 3, "argmax {arg}");
+    }
+
+    #[test]
+    fn negative_updates() {
+        let mut tree = MaxSegmentTree::new(4);
+        tree.add(0, 3, -1.0);
+        tree.add(1, 1, 5.0);
+        assert_eq!(tree.global_max(), 4.0);
+        assert_eq!(tree.argmax(), 1);
+        tree.add(1, 1, -5.0);
+        assert_eq!(tree.global_max(), -1.0);
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let len = rng.gen_range(1..64);
+            let mut tree = MaxSegmentTree::new(len);
+            let mut naive = Naive::new(len);
+            for _ in 0..200 {
+                let lo = rng.gen_range(0..len);
+                let hi = rng.gen_range(lo..len);
+                if rng.gen_bool(0.6) {
+                    let delta = rng.gen_range(-5.0..5.0);
+                    tree.add(lo, hi, delta);
+                    naive.add(lo, hi, delta);
+                } else {
+                    let got = tree.max(lo, hi);
+                    let want = naive.max(lo, hi);
+                    assert!((got - want).abs() < 1e-9, "range [{lo},{hi}] got {got} want {want}");
+                }
+            }
+            let want_global = naive.max(0, len - 1);
+            assert!((tree.global_max() - want_global).abs() < 1e-9);
+            // argmax must point at a position attaining the global maximum.
+            let arg = tree.argmax();
+            assert!((naive.values[arg] - want_global).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_position_tree() {
+        let mut tree = MaxSegmentTree::new(1);
+        assert_eq!(tree.global_max(), 0.0);
+        tree.add(0, 0, 7.0);
+        assert_eq!(tree.global_max(), 7.0);
+        assert_eq!(tree.argmax(), 0);
+    }
+}

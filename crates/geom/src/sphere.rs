@@ -1,0 +1,134 @@
+//! Uniform sampling of points on spheres (Muller's method, [Mul59]), the
+//! primitive the sampling step of Section 3.1.1 uses to place `Θ(ε^{-2} log n)`
+//! points on the circumsphere of every non-empty grid cell.
+
+use rand::Rng;
+
+use crate::ball::Ball;
+use crate::point::Point;
+
+/// Draws one standard-normal variate using the Box–Muller transform.
+///
+/// Implemented locally so the crate only depends on `rand`'s uniform source.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Rejection-free polar form would need caching; the basic form is fine for
+    // our sampling volumes.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a point uniformly at random on the surface of the unit sphere
+/// `S^{D-1}` centered at the origin (Muller 1959: normalize a vector of i.i.d.
+/// Gaussians).
+pub fn sample_unit_sphere<const D: usize, R: Rng + ?Sized>(rng: &mut R) -> Point<D> {
+    loop {
+        let mut v = Point::<D>::origin();
+        for i in 0..D {
+            v[i] = standard_normal(rng);
+        }
+        let norm = v.norm();
+        if norm > 1e-12 {
+            return v.scale(1.0 / norm);
+        }
+        // Astronomically unlikely zero vector: resample.
+    }
+}
+
+/// Samples a point uniformly at random on the boundary sphere of `ball`.
+pub fn sample_on_ball_boundary<const D: usize, R: Rng + ?Sized>(
+    ball: &Ball<D>,
+    rng: &mut R,
+) -> Point<D> {
+    let dir = sample_unit_sphere::<D, R>(rng);
+    ball.center.add_point(&dir.scale(ball.radius))
+}
+
+/// Samples `count` points uniformly and independently on the boundary sphere
+/// of `ball` (the sampling step `S_X` of Section 3.1.1).
+pub fn sample_points_on_boundary<const D: usize, R: Rng + ?Sized>(
+    ball: &Ball<D>,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Point<D>> {
+    (0..count).map(|_| sample_on_ball_boundary(ball, rng)).collect()
+}
+
+/// Samples a point uniformly at random inside the unit ball (used by workload
+/// generators and Monte-Carlo validation of the cap-area lemma).
+pub fn sample_in_unit_ball<const D: usize, R: Rng + ?Sized>(rng: &mut R) -> Point<D> {
+    let dir = sample_unit_sphere::<D, R>(rng);
+    // Radius with density proportional to r^{D-1}.
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    dir.scale(u.powf(1.0 / D as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn samples_lie_on_the_sphere() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let p: Point<4> = sample_unit_sphere(&mut rng);
+            assert!((p.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boundary_samples_respect_center_and_radius() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ball = Ball::new(Point::new([1.0, 2.0, 3.0]), 2.5);
+        for p in sample_points_on_boundary(&ball, 100, &mut rng) {
+            assert!((ball.center.dist(&p) - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sphere_samples_are_roughly_uniform_over_hemispheres() {
+        // Each coordinate should be positive for about half of the samples.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 4000;
+        let mut positive = [0usize; 3];
+        for _ in 0..n {
+            let p: Point<3> = sample_unit_sphere(&mut rng);
+            for i in 0..3 {
+                if p[i] > 0.0 {
+                    positive[i] += 1;
+                }
+            }
+        }
+        for count in positive {
+            let frac = count as f64 / n as f64;
+            assert!((frac - 0.5).abs() < 0.05, "hemisphere fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn ball_interior_samples_are_inside() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let p: Point<3> = sample_in_unit_ball(&mut rng);
+            assert!(p.norm() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_variates_have_unit_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

@@ -1,0 +1,292 @@
+//! Boundaries of unions of disks.
+//!
+//! For each color class `c`, Section 4.2 of the paper replaces the disks of
+//! that color by their union `U_c` and works with the circular arcs forming
+//! `∂U_c`.  This module extracts those *exposed arcs* (the portions of each
+//! disk's boundary not covered by any other disk of the same set) and offers
+//! the intersection primitives between exposed arcs of different sets that the
+//! exact algorithm (Lemma 4.2) and the intersection-counting bound
+//! (Lemma 4.4) rely on.
+
+use crate::arcs::{boundary_covered_by, complement_on_circle, normalize_angle, AngularInterval, TAU};
+use crate::ball::Ball;
+use crate::hashgrid::HashGrid;
+use crate::point::Point2;
+
+/// A maximal portion of one disk's boundary that lies on the boundary of the
+/// union of its set.  Angles are a non-wrapping range `[start, end] ⊆ [0, 2π]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExposedArc {
+    /// Index of the disk whose boundary carries the arc.
+    pub disk: usize,
+    /// Start angle in `[0, 2π]`.
+    pub start: f64,
+    /// End angle in `[start, 2π]`.
+    pub end: f64,
+}
+
+impl ExposedArc {
+    /// Angular width of the arc.
+    pub fn width(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the (normalized) angle lies on the arc.
+    pub fn contains_angle(&self, theta: f64) -> bool {
+        // Full-circle arcs contain everything.
+        if self.width() >= TAU - 1e-12 {
+            return true;
+        }
+        let t = normalize_angle(theta);
+        t >= self.start - 1e-9 && t <= self.end + 1e-9
+    }
+
+    /// Midpoint angle of the arc.
+    pub fn mid_angle(&self) -> f64 {
+        (self.start + self.end) / 2.0
+    }
+
+    /// The point of the arc at angle `theta` on the carrying disk.
+    pub fn point_at(&self, disks: &[Ball<2>], theta: f64) -> Point2 {
+        let d = &disks[self.disk];
+        d.center.polar_offset(d.radius, theta)
+    }
+
+    /// The midpoint of the arc.
+    pub fn midpoint(&self, disks: &[Ball<2>]) -> Point2 {
+        self.point_at(disks, self.mid_angle())
+    }
+
+    /// The two endpoints of the arc.
+    pub fn endpoints(&self, disks: &[Ball<2>]) -> (Point2, Point2) {
+        (self.point_at(disks, self.start), self.point_at(disks, self.end))
+    }
+}
+
+/// Largest radius among the disks (0 for an empty set).
+fn max_radius(disks: &[Ball<2>]) -> f64 {
+    disks.iter().map(|d| d.radius).fold(0.0, f64::max)
+}
+
+/// Builds a neighbour index over the disk centers, with a cell side tuned for
+/// "which disks overlap this one" queries.
+pub fn disk_center_index(disks: &[Ball<2>]) -> HashGrid<2> {
+    let side = (2.0 * max_radius(disks)).max(1e-6);
+    let centers: Vec<Point2> = disks.iter().map(|d| d.center).collect();
+    HashGrid::build(side, &centers)
+}
+
+/// Computes the exposed boundary arcs of the union of `disks`.
+///
+/// For every disk, the angular intervals covered by overlapping disks of the
+/// same set are subtracted from the full circle; what remains is on `∂U`.
+/// Disks that are entirely contained in another disk contribute no arcs.
+/// The expected cost is near-linear for unit disks with bounded overlap (the
+/// regime of Lemma 4.4); the worst case is quadratic, like the union
+/// complexity itself.
+pub fn union_boundary_arcs(disks: &[Ball<2>]) -> Vec<ExposedArc> {
+    let index = disk_center_index(disks);
+    union_boundary_arcs_with_index(disks, &index)
+}
+
+/// Same as [`union_boundary_arcs`] but reuses a prebuilt center index.
+pub fn union_boundary_arcs_with_index(disks: &[Ball<2>], index: &HashGrid<2>) -> Vec<ExposedArc> {
+    let max_r = max_radius(disks);
+    let mut arcs = Vec::new();
+    let mut covering: Vec<AngularInterval> = Vec::new();
+    for (i, disk) in disks.iter().enumerate() {
+        covering.clear();
+        let mut swallowed = false;
+        index.for_each_within(&disk.center, disk.radius + max_r, |j| {
+            if j == i || swallowed {
+                return;
+            }
+            match boundary_covered_by(disk, &disks[j]) {
+                Some(iv) if iv.width >= TAU - 1e-12 => {
+                    // Another disk contains this one entirely; but two
+                    // coincident disks would both vanish, so keep the one with
+                    // the smaller index in that exact-tie case.
+                    let other = &disks[j];
+                    let coincident = (other.radius - disk.radius).abs() < 1e-12
+                        && other.center.dist(&disk.center) < 1e-12;
+                    if !coincident || j < i {
+                        swallowed = true;
+                    }
+                }
+                Some(iv) => covering.push(iv),
+                None => {}
+            }
+        });
+        if swallowed {
+            continue;
+        }
+        for (start, end) in complement_on_circle(&covering) {
+            if end - start > 1e-12 {
+                arcs.push(ExposedArc { disk: i, start, end });
+            }
+        }
+    }
+    arcs
+}
+
+/// Total length of the exposed arcs (the perimeter of the union).
+pub fn union_perimeter(disks: &[Ball<2>], arcs: &[ExposedArc]) -> f64 {
+    arcs.iter().map(|a| a.width() * disks[a.disk].radius).sum()
+}
+
+/// Intersection points between the exposed arcs of two *different* disk sets.
+///
+/// `disks_a`/`arcs_a` describe `∂U_A` and `disks_b`/`arcs_b` describe `∂U_B`;
+/// the result is the point set `I(D_A, D_B)` of Lemma 4.4, whose size the
+/// lemma bounds by `O(|D_A| + |D_B|)`.
+pub fn exposed_arc_intersections(
+    disks_a: &[Ball<2>],
+    arcs_a: &[ExposedArc],
+    disks_b: &[Ball<2>],
+    arcs_b: &[ExposedArc],
+) -> Vec<Point2> {
+    // Group B's arcs per disk and index B's disk centers for locality.
+    let mut arcs_by_disk_b: Vec<Vec<&ExposedArc>> = vec![Vec::new(); disks_b.len()];
+    for arc in arcs_b {
+        arcs_by_disk_b[arc.disk].push(arc);
+    }
+    let index_b = disk_center_index(disks_b);
+    let max_rb = max_radius(disks_b);
+
+    let mut out = Vec::new();
+    for arc in arcs_a {
+        let da = &disks_a[arc.disk];
+        index_b.for_each_within(&da.center, da.radius + max_rb, |j| {
+            if arcs_by_disk_b[j].is_empty() {
+                return;
+            }
+            let db = &disks_b[j];
+            let Some((p1, p2)) = da.boundary_intersections(db) else {
+                return;
+            };
+            for p in [p1, p2] {
+                let theta_a = da.center.angle_to(&p);
+                let theta_b = db.center.angle_to(&p);
+                if !arc.contains_angle(theta_a) {
+                    continue;
+                }
+                if arcs_by_disk_b[j].iter().any(|ab| ab.contains_angle(theta_b)) {
+                    out.push(p);
+                }
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn single_disk_is_fully_exposed() {
+        let disks = vec![Ball::unit(Point2::xy(0.0, 0.0))];
+        let arcs = union_boundary_arcs(&disks);
+        assert_eq!(arcs.len(), 1);
+        assert!((arcs[0].width() - TAU).abs() < 1e-9);
+        assert!((union_perimeter(&disks, &arcs) - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_overlapping_unit_disks() {
+        let disks = vec![Ball::unit(Point2::xy(0.0, 0.0)), Ball::unit(Point2::xy(1.0, 0.0))];
+        let arcs = union_boundary_arcs(&disks);
+        // Each disk loses a 2π/3 wedge (acos(1/2) half-angle) to the other.
+        let total = union_perimeter(&disks, &arcs);
+        let expected = 2.0 * (TAU - 2.0 * PI / 3.0);
+        assert!((total - expected).abs() < 1e-9, "total={total} expected={expected}");
+    }
+
+    #[test]
+    fn contained_disk_contributes_no_arcs() {
+        let disks = vec![
+            Ball::new(Point2::xy(0.0, 0.0), 2.0),
+            Ball::unit(Point2::xy(0.2, 0.1)),
+        ];
+        let arcs = union_boundary_arcs(&disks);
+        assert!(arcs.iter().all(|a| a.disk == 0));
+        assert!((union_perimeter(&disks, &arcs) - 2.0 * TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coincident_disks_keep_exactly_one_boundary() {
+        let disks = vec![Ball::unit(Point2::xy(0.0, 0.0)), Ball::unit(Point2::xy(0.0, 0.0))];
+        let arcs = union_boundary_arcs(&disks);
+        let total = union_perimeter(&disks, &arcs);
+        assert!((total - TAU).abs() < 1e-9, "coincident disks should expose one circle, got {total}");
+    }
+
+    #[test]
+    fn exposed_points_are_on_union_boundary() {
+        // Every sampled point of an exposed arc must not be strictly inside any
+        // other disk of the same set.
+        let mut rng = StdRng::seed_from_u64(21);
+        let disks: Vec<Ball<2>> = (0..40)
+            .map(|_| Ball::unit(Point2::xy(rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0))))
+            .collect();
+        let arcs = union_boundary_arcs(&disks);
+        for arc in &arcs {
+            for t in [0.1, 0.5, 0.9] {
+                let theta = arc.start + t * arc.width();
+                let p = arc.point_at(&disks, theta);
+                for (j, d) in disks.iter().enumerate() {
+                    if j == arc.disk {
+                        continue;
+                    }
+                    assert!(
+                        d.center.dist(&p) >= d.radius - 1e-6,
+                        "exposed point {p:?} strictly inside disk {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersections_between_two_sets() {
+        // Red disk at origin, blue disk at distance 1: their boundaries cross
+        // at exactly two points, both on the respective union boundaries.
+        let red = vec![Ball::unit(Point2::xy(0.0, 0.0))];
+        let blue = vec![Ball::unit(Point2::xy(1.0, 0.0))];
+        let red_arcs = union_boundary_arcs(&red);
+        let blue_arcs = union_boundary_arcs(&blue);
+        let pts = exposed_arc_intersections(&red, &red_arcs, &blue, &blue_arcs);
+        assert_eq!(pts.len(), 2);
+        for p in pts {
+            assert!((red[0].center.dist(&p) - 1.0).abs() < 1e-9);
+            assert!((blue[0].center.dist(&p) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lemma_4_4_linear_intersection_bound() {
+        // |I(D_R, D_B)| = O(|D_R| + |D_B|): empirically the count stays below a
+        // small constant times the total number of disks for random unit disks.
+        let mut rng = StdRng::seed_from_u64(5);
+        for &n in &[20usize, 60, 120] {
+            let gen = |rng: &mut StdRng| -> Vec<Ball<2>> {
+                (0..n)
+                    .map(|_| {
+                        Ball::unit(Point2::xy(rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)))
+                    })
+                    .collect()
+            };
+            let red = gen(&mut rng);
+            let blue = gen(&mut rng);
+            let red_arcs = union_boundary_arcs(&red);
+            let blue_arcs = union_boundary_arcs(&blue);
+            let count = exposed_arc_intersections(&red, &red_arcs, &blue, &blue_arcs).len();
+            assert!(
+                count <= 8 * (red.len() + blue.len()),
+                "n={n}: {count} intersections exceeds the linear bound"
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-module property tests for the geometric substrate.
+//!
+//! These complement the per-module unit tests with randomized invariants that
+//! tie several primitives together: the shifted-grid family really satisfies
+//! Lemma 2.1, grid/ball/box predicates are mutually consistent, angular-arc
+//! arithmetic conserves measure, and the union-of-disks boundary behaves like
+//! a boundary.
+
+use mrs_geom::arcs::{complement_on_circle, covered_measure, AngularInterval, TAU};
+use mrs_geom::grid::{Grid, ShiftedGrids};
+use mrs_geom::union_disks::{union_boundary_arcs, union_perimeter};
+use mrs_geom::{Aabb, Ball, HashGrid, Point, Point2};
+use proptest::prelude::*;
+
+proptest! {
+    /// Lemma 2.1: for the full shifted family with s = 2ε/√d and Δ = ε², every
+    /// point is Δ-near its cell center in at least one grid.
+    #[test]
+    fn lemma_2_1_holds_for_random_points_and_eps(
+        x in -20.0f64..20.0,
+        y in -20.0f64..20.0,
+        eps in 0.15f64..0.45,
+    ) {
+        let d = 2.0f64;
+        let family = ShiftedGrids::<2>::full(2.0 * eps / d.sqrt(), eps * eps);
+        prop_assert!(family.near_grid_for(&Point2::xy(x, y)).is_some());
+    }
+
+    /// Every cell reported as intersecting a ball really intersects it, and
+    /// the cell containing the center is always among them.
+    #[test]
+    fn grid_ball_cell_enumeration_is_sound_and_covers_the_center(
+        cx in -10.0f64..10.0,
+        cy in -10.0f64..10.0,
+        radius in 0.1f64..3.0,
+        side in 0.2f64..2.0,
+    ) {
+        let grid = Grid::<2>::at_origin(side);
+        let ball = Ball::new(Point2::xy(cx, cy), radius);
+        let cells = grid.cells_intersecting_ball(&ball);
+        prop_assert!(cells.contains(&grid.cell_of(&ball.center)));
+        for cell in &cells {
+            prop_assert!(ball.intersects_aabb(&grid.cell_aabb(cell)));
+        }
+    }
+
+    /// The covered measure of a set of angular intervals plus the measure of
+    /// its complement always equals the full circle.
+    #[test]
+    fn angular_cover_and_complement_partition_the_circle(
+        raw in proptest::collection::vec((0.0f64..TAU, 0.01f64..TAU), 0..12),
+    ) {
+        let intervals: Vec<AngularInterval> =
+            raw.iter().map(|&(s, w)| AngularInterval::new(s, w.min(TAU))).collect();
+        let covered = covered_measure(&intervals);
+        let gaps: f64 = complement_on_circle(&intervals).iter().map(|(lo, hi)| hi - lo).sum();
+        prop_assert!((covered + gaps - TAU).abs() < 1e-6);
+    }
+
+    /// The union boundary of a disk set never exceeds the total perimeter of
+    /// the disks, and sampled boundary points are never strictly inside any
+    /// other disk of the set.
+    #[test]
+    fn union_boundary_is_shorter_than_total_perimeter_and_truly_exposed(
+        centers in proptest::collection::vec((0.0f64..6.0, 0.0f64..6.0), 1..25),
+    ) {
+        let disks: Vec<Ball<2>> =
+            centers.iter().map(|&(x, y)| Ball::unit(Point2::xy(x, y))).collect();
+        let arcs = union_boundary_arcs(&disks);
+        let perimeter = union_perimeter(&disks, &arcs);
+        prop_assert!(perimeter <= disks.len() as f64 * TAU + 1e-9);
+        prop_assert!(perimeter > 0.0);
+        for arc in arcs.iter().take(30) {
+            let p = arc.midpoint(&disks);
+            for (j, d) in disks.iter().enumerate() {
+                if j != arc.disk {
+                    prop_assert!(d.center.dist(&p) >= d.radius - 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Ball–box intersection agrees with a dense point sample of the box.
+    #[test]
+    fn ball_aabb_intersection_agrees_with_sampling(
+        bx in -4.0f64..4.0,
+        by in -4.0f64..4.0,
+        half in 0.1f64..2.0,
+        cx in -4.0f64..4.0,
+        cy in -4.0f64..4.0,
+        radius in 0.1f64..2.5,
+    ) {
+        let aabb = Aabb::cube(Point2::xy(bx, by), 2.0 * half);
+        let ball = Ball::new(Point2::xy(cx, cy), radius);
+        // Sample a grid of points inside the box; if any is inside the ball,
+        // the predicates must agree that they intersect.
+        let mut any_inside = false;
+        let steps = 12;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let p = Point2::xy(
+                    aabb.lo.x() + aabb.side(0) * i as f64 / steps as f64,
+                    aabb.lo.y() + aabb.side(1) * j as f64 / steps as f64,
+                );
+                if ball.contains(&p) {
+                    any_inside = true;
+                }
+            }
+        }
+        if any_inside {
+            prop_assert!(ball.intersects_aabb(&aabb));
+        }
+        if !ball.intersects_aabb(&aabb) {
+            prop_assert!(!any_inside);
+        }
+    }
+
+    /// The hash-grid neighbourhood query returns exactly the brute-force
+    /// neighbour set, for arbitrary cell sizes.
+    #[test]
+    fn hashgrid_matches_brute_force(
+        pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..60),
+        cell in 0.3f64..3.0,
+        qx in 0.0f64..10.0,
+        qy in 0.0f64..10.0,
+        radius in 0.1f64..4.0,
+    ) {
+        let points: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::xy(x, y)).collect();
+        let index = HashGrid::build(cell, &points);
+        let q = Point2::xy(qx, qy);
+        let mut got = index.within(&q, radius);
+        got.sort_unstable();
+        let mut want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(&q) <= radius + 1e-9)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Circumballs of grid cells contain every corner of their cell, in three
+    /// dimensions as well.
+    #[test]
+    fn circumballs_cover_their_cells_in_3d(
+        px in -5.0f64..5.0,
+        py in -5.0f64..5.0,
+        pz in -5.0f64..5.0,
+        side in 0.2f64..2.0,
+    ) {
+        let grid = Grid::<3>::at_origin(side);
+        let p = Point::new([px, py, pz]);
+        let cell = grid.cell_of(&p);
+        let ball = grid.cell_circumball(&cell);
+        for corner in grid.cell_aabb(&cell).corners() {
+            prop_assert!(ball.contains(&corner));
+        }
+        prop_assert!(ball.contains(&p));
+    }
+}

@@ -1,0 +1,170 @@
+//! The (min,+)/(max,+)-convolution problem family (Section 5).
+//!
+//! All reference solvers here are the "trivial" quadratic ones; the point of
+//! the crate is not to compute convolutions fast (conjecturally impossible,
+//! [CMWW19]) but to provide ground truth for the reduction chains and the
+//! Ω(mn)/Ω(n²) scaling experiments.
+
+/// `(min,+)`-convolution: `C_k = min_{i+j=k} (A_i + B_j)` for `k ∈ 0..n`.
+///
+/// # Panics
+/// Panics if the sequences have different lengths or are empty.
+pub fn min_plus_convolution(a: &[f64], b: &[f64]) -> Vec<f64> {
+    check_inputs(a, b);
+    let n = a.len();
+    let mut c = vec![f64::INFINITY; n];
+    for (k, c_k) in c.iter_mut().enumerate() {
+        for i in 0..=k {
+            let j = k - i;
+            *c_k = c_k.min(a[i] + b[j]);
+        }
+    }
+    c
+}
+
+/// `(max,+)`-convolution: `C_k = max_{i+j=k} (A_i + B_j)` for `k ∈ 0..n`.
+pub fn max_plus_convolution(a: &[f64], b: &[f64]) -> Vec<f64> {
+    check_inputs(a, b);
+    let n = a.len();
+    let mut c = vec![f64::NEG_INFINITY; n];
+    for (k, c_k) in c.iter_mut().enumerate() {
+        for i in 0..=k {
+            let j = k - i;
+            *c_k = c_k.max(a[i] + b[j]);
+        }
+    }
+    c
+}
+
+/// `(min,+,M)`-convolution (Section 5.1): the `(min,+)`-convolution restricted
+/// to the target indices `indices`; entry `s` of the result is `C_{indices[s]}`.
+///
+/// # Panics
+/// Panics if any target index is out of range.
+pub fn min_plus_convolution_indexed(a: &[f64], b: &[f64], indices: &[usize]) -> Vec<f64> {
+    check_inputs(a, b);
+    let n = a.len();
+    indices
+        .iter()
+        .map(|&k| {
+            assert!(k < n, "target index {k} out of range for sequences of length {n}");
+            (0..=k).map(|i| a[i] + b[k - i]).fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+/// `(max,+,M)`-convolution (Section 5.2): the `(max,+)`-convolution restricted
+/// to the target indices `indices`.
+pub fn max_plus_convolution_indexed(a: &[f64], b: &[f64], indices: &[usize]) -> Vec<f64> {
+    check_inputs(a, b);
+    let n = a.len();
+    indices
+        .iter()
+        .map(|&k| {
+            assert!(k < n, "target index {k} out of range for sequences of length {n}");
+            (0..=k).map(|i| a[i] + b[k - i]).fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect()
+}
+
+/// Returns `true` if every element of the sequence is non-negative (the
+/// precondition of the positive `(max,+,M)`-convolution of Section 5.3).
+pub fn is_non_negative(seq: &[f64]) -> bool {
+    seq.iter().all(|&x| x >= 0.0)
+}
+
+/// Returns `true` if the sequence is strictly decreasing (the precondition of
+/// the monotone `(min,+)`-convolution of Definition 6.1).
+pub fn is_strictly_decreasing(seq: &[f64]) -> bool {
+    seq.windows(2).all(|w| w[0] > w[1])
+}
+
+fn check_inputs(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "convolution inputs must have equal length");
+    assert!(!a.is_empty(), "convolution inputs must be non-empty");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hand_computed_min_plus() {
+        let a = vec![1.0, 5.0, 2.0];
+        let b = vec![0.0, 3.0, 1.0];
+        // C_0 = 1+0; C_1 = min(1+3, 5+0) = 4; C_2 = min(1+1, 5+3, 2+0) = 2.
+        assert_eq!(min_plus_convolution(&a, &b), vec![1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn hand_computed_max_plus() {
+        let a = vec![1.0, 5.0, 2.0];
+        let b = vec![0.0, 3.0, 1.0];
+        // C_0 = 1; C_1 = max(4, 5) = 5; C_2 = max(2, 8, 2) = 8.
+        assert_eq!(max_plus_convolution(&a, &b), vec![1.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn indexed_variants_match_full_variants() {
+        let a = vec![3.0, -1.0, 4.0, 1.0, 5.0];
+        let b = vec![2.0, 7.0, -1.0, 8.0, 2.0];
+        let indices = vec![0, 2, 4];
+        let full_min = min_plus_convolution(&a, &b);
+        let full_max = max_plus_convolution(&a, &b);
+        assert_eq!(
+            min_plus_convolution_indexed(&a, &b, &indices),
+            indices.iter().map(|&k| full_min[k]).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            max_plus_convolution_indexed(&a, &b, &indices),
+            indices.iter().map(|&k| full_max[k]).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn duality_between_min_and_max() {
+        let a = vec![1.0, -2.0, 3.5, 0.0];
+        let b = vec![4.0, 2.0, -1.0, 6.0];
+        let neg_a: Vec<f64> = a.iter().map(|x| -x).collect();
+        let neg_b: Vec<f64> = b.iter().map(|x| -x).collect();
+        let min = min_plus_convolution(&a, &b);
+        let max_of_neg = max_plus_convolution(&neg_a, &neg_b);
+        for (m, mn) in min.iter().zip(&max_of_neg) {
+            assert!((m + mn).abs() < 1e-12, "min(A,B) must equal -max(-A,-B)");
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(is_non_negative(&[0.0, 1.0, 2.0]));
+        assert!(!is_non_negative(&[0.0, -0.1]));
+        assert!(is_strictly_decreasing(&[3.0, 2.0, -1.0]));
+        assert!(!is_strictly_decreasing(&[3.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        min_plus_convolution(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn min_is_bounded_by_endpoint_sums(
+            a in proptest::collection::vec(-10.0f64..10.0, 1..20),
+            shift in -5.0f64..5.0,
+        ) {
+            let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+            let c = min_plus_convolution(&a, &b);
+            for (k, &ck) in c.iter().enumerate() {
+                // C_k is at most A_0 + B_k and at least the min over the
+                // diagonal of the smallest entries.
+                prop_assert!(ck <= a[0] + b[k] + 1e-9);
+                let min_a = a.iter().cloned().fold(f64::INFINITY, f64::min);
+                let min_b = b.iter().cloned().fold(f64::INFINITY, f64::min);
+                prop_assert!(ck >= min_a + min_b - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # mrs-hardness — convolution problems and executable hardness reductions
+//!
+//! The lower-bound half of the bouquet paper (Sections 5 and 6): the
+//! (min,+)-convolution problem family with naive reference solvers
+//! ([`convolution`]) and, more importantly, every reduction of the two
+//! hardness chains as executable code ([`reductions`]).
+//!
+//! Running the chains end-to-end demonstrates the content of Theorems 1.3 and
+//! 1.4 constructively: a batched MaxRS solver (from `mrs-batched`) answers
+//! (min,+)-convolution instances through the Figure 6 chain, and a batched
+//! smallest-k-enclosing-interval solver answers them through the Section 6
+//! chain — so any `o(mn)` (respectively `o(n²)`) algorithm for those geometric
+//! problems would contradict the (min,+)-convolution hardness conjecture.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod convolution;
+pub mod reductions;
+
+pub use convolution::{
+    max_plus_convolution, max_plus_convolution_indexed, min_plus_convolution,
+    min_plus_convolution_indexed,
+};
+pub use reductions::{min_plus_via_batched_maxrs, min_plus_via_bsei};

@@ -1,0 +1,125 @@
+//! Section 6.2 — reduction from monotone (min,+)-convolution to the batched
+//! smallest `k`-enclosing interval problem (BSEI).
+//!
+//! For strictly decreasing sequences `D`, `E` of length `n`, the reduction
+//! places `2n` points on the line (Figure 8): `P_i = −D_i + (D_{n−1} − 1)` for
+//! the first half (all negative, increasing) and `P_{n+i} = E_{n−1−i} +
+//! (1 − E_{n−1})` for the second half (all positive, increasing).  The length
+//! `G_{2n−k}` of the smallest interval enclosing `2n−k` points then satisfies
+//! `F_k = G_{2n−k} + D_{n−1} + E_{n−1} − 2`.
+
+use mrs_batched::BatchedSei;
+
+use crate::convolution::is_strictly_decreasing;
+use crate::reductions::monotone::min_plus_via_monotone_oracle;
+
+/// Builds the `2n` BSEI points of Figure 8 for strictly decreasing sequences.
+///
+/// # Panics
+/// Panics if the sequences differ in length, are empty, or are not strictly
+/// decreasing (length-one sequences are accepted).
+pub fn build_bsei_instance(d: &[f64], e: &[f64]) -> Vec<f64> {
+    assert_eq!(d.len(), e.len(), "sequences must have equal length");
+    assert!(!d.is_empty(), "sequences must be non-empty");
+    assert!(
+        d.len() == 1 || is_strictly_decreasing(d),
+        "first sequence must be strictly decreasing"
+    );
+    assert!(
+        e.len() == 1 || is_strictly_decreasing(e),
+        "second sequence must be strictly decreasing"
+    );
+    let n = d.len();
+    let d_last = d[n - 1];
+    let e_last = e[n - 1];
+    let mut points = Vec::with_capacity(2 * n);
+    for &di in d {
+        points.push(-di + (d_last - 1.0));
+    }
+    for i in 0..n {
+        points.push(e[(n - 1) - i] + (1.0 - e_last));
+    }
+    points
+}
+
+/// Solves the monotone (min,+)-convolution via one batched SEI computation on
+/// the Figure 8 point set.
+pub fn monotone_min_plus_via_bsei(d: &[f64], e: &[f64]) -> Vec<f64> {
+    let points = build_bsei_instance(d, e);
+    let n = d.len();
+    let solver = BatchedSei::new(&points);
+    let lengths = solver.all_lengths(); // lengths[k-1] = G_k for k = 1..2n
+    let d_last = d[n - 1];
+    let e_last = e[n - 1];
+    (0..n)
+        .map(|k| {
+            let g = lengths[(2 * n - k) - 1];
+            g + d_last + e_last - 2.0
+        })
+        .collect()
+}
+
+/// The full Section 6 chain: general (min,+)-convolution solved through the
+/// monotone transform and the BSEI oracle.
+pub fn min_plus_via_bsei(a: &[f64], b: &[f64]) -> Vec<f64> {
+    min_plus_via_monotone_oracle(a, b, monotone_min_plus_via_bsei)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolution::min_plus_convolution;
+    use rand::prelude::*;
+
+    #[test]
+    fn figure_8_layout_properties() {
+        let d = vec![5.0, 3.0, 1.0];
+        let e = vec![6.0, 4.0, 2.0];
+        let points = build_bsei_instance(&d, &e);
+        assert_eq!(points.len(), 6);
+        // First half negative and increasing; second half positive and increasing.
+        assert!(points[..3].iter().all(|&p| p < 0.0));
+        assert!(points[3..].iter().all(|&p| p > 0.0));
+        assert!(points.windows(2).all(|w| w[0] < w[1]));
+        // P_{n-1} = -1 and P_n = 1 by construction.
+        assert_eq!(points[2], -1.0);
+        assert_eq!(points[3], 1.0);
+    }
+
+    #[test]
+    fn monotone_convolution_via_bsei_matches_naive() {
+        let d = vec![10.0, 7.0, 5.0, 2.0, 0.0];
+        let e = vec![20.0, 15.0, 9.0, 4.0, 1.0];
+        let via_bsei = monotone_min_plus_via_bsei(&d, &e);
+        let direct = min_plus_convolution(&d, &e);
+        for (x, y) in via_bsei.iter().zip(&direct) {
+            assert!((x - y).abs() < 1e-9, "via BSEI {x} vs direct {y}");
+        }
+    }
+
+    #[test]
+    fn full_chain_matches_naive_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(37);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..60);
+            let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect();
+            let via_chain = min_plus_via_bsei(&a, &b);
+            let direct = min_plus_convolution(&a, &b);
+            for (k, (x, y)) in via_chain.iter().zip(&direct).enumerate() {
+                assert!((x - y).abs() < 1e-6, "k={k}: chain {x} vs direct {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_element_chain() {
+        assert_eq!(min_plus_via_bsei(&[3.0], &[4.0]), vec![7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn rejects_non_monotone_inputs() {
+        build_bsei_instance(&[1.0, 2.0], &[3.0, 1.0]);
+    }
+}

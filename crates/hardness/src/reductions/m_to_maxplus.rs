@@ -1,0 +1,53 @@
+//! Section 5.2 — reduction from (min,+,M)-convolution to (max,+,M)-convolution.
+//!
+//! Negate both input sequences, call the max oracle, and negate the outputs:
+//! `min_{i+j=k}(D_i + E_j) = −max_{i+j=k}(−D_i − E_j)`.  Linear time.
+
+/// Solves the `M`-indexed (min,+)-convolution using an oracle for the
+/// `M`-indexed (max,+)-convolution.
+pub fn min_plus_indexed_via_max_plus_indexed<O>(
+    d: &[f64],
+    e: &[f64],
+    indices: &[usize],
+    oracle: O,
+) -> Vec<f64>
+where
+    O: Fn(&[f64], &[f64], &[usize]) -> Vec<f64>,
+{
+    assert_eq!(d.len(), e.len(), "sequences must have equal length");
+    let neg_d: Vec<f64> = d.iter().map(|x| -x).collect();
+    let neg_e: Vec<f64> = e.iter().map(|x| -x).collect();
+    let negated = oracle(&neg_d, &neg_e, indices);
+    assert_eq!(negated.len(), indices.len(), "oracle must return one value per target index");
+    negated.into_iter().map(|x| -x).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolution::{max_plus_convolution_indexed, min_plus_convolution_indexed};
+
+    #[test]
+    fn matches_the_direct_indexed_min_solver() {
+        let d = vec![5.0, -3.0, 2.0, 0.0, 7.0];
+        let e = vec![1.0, 4.0, -2.0, 3.0, 6.0];
+        let indices = vec![0, 1, 3, 4];
+        let via_max =
+            min_plus_indexed_via_max_plus_indexed(&d, &e, &indices, max_plus_convolution_indexed);
+        let direct = min_plus_convolution_indexed(&d, &e, &indices);
+        for (x, y) in via_max.iter().zip(&direct) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_index_set_is_fine() {
+        let via_max = min_plus_indexed_via_max_plus_indexed(
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[],
+            max_plus_convolution_indexed,
+        );
+        assert!(via_max.is_empty());
+    }
+}

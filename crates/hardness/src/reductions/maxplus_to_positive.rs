@@ -1,0 +1,74 @@
+//! Section 5.3 — reduction from (max,+,M)-convolution to *positive*
+//! (max,+,M)-convolution.
+//!
+//! If either sequence contains negative entries, shift both by the global
+//! minimum `Δ`: `A'_i = A_i − Δ`, `B'_j = B_j − Δ` are non-negative, and
+//! `C'_k = C_k − 2Δ`, so the original answers are recovered by adding `2Δ`
+//! back.  Linear time.
+
+/// Solves the `M`-indexed (max,+)-convolution on arbitrary sequences using an
+/// oracle that requires non-negative inputs.
+pub fn max_plus_indexed_via_positive<O>(
+    a: &[f64],
+    b: &[f64],
+    indices: &[usize],
+    oracle: O,
+) -> Vec<f64>
+where
+    O: Fn(&[f64], &[f64], &[usize]) -> Vec<f64>,
+{
+    assert_eq!(a.len(), b.len(), "sequences must have equal length");
+    let delta = a
+        .iter()
+        .chain(b.iter())
+        .cloned()
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    if delta >= 0.0 {
+        let out = oracle(a, b, indices);
+        assert_eq!(out.len(), indices.len(), "oracle must return one value per target index");
+        return out;
+    }
+    let a_shifted: Vec<f64> = a.iter().map(|x| x - delta).collect();
+    let b_shifted: Vec<f64> = b.iter().map(|x| x - delta).collect();
+    debug_assert!(a_shifted.iter().chain(b_shifted.iter()).all(|&x| x >= 0.0));
+    let shifted = oracle(&a_shifted, &b_shifted, indices);
+    assert_eq!(shifted.len(), indices.len(), "oracle must return one value per target index");
+    shifted.into_iter().map(|c| c + 2.0 * delta).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolution::{is_non_negative, max_plus_convolution_indexed};
+    use std::cell::Cell;
+
+    #[test]
+    fn matches_direct_solver_with_negative_inputs() {
+        let a = vec![-5.0, 3.0, -1.0, 0.0];
+        let b = vec![2.0, -7.0, 4.0, 1.0];
+        let indices = vec![0, 2, 3];
+        let got = max_plus_indexed_via_positive(&a, &b, &indices, |a, b, m| {
+            assert!(is_non_negative(a) && is_non_negative(b), "oracle saw a negative value");
+            max_plus_convolution_indexed(a, b, m)
+        });
+        let want = max_plus_convolution_indexed(&a, &b, &indices);
+        for (x, y) in got.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn already_positive_inputs_are_passed_through_unshifted() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 0.0];
+        let saw_shift = Cell::new(false);
+        let got = max_plus_indexed_via_positive(&a, &b, &[1], |sa, sb, m| {
+            saw_shift.set(sa != a.as_slice() || sb != b.as_slice());
+            max_plus_convolution_indexed(sa, sb, m)
+        });
+        assert!(!saw_shift.get(), "non-negative inputs must not be shifted");
+        // C_1 = max(A_0 + B_1, A_1 + B_0) = max(1, 5) = 5.
+        assert_eq!(got, vec![5.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Section 5.1 — reduction from (min,+)-convolution to (min,+,M)-convolution.
+//!
+//! The full index set `{0, …, n−1}` is partitioned into `⌈n/m⌉` blocks of at
+//! most `m` target indices each; one oracle call per block recovers the full
+//! convolution.  An `o(nm)`-time oracle would therefore give an `o(n²)`
+//! algorithm for (min,+)-convolution, contradicting its conjectured hardness —
+//! which is how the Ω(nm) lower bound propagates down the chain.
+
+/// Solves the full (min,+)-convolution using an oracle for the `M`-indexed
+/// variant, partitioning the targets into blocks of at most `block_size`
+/// indices (the parameter `m` of Section 5.1).
+///
+/// # Panics
+/// Panics if the inputs have different lengths, are empty, or `block_size`
+/// is zero.
+pub fn min_plus_via_indexed_oracle<O>(a: &[f64], b: &[f64], block_size: usize, oracle: O) -> Vec<f64>
+where
+    O: Fn(&[f64], &[f64], &[usize]) -> Vec<f64>,
+{
+    assert_eq!(a.len(), b.len(), "sequences must have equal length");
+    assert!(!a.is_empty(), "sequences must be non-empty");
+    assert!(block_size >= 1, "block size must be at least one");
+    let n = a.len();
+    let mut result = vec![f64::INFINITY; n];
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block_size).min(n);
+        let indices: Vec<usize> = (start..end).collect();
+        let block = oracle(a, b, &indices);
+        assert_eq!(block.len(), indices.len(), "oracle must return one value per target index");
+        result[start..end].copy_from_slice(&block);
+        start = end;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolution::{min_plus_convolution, min_plus_convolution_indexed};
+    use std::cell::Cell;
+
+    #[test]
+    fn recovers_the_full_convolution() {
+        let a = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        let b = vec![2.0, 7.0, 1.0, 8.0, 2.0, 8.0, 1.0];
+        for block in [1, 2, 3, 7, 100] {
+            let via_oracle =
+                min_plus_via_indexed_oracle(&a, &b, block, min_plus_convolution_indexed);
+            assert_eq!(via_oracle, min_plus_convolution(&a, &b), "block size {block}");
+        }
+    }
+
+    #[test]
+    fn makes_ceil_n_over_m_oracle_calls() {
+        let a = vec![0.0; 10];
+        let b = vec![0.0; 10];
+        let calls = Cell::new(0usize);
+        let _ = min_plus_via_indexed_oracle(&a, &b, 3, |a, b, m| {
+            calls.set(calls.get() + 1);
+            assert!(m.len() <= 3);
+            min_plus_convolution_indexed(a, b, m)
+        });
+        assert_eq!(calls.get(), 4, "⌈10/3⌉ = 4 oracle calls expected");
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be at least one")]
+    fn rejects_zero_block_size() {
+        min_plus_via_indexed_oracle(&[1.0], &[1.0], 0, min_plus_convolution_indexed);
+    }
+}

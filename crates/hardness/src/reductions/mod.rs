@@ -1,0 +1,102 @@
+//! The executable hardness-reduction chains of Sections 5 and 6.
+//!
+//! Figure 6 of the paper (batched MaxRS chain):
+//!
+//! ```text
+//! (min,+) → (min,+,M) → (max,+,M) → positive (max,+,M) → batched MaxRS
+//!   §5.1        §5.2         §5.3             §5.4
+//! ```
+//!
+//! Section 6 (batched smallest-k-enclosing-interval chain):
+//!
+//! ```text
+//! (min,+) → monotone (min,+) → BSEI
+//!   §6.1            §6.2
+//! ```
+//!
+//! Each step is a standalone function taking the downstream solver as an
+//! oracle closure, so the chain can be assembled with either the naive
+//! reference solvers (for testing the reductions in isolation) or the real
+//! geometric solvers from `mrs-batched` (demonstrating that a fast batched
+//! MaxRS/BSEI algorithm would yield a fast (min,+)-convolution algorithm —
+//! the content of Theorems 1.3 and 1.4).
+
+pub mod bsei;
+pub mod m_to_maxplus;
+pub mod maxplus_to_positive;
+pub mod minplus_to_m;
+pub mod monotone;
+pub mod positive_to_batched;
+
+pub use bsei::{build_bsei_instance, min_plus_via_bsei, monotone_min_plus_via_bsei};
+pub use m_to_maxplus::min_plus_indexed_via_max_plus_indexed;
+pub use maxplus_to_positive::max_plus_indexed_via_positive;
+pub use minplus_to_m::min_plus_via_indexed_oracle;
+pub use monotone::{min_plus_via_monotone_oracle, monotone_min_plus_convolution_naive};
+pub use positive_to_batched::{
+    build_batched_instance, positive_max_plus_indexed_via_batched_maxrs, BatchedMaxRSInstance,
+};
+
+/// The complete Figure 6 chain: solves the general (min,+)-convolution by
+/// driving a batched MaxRS solver through all four reductions of Section 5.
+///
+/// # Example
+/// ```
+/// use mrs_hardness::convolution::min_plus_convolution;
+/// use mrs_hardness::reductions::min_plus_via_batched_maxrs;
+///
+/// let a = vec![3.0, -1.0, 4.0];
+/// let b = vec![2.0, 0.0, 5.0];
+/// assert_eq!(min_plus_via_batched_maxrs(&a, &b, 2), min_plus_convolution(&a, &b));
+/// ```
+///
+/// `block_size` is the `m` of Section 5.1 (how many target indices each
+/// batched MaxRS instance carries).  Any value in `[1, n]` is correct; the
+/// total work is `Θ(n/m)` batched instances of `Θ(m)` queries over `Θ(n)`
+/// points each.
+pub fn min_plus_via_batched_maxrs(a: &[f64], b: &[f64], block_size: usize) -> Vec<f64> {
+    min_plus_via_indexed_oracle(a, b, block_size, |a, b, indices| {
+        min_plus_indexed_via_max_plus_indexed(a, b, indices, |a, b, indices| {
+            max_plus_indexed_via_positive(a, b, indices, |a, b, indices| {
+                positive_max_plus_indexed_via_batched_maxrs(a, b, indices)
+            })
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolution::min_plus_convolution;
+    use rand::prelude::*;
+
+    #[test]
+    fn full_figure_6_chain_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..50);
+            let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-30.0..30.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-30.0..30.0)).collect();
+            let block = rng.gen_range(1..=n);
+            let via_chain = min_plus_via_batched_maxrs(&a, &b, block);
+            let direct = min_plus_convolution(&a, &b);
+            for (k, (x, y)) in via_chain.iter().zip(&direct).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-6,
+                    "n={n} block={block} k={k}: chain {x} vs naive {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_chains_agree_with_each_other() {
+        let a = vec![4.0, -2.0, 7.5, 0.0, 3.0, -9.0];
+        let b = vec![1.0, 6.0, -3.5, 2.0, 0.0, 5.0];
+        let via_maxrs = min_plus_via_batched_maxrs(&a, &b, 2);
+        let via_bsei = min_plus_via_bsei(&a, &b);
+        for (x, y) in via_maxrs.iter().zip(&via_bsei) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

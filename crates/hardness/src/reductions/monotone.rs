@@ -1,0 +1,103 @@
+//! Section 6.1 — reduction from (min,+)-convolution to *monotone*
+//! (min,+)-convolution.
+//!
+//! Subtracting `i·Δ` from the `i`-th element (for `Δ` one larger than the
+//! largest consecutive increase in either sequence) makes both sequences
+//! strictly decreasing without changing which pair attains each minimum:
+//! `F_k = C_k − k·Δ`, so `C_k = F_k + k·Δ`.  Linear time.
+
+use crate::convolution::{is_strictly_decreasing, min_plus_convolution};
+
+/// The shift `Δ = 1 + max_i max(A_i − A_{i−1}, B_i − B_{i−1})` of Section 6.1
+/// (defined as `1` for length-one sequences).
+pub fn monotone_shift(a: &[f64], b: &[f64]) -> f64 {
+    let mut max_increase = f64::NEG_INFINITY;
+    for seq in [a, b] {
+        for w in seq.windows(2) {
+            max_increase = max_increase.max(w[1] - w[0]);
+        }
+    }
+    if max_increase.is_finite() {
+        1.0 + max_increase.max(0.0)
+    } else {
+        1.0
+    }
+}
+
+/// Applies the Section 6.1 transform to one sequence: `D_i = A_i − i·Δ`.
+pub fn apply_monotone_shift(seq: &[f64], delta: f64) -> Vec<f64> {
+    seq.iter().enumerate().map(|(i, &x)| x - i as f64 * delta).collect()
+}
+
+/// Solves the general (min,+)-convolution using an oracle that requires
+/// strictly decreasing inputs.
+pub fn min_plus_via_monotone_oracle<O>(a: &[f64], b: &[f64], oracle: O) -> Vec<f64>
+where
+    O: Fn(&[f64], &[f64]) -> Vec<f64>,
+{
+    assert_eq!(a.len(), b.len(), "sequences must have equal length");
+    assert!(!a.is_empty(), "sequences must be non-empty");
+    let delta = monotone_shift(a, b);
+    let d = apply_monotone_shift(a, delta);
+    let e = apply_monotone_shift(b, delta);
+    debug_assert!(is_strictly_decreasing(&d) || d.len() == 1);
+    debug_assert!(is_strictly_decreasing(&e) || e.len() == 1);
+    let f = oracle(&d, &e);
+    assert_eq!(f.len(), a.len(), "oracle must return one value per index");
+    f.into_iter().enumerate().map(|(k, fk)| fk + k as f64 * delta).collect()
+}
+
+/// A reference solver for the monotone problem that simply checks the
+/// monotonicity precondition and falls back to the naive quadratic algorithm.
+pub fn monotone_min_plus_convolution_naive(d: &[f64], e: &[f64]) -> Vec<f64> {
+    assert!(
+        d.len() == 1 || is_strictly_decreasing(d),
+        "first sequence is not strictly decreasing"
+    );
+    assert!(
+        e.len() == 1 || is_strictly_decreasing(e),
+        "second sequence is not strictly decreasing"
+    );
+    min_plus_convolution(d, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifted_sequences_are_strictly_decreasing() {
+        let a = vec![1.0, 5.0, 5.0, 2.0, 9.0];
+        let b = vec![0.0, 0.0, 4.0, 4.0, 4.0];
+        let delta = monotone_shift(&a, &b);
+        assert!(is_strictly_decreasing(&apply_monotone_shift(&a, delta)));
+        assert!(is_strictly_decreasing(&apply_monotone_shift(&b, delta)));
+    }
+
+    #[test]
+    fn already_decreasing_sequences_get_a_small_shift() {
+        let a = vec![5.0, 3.0, 1.0];
+        let b = vec![9.0, 4.0, 0.0];
+        // All consecutive increases are negative, so Δ = 1.
+        assert_eq!(monotone_shift(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn recovers_the_original_convolution() {
+        let a = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let b = vec![2.0, 6.0, 5.0, 3.0, 5.0, 8.0];
+        let via_monotone =
+            min_plus_via_monotone_oracle(&a, &b, monotone_min_plus_convolution_naive);
+        let direct = min_plus_convolution(&a, &b);
+        for (x, y) in via_monotone.iter().zip(&direct) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_element_sequences() {
+        let via_monotone =
+            min_plus_via_monotone_oracle(&[7.0], &[-2.0], monotone_min_plus_convolution_naive);
+        assert_eq!(via_monotone, vec![5.0]);
+    }
+}

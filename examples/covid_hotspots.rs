@@ -1,0 +1,106 @@
+//! COVID hotspot monitoring with dynamic MaxRS (Theorem 1.1).
+//!
+//! Run with `cargo run --example covid_hotspots`.
+//!
+//! The paper's motivating example for the dynamic problem: infected patients
+//! appear (insertions) and recover (deletions), and health authorities need
+//! the current hotspot — the placement of a fixed-radius disk covering the
+//! most active cases — updated in real time rather than recomputed from
+//! scratch after every change.
+
+use maxrs::prelude::*;
+use rand::prelude::*;
+
+/// A synthetic city: three districts whose infection intensity changes over
+/// time.
+struct District {
+    name: &'static str,
+    center: Point2,
+    spread: f64,
+}
+
+fn main() {
+    let districts = [
+        District { name: "harbour", center: Point2::xy(0.0, 0.0), spread: 0.8 },
+        District { name: "old town", center: Point2::xy(6.0, 1.0), spread: 0.6 },
+        District { name: "university", center: Point2::xy(2.0, 7.0), spread: 0.9 },
+    ];
+
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut tracker = DynamicBallMaxRS::<2>::new(1.0, SamplingConfig::practical(0.25).with_seed(7));
+    // Active cases, per district, as (handle, district index).
+    let mut active: Vec<(usize, usize)> = Vec::new();
+
+    // Phase 1: an outbreak in the harbour district.
+    println!("== Phase 1: outbreak in the harbour district ==");
+    for _ in 0..120 {
+        let p = sample_case(&districts[0], &mut rng);
+        active.push((tracker.insert(p, 1.0), 0));
+    }
+    for _ in 0..25 {
+        let p = sample_case(&districts[1], &mut rng);
+        active.push((tracker.insert(p, 1.0), 1));
+    }
+    report(&mut tracker, &districts);
+
+    // Phase 2: harbour cases recover while the university cluster grows; the
+    // hotspot must migrate without any full recomputation.
+    println!("\n== Phase 2: recoveries in the harbour, growth at the university ==");
+    let mut recovered = 0;
+    let mut i = 0;
+    while i < active.len() {
+        if active[i].1 == 0 && recovered < 100 {
+            let (id, _) = active.swap_remove(i);
+            assert!(tracker.remove(id));
+            recovered += 1;
+            // Every recovery is roughly matched by a new case on campus.
+            let p = sample_case(&districts[2], &mut rng);
+            active.push((tracker.insert(p, 1.0), 2));
+        } else {
+            i += 1;
+        }
+    }
+    report(&mut tracker, &districts);
+
+    // Phase 3: mass recovery everywhere; only a small old-town cluster is left.
+    println!("\n== Phase 3: mass recovery ==");
+    let mut kept: Vec<(usize, usize)> = Vec::new();
+    for (id, district) in active {
+        if district == 1 && kept.len() < 12 {
+            kept.push((id, district));
+        } else {
+            assert!(tracker.remove(id));
+        }
+    }
+    report(&mut tracker, &districts);
+    println!(
+        "\nthe tracker went through {} sampling epochs while processing the update stream",
+        tracker.epochs()
+    );
+    assert_eq!(tracker.len(), kept.len());
+}
+
+fn sample_case<R: Rng>(district: &District, rng: &mut R) -> Point2 {
+    Point2::xy(
+        district.center.x() + rng.gen_range(-district.spread..district.spread),
+        district.center.y() + rng.gen_range(-district.spread..district.spread),
+    )
+}
+
+fn report(tracker: &mut DynamicBallMaxRS<2>, districts: &[District]) {
+    let hotspot = tracker.best().expect("tracker should not be empty in this example");
+    let nearest = districts
+        .iter()
+        .min_by(|a, b| {
+            a.center.dist(&hotspot.center).partial_cmp(&b.center.dist(&hotspot.center)).unwrap()
+        })
+        .unwrap();
+    println!(
+        "active cases: {:4} | hotspot at ({:5.2}, {:5.2}) near the {:10} district, covering {} cases",
+        tracker.len(),
+        hotspot.center.x(),
+        hotspot.center.y(),
+        nearest.name,
+        hotspot.value
+    );
+}

@@ -1,0 +1,75 @@
+//! The hardness-reduction chains of Sections 5 and 6, run end to end.
+//!
+//! Run with `cargo run --example hardness_chain`.
+//!
+//! Theorems 1.3 and 1.4 say that batched MaxRS in `R^1` and the batched
+//! smallest-k-enclosing-interval problem are conditionally hard because a fast
+//! algorithm for either would yield a fast (min,+)-convolution algorithm.
+//! This example makes that statement concrete: it solves (min,+)-convolution
+//! instances *through* the geometric solvers and checks the answers against
+//! the naive quadratic convolution.
+
+use maxrs::hardness::reductions::build_batched_instance;
+use maxrs::prelude::*;
+use rand::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let n = 512;
+    let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+    let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+
+    println!("solving a (min,+)-convolution instance of length {n} three different ways\n");
+
+    let t0 = Instant::now();
+    let naive = min_plus_convolution(&a, &b);
+    println!("naive quadratic solver        : {:>8.2?}", t0.elapsed());
+
+    // Figure 6 chain: (min,+) → (min,+,M) → (max,+,M) → positive (max,+,M) →
+    // batched MaxRS on 4n+2 weighted points per block.
+    let t1 = Instant::now();
+    let via_maxrs = min_plus_via_batched_maxrs(&a, &b, 64);
+    println!("via batched MaxRS (Section 5) : {:>8.2?}", t1.elapsed());
+
+    // Section 6 chain: (min,+) → monotone (min,+) → batched smallest
+    // k-enclosing interval on 2n points.
+    let t2 = Instant::now();
+    let via_bsei = min_plus_via_bsei(&a, &b);
+    println!("via batched SEI (Section 6)   : {:>8.2?}", t2.elapsed());
+
+    let max_err_maxrs = max_abs_diff(&naive, &via_maxrs);
+    let max_err_bsei = max_abs_diff(&naive, &via_bsei);
+    println!("\nmaximum deviation from the naive answer:");
+    println!("  batched-MaxRS chain: {max_err_maxrs:.2e}");
+    println!("  batched-SEI chain  : {max_err_bsei:.2e}");
+    assert!(max_err_maxrs < 1e-6);
+    assert!(max_err_bsei < 1e-6);
+
+    // Peek inside the Section 5.4 gadget (Figure 7): guards and walls.
+    println!("\nanatomy of one batched-MaxRS instance produced by the reduction:");
+    let small_a = vec![2.0, 0.0, 7.0];
+    let small_b = vec![1.0, 5.0, 3.0];
+    let gadget = build_batched_instance(&small_a, &small_b, &[0, 1, 2]);
+    let wall_threshold: f64 =
+        -(small_a.iter().sum::<f64>() + small_b.iter().sum::<f64>()) - 0.5;
+    let mut points = gadget.points.clone();
+    points.sort_by(|p, q| p.x.partial_cmp(&q.x).unwrap());
+    for p in &points {
+        let kind = if p.weight <= wall_threshold {
+            "wall "
+        } else if p.weight < 0.0 {
+            "guard"
+        } else {
+            "value"
+        };
+        println!("  x = {:5.1}  weight = {:7.1}  ({kind})", p.x, p.weight);
+    }
+    println!("  query lengths: {:?}", gadget.lengths);
+
+    println!("\nboth hardness chains reproduce the naive convolution exactly");
+}
+
+fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}

@@ -1,0 +1,94 @@
+//! Quickstart: the three basic MaxRS queries on a small point set.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The scenario mirrors Figure 1 of the paper: a handful of points in the
+//! plane, and we ask (a) where to place a fixed rectangle to cover the most
+//! points, (b) where to place a fixed-radius disk, and (c) where to place a
+//! disk to cover the most *distinct colors*.
+
+use maxrs::prelude::*;
+
+fn main() {
+    // A cluster of six points near the origin plus two stragglers, as in
+    // Figure 1a.
+    let coords = [
+        (0.0, 0.0),
+        (0.5, 0.3),
+        (0.8, 0.6),
+        (0.2, 0.7),
+        (0.7, 0.1),
+        (0.4, 0.5),
+        (5.0, 5.0),
+        (-4.0, 2.0),
+    ];
+    let points: Vec<WeightedPoint<2>> =
+        coords.iter().map(|&(x, y)| WeightedPoint::unit(Point2::xy(x, y))).collect();
+
+    println!("== Exact rectangle MaxRS (Imai–Asano sweep, O(n log n)) ==");
+    let rect = max_rect_placement(&points, 1.0, 1.0);
+    println!(
+        "a 1×1 rectangle anchored at ({:.2}, {:.2}) covers weight {}",
+        rect.rect.lo.x(),
+        rect.rect.lo.y(),
+        rect.value
+    );
+    assert_eq!(rect.value, 6.0);
+
+    println!();
+    println!("== Exact disk MaxRS (Chazelle–Lee sweep, O(n² log n)) ==");
+    let disk = max_disk_placement(&points, 1.0);
+    println!(
+        "a unit disk centered at ({:.2}, {:.2}) covers weight {}",
+        disk.center.x(),
+        disk.center.y(),
+        disk.value
+    );
+    assert_eq!(disk.value, 6.0);
+
+    println!();
+    println!("== Approximate disk MaxRS (Theorem 1.2, (1/2 − ε)-approx) ==");
+    let instance = WeightedBallInstance::new(points.clone(), 1.0);
+    let approx = approx_static_ball(&instance, SamplingConfig::practical(0.25));
+    println!(
+        "the sampling technique places the disk at ({:.2}, {:.2}) covering weight {}",
+        approx.center.x(),
+        approx.center.y(),
+        approx.value
+    );
+    assert!(approx.value >= (0.5 - 0.25) * disk.value);
+
+    println!();
+    println!("== Colored disk MaxRS (Figure 1b) ==");
+    // The same cluster, now with colors: three distinct colors close together
+    // and a fourth far away.
+    let sites = vec![
+        ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+        ColoredSite::new(Point2::xy(0.3, 0.2), 0),
+        ColoredSite::new(Point2::xy(0.5, 0.0), 1),
+        ColoredSite::new(Point2::xy(0.1, 0.6), 2),
+        ColoredSite::new(Point2::xy(5.0, 5.0), 3),
+    ];
+    let colored = output_sensitive_colored_disk(&sites, 1.0);
+    println!(
+        "a unit disk centered at ({:.2}, {:.2}) covers {} distinct colors",
+        colored.center.x(),
+        colored.center.y(),
+        colored.distinct
+    );
+    assert_eq!(colored.distinct, 3);
+
+    println!();
+    println!("== 1-D MaxRS (the batched building block) ==");
+    let line_points: Vec<LinePoint> =
+        [0.0, 0.4, 0.9, 3.0, 3.2, 9.0].iter().map(|&x| LinePoint::new(x, 1.0)).collect();
+    let best = max_interval_placement(&line_points, 1.0);
+    println!(
+        "an interval of length 1 placed at [{:.2}, {:.2}] covers {} points",
+        best.interval.lo, best.interval.hi, best.value
+    );
+    assert_eq!(best.value, 3.0);
+
+    println!();
+    println!("quickstart finished — all placements match the expected optima");
+}

@@ -1,0 +1,90 @@
+//! Retail site selection with weighted MaxRS (rectangle and disk baselines,
+//! plus the batched 1-D problem).
+//!
+//! Run with `cargo run --example retail_site_selection`.
+//!
+//! The paper's Walmart example: customer locations (weighted by expected
+//! spend) are known, and the retailer wants the catchment area — a rectangle
+//! the size of a delivery zone, or a disk of fixed driving radius — that
+//! captures the most spend.  The batched 1-D problem shows up when the same
+//! question is asked along a highway corridor for several store formats at
+//! once.
+
+use maxrs::prelude::*;
+use rand::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Customers cluster around three suburbs with different spending power.
+    let suburbs = [
+        (Point2::xy(2.0, 2.0), 400, 1.0),  // dense, low spend
+        (Point2::xy(9.0, 3.0), 150, 2.5),  // medium
+        (Point2::xy(5.0, 9.0), 80, 5.0),   // sparse, high spend
+    ];
+    let mut customers: Vec<WeightedPoint<2>> = Vec::new();
+    for &(center, count, spend) in &suburbs {
+        for _ in 0..count {
+            let p = Point2::xy(
+                center.x() + rng.gen_range(-1.2..1.2),
+                center.y() + rng.gen_range(-1.2..1.2),
+            );
+            customers.push(WeightedPoint::new(p, spend * rng.gen_range(0.5..1.5)));
+        }
+    }
+    let total: f64 = customers.iter().map(|c| c.weight).sum();
+    println!("{} customers, total weekly spend {:.0}", customers.len(), total);
+
+    println!("\n== Delivery-zone placement (2×2 rectangle, exact O(n log n) sweep) ==");
+    let zone = max_rect_placement(&customers, 2.0, 2.0);
+    println!(
+        "best zone anchored at ({:.2}, {:.2}) captures spend {:.0} ({:.0}% of total)",
+        zone.rect.lo.x(),
+        zone.rect.lo.y(),
+        zone.value,
+        100.0 * zone.value / total
+    );
+
+    println!("\n== Store placement by driving radius (exact disk MaxRS) ==");
+    for radius in [0.5, 1.0, 1.5] {
+        let store = max_disk_placement(&customers, radius);
+        println!(
+            "radius {:3.1}: store at ({:.2}, {:.2}) captures spend {:.0}",
+            radius,
+            store.center.x(),
+            store.center.y(),
+            store.value
+        );
+    }
+
+    println!("\n== Large instance: approximate placement (Theorem 1.2) vs exact ==");
+    let instance = WeightedBallInstance::new(customers.clone(), 1.0);
+    let exact = max_disk_placement(&customers, 1.0);
+    let approx = approx_static_ball(&instance, SamplingConfig::practical(0.25).with_seed(3));
+    println!(
+        "exact spend {:.0}, sampling-technique spend {:.0} (ratio {:.2})",
+        exact.value,
+        approx.value,
+        approx.value / exact.value
+    );
+    assert!(approx.value >= 0.25 * exact.value);
+
+    println!("\n== Highway corridor: batched MaxRS in 1-D for several store formats ==");
+    // Project the customers onto the highway (the x-axis) and ask, for each
+    // store format (catchment length), where along the highway to build.
+    let corridor: Vec<LinePoint> =
+        customers.iter().map(|c| LinePoint::new(c.point.x(), c.weight)).collect();
+    let solver = BatchedMaxRS1D::new(&corridor);
+    let formats = [("kiosk", 0.5), ("convenience", 1.5), ("supermarket", 3.0), ("hypermarket", 6.0)];
+    let placements = solver.solve(&formats.iter().map(|f| f.1).collect::<Vec<_>>());
+    for ((name, len), placement) in formats.iter().zip(&placements) {
+        println!(
+            "{:12} (catchment {:3.1} km): build at km {:5.2}, captured spend {:.0}",
+            name, len, placement.interval.lo, placement.value
+        );
+    }
+    // Larger formats never capture less spend.
+    for pair in placements.windows(2) {
+        assert!(pair[1].value >= pair[0].value);
+    }
+}

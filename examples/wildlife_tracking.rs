@@ -1,0 +1,93 @@
+//! Wildlife monitoring with colored MaxRS (Theorems 1.5, 4.6 and 1.6).
+//!
+//! Run with `cargo run --example wildlife_tracking`.
+//!
+//! The paper's motivating example for the colored problem: each endangered
+//! animal contributes a trajectory of GPS samples, all carrying that animal's
+//! color, and a single tracking station with a fixed observation radius should
+//! be positioned to observe as many *distinct animals* as possible — observing
+//! one animal twice is worth nothing extra.
+
+use maxrs::prelude::*;
+use rand::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // 40 animals wander around a watering hole at (5, 5); 20 more live in a
+    // distant valley around (40, 5).  Each contributes a 30-sample trajectory.
+    let mut sites: Vec<ColoredSite<2>> = Vec::new();
+    for animal in 0..40usize {
+        let start = Point2::xy(rng.gen_range(3.0..7.0), rng.gen_range(3.0..7.0));
+        sites.extend(random_walk(animal, start, 30, 0.15, &mut rng));
+    }
+    for animal in 40..60usize {
+        let start = Point2::xy(rng.gen_range(38.0..42.0), rng.gen_range(3.0..7.0));
+        sites.extend(random_walk(animal, start, 30, 0.15, &mut rng));
+    }
+    println!("{} GPS samples from 60 animals", sites.len());
+
+    // Exact answer with the output-sensitive algorithm of Theorem 4.6.
+    let station_radius = 2.5;
+    let exact = output_sensitive_colored_disk(&sites, station_radius);
+    println!(
+        "exact (Theorem 4.6): station at ({:.2}, {:.2}) observes {} distinct animals",
+        exact.center.x(),
+        exact.center.y(),
+        exact.distinct
+    );
+
+    // Fast (1/2 − ε)-approximation in any dimension (Theorem 1.5).
+    let instance = ColoredBallInstance::new(sites.clone(), station_radius);
+    let rough = approx_colored_ball(&instance, SamplingConfig::practical(0.25).with_seed(1));
+    println!(
+        "sampling (Theorem 1.5): station at ({:.2}, {:.2}) observes {} distinct animals",
+        rough.center.x(),
+        rough.center.y(),
+        rough.distinct
+    );
+
+    // (1 − ε)-approximation via color sampling (Theorem 1.6).
+    let fine = approx_colored_disk_sampling(&instance, ColorSamplingConfig::new(0.2).with_seed(5));
+    println!(
+        "color sampling (Theorem 1.6): station at ({:.2}, {:.2}) observes {} distinct animals",
+        fine.center.x(),
+        fine.center.y(),
+        fine.distinct
+    );
+
+    assert!(rough.distinct as f64 >= 0.25 * exact.distinct as f64);
+    assert!(fine.distinct as f64 >= 0.8 * exact.distinct as f64);
+    assert!(exact.distinct <= 40, "the two herds are too far apart to observe together");
+
+    // What if we could afford a much longer observation radius?  The exact
+    // union-boundary algorithm (Lemma 4.2) answers arbitrary radii.
+    println!();
+    for radius in [1.0, 2.5, 5.0, 40.0] {
+        let placement = exact_colored_disk_by_union(&sites, radius);
+        println!(
+            "radius {:5.1}: best station observes {:2} distinct animals",
+            radius, placement.distinct
+        );
+    }
+}
+
+/// A short random walk for one animal, colored with its identifier.
+fn random_walk<R: Rng>(
+    color: usize,
+    start: Point2,
+    steps: usize,
+    step_size: f64,
+    rng: &mut R,
+) -> Vec<ColoredSite<2>> {
+    let mut here = start;
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        out.push(ColoredSite::new(here, color));
+        here = Point2::xy(
+            here.x() + rng.gen_range(-step_size..step_size),
+            here.y() + rng.gen_range(-step_size..step_size),
+        );
+    }
+    out
+}

@@ -1,0 +1,39 @@
+//! The `maxrs` command-line tool: maximum range sum queries over CSV point
+//! files.  All parsing and query logic lives in [`maxrs::cli`]; this binary
+//! only wires it to the process arguments, the filesystem and the exit code.
+
+use std::process::ExitCode;
+
+use maxrs::cli::{input_path, parse_args, run_on_text, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(command) => command,
+        Err(error) => {
+            eprintln!("error: {error}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let file_text = match input_path(&command) {
+        None => String::new(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("error: cannot read {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match run_on_text(&command, &file_text) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Parsing and formatting helpers for the `maxrs` command-line tool.
+//!
+//! The binary (`src/bin/maxrs.rs`) is a thin wrapper around these functions so
+//! that everything interesting — CSV parsing, query-spec parsing, result
+//! formatting — is unit-testable without spawning processes.
+
+use std::fmt;
+use std::str::FromStr;
+
+use mrs_core::config::{ColorSamplingConfig, SamplingConfig};
+use mrs_core::exact::{max_disk_placement, max_rect_placement};
+use mrs_core::input::{ColoredBallInstance, WeightedBallInstance};
+use mrs_core::technique1::approx_static_ball;
+use mrs_core::technique2::{approx_colored_disk_sampling, output_sensitive_colored_disk};
+use mrs_geom::{ColoredSite, Point2, WeightedPoint};
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Exact disk MaxRS (`disk --radius R <file>`).
+    Disk {
+        /// Query radius.
+        radius: f64,
+        /// Input CSV path.
+        path: String,
+    },
+    /// Approximate disk MaxRS via Technique 1 (`disk-approx --radius R --eps E <file>`).
+    DiskApprox {
+        /// Query radius.
+        radius: f64,
+        /// Approximation parameter.
+        eps: f64,
+        /// Input CSV path.
+        path: String,
+    },
+    /// Exact rectangle MaxRS (`rect --width W --height H <file>`).
+    Rect {
+        /// Rectangle width.
+        width: f64,
+        /// Rectangle height.
+        height: f64,
+        /// Input CSV path.
+        path: String,
+    },
+    /// Exact colored disk MaxRS (`colored-disk --radius R <file>`).
+    ColoredDisk {
+        /// Query radius.
+        radius: f64,
+        /// Input CSV path.
+        path: String,
+    },
+    /// Approximate colored disk MaxRS via color sampling
+    /// (`colored-disk-approx --radius R --eps E <file>`).
+    ColoredDiskApprox {
+        /// Query radius.
+        radius: f64,
+        /// Approximation parameter.
+        eps: f64,
+        /// Input CSV path.
+        path: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors produced while parsing arguments or input files.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(message.into()))
+}
+
+/// The usage string printed by `maxrs help`.
+pub const USAGE: &str = "\
+maxrs — maximum range sum queries over CSV point files
+
+USAGE:
+    maxrs disk                --radius R            <points.csv>
+    maxrs disk-approx         --radius R --eps E    <points.csv>
+    maxrs rect                --width W --height H  <points.csv>
+    maxrs colored-disk        --radius R            <colored.csv>
+    maxrs colored-disk-approx --radius R --eps E    <colored.csv>
+
+INPUT FORMATS (one record per line, '#' starts a comment):
+    weighted points:  x,y[,weight]      (weight defaults to 1)
+    colored sites:    x,y,color         (color is a non-negative integer)
+";
+
+/// Parses the command-line arguments (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let mut radius = None;
+    let mut eps = None;
+    let mut width = None;
+    let mut height = None;
+    let mut path = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--radius" => {
+                radius = Some(parse_flag_value(args, &mut i, "--radius")?);
+            }
+            "--eps" => {
+                eps = Some(parse_flag_value(args, &mut i, "--eps")?);
+            }
+            "--width" => {
+                width = Some(parse_flag_value(args, &mut i, "--width")?);
+            }
+            "--height" => {
+                height = Some(parse_flag_value(args, &mut i, "--height")?);
+            }
+            flag if flag.starts_with("--") => {
+                return err(format!("unknown flag {flag}"));
+            }
+            positional => {
+                if path.is_some() {
+                    return err(format!("unexpected extra argument {positional}"));
+                }
+                path = Some(positional.to_string());
+                i += 1;
+            }
+        }
+    }
+    let need_path = |path: Option<String>| -> Result<String, CliError> {
+        path.ok_or_else(|| CliError("missing input file path".into()))
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "disk" => Ok(Command::Disk {
+            radius: radius.ok_or_else(|| CliError("disk requires --radius".into()))?,
+            path: need_path(path)?,
+        }),
+        "disk-approx" => Ok(Command::DiskApprox {
+            radius: radius.ok_or_else(|| CliError("disk-approx requires --radius".into()))?,
+            eps: eps.unwrap_or(0.25),
+            path: need_path(path)?,
+        }),
+        "rect" => Ok(Command::Rect {
+            width: width.ok_or_else(|| CliError("rect requires --width".into()))?,
+            height: height.ok_or_else(|| CliError("rect requires --height".into()))?,
+            path: need_path(path)?,
+        }),
+        "colored-disk" => Ok(Command::ColoredDisk {
+            radius: radius.ok_or_else(|| CliError("colored-disk requires --radius".into()))?,
+            path: need_path(path)?,
+        }),
+        "colored-disk-approx" => Ok(Command::ColoredDiskApprox {
+            radius: radius
+                .ok_or_else(|| CliError("colored-disk-approx requires --radius".into()))?,
+            eps: eps.unwrap_or(0.25),
+            path: need_path(path)?,
+        }),
+        other => err(format!("unknown command {other}; run `maxrs help`")),
+    }
+}
+
+fn parse_flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<f64, CliError> {
+    let Some(raw) = args.get(*i + 1) else {
+        return err(format!("{flag} requires a value"));
+    };
+    let value = f64::from_str(raw).map_err(|_| CliError(format!("{flag}: invalid number {raw}")))?;
+    *i += 2;
+    Ok(value)
+}
+
+/// Parses weighted points from CSV text (`x,y[,weight]` per line).
+pub fn parse_weighted_csv(text: &str) -> Result<Vec<WeightedPoint<2>>, CliError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 || fields.len() > 3 {
+            return err(format!("line {}: expected `x,y[,weight]`, got `{line}`", lineno + 1));
+        }
+        let x = parse_number(fields[0], lineno)?;
+        let y = parse_number(fields[1], lineno)?;
+        let weight = if fields.len() == 3 { parse_number(fields[2], lineno)? } else { 1.0 };
+        if weight < 0.0 {
+            return err(format!("line {}: weights must be non-negative", lineno + 1));
+        }
+        out.push(WeightedPoint::new(Point2::xy(x, y), weight));
+    }
+    Ok(out)
+}
+
+/// Parses colored sites from CSV text (`x,y,color` per line).
+pub fn parse_colored_csv(text: &str) -> Result<Vec<ColoredSite<2>>, CliError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 3 {
+            return err(format!("line {}: expected `x,y,color`, got `{line}`", lineno + 1));
+        }
+        let x = parse_number(fields[0], lineno)?;
+        let y = parse_number(fields[1], lineno)?;
+        let color: usize = fields[2]
+            .parse()
+            .map_err(|_| CliError(format!("line {}: invalid color `{}`", lineno + 1, fields[2])))?;
+        out.push(ColoredSite::new(Point2::xy(x, y), color));
+    }
+    Ok(out)
+}
+
+fn parse_number(raw: &str, lineno: usize) -> Result<f64, CliError> {
+    f64::from_str(raw).map_err(|_| CliError(format!("line {}: invalid number `{raw}`", lineno + 1)))
+}
+
+/// Executes a parsed command against already-loaded file contents and returns
+/// the report text.  Pure function so it can be tested without touching the
+/// filesystem.
+pub fn run_on_text(command: &Command, file_text: &str) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Disk { radius, .. } => {
+            let points = parse_weighted_csv(file_text)?;
+            if !(radius.is_finite() && *radius > 0.0) {
+                return err("radius must be positive");
+            }
+            let placement = max_disk_placement(&points, *radius);
+            Ok(format!(
+                "exact disk MaxRS: center = ({:.6}, {:.6}), covered weight = {:.6}, points = {}",
+                placement.center.x(),
+                placement.center.y(),
+                placement.value,
+                points.len()
+            ))
+        }
+        Command::DiskApprox { radius, eps, .. } => {
+            let points = parse_weighted_csv(file_text)?;
+            if points.is_empty() {
+                return Ok("empty input: nothing to place".to_string());
+            }
+            let instance = WeightedBallInstance::new(points, *radius);
+            let placement = approx_static_ball(&instance, SamplingConfig::practical(*eps));
+            Ok(format!(
+                "approximate disk MaxRS (Theorem 1.2, ε = {eps}): center = ({:.6}, {:.6}), covered weight = {:.6}",
+                placement.center.x(),
+                placement.center.y(),
+                placement.value
+            ))
+        }
+        Command::Rect { width, height, .. } => {
+            let points = parse_weighted_csv(file_text)?;
+            let placement = max_rect_placement(&points, *width, *height);
+            Ok(format!(
+                "exact rectangle MaxRS: anchor = ({:.6}, {:.6}), covered weight = {:.6}",
+                placement.rect.lo.x(),
+                placement.rect.lo.y(),
+                placement.value
+            ))
+        }
+        Command::ColoredDisk { radius, .. } => {
+            let sites = parse_colored_csv(file_text)?;
+            let placement = output_sensitive_colored_disk(&sites, *radius);
+            Ok(format!(
+                "exact colored disk MaxRS (Theorem 4.6): center = ({:.6}, {:.6}), distinct colors = {}",
+                placement.center.x(),
+                placement.center.y(),
+                placement.distinct
+            ))
+        }
+        Command::ColoredDiskApprox { radius, eps, .. } => {
+            let sites = parse_colored_csv(file_text)?;
+            if sites.is_empty() {
+                return Ok("empty input: nothing to place".to_string());
+            }
+            let instance = ColoredBallInstance::new(sites, *radius);
+            let placement =
+                approx_colored_disk_sampling(&instance, ColorSamplingConfig::new(*eps));
+            Ok(format!(
+                "approximate colored disk MaxRS (Theorem 1.6, ε = {eps}): center = ({:.6}, {:.6}), distinct colors = {}",
+                placement.center.x(),
+                placement.center.y(),
+                placement.distinct
+            ))
+        }
+    }
+}
+
+/// The input file referenced by a command, if any.
+pub fn input_path(command: &Command) -> Option<&str> {
+    match command {
+        Command::Help => None,
+        Command::Disk { path, .. }
+        | Command::DiskApprox { path, .. }
+        | Command::Rect { path, .. }
+        | Command::ColoredDisk { path, .. }
+        | Command::ColoredDiskApprox { path, .. } => Some(path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(
+            parse_args(&args(&["disk", "--radius", "2.5", "pts.csv"])).unwrap(),
+            Command::Disk { radius: 2.5, path: "pts.csv".into() }
+        );
+        assert_eq!(
+            parse_args(&args(&["rect", "--width", "1", "--height", "2", "pts.csv"])).unwrap(),
+            Command::Rect { width: 1.0, height: 2.0, path: "pts.csv".into() }
+        );
+        assert_eq!(
+            parse_args(&args(&["colored-disk-approx", "--radius", "1", "--eps", "0.1", "c.csv"]))
+                .unwrap(),
+            Command::ColoredDiskApprox { radius: 1.0, eps: 0.1, path: "c.csv".into() }
+        );
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_malformed_arguments() {
+        assert!(parse_args(&args(&["disk", "pts.csv"])).is_err());
+        assert!(parse_args(&args(&["disk", "--radius", "abc", "pts.csv"])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["disk", "--radius", "1", "a.csv", "b.csv"])).is_err());
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--bogus", "x", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn parses_weighted_and_colored_csv() {
+        let weighted = "0,0\n1.5, 2.5, 3  # heavy point\n\n# comment line\n";
+        let points = parse_weighted_csv(weighted).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].weight, 3.0);
+
+        let colored = "0,0,0\n1,1,4\n";
+        let sites = parse_colored_csv(colored).unwrap();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[1].color, 4);
+
+        assert!(parse_weighted_csv("1,2,3,4").is_err());
+        assert!(parse_weighted_csv("1,2,-1").is_err());
+        assert!(parse_colored_csv("1,2").is_err());
+        assert!(parse_colored_csv("1,2,red").is_err());
+    }
+
+    #[test]
+    fn runs_queries_end_to_end_on_text_input() {
+        let csv = "0,0\n0.5,0\n0.5,0.5\n9,9\n";
+        let disk = Command::Disk { radius: 1.0, path: "ignored".into() };
+        let report = run_on_text(&disk, csv).unwrap();
+        assert!(report.contains("covered weight = 3.0"), "{report}");
+
+        let rect = Command::Rect { width: 1.0, height: 1.0, path: "ignored".into() };
+        let report = run_on_text(&rect, csv).unwrap();
+        assert!(report.contains("covered weight = 3.0"), "{report}");
+
+        let colored_csv = "0,0,0\n0.4,0,1\n0.4,0.3,1\n9,9,2\n";
+        let colored = Command::ColoredDisk { radius: 1.0, path: "ignored".into() };
+        let report = run_on_text(&colored, colored_csv).unwrap();
+        assert!(report.contains("distinct colors = 2"), "{report}");
+
+        let help = run_on_text(&Command::Help, "").unwrap();
+        assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn approx_commands_run_and_report() {
+        let csv: String =
+            (0..50).map(|i| format!("{},{}\n", 0.01 * i as f64, 0.0)).collect::<String>();
+        let cmd = Command::DiskApprox { radius: 1.0, eps: 0.25, path: "ignored".into() };
+        let report = run_on_text(&cmd, &csv).unwrap();
+        assert!(report.contains("approximate disk MaxRS"), "{report}");
+
+        let colored_csv: String =
+            (0..30).map(|i| format!("{},0,{}\n", 0.02 * i as f64, i % 5)).collect::<String>();
+        let cmd = Command::ColoredDiskApprox { radius: 1.0, eps: 0.25, path: "ignored".into() };
+        let report = run_on_text(&cmd, &colored_csv).unwrap();
+        assert!(report.contains("distinct colors = 5"), "{report}");
+    }
+
+    #[test]
+    fn input_path_extraction() {
+        assert_eq!(input_path(&Command::Help), None);
+        assert_eq!(
+            input_path(&Command::Disk { radius: 1.0, path: "a.csv".into() }),
+            Some("a.csv")
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! # maxrs — maximum range sum algorithms, batched problems and hardness reductions
+//!
+//! A Rust implementation of *"A Bouquet of Results on Maximum Range Sum:
+//! General Techniques and Hardness Reductions"* (PODS 2025).  This facade
+//! crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`geom`] — geometric substrate (points, balls, boxes, shifted grids,
+//!   sphere sampling, disk-union boundaries, sweep structures);
+//! * [`core`] — the MaxRS algorithms themselves: exact baselines, the
+//!   point-sampling technique (static / dynamic / colored, Theorems 1.1, 1.2,
+//!   1.5) and the output-sensitive + color-sampling technique (Theorems 4.6,
+//!   1.6);
+//! * [`batched`] — batched 1-D MaxRS and the batched smallest-k-enclosing
+//!   interval problem (the upper bounds matched by Theorems 1.3 and 1.4);
+//! * [`hardness`] — the (min,+)-convolution family and the executable
+//!   reduction chains of Sections 5 and 6.
+//!
+//! The [`prelude`] pulls in the types and entry points most applications need.
+//!
+//! ```
+//! use maxrs::prelude::*;
+//!
+//! // Where should a store with a 1 km catchment radius go?
+//! let customers = vec![
+//!     WeightedPoint::unit(Point2::xy(0.1, 0.2)),
+//!     WeightedPoint::unit(Point2::xy(0.4, 0.1)),
+//!     WeightedPoint::unit(Point2::xy(8.0, 8.0)),
+//! ];
+//! let instance = WeightedBallInstance::new(customers, 1.0);
+//! let placement = approx_static_ball(&instance, SamplingConfig::practical(0.25));
+//! assert_eq!(placement.value, 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+
+pub use mrs_batched as batched;
+pub use mrs_core as core;
+pub use mrs_geom as geom;
+pub use mrs_hardness as hardness;
+
+/// The most commonly used types and functions from across the workspace.
+pub mod prelude {
+    pub use mrs_batched::{BatchedMaxRS1D, BatchedSei, IntervalPlacement, LinePoint};
+    pub use mrs_core::config::{ColorSamplingConfig, SamplingConfig};
+    pub use mrs_core::exact::{max_disk_placement, max_interval_placement, max_rect_placement};
+    pub use mrs_core::input::{
+        ColoredBallInstance, ColoredPlacement, Placement, WeightedBallInstance,
+    };
+    pub use mrs_core::technique1::{approx_colored_ball, approx_static_ball, DynamicBallMaxRS};
+    pub use mrs_core::technique2::{
+        approx_colored_disk_sampling, exact_colored_disk_by_union, output_sensitive_colored_disk,
+    };
+    pub use mrs_geom::{Aabb, Ball, ColoredSite, Interval, Point, Point2, Rect, WeightedPoint};
+    pub use mrs_hardness::{min_plus_convolution, min_plus_via_batched_maxrs, min_plus_via_bsei};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_re_exports_are_usable_together() {
+        let sites = vec![
+            ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+            ColoredSite::new(Point2::xy(0.5, 0.0), 1),
+        ];
+        let exact = output_sensitive_colored_disk(&sites, 1.0);
+        assert_eq!(exact.distinct, 2);
+
+        let conv = min_plus_convolution(&[1.0, 2.0], &[3.0, 0.0]);
+        assert_eq!(conv, vec![4.0, 1.0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration tests for the hardness-reduction chains of
+//! Sections 5 and 6, driven end to end through the geometric solvers of
+//! `mrs-batched`.
+
+use maxrs::batched::{BatchedMaxRS1D, BatchedSei, LinePoint};
+use maxrs::hardness::convolution::{max_plus_convolution_indexed, min_plus_convolution};
+use maxrs::hardness::reductions::{
+    build_batched_instance, build_bsei_instance, min_plus_via_batched_maxrs, min_plus_via_bsei,
+    monotone_min_plus_via_bsei, positive_max_plus_indexed_via_batched_maxrs,
+};
+use rand::prelude::*;
+
+#[test]
+fn figure_6_chain_matches_naive_convolution_at_several_sizes_and_block_widths() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for &n in &[1usize, 2, 17, 64, 200] {
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
+        let naive = min_plus_convolution(&a, &b);
+        for block in [1, 7, n] {
+            let chained = min_plus_via_batched_maxrs(&a, &b, block.max(1));
+            for (k, (x, y)) in chained.iter().zip(&naive).enumerate() {
+                assert!((x - y).abs() < 1e-6, "n={n} block={block} k={k}: {x} vs {y}");
+            }
+        }
+    }
+}
+
+#[test]
+fn section_6_chain_matches_naive_convolution() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for &n in &[1usize, 3, 50, 300] {
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-500.0..500.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-500.0..500.0)).collect();
+        let naive = min_plus_convolution(&a, &b);
+        let chained = min_plus_via_bsei(&a, &b);
+        for (k, (x, y)) in chained.iter().zip(&naive).enumerate() {
+            assert!((x - y).abs() < 1e-6, "n={n} k={k}: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn reduction_instances_have_the_advertised_sizes() {
+    // Section 5.4: 4n value/guard points plus two walls, one length per target.
+    let a = vec![1.0; 32];
+    let b = vec![2.0; 32];
+    let targets: Vec<usize> = (0..32).step_by(3).collect();
+    let inst = build_batched_instance(&a, &b, &targets);
+    assert_eq!(inst.points.len(), 4 * 32 + 2);
+    assert_eq!(inst.lengths.len(), targets.len());
+
+    // Section 6.2: exactly 2n points.
+    let d: Vec<f64> = (0..32).map(|i| 100.0 - i as f64).collect();
+    let e: Vec<f64> = (0..32).map(|i| 50.0 - 2.0 * i as f64).collect();
+    assert_eq!(build_bsei_instance(&d, &e).len(), 64);
+}
+
+#[test]
+fn batched_oracles_answer_the_reduction_queries_consistently_with_direct_use() {
+    // The reduction drives the same public solvers a user would call directly;
+    // make sure both entry points agree.
+    let mut rng = StdRng::seed_from_u64(8);
+    let n = 48;
+    let a: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let b: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let targets: Vec<usize> = vec![0, 5, 17, 33, n - 1];
+
+    let via_reduction = positive_max_plus_indexed_via_batched_maxrs(&a, &b, &targets);
+    let direct = max_plus_convolution_indexed(&a, &b, &targets);
+    assert_eq!(via_reduction.len(), direct.len());
+    for (x, y) in via_reduction.iter().zip(&direct) {
+        assert!((x - y).abs() < 1e-9);
+    }
+
+    // And the instance it builds is an ordinary batched MaxRS instance.
+    let inst = build_batched_instance(&a, &b, &targets);
+    let solver = BatchedMaxRS1D::new(&inst.points);
+    let answers = solver.solve(&inst.lengths);
+    for (ans, want) in answers.iter().zip(&direct) {
+        assert!((ans.value - want).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn monotone_chain_uses_genuine_bsei_lengths() {
+    // The G_k sequence fed into the Section 6.2 recovery must be the same one
+    // the public BSEI solver reports.
+    let d: Vec<f64> = (0..40).map(|i| 500.0 - 3.0 * i as f64).collect();
+    let e: Vec<f64> = (0..40).map(|i| 200.0 - 5.0 * i as f64).collect();
+    let points = build_bsei_instance(&d, &e);
+    let solver = BatchedSei::new(&points);
+    let lengths = solver.all_lengths();
+    assert_eq!(lengths.len(), 80);
+
+    let recovered = monotone_min_plus_via_bsei(&d, &e);
+    let naive = min_plus_convolution(&d, &e);
+    for (x, y) in recovered.iter().zip(&naive) {
+        assert!((x - y).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn the_gadget_points_are_a_legal_weighted_point_set() {
+    // Guards are negative, values are non-negative, walls are the most
+    // negative, and every coordinate is finite — i.e. the reduction output is
+    // a instance any 1-D MaxRS implementation could consume.
+    let a = vec![3.0, 1.0, 4.0, 1.0, 5.0];
+    let b = vec![9.0, 2.0, 6.0, 5.0, 3.0];
+    let inst = build_batched_instance(&a, &b, &[2]);
+    let total_positive: f64 = a.iter().chain(b.iter()).sum();
+    let mut wall_count = 0;
+    for LinePoint { x, weight } in &inst.points {
+        assert!(x.is_finite() && weight.is_finite());
+        if *weight < -total_positive {
+            wall_count += 1;
+        }
+    }
+    assert_eq!(wall_count, 2);
+}
