@@ -81,18 +81,19 @@ impl BatchedMaxRS1D {
         let mut hi = 0usize; // first index with xs[hi] > start + len + tol
         let mut a = 0usize; // cursor into the shifted candidate list
         let mut b = 0usize; // cursor into the direct candidate list
-        let evaluate = |start: f64, lo: &mut usize, hi: &mut usize, best: &mut IntervalPlacement| {
-            while *lo < n && self.xs[*lo] < start - 1e-12 {
-                *lo += 1;
-            }
-            while *hi < n && self.xs[*hi] <= start + len + 1e-12 {
-                *hi += 1;
-            }
-            let value = self.prefix[*hi] - self.prefix[(*lo).min(*hi)];
-            if value > best.value + 1e-15 {
-                *best = IntervalPlacement { interval: Interval::from_start(start, len), value };
-            }
-        };
+        let evaluate =
+            |start: f64, lo: &mut usize, hi: &mut usize, best: &mut IntervalPlacement| {
+                while *lo < n && self.xs[*lo] < start - 1e-12 {
+                    *lo += 1;
+                }
+                while *hi < n && self.xs[*hi] <= start + len + 1e-12 {
+                    *hi += 1;
+                }
+                let value = self.prefix[*hi] - self.prefix[(*lo).min(*hi)];
+                if value > best.value + 1e-15 {
+                    *best = IntervalPlacement { interval: Interval::from_start(start, len), value };
+                }
+            };
         while a < n || b < n {
             let next_shifted = if a < n { self.xs[a] - len } else { f64::INFINITY };
             let next_direct = if b < n { self.xs[b] } else { f64::INFINITY };
@@ -130,7 +131,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     #[test]
     fn empty_input() {

@@ -16,10 +16,7 @@ use mrs_geom::WeightedPoint;
 
 /// Batched rectangle MaxRS: one exact sweep per requested `(width, height)`
 /// size, `O(m·n log n)` total.
-pub fn batched_rect_maxrs(
-    points: &[WeightedPoint<2>],
-    sizes: &[(f64, f64)],
-) -> Vec<RectPlacement> {
+pub fn batched_rect_maxrs(points: &[WeightedPoint<2>], sizes: &[(f64, f64)]) -> Vec<RectPlacement> {
     sizes.iter().map(|&(w, h)| max_rect_placement(points, w, h)).collect()
 }
 

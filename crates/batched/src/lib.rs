@@ -18,10 +18,12 @@
 
 pub mod batched_maxrs;
 pub mod batched_rect2d;
+pub mod engine;
 pub mod sei;
 
 pub use batched_maxrs::{batched_maxrs_1d, BatchedMaxRS1D};
 pub use batched_rect2d::{batched_disk_maxrs, batched_rect_maxrs};
+pub use engine::BatchedIntervalSolver;
 pub use sei::{batched_sei_lengths, smallest_k_enclosing_interval, BatchedSei, SeiResult};
 
 // Re-export the 1-D point/placement types so downstream crates (notably the

@@ -81,10 +81,7 @@ impl BatchedSei {
                 best_start = start;
             }
         }
-        SeiResult {
-            interval: Interval::new(self.xs[best_start], self.xs[best_start + k - 1]),
-            k,
-        }
+        SeiResult { interval: Interval::new(self.xs[best_start], self.xs[best_start + k - 1]), k }
     }
 
     /// The batched problem: the length of the smallest `k`-enclosing interval
@@ -111,7 +108,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     #[test]
     fn simple_instance() {

@@ -4,7 +4,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrs_geom::cap::{lemma32_configuration, lemma32_covered_fraction, monte_carlo_covered_fraction};
+use mrs_geom::cap::{
+    lemma32_configuration, lemma32_covered_fraction, monte_carlo_covered_fraction,
+};
 use rand::prelude::*;
 use std::hint::black_box;
 

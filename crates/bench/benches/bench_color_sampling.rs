@@ -19,7 +19,8 @@ fn config() -> Criterion {
 
 fn bench_color_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_color_sampling");
-    for &(n, colors) in &[(1500usize, 150usize)] {
+    {
+        let &(n, colors) = &(1500usize, 150usize);
         let mut sites = workloads::colored_clusters_2d(n / 2, colors, 1, 1.0, 0.8, 71);
         sites.extend(workloads::colored_clusters_2d(n / 2, colors / 4, 10, 60.0, 1.0, 72));
         let instance = ColoredBallInstance::new(sites.clone(), 1.0);

@@ -17,7 +17,9 @@ fn config() -> Criterion {
         .measurement_time(Duration::from_secs(2))
 }
 
-fn run_in_dimension<const D: usize>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+fn run_in_dimension<const D: usize>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+) {
     let points = workloads::uniform_points_d::<D>(200, 5.0, 17);
     let instance = WeightedBallInstance::new(points, 1.0);
     let mut cfg = SamplingConfig::new(0.4).with_seed(5);

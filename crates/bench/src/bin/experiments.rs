@@ -7,23 +7,32 @@
 //! chains.  Absolute times depend on the machine; the *shapes* (who wins, how
 //! quantities scale) are what the tables are for.
 
-use mrs_batched::{BatchedMaxRS1D, BatchedSei};
+use mrs_batched::engine::BatchedIntervalSolver;
+use mrs_batched::BatchedSei;
 use mrs_bench::measure::{ms, table_header, table_row, time, time_mean, us};
 use mrs_bench::workloads;
 use mrs_core::config::{ColorSamplingConfig, SamplingConfig};
-use mrs_core::exact::colored_disk2d::exact_colored_disk;
-use mrs_core::exact::disk2d::max_disk_placement;
-use mrs_core::input::{ColoredBallInstance, WeightedBallInstance};
-use mrs_core::technique1::{approx_colored_ball, approx_static_ball, DynamicBallMaxRS};
-use mrs_core::technique2::{
-    approx_colored_disk_sampling_with_details, output_sensitive_colored_disk_with_stats,
+use mrs_core::engine::{ColoredInstance, EngineConfig, RangeShape, Registry, WeightedInstance};
+use mrs_core::technique1::DynamicBallMaxRS;
+use mrs_geom::cap::{
+    lemma32_configuration, lemma32_covered_fraction, monte_carlo_covered_fraction,
 };
-use mrs_geom::cap::{lemma32_configuration, lemma32_covered_fraction, monte_carlo_covered_fraction};
 use mrs_geom::union_disks::{exposed_arc_intersections, union_boundary_arcs};
 use mrs_geom::Ball;
 use mrs_hardness::convolution::min_plus_convolution;
 use mrs_hardness::reductions::{min_plus_via_batched_maxrs, min_plus_via_bsei};
 use rand::prelude::*;
+
+/// The engine registry the experiments dispatch through, with this suite's
+/// sampling configuration.
+fn experiment_registry(sampling: SamplingConfig) -> Registry {
+    let mut registry = Registry::with_config(EngineConfig {
+        sampling,
+        color_sampling: ColorSamplingConfig::default(),
+    });
+    mrs_batched::engine::register(&mut registry);
+    registry
+}
 
 fn main() {
     println!("# MaxRS experiment suite");
@@ -77,15 +86,17 @@ fn e1_dynamic_updates() {
 
         // Recompute-from-scratch baseline: one full static build of the same
         // sampling structure (what a naive "re-run on every update" would pay).
-        let instance = WeightedBallInstance::new(points.clone(), 1.0);
-        let (_, rebuild) = time(|| approx_static_ball(&instance, cfg));
+        let registry = experiment_registry(cfg);
+        let static_solver = registry.weighted::<2>("approx-static-ball").unwrap();
+        let instance = WeightedInstance::ball(points.clone(), 1.0);
+        let (_, rebuild) = time(|| static_solver.solve(&instance).unwrap());
 
         // Solution quality against the exact planar algorithm (only affordable
         // for the smaller sizes).
         let quality = if n <= 2000 {
-            let exact = max_disk_placement(&points, 1.0);
+            let exact = registry.weighted::<2>("exact-disk-2d").unwrap().solve(&instance).unwrap();
             let answer = dynamic.best().map(|p| p.value).unwrap_or(0.0);
-            format!("{:.2}", answer / exact.value)
+            format!("{:.2}", answer / exact.placement.value)
         } else {
             "-".to_string()
         };
@@ -100,22 +111,24 @@ fn e2_static_ball_vs_exact() {
         "E2 — static ball MaxRS (Theorem 1.2): sampling vs exact, d = 2, ε = 0.25",
         &["workload", "n", "sampling ms", "exact ms", "ratio (≥ 0.25 required)"],
     );
-    let cfg = SamplingConfig::practical(0.25).with_seed(3);
+    let registry = experiment_registry(SamplingConfig::practical(0.25).with_seed(3));
+    let sampler = registry.weighted::<2>("approx-static-ball").unwrap();
+    let exact_disk = registry.weighted::<2>("exact-disk-2d").unwrap();
     for (name, points) in [
         ("uniform", workloads::uniform_weighted_2d(2000, 12.0, 1)),
         ("clustered", workloads::clustered_points_2d(2000, 6, 12.0, 1.0, 2)),
         ("uniform", workloads::uniform_weighted_2d(4000, 16.0, 3)),
     ] {
         let n = points.len();
-        let instance = WeightedBallInstance::new(points.clone(), 1.0);
-        let (approx, t_approx) = time(|| approx_static_ball(&instance, cfg));
-        let (exact, t_exact) = time(|| max_disk_placement(&points, 1.0));
+        let instance = WeightedInstance::ball(points, 1.0);
+        let (approx, t_approx) = time(|| sampler.solve(&instance).unwrap());
+        let (exact, t_exact) = time(|| exact_disk.solve(&instance).unwrap());
         table_row(&[
             name.to_string(),
             n.to_string(),
             ms(t_approx),
             ms(t_exact),
-            format!("{:.2}", approx.value / exact.value),
+            format!("{:.2}", approx.placement.value / exact.placement.value),
         ]);
     }
 }
@@ -129,24 +142,20 @@ fn e3_dimension_scaling() {
     );
     fn run<const D: usize>() -> [String; 5] {
         let points = workloads::uniform_points_d::<D>(300, 5.0, 17);
-        let instance = WeightedBallInstance::new(points.clone(), 1.0);
+        let instance = WeightedInstance::ball(points.clone(), 1.0);
         let mut cfg = SamplingConfig::new(0.4).with_seed(5);
         cfg.max_grids = Some(4);
         cfg.max_samples_per_cell = 16;
-        let (placement_stats, elapsed) =
-            time(|| mrs_core::technique1::approx_static_ball_with_stats(&instance, cfg));
-        let (placement, stats) = placement_stats;
+        let solver = experiment_registry(cfg).weighted::<D>("approx-static-ball").unwrap();
+        let (report, elapsed) = time(|| solver.solve(&instance).unwrap());
         // Lower bound on opt: the best depth over input locations.
-        let lb = points
-            .iter()
-            .map(|p| instance.value_at(&p.point))
-            .fold(0.0f64, f64::max);
+        let lb = points.iter().map(|p| instance.value_at(&p.point)).fold(0.0f64, f64::max);
         [
             D.to_string(),
-            stats.grids.to_string(),
-            stats.cells.to_string(),
+            report.stats.grids.unwrap_or(0).to_string(),
+            report.stats.cells.unwrap_or(0).to_string(),
             ms(elapsed),
-            format!("{:.2}", placement.value / lb.max(1.0)),
+            format!("{:.2}", report.placement.value / lb.max(1.0)),
         ]
     }
     table_row(&run::<2>());
@@ -163,11 +172,26 @@ fn e4_batched_maxrs_and_figure6_chain() {
     );
     let n = 4096usize;
     let points = workloads::line_points(n, 1000.0, 23);
-    let solver = BatchedMaxRS1D::new(&points);
+    let line: Vec<mrs_geom::WeightedPoint<1>> = points
+        .iter()
+        .map(|p| mrs_geom::WeightedPoint::new(mrs_geom::Point::new([p.x]), p.weight))
+        .collect();
+    let instance = WeightedInstance::<1>::new(line, RangeShape::interval(1.0));
+    let solver = BatchedIntervalSolver;
     let mut rng = StdRng::seed_from_u64(9);
     for &m in &[16usize, 64, 256, 1024] {
         let lengths: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0..500.0)).collect();
-        let elapsed = time_mean(3, || solver.solve(&lengths));
+        // One engine call answers all m lengths, sharing the O(n log n) build
+        // (the Theorem 1.3 amortization).  Each report's stats.elapsed covers
+        // only its own sweep, so summing them isolates the per-pair cost the
+        // table is about, excluding the shared build.
+        let reps = 3u32;
+        let mut sweep_total = std::time::Duration::ZERO;
+        for _ in 0..reps {
+            let reports = solver.solve_lengths(&instance, &lengths);
+            sweep_total += reports.iter().map(|r| r.stats.elapsed).sum::<std::time::Duration>();
+        }
+        let elapsed = sweep_total / reps;
         let per_pair = elapsed.as_secs_f64() * 1e9 / (m * n) as f64;
         table_row(&[m.to_string(), ms(elapsed), format!("{per_pair:.1}")]);
     }
@@ -181,11 +205,7 @@ fn e4_batched_maxrs_and_figure6_chain() {
         let b = workloads::random_sequence(cn, -100.0, 100.0, 32);
         let (naive, t_naive) = time(|| min_plus_convolution(&a, &b));
         let (chain, t_chain) = time(|| min_plus_via_batched_maxrs(&a, &b, 64));
-        let err = naive
-            .iter()
-            .zip(&chain)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0f64, f64::max);
+        let err = naive.iter().zip(&chain).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
         table_row(&[cn.to_string(), ms(t_naive), ms(t_chain), format!("{err:.1e}")]);
     }
 }
@@ -208,11 +228,7 @@ fn e5_bsei_and_section6_chain() {
             let b = workloads::random_sequence(n.min(512), -50.0, 50.0, 44);
             let naive = min_plus_convolution(&a, &b);
             let chain = min_plus_via_bsei(&a, &b);
-            let err = naive
-                .iter()
-                .zip(&chain)
-                .map(|(x, y)| (x - y).abs())
-                .fold(0.0f64, f64::max);
+            let err = naive.iter().zip(&chain).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
             format!("{err:.1e}")
         } else {
             "-".to_string()
@@ -227,21 +243,25 @@ fn e6_colored_ball() {
         "E6 — colored ball MaxRS (Theorem 1.5): sampling vs exact, ε = 0.25",
         &["n", "colors", "sampling ms", "exact ms", "ratio (≥ 0.25 required)"],
     );
-    let cfg = SamplingConfig::practical(0.25).with_seed(13);
+    let registry = experiment_registry(SamplingConfig::practical(0.25).with_seed(13));
+    let sampler = registry.colored::<2>("approx-colored-ball").unwrap();
+    let exact_solver = registry.colored::<2>("output-sensitive-colored-disk").unwrap();
     for &(n, colors) in &[(1000usize, 20usize), (2000, 40), (4000, 80)] {
         let sites = workloads::colored_clusters_2d(n, colors, 6, 14.0, 1.2, 51 + n as u64);
-        let instance = ColoredBallInstance::new(sites.clone(), 1.0);
-        let (approx, t_approx) = time(|| approx_colored_ball(&instance, cfg));
+        let instance = ColoredInstance::ball(sites, 1.0);
+        let (approx, t_approx) = time(|| sampler.solve(&instance).unwrap());
         // The exact comparator is only affordable at the smaller sizes.
         if n <= 2000 {
-            let (exact, t_exact) =
-                time(|| output_sensitive_colored_disk_with_stats(&sites, 1.0).0);
+            let (exact, t_exact) = time(|| exact_solver.solve(&instance).unwrap());
             table_row(&[
                 n.to_string(),
                 colors.to_string(),
                 ms(t_approx),
                 ms(t_exact),
-                format!("{:.2}", approx.distinct as f64 / exact.distinct as f64),
+                format!(
+                    "{:.2}",
+                    approx.placement.distinct as f64 / exact.placement.distinct as f64
+                ),
             ]);
         } else {
             table_row(&[
@@ -264,15 +284,18 @@ fn e7_output_sensitive() {
         &["planted opt", "found", "crossings k", "output-sensitive ms", "straightforward ms"],
     );
     let n = 1200usize;
+    let registry = experiment_registry(SamplingConfig::default());
+    let fast = registry.colored::<2>("output-sensitive-colored-disk").unwrap();
+    let slow = registry.colored::<2>("exact-colored-disk-enum").unwrap();
     for &opt in &[4usize, 16, 64, 256] {
         let sites = workloads::colored_planted_opt(n, opt, 61 + opt as u64);
-        let ((placement, stats), t_fast) =
-            time(|| output_sensitive_colored_disk_with_stats(&sites, 1.0));
-        let (_, t_slow) = time(|| exact_colored_disk(&sites, 1.0));
+        let instance = ColoredInstance::ball(sites, 1.0);
+        let (report, t_fast) = time(|| fast.solve(&instance).unwrap());
+        let (_, t_slow) = time(|| slow.solve(&instance).unwrap());
         table_row(&[
             opt.to_string(),
-            placement.distinct.to_string(),
-            stats.boundary_intersections.to_string(),
+            report.placement.distinct.to_string(),
+            report.stats.candidates.unwrap_or(0).to_string(),
             ms(t_fast),
             ms(t_slow),
         ]);
@@ -290,26 +313,39 @@ fn e8_color_sampling() {
         // Dense single hotspot so opt ≈ number of colors.
         let mut sites = workloads::colored_clusters_2d(n / 2, colors, 1, 1.0, 0.8, 71);
         sites.extend(workloads::colored_clusters_2d(n / 2, colors / 4, 10, 60.0, 1.0, 72));
-        let instance = ColoredBallInstance::new(sites.clone(), 1.0);
-        let (exact, t_exact) = time(|| output_sensitive_colored_disk_with_stats(&sites, 1.0).0);
+        let instance = ColoredInstance::ball(sites, 1.0);
+        let base_registry = experiment_registry(SamplingConfig::default());
+        let (exact, t_exact) = time(|| {
+            base_registry
+                .colored::<2>("output-sensitive-colored-disk")
+                .unwrap()
+                .solve(&instance)
+                .unwrap()
+        });
         for &eps in &[0.2f64, 0.35] {
             let mut cfg = ColorSamplingConfig::new(eps).with_seed(5);
             cfg.c1 = 0.5;
-            let (details, t_approx) =
-                time(|| approx_colored_disk_sampling_with_details(&instance, cfg));
-            let branch = match details.branch {
-                mrs_core::technique2::ColorSamplingBranch::ExactOnFullInput => "exact".to_string(),
-                mrs_core::technique2::ColorSamplingBranch::SampledColors { kept_colors, .. } => {
-                    format!("sampled ({kept_colors} colors)")
-                }
+            let registry = Registry::with_config(EngineConfig {
+                sampling: SamplingConfig::default(),
+                color_sampling: cfg,
+            });
+            let sampler = registry.colored::<2>("approx-colored-disk-sampling").unwrap();
+            let (report, t_approx) = time(|| sampler.solve(&instance).unwrap());
+            // `samples` carries the kept-color count iff the sampled branch ran.
+            let branch = match report.stats.samples {
+                None => "exact".to_string(),
+                Some(kept) => format!("sampled ({kept} colors)"),
             };
             table_row(&[
                 n.to_string(),
-                exact.distinct.to_string(),
+                exact.placement.distinct.to_string(),
                 format!("{eps}"),
                 branch,
-                details.placement.distinct.to_string(),
-                format!("{:.2}", details.placement.distinct as f64 / exact.distinct as f64),
+                report.placement.distinct.to_string(),
+                format!(
+                    "{:.2}",
+                    report.placement.distinct as f64 / exact.placement.distinct as f64
+                ),
                 ms(t_approx),
                 ms(t_exact),
             ]);

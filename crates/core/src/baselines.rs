@@ -77,12 +77,8 @@ pub fn approx_disk_by_input_sampling(
     let keep = (config.c * n_f.ln() / (config.eps * config.eps * estimate)).min(1.0);
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let sample: Vec<WeightedPoint<2>> = instance
-        .points
-        .iter()
-        .copied()
-        .filter(|_| rng.gen_bool(keep))
-        .collect();
+    let sample: Vec<WeightedPoint<2>> =
+        instance.points.iter().copied().filter(|_| rng.gen_bool(keep)).collect();
     if sample.is_empty() {
         // Degenerate draw: fall back to the estimator's placement.
         let center = approx_static_ball(instance, estimator_cfg).center;

@@ -1,0 +1,413 @@
+//! Built-in [`ColoredSolver`] implementations wrapping the colored MaxRS
+//! entry points: candidate enumeration, the Lemma 4.2 union-boundary
+//! algorithm, the output-sensitive algorithm of Theorem 4.6, the Technique 1
+//! colored sampler (Theorem 1.5), the color-sampling `(1 − ε)` scheme
+//! (Theorem 1.6), and the exact colored rectangle sweep.
+
+use std::time::Instant;
+
+use super::convert::{repack_colored_placement, repack_point, repack_sites};
+use super::descriptor::{DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor};
+use super::instance::ColoredInstance;
+use super::report::{Guarantee, SolveStats, SolverReport};
+use super::weighted::{require_ball, require_box, require_dim};
+use super::{ColoredSolver, EngineResult};
+use crate::config::{ColorSamplingConfig, SamplingConfig};
+use crate::exact::{exact_colored_disk, exact_colored_rect};
+use crate::input::ColoredPlacement;
+use crate::technique1::approx_colored_ball;
+use crate::technique2::{
+    approx_colored_disk_sampling_with_details, exact_colored_disk_by_union,
+    output_sensitive_colored_disk_with_stats, ColorSamplingBranch,
+};
+
+/// Exact colored disk MaxRS by straightforward candidate enumeration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactColoredDiskEnumSolver;
+
+impl ExactColoredDiskEnumSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "exact-colored-disk-enum",
+        problem: ProblemKind::Colored,
+        shape: ShapeClass::Ball,
+        dims: DimSupport::Fixed(2),
+        guarantee: GuaranteeClass::Exact,
+        dynamic: false,
+        negative_weights: true,
+        reference: "candidate enumeration baseline",
+    };
+}
+
+impl<const D: usize> ColoredSolver<D> for ExactColoredDiskEnumSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(
+        &self,
+        instance: &ColoredInstance<D>,
+    ) -> EngineResult<SolverReport<ColoredPlacement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_dim::<D>(name, 2)?;
+        let radius = require_ball(name, instance.shape())?;
+        let start = Instant::now();
+        let sites = repack_sites::<D, 2>(instance.sites());
+        let best = exact_colored_disk(&sites, radius);
+        Ok(SolverReport {
+            solver: name,
+            placement: repack_colored_placement(&best),
+            guarantee: Guarantee::Exact,
+            stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+        })
+    }
+}
+
+/// Exact colored disk MaxRS via per-color union boundaries (Lemma 4.2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactColoredDiskUnionSolver;
+
+impl ExactColoredDiskUnionSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "exact-colored-disk-union",
+        problem: ProblemKind::Colored,
+        shape: ShapeClass::Ball,
+        dims: DimSupport::Fixed(2),
+        guarantee: GuaranteeClass::Exact,
+        dynamic: false,
+        negative_weights: true,
+        reference: "Lemma 4.2",
+    };
+}
+
+impl<const D: usize> ColoredSolver<D> for ExactColoredDiskUnionSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(
+        &self,
+        instance: &ColoredInstance<D>,
+    ) -> EngineResult<SolverReport<ColoredPlacement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_dim::<D>(name, 2)?;
+        let radius = require_ball(name, instance.shape())?;
+        let start = Instant::now();
+        let sites = repack_sites::<D, 2>(instance.sites());
+        let best = exact_colored_disk_by_union(&sites, radius);
+        Ok(SolverReport {
+            solver: name,
+            placement: repack_colored_placement(&best),
+            guarantee: Guarantee::Exact,
+            stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+        })
+    }
+}
+
+/// Exact output-sensitive colored disk MaxRS (Theorem 4.6): cost scales with
+/// the answer, not with `n²`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OutputSensitiveColoredDiskSolver;
+
+impl OutputSensitiveColoredDiskSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "output-sensitive-colored-disk",
+        problem: ProblemKind::Colored,
+        shape: ShapeClass::Ball,
+        dims: DimSupport::Fixed(2),
+        guarantee: GuaranteeClass::Exact,
+        dynamic: false,
+        negative_weights: true,
+        reference: "Theorem 4.6",
+    };
+}
+
+impl<const D: usize> ColoredSolver<D> for OutputSensitiveColoredDiskSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(
+        &self,
+        instance: &ColoredInstance<D>,
+    ) -> EngineResult<SolverReport<ColoredPlacement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_dim::<D>(name, 2)?;
+        let radius = require_ball(name, instance.shape())?;
+        let start = Instant::now();
+        let sites = repack_sites::<D, 2>(instance.sites());
+        let (best, stats) = output_sensitive_colored_disk_with_stats(&sites, radius);
+        Ok(SolverReport {
+            solver: name,
+            placement: repack_colored_placement(&best),
+            guarantee: Guarantee::Exact,
+            stats: SolveStats {
+                elapsed: start.elapsed(),
+                grids: Some(stats.grids),
+                cells: Some(stats.cells),
+                samples: None,
+                candidates: Some(stats.boundary_intersections),
+            },
+        })
+    }
+}
+
+/// `(1/2 − ε)`-approximate colored `d`-ball MaxRS via point sampling
+/// (Theorem 1.5).
+#[derive(Clone, Copy, Debug)]
+pub struct ColoredBallSolver {
+    config: SamplingConfig,
+}
+
+impl ColoredBallSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "approx-colored-ball",
+        problem: ProblemKind::Colored,
+        shape: ShapeClass::Ball,
+        dims: DimSupport::Any,
+        guarantee: GuaranteeClass::HalfMinusEps,
+        dynamic: false,
+        negative_weights: true,
+        reference: "Theorem 1.5",
+    };
+
+    /// A solver running with the given sampling configuration.
+    pub fn new(config: SamplingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The sampling configuration the solver runs with.
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+}
+
+impl Default for ColoredBallSolver {
+    fn default() -> Self {
+        Self::new(SamplingConfig::default())
+    }
+}
+
+impl<const D: usize> ColoredSolver<D> for ColoredBallSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(
+        &self,
+        instance: &ColoredInstance<D>,
+    ) -> EngineResult<SolverReport<ColoredPlacement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_ball(name, instance.shape())?;
+        let ball = instance.as_ball_instance().expect("checked: shape is a ball");
+        let start = Instant::now();
+        let placement = approx_colored_ball(&ball, self.config);
+        Ok(SolverReport {
+            solver: name,
+            placement,
+            guarantee: Guarantee::HalfMinusEps { eps: self.config.eps },
+            stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+        })
+    }
+}
+
+/// `(1 − ε)`-approximate colored disk MaxRS by color sampling (Theorem 1.6).
+#[derive(Clone, Copy, Debug)]
+pub struct ColoredDiskSamplingSolver {
+    config: ColorSamplingConfig,
+}
+
+impl ColoredDiskSamplingSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "approx-colored-disk-sampling",
+        problem: ProblemKind::Colored,
+        shape: ShapeClass::Ball,
+        dims: DimSupport::Fixed(2),
+        guarantee: GuaranteeClass::OneMinusEps,
+        dynamic: false,
+        negative_weights: true,
+        reference: "Theorem 1.6",
+    };
+
+    /// A solver running with the given color-sampling configuration.
+    pub fn new(config: ColorSamplingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The color-sampling configuration the solver runs with.
+    pub fn config(&self) -> &ColorSamplingConfig {
+        &self.config
+    }
+}
+
+impl Default for ColoredDiskSamplingSolver {
+    fn default() -> Self {
+        Self::new(ColorSamplingConfig::default())
+    }
+}
+
+impl<const D: usize> ColoredSolver<D> for ColoredDiskSamplingSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(
+        &self,
+        instance: &ColoredInstance<D>,
+    ) -> EngineResult<SolverReport<ColoredPlacement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_dim::<D>(name, 2)?;
+        let radius = require_ball(name, instance.shape())?;
+        let start = Instant::now();
+        let ball2 =
+            crate::input::ColoredBallInstance::new(repack_sites::<D, 2>(instance.sites()), radius);
+        let details = approx_colored_disk_sampling_with_details(&ball2, self.config);
+        let kept = match details.branch {
+            ColorSamplingBranch::ExactOnFullInput => None,
+            ColorSamplingBranch::SampledColors { kept_colors, .. } => Some(kept_colors),
+        };
+        Ok(SolverReport {
+            solver: name,
+            placement: repack_colored_placement(&details.placement),
+            guarantee: Guarantee::OneMinusEps { eps: self.config.eps },
+            stats: SolveStats {
+                elapsed: start.elapsed(),
+                grids: None,
+                cells: None,
+                samples: kept,
+                candidates: Some(details.opt_estimate),
+            },
+        })
+    }
+}
+
+/// Exact colored rectangle MaxRS (the [ZGH+22]-style prior-work setting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactColoredRectSolver;
+
+impl ExactColoredRectSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "exact-colored-rect-2d",
+        problem: ProblemKind::Colored,
+        shape: ShapeClass::AxisBox,
+        dims: DimSupport::Fixed(2),
+        guarantee: GuaranteeClass::Exact,
+        dynamic: false,
+        negative_weights: true,
+        reference: "[ZGH+22]-style sweep",
+    };
+}
+
+impl<const D: usize> ColoredSolver<D> for ExactColoredRectSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(
+        &self,
+        instance: &ColoredInstance<D>,
+    ) -> EngineResult<SolverReport<ColoredPlacement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_dim::<D>(name, 2)?;
+        let extents = require_box(name, instance.shape())?;
+        let start = Instant::now();
+        let sites = repack_sites::<D, 2>(instance.sites());
+        let best = exact_colored_rect(&sites, extents[0], extents[1]);
+        let center2 = best.rect.lo.lerp(&best.rect.hi, 0.5);
+        Ok(SolverReport {
+            solver: name,
+            placement: ColoredPlacement { center: repack_point(&center2), distinct: best.distinct },
+            guarantee: Guarantee::Exact,
+            stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineError;
+    use mrs_geom::{ColoredSite, Point2};
+
+    fn herd() -> ColoredInstance<2> {
+        ColoredInstance::ball(
+            vec![
+                ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+                ColoredSite::new(Point2::xy(0.3, 0.2), 0),
+                ColoredSite::new(Point2::xy(0.5, 0.0), 1),
+                ColoredSite::new(Point2::xy(0.1, 0.6), 2),
+                ColoredSite::new(Point2::xy(5.0, 5.0), 3),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn exact_colored_solvers_agree() {
+        let instance = herd();
+        let enumerated = ExactColoredDiskEnumSolver.solve(&instance).unwrap();
+        let union = ExactColoredDiskUnionSolver.solve(&instance).unwrap();
+        let output_sensitive = OutputSensitiveColoredDiskSolver.solve(&instance).unwrap();
+        assert_eq!(enumerated.placement.distinct, 3);
+        assert_eq!(union.placement.distinct, 3);
+        assert_eq!(output_sensitive.placement.distinct, 3);
+        assert!(output_sensitive.stats.grids.is_some());
+    }
+
+    #[test]
+    fn approximate_colored_solvers_respect_guarantees() {
+        let instance = herd();
+        let exact = 3.0;
+        for report in [
+            ColoredBallSolver::default().solve(&instance).unwrap(),
+            ColoredDiskSamplingSolver::default().solve(&instance).unwrap(),
+        ] {
+            assert!(
+                report.placement.distinct as f64 >= report.guarantee.ratio() * exact,
+                "{}: {} < {} * {}",
+                report.solver,
+                report.placement.distinct,
+                report.guarantee.ratio(),
+                exact
+            );
+            assert_eq!(
+                instance.distinct_at(&report.placement.center),
+                report.placement.distinct,
+                "{} must certify its reported count",
+                report.solver
+            );
+        }
+    }
+
+    #[test]
+    fn colored_rect_dispatch() {
+        let sites = vec![
+            ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+            ColoredSite::new(Point2::xy(0.6, 0.4), 1),
+            ColoredSite::new(Point2::xy(5.0, 5.0), 2),
+        ];
+        let instance = ColoredInstance::axis_box(sites, [1.0, 1.0]);
+        let report = ExactColoredRectSolver.solve(&instance).unwrap();
+        assert_eq!(report.placement.distinct, 2);
+        assert_eq!(instance.distinct_at(&report.placement.center), 2);
+    }
+
+    #[test]
+    fn colored_mismatches_are_typed_errors() {
+        let ball = herd();
+        assert!(matches!(
+            ExactColoredRectSolver.solve(&ball),
+            Err(EngineError::UnsupportedShape { .. })
+        ));
+        let boxed = ColoredInstance::<2>::axis_box(vec![], [1.0, 1.0]);
+        assert!(matches!(
+            OutputSensitiveColoredDiskSolver.solve(&boxed),
+            Err(EngineError::UnsupportedShape { .. })
+        ));
+    }
+}

@@ -1,0 +1,81 @@
+//! Bridging between the engine's `const D` generics and the planar / 1-D
+//! exact algorithms.
+//!
+//! A solver like the Chazelle–Lee disk sweep only exists for `D = 2`, but the
+//! registry hands out solvers under any `const D`.  The wrappers check the
+//! runtime dimension first and then *repack* coordinates between `Point<D>`
+//! and `Point<2>` — a plain coordinate copy that is exact whenever the two
+//! dimensions agree (which the preceding check guarantees).  This keeps the
+//! whole engine safe Rust with no specialization and no transmutes, at the
+//! cost of one copy of the input per dispatched solve — negligible next to
+//! the super-linear algorithms behind it.
+
+use mrs_geom::{ColoredSite, Point, WeightedPoint};
+
+use crate::input::{ColoredPlacement, Placement};
+
+/// Copies the first `min(D, E)` coordinates of `p` into a `Point<E>`.
+///
+/// Exact when `D == E`; the callers in this module only use it after checking
+/// that.
+pub fn repack_point<const D: usize, const E: usize>(p: &Point<D>) -> Point<E> {
+    debug_assert_eq!(D, E, "repacking between distinct dimensions loses coordinates");
+    let mut q = Point::<E>::origin();
+    let mut i = 0;
+    while i < D && i < E {
+        q[i] = p[i];
+        i += 1;
+    }
+    q
+}
+
+/// Repacks a weighted placement across equal dimensions.
+pub fn repack_placement<const D: usize, const E: usize>(p: &Placement<D>) -> Placement<E> {
+    Placement { center: repack_point(&p.center), value: p.value }
+}
+
+/// Repacks a colored placement across equal dimensions.
+pub fn repack_colored_placement<const D: usize, const E: usize>(
+    p: &ColoredPlacement<D>,
+) -> ColoredPlacement<E> {
+    ColoredPlacement { center: repack_point(&p.center), distinct: p.distinct }
+}
+
+/// Repacks weighted points across equal dimensions.
+pub(crate) fn repack_weighted<const D: usize, const E: usize>(
+    points: &[WeightedPoint<D>],
+) -> Vec<WeightedPoint<E>> {
+    points.iter().map(|wp| WeightedPoint::new(repack_point(&wp.point), wp.weight)).collect()
+}
+
+/// Repacks colored sites across equal dimensions.
+pub(crate) fn repack_sites<const D: usize, const E: usize>(
+    sites: &[ColoredSite<D>],
+) -> Vec<ColoredSite<E>> {
+    sites.iter().map(|s| ColoredSite::new(repack_point(&s.point), s.color)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_geom::Point2;
+
+    #[test]
+    fn same_dimension_repack_is_identity() {
+        let p = Point2::xy(1.5, -2.5);
+        let q: Point<2> = repack_point(&p);
+        assert_eq!(p, q);
+
+        let placement = Placement::<2> { center: p, value: 7.0 };
+        assert_eq!(repack_placement::<2, 2>(&placement), placement);
+
+        let colored = ColoredPlacement::<2> { center: p, distinct: 3 };
+        assert_eq!(repack_colored_placement::<2, 2>(&colored), colored);
+
+        let pts = vec![WeightedPoint::new(p, 2.0)];
+        assert_eq!(repack_weighted::<2, 2>(&pts), pts);
+
+        let sites = vec![ColoredSite::new(p, 9)];
+        assert_eq!(repack_sites::<2, 2>(&sites), sites);
+    }
+}

@@ -1,0 +1,371 @@
+//! The engine's unified instance model.
+//!
+//! A MaxRS instance is a point set plus a query-range *shape*.  The shape
+//! generalizes the per-algorithm parameters of the underlying entry points: a
+//! [`RangeShape::Ball`] of radius `r` is an interval of length `2r` in 1-D
+//! and a disk in 2-D, while a [`RangeShape::AxisBox`] covers the rectangle
+//! sweeps.  Solvers declare which shape class they accept (see
+//! [`super::SolverDescriptor`]) and reject mismatches with a typed error
+//! instead of a panic, so a caller can probe the registry safely.
+
+use mrs_geom::{Ball, ColoredSite, Point, WeightedPoint};
+
+use super::descriptor::ShapeClass;
+use crate::input::{ColoredBallInstance, WeightedBallInstance};
+
+/// The query range of an engine instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RangeShape<const D: usize> {
+    /// A `d`-ball of the given radius.
+    Ball {
+        /// Radius of the query ball (must be positive).
+        radius: f64,
+    },
+    /// An axis-aligned box with the given side lengths, addressed by its
+    /// center.
+    AxisBox {
+        /// Side length of the box along each axis (must be positive).
+        extents: [f64; D],
+    },
+}
+
+impl<const D: usize> RangeShape<D> {
+    /// A ball shape.
+    ///
+    /// # Panics
+    /// Panics unless the radius is finite and positive.
+    pub fn ball(radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "query radius must be positive");
+        RangeShape::Ball { radius }
+    }
+
+    /// An axis-aligned box shape.
+    ///
+    /// # Panics
+    /// Panics unless every extent is finite and positive.
+    pub fn axis_box(extents: [f64; D]) -> Self {
+        for e in extents {
+            assert!(e.is_finite() && e > 0.0, "box extents must be positive");
+        }
+        RangeShape::AxisBox { extents }
+    }
+
+    /// The shape's class, for capability matching.
+    pub fn class(&self) -> ShapeClass {
+        match self {
+            RangeShape::Ball { .. } => ShapeClass::Ball,
+            RangeShape::AxisBox { .. } => ShapeClass::AxisBox,
+        }
+    }
+
+    /// The ball radius, if this is a ball shape.
+    pub fn ball_radius(&self) -> Option<f64> {
+        match self {
+            RangeShape::Ball { radius } => Some(*radius),
+            RangeShape::AxisBox { .. } => None,
+        }
+    }
+
+    /// The box extents, if this is a box shape.
+    pub fn box_extents(&self) -> Option<[f64; D]> {
+        match self {
+            RangeShape::Ball { .. } => None,
+            RangeShape::AxisBox { extents } => Some(*extents),
+        }
+    }
+
+    /// Is `point` covered by this range centered at `center`?  Ranges are
+    /// closed, matching the underlying exact algorithms.
+    pub fn covers(&self, center: &Point<D>, point: &Point<D>) -> bool {
+        match self {
+            RangeShape::Ball { radius } => Ball::new(*center, *radius).contains(point),
+            RangeShape::AxisBox { extents } => {
+                (0..D).all(|i| (point[i] - center[i]).abs() <= extents[i] / 2.0)
+            }
+        }
+    }
+}
+
+impl RangeShape<1> {
+    /// The 1-D interval of the given length (a ball of radius `len/2`).
+    pub fn interval(len: f64) -> Self {
+        RangeShape::<1>::ball(len / 2.0)
+    }
+}
+
+impl RangeShape<2> {
+    /// The planar `width × height` rectangle.
+    pub fn rect(width: f64, height: f64) -> Self {
+        RangeShape::<2>::axis_box([width, height])
+    }
+}
+
+/// A weighted MaxRS instance: weighted points plus a query-range shape.
+#[derive(Clone, Debug)]
+pub struct WeightedInstance<const D: usize> {
+    points: Vec<WeightedPoint<D>>,
+    shape: RangeShape<D>,
+}
+
+impl<const D: usize> WeightedInstance<D> {
+    /// Creates an instance.
+    ///
+    /// Negative weights are allowed at the instance level — the 1-D interval
+    /// solvers (including the hardness-reduction gadgets of Section 5)
+    /// support them — but most solvers require non-negative weights and
+    /// refuse mixed-sign instances with a typed
+    /// [`EngineError`](super::EngineError) (see
+    /// [`SolverDescriptor::negative_weights`](super::SolverDescriptor)).
+    ///
+    /// # Panics
+    /// Panics if any coordinate or weight is not finite.
+    pub fn new(points: Vec<WeightedPoint<D>>, shape: RangeShape<D>) -> Self {
+        for wp in &points {
+            assert!(wp.point.is_finite(), "point coordinates must be finite");
+            assert!(wp.weight.is_finite(), "weights must be finite");
+        }
+        Self { points, shape }
+    }
+
+    /// An instance with a ball range of the given radius.
+    pub fn ball(points: Vec<WeightedPoint<D>>, radius: f64) -> Self {
+        Self::new(points, RangeShape::ball(radius))
+    }
+
+    /// An instance with an axis-aligned box range of the given extents.
+    pub fn axis_box(points: Vec<WeightedPoint<D>>, extents: [f64; D]) -> Self {
+        Self::new(points, RangeShape::axis_box(extents))
+    }
+
+    /// The input points.
+    pub fn points(&self) -> &[WeightedPoint<D>] {
+        &self.points
+    }
+
+    /// The query-range shape.
+    pub fn shape(&self) -> &RangeShape<D> {
+        &self.shape
+    }
+
+    /// Number of input points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the instance has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total weight of all points (an upper bound on any placement value
+    /// when weights are non-negative).
+    pub fn total_weight(&self) -> f64 {
+        self.points.iter().map(|p| p.weight).sum()
+    }
+
+    /// `true` if any point carries a negative weight (most solvers refuse
+    /// such instances; the 1-D interval solvers accept them).
+    pub fn has_negative_weights(&self) -> bool {
+        self.points.iter().any(|p| p.weight < 0.0)
+    }
+
+    /// The exact covered weight of placing the range at `center`.
+    pub fn value_at(&self, center: &Point<D>) -> f64 {
+        self.points
+            .iter()
+            .filter(|wp| self.shape.covers(center, &wp.point))
+            .map(|wp| wp.weight)
+            .sum()
+    }
+
+    /// The ball-problem view of this instance, if the shape is a ball.
+    pub fn as_ball_instance(&self) -> Option<WeightedBallInstance<D>> {
+        let radius = self.shape.ball_radius()?;
+        Some(WeightedBallInstance::new(self.points.clone(), radius))
+    }
+}
+
+impl<const D: usize> From<WeightedBallInstance<D>> for WeightedInstance<D> {
+    fn from(value: WeightedBallInstance<D>) -> Self {
+        let radius = value.radius;
+        Self::ball(value.points, radius)
+    }
+}
+
+/// A colored MaxRS instance: colored sites plus a query-range shape.
+#[derive(Clone, Debug)]
+pub struct ColoredInstance<const D: usize> {
+    sites: Vec<ColoredSite<D>>,
+    shape: RangeShape<D>,
+}
+
+impl<const D: usize> ColoredInstance<D> {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is not finite.
+    pub fn new(sites: Vec<ColoredSite<D>>, shape: RangeShape<D>) -> Self {
+        for s in &sites {
+            assert!(s.point.is_finite(), "site coordinates must be finite");
+        }
+        Self { sites, shape }
+    }
+
+    /// An instance with a ball range of the given radius.
+    pub fn ball(sites: Vec<ColoredSite<D>>, radius: f64) -> Self {
+        Self::new(sites, RangeShape::ball(radius))
+    }
+
+    /// An instance with an axis-aligned box range of the given extents.
+    pub fn axis_box(sites: Vec<ColoredSite<D>>, extents: [f64; D]) -> Self {
+        Self::new(sites, RangeShape::axis_box(extents))
+    }
+
+    /// The input sites.
+    pub fn sites(&self) -> &[ColoredSite<D>] {
+        &self.sites
+    }
+
+    /// The query-range shape.
+    pub fn shape(&self) -> &RangeShape<D> {
+        &self.shape
+    }
+
+    /// Number of input sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` if the instance has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Number of distinct colors present in the input (an upper bound on any
+    /// placement's distinct-color count).
+    pub fn distinct_colors(&self) -> usize {
+        let mut colors: Vec<usize> = self.sites.iter().map(|s| s.color).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        colors.len()
+    }
+
+    /// The exact number of distinct colors covered by placing the range at
+    /// `center`.
+    pub fn distinct_at(&self, center: &Point<D>) -> usize {
+        let mut colors: Vec<usize> = self
+            .sites
+            .iter()
+            .filter(|s| self.shape.covers(center, &s.point))
+            .map(|s| s.color)
+            .collect();
+        colors.sort_unstable();
+        colors.dedup();
+        colors.len()
+    }
+
+    /// The ball-problem view of this instance, if the shape is a ball.
+    pub fn as_ball_instance(&self) -> Option<ColoredBallInstance<D>> {
+        let radius = self.shape.ball_radius()?;
+        Some(ColoredBallInstance::new(self.sites.clone(), radius))
+    }
+}
+
+impl<const D: usize> From<ColoredBallInstance<D>> for ColoredInstance<D> {
+    fn from(value: ColoredBallInstance<D>) -> Self {
+        let radius = value.radius;
+        Self::ball(value.sites, radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_geom::Point2;
+
+    #[test]
+    fn shapes_cover_closed_ranges() {
+        let ball = RangeShape::<2>::ball(1.0);
+        assert!(ball.covers(&Point2::xy(0.0, 0.0), &Point2::xy(1.0, 0.0)));
+        assert!(!ball.covers(&Point2::xy(0.0, 0.0), &Point2::xy(1.0, 0.5)));
+        assert_eq!(ball.class(), ShapeClass::Ball);
+        assert_eq!(ball.ball_radius(), Some(1.0));
+        assert_eq!(ball.box_extents(), None);
+
+        let rect = RangeShape::rect(2.0, 1.0);
+        assert!(rect.covers(&Point2::xy(0.0, 0.0), &Point2::xy(1.0, 0.5)));
+        assert!(!rect.covers(&Point2::xy(0.0, 0.0), &Point2::xy(1.1, 0.0)));
+        assert_eq!(rect.class(), ShapeClass::AxisBox);
+        assert_eq!(rect.box_extents(), Some([2.0, 1.0]));
+    }
+
+    #[test]
+    fn interval_shape_is_a_half_length_ball() {
+        let shape = RangeShape::interval(3.0);
+        assert_eq!(shape.ball_radius(), Some(1.5));
+    }
+
+    #[test]
+    fn weighted_instance_evaluation() {
+        let inst = WeightedInstance::ball(
+            vec![
+                WeightedPoint::new(Point2::xy(0.0, 0.0), 2.0),
+                WeightedPoint::new(Point2::xy(1.0, 0.0), 3.0),
+                WeightedPoint::new(Point2::xy(10.0, 0.0), 5.0),
+            ],
+            2.0,
+        );
+        assert_eq!(inst.len(), 3);
+        assert!(!inst.is_empty());
+        assert_eq!(inst.total_weight(), 10.0);
+        assert_eq!(inst.value_at(&Point2::xy(0.5, 0.0)), 5.0);
+        let ball = inst.as_ball_instance().unwrap();
+        assert_eq!(ball.radius, 2.0);
+
+        let boxed =
+            WeightedInstance::axis_box(vec![WeightedPoint::unit(Point2::xy(0.6, 0.0))], [1.0, 1.0]);
+        assert_eq!(boxed.value_at(&Point2::xy(0.0, 0.0)), 0.0);
+        assert_eq!(boxed.value_at(&Point2::xy(0.2, 0.0)), 1.0);
+        assert!(boxed.as_ball_instance().is_none());
+    }
+
+    #[test]
+    fn colored_instance_evaluation() {
+        let inst = ColoredInstance::ball(
+            vec![
+                ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+                ColoredSite::new(Point2::xy(0.2, 0.0), 0),
+                ColoredSite::new(Point2::xy(0.4, 0.0), 1),
+                ColoredSite::new(Point2::xy(9.0, 9.0), 2),
+            ],
+            1.0,
+        );
+        assert_eq!(inst.distinct_colors(), 3);
+        assert_eq!(inst.distinct_at(&Point2::xy(0.0, 0.0)), 2);
+        assert_eq!(inst.as_ball_instance().unwrap().radius, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "query radius must be positive")]
+    fn rejects_non_positive_radius() {
+        RangeShape::<2>::ball(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "box extents must be positive")]
+    fn rejects_non_positive_extents() {
+        RangeShape::<2>::axis_box([1.0, -1.0]);
+    }
+
+    #[test]
+    fn round_trips_with_ball_instance_types() {
+        let inst = WeightedBallInstance::unweighted(vec![Point2::xy(0.0, 0.0)], 1.5);
+        let engine: WeightedInstance<2> = inst.into();
+        assert_eq!(engine.shape().ball_radius(), Some(1.5));
+
+        let colored =
+            ColoredBallInstance::new(vec![ColoredSite::new(Point2::xy(0.0, 0.0), 4)], 2.5);
+        let engine: ColoredInstance<2> = colored.into();
+        assert_eq!(engine.shape().ball_radius(), Some(2.5));
+    }
+}

@@ -1,0 +1,144 @@
+//! The solver engine: one dispatch surface for every MaxRS algorithm.
+//!
+//! The paper proves its results as a bouquet of loosely-related theorems, and
+//! the crates mirror that: exact planar sweeps, the Technique 1 samplers, the
+//! Technique 2 colored algorithms, and the batched 1-D solver each expose
+//! their own entry point with its own signature.  The engine unifies them:
+//!
+//! * [`WeightedInstance`] / [`ColoredInstance`] — one instance model (points
+//!   plus a [`RangeShape`]) covering intervals, rectangles, disks and
+//!   `d`-balls;
+//! * [`WeightedSolver`] / [`ColoredSolver`] — object-safe traits every
+//!   algorithm implements, returning a [`SolverReport`] that carries the
+//!   placement, its value or distinct-count, the [`Guarantee`] it was
+//!   produced under, and timing/sample statistics;
+//! * [`registry`] — enumerates the built-in solvers by name and capability
+//!   ([`SolverDescriptor`]) so callers choose exact-vs-approx per workload;
+//!   downstream crates register additional solvers (the batched 1-D solver in
+//!   `mrs-batched` does) via [`Registry::register_weighted`].
+//!
+//! ```
+//! use mrs_core::engine::{registry, WeightedInstance};
+//! use mrs_geom::{Point2, WeightedPoint};
+//!
+//! let instance = WeightedInstance::ball(
+//!     vec![
+//!         WeightedPoint::unit(Point2::xy(0.0, 0.0)),
+//!         WeightedPoint::unit(Point2::xy(0.5, 0.0)),
+//!         WeightedPoint::unit(Point2::xy(9.0, 9.0)),
+//!     ],
+//!     1.0,
+//! );
+//! let solver = registry().weighted::<2>("exact-disk-2d").unwrap();
+//! let report = solver.solve(&instance).unwrap();
+//! assert_eq!(report.placement.value, 2.0);
+//! assert!(report.guarantee.is_exact());
+//! ```
+
+mod colored;
+mod convert;
+mod descriptor;
+mod instance;
+mod registry;
+mod report;
+mod weighted;
+
+pub use colored::{
+    ColoredBallSolver, ColoredDiskSamplingSolver, ExactColoredDiskEnumSolver,
+    ExactColoredDiskUnionSolver, ExactColoredRectSolver, OutputSensitiveColoredDiskSolver,
+};
+pub use convert::{repack_colored_placement, repack_placement, repack_point};
+pub use descriptor::{DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor};
+pub use instance::{ColoredInstance, RangeShape, WeightedInstance};
+pub use registry::{registry, EngineConfig, Registry, SharedColoredSolver, SharedWeightedSolver};
+pub use report::{Guarantee, SolveStats, SolverReport};
+pub use weighted::{
+    DynamicBallSolver, ExactDiskSolver, ExactIntervalSolver, ExactRectSolver, StaticBallSolver,
+};
+
+use crate::input::{ColoredPlacement, Placement};
+
+/// Why a solver refused an instance.
+///
+/// Dispatch failures are typed errors, not panics, so callers can probe the
+/// registry ("which solvers take this instance?") without crashing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The solver does not understand the instance's range shape.
+    UnsupportedShape {
+        /// The refusing solver.
+        solver: &'static str,
+        /// The shape class it was offered.
+        shape: ShapeClass,
+    },
+    /// The solver does not operate in the instance's ambient dimension.
+    UnsupportedDimension {
+        /// The refusing solver.
+        solver: &'static str,
+        /// The dimension it was offered.
+        dim: usize,
+    },
+    /// The instance carries negative weights and the solver requires
+    /// non-negative ones.
+    NegativeWeights {
+        /// The refusing solver.
+        solver: &'static str,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnsupportedShape { solver, shape } => {
+                write!(f, "solver `{solver}` does not support {shape} ranges")
+            }
+            EngineError::UnsupportedDimension { solver, dim } => {
+                write!(f, "solver `{solver}` does not operate in dimension {dim}")
+            }
+            EngineError::NegativeWeights { solver } => {
+                write!(f, "solver `{solver}` requires non-negative weights")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result alias for engine dispatch.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// A solver for weighted MaxRS: place the range to maximize covered weight.
+///
+/// Implementations wrap one concrete algorithm; the trait is object-safe so
+/// the [`Registry`] can hand out `Arc<dyn WeightedSolver<D>>` and callers can
+/// swap exact for approximate solvers per workload.
+pub trait WeightedSolver<const D: usize>: Send + Sync {
+    /// Capability metadata (name, shape class, dimensions, guarantee class).
+    fn descriptor(&self) -> &SolverDescriptor;
+
+    /// Solves the instance, or explains why it cannot.
+    fn solve(&self, instance: &WeightedInstance<D>) -> EngineResult<SolverReport<Placement<D>>>;
+
+    /// The registry name, shorthand for `descriptor().name`.
+    fn name(&self) -> &'static str {
+        self.descriptor().name
+    }
+}
+
+/// A solver for colored MaxRS: place the range to maximize the number of
+/// distinct covered colors.
+pub trait ColoredSolver<const D: usize>: Send + Sync {
+    /// Capability metadata (name, shape class, dimensions, guarantee class).
+    fn descriptor(&self) -> &SolverDescriptor;
+
+    /// Solves the instance, or explains why it cannot.
+    fn solve(
+        &self,
+        instance: &ColoredInstance<D>,
+    ) -> EngineResult<SolverReport<ColoredPlacement<D>>>;
+
+    /// The registry name, shorthand for `descriptor().name`.
+    fn name(&self) -> &'static str {
+        self.descriptor().name
+    }
+}

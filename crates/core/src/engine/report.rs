@@ -1,0 +1,111 @@
+//! What a solver hands back: the placement, the guarantee it comes with, and
+//! the statistics of the run.
+
+use std::time::Duration;
+
+/// The approximation guarantee attached to a concrete solve.
+///
+/// Every solver reports the *certified* quality of its answer: exact solvers
+/// return the optimum, the Technique 1 samplers return a value that is at
+/// least `(1/2 − ε)·opt` with high probability, and the Theorem 1.6 color
+/// sampler returns at least `(1 − ε)·opt` in expectation.  In all cases the
+/// reported value/distinct-count is the true quality of the returned center,
+/// so it is always a valid lower bound on the optimum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Guarantee {
+    /// The returned placement is optimal.
+    Exact,
+    /// Value is at least `(1/2 − ε)·opt` with high probability (Theorems 1.1,
+    /// 1.2, 1.5).
+    HalfMinusEps {
+        /// The approximation parameter the solver ran with.
+        eps: f64,
+    },
+    /// Value is at least `(1 − ε)·opt` in expectation (Theorem 1.6).
+    OneMinusEps {
+        /// The approximation parameter the solver ran with.
+        eps: f64,
+    },
+}
+
+impl Guarantee {
+    /// `true` for exact solvers.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Guarantee::Exact)
+    }
+
+    /// The guaranteed fraction of the optimum: `1` for exact solvers,
+    /// `1/2 − ε` and `1 − ε` for the two approximation families.
+    pub fn ratio(&self) -> f64 {
+        match self {
+            Guarantee::Exact => 1.0,
+            Guarantee::HalfMinusEps { eps } => 0.5 - eps,
+            Guarantee::OneMinusEps { eps } => 1.0 - eps,
+        }
+    }
+}
+
+impl std::fmt::Display for Guarantee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Guarantee::Exact => write!(f, "exact"),
+            Guarantee::HalfMinusEps { eps } => write!(f, "(1/2 − {eps})-approx"),
+            Guarantee::OneMinusEps { eps } => write!(f, "(1 − {eps})-approx"),
+        }
+    }
+}
+
+/// Counters describing one solve, for experiments and observability.
+///
+/// Fields are `None` when the underlying algorithm does not track the
+/// quantity.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SolveStats {
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+    /// Shifted grids processed (sampling and output-sensitive algorithms).
+    pub grids: Option<usize>,
+    /// Non-empty grid cells materialized.
+    pub cells: Option<usize>,
+    /// Sample points maintained (Technique 1) or colors kept (Theorem 1.6).
+    pub samples: Option<usize>,
+    /// Candidate placements / boundary crossings examined.
+    pub candidates: Option<usize>,
+}
+
+/// The full result of dispatching one instance to one solver.
+///
+/// `P` is [`crate::input::Placement`] for weighted problems and
+/// [`crate::input::ColoredPlacement`] for colored ones, so the report always
+/// carries the placement *and* its value / distinct-count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverReport<P> {
+    /// Name of the solver that produced the report (a registry key).
+    pub solver: &'static str,
+    /// The placement, including its exact covered value or distinct count.
+    pub placement: P,
+    /// The guarantee under which `placement` was produced.
+    pub guarantee: Guarantee,
+    /// Run statistics.
+    pub stats: SolveStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_ratios() {
+        assert_eq!(Guarantee::Exact.ratio(), 1.0);
+        assert!(Guarantee::Exact.is_exact());
+        assert!((Guarantee::HalfMinusEps { eps: 0.25 }.ratio() - 0.25).abs() < 1e-12);
+        assert!((Guarantee::OneMinusEps { eps: 0.2 }.ratio() - 0.8).abs() < 1e-12);
+        assert!(!Guarantee::OneMinusEps { eps: 0.2 }.is_exact());
+    }
+
+    #[test]
+    fn guarantee_display() {
+        assert_eq!(Guarantee::Exact.to_string(), "exact");
+        assert!(Guarantee::HalfMinusEps { eps: 0.25 }.to_string().contains("0.25"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Built-in [`WeightedSolver`] implementations wrapping the weighted MaxRS
+//! entry points: the exact 1-D interval sweep, the planar rectangle and disk
+//! sweeps, and the Technique 1 static and dynamic samplers.
+
+use std::time::Instant;
+
+use mrs_geom::Point;
+
+use super::convert::{repack_placement, repack_point, repack_weighted};
+use super::descriptor::{DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor};
+use super::instance::{RangeShape, WeightedInstance};
+use super::report::{Guarantee, SolveStats, SolverReport};
+use super::{EngineError, EngineResult, WeightedSolver};
+use crate::config::SamplingConfig;
+use crate::exact::interval1d::{max_interval_placement, LinePoint};
+use crate::exact::{max_disk_placement, max_rect_placement};
+use crate::input::Placement;
+use crate::technique1::{approx_static_ball_with_stats, DynamicBallMaxRS};
+
+pub(super) fn require_dim<const D: usize>(solver: &'static str, wanted: usize) -> EngineResult<()> {
+    if D == wanted {
+        Ok(())
+    } else {
+        Err(EngineError::UnsupportedDimension { solver, dim: D })
+    }
+}
+
+pub(super) fn require_ball<const D: usize>(
+    solver: &'static str,
+    shape: &RangeShape<D>,
+) -> EngineResult<f64> {
+    shape.ball_radius().ok_or(EngineError::UnsupportedShape { solver, shape: shape.class() })
+}
+
+pub(super) fn require_box<const D: usize>(
+    solver: &'static str,
+    shape: &RangeShape<D>,
+) -> EngineResult<[f64; D]> {
+    shape.box_extents().ok_or(EngineError::UnsupportedShape { solver, shape: shape.class() })
+}
+
+fn require_nonnegative<const D: usize>(
+    solver: &'static str,
+    instance: &WeightedInstance<D>,
+) -> EngineResult<()> {
+    if instance.has_negative_weights() {
+        Err(EngineError::NegativeWeights { solver })
+    } else {
+        Ok(())
+    }
+}
+
+/// Exact 1-D interval MaxRS (`O(n log n)` sort + sweep), the per-length
+/// oracle of the batched problem of Section 5.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactIntervalSolver;
+
+impl ExactIntervalSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "exact-interval-1d",
+        problem: ProblemKind::Weighted,
+        shape: ShapeClass::Ball,
+        dims: DimSupport::Fixed(1),
+        guarantee: GuaranteeClass::Exact,
+        dynamic: false,
+        negative_weights: true,
+        reference: "Section 5 per-length oracle (sorted sweep)",
+    };
+}
+
+impl<const D: usize> WeightedSolver<D> for ExactIntervalSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(&self, instance: &WeightedInstance<D>) -> EngineResult<SolverReport<Placement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_dim::<D>(name, 1)?;
+        let radius = require_ball(name, instance.shape())?;
+        let start = Instant::now();
+        let line: Vec<LinePoint> =
+            instance.points().iter().map(|wp| LinePoint::new(wp.point[0], wp.weight)).collect();
+        let best = max_interval_placement(&line, 2.0 * radius);
+        let mut center = Point::<D>::origin();
+        center[0] = 0.5 * (best.interval.lo + best.interval.hi);
+        Ok(SolverReport {
+            solver: name,
+            placement: Placement { center, value: best.value },
+            guarantee: Guarantee::Exact,
+            stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+        })
+    }
+}
+
+/// Exact planar rectangle MaxRS (`O(n log n)`, Imai–Asano / Nandy–
+/// Bhattacharya sweep).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactRectSolver;
+
+impl ExactRectSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "exact-rect-2d",
+        problem: ProblemKind::Weighted,
+        shape: ShapeClass::AxisBox,
+        dims: DimSupport::Fixed(2),
+        guarantee: GuaranteeClass::Exact,
+        dynamic: false,
+        negative_weights: false,
+        reference: "[IA83]/[NB95] rectangle sweep",
+    };
+}
+
+impl<const D: usize> WeightedSolver<D> for ExactRectSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(&self, instance: &WeightedInstance<D>) -> EngineResult<SolverReport<Placement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_dim::<D>(name, 2)?;
+        let extents = require_box(name, instance.shape())?;
+        require_nonnegative(name, instance)?;
+        let start = Instant::now();
+        let points = repack_weighted::<D, 2>(instance.points());
+        let best = max_rect_placement(&points, extents[0], extents[1]);
+        let center2 = best.rect.lo.lerp(&best.rect.hi, 0.5);
+        Ok(SolverReport {
+            solver: name,
+            placement: Placement { center: repack_point(&center2), value: best.value },
+            guarantee: Guarantee::Exact,
+            stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+        })
+    }
+}
+
+/// Exact planar disk MaxRS (`O(n² log n)`, Chazelle–Lee sweep).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactDiskSolver;
+
+impl ExactDiskSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "exact-disk-2d",
+        problem: ProblemKind::Weighted,
+        shape: ShapeClass::Ball,
+        dims: DimSupport::Fixed(2),
+        guarantee: GuaranteeClass::Exact,
+        dynamic: false,
+        negative_weights: false,
+        reference: "[CL86] disk sweep",
+    };
+}
+
+impl<const D: usize> WeightedSolver<D> for ExactDiskSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(&self, instance: &WeightedInstance<D>) -> EngineResult<SolverReport<Placement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_dim::<D>(name, 2)?;
+        let radius = require_ball(name, instance.shape())?;
+        require_nonnegative(name, instance)?;
+        let start = Instant::now();
+        let points = repack_weighted::<D, 2>(instance.points());
+        let best = max_disk_placement(&points, radius);
+        Ok(SolverReport {
+            solver: name,
+            placement: repack_placement(&best),
+            guarantee: Guarantee::Exact,
+            stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+        })
+    }
+}
+
+/// Static `(1/2 − ε)`-approximate `d`-ball MaxRS via point sampling
+/// (Theorem 1.2).
+#[derive(Clone, Copy, Debug)]
+pub struct StaticBallSolver {
+    config: SamplingConfig,
+}
+
+impl StaticBallSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "approx-static-ball",
+        problem: ProblemKind::Weighted,
+        shape: ShapeClass::Ball,
+        dims: DimSupport::Any,
+        guarantee: GuaranteeClass::HalfMinusEps,
+        dynamic: false,
+        negative_weights: false,
+        reference: "Theorem 1.2",
+    };
+
+    /// A solver running with the given sampling configuration.
+    pub fn new(config: SamplingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The sampling configuration the solver runs with.
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+}
+
+impl Default for StaticBallSolver {
+    fn default() -> Self {
+        Self::new(SamplingConfig::default())
+    }
+}
+
+impl<const D: usize> WeightedSolver<D> for StaticBallSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(&self, instance: &WeightedInstance<D>) -> EngineResult<SolverReport<Placement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        require_ball(name, instance.shape())?;
+        require_nonnegative(name, instance)?;
+        let ball = instance.as_ball_instance().expect("checked: shape is a ball");
+        let start = Instant::now();
+        let (placement, stats) = approx_static_ball_with_stats(&ball, self.config);
+        Ok(SolverReport {
+            solver: name,
+            placement,
+            guarantee: Guarantee::HalfMinusEps { eps: self.config.eps },
+            stats: SolveStats {
+                elapsed: start.elapsed(),
+                grids: Some(stats.grids),
+                cells: Some(stats.cells),
+                samples: Some(stats.samples),
+                candidates: None,
+            },
+        })
+    }
+}
+
+/// Dynamic `(1/2 − ε)`-approximate `d`-ball MaxRS (Theorem 1.1), dispatched
+/// statically: the engine builds the update structure, feeds it the instance,
+/// and reports the best sample.  For genuine update streams use
+/// [`DynamicBallMaxRS`] directly.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicBallSolver {
+    config: SamplingConfig,
+}
+
+impl DynamicBallSolver {
+    /// Capability record.
+    pub const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "dynamic-ball",
+        problem: ProblemKind::Weighted,
+        shape: ShapeClass::Ball,
+        dims: DimSupport::Any,
+        guarantee: GuaranteeClass::HalfMinusEps,
+        dynamic: true,
+        negative_weights: false,
+        reference: "Theorem 1.1",
+    };
+
+    /// A solver running with the given sampling configuration.
+    pub fn new(config: SamplingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The sampling configuration the solver runs with.
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+}
+
+impl Default for DynamicBallSolver {
+    fn default() -> Self {
+        Self::new(SamplingConfig::default())
+    }
+}
+
+impl<const D: usize> WeightedSolver<D> for DynamicBallSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(&self, instance: &WeightedInstance<D>) -> EngineResult<SolverReport<Placement<D>>> {
+        let name = Self::DESCRIPTOR.name;
+        let radius = require_ball(name, instance.shape())?;
+        require_nonnegative(name, instance)?;
+        let start = Instant::now();
+        let mut tracker = DynamicBallMaxRS::<D>::new(radius, self.config);
+        for wp in instance.points() {
+            tracker.insert(wp.point, wp.weight);
+        }
+        let placement = tracker.best().unwrap_or_else(Placement::empty);
+        Ok(SolverReport {
+            solver: name,
+            placement,
+            guarantee: Guarantee::HalfMinusEps { eps: self.config.eps },
+            stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_geom::{Point2, WeightedPoint};
+
+    fn planar_cluster() -> WeightedInstance<2> {
+        WeightedInstance::ball(
+            vec![
+                WeightedPoint::unit(Point2::xy(0.0, 0.0)),
+                WeightedPoint::unit(Point2::xy(0.5, 0.0)),
+                WeightedPoint::unit(Point2::xy(0.0, 0.5)),
+                WeightedPoint::unit(Point2::xy(9.0, 9.0)),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn exact_disk_dispatch() {
+        let report = ExactDiskSolver.solve(&planar_cluster()).unwrap();
+        assert_eq!(report.placement.value, 3.0);
+        assert_eq!(report.guarantee, Guarantee::Exact);
+        assert_eq!(report.solver, "exact-disk-2d");
+    }
+
+    #[test]
+    fn exact_rect_dispatch_uses_box_shape() {
+        let instance = WeightedInstance::axis_box(
+            vec![
+                WeightedPoint::unit(Point2::xy(0.0, 0.0)),
+                WeightedPoint::unit(Point2::xy(0.6, 0.4)),
+                WeightedPoint::unit(Point2::xy(5.0, 5.0)),
+            ],
+            [1.0, 1.0],
+        );
+        let report = ExactRectSolver.solve(&instance).unwrap();
+        assert_eq!(report.placement.value, 2.0);
+        // The reported center must actually cover that value.
+        assert_eq!(instance.value_at(&report.placement.center), 2.0);
+    }
+
+    #[test]
+    fn exact_interval_dispatch_in_1d() {
+        let points = [0.0, 0.4, 0.9, 3.0, 3.2, 9.0]
+            .iter()
+            .map(|&x| WeightedPoint::unit(Point::new([x])))
+            .collect();
+        let instance = WeightedInstance::<1>::new(points, RangeShape::interval(1.0));
+        let report = ExactIntervalSolver.solve(&instance).unwrap();
+        assert_eq!(report.placement.value, 3.0);
+        assert_eq!(instance.value_at(&report.placement.center), 3.0);
+    }
+
+    #[test]
+    fn samplers_respect_their_guarantee_on_the_cluster() {
+        let instance = planar_cluster();
+        let exact = ExactDiskSolver.solve(&instance).unwrap().placement.value;
+        for report in [
+            StaticBallSolver::default().solve(&instance).unwrap(),
+            DynamicBallSolver::default().solve(&instance).unwrap(),
+        ] {
+            assert!(
+                report.placement.value >= report.guarantee.ratio() * exact,
+                "{}: {} < {} * {}",
+                report.solver,
+                report.placement.value,
+                report.guarantee.ratio(),
+                exact
+            );
+            // Reported value is certified: re-evaluating the center agrees.
+            assert_eq!(instance.value_at(&report.placement.center), report.placement.value);
+        }
+    }
+
+    #[test]
+    fn shape_and_dimension_mismatches_are_typed_errors() {
+        let ball = planar_cluster();
+        assert!(matches!(
+            ExactRectSolver.solve(&ball),
+            Err(EngineError::UnsupportedShape { solver: "exact-rect-2d", .. })
+        ));
+        assert!(matches!(
+            ExactIntervalSolver.solve(&ball),
+            Err(EngineError::UnsupportedDimension { solver: "exact-interval-1d", dim: 2 })
+        ));
+        let boxed = WeightedInstance::axis_box(vec![], [1.0, 1.0]);
+        assert!(matches!(
+            ExactDiskSolver.solve(&boxed),
+            Err(EngineError::UnsupportedShape { solver: "exact-disk-2d", .. })
+        ));
+        assert!(matches!(
+            StaticBallSolver::default().solve(&boxed),
+            Err(EngineError::UnsupportedShape { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_weights_route_to_the_interval_solver_only() {
+        // The Section 5 gadgets use negative "wall" weights; the 1-D sweep
+        // must accept them while the ball/rect solvers refuse with a typed
+        // error instead of panicking deep inside the algorithm.
+        let line = WeightedInstance::<1>::new(
+            vec![
+                WeightedPoint::new(Point::new([0.0]), 5.0),
+                WeightedPoint::new(Point::new([0.4]), -2.0),
+                WeightedPoint::new(Point::new([3.0]), 4.0),
+            ],
+            RangeShape::interval(1.0),
+        );
+        let report = ExactIntervalSolver.solve(&line).unwrap();
+        assert_eq!(report.placement.value, 5.0, "the sweep must dodge the negative point");
+
+        let planar =
+            WeightedInstance::<2>::ball(vec![WeightedPoint::new(Point2::xy(0.0, 0.0), -1.0)], 1.0);
+        assert!(matches!(
+            ExactDiskSolver.solve(&planar),
+            Err(EngineError::NegativeWeights { solver: "exact-disk-2d" })
+        ));
+        assert!(matches!(
+            StaticBallSolver::default().solve(&planar),
+            Err(EngineError::NegativeWeights { .. })
+        ));
+        assert!(matches!(
+            DynamicBallSolver::default().solve(&planar),
+            Err(EngineError::NegativeWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_instances_solve_to_empty_placements() {
+        let empty = WeightedInstance::<2>::ball(vec![], 1.0);
+        assert_eq!(ExactDiskSolver.solve(&empty).unwrap().placement.value, 0.0);
+        assert_eq!(StaticBallSolver::default().solve(&empty).unwrap().placement.value, 0.0);
+        assert_eq!(DynamicBallSolver::default().solve(&empty).unwrap().placement.value, 0.0);
+    }
+}

@@ -44,10 +44,7 @@ pub fn best_weighted_over_candidates<const D: usize>(
     radius: f64,
     candidates: &[Point<D>],
 ) -> f64 {
-    candidates
-        .iter()
-        .map(|c| weighted_depth_at(points, radius, c))
-        .fold(0.0, f64::max)
+    candidates.iter().map(|c| weighted_depth_at(points, radius, c)).fold(0.0, f64::max)
 }
 
 /// Best colored depth over a set of candidate centers.

@@ -152,7 +152,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn site(x: f64, y: f64, color: usize) -> ColoredSite<2> {
         ColoredSite::new(Point2::xy(x, y), color)
@@ -188,12 +187,8 @@ mod tests {
 
     #[test]
     fn duplicate_colors_do_not_inflate_the_count() {
-        let sites = vec![
-            site(0.0, 0.0, 0),
-            site(0.1, 0.1, 0),
-            site(0.2, 0.2, 0),
-            site(0.3, 0.3, 1),
-        ];
+        let sites =
+            vec![site(0.0, 0.0, 0), site(0.1, 0.1, 0), site(0.2, 0.2, 0), site(0.3, 0.3, 1)];
         assert_eq!(exact_colored_rect(&sites, 1.0, 1.0).distinct, 2);
     }
 

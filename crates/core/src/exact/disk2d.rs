@@ -137,7 +137,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     /// O(n^3) reference: evaluate the depth at every pairwise boundary
     /// intersection and at every centre.

@@ -139,7 +139,6 @@ mod tests {
     use mrs_geom::interval::covered_weight;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn brute(points: &[LinePoint], len: f64) -> f64 {
         // Evaluate every candidate placement with either endpoint at a point,
@@ -171,11 +170,8 @@ mod tests {
 
     #[test]
     fn prefers_isolated_heavy_point() {
-        let pts = vec![
-            LinePoint::new(0.0, 1.0),
-            LinePoint::new(0.5, 1.0),
-            LinePoint::new(100.0, 10.0),
-        ];
+        let pts =
+            vec![LinePoint::new(0.0, 1.0), LinePoint::new(0.5, 1.0), LinePoint::new(100.0, 10.0)];
         let res = max_interval_placement(&pts, 1.0);
         assert_eq!(res.value, 10.0);
         assert!(res.interval.contains(100.0));
@@ -207,11 +203,8 @@ mod tests {
 
     #[test]
     fn zero_length_interval_picks_heaviest_stack() {
-        let pts = vec![
-            LinePoint::new(1.0, 2.0),
-            LinePoint::new(1.0, 3.0),
-            LinePoint::new(2.0, 4.0),
-        ];
+        let pts =
+            vec![LinePoint::new(1.0, 2.0), LinePoint::new(1.0, 3.0), LinePoint::new(2.0, 4.0)];
         let res = max_interval_placement(&pts, 0.0);
         assert_eq!(res.value, 5.0);
     }

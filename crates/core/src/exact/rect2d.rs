@@ -96,7 +96,13 @@ pub fn max_rect_placement(points: &[WeightedPoint<2>], width: f64, height: f64) 
             x_hi,
             weight: p.weight,
         });
-        events.push(Event { y: p.point.y(), kind: EventKind::Remove, x_lo, x_hi, weight: p.weight });
+        events.push(Event {
+            y: p.point.y(),
+            kind: EventKind::Remove,
+            x_lo,
+            x_hi,
+            weight: p.weight,
+        });
     }
     // Sort by y; at equal y process additions before removals so that an
     // anchor exactly on both a box top and another box bottom counts both
@@ -175,7 +181,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn covered(points: &[WeightedPoint<2>], rect: &Rect) -> f64 {
         points.iter().filter(|p| rect.contains(&p.point)).map(|p| p.weight).sum()

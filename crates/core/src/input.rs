@@ -96,10 +96,7 @@ impl<const D: usize> WeightedBallInstance<D> {
     /// by `1/radius`, paired with the point's weight.
     pub fn dual_unit_balls(&self) -> Vec<(Ball<D>, f64)> {
         let inv = 1.0 / self.radius;
-        self.points
-            .iter()
-            .map(|wp| (Ball::unit(wp.point.scale(inv)), wp.weight))
-            .collect()
+        self.points.iter().map(|wp| (Ball::unit(wp.point.scale(inv)), wp.weight)).collect()
     }
 
     /// Maps a point expressed in the scaled (dual) coordinate system back to
@@ -113,11 +110,7 @@ impl<const D: usize> WeightedBallInstance<D> {
     /// the value of the placement with that center.
     pub fn value_at(&self, center: &Point<D>) -> f64 {
         let query = Ball::new(*center, self.radius);
-        self.points
-            .iter()
-            .filter(|wp| query.contains(&wp.point))
-            .map(|wp| wp.weight)
-            .sum()
+        self.points.iter().filter(|wp| query.contains(&wp.point)).map(|wp| wp.weight).sum()
     }
 }
 
@@ -167,10 +160,7 @@ impl<const D: usize> ColoredBallInstance<D> {
     /// `1/radius`, paired with the site's color.
     pub fn dual_unit_balls(&self) -> Vec<(Ball<D>, usize)> {
         let inv = 1.0 / self.radius;
-        self.sites
-            .iter()
-            .map(|s| (Ball::unit(s.point.scale(inv)), s.color))
-            .collect()
+        self.sites.iter().map(|s| (Ball::unit(s.point.scale(inv)), s.color)).collect()
     }
 
     /// Maps a point expressed in the scaled (dual) coordinate system back to
@@ -183,12 +173,8 @@ impl<const D: usize> ColoredBallInstance<D> {
     /// distinct colors among sites within distance `radius` of `center`.
     pub fn distinct_at(&self, center: &Point<D>) -> usize {
         let query = Ball::new(*center, self.radius);
-        let mut colors: Vec<usize> = self
-            .sites
-            .iter()
-            .filter(|s| query.contains(&s.point))
-            .map(|s| s.color)
-            .collect();
+        let mut colors: Vec<usize> =
+            self.sites.iter().filter(|s| query.contains(&s.point)).map(|s| s.color).collect();
         colors.sort_unstable();
         colors.dedup();
         colors.len()

@@ -18,6 +18,13 @@
 //! The batched problems and the hardness-reduction chains of Sections 5–6 live
 //! in the sibling crates `mrs-batched` and `mrs-hardness`.
 //!
+//! All of the above are also dispatchable through the **solver engine**
+//! ([`engine`]): one instance model ([`engine::WeightedInstance`] /
+//! [`engine::ColoredInstance`]), object-safe [`engine::WeightedSolver`] /
+//! [`engine::ColoredSolver`] traits, and a capability [`engine::registry`]
+//! so callers select exact-vs-approximate per workload and downstream crates
+//! plug in their own solvers.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -41,12 +48,17 @@
 
 pub mod baselines;
 pub mod config;
+pub mod engine;
 pub mod exact;
 pub mod input;
 pub mod technique1;
 pub mod technique2;
 
 pub use config::{ColorSamplingConfig, SamplingConfig};
+pub use engine::{
+    registry, ColoredInstance, ColoredSolver, EngineConfig, EngineError, Guarantee, RangeShape,
+    Registry, SolveStats, SolverDescriptor, SolverReport, WeightedInstance, WeightedSolver,
+};
 pub use input::{ColoredBallInstance, ColoredPlacement, Placement, WeightedBallInstance};
 pub use technique1::{approx_colored_ball, approx_static_ball, DynamicBallMaxRS};
 pub use technique2::{approx_colored_disk_sampling, output_sensitive_colored_disk};

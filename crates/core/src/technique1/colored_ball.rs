@@ -138,8 +138,7 @@ mod tests {
 
     #[test]
     fn single_color_everywhere_gives_one() {
-        let sites: Vec<ColoredSite<2>> =
-            (0..30).map(|i| site(i as f64 * 0.1, 0.0, 5)).collect();
+        let sites: Vec<ColoredSite<2>> = (0..30).map(|i| site(i as f64 * 0.1, 0.0, 5)).collect();
         let inst = ColoredBallInstance::new(sites, 1.0);
         assert_eq!(approx_colored_ball(&inst, cfg(8)).distinct, 1);
     }

@@ -191,9 +191,8 @@ mod tests {
     #[test]
     fn epochs_advance_as_the_set_grows_and_shrinks() {
         let mut dyn_mrs = DynamicBallMaxRS::<2>::new(1.0, cfg(3));
-        let ids: Vec<_> = (0..64)
-            .map(|i| dyn_mrs.insert(Point2::xy(i as f64 * 0.01, 0.0), 1.0))
-            .collect();
+        let ids: Vec<_> =
+            (0..64).map(|i| dyn_mrs.insert(Point2::xy(i as f64 * 0.01, 0.0), 1.0)).collect();
         let grown_epochs = dyn_mrs.epochs();
         assert!(grown_epochs > 1, "growing from 0 to 64 must trigger rebuilds");
         for id in &ids[..60] {

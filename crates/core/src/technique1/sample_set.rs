@@ -40,13 +40,7 @@ struct CellSamples<const D: usize> {
 impl<const D: usize> CellSamples<D> {
     fn new(points: Vec<Point<D>>) -> Self {
         let len = points.len();
-        Self {
-            points,
-            depth: vec![0.0; len],
-            flag: vec![NO_COLOR; len],
-            max_depth: 0.0,
-            argmax: 0,
-        }
+        Self { points, depth: vec![0.0; len], flag: vec![NO_COLOR; len], max_depth: 0.0, argmax: 0 }
     }
 
     fn recompute_max(&mut self) {
@@ -249,7 +243,7 @@ impl<const D: usize> SampleSet<D> {
         // a scan so the structure stays usable.
         let mut best: Option<(Point<D>, f64)> = None;
         for cell in self.cells.values() {
-            if best.as_ref().map_or(true, |(_, v)| cell.max_depth > *v) {
+            if best.as_ref().is_none_or(|(_, v)| cell.max_depth > *v) {
                 best = Some((cell.points[cell.argmax as usize], cell.max_depth));
             }
         }

@@ -239,8 +239,7 @@ mod tests {
         }
         let inst = ColoredBallInstance::new(sites, 1.0);
         let loose = approx_colored_disk_sampling(&inst, ColorSamplingConfig::new(0.5).with_seed(2));
-        let tight =
-            approx_colored_disk_sampling(&inst, ColorSamplingConfig::new(0.1).with_seed(2));
+        let tight = approx_colored_disk_sampling(&inst, ColorSamplingConfig::new(0.1).with_seed(2));
         assert!(tight.distinct >= loose.distinct.saturating_sub(8));
         assert!(tight.distinct <= 80);
     }

@@ -118,10 +118,7 @@ pub fn max_colored_depth_output_sensitive(
 /// assert_eq!(best.distinct, 2);
 /// ```
 ///
-pub fn output_sensitive_colored_disk(
-    sites: &[ColoredSite<2>],
-    radius: f64,
-) -> ColoredPlacement<2> {
+pub fn output_sensitive_colored_disk(sites: &[ColoredSite<2>], radius: f64) -> ColoredPlacement<2> {
     output_sensitive_colored_disk_with_stats(sites, radius).0
 }
 
@@ -208,11 +205,7 @@ mod tests {
         let mut sites = Vec::new();
         for i in 0..40 {
             let base = if i % 2 == 0 { 0.0 } else { 30.0 };
-            sites.push(site(
-                base + rng.gen_range(0.0..1.5),
-                base + rng.gen_range(0.0..1.5),
-                i % 8,
-            ));
+            sites.push(site(base + rng.gen_range(0.0..1.5), base + rng.gen_range(0.0..1.5), i % 8));
         }
         let (res, stats) = output_sensitive_colored_disk_with_stats(&sites, 1.0);
         assert!(res.distinct >= 4);

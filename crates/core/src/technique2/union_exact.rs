@@ -212,16 +212,13 @@ pub fn max_colored_depth_union(disks: &[Ball<2>], colors: &[usize]) -> DepthResu
                     e.theta = arc.end;
                 }
             }
-            events.sort_by(|a, b| {
-                a.theta.partial_cmp(&b.theta).unwrap().then(b.delta.cmp(&a.delta))
-            });
+            events
+                .sort_by(|a, b| a.theta.partial_cmp(&b.theta).unwrap().then(b.delta.cmp(&a.delta)));
             // Unions entered exactly at the start angle are already included in
             // the closed depth of the start point; discount them so applying
             // their "+1" events does not double-count.
-            let entered_at_start = events
-                .iter()
-                .filter(|e| e.delta > 0 && e.theta <= arc.start + 1e-9)
-                .count();
+            let entered_at_start =
+                events.iter().filter(|e| e.delta > 0 && e.theta <= arc.start + 1e-9).count();
             let mut running = closed_at_start as i64 - entered_at_start as i64;
             for e in events.iter() {
                 running += e.delta as i64;

@@ -73,10 +73,7 @@ impl<const D: usize> Aabb<D> {
 
     /// Returns the smallest box containing both boxes.
     pub fn union(&self, other: &Self) -> Self {
-        Self {
-            lo: self.lo.component_min(&other.lo),
-            hi: self.hi.component_max(&other.hi),
-        }
+        Self { lo: self.lo.component_min(&other.lo), hi: self.hi.component_max(&other.hi) }
     }
 
     /// Volume (Lebesgue measure) of the box.

@@ -144,10 +144,7 @@ mod tests {
         for d in 2..=6usize {
             for eps in [0.02, 0.05, 0.1, 0.2, 0.3] {
                 let frac = lemma32_covered_fraction(d, eps);
-                assert!(
-                    frac >= 0.5 - 2.5 * eps,
-                    "d={d} eps={eps} fraction={frac}"
-                );
+                assert!(frac >= 0.5 - 2.5 * eps, "d={d} eps={eps} fraction={frac}");
                 assert!(frac <= 0.5 + 1e-9, "cover cannot exceed half: d={d} eps={eps}");
             }
         }

@@ -241,9 +241,7 @@ impl<const D: usize> ShiftedGrids<D> {
     /// Verifies Lemma 2.1 for a specific point: returns the index of a grid in
     /// which `p` lies within `Δ` of its cell center, if any.
     pub fn near_grid_for(&self, p: &Point<D>) -> Option<usize> {
-        self.grids
-            .iter()
-            .position(|g| g.distance_to_cell_center(p) <= self.delta + 1e-12)
+        self.grids.iter().position(|g| g.distance_to_cell_center(p) <= self.delta + 1e-12)
     }
 }
 

@@ -91,7 +91,7 @@ impl<const D: usize> HashGrid<D> {
             return false;
         }
         let cell = self.grid.cell_of(&self.points[id]);
-        self.buckets.get(&cell).map_or(false, |b| b.contains(&id))
+        self.buckets.get(&cell).is_some_and(|b| b.contains(&id))
     }
 
     /// Location stored for `id` (meaningful only if [`contains_id`] is true).
@@ -159,12 +159,7 @@ mod tests {
     use rand::prelude::*;
 
     fn brute_within(points: &[Point2], q: &Point2, r: f64) -> Vec<usize> {
-        points
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.dist(q) <= r + 1e-9)
-            .map(|(i, _)| i)
-            .collect()
+        points.iter().enumerate().filter(|(_, p)| p.dist(q) <= r + 1e-9).map(|(i, _)| i).collect()
     }
 
     #[test]

@@ -55,11 +55,7 @@ impl Interval {
 /// Sum of the weights of the points of `(xs, weights)` covered by `interval`.
 /// A brute-force helper used as a test oracle by the 1-D solvers.
 pub fn covered_weight(xs: &[f64], weights: &[f64], interval: &Interval) -> f64 {
-    xs.iter()
-        .zip(weights)
-        .filter(|(x, _)| interval.contains(**x))
-        .map(|(_, w)| *w)
-        .sum()
+    xs.iter().zip(weights).filter(|(x, _)| interval.contains(**x)).map(|(_, w)| *w).sum()
 }
 
 #[cfg(test)]

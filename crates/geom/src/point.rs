@@ -77,8 +77,8 @@ impl<const D: usize> Point<D> {
     #[inline]
     pub fn add_point(&self, other: &Self) -> Self {
         let mut coords = self.coords;
-        for i in 0..D {
-            coords[i] += other.coords[i];
+        for (c, o) in coords.iter_mut().zip(&other.coords) {
+            *c += o;
         }
         Self { coords }
     }
@@ -87,8 +87,8 @@ impl<const D: usize> Point<D> {
     #[inline]
     pub fn sub_point(&self, other: &Self) -> Self {
         let mut coords = self.coords;
-        for i in 0..D {
-            coords[i] -= other.coords[i];
+        for (c, o) in coords.iter_mut().zip(&other.coords) {
+            *c -= o;
         }
         Self { coords }
     }
@@ -114,8 +114,8 @@ impl<const D: usize> Point<D> {
     /// Linear interpolation: `self + t * (other - self)`.
     pub fn lerp(&self, other: &Self, t: f64) -> Self {
         let mut coords = self.coords;
-        for i in 0..D {
-            coords[i] += t * (other.coords[i] - self.coords[i]);
+        for (c, o) in coords.iter_mut().zip(&other.coords) {
+            *c += t * (o - *c);
         }
         Self { coords }
     }
@@ -137,8 +137,8 @@ impl<const D: usize> Point<D> {
     /// Returns the point whose coordinates are the component-wise minimum.
     pub fn component_min(&self, other: &Self) -> Self {
         let mut coords = self.coords;
-        for i in 0..D {
-            coords[i] = coords[i].min(other.coords[i]);
+        for (c, o) in coords.iter_mut().zip(&other.coords) {
+            *c = c.min(*o);
         }
         Self { coords }
     }
@@ -146,8 +146,8 @@ impl<const D: usize> Point<D> {
     /// Returns the point whose coordinates are the component-wise maximum.
     pub fn component_max(&self, other: &Self) -> Self {
         let mut coords = self.coords;
-        for i in 0..D {
-            coords[i] = coords[i].max(other.coords[i]);
+        for (c, o) in coords.iter_mut().zip(&other.coords) {
+            *c = c.max(*o);
         }
         Self { coords }
     }

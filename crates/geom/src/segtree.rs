@@ -77,7 +77,15 @@ impl MaxSegmentTree {
         node_lo
     }
 
-    fn add_rec(&mut self, node: usize, node_lo: usize, node_hi: usize, lo: usize, hi: usize, delta: f64) {
+    fn add_rec(
+        &mut self,
+        node: usize,
+        node_lo: usize,
+        node_hi: usize,
+        lo: usize,
+        hi: usize,
+        delta: f64,
+    ) {
         if hi < node_lo || node_hi < lo {
             return;
         }

@@ -8,7 +8,9 @@
 //! exact algorithm (Lemma 4.2) and the intersection-counting bound
 //! (Lemma 4.4) rely on.
 
-use crate::arcs::{boundary_covered_by, complement_on_circle, normalize_angle, AngularInterval, TAU};
+use crate::arcs::{
+    boundary_covered_by, complement_on_circle, normalize_angle, AngularInterval, TAU,
+};
 use crate::ball::Ball;
 use crate::hashgrid::HashGrid;
 use crate::point::Point2;
@@ -206,10 +208,7 @@ mod tests {
 
     #[test]
     fn contained_disk_contributes_no_arcs() {
-        let disks = vec![
-            Ball::new(Point2::xy(0.0, 0.0), 2.0),
-            Ball::unit(Point2::xy(0.2, 0.1)),
-        ];
+        let disks = vec![Ball::new(Point2::xy(0.0, 0.0), 2.0), Ball::unit(Point2::xy(0.2, 0.1))];
         let arcs = union_boundary_arcs(&disks);
         assert!(arcs.iter().all(|a| a.disk == 0));
         assert!((union_perimeter(&disks, &arcs) - 2.0 * TAU).abs() < 1e-9);
@@ -220,7 +219,10 @@ mod tests {
         let disks = vec![Ball::unit(Point2::xy(0.0, 0.0)), Ball::unit(Point2::xy(0.0, 0.0))];
         let arcs = union_boundary_arcs(&disks);
         let total = union_perimeter(&disks, &arcs);
-        assert!((total - TAU).abs() < 1e-9, "coincident disks should expose one circle, got {total}");
+        assert!(
+            (total - TAU).abs() < 1e-9,
+            "coincident disks should expose one circle, got {total}"
+        );
     }
 
     #[test]

@@ -14,9 +14,8 @@ pub fn min_plus_convolution(a: &[f64], b: &[f64]) -> Vec<f64> {
     let n = a.len();
     let mut c = vec![f64::INFINITY; n];
     for (k, c_k) in c.iter_mut().enumerate() {
-        for i in 0..=k {
-            let j = k - i;
-            *c_k = c_k.min(a[i] + b[j]);
+        for (i, &a_i) in a.iter().enumerate().take(k + 1) {
+            *c_k = c_k.min(a_i + b[k - i]);
         }
     }
     c
@@ -28,9 +27,8 @@ pub fn max_plus_convolution(a: &[f64], b: &[f64]) -> Vec<f64> {
     let n = a.len();
     let mut c = vec![f64::NEG_INFINITY; n];
     for (k, c_k) in c.iter_mut().enumerate() {
-        for i in 0..=k {
-            let j = k - i;
-            *c_k = c_k.max(a[i] + b[j]);
+        for (i, &a_i) in a.iter().enumerate().take(k + 1) {
+            *c_k = c_k.max(a_i + b[k - i]);
         }
     }
     c

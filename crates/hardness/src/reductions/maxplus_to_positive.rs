@@ -18,12 +18,7 @@ where
     O: Fn(&[f64], &[f64], &[usize]) -> Vec<f64>,
 {
     assert_eq!(a.len(), b.len(), "sequences must have equal length");
-    let delta = a
-        .iter()
-        .chain(b.iter())
-        .cloned()
-        .fold(f64::INFINITY, f64::min)
-        .min(0.0);
+    let delta = a.iter().chain(b.iter()).cloned().fold(f64::INFINITY, f64::min).min(0.0);
     if delta >= 0.0 {
         let out = oracle(a, b, indices);
         assert_eq!(out.len(), indices.len(), "oracle must return one value per target index");

@@ -13,7 +13,12 @@
 /// # Panics
 /// Panics if the inputs have different lengths, are empty, or `block_size`
 /// is zero.
-pub fn min_plus_via_indexed_oracle<O>(a: &[f64], b: &[f64], block_size: usize, oracle: O) -> Vec<f64>
+pub fn min_plus_via_indexed_oracle<O>(
+    a: &[f64],
+    b: &[f64],
+    block_size: usize,
+    oracle: O,
+) -> Vec<f64>
 where
     O: Fn(&[f64], &[f64], &[usize]) -> Vec<f64>,
 {

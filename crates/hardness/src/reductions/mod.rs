@@ -81,10 +81,7 @@ mod tests {
             let via_chain = min_plus_via_batched_maxrs(&a, &b, block);
             let direct = min_plus_convolution(&a, &b);
             for (k, (x, y)) in via_chain.iter().zip(&direct).enumerate() {
-                assert!(
-                    (x - y).abs() < 1e-6,
-                    "n={n} block={block} k={k}: chain {x} vs naive {y}"
-                );
+                assert!((x - y).abs() < 1e-6, "n={n} block={block} k={k}: chain {x} vs naive {y}");
             }
         }
     }

@@ -50,10 +50,7 @@ where
 /// A reference solver for the monotone problem that simply checks the
 /// monotonicity precondition and falls back to the naive quadratic algorithm.
 pub fn monotone_min_plus_convolution_naive(d: &[f64], e: &[f64]) -> Vec<f64> {
-    assert!(
-        d.len() == 1 || is_strictly_decreasing(d),
-        "first sequence is not strictly decreasing"
-    );
+    assert!(d.len() == 1 || is_strictly_decreasing(d), "first sequence is not strictly decreasing");
     assert!(
         e.len() == 1 || is_strictly_decreasing(e),
         "second sequence is not strictly decreasing"

@@ -7,7 +7,16 @@
 //! the current hotspot — the placement of a fixed-radius disk covering the
 //! most active cases — updated in real time rather than recomputed from
 //! scratch after every change.
+//!
+//! The update stream drives the Theorem 1.1 structure through the engine's
+//! `dynamic-ball` solver type ([`DynamicBallSolver`] exposes the same
+//! sampling structure the engine dispatches to); at the end the final state
+//! is cross-checked by dispatching the accumulated instance through the
+//! engine's static solvers.
 
+use std::collections::BTreeMap;
+
+use maxrs::core::engine::{DynamicBallSolver, WeightedSolver};
 use maxrs::prelude::*;
 use rand::prelude::*;
 
@@ -27,19 +36,26 @@ fn main() {
     ];
 
     let mut rng = StdRng::seed_from_u64(2024);
-    let mut tracker = DynamicBallMaxRS::<2>::new(1.0, SamplingConfig::practical(0.25).with_seed(7));
-    // Active cases, per district, as (handle, district index).
+    let cfg = SamplingConfig::practical(0.25).with_seed(7);
+    let mut tracker = DynamicBallMaxRS::<2>::new(1.0, cfg);
+    // Active cases, per district, as (handle, district index), plus a mirror
+    // of each live case's position for the final engine cross-check.
     let mut active: Vec<(usize, usize)> = Vec::new();
+    let mut positions: BTreeMap<usize, Point2> = BTreeMap::new();
 
     // Phase 1: an outbreak in the harbour district.
     println!("== Phase 1: outbreak in the harbour district ==");
     for _ in 0..120 {
         let p = sample_case(&districts[0], &mut rng);
-        active.push((tracker.insert(p, 1.0), 0));
+        let id = tracker.insert(p, 1.0);
+        positions.insert(id, p);
+        active.push((id, 0));
     }
     for _ in 0..25 {
         let p = sample_case(&districts[1], &mut rng);
-        active.push((tracker.insert(p, 1.0), 1));
+        let id = tracker.insert(p, 1.0);
+        positions.insert(id, p);
+        active.push((id, 1));
     }
     report(&mut tracker, &districts);
 
@@ -52,10 +68,13 @@ fn main() {
         if active[i].1 == 0 && recovered < 100 {
             let (id, _) = active.swap_remove(i);
             assert!(tracker.remove(id));
+            positions.remove(&id);
             recovered += 1;
             // Every recovery is roughly matched by a new case on campus.
             let p = sample_case(&districts[2], &mut rng);
-            active.push((tracker.insert(p, 1.0), 2));
+            let campus = tracker.insert(p, 1.0);
+            positions.insert(campus, p);
+            active.push((campus, 2));
         } else {
             i += 1;
         }
@@ -70,6 +89,7 @@ fn main() {
             kept.push((id, district));
         } else {
             assert!(tracker.remove(id));
+            positions.remove(&id);
         }
     }
     report(&mut tracker, &districts);
@@ -78,6 +98,26 @@ fn main() {
         tracker.epochs()
     );
     assert_eq!(tracker.len(), kept.len());
+
+    // Cross-check the final state through the engine: dispatch the same
+    // instance to the one-shot dynamic-ball solver and the exact disk sweep.
+    println!("\n== Engine cross-check of the final state ==");
+    let survivors: Vec<WeightedPoint<2>> =
+        positions.values().map(|&p| WeightedPoint::unit(p)).collect();
+    assert_eq!(survivors.len(), kept.len());
+    let instance = WeightedInstance::ball(survivors, 1.0);
+    let registry = engine::registry();
+    let exact = registry
+        .weighted::<2>("exact-disk-2d")
+        .expect("registered solver")
+        .solve(&instance)
+        .expect("ball instance");
+    let one_shot = DynamicBallSolver::new(cfg).solve(&instance).expect("ball instance");
+    println!(
+        "exact engine solve covers {}, one-shot dynamic-ball solve covers {} [{}]",
+        exact.placement.value, one_shot.placement.value, one_shot.guarantee
+    );
+    assert!(one_shot.placement.value >= one_shot.guarantee.ratio() * exact.placement.value);
 }
 
 fn sample_case<R: Rng>(district: &District, rng: &mut R) -> Point2 {

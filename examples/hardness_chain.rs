@@ -9,6 +9,7 @@
 //! instances *through* the geometric solvers and checks the answers against
 //! the naive quadratic convolution.
 
+use maxrs::engine::BatchedIntervalSolver;
 use maxrs::hardness::reductions::build_batched_instance;
 use maxrs::prelude::*;
 use rand::prelude::*;
@@ -51,8 +52,7 @@ fn main() {
     let small_a = vec![2.0, 0.0, 7.0];
     let small_b = vec![1.0, 5.0, 3.0];
     let gadget = build_batched_instance(&small_a, &small_b, &[0, 1, 2]);
-    let wall_threshold: f64 =
-        -(small_a.iter().sum::<f64>() + small_b.iter().sum::<f64>()) - 0.5;
+    let wall_threshold: f64 = -(small_a.iter().sum::<f64>() + small_b.iter().sum::<f64>()) - 0.5;
     let mut points = gadget.points.clone();
     points.sort_by(|p, q| p.x.partial_cmp(&q.x).unwrap());
     for p in &points {
@@ -66,6 +66,23 @@ fn main() {
         println!("  x = {:5.1}  weight = {:7.1}  ({kind})", p.x, p.weight);
     }
     println!("  query lengths: {:?}", gadget.lengths);
+
+    // The geometry the chain queries is ordinary engine-visible batched 1-D
+    // MaxRS: dispatch the same gadget through the registered solver (which
+    // accepts the gadget's negative wall/guard weights — see the
+    // `negative_weights` capability flag) and report each query's value.
+    println!("\nsolving the gadget through the engine's batched-interval-1d solver:");
+    let gadget_points: Vec<WeightedPoint<1>> =
+        gadget.points.iter().map(|p| WeightedPoint::new(Point::new([p.x]), p.weight)).collect();
+    let gadget_instance =
+        WeightedInstance::<1>::new(gadget_points, RangeShape::interval(gadget.lengths[0]));
+    let reports = BatchedIntervalSolver.solve_lengths(&gadget_instance, &gadget.lengths);
+    for (len, report) in gadget.lengths.iter().zip(&reports) {
+        println!(
+            "  length {:4.1}: interval centered at {:6.2} covers weight {:7.2} [{}]",
+            len, report.placement.center[0], report.placement.value, report.guarantee
+        );
+    }
 
     println!("\nboth hardness chains reproduce the naive convolution exactly");
 }

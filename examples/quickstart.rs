@@ -1,15 +1,20 @@
-//! Quickstart: the three basic MaxRS queries on a small point set.
+//! Quickstart: the basic MaxRS queries, dispatched through the solver engine.
 //!
 //! Run with `cargo run --example quickstart`.
 //!
 //! The scenario mirrors Figure 1 of the paper: a handful of points in the
 //! plane, and we ask (a) where to place a fixed rectangle to cover the most
 //! points, (b) where to place a fixed-radius disk, and (c) where to place a
-//! disk to cover the most *distinct colors*.
+//! disk to cover the most *distinct colors*.  Every query goes through
+//! `engine::registry()`: the caller picks a solver by name, hands it one
+//! instance, and gets back a report carrying the placement, the guarantee it
+//! was produced under, and run statistics.
 
 use maxrs::prelude::*;
 
 fn main() {
+    let registry = engine::registry();
+
     // A cluster of six points near the origin plus two stragglers, as in
     // Figure 1a.
     let coords = [
@@ -26,37 +31,56 @@ fn main() {
         coords.iter().map(|&(x, y)| WeightedPoint::unit(Point2::xy(x, y))).collect();
 
     println!("== Exact rectangle MaxRS (Imai–Asano sweep, O(n log n)) ==");
-    let rect = max_rect_placement(&points, 1.0, 1.0);
+    let rect_instance = WeightedInstance::axis_box(points.clone(), [1.0, 1.0]);
+    let rect = registry
+        .weighted::<2>("exact-rect-2d")
+        .expect("registered solver")
+        .solve(&rect_instance)
+        .expect("box instance matches the rect solver");
     println!(
-        "a 1×1 rectangle anchored at ({:.2}, {:.2}) covers weight {}",
-        rect.rect.lo.x(),
-        rect.rect.lo.y(),
-        rect.value
+        "a 1×1 rectangle centered at ({:.2}, {:.2}) covers weight {} [{}]",
+        rect.placement.center.x(),
+        rect.placement.center.y(),
+        rect.placement.value,
+        rect.guarantee
     );
-    assert_eq!(rect.value, 6.0);
+    assert_eq!(rect.placement.value, 6.0);
 
     println!();
     println!("== Exact disk MaxRS (Chazelle–Lee sweep, O(n² log n)) ==");
-    let disk = max_disk_placement(&points, 1.0);
+    let disk_instance = WeightedInstance::ball(points.clone(), 1.0);
+    let disk = registry
+        .weighted::<2>("exact-disk-2d")
+        .expect("registered solver")
+        .solve(&disk_instance)
+        .expect("ball instance matches the disk solver");
     println!(
         "a unit disk centered at ({:.2}, {:.2}) covers weight {}",
-        disk.center.x(),
-        disk.center.y(),
-        disk.value
+        disk.placement.center.x(),
+        disk.placement.center.y(),
+        disk.placement.value
     );
-    assert_eq!(disk.value, 6.0);
+    assert_eq!(disk.placement.value, 6.0);
 
     println!();
     println!("== Approximate disk MaxRS (Theorem 1.2, (1/2 − ε)-approx) ==");
-    let instance = WeightedBallInstance::new(points.clone(), 1.0);
-    let approx = approx_static_ball(&instance, SamplingConfig::practical(0.25));
+    let registry_fast = engine::registry_with(EngineConfig::practical(0.25));
+    let approx = registry_fast
+        .weighted::<2>("approx-static-ball")
+        .expect("registered solver")
+        .solve(&disk_instance)
+        .expect("ball instance matches the sampler");
     println!(
-        "the sampling technique places the disk at ({:.2}, {:.2}) covering weight {}",
-        approx.center.x(),
-        approx.center.y(),
-        approx.value
+        "the sampling technique places the disk at ({:.2}, {:.2}) covering weight {} \
+         [{}; {} samples over {} grids]",
+        approx.placement.center.x(),
+        approx.placement.center.y(),
+        approx.placement.value,
+        approx.guarantee,
+        approx.stats.samples.unwrap_or(0),
+        approx.stats.grids.unwrap_or(0),
     );
-    assert!(approx.value >= (0.5 - 0.25) * disk.value);
+    assert!(approx.placement.value >= approx.guarantee.ratio() * disk.placement.value);
 
     println!();
     println!("== Colored disk MaxRS (Figure 1b) ==");
@@ -69,25 +93,37 @@ fn main() {
         ColoredSite::new(Point2::xy(0.1, 0.6), 2),
         ColoredSite::new(Point2::xy(5.0, 5.0), 3),
     ];
-    let colored = output_sensitive_colored_disk(&sites, 1.0);
+    let colored_instance = ColoredInstance::ball(sites, 1.0);
+    let colored = registry
+        .colored::<2>("output-sensitive-colored-disk")
+        .expect("registered solver")
+        .solve(&colored_instance)
+        .expect("ball instance matches the colored solver");
     println!(
         "a unit disk centered at ({:.2}, {:.2}) covers {} distinct colors",
-        colored.center.x(),
-        colored.center.y(),
-        colored.distinct
+        colored.placement.center.x(),
+        colored.placement.center.y(),
+        colored.placement.distinct
     );
-    assert_eq!(colored.distinct, 3);
+    assert_eq!(colored.placement.distinct, 3);
 
     println!();
     println!("== 1-D MaxRS (the batched building block) ==");
-    let line_points: Vec<LinePoint> =
-        [0.0, 0.4, 0.9, 3.0, 3.2, 9.0].iter().map(|&x| LinePoint::new(x, 1.0)).collect();
-    let best = max_interval_placement(&line_points, 1.0);
+    let line: Vec<WeightedPoint<1>> = [0.0, 0.4, 0.9, 3.0, 3.2, 9.0]
+        .iter()
+        .map(|&x| WeightedPoint::unit(Point::new([x])))
+        .collect();
+    let line_instance = WeightedInstance::<1>::new(line, RangeShape::interval(1.0));
+    let best = registry
+        .weighted::<1>("exact-interval-1d")
+        .expect("registered solver")
+        .solve(&line_instance)
+        .expect("interval instance matches the 1-D solver");
     println!(
-        "an interval of length 1 placed at [{:.2}, {:.2}] covers {} points",
-        best.interval.lo, best.interval.hi, best.value
+        "an interval of length 1 centered at {:.2} covers {} points",
+        best.placement.center[0], best.placement.value
     );
-    assert_eq!(best.value, 3.0);
+    assert_eq!(best.placement.value, 3.0);
 
     println!();
     println!("quickstart finished — all placements match the expected optima");

@@ -1,5 +1,4 @@
-//! Retail site selection with weighted MaxRS (rectangle and disk baselines,
-//! plus the batched 1-D problem).
+//! Retail site selection with weighted MaxRS, dispatched through the engine.
 //!
 //! Run with `cargo run --example retail_site_selection`.
 //!
@@ -8,19 +7,22 @@
 //! the size of a delivery zone, or a disk of fixed driving radius — that
 //! captures the most spend.  The batched 1-D problem shows up when the same
 //! question is asked along a highway corridor for several store formats at
-//! once.
+//! once.  Every query picks a solver from `engine::registry()` by name and
+//! capability.
 
+use maxrs::engine::BatchedIntervalSolver;
 use maxrs::prelude::*;
 use rand::prelude::*;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
+    let registry = engine::registry_with(EngineConfig::practical(0.25).with_seed(3));
 
     // Customers cluster around three suburbs with different spending power.
     let suburbs = [
-        (Point2::xy(2.0, 2.0), 400, 1.0),  // dense, low spend
-        (Point2::xy(9.0, 3.0), 150, 2.5),  // medium
-        (Point2::xy(5.0, 9.0), 80, 5.0),   // sparse, high spend
+        (Point2::xy(2.0, 2.0), 400, 1.0), // dense, low spend
+        (Point2::xy(9.0, 3.0), 150, 2.5), // medium
+        (Point2::xy(5.0, 9.0), 80, 5.0),  // sparse, high spend
     ];
     let mut customers: Vec<WeightedPoint<2>> = Vec::new();
     for &(center, count, spend) in &suburbs {
@@ -36,55 +38,73 @@ fn main() {
     println!("{} customers, total weekly spend {:.0}", customers.len(), total);
 
     println!("\n== Delivery-zone placement (2×2 rectangle, exact O(n log n) sweep) ==");
-    let zone = max_rect_placement(&customers, 2.0, 2.0);
+    let zone_instance = WeightedInstance::axis_box(customers.clone(), [2.0, 2.0]);
+    let zone = registry
+        .weighted::<2>("exact-rect-2d")
+        .expect("registered solver")
+        .solve(&zone_instance)
+        .expect("box instance");
     println!(
-        "best zone anchored at ({:.2}, {:.2}) captures spend {:.0} ({:.0}% of total)",
-        zone.rect.lo.x(),
-        zone.rect.lo.y(),
-        zone.value,
-        100.0 * zone.value / total
+        "best zone centered at ({:.2}, {:.2}) captures spend {:.0} ({:.0}% of total)",
+        zone.placement.center.x(),
+        zone.placement.center.y(),
+        zone.placement.value,
+        100.0 * zone.placement.value / total
     );
 
     println!("\n== Store placement by driving radius (exact disk MaxRS) ==");
+    let exact_disk = registry.weighted::<2>("exact-disk-2d").expect("registered solver");
     for radius in [0.5, 1.0, 1.5] {
-        let store = max_disk_placement(&customers, radius);
+        let store = exact_disk
+            .solve(&WeightedInstance::ball(customers.clone(), radius))
+            .expect("ball instance");
         println!(
-            "radius {:3.1}: store at ({:.2}, {:.2}) captures spend {:.0}",
+            "radius {:3.1}: store at ({:.2}, {:.2}) captures spend {:.0} in {:.1} ms",
             radius,
-            store.center.x(),
-            store.center.y(),
-            store.value
+            store.placement.center.x(),
+            store.placement.center.y(),
+            store.placement.value,
+            store.stats.elapsed.as_secs_f64() * 1e3
         );
     }
 
     println!("\n== Large instance: approximate placement (Theorem 1.2) vs exact ==");
-    let instance = WeightedBallInstance::new(customers.clone(), 1.0);
-    let exact = max_disk_placement(&customers, 1.0);
-    let approx = approx_static_ball(&instance, SamplingConfig::practical(0.25).with_seed(3));
+    let instance = WeightedInstance::ball(customers.clone(), 1.0);
+    let exact = exact_disk.solve(&instance).expect("ball instance");
+    let approx = registry
+        .weighted::<2>("approx-static-ball")
+        .expect("registered solver")
+        .solve(&instance)
+        .expect("ball instance");
     println!(
-        "exact spend {:.0}, sampling-technique spend {:.0} (ratio {:.2})",
-        exact.value,
-        approx.value,
-        approx.value / exact.value
+        "exact spend {:.0} ({:.1} ms), sampling-technique spend {:.0} ({:.1} ms, ratio {:.2})",
+        exact.placement.value,
+        exact.stats.elapsed.as_secs_f64() * 1e3,
+        approx.placement.value,
+        approx.stats.elapsed.as_secs_f64() * 1e3,
+        approx.placement.value / exact.placement.value
     );
-    assert!(approx.value >= 0.25 * exact.value);
+    assert!(approx.placement.value >= approx.guarantee.ratio() * exact.placement.value);
 
     println!("\n== Highway corridor: batched MaxRS in 1-D for several store formats ==");
     // Project the customers onto the highway (the x-axis) and ask, for each
     // store format (catchment length), where along the highway to build.
-    let corridor: Vec<LinePoint> =
-        customers.iter().map(|c| LinePoint::new(c.point.x(), c.weight)).collect();
-    let solver = BatchedMaxRS1D::new(&corridor);
-    let formats = [("kiosk", 0.5), ("convenience", 1.5), ("supermarket", 3.0), ("hypermarket", 6.0)];
-    let placements = solver.solve(&formats.iter().map(|f| f.1).collect::<Vec<_>>());
-    for ((name, len), placement) in formats.iter().zip(&placements) {
+    let corridor: Vec<WeightedPoint<1>> =
+        customers.iter().map(|c| WeightedPoint::new(Point::new([c.point.x()]), c.weight)).collect();
+    let formats =
+        [("kiosk", 0.5), ("convenience", 1.5), ("supermarket", 3.0), ("hypermarket", 6.0)];
+    // The batched solver shares one O(n log n) build across all four formats.
+    let corridor_instance = WeightedInstance::<1>::new(corridor, RangeShape::interval(1.0));
+    let reports = BatchedIntervalSolver
+        .solve_lengths(&corridor_instance, &formats.iter().map(|f| f.1).collect::<Vec<_>>());
+    for ((name, len), report) in formats.iter().zip(&reports) {
         println!(
             "{:12} (catchment {:3.1} km): build at km {:5.2}, captured spend {:.0}",
-            name, len, placement.interval.lo, placement.value
+            name, len, report.placement.center[0], report.placement.value
         );
     }
     // Larger formats never capture less spend.
-    for pair in placements.windows(2) {
-        assert!(pair[1].value >= pair[0].value);
+    for pair in reports.windows(2) {
+        assert!(pair[1].placement.value >= pair[0].placement.value);
     }
 }

@@ -1,4 +1,5 @@
-//! Wildlife monitoring with colored MaxRS (Theorems 1.5, 4.6 and 1.6).
+//! Wildlife monitoring with colored MaxRS (Theorems 1.5, 4.6 and 1.6),
+//! dispatched through the engine.
 //!
 //! Run with `cargo run --example wildlife_tracking`.
 //!
@@ -6,7 +7,9 @@
 //! animal contributes a trajectory of GPS samples, all carrying that animal's
 //! color, and a single tracking station with a fixed observation radius should
 //! be positioned to observe as many *distinct animals* as possible — observing
-//! one animal twice is worth nothing extra.
+//! one animal twice is worth nothing extra.  The example runs the same
+//! instance through three registered solvers with different guarantees and
+//! compares their reports.
 
 use maxrs::prelude::*;
 use rand::prelude::*;
@@ -27,47 +30,74 @@ fn main() {
     }
     println!("{} GPS samples from 60 animals", sites.len());
 
-    // Exact answer with the output-sensitive algorithm of Theorem 4.6.
     let station_radius = 2.5;
-    let exact = output_sensitive_colored_disk(&sites, station_radius);
+    let instance = ColoredInstance::ball(sites.clone(), station_radius);
+    let registry = engine::registry_with(
+        EngineConfig { color_sampling: ColorSamplingConfig::new(0.2), ..EngineConfig::default() }
+            .with_seed(1),
+    );
+
+    // Exact answer with the output-sensitive algorithm of Theorem 4.6.
+    let exact = registry
+        .colored::<2>("output-sensitive-colored-disk")
+        .expect("registered solver")
+        .solve(&instance)
+        .expect("ball instance");
     println!(
-        "exact (Theorem 4.6): station at ({:.2}, {:.2}) observes {} distinct animals",
-        exact.center.x(),
-        exact.center.y(),
-        exact.distinct
+        "exact ({}): station at ({:.2}, {:.2}) observes {} distinct animals \
+         ({} boundary crossings examined)",
+        exact.solver,
+        exact.placement.center.x(),
+        exact.placement.center.y(),
+        exact.placement.distinct,
+        exact.stats.candidates.unwrap_or(0)
     );
 
     // Fast (1/2 − ε)-approximation in any dimension (Theorem 1.5).
-    let instance = ColoredBallInstance::new(sites.clone(), station_radius);
-    let rough = approx_colored_ball(&instance, SamplingConfig::practical(0.25).with_seed(1));
+    let rough = registry
+        .colored::<2>("approx-colored-ball")
+        .expect("registered solver")
+        .solve(&instance)
+        .expect("ball instance");
     println!(
-        "sampling (Theorem 1.5): station at ({:.2}, {:.2}) observes {} distinct animals",
-        rough.center.x(),
-        rough.center.y(),
-        rough.distinct
+        "sampling [{}]: station at ({:.2}, {:.2}) observes {} distinct animals",
+        rough.guarantee,
+        rough.placement.center.x(),
+        rough.placement.center.y(),
+        rough.placement.distinct
     );
 
     // (1 − ε)-approximation via color sampling (Theorem 1.6).
-    let fine = approx_colored_disk_sampling(&instance, ColorSamplingConfig::new(0.2).with_seed(5));
+    let fine = registry
+        .colored::<2>("approx-colored-disk-sampling")
+        .expect("registered solver")
+        .solve(&instance)
+        .expect("ball instance");
     println!(
-        "color sampling (Theorem 1.6): station at ({:.2}, {:.2}) observes {} distinct animals",
-        fine.center.x(),
-        fine.center.y(),
-        fine.distinct
+        "color sampling [{}]: station at ({:.2}, {:.2}) observes {} distinct animals",
+        fine.guarantee,
+        fine.placement.center.x(),
+        fine.placement.center.y(),
+        fine.placement.distinct
     );
 
-    assert!(rough.distinct as f64 >= 0.25 * exact.distinct as f64);
-    assert!(fine.distinct as f64 >= 0.8 * exact.distinct as f64);
-    assert!(exact.distinct <= 40, "the two herds are too far apart to observe together");
+    let opt = exact.placement.distinct as f64;
+    assert!(rough.placement.distinct as f64 >= rough.guarantee.ratio() * opt);
+    assert!(fine.placement.distinct as f64 >= fine.guarantee.ratio() * opt);
+    assert!(exact.placement.distinct <= 40, "the two herds are too far apart to observe together");
 
     // What if we could afford a much longer observation radius?  The exact
     // union-boundary algorithm (Lemma 4.2) answers arbitrary radii.
     println!();
+    let union_solver =
+        registry.colored::<2>("exact-colored-disk-union").expect("registered solver");
     for radius in [1.0, 2.5, 5.0, 40.0] {
-        let placement = exact_colored_disk_by_union(&sites, radius);
+        let report = union_solver
+            .solve(&ColoredInstance::ball(sites.clone(), radius))
+            .expect("ball instance");
         println!(
             "radius {:5.1}: best station observes {:2} distinct animals",
-            radius, placement.distinct
+            radius, report.placement.distinct
         );
     }
 }

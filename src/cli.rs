@@ -7,12 +7,11 @@
 use std::fmt;
 use std::str::FromStr;
 
-use mrs_core::config::{ColorSamplingConfig, SamplingConfig};
-use mrs_core::exact::{max_disk_placement, max_rect_placement};
-use mrs_core::input::{ColoredBallInstance, WeightedBallInstance};
-use mrs_core::technique1::approx_static_ball;
-use mrs_core::technique2::{approx_colored_disk_sampling, output_sensitive_colored_disk};
 use mrs_geom::{ColoredSite, Point2, WeightedPoint};
+
+use crate::engine::{
+    registry_with, ColoredInstance, DimSupport, EngineConfig, EngineError, WeightedInstance,
+};
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,6 +58,8 @@ pub enum Command {
         /// Input CSV path.
         path: String,
     },
+    /// List the solvers registered with the engine (`solvers`).
+    Solvers,
     /// Print usage.
     Help,
 }
@@ -89,6 +90,10 @@ USAGE:
     maxrs rect                --width W --height H  <points.csv>
     maxrs colored-disk        --radius R            <colored.csv>
     maxrs colored-disk-approx --radius R --eps E    <colored.csv>
+    maxrs solvers
+
+Every query dispatches through the solver engine; `maxrs solvers` lists the
+registered solvers with their capabilities and guarantees.
 
 INPUT FORMATS (one record per line, '#' starts a comment):
     weighted points:  x,y[,weight]      (weight defaults to 1)
@@ -135,32 +140,79 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let need_path = |path: Option<String>| -> Result<String, CliError> {
         path.ok_or_else(|| CliError("missing input file path".into()))
     };
+    // Reject flags the selected subcommand does not consume, so a typo like
+    // `colored-disk --eps 0.3` (instead of `colored-disk-approx`) errors
+    // instead of silently ignoring the flag.
+    let reject_unused = |command: &str, unused: &[(&str, bool)]| -> Result<(), CliError> {
+        for (flag, present) in unused {
+            if *present {
+                return err(format!("{flag} does not apply to `{command}`"));
+            }
+        }
+        Ok(())
+    };
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "disk" => Ok(Command::Disk {
-            radius: radius.ok_or_else(|| CliError("disk requires --radius".into()))?,
-            path: need_path(path)?,
-        }),
-        "disk-approx" => Ok(Command::DiskApprox {
-            radius: radius.ok_or_else(|| CliError("disk-approx requires --radius".into()))?,
-            eps: eps.unwrap_or(0.25),
-            path: need_path(path)?,
-        }),
-        "rect" => Ok(Command::Rect {
-            width: width.ok_or_else(|| CliError("rect requires --width".into()))?,
-            height: height.ok_or_else(|| CliError("rect requires --height".into()))?,
-            path: need_path(path)?,
-        }),
-        "colored-disk" => Ok(Command::ColoredDisk {
-            radius: radius.ok_or_else(|| CliError("colored-disk requires --radius".into()))?,
-            path: need_path(path)?,
-        }),
-        "colored-disk-approx" => Ok(Command::ColoredDiskApprox {
-            radius: radius
-                .ok_or_else(|| CliError("colored-disk-approx requires --radius".into()))?,
-            eps: eps.unwrap_or(0.25),
-            path: need_path(path)?,
-        }),
+        "solvers" => Ok(Command::Solvers),
+        "disk" => {
+            reject_unused(
+                "disk",
+                &[
+                    ("--eps", eps.is_some()),
+                    ("--width", width.is_some()),
+                    ("--height", height.is_some()),
+                ],
+            )?;
+            Ok(Command::Disk {
+                radius: radius.ok_or_else(|| CliError("disk requires --radius".into()))?,
+                path: need_path(path)?,
+            })
+        }
+        "disk-approx" => {
+            reject_unused(
+                "disk-approx",
+                &[("--width", width.is_some()), ("--height", height.is_some())],
+            )?;
+            Ok(Command::DiskApprox {
+                radius: radius.ok_or_else(|| CliError("disk-approx requires --radius".into()))?,
+                eps: eps.unwrap_or(0.25),
+                path: need_path(path)?,
+            })
+        }
+        "rect" => {
+            reject_unused("rect", &[("--radius", radius.is_some()), ("--eps", eps.is_some())])?;
+            Ok(Command::Rect {
+                width: width.ok_or_else(|| CliError("rect requires --width".into()))?,
+                height: height.ok_or_else(|| CliError("rect requires --height".into()))?,
+                path: need_path(path)?,
+            })
+        }
+        "colored-disk" => {
+            reject_unused(
+                "colored-disk",
+                &[
+                    ("--eps", eps.is_some()),
+                    ("--width", width.is_some()),
+                    ("--height", height.is_some()),
+                ],
+            )?;
+            Ok(Command::ColoredDisk {
+                radius: radius.ok_or_else(|| CliError("colored-disk requires --radius".into()))?,
+                path: need_path(path)?,
+            })
+        }
+        "colored-disk-approx" => {
+            reject_unused(
+                "colored-disk-approx",
+                &[("--width", width.is_some()), ("--height", height.is_some())],
+            )?;
+            Ok(Command::ColoredDiskApprox {
+                radius: radius
+                    .ok_or_else(|| CliError("colored-disk-approx requires --radius".into()))?,
+                eps: eps.unwrap_or(0.25),
+                path: need_path(path)?,
+            })
+        }
         other => err(format!("unknown command {other}; run `maxrs help`")),
     }
 }
@@ -169,7 +221,8 @@ fn parse_flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<f64, C
     let Some(raw) = args.get(*i + 1) else {
         return err(format!("{flag} requires a value"));
     };
-    let value = f64::from_str(raw).map_err(|_| CliError(format!("{flag}: invalid number {raw}")))?;
+    let value =
+        f64::from_str(raw).map_err(|_| CliError(format!("{flag}: invalid number {raw}")))?;
     *i += 2;
     Ok(value)
 }
@@ -223,73 +276,177 @@ fn parse_number(raw: &str, lineno: usize) -> Result<f64, CliError> {
     f64::from_str(raw).map_err(|_| CliError(format!("line {}: invalid number `{raw}`", lineno + 1)))
 }
 
+/// The engine configuration the CLI dispatches with: practical sampling caps
+/// at the requested `ε` (see [`EngineConfig::practical`] for the `ε ≥ 1/2`
+/// clamping rule).
+fn cli_config(eps: f64) -> EngineConfig {
+    EngineConfig::practical(eps)
+}
+
+/// Looks a weighted solver up and dispatches the instance through it.
+fn dispatch_weighted(
+    solver_name: &str,
+    eps: f64,
+    instance: &WeightedInstance<2>,
+) -> Result<crate::engine::SolverReport<mrs_core::input::Placement<2>>, CliError> {
+    let registry = registry_with(cli_config(eps));
+    let solver = registry
+        .weighted::<2>(solver_name)
+        .ok_or_else(|| CliError(format!("solver `{solver_name}` is not registered")))?;
+    solver.solve(instance).map_err(engine_error)
+}
+
+/// Looks a colored solver up and dispatches the instance through it.
+fn dispatch_colored(
+    solver_name: &str,
+    eps: f64,
+    instance: &ColoredInstance<2>,
+) -> Result<crate::engine::SolverReport<mrs_core::input::ColoredPlacement<2>>, CliError> {
+    let registry = registry_with(cli_config(eps));
+    let solver = registry
+        .colored::<2>(solver_name)
+        .ok_or_else(|| CliError(format!("solver `{solver_name}` is not registered")))?;
+    solver.solve(instance).map_err(engine_error)
+}
+
+fn engine_error(e: EngineError) -> CliError {
+    CliError(e.to_string())
+}
+
+/// Renders the registry listing for `maxrs solvers`.
+fn render_solvers() -> String {
+    let registry = crate::engine::registry();
+    let mut out = String::from(
+        "registered solvers (name | problem | shape | dims | guarantee | reference):\n",
+    );
+    for d in registry.descriptors() {
+        let dims = match d.dims {
+            DimSupport::Any => "any d".to_string(),
+            DimSupport::Fixed(d) => format!("d = {d}"),
+        };
+        let guarantee = match d.guarantee {
+            crate::engine::GuaranteeClass::Exact => "exact",
+            crate::engine::GuaranteeClass::HalfMinusEps => "(1/2 − ε)-approx",
+            crate::engine::GuaranteeClass::OneMinusEps => "(1 − ε)-approx",
+        };
+        let problem = match d.problem {
+            crate::engine::ProblemKind::Weighted => "weighted",
+            crate::engine::ProblemKind::Colored => "colored",
+        };
+        out.push_str(&format!(
+            "  {:<30} {:<9} {:<5} {:<7} {:<17} {}\n",
+            d.name,
+            problem,
+            d.shape.to_string(),
+            dims,
+            guarantee,
+            d.reference
+        ));
+    }
+    out
+}
+
+fn check_radius(radius: f64) -> Result<(), CliError> {
+    if radius.is_finite() && radius > 0.0 {
+        Ok(())
+    } else {
+        err("radius must be positive")
+    }
+}
+
+fn check_extent(name: &str, extent: f64) -> Result<(), CliError> {
+    if extent.is_finite() && extent > 0.0 {
+        Ok(())
+    } else {
+        err(format!("{name} must be positive"))
+    }
+}
+
+fn check_eps(eps: f64, hi: f64) -> Result<(), CliError> {
+    if eps > 0.0 && eps < hi {
+        Ok(())
+    } else {
+        err(format!("--eps must lie in (0, {hi}), got {eps}"))
+    }
+}
+
 /// Executes a parsed command against already-loaded file contents and returns
-/// the report text.  Pure function so it can be tested without touching the
-/// filesystem.
+/// the report text.  Every query dispatches through the solver engine; the
+/// function stays pure so it can be tested without touching the filesystem.
 pub fn run_on_text(command: &Command, file_text: &str) -> Result<String, CliError> {
+    const DEFAULT_EPS: f64 = 0.25;
     match command {
         Command::Help => Ok(USAGE.to_string()),
+        Command::Solvers => Ok(render_solvers()),
         Command::Disk { radius, .. } => {
             let points = parse_weighted_csv(file_text)?;
-            if !(radius.is_finite() && *radius > 0.0) {
-                return err("radius must be positive");
-            }
-            let placement = max_disk_placement(&points, *radius);
+            check_radius(*radius)?;
+            let n = points.len();
+            let instance = WeightedInstance::ball(points, *radius);
+            let report = dispatch_weighted("exact-disk-2d", DEFAULT_EPS, &instance)?;
             Ok(format!(
                 "exact disk MaxRS: center = ({:.6}, {:.6}), covered weight = {:.6}, points = {}",
-                placement.center.x(),
-                placement.center.y(),
-                placement.value,
-                points.len()
+                report.placement.center.x(),
+                report.placement.center.y(),
+                report.placement.value,
+                n
             ))
         }
         Command::DiskApprox { radius, eps, .. } => {
             let points = parse_weighted_csv(file_text)?;
+            check_radius(*radius)?;
+            check_eps(*eps, 0.5)?;
             if points.is_empty() {
                 return Ok("empty input: nothing to place".to_string());
             }
-            let instance = WeightedBallInstance::new(points, *radius);
-            let placement = approx_static_ball(&instance, SamplingConfig::practical(*eps));
+            let instance = WeightedInstance::ball(points, *radius);
+            let report = dispatch_weighted("approx-static-ball", *eps, &instance)?;
             Ok(format!(
                 "approximate disk MaxRS (Theorem 1.2, ε = {eps}): center = ({:.6}, {:.6}), covered weight = {:.6}",
-                placement.center.x(),
-                placement.center.y(),
-                placement.value
+                report.placement.center.x(),
+                report.placement.center.y(),
+                report.placement.value
             ))
         }
         Command::Rect { width, height, .. } => {
             let points = parse_weighted_csv(file_text)?;
-            let placement = max_rect_placement(&points, *width, *height);
+            check_extent("--width", *width)?;
+            check_extent("--height", *height)?;
+            let instance = WeightedInstance::axis_box(points, [*width, *height]);
+            let report = dispatch_weighted("exact-rect-2d", DEFAULT_EPS, &instance)?;
             Ok(format!(
                 "exact rectangle MaxRS: anchor = ({:.6}, {:.6}), covered weight = {:.6}",
-                placement.rect.lo.x(),
-                placement.rect.lo.y(),
-                placement.value
+                report.placement.center.x() - width / 2.0,
+                report.placement.center.y() - height / 2.0,
+                report.placement.value
             ))
         }
         Command::ColoredDisk { radius, .. } => {
             let sites = parse_colored_csv(file_text)?;
-            let placement = output_sensitive_colored_disk(&sites, *radius);
+            check_radius(*radius)?;
+            let instance = ColoredInstance::ball(sites, *radius);
+            let report = dispatch_colored("output-sensitive-colored-disk", DEFAULT_EPS, &instance)?;
             Ok(format!(
                 "exact colored disk MaxRS (Theorem 4.6): center = ({:.6}, {:.6}), distinct colors = {}",
-                placement.center.x(),
-                placement.center.y(),
-                placement.distinct
+                report.placement.center.x(),
+                report.placement.center.y(),
+                report.placement.distinct
             ))
         }
         Command::ColoredDiskApprox { radius, eps, .. } => {
             let sites = parse_colored_csv(file_text)?;
+            check_radius(*radius)?;
+            check_eps(*eps, 1.0)?;
             if sites.is_empty() {
                 return Ok("empty input: nothing to place".to_string());
             }
-            let instance = ColoredBallInstance::new(sites, *radius);
-            let placement =
-                approx_colored_disk_sampling(&instance, ColorSamplingConfig::new(*eps));
+            let instance = ColoredInstance::ball(sites, *radius);
+            let report = dispatch_colored("approx-colored-disk-sampling", *eps, &instance)?;
             Ok(format!(
                 "approximate colored disk MaxRS (Theorem 1.6, ε = {eps}): center = ({:.6}, {:.6}), distinct colors = {}",
-                placement.center.x(),
-                placement.center.y(),
-                placement.distinct
+                report.placement.center.x(),
+                report.placement.center.y(),
+                report.placement.distinct
             ))
         }
     }
@@ -298,7 +455,7 @@ pub fn run_on_text(command: &Command, file_text: &str) -> Result<String, CliErro
 /// The input file referenced by a command, if any.
 pub fn input_path(command: &Command) -> Option<&str> {
     match command {
-        Command::Help => None,
+        Command::Help | Command::Solvers => None,
         Command::Disk { path, .. }
         | Command::DiskApprox { path, .. }
         | Command::Rect { path, .. }
@@ -331,6 +488,7 @@ mod tests {
             Command::ColoredDiskApprox { radius: 1.0, eps: 0.1, path: "c.csv".into() }
         );
         assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["solvers"])).unwrap(), Command::Solvers);
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
     }
 
@@ -341,6 +499,21 @@ mod tests {
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         assert!(parse_args(&args(&["disk", "--radius", "1", "a.csv", "b.csv"])).is_err());
         assert!(parse_args(&args(&["disk", "--radius", "1", "--bogus", "x", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn inapplicable_flags_are_rejected_per_subcommand() {
+        let e = parse_args(&args(&["colored-disk", "--radius", "1", "--eps", "0.3", "c.csv"]))
+            .unwrap_err();
+        assert!(e.0.contains("--eps") && e.0.contains("colored-disk"), "{e}");
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--width", "2", "a.csv"])).is_err());
+        assert!(parse_args(&args(&[
+            "rect", "--width", "1", "--height", "1", "--radius", "2", "a.csv"
+        ]))
+        .is_err());
+        assert!(
+            parse_args(&args(&["disk-approx", "--radius", "1", "--height", "2", "a.csv"])).is_err()
+        );
     }
 
     #[test]
@@ -382,6 +555,42 @@ mod tests {
     }
 
     #[test]
+    fn invalid_parameters_are_clean_errors_not_panics() {
+        let csv = "0,0\n1,1\n";
+        let bad_eps = Command::DiskApprox { radius: 1.0, eps: 0.9, path: "x".into() };
+        assert!(run_on_text(&bad_eps, csv).unwrap_err().0.contains("--eps"));
+        let bad_rect = Command::Rect { width: -1.0, height: 1.0, path: "x".into() };
+        assert!(run_on_text(&bad_rect, csv).unwrap_err().0.contains("--width"));
+        let bad_radius = Command::ColoredDisk { radius: -2.0, path: "x".into() };
+        assert!(run_on_text(&bad_radius, "0,0,1\n").unwrap_err().0.contains("radius"));
+        let bad_colored_eps =
+            Command::ColoredDiskApprox { radius: 1.0, eps: 1.5, path: "x".into() };
+        assert!(run_on_text(&bad_colored_eps, "0,0,1\n").unwrap_err().0.contains("--eps"));
+        // ε ∈ [1/2, 1) is legal for the (1 − ε) color sampler even though the
+        // Technique 1 estimator inside it only admits ε < 1/2.
+        let high_eps = Command::ColoredDiskApprox { radius: 1.0, eps: 0.6, path: "x".into() };
+        assert!(run_on_text(&high_eps, "0,0,1\n0.1,0,2\n").unwrap().contains("distinct colors"));
+    }
+
+    #[test]
+    fn solvers_listing_names_every_registered_solver() {
+        let listing = run_on_text(&Command::Solvers, "").unwrap();
+        for name in [
+            "exact-disk-2d",
+            "exact-rect-2d",
+            "exact-interval-1d",
+            "batched-interval-1d",
+            "approx-static-ball",
+            "dynamic-ball",
+            "output-sensitive-colored-disk",
+            "approx-colored-disk-sampling",
+            "approx-colored-ball",
+        ] {
+            assert!(listing.contains(name), "missing {name} in:\n{listing}");
+        }
+    }
+
+    #[test]
     fn approx_commands_run_and_report() {
         let csv: String =
             (0..50).map(|i| format!("{},{}\n", 0.01 * i as f64, 0.0)).collect::<String>();
@@ -399,9 +608,6 @@ mod tests {
     #[test]
     fn input_path_extraction() {
         assert_eq!(input_path(&Command::Help), None);
-        assert_eq!(
-            input_path(&Command::Disk { radius: 1.0, path: "a.csv".into() }),
-            Some("a.csv")
-        );
+        assert_eq!(input_path(&Command::Disk { radius: 1.0, path: "a.csv".into() }), Some("a.csv"));
     }
 }

@@ -15,6 +15,19 @@
 //! * [`hardness`] — the (min,+)-convolution family and the executable
 //!   reduction chains of Sections 5 and 6.
 //!
+//! ## The solver engine
+//!
+//! Every algorithm is also dispatchable through the **engine**
+//! ([`engine`], re-exported from `mrs_core` and wired up with the batched
+//! solvers): one instance model ([`engine::WeightedInstance`] /
+//! [`engine::ColoredInstance`]), two object-safe solver traits
+//! ([`engine::WeightedSolver`] / [`engine::ColoredSolver`]), and a
+//! [`engine::registry`] that enumerates solvers by name and capability so a
+//! caller can pick exact-vs-approximate per workload.  Every solve returns a
+//! [`engine::SolverReport`] carrying the placement, its certified
+//! value/distinct-count, the approximation [`engine::Guarantee`], and
+//! timing/sample statistics.
+//!
 //! The [`prelude`] pulls in the types and entry points most applications need.
 //!
 //! ```
@@ -26,9 +39,11 @@
 //!     WeightedPoint::unit(Point2::xy(0.4, 0.1)),
 //!     WeightedPoint::unit(Point2::xy(8.0, 8.0)),
 //! ];
-//! let instance = WeightedBallInstance::new(customers, 1.0);
-//! let placement = approx_static_ball(&instance, SamplingConfig::practical(0.25));
-//! assert_eq!(placement.value, 2.0);
+//! let instance = WeightedInstance::ball(customers, 1.0);
+//! let solver = engine::registry().weighted::<2>("exact-disk-2d").unwrap();
+//! let report = solver.solve(&instance).unwrap();
+//! assert_eq!(report.placement.value, 2.0);
+//! assert!(report.guarantee.is_exact());
 //! ```
 
 #![warn(missing_docs)]
@@ -41,10 +56,37 @@ pub use mrs_core as core;
 pub use mrs_geom as geom;
 pub use mrs_hardness as hardness;
 
+/// The solver engine, fully wired: the `mrs_core` dispatch layer plus every
+/// solver the other workspace crates contribute.
+pub mod engine {
+    pub use mrs_core::engine::*;
+
+    pub use mrs_batched::engine::BatchedIntervalSolver;
+
+    /// The full workspace registry: the `mrs_core` built-ins plus the
+    /// solvers of `mrs_batched` (shadows the core-only
+    /// [`mrs_core::engine::registry`]).
+    pub fn registry() -> Registry {
+        registry_with(EngineConfig::default())
+    }
+
+    /// Like [`registry`], with an explicit engine configuration.
+    pub fn registry_with(config: EngineConfig) -> Registry {
+        let mut registry = Registry::with_config(config);
+        mrs_batched::engine::register(&mut registry);
+        registry
+    }
+}
+
 /// The most commonly used types and functions from across the workspace.
 pub mod prelude {
+    pub use crate::engine;
     pub use mrs_batched::{BatchedMaxRS1D, BatchedSei, IntervalPlacement, LinePoint};
     pub use mrs_core::config::{ColorSamplingConfig, SamplingConfig};
+    pub use mrs_core::engine::{
+        ColoredInstance, ColoredSolver, EngineConfig, EngineError, Guarantee, RangeShape, Registry,
+        SolveStats, SolverDescriptor, SolverReport, WeightedInstance, WeightedSolver,
+    };
     pub use mrs_core::exact::{max_disk_placement, max_interval_placement, max_rect_placement};
     pub use mrs_core::input::{
         ColoredBallInstance, ColoredPlacement, Placement, WeightedBallInstance,
@@ -72,5 +114,13 @@ mod tests {
 
         let conv = min_plus_convolution(&[1.0, 2.0], &[3.0, 0.0]);
         assert_eq!(conv, vec![4.0, 1.0]);
+    }
+
+    #[test]
+    fn full_registry_includes_batched_solvers() {
+        let reg = engine::registry();
+        assert!(reg.descriptors().len() >= 8);
+        assert!(reg.weighted::<1>("batched-interval-1d").is_some());
+        assert!(reg.weighted::<2>("exact-disk-2d").is_some());
     }
 }

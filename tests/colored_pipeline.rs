@@ -8,7 +8,12 @@ use maxrs::core::technique2::approx_colored_disk_sampling_with_details;
 use maxrs::prelude::*;
 use rand::prelude::*;
 
-fn clustered_sites(clusters: usize, per_cluster: usize, colors: usize, seed: u64) -> Vec<ColoredSite<2>> {
+fn clustered_sites(
+    clusters: usize,
+    per_cluster: usize,
+    colors: usize,
+    seed: u64,
+) -> Vec<ColoredSite<2>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sites = Vec::new();
     for c in 0..clusters {
@@ -109,9 +114,7 @@ fn colored_results_never_exceed_the_number_of_colors_present() {
         let instance = ColoredBallInstance::new(sites.clone(), 1.0);
         let bound = instance.distinct_colors();
         assert!(output_sensitive_colored_disk(&sites, 1.0).distinct <= bound);
-        assert!(
-            approx_colored_ball(&instance, SamplingConfig::practical(0.3)).distinct <= bound
-        );
+        assert!(approx_colored_ball(&instance, SamplingConfig::practical(0.3)).distinct <= bound);
         assert!(
             approx_colored_disk_sampling(&instance, ColorSamplingConfig::new(0.3)).distinct
                 <= bound

@@ -42,9 +42,8 @@ fn static_sampling_respects_the_guarantee_against_the_exact_baseline() {
 #[test]
 fn rectangle_and_disk_baselines_agree_on_trivially_coverable_inputs() {
     // All points inside a tiny cluster: every query shape covers everything.
-    let points: Vec<WeightedPoint<2>> = (0..30)
-        .map(|i| WeightedPoint::new(Point2::xy(0.01 * i as f64, 0.0), 1.0))
-        .collect();
+    let points: Vec<WeightedPoint<2>> =
+        (0..30).map(|i| WeightedPoint::new(Point2::xy(0.01 * i as f64, 0.0), 1.0)).collect();
     let rect = max_rect_placement(&points, 2.0, 2.0);
     let disk = max_disk_placement(&points, 1.0);
     assert_eq!(rect.value, 30.0);

@@ -1,0 +1,209 @@
+//! Engine-wide dispatch test: run **every** registered solver on one shared
+//! small instance per (problem, shape, dimension) combination, and assert
+//! that exact solvers agree with each other and approximate solvers respect
+//! their stated guarantee.  This is the integration contract of the engine
+//! layer: any solver added to the registry is automatically held to it.
+
+use maxrs::prelude::*;
+
+/// A planar weighted cluster whose radius-1 ball optimum and 1×1 closed-box
+/// optimum are both 4.0 (the four 0.8-spaced corners), by construction.
+fn weighted_points() -> Vec<WeightedPoint<2>> {
+    vec![
+        WeightedPoint::unit(Point2::xy(0.0, 0.0)),
+        WeightedPoint::unit(Point2::xy(0.8, 0.0)),
+        WeightedPoint::unit(Point2::xy(0.0, 0.8)),
+        WeightedPoint::unit(Point2::xy(0.8, 0.8)),
+        WeightedPoint::unit(Point2::xy(10.0, 10.0)),
+        WeightedPoint::unit(Point2::xy(-10.0, 10.0)),
+    ]
+}
+
+/// A colored cluster whose disk optimum (radius 1) is 3 distinct colors.
+fn colored_sites() -> Vec<ColoredSite<2>> {
+    vec![
+        ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+        ColoredSite::new(Point2::xy(0.4, 0.0), 0),
+        ColoredSite::new(Point2::xy(0.8, 0.0), 1),
+        ColoredSite::new(Point2::xy(0.0, 0.8), 2),
+        ColoredSite::new(Point2::xy(12.0, 0.0), 3),
+    ]
+}
+
+#[test]
+fn every_planar_weighted_ball_solver_meets_its_guarantee() {
+    let registry = engine::registry();
+    let instance = WeightedInstance::ball(weighted_points(), 1.0);
+
+    // Ground truth from direct evaluation: the four clustered points fit in
+    // one unit disk (pairwise distances ≤ 2·radius around (0.4, 0.4)).
+    let opt = instance.value_at(&Point2::xy(0.4, 0.4));
+    assert_eq!(opt, 4.0);
+
+    let mut ran = 0;
+    for solver in registry.weighted_solvers::<2>() {
+        let descriptor = solver.descriptor();
+        let report = match solver.solve(&instance) {
+            Ok(report) => report,
+            Err(EngineError::UnsupportedShape { .. }) => continue, // box-only solver
+            Err(other) => panic!("{}: unexpected dispatch error {other}", descriptor.name),
+        };
+        ran += 1;
+        assert_eq!(report.solver, descriptor.name);
+        // Reported values must be certified: re-evaluating the center agrees.
+        assert_eq!(
+            instance.value_at(&report.placement.center),
+            report.placement.value,
+            "{} reported an uncertified value",
+            descriptor.name
+        );
+        if report.guarantee.is_exact() {
+            assert_eq!(report.placement.value, opt, "{} must be exact", descriptor.name);
+        } else {
+            assert!(
+                report.placement.value >= report.guarantee.ratio() * opt,
+                "{}: {} < {} · {opt}",
+                descriptor.name,
+                report.placement.value,
+                report.guarantee.ratio()
+            );
+        }
+    }
+    assert!(ran >= 3, "expected ≥ 3 planar ball solvers, ran {ran}");
+}
+
+#[test]
+fn weighted_box_solvers_agree_with_direct_evaluation() {
+    let registry = engine::registry();
+    let instance = WeightedInstance::axis_box(weighted_points(), [1.0, 1.0]);
+    let opt = instance.value_at(&Point2::xy(0.4, 0.4));
+    assert_eq!(opt, 4.0, "the closed unit box centered at (0.4, 0.4) covers all four corners");
+
+    let mut ran = 0;
+    for solver in registry.weighted_solvers::<2>() {
+        if let Ok(report) = solver.solve(&instance) {
+            ran += 1;
+            assert!(report.guarantee.is_exact());
+            assert_eq!(report.placement.value, opt, "{}", solver.name());
+            assert_eq!(instance.value_at(&report.placement.center), opt);
+        }
+    }
+    assert!(ran >= 1, "expected ≥ 1 planar box solver");
+}
+
+#[test]
+fn one_dimensional_solvers_agree_including_the_batched_one() {
+    let registry = engine::registry();
+    let points: Vec<WeightedPoint<1>> = [0.0, 0.2, 0.9, 4.0, 4.1, 4.2, 9.0]
+        .iter()
+        .map(|&x| WeightedPoint::unit(Point::new([x])))
+        .collect();
+    let instance = WeightedInstance::<1>::new(points, RangeShape::interval(1.0));
+
+    let mut exact_values = Vec::new();
+    for solver in registry.weighted_solvers::<1>() {
+        if let Ok(report) = solver.solve(&instance) {
+            assert_eq!(
+                instance.value_at(&report.placement.center),
+                report.placement.value,
+                "{}",
+                solver.name()
+            );
+            if report.guarantee.is_exact() {
+                exact_values.push((solver.name(), report.placement.value));
+            }
+        }
+    }
+    assert!(
+        exact_values.iter().any(|(name, _)| *name == "batched-interval-1d"),
+        "the batched solver must be registered: {exact_values:?}"
+    );
+    assert!(exact_values.len() >= 2, "expected ≥ 2 exact 1-D solvers");
+    for (name, value) in &exact_values {
+        assert_eq!(*value, 3.0, "{name} disagrees with the 1-D optimum");
+    }
+}
+
+#[test]
+fn every_colored_ball_solver_meets_its_guarantee() {
+    let registry = engine::registry();
+    let instance = ColoredInstance::ball(colored_sites(), 1.0);
+    let opt = instance.distinct_at(&Point2::xy(0.3, 0.3));
+    assert_eq!(opt, 3);
+
+    let mut exact_ran = 0;
+    let mut approx_ran = 0;
+    for solver in registry.colored_solvers::<2>() {
+        let descriptor = solver.descriptor();
+        let report = match solver.solve(&instance) {
+            Ok(report) => report,
+            Err(EngineError::UnsupportedShape { .. }) => continue,
+            Err(other) => panic!("{}: unexpected dispatch error {other}", descriptor.name),
+        };
+        assert_eq!(
+            instance.distinct_at(&report.placement.center),
+            report.placement.distinct,
+            "{} reported an uncertified count",
+            descriptor.name
+        );
+        if report.guarantee.is_exact() {
+            exact_ran += 1;
+            assert_eq!(report.placement.distinct, opt, "{} must be exact", descriptor.name);
+        } else {
+            approx_ran += 1;
+            assert!(
+                report.placement.distinct as f64 >= report.guarantee.ratio() * opt as f64,
+                "{}: {} < {} · {opt}",
+                descriptor.name,
+                report.placement.distinct,
+                report.guarantee.ratio()
+            );
+        }
+    }
+    assert!(exact_ran >= 3, "expected ≥ 3 exact colored solvers, ran {exact_ran}");
+    assert!(approx_ran >= 2, "expected ≥ 2 approximate colored solvers, ran {approx_ran}");
+}
+
+#[test]
+fn higher_dimensional_dispatch_reaches_the_samplers() {
+    // The theory-faithful default keeps the full (2/ε)^d grid family, which
+    // is enormous in d = 4; the practical caps are what any real caller uses
+    // beyond the plane.
+    let registry = engine::registry_with(EngineConfig::practical(0.25));
+    // A 4-D cluster of three points inside one unit ball plus one far point.
+    let points: Vec<WeightedPoint<4>> = vec![
+        WeightedPoint::unit(Point::new([0.0, 0.0, 0.0, 0.0])),
+        WeightedPoint::unit(Point::new([0.4, 0.0, 0.0, 0.0])),
+        WeightedPoint::unit(Point::new([0.0, 0.4, 0.0, 0.0])),
+        WeightedPoint::unit(Point::new([8.0, 8.0, 8.0, 8.0])),
+    ];
+    let instance = WeightedInstance::ball(points, 1.0);
+    let opt_lower_bound = instance.value_at(&Point::new([0.1, 0.1, 0.0, 0.0]));
+    assert_eq!(opt_lower_bound, 3.0);
+
+    let solvers = registry.weighted_solvers::<4>();
+    assert!(!solvers.is_empty(), "the samplers must be dimension-generic");
+    for solver in solvers {
+        let report = solver.solve(&instance).expect("samplers accept any-dimension balls");
+        assert!(!report.guarantee.is_exact(), "no exact solver is registered for d = 4");
+        assert!(report.placement.value >= report.guarantee.ratio() * opt_lower_bound);
+    }
+}
+
+#[test]
+fn registry_descriptor_listing_is_consistent_with_dispatch() {
+    let registry = engine::registry();
+    let descriptors = registry.descriptors();
+    assert!(descriptors.len() >= 8, "acceptance: at least 8 named solvers");
+    // Every descriptor that claims planar support must actually resolve.
+    for d in &descriptors {
+        if !d.dims.supports(2) {
+            continue;
+        }
+        let found = match d.problem {
+            maxrs::core::engine::ProblemKind::Weighted => registry.weighted::<2>(d.name).is_some(),
+            maxrs::core::engine::ProblemKind::Colored => registry.colored::<2>(d.name).is_some(),
+        };
+        assert!(found, "descriptor {} listed but not constructible", d.name);
+    }
+}

@@ -88,10 +88,8 @@ fn colored_rectangle_and_colored_disk_are_consistent_on_shared_workloads() {
 #[test]
 fn cli_round_trip_matches_the_library() {
     let points = random_weighted(60, 5.0, 4);
-    let csv: String = points
-        .iter()
-        .map(|p| format!("{},{},{}\n", p.point.x(), p.point.y(), p.weight))
-        .collect();
+    let csv: String =
+        points.iter().map(|p| format!("{},{},{}\n", p.point.x(), p.point.y(), p.weight)).collect();
     let expected = max_disk_placement(&points, 1.0);
 
     let args: Vec<String> =

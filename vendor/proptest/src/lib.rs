@@ -1,0 +1,208 @@
+//! Offline API-compatible subset of `proptest` (see `vendor/README.md`).
+//!
+//! Supports the property-test surface this workspace uses: the [`proptest!`]
+//! macro with `arg in strategy` bindings, numeric range strategies, tuple
+//! strategies, [`collection::vec`], and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Each property runs [`NUM_CASES`] random cases seeded deterministically
+//! from the test name, so failures are reproducible.  There is no shrinking:
+//! a failing case panics with the standard assertion message.
+
+#![warn(missing_docs)]
+
+/// Number of random cases each property is checked against.
+pub const NUM_CASES: usize = 64;
+
+/// Deterministic per-test case source.
+pub mod test_runner {
+    use rand::prelude::*;
+
+    /// The RNG driving case generation for one property.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// Seeds deterministically from the property's name.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self(StdRng::seed_from_u64(seed))
+        }
+    }
+}
+
+/// Strategies: recipes for generating random values.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::prelude::*;
+    use std::ops::Range;
+
+    /// A recipe for generating one random value per test case.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A strategy that always yields the same value (`proptest::strategy::Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "vec strategy needs a non-empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.0.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a property-test condition (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*); };
+}
+
+/// Skips the current case when an assumption fails.  The subset runs the
+/// remaining statements of no case instead (the case simply ends).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body against [`NUM_CASES`] random
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let mut prop_rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _case in 0..$crate::NUM_CASES {
+                $( let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut prop_rng); )*
+                $body
+            }
+        }
+    )*};
+}
+
+/// The commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            x in -5.0f64..5.0,
+            n in 1usize..10,
+            v in crate::collection::vec((0.0f64..1.0, 0usize..3), 1..20),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for &(f, c) in &v {
+                prop_assert!((0.0..1.0).contains(&f));
+                prop_assert!(c < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        assert_eq!((0.0f64..1.0).generate(&mut a), (0.0f64..1.0).generate(&mut b));
+    }
+}
