@@ -37,19 +37,15 @@ pub struct BatchedMaxRS1D {
 impl BatchedMaxRS1D {
     /// Builds the solver in `O(n log n)`.
     pub fn new(points: &[LinePoint]) -> Self {
-        let line = SortedLine::new(points);
+        Self::from_sorted(SortedLine::new(points))
+    }
+
+    /// Adopts an already-sorted line in `O(n)`, skipping the sort — the path
+    /// the batch executor takes when its shared index has built the sorted
+    /// event list once for the whole batch.
+    pub fn from_sorted(line: SortedLine) -> Self {
         let xs = line.xs().to_vec();
-        // Re-derive prefix sums in sorted order (SortedLine keeps them private
-        // behind `weight_in`, but the two-pointer sweep wants direct access).
-        let mut sorted: Vec<LinePoint> = points.to_vec();
-        sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("coordinates must be comparable"));
-        let mut prefix = Vec::with_capacity(sorted.len() + 1);
-        prefix.push(0.0);
-        let mut acc = 0.0;
-        for p in &sorted {
-            acc += p.weight;
-            prefix.push(acc);
-        }
+        let prefix = line.prefix().to_vec();
         Self { xs, prefix, line }
     }
 

@@ -17,8 +17,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mrs_core::engine::{
-    DimSupport, EngineResult, Guarantee, GuaranteeClass, ProblemKind, Registry, ShapeClass,
-    SolveStats, SolverDescriptor, SolverReport, WeightedInstance, WeightedSolver,
+    BatchCapability, DimSupport, EngineResult, Guarantee, GuaranteeClass, ProblemKind, RangeShape,
+    Registry, ShapeClass, SharedIndex, SolveStats, SolverDescriptor, SolverReport,
+    WeightedInstance, WeightedSolver,
 };
 use mrs_core::input::Placement;
 use mrs_geom::Point;
@@ -40,6 +41,7 @@ impl BatchedIntervalSolver {
         dims: DimSupport::Fixed(1),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
+        batch: BatchCapability::IndexShared,
         negative_weights: true,
         reference: "Theorem 1.3 upper bound (O(n log n + m·n))",
     };
@@ -101,6 +103,42 @@ impl WeightedSolver<1> for BatchedIntervalSolver {
             stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
         })
     }
+
+    /// The index-sharing batch path (the reference `IndexShared`
+    /// implementation): adopt the executor's shared sorted event list in
+    /// `O(n)` — built once per batch — and answer every ball query with the
+    /// `O(n)` two-pointer sweep, so a batch of `m` queries costs
+    /// `O(n log n + m·n)` total instead of `m` independent
+    /// `O(n log n)` builds.
+    fn solve_all(
+        &self,
+        _base: &WeightedInstance<1>,
+        shapes: &[RangeShape<1>],
+        index: &SharedIndex<1>,
+    ) -> Vec<EngineResult<SolverReport<Placement<1>>>> {
+        let name = Self::DESCRIPTOR.name;
+        let solver = BatchedMaxRS1D::from_sorted(index.sorted_line().clone());
+        shapes
+            .iter()
+            .map(|shape| {
+                let radius =
+                    shape.ball_radius().ok_or(mrs_core::engine::EngineError::UnsupportedShape {
+                        solver: name,
+                        shape: shape.class(),
+                    })?;
+                let start = Instant::now();
+                let best = solver.solve_one(2.0 * radius);
+                let mut center = Point::<1>::origin();
+                center[0] = 0.5 * (best.interval.lo + best.interval.hi);
+                Ok(SolverReport {
+                    solver: name,
+                    placement: Placement { center, value: best.value },
+                    guarantee: Guarantee::Exact,
+                    stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+                })
+            })
+            .collect()
+    }
 }
 
 /// Registers this crate's solvers with an engine registry.
@@ -151,5 +189,32 @@ mod tests {
     fn box_shape_is_rejected() {
         let instance = WeightedInstance::<1>::axis_box(vec![], [1.0]);
         assert!(BatchedIntervalSolver.solve(&instance).is_err());
+    }
+
+    #[test]
+    fn solve_all_shares_the_executor_index_and_matches_per_query_solves() {
+        let instance = line_instance();
+        let index = SharedIndex::<1>::new(instance.shared_points(), Vec::new().into());
+        let shapes = [
+            RangeShape::interval(0.1),
+            RangeShape::interval(1.0),
+            RangeShape::interval(10.0),
+            RangeShape::<1>::axis_box([1.0]),
+        ];
+        let results = BatchedIntervalSolver.solve_all(&instance, &shapes, &index);
+        assert_eq!(results.len(), 4);
+        for (shape, result) in shapes.iter().zip(&results) {
+            match result {
+                Err(error) => {
+                    assert!(shape.ball_radius().is_none(), "unexpected error {error}");
+                }
+                Ok(report) => {
+                    let one = BatchedIntervalSolver.solve(&instance.with_shape(*shape)).unwrap();
+                    assert_eq!(report.placement.value, one.placement.value);
+                }
+            }
+        }
+        // The sorted event list was built exactly once, by solve_all.
+        assert_eq!(index.builds(), 2, "sorted line + Fenwick, shared across all queries");
     }
 }

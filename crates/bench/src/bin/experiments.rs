@@ -12,7 +12,10 @@ use mrs_batched::BatchedSei;
 use mrs_bench::measure::{ms, table_header, table_row, time, time_mean, us};
 use mrs_bench::workloads;
 use mrs_core::config::{ColorSamplingConfig, SamplingConfig};
-use mrs_core::engine::{ColoredInstance, EngineConfig, RangeShape, Registry, WeightedInstance};
+use mrs_core::engine::{
+    BatchExecutor, ColoredInstance, EngineConfig, ExecutorConfig, RangeShape, Registry,
+    WeightedInstance,
+};
 use mrs_core::technique1::DynamicBallMaxRS;
 use mrs_geom::cap::{
     lemma32_configuration, lemma32_covered_fraction, monte_carlo_covered_fraction,
@@ -48,6 +51,7 @@ fn main() {
     e8_color_sampling();
     e9_cap_fractions();
     e10_union_intersections();
+    e11_batch_executor();
 
     println!("\nall experiments completed");
 }
@@ -386,6 +390,56 @@ fn e9_cap_fractions() {
             ]);
         }
     }
+}
+
+/// E11 (batch execution layer): answering a mixed weighted/colored query
+/// batch through the shared-index executor vs a one-at-a-time dispatch loop
+/// over the same workload.
+fn e11_batch_executor() {
+    table_header(
+        "E11 — batch executor: shared indexes + worker fan-out vs one-at-a-time",
+        &["workload", "m", "one-at-a-time ms", "batch ms", "speedup", "threads", "index builds"],
+    );
+    let registry = experiment_registry(SamplingConfig::practical(0.25).with_seed(7));
+    // Certification off: the one-at-a-time loop does no certification, so
+    // leaving it on would charge the batch side for extra work the loop
+    // never does.
+    let executor =
+        BatchExecutor::with_config(&registry, ExecutorConfig { threads: None, certify: false });
+    let planar: Vec<(&str, _)> = vec![
+        ("planar mixed (n = 400)", mrs_bench::batch::mixed_planar_request(400, 24, 91)),
+        ("planar mixed (n = 400)", mrs_bench::batch::mixed_planar_request(400, 48, 91)),
+    ];
+    for (name, request) in planar {
+        let (ok, t_loop) = time(|| mrs_bench::batch::solve_one_at_a_time(&registry, &request));
+        assert_eq!(ok, request.len());
+        let (report, t_batch) = time(|| executor.execute(&request));
+        assert!(report.all_ok(), "every batch query must succeed");
+        table_row(&[
+            name.to_string(),
+            request.len().to_string(),
+            ms(t_loop),
+            ms(t_batch),
+            format!("{:.2}x", t_loop.as_secs_f64() / t_batch.as_secs_f64()),
+            report.stats.threads.to_string(),
+            report.stats.index_builds.to_string(),
+        ]);
+    }
+    // The Theorem 1.3 amortization case: m interval lengths over one line.
+    let request = mrs_bench::batch::interval_lengths_request(4096, 256, 23);
+    let (ok, t_loop) = time(|| mrs_bench::batch::solve_one_at_a_time(&registry, &request));
+    assert_eq!(ok, request.len());
+    let (report, t_batch) = time(|| executor.execute(&request));
+    assert!(report.all_ok(), "every interval query must succeed");
+    table_row(&[
+        "interval 1-D (n = 4096)".to_string(),
+        request.len().to_string(),
+        ms(t_loop),
+        ms(t_batch),
+        format!("{:.2}x", t_loop.as_secs_f64() / t_batch.as_secs_f64()),
+        report.stats.threads.to_string(),
+        report.stats.index_builds.to_string(),
+    ]);
 }
 
 /// E10 (Lemma 4.4 / Figure 5): the number of crossings between the union

@@ -169,6 +169,93 @@ pub mod workloads {
     }
 }
 
+/// Canonical batch-execution workloads, shared by the batch benchmark, the
+/// committed `BENCH_batch.json` baseline emitter, and the E11 experiment so
+/// all three measure the same thing.
+pub mod batch {
+    use mrs_core::engine::{
+        BatchQuery, BatchRequest, ColoredInstance, RangeShape, Registry, WeightedInstance,
+    };
+    use mrs_geom::{Point, WeightedPoint};
+
+    use crate::workloads;
+
+    /// A mixed planar batch: `n` clustered weighted points and `n` clustered
+    /// colored sites, with `m` queries cycling exact disk / exact rectangle /
+    /// exact colored disk at slowly varying sizes.  The colored queries use
+    /// smaller radii — the output-sensitive solver's cost grows steeply with
+    /// the covered cluster size, and it dominates the batch otherwise.
+    pub fn mixed_planar_request(n: usize, m: usize, seed: u64) -> BatchRequest<2> {
+        let points = workloads::clustered_points_2d(n, 6, 20.0, 1.2, seed);
+        let sites = workloads::colored_clusters_2d(n, 30, 6, 20.0, 1.2, seed ^ 0x9E37);
+        let mut request = BatchRequest::new(points, sites);
+        for i in 0..m {
+            let size = 0.8 + 0.01 * (i % 40) as f64;
+            request.push(match i % 3 {
+                0 => BatchQuery::weighted("exact-disk-2d", RangeShape::ball(size)),
+                1 => BatchQuery::weighted("exact-rect-2d", RangeShape::rect(size, size)),
+                _ => BatchQuery::colored(
+                    "output-sensitive-colored-disk",
+                    RangeShape::ball(0.25 + 0.005 * (i % 40) as f64),
+                ),
+            });
+        }
+        request
+    }
+
+    /// The Theorem 1.3 amortization workload: `m` interval lengths over one
+    /// set of `n` line points, all answered by the index-sharing
+    /// `batched-interval-1d` solver (requires a registry with the
+    /// `mrs-batched` solvers registered).
+    pub fn interval_lengths_request(n: usize, m: usize, seed: u64) -> BatchRequest<1> {
+        let points: Vec<WeightedPoint<1>> = workloads::line_points(n, 1000.0, seed)
+            .into_iter()
+            .map(|p| WeightedPoint::new(Point::new([p.x]), p.weight))
+            .collect();
+        let mut request = BatchRequest::over_points(points);
+        for i in 0..m {
+            let length = 1.0 + 499.0 * (i as f64 + 0.5) / m as f64;
+            request.push(BatchQuery::weighted("batched-interval-1d", RangeShape::interval(length)));
+        }
+        request
+    }
+
+    /// The one-at-a-time baseline the batch executor is measured against:
+    /// dispatch every query sequentially with a fresh instance each (what a
+    /// naive caller writes).  Returns the number of successful answers.
+    ///
+    /// # Panics
+    /// Panics if a query names a solver the registry cannot resolve.
+    pub fn solve_one_at_a_time<const D: usize>(
+        registry: &Registry,
+        request: &BatchRequest<D>,
+    ) -> usize {
+        let mut ok = 0;
+        for query in request.queries() {
+            let success = match query {
+                BatchQuery::Weighted { solver, shape } => {
+                    let instance = WeightedInstance::new(request.points().to_vec(), *shape);
+                    registry
+                        .weighted::<D>(solver)
+                        .expect("workload names a registered solver")
+                        .solve(&instance)
+                        .is_ok()
+                }
+                BatchQuery::Colored { solver, shape } => {
+                    let instance = ColoredInstance::new(request.sites().to_vec(), *shape);
+                    registry
+                        .colored::<D>(solver)
+                        .expect("workload names a registered solver")
+                        .solve(&instance)
+                        .is_ok()
+                }
+            };
+            ok += success as usize;
+        }
+        ok
+    }
+}
+
 /// Timing and table-formatting helpers for the experiment runner.
 pub mod measure {
     use std::time::{Duration, Instant};
@@ -240,6 +327,28 @@ mod tests {
     fn colored_sites_use_the_requested_palette() {
         let sites = workloads::colored_clusters_2d(200, 9, 4, 10.0, 1.0, 8);
         assert!(sites.iter().all(|s| s.color < 9));
+    }
+
+    #[test]
+    fn batch_workloads_execute_end_to_end() {
+        use mrs_core::engine::{BatchExecutor, Registry};
+        let request = batch::mixed_planar_request(120, 9, 3);
+        assert_eq!(request.len(), 9);
+        let registry = Registry::default();
+        assert_eq!(batch::solve_one_at_a_time(&registry, &request), 9);
+        let report = BatchExecutor::new(&registry).execute(&request);
+        assert!(report.all_ok());
+        assert_eq!(report.stats.certify_failures, 0);
+
+        let mut registry = Registry::default();
+        mrs_batched::engine::register(&mut registry);
+        let line = batch::interval_lengths_request(200, 8, 4);
+        let report = BatchExecutor::new(&registry).execute(&line);
+        assert!(report.all_ok());
+        // Longer intervals never cover less weight.
+        let values: Vec<f64> =
+            (0..8).map(|i| report.weighted(i).unwrap().placement.value).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{values:?}");
     }
 
     #[test]

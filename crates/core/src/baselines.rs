@@ -2,7 +2,7 @@
 //! against.
 //!
 //! Section 1.5 contrasts Technique 1 with the classical `(1 − ε)` recipe of
-//! [AHR+02]/[AH08]/[THCC13]: sample the *input objects*, run an exact
+//! \[AHR+02\]/\[AH08\]/\[THCC13\]: sample the *input objects*, run an exact
 //! algorithm on the sample, and argue by concentration that deep points stay
 //! deep.  For a disk in the plane that recipe is perfectly practical (the
 //! exact algorithm is the `O(n² log n)` sweep), and having it implemented

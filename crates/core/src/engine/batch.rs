@@ -1,0 +1,345 @@
+//! The batch-query model: many MaxRS queries over one shared point set.
+//!
+//! The paper's general techniques all amortize work across queries — grid
+//! shifting reuses one shifted-grid family, the Section 5 batched solver
+//! reuses one sorted event list, the Section 4 algorithms reuse one spatial
+//! index — and this module gives that amortization a first-class request
+//! shape.  A [`BatchRequest`] is one weighted point set and/or one colored
+//! site set plus an ordered list of [`BatchQuery`]s naming a registered
+//! solver and a query [`RangeShape`] each.  The
+//! [`executor`](super::executor) answers it with a [`BatchReport`]: one
+//! [`BatchAnswer`] per query, in request order, plus batch-level
+//! [`BatchStats`] (wall clock, aggregate solver time, shared-index builds,
+//! throughput).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mrs_geom::{ColoredSite, WeightedPoint};
+
+use super::instance::RangeShape;
+use super::report::SolverReport;
+use super::EngineError;
+use crate::input::{ColoredPlacement, Placement};
+
+/// One query of a batch: which solver to ask, and with what range shape.
+///
+/// The solver is named by its registry key (see
+/// [`Registry`](super::Registry)); the executor resolves every distinct name
+/// once per batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchQuery<const D: usize> {
+    /// A weighted MaxRS query against the batch's point set.
+    Weighted {
+        /// Registry name of the solver to dispatch to.
+        solver: String,
+        /// The query-range shape.
+        shape: RangeShape<D>,
+    },
+    /// A colored MaxRS query against the batch's site set.
+    Colored {
+        /// Registry name of the solver to dispatch to.
+        solver: String,
+        /// The query-range shape.
+        shape: RangeShape<D>,
+    },
+}
+
+impl<const D: usize> BatchQuery<D> {
+    /// A weighted query for the named solver.
+    pub fn weighted(solver: impl Into<String>, shape: RangeShape<D>) -> Self {
+        BatchQuery::Weighted { solver: solver.into(), shape }
+    }
+
+    /// A colored query for the named solver.
+    pub fn colored(solver: impl Into<String>, shape: RangeShape<D>) -> Self {
+        BatchQuery::Colored { solver: solver.into(), shape }
+    }
+
+    /// The registry name the query dispatches to.
+    pub fn solver(&self) -> &str {
+        match self {
+            BatchQuery::Weighted { solver, .. } | BatchQuery::Colored { solver, .. } => solver,
+        }
+    }
+
+    /// The query's range shape.
+    pub fn shape(&self) -> &RangeShape<D> {
+        match self {
+            BatchQuery::Weighted { shape, .. } | BatchQuery::Colored { shape, .. } => shape,
+        }
+    }
+}
+
+/// A set of queries to be answered against one shared point/site set.
+///
+/// ```
+/// use mrs_core::engine::{registry, BatchExecutor, BatchQuery, BatchRequest, RangeShape};
+/// use mrs_geom::{Point2, WeightedPoint};
+///
+/// let points = vec![
+///     WeightedPoint::unit(Point2::xy(0.0, 0.0)),
+///     WeightedPoint::unit(Point2::xy(0.5, 0.0)),
+///     WeightedPoint::unit(Point2::xy(9.0, 9.0)),
+/// ];
+/// let request = BatchRequest::over_points(points)
+///     .with_query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0)))
+///     .with_query(BatchQuery::weighted("exact-rect-2d", RangeShape::rect(2.0, 2.0)));
+/// let registry = registry();
+/// let report = BatchExecutor::new(&registry).execute(&request);
+/// assert_eq!(report.answers.len(), 2);
+/// assert_eq!(report.weighted(0).unwrap().placement.value, 2.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchRequest<const D: usize> {
+    points: Arc<[WeightedPoint<D>]>,
+    sites: Arc<[ColoredSite<D>]>,
+    queries: Vec<BatchQuery<D>>,
+}
+
+impl<const D: usize> BatchRequest<D> {
+    /// A request over a weighted point set and a colored site set (either may
+    /// be empty; weighted queries see only `points`, colored queries only
+    /// `sites`).
+    ///
+    /// # Panics
+    /// Panics if any coordinate or weight is not finite.
+    pub fn new(points: Vec<WeightedPoint<D>>, sites: Vec<ColoredSite<D>>) -> Self {
+        for wp in &points {
+            assert!(wp.point.is_finite(), "point coordinates must be finite");
+            assert!(wp.weight.is_finite(), "weights must be finite");
+        }
+        for s in &sites {
+            assert!(s.point.is_finite(), "site coordinates must be finite");
+        }
+        Self { points: points.into(), sites: sites.into(), queries: Vec::new() }
+    }
+
+    /// A request over a weighted point set only.
+    pub fn over_points(points: Vec<WeightedPoint<D>>) -> Self {
+        Self::new(points, Vec::new())
+    }
+
+    /// A request over a colored site set only.
+    pub fn over_sites(sites: Vec<ColoredSite<D>>) -> Self {
+        Self::new(Vec::new(), sites)
+    }
+
+    /// Appends a query (builder style).
+    pub fn with_query(mut self, query: BatchQuery<D>) -> Self {
+        self.queries.push(query);
+        self
+    }
+
+    /// Appends a query.
+    pub fn push(&mut self, query: BatchQuery<D>) {
+        self.queries.push(query);
+    }
+
+    /// The shared weighted point set.
+    pub fn points(&self) -> &[WeightedPoint<D>] {
+        &self.points
+    }
+
+    /// The shared colored site set.
+    pub fn sites(&self) -> &[ColoredSite<D>] {
+        &self.sites
+    }
+
+    /// The shared handle to the point set (`O(1)` to clone).
+    pub fn shared_points(&self) -> Arc<[WeightedPoint<D>]> {
+        Arc::clone(&self.points)
+    }
+
+    /// The shared handle to the site set (`O(1)` to clone).
+    pub fn shared_sites(&self) -> Arc<[ColoredSite<D>]> {
+        Arc::clone(&self.sites)
+    }
+
+    /// The queries, in submission order.
+    pub fn queries(&self) -> &[BatchQuery<D>] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` if the request holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// The outcome of one batch query, in the report's `answers` vector at the
+/// query's request position.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchAnswer<const D: usize> {
+    /// A weighted query's report.
+    Weighted(SolverReport<Placement<D>>),
+    /// A colored query's report.
+    Colored(SolverReport<ColoredPlacement<D>>),
+    /// The query could not be answered (unknown solver, shape/dimension
+    /// mismatch, negative-weight rejection).
+    Failed(EngineError),
+}
+
+impl<const D: usize> BatchAnswer<D> {
+    /// `true` unless the query failed.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, BatchAnswer::Failed(_))
+    }
+
+    /// The weighted report, if this is a successful weighted answer.
+    pub fn weighted(&self) -> Option<&SolverReport<Placement<D>>> {
+        match self {
+            BatchAnswer::Weighted(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The colored report, if this is a successful colored answer.
+    pub fn colored(&self) -> Option<&SolverReport<ColoredPlacement<D>>> {
+        match self {
+            BatchAnswer::Colored(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The dispatch error, if the query failed.
+    pub fn error(&self) -> Option<&EngineError> {
+        match self {
+            BatchAnswer::Failed(error) => Some(error),
+            _ => None,
+        }
+    }
+
+    /// Wall-clock time the solver spent on this query (zero for failures).
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            BatchAnswer::Weighted(report) => report.stats.elapsed,
+            BatchAnswer::Colored(report) => report.stats.elapsed,
+            BatchAnswer::Failed(_) => Duration::ZERO,
+        }
+    }
+}
+
+/// Batch-level execution statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchStats {
+    /// Number of queries in the batch.
+    pub queries: usize,
+    /// Number of queries that failed dispatch.
+    pub failed: usize,
+    /// Worker threads the executor ran with.
+    pub threads: usize,
+    /// Shared-index structures built for this batch (sorted event list,
+    /// Fenwick tree, one hash grid per distinct query radius).
+    pub index_builds: usize,
+    /// Total time spent building shared-index structures.
+    pub index_build_time: Duration,
+    /// Wall-clock time of the whole batch, end to end.
+    pub wall: Duration,
+    /// Sum of per-query solver times (≥ `wall` when parallelism helps).
+    pub solver_time: Duration,
+    /// Answers certified against the shared index (see
+    /// [`ExecutorConfig::certify`](super::ExecutorConfig)).
+    pub certified: usize,
+    /// Certifications whose re-evaluated value disagreed with the report
+    /// (always 0 unless a solver violates its contract).
+    pub certify_failures: usize,
+}
+
+impl BatchStats {
+    /// Answered queries per wall-clock second.
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            (self.queries - self.failed) as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Ratio of aggregate solver time to wall time (parallel speedup
+    /// actually realized, ≈ 1 for a serial run).
+    pub fn parallelism(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.solver_time.as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The executor's response: one answer per query, in request order, plus
+/// batch statistics.
+#[derive(Clone, Debug)]
+pub struct BatchReport<const D: usize> {
+    /// Per-query outcomes, indexed like the request's `queries`.
+    pub answers: Vec<BatchAnswer<D>>,
+    /// Batch-level statistics.
+    pub stats: BatchStats,
+}
+
+impl<const D: usize> BatchReport<D> {
+    /// The weighted report of query `i`, if it succeeded as a weighted query.
+    pub fn weighted(&self, i: usize) -> Option<&SolverReport<Placement<D>>> {
+        self.answers.get(i).and_then(BatchAnswer::weighted)
+    }
+
+    /// The colored report of query `i`, if it succeeded as a colored query.
+    pub fn colored(&self, i: usize) -> Option<&SolverReport<ColoredPlacement<D>>> {
+        self.answers.get(i).and_then(BatchAnswer::colored)
+    }
+
+    /// `true` if every query succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.answers.iter().all(BatchAnswer::is_ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_geom::Point2;
+
+    #[test]
+    fn request_builder_accumulates_queries_in_order() {
+        let request = BatchRequest::over_points(vec![WeightedPoint::unit(Point2::xy(0.0, 0.0))])
+            .with_query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0)))
+            .with_query(BatchQuery::weighted("exact-rect-2d", RangeShape::rect(1.0, 2.0)));
+        assert_eq!(request.len(), 2);
+        assert!(!request.is_empty());
+        assert_eq!(request.queries()[0].solver(), "exact-disk-2d");
+        assert_eq!(request.queries()[1].shape(), &RangeShape::rect(1.0, 2.0));
+        assert_eq!(request.points().len(), 1);
+        assert!(request.sites().is_empty());
+    }
+
+    #[test]
+    fn answers_expose_reports_and_errors() {
+        let failed = BatchAnswer::<2>::Failed(EngineError::UnknownSolver { name: "x".into() });
+        assert!(!failed.is_ok());
+        assert!(failed.weighted().is_none());
+        assert!(failed.colored().is_none());
+        assert!(failed.error().is_some());
+        assert_eq!(failed.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_throughput_and_parallelism() {
+        let stats = BatchStats {
+            queries: 10,
+            failed: 2,
+            wall: Duration::from_secs(2),
+            solver_time: Duration::from_secs(6),
+            ..BatchStats::default()
+        };
+        assert!((stats.queries_per_sec() - 4.0).abs() < 1e-12);
+        assert!((stats.parallelism() - 3.0).abs() < 1e-12);
+        assert_eq!(BatchStats::default().queries_per_sec(), 0.0);
+    }
+}

@@ -7,7 +7,9 @@
 use std::time::Instant;
 
 use super::convert::{repack_colored_placement, repack_point, repack_sites};
-use super::descriptor::{DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor};
+use super::descriptor::{
+    BatchCapability, DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor,
+};
 use super::instance::ColoredInstance;
 use super::report::{Guarantee, SolveStats, SolverReport};
 use super::weighted::{require_ball, require_box, require_dim};
@@ -34,6 +36,7 @@ impl ExactColoredDiskEnumSolver {
         dims: DimSupport::Fixed(2),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: true,
         reference: "candidate enumeration baseline",
     };
@@ -76,6 +79,7 @@ impl ExactColoredDiskUnionSolver {
         dims: DimSupport::Fixed(2),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: true,
         reference: "Lemma 4.2",
     };
@@ -119,6 +123,7 @@ impl OutputSensitiveColoredDiskSolver {
         dims: DimSupport::Fixed(2),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: true,
         reference: "Theorem 4.6",
     };
@@ -170,6 +175,7 @@ impl ColoredBallSolver {
         dims: DimSupport::Any,
         guarantee: GuaranteeClass::HalfMinusEps,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: true,
         reference: "Theorem 1.5",
     };
@@ -229,6 +235,7 @@ impl ColoredDiskSamplingSolver {
         dims: DimSupport::Fixed(2),
         guarantee: GuaranteeClass::OneMinusEps,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: true,
         reference: "Theorem 1.6",
     };
@@ -298,6 +305,7 @@ impl ExactColoredRectSolver {
         dims: DimSupport::Fixed(2),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: true,
         reference: "[ZGH+22]-style sweep",
     };

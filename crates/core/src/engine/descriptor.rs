@@ -4,7 +4,7 @@
 //! without knowing the concrete algorithm types.
 
 /// Which MaxRS problem family a solver answers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProblemKind {
     /// Maximize total covered weight.
     Weighted,
@@ -49,6 +49,35 @@ impl DimSupport {
     }
 }
 
+/// How a solver participates in batch execution (many queries over one
+/// shared point set, see [`crate::engine::executor`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchCapability {
+    /// Queries are answered one at a time; the executor parallelizes across
+    /// individual queries but no work is shared between them.
+    Independent,
+    /// The solver overrides `solve_all` and amortizes one shared build (a
+    /// sorted event list, a Fenwick tree, a hash grid) across the whole
+    /// batch, so the executor hands it all of its queries in one call.
+    IndexShared,
+}
+
+impl BatchCapability {
+    /// `true` if the solver shares one index build across a batch.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, BatchCapability::IndexShared)
+    }
+}
+
+impl std::fmt::Display for BatchCapability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchCapability::Independent => write!(f, "independent"),
+            BatchCapability::IndexShared => write!(f, "index-shared"),
+        }
+    }
+}
+
 /// The guarantee family a solver belongs to, independent of the concrete `ε`
 /// it will run with (that is configuration, reported per-solve in
 /// [`super::Guarantee`]).
@@ -85,6 +114,8 @@ pub struct SolverDescriptor {
     /// `true` if the underlying structure also supports efficient updates
     /// (insertions/deletions) rather than solving from scratch only.
     pub dynamic: bool,
+    /// How the solver participates in batch execution.
+    pub batch: BatchCapability,
     /// `true` if weighted inputs may carry negative weights (the Section 5
     /// interval solvers; vacuously `true` for colored solvers, whose inputs
     /// are unweighted).
@@ -121,6 +152,7 @@ mod tests {
             dims: DimSupport::Fixed(2),
             guarantee: GuaranteeClass::Exact,
             dynamic: false,
+            batch: BatchCapability::Independent,
             negative_weights: false,
             reference: "test",
         };

@@ -1,0 +1,886 @@
+//! The batch executor: plan a [`BatchRequest`], build each shared spatial
+//! index exactly once, and fan the queries out across a worker pool.
+//!
+//! ## Execution plan
+//!
+//! 1. **Plan** — queries are grouped by `(problem kind, solver name)` and
+//!    every distinct solver is resolved from the [`Registry`] once.  Queries
+//!    naming an unknown solver fail individually with
+//!    [`EngineError::UnknownSolver`]; they never sink the batch.
+//! 2. **Index** — a [`SharedIndex`] is created over the request's points and
+//!    sites.  Its structures (the sorted event list + Fenwick tree of the
+//!    1-D line, one hash grid per distinct query radius) are built lazily,
+//!    each exactly once, and shared by every query in the batch.
+//! 3. **Fan out** — solver groups whose descriptor declares
+//!    [`BatchCapability::IndexShared`] become one task (the solver amortizes
+//!    its build across the group via `solve_all`); independent solvers
+//!    contribute one task per query.  Tasks run on `std::thread::scope`
+//!    workers; no dependencies are spawned and nothing outlives the call.
+//! 4. **Certify** — optionally, every successful answer is re-evaluated
+//!    against the shared index (Fenwick range sum for 1-D intervals, hash
+//!    grid for `d`-balls, a direct scan for boxes) and counted in
+//!    [`BatchStats::certified`].  Solvers report *certified* values, so a
+//!    mismatch means a contract violation and is tallied separately.
+//!
+//! [`BatchCapability::IndexShared`]: super::BatchCapability::IndexShared
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use mrs_geom::{ColoredSite, Fenwick, HashGrid, Point, WeightedPoint};
+
+use super::batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats};
+use super::instance::{ColoredInstance, RangeShape, WeightedInstance};
+use super::registry::{Registry, SharedColoredSolver, SharedWeightedSolver};
+use super::{EngineError, ProblemKind};
+use crate::exact::interval1d::{LinePoint, SortedLine};
+
+/// The 1-D view of the shared point set: the sorted event list the Section 5
+/// batched solver builds from, plus a Fenwick tree over the sorted weights
+/// for `O(log n)` closed-interval weight queries.
+///
+/// The Fenwick tree deliberately duplicates what `SortedLine`'s prefix array
+/// can answer: it is the *update-capable* form of the same index, so a
+/// future dynamic batch (insertions/deletions between queries) reuses this
+/// structure instead of rebuilding the prefix array per update.
+struct LineIndex {
+    line: SortedLine,
+    /// Per-point weights in sorted-x order (`fenwick.range_sum(i, i)` without
+    /// the log factor), used to classify boundary points during
+    /// certification.
+    weights: Vec<f64>,
+    fenwick: Fenwick,
+}
+
+/// Spatial indexes over one batch's points and sites, each built lazily and
+/// exactly once, then shared by every query (and worker thread) of the batch.
+///
+/// * [`Self::sorted_line`] — the sorted event list of the first coordinate
+///   (the structure behind the Theorem 1.3 batched solver);
+/// * [`Self::interval_weight`] — Fenwick-tree range sums over the sorted
+///   order, `O(log n)` per query;
+/// * [`Self::ball_weight`] / [`Self::ball_distinct`] — hash-grid ball
+///   queries, one grid per distinct radius, `O(local density)` per query.
+pub struct SharedIndex<const D: usize> {
+    points: Arc<[WeightedPoint<D>]>,
+    sites: Arc<[ColoredSite<D>]>,
+    line: OnceLock<LineIndex>,
+    point_grids: Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
+    site_grids: Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
+    coord_scale: OnceLock<f64>,
+    builds: AtomicUsize,
+    build_time: Mutex<Duration>,
+}
+
+impl<const D: usize> SharedIndex<D> {
+    /// An index over the given shared point and site sets.  Nothing is built
+    /// until a query asks for a structure.
+    pub fn new(points: Arc<[WeightedPoint<D>]>, sites: Arc<[ColoredSite<D>]>) -> Self {
+        Self {
+            points,
+            sites,
+            line: OnceLock::new(),
+            point_grids: Mutex::new(HashMap::new()),
+            site_grids: Mutex::new(HashMap::new()),
+            coord_scale: OnceLock::new(),
+            builds: AtomicUsize::new(0),
+            build_time: Mutex::new(Duration::ZERO),
+        }
+    }
+
+    /// Largest absolute coordinate across the indexed points and sites.
+    /// Certification slack scales with this: the rounding carried by a
+    /// reported center is relative to the coordinate magnitude, not to the
+    /// query radius.
+    pub fn coord_scale(&self) -> f64 {
+        *self.coord_scale.get_or_init(|| {
+            let mut scale = 0.0f64;
+            for wp in self.points.iter() {
+                for i in 0..D {
+                    scale = scale.max(wp.point[i].abs());
+                }
+            }
+            for s in self.sites.iter() {
+                for i in 0..D {
+                    scale = scale.max(s.point[i].abs());
+                }
+            }
+            scale
+        })
+    }
+
+    /// The weighted points the index was built over.
+    pub fn points(&self) -> &[WeightedPoint<D>] {
+        &self.points
+    }
+
+    /// The colored sites the index was built over.
+    pub fn sites(&self) -> &[ColoredSite<D>] {
+        &self.sites
+    }
+
+    /// Structures built so far (sorted line and Fenwick tree count once
+    /// each; every distinct-radius hash grid counts once).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock time spent building structures.
+    pub fn build_time(&self) -> Duration {
+        *self.build_time.lock().expect("build-time lock poisoned")
+    }
+
+    fn record_build(&self, structures: usize, elapsed: Duration) {
+        self.builds.fetch_add(structures, Ordering::Relaxed);
+        *self.build_time.lock().expect("build-time lock poisoned") += elapsed;
+    }
+
+    fn line_index(&self) -> &LineIndex {
+        self.line.get_or_init(|| {
+            let start = Instant::now();
+            let line_points: Vec<LinePoint> =
+                self.points.iter().map(|wp| LinePoint::new(wp.point[0], wp.weight)).collect();
+            let line = SortedLine::new(&line_points);
+            let weights: Vec<f64> = line.prefix().windows(2).map(|w| w[1] - w[0]).collect();
+            let fenwick = Fenwick::from_values(&weights);
+            self.record_build(2, start.elapsed());
+            LineIndex { line, weights, fenwick }
+        })
+    }
+
+    /// The shared sorted event list over the points' first coordinate — the
+    /// build the Section 5 batched interval solver amortizes.  Built on
+    /// first use, meaningful for `D = 1` workloads.
+    pub fn sorted_line(&self) -> &SortedLine {
+        &self.line_index().line
+    }
+
+    /// Total weight of points whose first coordinate lies in the closed
+    /// interval `[lo, hi]`, in `O(log n)` via the shared Fenwick tree.
+    pub fn interval_weight(&self, lo: f64, hi: f64) -> f64 {
+        let index = self.line_index();
+        let xs = index.line.xs();
+        let a = xs.partition_point(|&v| v < lo - 1e-12);
+        let b = xs.partition_point(|&v| v <= hi + 1e-12);
+        if a >= b {
+            0.0
+        } else {
+            index.fenwick.range_sum(a, b - 1)
+        }
+    }
+
+    fn grid_for(
+        &self,
+        grids: &Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
+        radius: f64,
+        coords: impl Fn() -> Vec<Point<D>>,
+    ) -> Arc<HashGrid<D>> {
+        let mut map = grids.lock().expect("grid lock poisoned");
+        if let Some(grid) = map.get(&radius.to_bits()) {
+            return Arc::clone(grid);
+        }
+        let start = Instant::now();
+        let grid = Arc::new(HashGrid::build(radius, &coords()));
+        self.record_build(1, start.elapsed());
+        map.insert(radius.to_bits(), Arc::clone(&grid));
+        grid
+    }
+
+    /// The hash grid over the weighted points at cell side `radius`, built
+    /// once per distinct radius.
+    pub fn point_grid(&self, radius: f64) -> Arc<HashGrid<D>> {
+        self.grid_for(&self.point_grids, radius, || self.points.iter().map(|wp| wp.point).collect())
+    }
+
+    /// The hash grid over the colored sites at cell side `radius`, built
+    /// once per distinct radius.
+    pub fn site_grid(&self, radius: f64) -> Arc<HashGrid<D>> {
+        self.grid_for(&self.site_grids, radius, || self.sites.iter().map(|s| s.point).collect())
+    }
+
+    /// Total weight inside the closed ball of the given radius at `center`,
+    /// answered through the shared per-radius hash grid.
+    pub fn ball_weight(&self, center: &Point<D>, radius: f64) -> f64 {
+        let grid = self.point_grid(radius);
+        let mut total = 0.0;
+        grid.for_each_within(center, radius, |id| total += self.points[id].weight);
+        total
+    }
+
+    /// Distinct colors inside the closed ball of the given radius at
+    /// `center`, answered through the shared per-radius site grid.
+    pub fn ball_distinct(&self, center: &Point<D>, radius: f64) -> usize {
+        let grid = self.site_grid(radius);
+        let mut colors: Vec<usize> = Vec::new();
+        grid.for_each_within(center, radius, |id| colors.push(self.sites[id].color));
+        colors.sort_unstable();
+        colors.dedup();
+        colors.len()
+    }
+
+    /// Lower/upper bounds on the weight in the closed interval `[lo, hi]`
+    /// when endpoint comparisons may be off by `slack`: points deeper than
+    /// `slack` inside count definitely, points within `slack` of an endpoint
+    /// contribute their negative weight to the lower bound and their
+    /// positive weight to the upper bound (correct under mixed-sign
+    /// weights).  This is the certification primitive: a reported center
+    /// carries rounding proportional to the coordinate magnitude, so exact
+    /// boundary membership is not re-decidable.
+    pub fn interval_weight_bounds(&self, lo: f64, hi: f64, slack: f64) -> (f64, f64) {
+        let index = self.line_index();
+        let xs = index.line.xs();
+        let outer_a = xs.partition_point(|&v| v < lo - slack);
+        let outer_b = xs.partition_point(|&v| v <= hi + slack);
+        let inner_a = xs.partition_point(|&v| v < lo + slack).max(outer_a);
+        let inner_b = xs.partition_point(|&v| v <= hi - slack).min(outer_b);
+        let definite =
+            if inner_a < inner_b { index.fenwick.range_sum(inner_a, inner_b - 1) } else { 0.0 };
+        let mut lo_sum = definite;
+        let mut hi_sum = definite;
+        for i in (outer_a..inner_a).chain(inner_b.max(inner_a)..outer_b) {
+            let w = index.weights[i];
+            if w < 0.0 {
+                lo_sum += w;
+            } else {
+                hi_sum += w;
+            }
+        }
+        (lo_sum, hi_sum)
+    }
+
+    /// Lower/upper bounds on the weight inside the closed ball at `center`
+    /// under endpoint slack, through the shared per-radius grid.  See
+    /// [`Self::interval_weight_bounds`] for the contract.
+    pub fn ball_weight_bounds(&self, center: &Point<D>, radius: f64, slack: f64) -> (f64, f64) {
+        let grid = self.point_grid(radius);
+        let r_in = (radius - slack).max(0.0);
+        let mut definite = 0.0;
+        let mut neg = 0.0;
+        let mut pos = 0.0;
+        grid.for_each_within(center, radius + slack, |id| {
+            let wp = &self.points[id];
+            if wp.point.dist_sq(center) <= r_in * r_in {
+                definite += wp.weight;
+            } else if wp.weight < 0.0 {
+                neg += wp.weight;
+            } else {
+                pos += wp.weight;
+            }
+        });
+        (definite + neg, definite + pos)
+    }
+
+    /// Lower/upper bounds on the distinct colors inside the closed ball at
+    /// `center` under endpoint slack, through the shared per-radius site
+    /// grid.
+    pub fn ball_distinct_bounds(
+        &self,
+        center: &Point<D>,
+        radius: f64,
+        slack: f64,
+    ) -> (usize, usize) {
+        let grid = self.site_grid(radius);
+        let r_in = (radius - slack).max(0.0);
+        let mut definite: Vec<usize> = Vec::new();
+        let mut boundary: Vec<usize> = Vec::new();
+        grid.for_each_within(center, radius + slack, |id| {
+            let s = &self.sites[id];
+            if s.point.dist_sq(center) <= r_in * r_in {
+                definite.push(s.color);
+            } else {
+                boundary.push(s.color);
+            }
+        });
+        definite.sort_unstable();
+        definite.dedup();
+        let lo = definite.len();
+        let mut all = definite;
+        all.extend(boundary);
+        all.sort_unstable();
+        all.dedup();
+        (lo, all.len())
+    }
+}
+
+/// Configuration of a [`BatchExecutor`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutorConfig {
+    /// Worker threads to fan out over.  `None` picks the machine's available
+    /// parallelism, capped at 8; `Some(1)` forces a serial run.
+    pub threads: Option<usize>,
+    /// Re-evaluate every successful answer against the shared index and
+    /// count the outcome in [`BatchStats::certified`] /
+    /// [`BatchStats::certify_failures`].
+    pub certify: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self { threads: None, certify: true }
+    }
+}
+
+/// One schedulable unit of work: either a whole index-sharing solver group
+/// or a single independent query.
+enum Task<const D: usize> {
+    WeightedGroup {
+        solver: SharedWeightedSolver<D>,
+        base: WeightedInstance<D>,
+        indices: Vec<usize>,
+        shapes: Vec<RangeShape<D>>,
+    },
+    WeightedOne {
+        solver: SharedWeightedSolver<D>,
+        instance: WeightedInstance<D>,
+        index: usize,
+    },
+    ColoredGroup {
+        solver: SharedColoredSolver<D>,
+        base: ColoredInstance<D>,
+        indices: Vec<usize>,
+        shapes: Vec<RangeShape<D>>,
+    },
+    ColoredOne {
+        solver: SharedColoredSolver<D>,
+        instance: ColoredInstance<D>,
+        index: usize,
+    },
+}
+
+impl<const D: usize> Task<D> {
+    fn run(&self, index: &SharedIndex<D>) -> Vec<(usize, BatchAnswer<D>)> {
+        match self {
+            Task::WeightedGroup { solver, base, indices, shapes } => {
+                let results = solver.solve_all(base, shapes, index);
+                indices
+                    .iter()
+                    .zip(results)
+                    .map(|(&i, r)| {
+                        (i, r.map(BatchAnswer::Weighted).unwrap_or_else(BatchAnswer::Failed))
+                    })
+                    .collect()
+            }
+            Task::WeightedOne { solver, instance, index: i } => {
+                let answer = solver
+                    .solve(instance)
+                    .map(BatchAnswer::Weighted)
+                    .unwrap_or_else(BatchAnswer::Failed);
+                vec![(*i, answer)]
+            }
+            Task::ColoredGroup { solver, base, indices, shapes } => {
+                let results = solver.solve_all(base, shapes, index);
+                indices
+                    .iter()
+                    .zip(results)
+                    .map(|(&i, r)| {
+                        (i, r.map(BatchAnswer::Colored).unwrap_or_else(BatchAnswer::Failed))
+                    })
+                    .collect()
+            }
+            Task::ColoredOne { solver, instance, index: i } => {
+                let answer = solver
+                    .solve(instance)
+                    .map(BatchAnswer::Colored)
+                    .unwrap_or_else(BatchAnswer::Failed);
+                vec![(*i, answer)]
+            }
+        }
+    }
+}
+
+/// Executes [`BatchRequest`]s against a [`Registry`].  See the
+/// [module docs](self) for the execution plan.
+pub struct BatchExecutor<'r> {
+    registry: &'r Registry,
+    config: ExecutorConfig,
+}
+
+impl<'r> BatchExecutor<'r> {
+    /// An executor over `registry` with the default configuration.
+    pub fn new(registry: &'r Registry) -> Self {
+        Self::with_config(registry, ExecutorConfig::default())
+    }
+
+    /// An executor with an explicit configuration.
+    pub fn with_config(registry: &'r Registry, config: ExecutorConfig) -> Self {
+        Self { registry, config }
+    }
+
+    /// Answers every query of the request.  Individual queries fail with a
+    /// typed error in their [`BatchAnswer`]; the batch itself always returns.
+    pub fn execute<const D: usize>(&self, request: &BatchRequest<D>) -> BatchReport<D> {
+        let start = Instant::now();
+        let mut answers: Vec<Option<BatchAnswer<D>>> = vec![None; request.len()];
+        let index = SharedIndex::new(request.shared_points(), request.shared_sites());
+        let tasks = self.plan(request, &mut answers);
+
+        let threads = self
+            .config
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+            })
+            .clamp(1, tasks.len().max(1));
+
+        if threads <= 1 {
+            for task in &tasks {
+                for (i, answer) in task.run(&index) {
+                    answers[i] = Some(answer);
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let shared_answers = Mutex::new(&mut answers);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(t) else { break };
+                        let results = task.run(&index);
+                        let mut answers = shared_answers.lock().expect("answer lock poisoned");
+                        for (i, answer) in results {
+                            answers[i] = Some(answer);
+                        }
+                    });
+                }
+            });
+        }
+
+        let answers: Vec<BatchAnswer<D>> = answers
+            .into_iter()
+            .map(|a| {
+                a.unwrap_or(BatchAnswer::Failed(EngineError::UnknownSolver {
+                    name: "<unscheduled>".into(),
+                }))
+            })
+            .collect();
+
+        let mut stats = BatchStats {
+            queries: request.len(),
+            failed: answers.iter().filter(|a| !a.is_ok()).count(),
+            threads,
+            solver_time: answers.iter().map(BatchAnswer::elapsed).sum(),
+            ..BatchStats::default()
+        };
+        if self.config.certify {
+            self.certify(request, &answers, &index, &mut stats);
+        }
+        stats.index_builds = index.builds();
+        stats.index_build_time = index.build_time();
+        stats.wall = start.elapsed();
+        BatchReport { answers, stats }
+    }
+
+    /// Groups queries per `(problem, solver)`, resolves each solver once,
+    /// fails unknown names in place, and emits one task per index-sharing
+    /// group or per independent query.
+    fn plan<const D: usize>(
+        &self,
+        request: &BatchRequest<D>,
+        answers: &mut [Option<BatchAnswer<D>>],
+    ) -> Vec<Task<D>> {
+        struct Group<const D: usize> {
+            kind: ProblemKind,
+            name: String,
+            indices: Vec<usize>,
+            shapes: Vec<RangeShape<D>>,
+        }
+        let mut order: Vec<Group<D>> = Vec::new();
+        let mut by_key: HashMap<(ProblemKind, String), usize> = HashMap::new();
+        for (i, query) in request.queries().iter().enumerate() {
+            let kind = match query {
+                BatchQuery::Weighted { .. } => ProblemKind::Weighted,
+                BatchQuery::Colored { .. } => ProblemKind::Colored,
+            };
+            let slot = *by_key.entry((kind, query.solver().to_string())).or_insert_with(|| {
+                order.push(Group {
+                    kind,
+                    name: query.solver().to_string(),
+                    indices: Vec::new(),
+                    shapes: Vec::new(),
+                });
+                order.len() - 1
+            });
+            order[slot].indices.push(i);
+            order[slot].shapes.push(*query.shape());
+        }
+
+        let mut tasks: Vec<Task<D>> = Vec::new();
+        for group in order {
+            match group.kind {
+                ProblemKind::Weighted => match self.registry.weighted::<D>(&group.name) {
+                    None => fail_group(answers, &group.indices, &group.name),
+                    Some(solver) => {
+                        let base =
+                            WeightedInstance::from_shared(request.shared_points(), group.shapes[0]);
+                        if solver.descriptor().batch.is_shared() {
+                            tasks.push(Task::WeightedGroup {
+                                solver,
+                                base,
+                                indices: group.indices,
+                                shapes: group.shapes,
+                            });
+                        } else {
+                            for (&i, shape) in group.indices.iter().zip(&group.shapes) {
+                                tasks.push(Task::WeightedOne {
+                                    solver: Arc::clone(&solver),
+                                    instance: base.with_shape(*shape),
+                                    index: i,
+                                });
+                            }
+                        }
+                    }
+                },
+                ProblemKind::Colored => match self.registry.colored::<D>(&group.name) {
+                    None => fail_group(answers, &group.indices, &group.name),
+                    Some(solver) => {
+                        let base =
+                            ColoredInstance::from_shared(request.shared_sites(), group.shapes[0]);
+                        if solver.descriptor().batch.is_shared() {
+                            tasks.push(Task::ColoredGroup {
+                                solver,
+                                base,
+                                indices: group.indices,
+                                shapes: group.shapes,
+                            });
+                        } else {
+                            for (&i, shape) in group.indices.iter().zip(&group.shapes) {
+                                tasks.push(Task::ColoredOne {
+                                    solver: Arc::clone(&solver),
+                                    instance: base.with_shape(*shape),
+                                    index: i,
+                                });
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        tasks
+    }
+
+    /// Re-evaluates every successful answer through the shared index and
+    /// tallies agreement.  Solvers certify their reported values (the value
+    /// is the true quality of the returned center), so disagreement counts
+    /// as a `certify_failures` contract violation.
+    fn certify<const D: usize>(
+        &self,
+        request: &BatchRequest<D>,
+        answers: &[BatchAnswer<D>],
+        index: &SharedIndex<D>,
+        stats: &mut BatchStats,
+    ) {
+        // Boundary membership is only re-decidable up to the rounding the
+        // reported center carries, which is relative to the coordinate
+        // magnitude — not to the query radius.
+        let slack = 1e-9 * (1.0 + index.coord_scale());
+        for (query, answer) in request.queries().iter().zip(answers) {
+            let ok = match answer {
+                BatchAnswer::Failed(_) => continue,
+                BatchAnswer::Weighted(report) => {
+                    let center = &report.placement.center;
+                    let (lo, hi) = match query.shape() {
+                        RangeShape::Ball { radius } if D == 1 => index.interval_weight_bounds(
+                            center[0] - radius,
+                            center[0] + radius,
+                            slack,
+                        ),
+                        RangeShape::Ball { radius } => {
+                            index.ball_weight_bounds(center, *radius, slack)
+                        }
+                        RangeShape::AxisBox { extents } => {
+                            box_weight_bounds(request.points(), center, extents, slack)
+                        }
+                    };
+                    let want = report.placement.value;
+                    let tol = 1e-6 * (1.0 + want.abs());
+                    want >= lo - tol && want <= hi + tol
+                }
+                BatchAnswer::Colored(report) => {
+                    let center = &report.placement.center;
+                    let (lo, hi) = match query.shape() {
+                        RangeShape::Ball { radius } => {
+                            index.ball_distinct_bounds(center, *radius, slack)
+                        }
+                        RangeShape::AxisBox { extents } => {
+                            box_distinct_bounds(request.sites(), center, extents, slack)
+                        }
+                    };
+                    let want = report.placement.distinct;
+                    want >= lo && want <= hi
+                }
+            };
+            if ok {
+                stats.certified += 1;
+            } else {
+                stats.certify_failures += 1;
+            }
+        }
+    }
+}
+
+/// Classifies a point against a slack-widened box: `None` when definitely
+/// outside, `Some(false)` when definitely inside, `Some(true)` when within
+/// `slack` of the boundary.
+fn box_membership<const D: usize>(
+    point: &Point<D>,
+    center: &Point<D>,
+    extents: &[f64; D],
+    slack: f64,
+) -> Option<bool> {
+    let mut boundary = false;
+    for i in 0..D {
+        let d = (point[i] - center[i]).abs();
+        let half = extents[i] / 2.0;
+        if d > half + slack {
+            return None;
+        }
+        if d > half - slack {
+            boundary = true;
+        }
+    }
+    Some(boundary)
+}
+
+/// Lower/upper bounds on the weight inside a slack-widened box (direct scan;
+/// box queries have no shared index).
+fn box_weight_bounds<const D: usize>(
+    points: &[WeightedPoint<D>],
+    center: &Point<D>,
+    extents: &[f64; D],
+    slack: f64,
+) -> (f64, f64) {
+    let mut definite = 0.0;
+    let mut neg = 0.0;
+    let mut pos = 0.0;
+    for wp in points {
+        match box_membership(&wp.point, center, extents, slack) {
+            None => {}
+            Some(false) => definite += wp.weight,
+            Some(true) => {
+                if wp.weight < 0.0 {
+                    neg += wp.weight;
+                } else {
+                    pos += wp.weight;
+                }
+            }
+        }
+    }
+    (definite + neg, definite + pos)
+}
+
+/// Lower/upper bounds on the distinct colors inside a slack-widened box.
+fn box_distinct_bounds<const D: usize>(
+    sites: &[ColoredSite<D>],
+    center: &Point<D>,
+    extents: &[f64; D],
+    slack: f64,
+) -> (usize, usize) {
+    let mut definite: Vec<usize> = Vec::new();
+    let mut boundary: Vec<usize> = Vec::new();
+    for s in sites {
+        match box_membership(&s.point, center, extents, slack) {
+            None => {}
+            Some(false) => definite.push(s.color),
+            Some(true) => boundary.push(s.color),
+        }
+    }
+    definite.sort_unstable();
+    definite.dedup();
+    let lo = definite.len();
+    let mut all = definite;
+    all.extend(boundary);
+    all.sort_unstable();
+    all.dedup();
+    (lo, all.len())
+}
+
+fn fail_group<const D: usize>(
+    answers: &mut [Option<BatchAnswer<D>>],
+    indices: &[usize],
+    name: &str,
+) {
+    for &i in indices {
+        answers[i] =
+            Some(BatchAnswer::Failed(EngineError::UnknownSolver { name: name.to_string() }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::registry;
+    use mrs_geom::Point2;
+
+    fn planar_points() -> Vec<WeightedPoint<2>> {
+        vec![
+            WeightedPoint::unit(Point2::xy(0.0, 0.0)),
+            WeightedPoint::unit(Point2::xy(0.5, 0.0)),
+            WeightedPoint::unit(Point2::xy(0.0, 0.5)),
+            WeightedPoint::unit(Point2::xy(9.0, 9.0)),
+        ]
+    }
+
+    fn planar_sites() -> Vec<ColoredSite<2>> {
+        vec![
+            ColoredSite::new(Point2::xy(0.0, 0.0), 0),
+            ColoredSite::new(Point2::xy(0.4, 0.0), 1),
+            ColoredSite::new(Point2::xy(0.0, 0.4), 2),
+            ColoredSite::new(Point2::xy(9.0, 9.0), 0),
+        ]
+    }
+
+    #[test]
+    fn mixed_batch_answers_in_request_order() {
+        let request = BatchRequest::new(planar_points(), planar_sites())
+            .with_query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0)))
+            .with_query(BatchQuery::colored("output-sensitive-colored-disk", RangeShape::ball(1.0)))
+            .with_query(BatchQuery::weighted("exact-rect-2d", RangeShape::rect(1.0, 1.0)))
+            .with_query(BatchQuery::weighted("no-such-solver", RangeShape::ball(1.0)));
+        let registry = registry();
+        let report = BatchExecutor::new(&registry).execute(&request);
+
+        assert_eq!(report.answers.len(), 4);
+        assert_eq!(report.weighted(0).unwrap().placement.value, 3.0);
+        assert_eq!(report.colored(1).unwrap().placement.distinct, 3);
+        assert_eq!(report.weighted(2).unwrap().placement.value, 3.0);
+        assert!(matches!(
+            report.answers[3].error(),
+            Some(EngineError::UnknownSolver { name }) if name == "no-such-solver"
+        ));
+        assert_eq!(report.stats.queries, 4);
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.certified, 3);
+        assert_eq!(report.stats.certify_failures, 0);
+        assert!(report.stats.queries_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_agree() {
+        let mut request = BatchRequest::over_points(planar_points());
+        for i in 0..32 {
+            let radius = 0.5 + 0.05 * i as f64;
+            request.push(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(radius)));
+        }
+        let registry = registry();
+        let serial = BatchExecutor::with_config(
+            &registry,
+            ExecutorConfig { threads: Some(1), certify: true },
+        )
+        .execute(&request);
+        let parallel = BatchExecutor::with_config(
+            &registry,
+            ExecutorConfig { threads: Some(4), certify: true },
+        )
+        .execute(&request);
+        assert_eq!(serial.stats.threads, 1);
+        assert_eq!(parallel.stats.threads, 4);
+        for i in 0..request.len() {
+            assert_eq!(
+                serial.weighted(i).unwrap().placement.value,
+                parallel.weighted(i).unwrap().placement.value,
+                "query {i} disagrees between serial and parallel runs"
+            );
+        }
+        assert_eq!(parallel.stats.certify_failures, 0);
+    }
+
+    #[test]
+    fn shape_mismatches_fail_per_query_not_per_batch() {
+        let request = BatchRequest::over_points(planar_points())
+            .with_query(BatchQuery::weighted("exact-disk-2d", RangeShape::rect(1.0, 1.0)))
+            .with_query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0)));
+        let registry = registry();
+        let report = BatchExecutor::new(&registry).execute(&request);
+        assert!(matches!(report.answers[0].error(), Some(EngineError::UnsupportedShape { .. })));
+        assert_eq!(report.weighted(1).unwrap().placement.value, 3.0);
+        assert_eq!(report.stats.failed, 1);
+    }
+
+    #[test]
+    fn shared_index_structures_are_built_once_per_radius() {
+        let points: Arc<[WeightedPoint<1>]> = (0..64)
+            .map(|i| WeightedPoint::new(Point::new([i as f64 * 0.25]), 1.0 + (i % 3) as f64))
+            .collect::<Vec<_>>()
+            .into();
+        let index = SharedIndex::new(Arc::clone(&points), Vec::new().into());
+        assert_eq!(index.builds(), 0);
+        // The line index (sorted event list + Fenwick) builds once.
+        let total: f64 = points.iter().map(|p| p.weight).sum();
+        assert!((index.interval_weight(-1.0, 1000.0) - total).abs() < 1e-9);
+        assert!(
+            (index.interval_weight(0.0, 0.5) - index.sorted_line().weight_in(0.0, 0.5)).abs()
+                < 1e-12
+        );
+        assert_eq!(index.builds(), 2);
+        // Ball queries build one grid per distinct radius, then reuse it.
+        let _ = index.ball_weight(&Point::new([1.0]), 0.5);
+        let _ = index.ball_weight(&Point::new([2.0]), 0.5);
+        assert_eq!(index.builds(), 3);
+        let _ = index.ball_weight(&Point::new([2.0]), 0.75);
+        assert_eq!(index.builds(), 4);
+        // Fenwick slab and grid ball agree in 1-D.
+        let a = index.interval_weight(1.0, 3.0);
+        let b = index.ball_weight(&Point::new([2.0]), 1.0);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn certification_survives_large_coordinate_magnitudes() {
+        // UTM/timestamp-scale coordinates: the reported center's rounding is
+        // relative to ~1e6, far above any radius-relative tolerance.  The
+        // optimal disk boundary passes through input points, so a
+        // magnitude-blind recount drops them and flags exact answers.
+        let base = 1.0e6;
+        let points: Vec<WeightedPoint<2>> = [(0.0, 0.0), (0.5, 0.0), (0.0, 0.5), (4.0, 4.0)]
+            .iter()
+            .map(|&(x, y)| WeightedPoint::unit(Point2::xy(base + x, base + y)))
+            .collect();
+        let mut request = BatchRequest::over_points(points);
+        for i in 0..50 {
+            let radius = 0.5 + 0.01 * i as f64;
+            request.push(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(radius)));
+        }
+        let registry = registry();
+        let report = BatchExecutor::new(&registry).execute(&request);
+        assert!(report.all_ok());
+        assert_eq!(
+            report.stats.certify_failures, 0,
+            "certification must tolerate magnitude-relative center rounding"
+        );
+        assert_eq!(report.stats.certified, 50);
+    }
+
+    #[test]
+    fn weight_bounds_handle_boundary_and_signs() {
+        let points: Arc<[WeightedPoint<1>]> = vec![
+            WeightedPoint::new(Point::new([0.0]), 2.0),
+            WeightedPoint::new(Point::new([1.0]), -1.0), // exactly on the hi endpoint
+            WeightedPoint::new(Point::new([2.0]), 4.0),
+        ]
+        .into();
+        let index = SharedIndex::new(Arc::clone(&points), Vec::new().into());
+        let slack = 1e-9;
+        // [0, 1]: the weight-2 point is definite; the -1 point sits on the
+        // boundary, so it widens the bounds downward only.
+        let (lo, hi) = index.interval_weight_bounds(0.0 - 0.5, 1.0, slack);
+        assert!((lo - 1.0).abs() < 1e-9, "{lo}");
+        assert!((hi - 2.0).abs() < 1e-9, "{hi}");
+        // Ball version agrees in 1-D.
+        let (blo, bhi) = index.ball_weight_bounds(&Point::new([0.25]), 0.75, slack);
+        assert!((blo - 1.0).abs() < 1e-9, "{blo}");
+        assert!((bhi - 2.0).abs() < 1e-9, "{bhi}");
+    }
+
+    #[test]
+    fn empty_batch_reports_cleanly() {
+        let request = BatchRequest::<2>::over_points(Vec::new());
+        let registry = registry();
+        let report = BatchExecutor::new(&registry).execute(&request);
+        assert!(report.answers.is_empty());
+        assert!(report.all_ok());
+        assert_eq!(report.stats.queries, 0);
+    }
+}

@@ -8,6 +8,8 @@
 //! [`super::SolverDescriptor`]) and reject mismatches with a typed error
 //! instead of a panic, so a caller can probe the registry safely.
 
+use std::sync::Arc;
+
 use mrs_geom::{Ball, ColoredSite, Point, WeightedPoint};
 
 use super::descriptor::ShapeClass;
@@ -75,13 +77,18 @@ impl<const D: usize> RangeShape<D> {
     }
 
     /// Is `point` covered by this range centered at `center`?  Ranges are
-    /// closed, matching the underlying exact algorithms.
+    /// closed, matching the underlying exact algorithms, and boundaries get
+    /// the same small relative tolerance in both shapes: the optimal
+    /// placement of an exact sweep always has points *on* its boundary, and
+    /// the reported center carries rounding, so a strict comparison would
+    /// drop exactly the points the optimum was built from.
     pub fn covers(&self, center: &Point<D>, point: &Point<D>) -> bool {
         match self {
             RangeShape::Ball { radius } => Ball::new(*center, *radius).contains(point),
-            RangeShape::AxisBox { extents } => {
-                (0..D).all(|i| (point[i] - center[i]).abs() <= extents[i] / 2.0)
-            }
+            RangeShape::AxisBox { extents } => (0..D).all(|i| {
+                let half = extents[i] / 2.0;
+                (point[i] - center[i]).abs() <= half * (1.0 + 1e-12) + 1e-12
+            }),
         }
     }
 }
@@ -101,9 +108,15 @@ impl RangeShape<2> {
 }
 
 /// A weighted MaxRS instance: weighted points plus a query-range shape.
+///
+/// The point set is stored behind an [`Arc`], so cloning an instance — or
+/// deriving a sibling with a different shape via [`Self::with_shape`] — is
+/// `O(1)` and shares the underlying points.  The batch executor
+/// ([`super::executor`]) relies on this to fan hundreds of query shapes out
+/// over one point set without copying it per query.
 #[derive(Clone, Debug)]
 pub struct WeightedInstance<const D: usize> {
-    points: Vec<WeightedPoint<D>>,
+    points: Arc<[WeightedPoint<D>]>,
     shape: RangeShape<D>,
 }
 
@@ -120,11 +133,31 @@ impl<const D: usize> WeightedInstance<D> {
     /// # Panics
     /// Panics if any coordinate or weight is not finite.
     pub fn new(points: Vec<WeightedPoint<D>>, shape: RangeShape<D>) -> Self {
-        for wp in &points {
+        Self::from_shared(points.into(), shape)
+    }
+
+    /// Creates an instance over an already-shared point set without copying
+    /// it (the batch-execution path).
+    ///
+    /// # Panics
+    /// Panics if any coordinate or weight is not finite.
+    pub fn from_shared(points: Arc<[WeightedPoint<D>]>, shape: RangeShape<D>) -> Self {
+        for wp in points.iter() {
             assert!(wp.point.is_finite(), "point coordinates must be finite");
             assert!(wp.weight.is_finite(), "weights must be finite");
         }
         Self { points, shape }
+    }
+
+    /// A sibling instance over the same (shared) points with a different
+    /// query shape, in `O(1)`.
+    pub fn with_shape(&self, shape: RangeShape<D>) -> Self {
+        Self { points: Arc::clone(&self.points), shape }
+    }
+
+    /// The shared handle to the point set (cloning it is `O(1)`).
+    pub fn shared_points(&self) -> Arc<[WeightedPoint<D>]> {
+        Arc::clone(&self.points)
     }
 
     /// An instance with a ball range of the given radius.
@@ -181,7 +214,7 @@ impl<const D: usize> WeightedInstance<D> {
     /// The ball-problem view of this instance, if the shape is a ball.
     pub fn as_ball_instance(&self) -> Option<WeightedBallInstance<D>> {
         let radius = self.shape.ball_radius()?;
-        Some(WeightedBallInstance::new(self.points.clone(), radius))
+        Some(WeightedBallInstance::new(self.points.to_vec(), radius))
     }
 }
 
@@ -193,9 +226,12 @@ impl<const D: usize> From<WeightedBallInstance<D>> for WeightedInstance<D> {
 }
 
 /// A colored MaxRS instance: colored sites plus a query-range shape.
+///
+/// Like [`WeightedInstance`], the site set is stored behind an [`Arc`]:
+/// cloning and [`Self::with_shape`] are `O(1)` and share the sites.
 #[derive(Clone, Debug)]
 pub struct ColoredInstance<const D: usize> {
-    sites: Vec<ColoredSite<D>>,
+    sites: Arc<[ColoredSite<D>]>,
     shape: RangeShape<D>,
 }
 
@@ -205,10 +241,30 @@ impl<const D: usize> ColoredInstance<D> {
     /// # Panics
     /// Panics if any coordinate is not finite.
     pub fn new(sites: Vec<ColoredSite<D>>, shape: RangeShape<D>) -> Self {
-        for s in &sites {
+        Self::from_shared(sites.into(), shape)
+    }
+
+    /// Creates an instance over an already-shared site set without copying
+    /// it (the batch-execution path).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is not finite.
+    pub fn from_shared(sites: Arc<[ColoredSite<D>]>, shape: RangeShape<D>) -> Self {
+        for s in sites.iter() {
             assert!(s.point.is_finite(), "site coordinates must be finite");
         }
         Self { sites, shape }
+    }
+
+    /// A sibling instance over the same (shared) sites with a different
+    /// query shape, in `O(1)`.
+    pub fn with_shape(&self, shape: RangeShape<D>) -> Self {
+        Self { sites: Arc::clone(&self.sites), shape }
+    }
+
+    /// The shared handle to the site set (cloning it is `O(1)`).
+    pub fn shared_sites(&self) -> Arc<[ColoredSite<D>]> {
+        Arc::clone(&self.sites)
     }
 
     /// An instance with a ball range of the given radius.
@@ -267,7 +323,7 @@ impl<const D: usize> ColoredInstance<D> {
     /// The ball-problem view of this instance, if the shape is a ball.
     pub fn as_ball_instance(&self) -> Option<ColoredBallInstance<D>> {
         let radius = self.shape.ball_radius()?;
-        Some(ColoredBallInstance::new(self.sites.clone(), radius))
+        Some(ColoredBallInstance::new(self.sites.to_vec(), radius))
     }
 }
 
@@ -355,6 +411,20 @@ mod tests {
     #[should_panic(expected = "box extents must be positive")]
     fn rejects_non_positive_extents() {
         RangeShape::<2>::axis_box([1.0, -1.0]);
+    }
+
+    #[test]
+    fn with_shape_shares_points_in_o1() {
+        let inst = WeightedInstance::ball(vec![WeightedPoint::unit(Point2::xy(0.0, 0.0))], 1.0);
+        let sibling = inst.with_shape(RangeShape::rect(2.0, 2.0));
+        assert!(Arc::ptr_eq(&inst.shared_points(), &sibling.shared_points()));
+        assert_eq!(sibling.shape().box_extents(), Some([2.0, 2.0]));
+        assert_eq!(inst.shape().ball_radius(), Some(1.0), "original shape untouched");
+
+        let colored = ColoredInstance::ball(vec![ColoredSite::new(Point2::xy(0.0, 0.0), 1)], 1.0);
+        let sibling = colored.with_shape(RangeShape::ball(3.0));
+        assert!(Arc::ptr_eq(&colored.shared_sites(), &sibling.shared_sites()));
+        assert_eq!(sibling.shape().ball_radius(), Some(3.0));
     }
 
     #[test]

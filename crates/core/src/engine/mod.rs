@@ -35,20 +35,26 @@
 //! assert!(report.guarantee.is_exact());
 //! ```
 
+pub mod batch;
 mod colored;
 mod convert;
 mod descriptor;
+pub mod executor;
 mod instance;
 mod registry;
 mod report;
 mod weighted;
 
+pub use batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats};
 pub use colored::{
     ColoredBallSolver, ColoredDiskSamplingSolver, ExactColoredDiskEnumSolver,
     ExactColoredDiskUnionSolver, ExactColoredRectSolver, OutputSensitiveColoredDiskSolver,
 };
 pub use convert::{repack_colored_placement, repack_placement, repack_point};
-pub use descriptor::{DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor};
+pub use descriptor::{
+    BatchCapability, DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor,
+};
+pub use executor::{BatchExecutor, ExecutorConfig, SharedIndex};
 pub use instance::{ColoredInstance, RangeShape, WeightedInstance};
 pub use registry::{registry, EngineConfig, Registry, SharedColoredSolver, SharedWeightedSolver};
 pub use report::{Guarantee, SolveStats, SolverReport};
@@ -84,6 +90,12 @@ pub enum EngineError {
         /// The refusing solver.
         solver: &'static str,
     },
+    /// A batch query named a solver the registry does not know (or one that
+    /// does not exist under the query's problem kind and dimension).
+    UnknownSolver {
+        /// The name the query asked for.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -97,6 +109,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::NegativeWeights { solver } => {
                 write!(f, "solver `{solver}` requires non-negative weights")
+            }
+            EngineError::UnknownSolver { name } => {
+                write!(f, "no registered solver answers `{name}` for this query")
             }
         }
     }
@@ -119,6 +134,25 @@ pub trait WeightedSolver<const D: usize>: Send + Sync {
     /// Solves the instance, or explains why it cannot.
     fn solve(&self, instance: &WeightedInstance<D>) -> EngineResult<SolverReport<Placement<D>>>;
 
+    /// Answers many query shapes over one shared point set (the batch
+    /// execution path, see [`executor::BatchExecutor`]).
+    ///
+    /// The default treats every query as independent: it derives a sibling
+    /// instance per shape (an `O(1)` operation — instances share their
+    /// points) and calls [`Self::solve`] on each.  Solvers whose descriptor
+    /// declares [`BatchCapability::IndexShared`] override this to amortize
+    /// one build across the whole batch, optionally reusing the executor's
+    /// [`SharedIndex`] structures.
+    fn solve_all(
+        &self,
+        base: &WeightedInstance<D>,
+        shapes: &[RangeShape<D>],
+        index: &SharedIndex<D>,
+    ) -> Vec<EngineResult<SolverReport<Placement<D>>>> {
+        let _ = index;
+        shapes.iter().map(|shape| self.solve(&base.with_shape(*shape))).collect()
+    }
+
     /// The registry name, shorthand for `descriptor().name`.
     fn name(&self) -> &'static str {
         self.descriptor().name
@@ -136,6 +170,19 @@ pub trait ColoredSolver<const D: usize>: Send + Sync {
         &self,
         instance: &ColoredInstance<D>,
     ) -> EngineResult<SolverReport<ColoredPlacement<D>>>;
+
+    /// Answers many query shapes over one shared site set.  See
+    /// [`WeightedSolver::solve_all`] for the contract; the default derives an
+    /// `O(1)` sibling instance per shape and calls [`Self::solve`].
+    fn solve_all(
+        &self,
+        base: &ColoredInstance<D>,
+        shapes: &[RangeShape<D>],
+        index: &SharedIndex<D>,
+    ) -> Vec<EngineResult<SolverReport<ColoredPlacement<D>>>> {
+        let _ = index;
+        shapes.iter().map(|shape| self.solve(&base.with_shape(*shape))).collect()
+    }
 
     /// The registry name, shorthand for `descriptor().name`.
     fn name(&self) -> &'static str {

@@ -76,7 +76,7 @@ struct ExternalEntry {
     object: ExternalObject,
 }
 
-/// The solver registry.  See the [module docs](self) for semantics.
+/// The solver registry.  See the [engine docs](crate::engine) for semantics.
 pub struct Registry {
     config: EngineConfig,
     external: Vec<ExternalEntry>,
@@ -354,6 +354,7 @@ mod tests {
                     dims: crate::engine::DimSupport::Fixed(2),
                     guarantee: crate::engine::GuaranteeClass::Exact,
                     dynamic: false,
+                    batch: crate::engine::BatchCapability::Independent,
                     negative_weights: false,
                     reference: "test stub",
                 };
@@ -395,6 +396,7 @@ mod tests {
                     dims: crate::engine::DimSupport::Any,
                     guarantee: crate::engine::GuaranteeClass::Exact,
                     dynamic: false,
+                    batch: crate::engine::BatchCapability::Independent,
                     negative_weights: false,
                     reference: "test stub",
                 };

@@ -7,7 +7,9 @@ use std::time::Instant;
 use mrs_geom::Point;
 
 use super::convert::{repack_placement, repack_point, repack_weighted};
-use super::descriptor::{DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor};
+use super::descriptor::{
+    BatchCapability, DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor,
+};
 use super::instance::{RangeShape, WeightedInstance};
 use super::report::{Guarantee, SolveStats, SolverReport};
 use super::{EngineError, EngineResult, WeightedSolver};
@@ -64,6 +66,7 @@ impl ExactIntervalSolver {
         dims: DimSupport::Fixed(1),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: true,
         reference: "Section 5 per-length oracle (sorted sweep)",
     };
@@ -107,6 +110,7 @@ impl ExactRectSolver {
         dims: DimSupport::Fixed(2),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: false,
         reference: "[IA83]/[NB95] rectangle sweep",
     };
@@ -148,6 +152,7 @@ impl ExactDiskSolver {
         dims: DimSupport::Fixed(2),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: false,
         reference: "[CL86] disk sweep",
     };
@@ -191,6 +196,7 @@ impl StaticBallSolver {
         dims: DimSupport::Any,
         guarantee: GuaranteeClass::HalfMinusEps,
         dynamic: false,
+        batch: BatchCapability::Independent,
         negative_weights: false,
         reference: "Theorem 1.2",
     };
@@ -257,6 +263,7 @@ impl DynamicBallSolver {
         dims: DimSupport::Any,
         guarantee: GuaranteeClass::HalfMinusEps,
         dynamic: true,
+        batch: BatchCapability::Independent,
         negative_weights: false,
         reference: "Theorem 1.1",
     };

@@ -1,8 +1,8 @@
 //! Exact disk MaxRS in the plane in `O(n² log n)` time.
 //!
-//! This is the Chazelle–Lee style angular sweep [CL86] the paper uses as the
+//! This is the Chazelle–Lee style angular sweep \[CL86\] the paper uses as the
 //! exact comparator for its `d`-ball approximation algorithms (and whose
-//! conditional Ω(n²) lower bound [AH08] motivates those approximations).  In
+//! conditional Ω(n²) lower bound \[AH08\] motivates those approximations).  In
 //! the dual view every weighted input point becomes a disk of the query
 //! radius; the deepest point of that disk arrangement lies on some disk's
 //! boundary, so sweeping every boundary by angle and keeping a running

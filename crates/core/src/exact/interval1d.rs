@@ -73,6 +73,13 @@ impl SortedLine {
         &self.xs
     }
 
+    /// Prefix sums of the sorted weights: `prefix()[i]` is the total weight
+    /// of the first `i` points, so `len() + 1` entries starting at `0.0`.
+    /// Lets batched callers (Theorem 1.3) reuse one sorted build.
+    pub fn prefix(&self) -> &[f64] {
+        &self.prefix
+    }
+
     /// Index of the first point with coordinate `>= x` (within tolerance).
     fn lower_bound(&self, x: f64) -> usize {
         self.xs.partition_point(|&v| v < x - 1e-12)

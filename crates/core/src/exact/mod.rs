@@ -6,11 +6,11 @@
 //! * [`interval1d`] — exact interval MaxRS on the line (`O(n log n)`), the
 //!   per-length oracle of the batched problem of Section 5;
 //! * [`rect2d`] — exact rectangle MaxRS in the plane (`O(n log n)`,
-//!   [IA83]/[NB95]);
-//! * [`disk2d`] — exact disk MaxRS in the plane (`O(n² log n)`, [CL86]);
+//!   \[IA83\]/\[NB95\]);
+//! * [`disk2d`] — exact disk MaxRS in the plane (`O(n² log n)`, \[CL86\]);
 //! * [`colored_disk2d`] — the straightforward exact algorithm for colored disk
 //!   MaxRS by candidate enumeration;
-//! * [`colored_rect2d`] — exact colored rectangle MaxRS (the [ZGH+22] setting
+//! * [`colored_rect2d`] — exact colored rectangle MaxRS (the \[ZGH+22\] setting
 //!   the paper cites as prior work);
 //! * [`brute`] — brute-force depth oracles and `opt` lower bounds in arbitrary
 //!   small dimension, used by the test-suite to validate the randomized

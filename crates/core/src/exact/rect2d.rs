@@ -1,7 +1,7 @@
 //! Exact rectangle MaxRS in the plane in `O(n log n)` time.
 //!
-//! This is the classic sweep of Imai–Asano [IA83] and Nandy–Bhattacharya
-//! [NB95] that the paper uses as the per-query baseline for batched MaxRS with
+//! This is the classic sweep of Imai–Asano \[IA83\] and Nandy–Bhattacharya
+//! \[NB95\] that the paper uses as the per-query baseline for batched MaxRS with
 //! axis-aligned rectangles (Section 1.2): each input point, viewed from the
 //! rectangle's anchor, becomes an axis-aligned box of feasible anchors, and
 //! the optimal anchor is a point of maximum depth in that box arrangement,

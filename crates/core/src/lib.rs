@@ -12,8 +12,8 @@
 //! | Lemma 4.2 — exact colored disk MaxRS via union boundaries | [`technique2::exact_colored_disk_by_union`] |
 //! | Theorem 4.6 — output-sensitive exact colored disk MaxRS | [`technique2::output_sensitive_colored_disk`] |
 //! | Theorem 1.6 — `(1 − ε)`-approx colored disk MaxRS by color sampling | [`technique2::approx_colored_disk_sampling`] |
-//! | Exact baselines ([IA83], [NB95], [CL86], [ZGH+22]-style colored rectangles) | [`exact`] |
-//! | Prior-work input-sampling (1 − ε) baseline ([AHR+02]/[AH08]) | [`baselines`] |
+//! | Exact baselines (\[IA83\], \[NB95\], \[CL86\], \[ZGH+22\]-style colored rectangles) | [`exact`] |
+//! | Prior-work input-sampling (1 − ε) baseline (\[AHR+02\]/\[AH08\]) | [`baselines`] |
 //!
 //! The batched problems and the hardness-reduction chains of Sections 5–6 live
 //! in the sibling crates `mrs-batched` and `mrs-hardness`.

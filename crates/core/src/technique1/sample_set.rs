@@ -197,7 +197,7 @@ impl<const D: usize> SampleSet<D> {
         }
     }
 
-    /// Removes a weighted ball previously added with [`insert_ball`].
+    /// Removes a weighted ball previously added with [`Self::insert_ball`].
     pub fn remove_ball(&mut self, ball: &Ball<D>, weight: f64) {
         let touched = self.for_each_sample_in_ball(ball, |cell, i| {
             cell.depth[i] -= weight;

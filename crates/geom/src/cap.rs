@@ -9,7 +9,7 @@ use crate::sphere::sample_unit_sphere;
 use rand::Rng;
 
 /// The incomplete integral `G_d(x) = ∫_0^x (1 - t²)^{(d-1)/2} dt` from the
-/// hyperspherical-cap area formula ([Chu86]); evaluated with composite
+/// hyperspherical-cap area formula (\[Chu86\]); evaluated with composite
 /// Simpson quadrature.
 pub fn g_integral(d: usize, x: f64) -> f64 {
     let x = x.clamp(0.0, 1.0);
@@ -35,7 +35,7 @@ pub fn g_integral(d: usize, x: f64) -> f64 {
 /// the cap `{x : x_d ≥ q}` for `q ∈ [-1, 1]`.
 ///
 /// For `d = 2` this is `arccos(q)/π`; for `d = 3` it is `(1 - q)/2`; in general
-/// it follows the estimate of [Chu86]/[Wik] used in the proof of Lemma 3.2:
+/// it follows the estimate of \[Chu86\]/\[Wik\] used in the proof of Lemma 3.2:
 /// `1/2 − G_{d-2}(q) / (2 G_{d-2}(1))` for `q ≥ 0` (and symmetric for `q < 0`).
 pub fn cap_fraction(d: usize, q: f64) -> f64 {
     assert!(d >= 2, "cap_fraction requires dimension at least 2");

@@ -94,7 +94,7 @@ impl<const D: usize> HashGrid<D> {
         self.buckets.get(&cell).is_some_and(|b| b.contains(&id))
     }
 
-    /// Location stored for `id` (meaningful only if [`contains_id`] is true).
+    /// Location stored for `id` (meaningful only if [`Self::contains_id`] is true).
     pub fn point(&self, id: usize) -> Point<D> {
         self.points[id]
     }

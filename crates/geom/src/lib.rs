@@ -37,6 +37,7 @@ pub mod union_disks;
 pub use aabb::{bounding_box, Aabb, Rect};
 pub use arcs::{AngularInterval, TAU};
 pub use ball::{Ball, Disk};
+pub use fenwick::Fenwick;
 pub use grid::{CellCoord, Grid, ShiftedGrids};
 pub use hashgrid::HashGrid;
 pub use interval::Interval;

@@ -1,7 +1,7 @@
 //! A lazy segment tree supporting range-add and range-maximum queries.
 //!
 //! This is the sweep-line workhorse behind the exact `O(n log n)` rectangle
-//! MaxRS baseline ([IA83]/[NB95]): points become x-intervals that are added to
+//! MaxRS baseline (\[IA83\]/\[NB95\]): points become x-intervals that are added to
 //! and removed from the tree as a horizontal line sweeps the plane, and the
 //! global maximum tracks the best placement seen so far.
 

@@ -1,4 +1,4 @@
-//! Uniform sampling of points on spheres (Muller's method, [Mul59]), the
+//! Uniform sampling of points on spheres (Muller's method, \[Mul59\]), the
 //! primitive the sampling step of Section 3.1.1 uses to place `Θ(ε^{-2} log n)`
 //! points on the circumsphere of every non-empty grid cell.
 

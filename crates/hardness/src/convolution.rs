@@ -2,7 +2,7 @@
 //!
 //! All reference solvers here are the "trivial" quadratic ones; the point of
 //! the crate is not to compute convolutions fast (conjecturally impossible,
-//! [CMWW19]) but to provide ground truth for the reduction chains and the
+//! \[CMWW19\]) but to provide ground truth for the reduction chains and the
 //! Ω(mn)/Ω(n²) scaling experiments.
 
 /// `(min,+)`-convolution: `C_k = min_{i+j=k} (A_i + B_j)` for `k ∈ 0..n`.

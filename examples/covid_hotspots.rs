@@ -2,6 +2,10 @@
 //!
 //! Run with `cargo run --example covid_hotspots`.
 //!
+//! Paper map: Section 1.1 / Theorem 1.1 — the dynamic `(1/2 − ε)`-approx
+//! MaxRS structure (Technique 1: shifted grids of Lemma 2.1 + sphere
+//! sampling of Lemma 3.2) under a real insert/delete stream.
+//!
 //! The paper's motivating example for the dynamic problem: infected patients
 //! appear (insertions) and recover (deletions), and health authorities need
 //! the current hotspot — the placement of a fixed-radius disk covering the

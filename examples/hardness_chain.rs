@@ -2,6 +2,10 @@
 //!
 //! Run with `cargo run --example hardness_chain`.
 //!
+//! Paper map: Sections 5–6 / Theorems 1.3–1.4 — the executable hardness
+//! chains: (min,+)-convolution solved through the batched MaxRS oracle
+//! (Figure 6) and through the batched smallest-k-enclosing-interval oracle.
+//!
 //! Theorems 1.3 and 1.4 say that batched MaxRS in `R^1` and the batched
 //! smallest-k-enclosing-interval problem are conditionally hard because a fast
 //! algorithm for either would yield a fast (min,+)-convolution algorithm.

@@ -2,6 +2,10 @@
 //!
 //! Run with `cargo run --example quickstart`.
 //!
+//! Paper map: Figure 1 / Section 1 (problem statement) — exact rectangle
+//! MaxRS \[IA83\]/\[NB95\], exact disk MaxRS \[CL86\], and exact colored disk
+//! MaxRS (Theorem 4.6), all dispatched through the engine registry.
+//!
 //! The scenario mirrors Figure 1 of the paper: a handful of points in the
 //! plane, and we ask (a) where to place a fixed rectangle to cover the most
 //! points, (b) where to place a fixed-radius disk, and (c) where to place a

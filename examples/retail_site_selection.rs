@@ -2,6 +2,10 @@
 //!
 //! Run with `cargo run --example retail_site_selection`.
 //!
+//! Paper map: Section 1.1 (applications) — exact rectangle \[IA83\]/\[NB95\]
+//! and disk \[CL86\] baselines, Theorem 1.2 static sampling, and the
+//! Section 5 / Theorem 1.3 batched 1-D MaxRS along a highway corridor.
+//!
 //! The paper's Walmart example: customer locations (weighted by expected
 //! spend) are known, and the retailer wants the catchment area — a rectangle
 //! the size of a delivery zone, or a disk of fixed driving radius — that

@@ -3,6 +3,10 @@
 //!
 //! Run with `cargo run --example wildlife_tracking`.
 //!
+//! Paper map: Section 1.2 / Theorems 1.5, 4.6 and 1.6 — colored MaxRS at
+//! three guarantee levels: Technique 1 colored sampling, the Technique 2
+//! output-sensitive exact algorithm, and Theorem 1.6 color sampling.
+//!
 //! The paper's motivating example for the colored problem: each endangered
 //! animal contributes a trajectory of GPS samples, all carrying that animal's
 //! color, and a single tracking station with a fixed observation radius should

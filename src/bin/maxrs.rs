@@ -4,7 +4,9 @@
 
 use std::process::ExitCode;
 
-use maxrs::cli::{input_path, parse_args, run_on_text, USAGE};
+use maxrs::cli::{
+    input_path, parse_args, queries_path, run_batch_on_text, run_on_text, Command, USAGE,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,7 +28,22 @@ fn main() -> ExitCode {
             }
         },
     };
-    match run_on_text(&command, &file_text) {
+    // Batch commands read a second file (the query list) and run through the
+    // shared-index executor; everything else is a single engine dispatch.
+    let outcome = match &command {
+        Command::Batch { threads, eps, .. } => {
+            let queries = queries_path(&command).expect("batch commands carry a query path");
+            match std::fs::read_to_string(queries) {
+                Err(error) => {
+                    eprintln!("error: cannot read {queries}: {error}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(queries_text) => run_batch_on_text(&file_text, &queries_text, *threads, *eps),
+            }
+        }
+        _ => run_on_text(&command, &file_text),
+    };
+    match outcome {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS

@@ -10,7 +10,8 @@ use std::str::FromStr;
 use mrs_geom::{ColoredSite, Point2, WeightedPoint};
 
 use crate::engine::{
-    registry_with, ColoredInstance, DimSupport, EngineConfig, EngineError, WeightedInstance,
+    registry_with, BatchAnswer, BatchExecutor, BatchQuery, BatchRequest, ColoredInstance,
+    DimSupport, EngineConfig, EngineError, ExecutorConfig, RangeShape, WeightedInstance,
 };
 
 /// A parsed command line.
@@ -58,6 +59,18 @@ pub enum Command {
         /// Input CSV path.
         path: String,
     },
+    /// Batch execution: many queries over one point set through the
+    /// shared-index executor (`batch --queries Q [--threads N] [--eps E] <file>`).
+    Batch {
+        /// Path of the query-list file.
+        queries: String,
+        /// Worker threads (`None` lets the executor pick).
+        threads: Option<usize>,
+        /// Approximation parameter for the approximate solvers in the batch.
+        eps: f64,
+        /// Input CSV path.
+        path: String,
+    },
     /// List the solvers registered with the engine (`solvers`).
     Solvers,
     /// Print usage.
@@ -90,14 +103,27 @@ USAGE:
     maxrs rect                --width W --height H  <points.csv>
     maxrs colored-disk        --radius R            <colored.csv>
     maxrs colored-disk-approx --radius R --eps E    <colored.csv>
+    maxrs batch --queries <queries.txt> [--threads N] [--eps E] <points.csv>
     maxrs solvers
 
 Every query dispatches through the solver engine; `maxrs solvers` lists the
-registered solvers with their capabilities and guarantees.
+registered solvers with their capabilities and guarantees.  `maxrs batch`
+answers a whole file of queries over one point set through the shared-index
+batch executor (spatial indexes built once, queries fanned out over a
+worker pool).
 
 INPUT FORMATS (one record per line, '#' starts a comment):
-    weighted points:  x,y[,weight]      (weight defaults to 1)
-    colored sites:    x,y,color         (color is a non-negative integer)
+    weighted points:  x,y[,weight]          (weight defaults to 1)
+    colored sites:    x,y,color             (color is a non-negative integer)
+    batch points:     x,y[,weight[,color]]  (weighted and colored views of
+                                             one point set; lines with a 4th
+                                             field double as colored sites)
+    batch queries:    one query per line:
+                          disk,R
+                          disk-approx,R
+                          rect,W,H
+                          colored-disk,R
+                          colored-disk-approx,R
 ";
 
 /// Parses the command-line arguments (excluding the program name).
@@ -109,6 +135,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut eps = None;
     let mut width = None;
     let mut height = None;
+    let mut queries = None;
+    let mut threads = None;
     let mut path = None;
     let mut i = 1;
     while i < args.len() {
@@ -124,6 +152,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--height" => {
                 height = Some(parse_flag_value(args, &mut i, "--height")?);
+            }
+            "--queries" => {
+                let Some(value) = args.get(i + 1) else {
+                    return err("--queries requires a file path");
+                };
+                queries = Some(value.clone());
+                i += 2;
+            }
+            "--threads" => {
+                let Some(raw) = args.get(i + 1) else {
+                    return err("--threads requires a value");
+                };
+                let value: usize = raw
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError(format!("--threads: invalid count {raw}")))?;
+                threads = Some(value);
+                i += 2;
             }
             flag if flag.starts_with("--") => {
                 return err(format!("unknown flag {flag}"));
@@ -151,9 +198,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         Ok(())
     };
+    if command != "batch" {
+        reject_unused(
+            command,
+            &[("--queries", queries.is_some()), ("--threads", threads.is_some())],
+        )?;
+    }
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "solvers" => Ok(Command::Solvers),
+        "batch" => {
+            reject_unused(
+                "batch",
+                &[
+                    ("--radius", radius.is_some()),
+                    ("--width", width.is_some()),
+                    ("--height", height.is_some()),
+                ],
+            )?;
+            Ok(Command::Batch {
+                queries: queries.ok_or_else(|| CliError("batch requires --queries".into()))?,
+                threads,
+                eps: eps.unwrap_or(0.25),
+                path: need_path(path)?,
+            })
+        }
         "disk" => {
             reject_unused(
                 "disk",
@@ -273,7 +342,185 @@ pub fn parse_colored_csv(text: &str) -> Result<Vec<ColoredSite<2>>, CliError> {
 }
 
 fn parse_number(raw: &str, lineno: usize) -> Result<f64, CliError> {
-    f64::from_str(raw).map_err(|_| CliError(format!("line {}: invalid number `{raw}`", lineno + 1)))
+    // `f64::from_str` happily parses "inf" and "NaN", which the engine's
+    // instance constructors reject with a panic; keep the CLI contract of
+    // clean line-numbered errors instead.
+    f64::from_str(raw)
+        .ok()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| CliError(format!("line {}: invalid number `{raw}`", lineno + 1)))
+}
+
+/// Parses a batch point file (`x,y[,weight[,color]]` per line) into its
+/// weighted view (all lines) and its colored view (the lines carrying a
+/// color), so one point set serves both query families.
+pub fn parse_batch_csv(
+    text: &str,
+) -> Result<(Vec<WeightedPoint<2>>, Vec<ColoredSite<2>>), CliError> {
+    let mut points = Vec::new();
+    let mut sites = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 || fields.len() > 4 {
+            return err(format!(
+                "line {}: expected `x,y[,weight[,color]]`, got `{line}`",
+                lineno + 1
+            ));
+        }
+        let x = parse_number(fields[0], lineno)?;
+        let y = parse_number(fields[1], lineno)?;
+        let weight = if fields.len() >= 3 { parse_number(fields[2], lineno)? } else { 1.0 };
+        if weight < 0.0 {
+            return err(format!("line {}: weights must be non-negative", lineno + 1));
+        }
+        points.push(WeightedPoint::new(Point2::xy(x, y), weight));
+        if fields.len() == 4 {
+            let color: usize = fields[3].parse().map_err(|_| {
+                CliError(format!("line {}: invalid color `{}`", lineno + 1, fields[3]))
+            })?;
+            sites.push(ColoredSite::new(Point2::xy(x, y), color));
+        }
+    }
+    Ok((points, sites))
+}
+
+/// Parses a batch query file: one query per line (`#` starts a comment),
+/// `kind,params` with the same kinds and solver mapping as the single-query
+/// subcommands (`disk,R`, `disk-approx,R`, `rect,W,H`, `colored-disk,R`,
+/// `colored-disk-approx,R`).
+pub fn parse_batch_queries(text: &str) -> Result<Vec<BatchQuery<2>>, CliError> {
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let arity_error =
+            |want: &str| CliError(format!("line {}: `{}` expects `{want}`", lineno + 1, fields[0]));
+        let query = match (fields[0], fields.len()) {
+            ("disk", 2) => BatchQuery::weighted(
+                "exact-disk-2d",
+                RangeShape::ball(checked_radius(fields[1], lineno)?),
+            ),
+            ("disk-approx", 2) => BatchQuery::weighted(
+                "approx-static-ball",
+                RangeShape::ball(checked_radius(fields[1], lineno)?),
+            ),
+            ("rect", 3) => {
+                let width = parse_number(fields[1], lineno)?;
+                let height = parse_number(fields[2], lineno)?;
+                if !(width.is_finite() && width > 0.0 && height.is_finite() && height > 0.0) {
+                    return err(format!("line {}: rect extents must be positive", lineno + 1));
+                }
+                BatchQuery::weighted("exact-rect-2d", RangeShape::rect(width, height))
+            }
+            ("colored-disk", 2) => BatchQuery::colored(
+                "output-sensitive-colored-disk",
+                RangeShape::ball(checked_radius(fields[1], lineno)?),
+            ),
+            ("colored-disk-approx", 2) => BatchQuery::colored(
+                "approx-colored-disk-sampling",
+                RangeShape::ball(checked_radius(fields[1], lineno)?),
+            ),
+            ("disk" | "disk-approx" | "colored-disk" | "colored-disk-approx", _) => {
+                return Err(arity_error("kind,R"));
+            }
+            ("rect", _) => return Err(arity_error("rect,W,H")),
+            (other, _) => {
+                return err(format!("line {}: unknown query kind `{other}`", lineno + 1));
+            }
+        };
+        queries.push(query);
+    }
+    Ok(queries)
+}
+
+fn checked_radius(raw: &str, lineno: usize) -> Result<f64, CliError> {
+    let radius = parse_number(raw, lineno)?;
+    if radius.is_finite() && radius > 0.0 {
+        Ok(radius)
+    } else {
+        err(format!("line {}: radius must be positive", lineno + 1))
+    }
+}
+
+/// Executes a batch command against already-loaded file contents: parses the
+/// point set and query list, runs the whole batch through the shared-index
+/// executor, and renders one line per answer plus the batch statistics.
+pub fn run_batch_on_text(
+    points_text: &str,
+    queries_text: &str,
+    threads: Option<usize>,
+    eps: f64,
+) -> Result<String, CliError> {
+    check_eps(eps, 1.0)?;
+    let (points, sites) = parse_batch_csv(points_text)?;
+    let queries = parse_batch_queries(queries_text)?;
+    if queries.is_empty() {
+        return Ok("empty query file: nothing to answer".to_string());
+    }
+    let mut request = BatchRequest::new(points, sites);
+    for query in queries {
+        request.push(query);
+    }
+
+    let registry = registry_with(cli_config(eps));
+    let executor = BatchExecutor::with_config(&registry, ExecutorConfig { threads, certify: true });
+    let report = executor.execute(&request);
+
+    let mut out = String::new();
+    for (i, (query, answer)) in request.queries().iter().zip(&report.answers).enumerate() {
+        let line = match answer {
+            BatchAnswer::Weighted(r) => format!(
+                "covered weight = {:.6} at ({:.6}, {:.6})  [{}]",
+                r.placement.value,
+                r.placement.center.x(),
+                r.placement.center.y(),
+                r.solver
+            ),
+            BatchAnswer::Colored(r) => format!(
+                "distinct colors = {} at ({:.6}, {:.6})  [{}]",
+                r.placement.distinct,
+                r.placement.center.x(),
+                r.placement.center.y(),
+                r.solver
+            ),
+            BatchAnswer::Failed(error) => format!("FAILED: {error}"),
+        };
+        out.push_str(&format!("[{i:>4}] {:<28} {line}\n", render_query(query)));
+    }
+    let stats = &report.stats;
+    out.push_str(&format!(
+        "batch: {} queries ({} failed) in {:.2} ms | {:.0} queries/s | threads = {} | \
+         index builds = {} ({:.2} ms) | certified {}/{} ({} mismatches)\n",
+        stats.queries,
+        stats.failed,
+        stats.wall.as_secs_f64() * 1e3,
+        stats.queries_per_sec(),
+        stats.threads,
+        stats.index_builds,
+        stats.index_build_time.as_secs_f64() * 1e3,
+        stats.certified,
+        stats.queries - stats.failed,
+        stats.certify_failures,
+    ));
+    Ok(out)
+}
+
+fn render_query(query: &BatchQuery<2>) -> String {
+    let shape = match query.shape() {
+        RangeShape::Ball { radius } => format!("ball r={radius}"),
+        RangeShape::AxisBox { extents } => format!("box {}x{}", extents[0], extents[1]),
+    };
+    match query {
+        BatchQuery::Weighted { .. } => format!("weighted {shape}"),
+        BatchQuery::Colored { .. } => format!("colored {shape}"),
+    }
 }
 
 /// The engine configuration the CLI dispatches with: practical sampling caps
@@ -313,11 +560,13 @@ fn engine_error(e: EngineError) -> CliError {
     CliError(e.to_string())
 }
 
-/// Renders the registry listing for `maxrs solvers`.
+/// Renders the registry listing for `maxrs solvers`: every solver's name,
+/// problem kind, shape class, supported dimensions, guarantee, batch
+/// capability, and source reference.
 fn render_solvers() -> String {
     let registry = crate::engine::registry();
     let mut out = String::from(
-        "registered solvers (name | problem | shape | dims | guarantee | reference):\n",
+        "registered solvers (name | problem | shape | dims | guarantee | batch | reference):\n",
     );
     for d in registry.descriptors() {
         let dims = match d.dims {
@@ -334,12 +583,13 @@ fn render_solvers() -> String {
             crate::engine::ProblemKind::Colored => "colored",
         };
         out.push_str(&format!(
-            "  {:<30} {:<9} {:<5} {:<7} {:<17} {}\n",
+            "  {:<30} {:<9} {:<5} {:<7} {:<17} {:<13} {}\n",
             d.name,
             problem,
             d.shape.to_string(),
             dims,
             guarantee,
+            d.batch.to_string(),
             d.reference
         ));
     }
@@ -378,6 +628,13 @@ pub fn run_on_text(command: &Command, file_text: &str) -> Result<String, CliErro
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Solvers => Ok(render_solvers()),
+        Command::Batch { threads, eps, .. } => {
+            // The binary resolves the query file separately and calls
+            // `run_batch_on_text` with both contents; reaching this arm means
+            // the caller only loaded the point file.
+            let _ = (threads, eps);
+            err("batch commands need the query file too; use run_batch_on_text")
+        }
         Command::Disk { radius, .. } => {
             let points = parse_weighted_csv(file_text)?;
             check_radius(*radius)?;
@@ -460,7 +717,16 @@ pub fn input_path(command: &Command) -> Option<&str> {
         | Command::DiskApprox { path, .. }
         | Command::Rect { path, .. }
         | Command::ColoredDisk { path, .. }
-        | Command::ColoredDiskApprox { path, .. } => Some(path),
+        | Command::ColoredDiskApprox { path, .. }
+        | Command::Batch { path, .. } => Some(path),
+    }
+}
+
+/// The query-list file referenced by a command, if any (batch only).
+pub fn queries_path(command: &Command) -> Option<&str> {
+    match command {
+        Command::Batch { queries, .. } => Some(queries),
+        _ => None,
     }
 }
 
@@ -572,6 +838,30 @@ mod tests {
         assert!(run_on_text(&high_eps, "0,0,1\n0.1,0,2\n").unwrap().contains("distinct colors"));
     }
 
+    /// Doctest-style golden test: `maxrs solvers` must render exactly this
+    /// table — name, problem, shape, dims, guarantee, batch capability, and
+    /// reference for every registered solver.  Registering a new solver (or
+    /// changing a capability) means updating this expectation deliberately.
+    #[test]
+    fn solvers_listing_golden_output() {
+        let expected = "\
+registered solvers (name | problem | shape | dims | guarantee | batch | reference):
+  batched-interval-1d            weighted  ball  d = 1   exact             index-shared  Theorem 1.3 upper bound (O(n log n + m·n))
+  exact-interval-1d              weighted  ball  d = 1   exact             independent   Section 5 per-length oracle (sorted sweep)
+  exact-rect-2d                  weighted  box   d = 2   exact             independent   [IA83]/[NB95] rectangle sweep
+  exact-disk-2d                  weighted  ball  d = 2   exact             independent   [CL86] disk sweep
+  approx-static-ball             weighted  ball  any d   (1/2 − ε)-approx  independent   Theorem 1.2
+  dynamic-ball                   weighted  ball  any d   (1/2 − ε)-approx  independent   Theorem 1.1
+  exact-colored-disk-enum        colored   ball  d = 2   exact             independent   candidate enumeration baseline
+  exact-colored-disk-union       colored   ball  d = 2   exact             independent   Lemma 4.2
+  output-sensitive-colored-disk  colored   ball  d = 2   exact             independent   Theorem 4.6
+  approx-colored-ball            colored   ball  any d   (1/2 − ε)-approx  independent   Theorem 1.5
+  approx-colored-disk-sampling   colored   ball  d = 2   (1 − ε)-approx    independent   Theorem 1.6
+  exact-colored-rect-2d          colored   box   d = 2   exact             independent   [ZGH+22]-style sweep
+";
+        assert_eq!(run_on_text(&Command::Solvers, "").unwrap(), expected);
+    }
+
     #[test]
     fn solvers_listing_names_every_registered_solver() {
         let listing = run_on_text(&Command::Solvers, "").unwrap();
@@ -609,5 +899,95 @@ mod tests {
     fn input_path_extraction() {
         assert_eq!(input_path(&Command::Help), None);
         assert_eq!(input_path(&Command::Disk { radius: 1.0, path: "a.csv".into() }), Some("a.csv"));
+        let batch = Command::Batch {
+            queries: "q.txt".into(),
+            threads: Some(2),
+            eps: 0.25,
+            path: "pts.csv".into(),
+        };
+        assert_eq!(input_path(&batch), Some("pts.csv"));
+        assert_eq!(queries_path(&batch), Some("q.txt"));
+        assert_eq!(queries_path(&Command::Help), None);
+    }
+
+    #[test]
+    fn parses_batch_command() {
+        assert_eq!(
+            parse_args(&args(&[
+                "batch",
+                "--queries",
+                "q.txt",
+                "--threads",
+                "3",
+                "--eps",
+                "0.3",
+                "pts.csv"
+            ]))
+            .unwrap(),
+            Command::Batch {
+                queries: "q.txt".into(),
+                threads: Some(3),
+                eps: 0.3,
+                path: "pts.csv".into(),
+            }
+        );
+        // --queries is mandatory, --threads must be a positive integer, and
+        // batch flags are rejected on other subcommands.
+        assert!(parse_args(&args(&["batch", "pts.csv"])).is_err());
+        assert!(parse_args(&args(&["batch", "--queries", "q", "--threads", "0", "p"])).is_err());
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--queries", "q", "p"])).is_err());
+        assert!(parse_args(&args(&["batch", "--queries", "q", "--radius", "1", "p"])).is_err());
+    }
+
+    #[test]
+    fn parses_batch_points_and_queries() {
+        let (points, sites) =
+            parse_batch_csv("0,0\n1,1,2.5\n2,2,1,7  # weighted and colored\n").unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[1].weight, 2.5);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].color, 7);
+        assert!(parse_batch_csv("1\n").is_err());
+        assert!(parse_batch_csv("1,2,3,4,5\n").is_err());
+        assert!(parse_batch_csv("1,2,-1\n").is_err());
+        assert!(parse_batch_csv("1,2,1,red\n").is_err());
+        // Non-finite numbers are clean errors, not engine panics.
+        assert!(parse_batch_csv("inf,0,1\n").is_err());
+        assert!(parse_batch_csv("0,0,NaN\n").is_err());
+        assert!(parse_weighted_csv("0,inf\n").is_err());
+        assert!(parse_colored_csv("NaN,0,1\n").is_err());
+
+        let queries = parse_batch_queries(
+            "disk,1.0\nrect,2,1\ncolored-disk,0.5\n# comment\ndisk-approx,1\ncolored-disk-approx,1\n",
+        )
+        .unwrap();
+        assert_eq!(queries.len(), 5);
+        assert_eq!(queries[0].solver(), "exact-disk-2d");
+        assert_eq!(queries[1].solver(), "exact-rect-2d");
+        assert_eq!(queries[2].solver(), "output-sensitive-colored-disk");
+        assert!(parse_batch_queries("disk,1,2\n").is_err());
+        assert!(parse_batch_queries("rect,1\n").is_err());
+        assert!(parse_batch_queries("disk,-1\n").is_err());
+        assert!(parse_batch_queries("frobnicate,1\n").is_err());
+    }
+
+    #[test]
+    fn batch_runs_mixed_queries_through_the_executor() {
+        // Four points: a weighted cluster of 3 near the origin carrying
+        // colors 0/1/2, plus a far heavier point with a repeated color.  The
+        // cluster wins the radius-1 queries; the far point wins at radius
+        // 0.1, where no two points fit in one disk.
+        let csv = "0,0,1,0\n0.4,0,1,1\n0,0.4,1,2\n9,9,2,0\n";
+        let queries = "disk,1.0\nrect,1,1\ncolored-disk,1.0\ndisk,0.1\n";
+        let out = run_batch_on_text(csv, queries, Some(2), 0.25).unwrap();
+        assert!(out.contains("covered weight = 3.000000"), "{out}");
+        assert!(out.contains("distinct colors = 3"), "{out}");
+        assert!(out.contains("covered weight = 2.000000"), "{out}");
+        assert!(out.contains("batch: 4 queries (0 failed)"), "{out}");
+        assert!(out.contains("certified 4/4 (0 mismatches)"), "{out}");
+        assert!(out.contains("threads = 2"), "{out}");
+
+        assert!(run_batch_on_text(csv, "", None, 0.25).unwrap().contains("empty query file"));
+        assert!(run_batch_on_text(csv, queries, None, 1.5).is_err());
     }
 }

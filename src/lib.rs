@@ -84,8 +84,10 @@ pub mod prelude {
     pub use mrs_batched::{BatchedMaxRS1D, BatchedSei, IntervalPlacement, LinePoint};
     pub use mrs_core::config::{ColorSamplingConfig, SamplingConfig};
     pub use mrs_core::engine::{
-        ColoredInstance, ColoredSolver, EngineConfig, EngineError, Guarantee, RangeShape, Registry,
-        SolveStats, SolverDescriptor, SolverReport, WeightedInstance, WeightedSolver,
+        BatchAnswer, BatchCapability, BatchExecutor, BatchQuery, BatchReport, BatchRequest,
+        BatchStats, ColoredInstance, ColoredSolver, EngineConfig, EngineError, ExecutorConfig,
+        Guarantee, RangeShape, Registry, SharedIndex, SolveStats, SolverDescriptor, SolverReport,
+        WeightedInstance, WeightedSolver,
     };
     pub use mrs_core::exact::{max_disk_placement, max_interval_placement, max_rect_placement};
     pub use mrs_core::input::{

@@ -190,6 +190,169 @@ fn higher_dimensional_dispatch_reaches_the_samplers() {
     }
 }
 
+/// Error-path contract, shape axis: every registered solver, offered an
+/// instance whose shape class it does not support, must refuse with
+/// `EngineError::UnsupportedShape` naming itself — never panic, never
+/// silently answer.
+#[test]
+fn every_solver_rejects_the_wrong_shape_with_a_typed_error() {
+    let registry = engine::registry();
+
+    fn check_weighted<const D: usize>(registry: &Registry) {
+        for solver in registry.weighted_solvers::<D>() {
+            let descriptor = solver.descriptor();
+            // Offer the opposite shape class of the one the solver declares.
+            let wrong = match descriptor.shape {
+                maxrs::core::engine::ShapeClass::Ball => {
+                    WeightedInstance::<D>::axis_box(vec![], [1.0; D])
+                }
+                maxrs::core::engine::ShapeClass::AxisBox => {
+                    WeightedInstance::<D>::ball(vec![], 1.0)
+                }
+            };
+            match solver.solve(&wrong) {
+                Err(EngineError::UnsupportedShape { solver, .. }) => {
+                    assert_eq!(solver, descriptor.name);
+                }
+                other => panic!("{}: expected UnsupportedShape, got {other:?}", descriptor.name),
+            }
+        }
+    }
+    fn check_colored<const D: usize>(registry: &Registry) {
+        for solver in registry.colored_solvers::<D>() {
+            let descriptor = solver.descriptor();
+            let wrong = match descriptor.shape {
+                maxrs::core::engine::ShapeClass::Ball => {
+                    ColoredInstance::<D>::axis_box(vec![], [1.0; D])
+                }
+                maxrs::core::engine::ShapeClass::AxisBox => ColoredInstance::<D>::ball(vec![], 1.0),
+            };
+            match solver.solve(&wrong) {
+                Err(EngineError::UnsupportedShape { solver, .. }) => {
+                    assert_eq!(solver, descriptor.name);
+                }
+                other => panic!("{}: expected UnsupportedShape, got {other:?}", descriptor.name),
+            }
+        }
+    }
+    check_weighted::<1>(&registry);
+    check_weighted::<2>(&registry);
+    check_colored::<2>(&registry);
+}
+
+/// Error-path contract, dimension axis: a fixed-dimension solver is
+/// unreachable through the registry in any other dimension, and dispatching
+/// one directly in the wrong dimension yields `UnsupportedDimension` rather
+/// than a panic.
+#[test]
+fn dimension_mismatches_are_typed_not_panics() {
+    let registry = engine::registry();
+    for d in registry.descriptors() {
+        if let maxrs::core::engine::DimSupport::Fixed(only) = d.dims {
+            // d = 3 is supported by no fixed-dimension solver, and the other
+            // fixed dimensions must not leak into each other.
+            match d.problem {
+                maxrs::core::engine::ProblemKind::Weighted => {
+                    assert!(registry.weighted::<3>(d.name).is_none(), "{}", d.name);
+                    if only != 1 {
+                        assert!(registry.weighted::<1>(d.name).is_none(), "{}", d.name);
+                    }
+                }
+                maxrs::core::engine::ProblemKind::Colored => {
+                    assert!(registry.colored::<3>(d.name).is_none(), "{}", d.name);
+                    if only != 2 {
+                        assert!(registry.colored::<2>(d.name).is_none(), "{}", d.name);
+                    }
+                }
+            }
+        }
+    }
+    // Direct dispatch in the wrong dimension (bypassing registry lookup).
+    use maxrs::core::engine::{ExactDiskSolver, ExactIntervalSolver, WeightedSolver};
+    let line = WeightedInstance::<1>::ball(vec![], 1.0);
+    assert!(matches!(
+        WeightedSolver::<1>::solve(&ExactDiskSolver, &line),
+        Err(EngineError::UnsupportedDimension { solver: "exact-disk-2d", dim: 1 })
+    ));
+    let planar = WeightedInstance::<2>::ball(vec![], 1.0);
+    assert!(matches!(
+        WeightedSolver::<2>::solve(&ExactIntervalSolver, &planar),
+        Err(EngineError::UnsupportedDimension { solver: "exact-interval-1d", dim: 2 })
+    ));
+}
+
+/// Error-path contract, weight-sign axis: every registered weighted solver
+/// either declares `negative_weights` support (the Section 5 interval
+/// solvers, which must then solve such instances) or refuses them with
+/// `EngineError::NegativeWeights` naming itself.
+#[test]
+fn negative_weights_are_accepted_or_refused_per_descriptor() {
+    let registry = engine::registry();
+
+    fn check<const D: usize>(registry: &Registry) {
+        for solver in registry.weighted_solvers::<D>() {
+            let descriptor = solver.descriptor();
+            let mut negative = Point::<D>::origin();
+            negative[0] = 0.5;
+            let points = vec![
+                WeightedPoint::new(Point::<D>::origin(), 2.0),
+                WeightedPoint::new(negative, -1.0),
+            ];
+            let instance = match descriptor.shape {
+                maxrs::core::engine::ShapeClass::Ball => WeightedInstance::<D>::ball(points, 1.0),
+                maxrs::core::engine::ShapeClass::AxisBox => {
+                    WeightedInstance::<D>::axis_box(points, [1.0; D])
+                }
+            };
+            if descriptor.negative_weights {
+                let report = solver
+                    .solve(&instance)
+                    .unwrap_or_else(|e| panic!("{} must accept negatives: {e}", descriptor.name));
+                // The optimum dodges the negative point entirely in 1-D.
+                assert!(report.placement.value >= 2.0, "{}", descriptor.name);
+            } else {
+                match solver.solve(&instance) {
+                    Err(EngineError::NegativeWeights { solver }) => {
+                        assert_eq!(solver, descriptor.name);
+                    }
+                    other => {
+                        panic!("{}: expected NegativeWeights, got {other:?}", descriptor.name)
+                    }
+                }
+            }
+        }
+    }
+    check::<1>(&registry);
+    check::<2>(&registry);
+}
+
+/// The batch layer surfaces the same typed errors per query: an unknown
+/// solver name or a shape mismatch fails that answer alone while the rest
+/// of the batch proceeds.
+#[test]
+fn batch_executor_fails_individual_queries_with_typed_errors() {
+    let registry = engine::registry();
+    let request = BatchRequest::over_points(weighted_points())
+        .with_query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0)))
+        .with_query(BatchQuery::weighted("exact-disk-2d", RangeShape::rect(1.0, 1.0)))
+        .with_query(BatchQuery::weighted("not-a-solver", RangeShape::ball(1.0)))
+        .with_query(BatchQuery::colored("exact-disk-2d", RangeShape::ball(1.0)));
+    let report = BatchExecutor::new(&registry).execute(&request);
+    assert_eq!(report.weighted(0).unwrap().placement.value, 4.0);
+    assert!(matches!(
+        report.answers[1].error(),
+        Some(EngineError::UnsupportedShape { solver: "exact-disk-2d", .. })
+    ));
+    assert!(matches!(
+        report.answers[2].error(),
+        Some(EngineError::UnknownSolver { name }) if name == "not-a-solver"
+    ));
+    // A weighted solver name is unknown to the *colored* side of the registry.
+    assert!(matches!(report.answers[3].error(), Some(EngineError::UnknownSolver { .. })));
+    assert_eq!(report.stats.failed, 3);
+    assert_eq!(report.stats.certified, 1);
+}
+
 #[test]
 fn registry_descriptor_listing_is_consistent_with_dispatch() {
     let registry = engine::registry();
