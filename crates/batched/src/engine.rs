@@ -146,6 +146,18 @@ pub fn register(registry: &mut Registry) {
     registry.register_weighted::<1>(Arc::new(BatchedIntervalSolver));
 }
 
+/// The full workspace registry under `config`: the `mrs_core` built-ins
+/// plus everything this crate contributes.  This is THE one place the
+/// "fully wired" solver set is defined — the `maxrs` facade
+/// (`engine::registry_with`) and the `mrs_server` query service both
+/// delegate here, so the CLI and the server can never drift apart on which
+/// solvers exist.
+pub fn full_registry(config: mrs_core::engine::EngineConfig) -> Registry {
+    let mut registry = Registry::with_config(config);
+    register(&mut registry);
+    registry
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

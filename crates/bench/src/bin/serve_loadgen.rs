@@ -1,0 +1,474 @@
+//! Open-loop load generator for `maxrs serve`, and the emitter of the
+//! committed serving baseline (`BENCH_serve.json`).
+//!
+//! Run the server first, then:
+//!
+//! ```text
+//! cargo run --release -p mrs-bench --bin serve_loadgen -- \
+//!     --addr 127.0.0.1:7070 [--smoke] [--out BENCH_serve.json] \
+//!     [--n POINTS] [--requests Q] [--pool P] [--seed S]
+//! ```
+//!
+//! The driver measures the three serving regimes on one canonical query —
+//! a fixed-length interval MaxRS over a 1-D dataset, answered by the
+//! paper's Theorem 1.3 batched solver (exact, `index-shared`):
+//!
+//! * **cold one-shot** — the full per-invocation pipeline a one-shot
+//!   `maxrs` run pays, re-done in process (CSV parse + fresh registry +
+//!   fresh index + sorted-line build + solve + certify).  No process spawn
+//!   is included, so the recorded cold/warm ratio *understates* the real
+//!   CLI gap.
+//! * **warm index** — `POST /query` with `"cache": false` against the
+//!   resident dataset: the catalog-owned sorted event list is already
+//!   built, so only the per-query scan runs.
+//! * **cache hit** — the same `POST /query` with caching on: the solver is
+//!   skipped entirely.
+//!
+//! It then fires a mixed open-loop workload (planar rectangle + colored
+//! disk + 1-D interval queries, Zipfian reuse over a query pool, one
+//! keep-alive connection) and records total QPS plus the server's own
+//! `/stats` counters.  Exit code is non-zero if any response is non-2xx,
+//! any answer is uncertified, or any other checked invariant fails.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use mrs_core::engine::{
+    BatchExecutor, BatchQuery, BatchRequest, EngineConfig, LatencySummary, RangeShape,
+};
+use mrs_server::service::latency_json;
+use mrs_server::{full_registry, Client, Json};
+use rand::prelude::*;
+
+struct Config {
+    addr: String,
+    smoke: bool,
+    out: Option<String>,
+    /// Points in the 1-D canonical dataset (the planar mixed dataset gets
+    /// a tenth of this).
+    n: usize,
+    requests: usize,
+    pool: usize,
+    seed: u64,
+}
+
+fn flag_value(args: &[String], i: usize, name: &str) -> Result<String, String> {
+    args.get(i + 1).cloned().ok_or_else(|| format!("{name} requires a value"))
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut config = Config {
+        addr: "127.0.0.1:7070".to_string(),
+        smoke: false,
+        out: None,
+        n: 0,
+        requests: 0,
+        pool: 64,
+        seed: 2025,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut n = None;
+    let mut requests = None;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                config.smoke = true;
+                i += 1;
+            }
+            "--addr" => {
+                config.addr = flag_value(&args, i, "--addr")?;
+                i += 2;
+            }
+            "--out" => {
+                config.out = Some(flag_value(&args, i, "--out")?);
+                i += 2;
+            }
+            "--n" => {
+                n = Some(flag_value(&args, i, "--n")?.parse().map_err(|_| "--n: invalid count")?);
+                i += 2;
+            }
+            "--requests" => {
+                requests = Some(
+                    flag_value(&args, i, "--requests")?
+                        .parse()
+                        .map_err(|_| "--requests: invalid count")?,
+                );
+                i += 2;
+            }
+            "--pool" => {
+                config.pool =
+                    flag_value(&args, i, "--pool")?.parse().map_err(|_| "--pool: invalid count")?;
+                i += 2;
+            }
+            "--seed" => {
+                config.seed =
+                    flag_value(&args, i, "--seed")?.parse().map_err(|_| "--seed: invalid seed")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    config.n = n.unwrap_or(if config.smoke { 50_000 } else { 400_000 });
+    config.requests = requests.unwrap_or(if config.smoke { 300 } else { 2_000 });
+    Ok(config)
+}
+
+/// The 1-D canonical dataset: clustered weighted events on a line,
+/// rendered as `x,weight` CSV.
+fn line_csv(n: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let extent = 1_000.0;
+    let centers: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..extent)).collect();
+    let mut csv = String::with_capacity(n * 16);
+    for _ in 0..n {
+        let c = centers[rng.gen_range(0..centers.len())];
+        let x = c + rng.gen_range(-15.0..15.0);
+        let weight = rng.gen_range(0.5..3.0);
+        csv.push_str(&format!("{x:.5},{weight:.3}\n"));
+    }
+    csv
+}
+
+/// The planar mixed-workload dataset: clustered weighted+colored points,
+/// rendered as batch CSV (`x,y,weight,color`).
+fn planar_csv(n: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2D);
+    let extent = 100.0;
+    let centers: Vec<(f64, f64)> =
+        (0..12).map(|_| (rng.gen_range(0.0..extent), rng.gen_range(0.0..extent))).collect();
+    let mut csv = String::with_capacity(n * 24);
+    for i in 0..n {
+        let (cx, cy) = centers[rng.gen_range(0..centers.len())];
+        let x = cx + rng.gen_range(-3.0..3.0);
+        let y = cy + rng.gen_range(-3.0..3.0);
+        let weight = rng.gen_range(0.5..3.0);
+        csv.push_str(&format!("{x:.4},{y:.4},{weight:.3},{}\n", i % 50));
+    }
+    csv
+}
+
+/// The canonical single query all three regimes are measured on: an
+/// interval of this length over the 1-D dataset, exact via Theorem 1.3.
+const CANONICAL_SOLVER: &str = "batched-interval-1d";
+const CANONICAL_LENGTH: f64 = 25.0;
+
+/// The cold one-shot pipeline: parse the CSV, build a registry, execute the
+/// canonical query over a fresh (per-call) index with certification on —
+/// everything a one-shot invocation redoes per query.
+fn cold_one_shot(csv: &str) -> (Duration, f64) {
+    let started = Instant::now();
+    let points = mrs_core::input::parse_line_csv(csv).expect("generated CSV parses");
+    let registry = full_registry(EngineConfig::practical(0.25));
+    let request = BatchRequest::<1>::over_points(points).with_query(BatchQuery::weighted(
+        CANONICAL_SOLVER,
+        RangeShape::ball(CANONICAL_LENGTH / 2.0),
+    ));
+    let report = BatchExecutor::new(&registry).execute(&request);
+    assert!(report.all_ok(), "cold one-shot query must succeed");
+    assert_eq!(report.stats.certify_failures, 0, "cold one-shot must certify");
+    let value = report.weighted(0).expect("weighted answer").placement.value;
+    (started.elapsed(), value)
+}
+
+/// One measured request; returns (elapsed, status, body).
+fn timed(client: &mut Client, path: &str, body: &str) -> (Duration, u16, String) {
+    let started = Instant::now();
+    let (status, response) = client.post(path, body).expect("request I/O");
+    (started.elapsed(), status, response)
+}
+
+/// Tracks every violation the run saw; the process exits non-zero if any.
+#[derive(Default)]
+struct Violations(Vec<String>);
+
+impl Violations {
+    fn check(&mut self, ok: bool, what: impl Into<String>) {
+        if !ok {
+            let what = what.into();
+            eprintln!("VIOLATION: {what}");
+            self.0.push(what);
+        }
+    }
+}
+
+/// Parses a `/query` response body and checks status + certification.
+fn check_answer(violations: &mut Violations, status: u16, body: &str, context: &str) {
+    violations.check((200..300).contains(&status), format!("{context}: status {status}: {body}"));
+    if let Ok(parsed) = Json::parse(body) {
+        if let Some(answer) = parsed.get("answer") {
+            violations.check(
+                answer.get("certified").and_then(Json::as_bool) == Some(true),
+                format!("{context}: uncertified answer: {body}"),
+            );
+        }
+    } else {
+        violations.check(false, format!("{context}: unparseable body: {body}"));
+    }
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut violations = Violations::default();
+
+    // 0. The server must be up.
+    let mut client = match Client::connect(config.addr.as_str()) {
+        Ok(client) => client,
+        Err(error) => {
+            eprintln!("error: cannot connect to {}: {error}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let (status, _) = client.get("/healthz").expect("healthz I/O");
+    if status != 200 {
+        eprintln!("error: /healthz answered {status}");
+        return ExitCode::FAILURE;
+    }
+
+    // 1. The datasets, and the cold one-shot baseline (best of 3).
+    // The planar mixed-workload dataset is capped: its colored-disk queries
+    // are output-sensitive in the number of sites, and the mixed phase
+    // measures caching and solver mix, not planar scaling.
+    let planar_n = (config.n / 10).min(10_000);
+    eprintln!("generating {} line points + {planar_n} planar points...", config.n);
+    let line = line_csv(config.n, config.seed);
+    let planar = planar_csv(planar_n, config.seed);
+    let mut cold = Duration::MAX;
+    let mut cold_value = 0.0;
+    for _ in 0..3 {
+        let (elapsed, value) = cold_one_shot(&line);
+        if elapsed < cold {
+            cold = elapsed;
+            cold_value = value;
+        }
+    }
+    eprintln!("cold one-shot: {:.2} ms (value {cold_value:.3})", cold.as_secs_f64() * 1e3);
+
+    // 2. Upload both datasets.
+    let (upload, status, body) = timed(&mut client, "/datasets/loadgen1d?dim=1", &line);
+    violations.check(status == 200, format!("1-D upload: status {status}: {body}"));
+    let (_, status, body) = timed(&mut client, "/datasets/loadgen", &planar);
+    violations.check(status == 200, format!("planar upload: status {status}: {body}"));
+    eprintln!("upload (1-D): {:.2} ms", upload.as_secs_f64() * 1e3);
+
+    // 3. Warm-index latency: cache bypassed, index resident.  The first
+    // request warms the sorted line; the repeats are the measurement.
+    let warm_body = format!(
+        r#"{{"dataset":"loadgen1d","solver":"{CANONICAL_SOLVER}","shape":{{"interval":{CANONICAL_LENGTH}}},"cache":false}}"#
+    );
+    let (_, status, body) = timed(&mut client, "/query", &warm_body);
+    check_answer(&mut violations, status, &body, "warm-up query");
+    let builds_before = dataset_index_builds(&mut client, "loadgen1d");
+    let mut warm_samples = Vec::new();
+    let mut warm_value = f64::NAN;
+    for i in 0..30 {
+        let (elapsed, status, body) = timed(&mut client, "/query", &warm_body);
+        check_answer(&mut violations, status, &body, &format!("warm query {i}"));
+        warm_samples.push(elapsed);
+        if let Ok(parsed) = Json::parse(&body) {
+            warm_value = parsed
+                .get("answer")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            violations.check(
+                parsed.get("cached").and_then(Json::as_bool) == Some(false),
+                format!("warm query {i} must bypass the cache: {body}"),
+            );
+        }
+    }
+    let builds_after = dataset_index_builds(&mut client, "loadgen1d");
+    violations.check(
+        builds_before == builds_after,
+        format!(
+            "resident index must be built exactly once: builds went {builds_before} → {builds_after}"
+        ),
+    );
+    let warm = LatencySummary::from_durations(&warm_samples);
+
+    // 4. Cache-hit latency: same query with caching on.
+    let hit_body = format!(
+        r#"{{"dataset":"loadgen1d","solver":"{CANONICAL_SOLVER}","shape":{{"interval":{CANONICAL_LENGTH}}}}}"#
+    );
+    let (_, status, body) = timed(&mut client, "/query", &hit_body); // populate
+    check_answer(&mut violations, status, &body, "cache-populate query");
+    let mut hit_samples = Vec::new();
+    for i in 0..30 {
+        let (elapsed, status, body) = timed(&mut client, "/query", &hit_body);
+        check_answer(&mut violations, status, &body, &format!("cache-hit query {i}"));
+        if let Ok(parsed) = Json::parse(&body) {
+            violations.check(
+                parsed.get("cached").and_then(Json::as_bool) == Some(true),
+                format!("cache-hit query {i} must hit: {body}"),
+            );
+        }
+        hit_samples.push(elapsed);
+    }
+    let hits = LatencySummary::from_durations(&hit_samples);
+
+    // 5. Mixed open-loop workload with Zipfian reuse over a query pool.
+    let pool = query_pool(config.pool);
+    let zipf_weights: Vec<f64> =
+        (0..pool.len()).map(|i| 1.0 / ((i + 1) as f64).powf(1.1)).collect();
+    let zipf_total: f64 = zipf_weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xBEEF);
+    let mut mixed_samples = Vec::with_capacity(config.requests);
+    let mixed_started = Instant::now();
+    for i in 0..config.requests {
+        let mut pick = rng.gen_range(0.0..zipf_total);
+        let mut index = 0;
+        for (j, w) in zipf_weights.iter().enumerate() {
+            if pick < *w {
+                index = j;
+                break;
+            }
+            pick -= w;
+        }
+        let (elapsed, status, body) = timed(&mut client, "/query", &pool[index]);
+        check_answer(&mut violations, status, &body, &format!("mixed request {i}"));
+        mixed_samples.push(elapsed);
+    }
+    let mixed_wall = mixed_started.elapsed();
+    let mixed = LatencySummary::from_durations(&mixed_samples);
+    let qps = config.requests as f64 / mixed_wall.as_secs_f64();
+
+    // 6. Server-side counters.
+    let (status, stats_body) = client.get("/stats").expect("stats I/O");
+    violations.check(status == 200, format!("/stats answered {status}"));
+    let stats = Json::parse(&stats_body).expect("stats body parses");
+    let cache = stats.get("cache").expect("stats carries cache counters");
+    let cache_hits = cache.get("hits").and_then(Json::as_f64).unwrap_or(0.0);
+    violations.check(cache_hits > 0.0, "the Zipfian workload must produce cache hits");
+
+    // 7. Verdicts and the baseline artifact.
+    let speedup_warm = cold.as_secs_f64() / warm.p50.as_secs_f64();
+    let speedup_hit = cold.as_secs_f64() / hits.p50.as_secs_f64();
+    violations.check(
+        (warm_value - cold_value).abs() < 1e-9,
+        format!("warm answer {warm_value} must equal cold answer {cold_value} (exact solver)"),
+    );
+    violations.check(
+        speedup_warm >= 5.0,
+        format!("warm-index speedup {speedup_warm:.2}× below the 5× floor"),
+    );
+    violations.check(hits.p50 <= warm.p50, "cache hits must not be slower than warm-index queries");
+
+    eprintln!(
+        "warm-index p50 {:.1} µs ({speedup_warm:.1}× vs cold) | cache-hit p50 {:.1} µs \
+         ({speedup_hit:.1}× vs cold) | mixed {:.0} q/s over {} requests",
+        warm.p50.as_secs_f64() * 1e6,
+        hits.p50.as_secs_f64() * 1e6,
+        qps,
+        config.requests,
+    );
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("serve")),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("n_line".into(), Json::num(config.n as f64)),
+                ("n_planar".into(), Json::num(planar_n as f64)),
+                ("requests".into(), Json::num(config.requests as f64)),
+                ("pool".into(), Json::num(config.pool as f64)),
+                ("seed".into(), Json::num(config.seed as f64)),
+                ("smoke".into(), Json::Bool(config.smoke)),
+            ]),
+        ),
+        (
+            "canonical_query".into(),
+            Json::Obj(vec![
+                ("solver".into(), Json::str(CANONICAL_SOLVER)),
+                ("interval_length".into(), Json::num(CANONICAL_LENGTH)),
+            ]),
+        ),
+        ("cold_one_shot_us".into(), Json::num(cold.as_secs_f64() * 1e6)),
+        ("upload_us".into(), Json::num(upload.as_secs_f64() * 1e6)),
+        ("warm_index".into(), latency_json(&warm)),
+        ("cache_hit".into(), latency_json(&hits)),
+        ("speedup_warm_vs_cold".into(), Json::num(speedup_warm)),
+        ("speedup_cache_hit_vs_cold".into(), Json::num(speedup_hit)),
+        (
+            "mixed".into(),
+            Json::Obj(vec![
+                ("requests".into(), Json::num(config.requests as f64)),
+                ("wall_us".into(), Json::num(mixed_wall.as_secs_f64() * 1e6)),
+                ("qps".into(), Json::num(qps)),
+                ("latency".into(), latency_json(&mixed)),
+            ]),
+        ),
+        ("server_cache".into(), cache.clone()),
+        ("violations".into(), Json::num(violations.0.len() as f64)),
+    ]);
+    if let Some(path) = &config.out {
+        std::fs::write(path, report.render() + "\n").expect("write the baseline file");
+        eprintln!("wrote {path}");
+    } else {
+        println!("{}", report.render());
+    }
+
+    if violations.0.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} violation(s); failing", violations.0.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The named dataset's `index_builds` counter as served by `/stats`.
+fn dataset_index_builds(client: &mut Client, name: &str) -> f64 {
+    let (status, body) = client.get("/stats").expect("stats I/O");
+    assert_eq!(status, 200, "/stats must answer");
+    let stats = Json::parse(&body).expect("stats body parses");
+    stats
+        .get("datasets")
+        .and_then(Json::as_arr)
+        .and_then(|datasets| {
+            datasets.iter().find(|d| d.get("name").and_then(Json::as_str) == Some(name))
+        })
+        .and_then(|d| d.get("index_builds"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("dataset {name} is listed in /stats"))
+}
+
+/// The mixed-solver query pool the Zipfian workload draws from: exact
+/// planar rectangle and colored-rectangle queries over the planar dataset
+/// plus 1-D interval queries (batched and independent) over the line
+/// dataset.  All pool solvers are exact with sub-second solves at the pool's
+/// dataset sizes — the colored *disk* solvers are output-sensitive and blow
+/// past minutes on clustered data at this density, so they are exercised by
+/// the smoke tests instead.
+fn query_pool(size: usize) -> Vec<String> {
+    let mut pool = Vec::with_capacity(size);
+    for i in 0..size {
+        let step = (i / 4) as f64;
+        let body = match i % 4 {
+            0 => format!(
+                r#"{{"dataset":"loadgen1d","solver":"batched-interval-1d","shape":{{"interval":{}}}}}"#,
+                10.0 + step
+            ),
+            1 => format!(
+                r#"{{"dataset":"loadgen","solver":"exact-rect-2d","shape":{{"box":[{},{}]}}}}"#,
+                2.0 + 0.5 * step,
+                1.0 + 0.25 * step
+            ),
+            2 => format!(
+                r#"{{"dataset":"loadgen","solver":"exact-colored-rect-2d","shape":{{"box":[{},{}]}}}}"#,
+                3.0 + 0.25 * step,
+                2.0 + 0.25 * step
+            ),
+            _ => format!(
+                r#"{{"dataset":"loadgen1d","solver":"exact-interval-1d","shape":{{"interval":{}}}}}"#,
+                20.0 + step
+            ),
+        };
+        pool.push(body);
+    }
+    pool
+}

@@ -115,6 +115,18 @@ impl<const D: usize> BatchRequest<D> {
         Self { points: points.into(), sites: sites.into(), queries: Vec::new() }
     }
 
+    /// A request over already-shared point and site sets, without copying
+    /// either (`O(1)`).  This is the resident-dataset path: build the request
+    /// from the same `Arc`s a catalog-owned
+    /// [`SharedIndex`](super::SharedIndex) holds, then answer it with
+    /// [`BatchExecutor::execute_with_index`](super::BatchExecutor::execute_with_index).
+    ///
+    /// The sets are trusted to be finite — they were validated when first
+    /// wrapped (by [`Self::new`] or an instance constructor).
+    pub fn from_shared(points: Arc<[WeightedPoint<D>]>, sites: Arc<[ColoredSite<D>]>) -> Self {
+        Self { points, sites, queries: Vec::new() }
+    }
+
     /// A request over a weighted point set only.
     pub fn over_points(points: Vec<WeightedPoint<D>>) -> Self {
         Self::new(points, Vec::new())
@@ -274,6 +286,70 @@ impl BatchStats {
     }
 }
 
+/// A five-number latency summary over a set of duration samples.
+///
+/// One struct serves every consumer that reports per-query wall time: the
+/// `maxrs batch` CLI summary line, the `mrs_server` `/stats` endpoint (which
+/// serializes one summary per HTTP endpoint), and the `serve_loadgen`
+/// benchmark rows in `BENCH_serve.json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median (50th percentile).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes the samples.  An empty slice yields the all-zero summary
+    /// (`count == 0`), so callers can render it unconditionally.
+    pub fn from_durations(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        // Nearest-rank percentiles: `p95` of 20 samples is the 19th sorted
+        // sample, never an interpolation between two.
+        let rank = |p: f64| {
+            let idx = (p * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Self {
+            count: sorted.len(),
+            min: sorted[0],
+            mean: total / sorted.len() as u32,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let us = |d: Duration| d.as_secs_f64() * 1e6;
+        write!(
+            f,
+            "min {:.1} µs | p50 {:.1} µs | p95 {:.1} µs | max {:.1} µs | mean {:.1} µs",
+            us(self.min),
+            us(self.p50),
+            us(self.p95),
+            us(self.max),
+            us(self.mean),
+        )
+    }
+}
+
 /// The executor's response: one answer per query, in request order, plus
 /// batch statistics.
 #[derive(Clone, Debug)]
@@ -298,6 +374,14 @@ impl<const D: usize> BatchReport<D> {
     /// `true` if every query succeeded.
     pub fn all_ok(&self) -> bool {
         self.answers.iter().all(BatchAnswer::is_ok)
+    }
+
+    /// Per-query solver wall-time summary over the successful answers
+    /// (failures carry no timing and are excluded).
+    pub fn per_query_latency(&self) -> LatencySummary {
+        let samples: Vec<Duration> =
+            self.answers.iter().filter(|a| a.is_ok()).map(BatchAnswer::elapsed).collect();
+        LatencySummary::from_durations(&samples)
     }
 }
 
@@ -327,6 +411,34 @@ mod tests {
         assert!(failed.colored().is_none());
         assert!(failed.error().is_some());
         assert_eq!(failed.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_summary_five_numbers() {
+        let ms = Duration::from_millis;
+        let samples: Vec<Duration> = (1..=20).map(ms).collect();
+        let s = LatencySummary::from_durations(&samples);
+        assert_eq!(s.count, 20);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.max, ms(20));
+        assert_eq!(s.p50, ms(10));
+        assert_eq!(s.p95, ms(19));
+        assert_eq!(s.mean, ms(10) + Duration::from_micros(500));
+        assert_eq!(LatencySummary::from_durations(&[]), LatencySummary::default());
+        let one = LatencySummary::from_durations(&[ms(7)]);
+        assert_eq!((one.min, one.p50, one.p95, one.max), (ms(7), ms(7), ms(7), ms(7)));
+        assert!(format!("{s}").contains("p95"));
+    }
+
+    #[test]
+    fn from_shared_requests_share_the_arcs() {
+        let points: Arc<[WeightedPoint<2>]> =
+            vec![WeightedPoint::unit(Point2::xy(0.0, 0.0))].into();
+        let sites: Arc<[ColoredSite<2>]> = Vec::new().into();
+        let request = BatchRequest::from_shared(Arc::clone(&points), Arc::clone(&sites));
+        assert!(Arc::ptr_eq(&request.shared_points(), &points));
+        assert!(Arc::ptr_eq(&request.shared_sites(), &sites));
+        assert!(request.is_empty());
     }
 
     #[test]

@@ -26,283 +26,17 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use mrs_geom::{ColoredSite, Fenwick, HashGrid, Point, WeightedPoint};
+use mrs_geom::{ColoredSite, Point, WeightedPoint};
 
 use super::batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats};
 use super::instance::{ColoredInstance, RangeShape, WeightedInstance};
 use super::registry::{Registry, SharedColoredSolver, SharedWeightedSolver};
 use super::{EngineError, ProblemKind};
-use crate::exact::interval1d::{LinePoint, SortedLine};
 
-/// The 1-D view of the shared point set: the sorted event list the Section 5
-/// batched solver builds from, plus a Fenwick tree over the sorted weights
-/// for `O(log n)` closed-interval weight queries.
-///
-/// The Fenwick tree deliberately duplicates what `SortedLine`'s prefix array
-/// can answer: it is the *update-capable* form of the same index, so a
-/// future dynamic batch (insertions/deletions between queries) reuses this
-/// structure instead of rebuilding the prefix array per update.
-struct LineIndex {
-    line: SortedLine,
-    /// Per-point weights in sorted-x order (`fenwick.range_sum(i, i)` without
-    /// the log factor), used to classify boundary points during
-    /// certification.
-    weights: Vec<f64>,
-    fenwick: Fenwick,
-}
-
-/// Spatial indexes over one batch's points and sites, each built lazily and
-/// exactly once, then shared by every query (and worker thread) of the batch.
-///
-/// * [`Self::sorted_line`] — the sorted event list of the first coordinate
-///   (the structure behind the Theorem 1.3 batched solver);
-/// * [`Self::interval_weight`] — Fenwick-tree range sums over the sorted
-///   order, `O(log n)` per query;
-/// * [`Self::ball_weight`] / [`Self::ball_distinct`] — hash-grid ball
-///   queries, one grid per distinct radius, `O(local density)` per query.
-pub struct SharedIndex<const D: usize> {
-    points: Arc<[WeightedPoint<D>]>,
-    sites: Arc<[ColoredSite<D>]>,
-    line: OnceLock<LineIndex>,
-    point_grids: Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
-    site_grids: Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
-    coord_scale: OnceLock<f64>,
-    builds: AtomicUsize,
-    build_time: Mutex<Duration>,
-}
-
-impl<const D: usize> SharedIndex<D> {
-    /// An index over the given shared point and site sets.  Nothing is built
-    /// until a query asks for a structure.
-    pub fn new(points: Arc<[WeightedPoint<D>]>, sites: Arc<[ColoredSite<D>]>) -> Self {
-        Self {
-            points,
-            sites,
-            line: OnceLock::new(),
-            point_grids: Mutex::new(HashMap::new()),
-            site_grids: Mutex::new(HashMap::new()),
-            coord_scale: OnceLock::new(),
-            builds: AtomicUsize::new(0),
-            build_time: Mutex::new(Duration::ZERO),
-        }
-    }
-
-    /// Largest absolute coordinate across the indexed points and sites.
-    /// Certification slack scales with this: the rounding carried by a
-    /// reported center is relative to the coordinate magnitude, not to the
-    /// query radius.
-    pub fn coord_scale(&self) -> f64 {
-        *self.coord_scale.get_or_init(|| {
-            let mut scale = 0.0f64;
-            for wp in self.points.iter() {
-                for i in 0..D {
-                    scale = scale.max(wp.point[i].abs());
-                }
-            }
-            for s in self.sites.iter() {
-                for i in 0..D {
-                    scale = scale.max(s.point[i].abs());
-                }
-            }
-            scale
-        })
-    }
-
-    /// The weighted points the index was built over.
-    pub fn points(&self) -> &[WeightedPoint<D>] {
-        &self.points
-    }
-
-    /// The colored sites the index was built over.
-    pub fn sites(&self) -> &[ColoredSite<D>] {
-        &self.sites
-    }
-
-    /// Structures built so far (sorted line and Fenwick tree count once
-    /// each; every distinct-radius hash grid counts once).
-    pub fn builds(&self) -> usize {
-        self.builds.load(Ordering::Relaxed)
-    }
-
-    /// Total wall-clock time spent building structures.
-    pub fn build_time(&self) -> Duration {
-        *self.build_time.lock().expect("build-time lock poisoned")
-    }
-
-    fn record_build(&self, structures: usize, elapsed: Duration) {
-        self.builds.fetch_add(structures, Ordering::Relaxed);
-        *self.build_time.lock().expect("build-time lock poisoned") += elapsed;
-    }
-
-    fn line_index(&self) -> &LineIndex {
-        self.line.get_or_init(|| {
-            let start = Instant::now();
-            let line_points: Vec<LinePoint> =
-                self.points.iter().map(|wp| LinePoint::new(wp.point[0], wp.weight)).collect();
-            let line = SortedLine::new(&line_points);
-            let weights: Vec<f64> = line.prefix().windows(2).map(|w| w[1] - w[0]).collect();
-            let fenwick = Fenwick::from_values(&weights);
-            self.record_build(2, start.elapsed());
-            LineIndex { line, weights, fenwick }
-        })
-    }
-
-    /// The shared sorted event list over the points' first coordinate — the
-    /// build the Section 5 batched interval solver amortizes.  Built on
-    /// first use, meaningful for `D = 1` workloads.
-    pub fn sorted_line(&self) -> &SortedLine {
-        &self.line_index().line
-    }
-
-    /// Total weight of points whose first coordinate lies in the closed
-    /// interval `[lo, hi]`, in `O(log n)` via the shared Fenwick tree.
-    pub fn interval_weight(&self, lo: f64, hi: f64) -> f64 {
-        let index = self.line_index();
-        let xs = index.line.xs();
-        let a = xs.partition_point(|&v| v < lo - 1e-12);
-        let b = xs.partition_point(|&v| v <= hi + 1e-12);
-        if a >= b {
-            0.0
-        } else {
-            index.fenwick.range_sum(a, b - 1)
-        }
-    }
-
-    fn grid_for(
-        &self,
-        grids: &Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
-        radius: f64,
-        coords: impl Fn() -> Vec<Point<D>>,
-    ) -> Arc<HashGrid<D>> {
-        let mut map = grids.lock().expect("grid lock poisoned");
-        if let Some(grid) = map.get(&radius.to_bits()) {
-            return Arc::clone(grid);
-        }
-        let start = Instant::now();
-        let grid = Arc::new(HashGrid::build(radius, &coords()));
-        self.record_build(1, start.elapsed());
-        map.insert(radius.to_bits(), Arc::clone(&grid));
-        grid
-    }
-
-    /// The hash grid over the weighted points at cell side `radius`, built
-    /// once per distinct radius.
-    pub fn point_grid(&self, radius: f64) -> Arc<HashGrid<D>> {
-        self.grid_for(&self.point_grids, radius, || self.points.iter().map(|wp| wp.point).collect())
-    }
-
-    /// The hash grid over the colored sites at cell side `radius`, built
-    /// once per distinct radius.
-    pub fn site_grid(&self, radius: f64) -> Arc<HashGrid<D>> {
-        self.grid_for(&self.site_grids, radius, || self.sites.iter().map(|s| s.point).collect())
-    }
-
-    /// Total weight inside the closed ball of the given radius at `center`,
-    /// answered through the shared per-radius hash grid.
-    pub fn ball_weight(&self, center: &Point<D>, radius: f64) -> f64 {
-        let grid = self.point_grid(radius);
-        let mut total = 0.0;
-        grid.for_each_within(center, radius, |id| total += self.points[id].weight);
-        total
-    }
-
-    /// Distinct colors inside the closed ball of the given radius at
-    /// `center`, answered through the shared per-radius site grid.
-    pub fn ball_distinct(&self, center: &Point<D>, radius: f64) -> usize {
-        let grid = self.site_grid(radius);
-        let mut colors: Vec<usize> = Vec::new();
-        grid.for_each_within(center, radius, |id| colors.push(self.sites[id].color));
-        colors.sort_unstable();
-        colors.dedup();
-        colors.len()
-    }
-
-    /// Lower/upper bounds on the weight in the closed interval `[lo, hi]`
-    /// when endpoint comparisons may be off by `slack`: points deeper than
-    /// `slack` inside count definitely, points within `slack` of an endpoint
-    /// contribute their negative weight to the lower bound and their
-    /// positive weight to the upper bound (correct under mixed-sign
-    /// weights).  This is the certification primitive: a reported center
-    /// carries rounding proportional to the coordinate magnitude, so exact
-    /// boundary membership is not re-decidable.
-    pub fn interval_weight_bounds(&self, lo: f64, hi: f64, slack: f64) -> (f64, f64) {
-        let index = self.line_index();
-        let xs = index.line.xs();
-        let outer_a = xs.partition_point(|&v| v < lo - slack);
-        let outer_b = xs.partition_point(|&v| v <= hi + slack);
-        let inner_a = xs.partition_point(|&v| v < lo + slack).max(outer_a);
-        let inner_b = xs.partition_point(|&v| v <= hi - slack).min(outer_b);
-        let definite =
-            if inner_a < inner_b { index.fenwick.range_sum(inner_a, inner_b - 1) } else { 0.0 };
-        let mut lo_sum = definite;
-        let mut hi_sum = definite;
-        for i in (outer_a..inner_a).chain(inner_b.max(inner_a)..outer_b) {
-            let w = index.weights[i];
-            if w < 0.0 {
-                lo_sum += w;
-            } else {
-                hi_sum += w;
-            }
-        }
-        (lo_sum, hi_sum)
-    }
-
-    /// Lower/upper bounds on the weight inside the closed ball at `center`
-    /// under endpoint slack, through the shared per-radius grid.  See
-    /// [`Self::interval_weight_bounds`] for the contract.
-    pub fn ball_weight_bounds(&self, center: &Point<D>, radius: f64, slack: f64) -> (f64, f64) {
-        let grid = self.point_grid(radius);
-        let r_in = (radius - slack).max(0.0);
-        let mut definite = 0.0;
-        let mut neg = 0.0;
-        let mut pos = 0.0;
-        grid.for_each_within(center, radius + slack, |id| {
-            let wp = &self.points[id];
-            if wp.point.dist_sq(center) <= r_in * r_in {
-                definite += wp.weight;
-            } else if wp.weight < 0.0 {
-                neg += wp.weight;
-            } else {
-                pos += wp.weight;
-            }
-        });
-        (definite + neg, definite + pos)
-    }
-
-    /// Lower/upper bounds on the distinct colors inside the closed ball at
-    /// `center` under endpoint slack, through the shared per-radius site
-    /// grid.
-    pub fn ball_distinct_bounds(
-        &self,
-        center: &Point<D>,
-        radius: f64,
-        slack: f64,
-    ) -> (usize, usize) {
-        let grid = self.site_grid(radius);
-        let r_in = (radius - slack).max(0.0);
-        let mut definite: Vec<usize> = Vec::new();
-        let mut boundary: Vec<usize> = Vec::new();
-        grid.for_each_within(center, radius + slack, |id| {
-            let s = &self.sites[id];
-            if s.point.dist_sq(center) <= r_in * r_in {
-                definite.push(s.color);
-            } else {
-                boundary.push(s.color);
-            }
-        });
-        definite.sort_unstable();
-        definite.dedup();
-        let lo = definite.len();
-        let mut all = definite;
-        all.extend(boundary);
-        all.sort_unstable();
-        all.dedup();
-        (lo, all.len())
-    }
-}
+pub use super::index::SharedIndex;
 
 /// Configuration of a [`BatchExecutor`].
 #[derive(Clone, Copy, Debug)]
@@ -410,10 +144,44 @@ impl<'r> BatchExecutor<'r> {
 
     /// Answers every query of the request.  Individual queries fail with a
     /// typed error in their [`BatchAnswer`]; the batch itself always returns.
+    ///
+    /// The shared index lives exactly as long as this call; use
+    /// [`Self::execute_with_index`] to amortize builds across many calls.
     pub fn execute<const D: usize>(&self, request: &BatchRequest<D>) -> BatchReport<D> {
-        let start = Instant::now();
-        let mut answers: Vec<Option<BatchAnswer<D>>> = vec![None; request.len()];
         let index = SharedIndex::new(request.shared_points(), request.shared_sites());
+        self.execute_with_index(request, &index)
+    }
+
+    /// Answers every query of the request against an externally-owned
+    /// [`SharedIndex`] — the resident-dataset path: a catalog keeps one index
+    /// per dataset, and every request reuses whatever structures earlier
+    /// requests already built.
+    ///
+    /// The index must have been created over the *same shared point and site
+    /// sets* the request carries (clone the request's `Arc`s, or build the
+    /// request from [`SharedIndex::shared_points`] /
+    /// [`SharedIndex::shared_sites`]); this is debug-asserted.  The report's
+    /// [`BatchStats::index_builds`] / [`BatchStats::index_build_time`] count
+    /// only the builds observed *during this call*, so a warmed-up index
+    /// reports zero.  They are before/after snapshots of the index's
+    /// monotone counters: when several calls share one resident index
+    /// concurrently, a build triggered by one call can land in an
+    /// overlapping call's delta too — use [`SharedIndex::builds`] (global,
+    /// exact) for build-exactly-once assertions.
+    pub fn execute_with_index<const D: usize>(
+        &self,
+        request: &BatchRequest<D>,
+        index: &SharedIndex<D>,
+    ) -> BatchReport<D> {
+        debug_assert!(
+            std::ptr::eq(request.points().as_ptr(), index.points().as_ptr())
+                && std::ptr::eq(request.sites().as_ptr(), index.sites().as_ptr()),
+            "execute_with_index: the request must share the index's point/site sets"
+        );
+        let start = Instant::now();
+        let builds_before = index.builds();
+        let build_time_before = index.build_time();
+        let mut answers: Vec<Option<BatchAnswer<D>>> = vec![None; request.len()];
         let tasks = self.plan(request, &mut answers);
 
         let threads = self
@@ -426,7 +194,7 @@ impl<'r> BatchExecutor<'r> {
 
         if threads <= 1 {
             for task in &tasks {
-                for (i, answer) in task.run(&index) {
+                for (i, answer) in task.run(index) {
                     answers[i] = Some(answer);
                 }
             }
@@ -438,7 +206,7 @@ impl<'r> BatchExecutor<'r> {
                     scope.spawn(|| loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(t) else { break };
-                        let results = task.run(&index);
+                        let results = task.run(index);
                         let mut answers = shared_answers.lock().expect("answer lock poisoned");
                         for (i, answer) in results {
                             answers[i] = Some(answer);
@@ -465,10 +233,10 @@ impl<'r> BatchExecutor<'r> {
             ..BatchStats::default()
         };
         if self.config.certify {
-            self.certify(request, &answers, &index, &mut stats);
+            self.certify(request, &answers, index, &mut stats);
         }
-        stats.index_builds = index.builds();
-        stats.index_build_time = index.build_time();
+        stats.index_builds = index.builds() - builds_before;
+        stats.index_build_time = index.build_time().saturating_sub(build_time_before);
         stats.wall = start.elapsed();
         BatchReport { answers, stats }
     }
@@ -572,53 +340,64 @@ impl<'r> BatchExecutor<'r> {
         index: &SharedIndex<D>,
         stats: &mut BatchStats,
     ) {
-        // Boundary membership is only re-decidable up to the rounding the
-        // reported center carries, which is relative to the coordinate
-        // magnitude — not to the query radius.
-        let slack = 1e-9 * (1.0 + index.coord_scale());
         for (query, answer) in request.queries().iter().zip(answers) {
-            let ok = match answer {
-                BatchAnswer::Failed(_) => continue,
-                BatchAnswer::Weighted(report) => {
-                    let center = &report.placement.center;
-                    let (lo, hi) = match query.shape() {
-                        RangeShape::Ball { radius } if D == 1 => index.interval_weight_bounds(
-                            center[0] - radius,
-                            center[0] + radius,
-                            slack,
-                        ),
-                        RangeShape::Ball { radius } => {
-                            index.ball_weight_bounds(center, *radius, slack)
-                        }
-                        RangeShape::AxisBox { extents } => {
-                            box_weight_bounds(request.points(), center, extents, slack)
-                        }
-                    };
-                    let want = report.placement.value;
-                    let tol = 1e-6 * (1.0 + want.abs());
-                    want >= lo - tol && want <= hi + tol
-                }
-                BatchAnswer::Colored(report) => {
-                    let center = &report.placement.center;
-                    let (lo, hi) = match query.shape() {
-                        RangeShape::Ball { radius } => {
-                            index.ball_distinct_bounds(center, *radius, slack)
-                        }
-                        RangeShape::AxisBox { extents } => {
-                            box_distinct_bounds(request.sites(), center, extents, slack)
-                        }
-                    };
-                    let want = report.placement.distinct;
-                    want >= lo && want <= hi
-                }
-            };
-            if ok {
-                stats.certified += 1;
-            } else {
-                stats.certify_failures += 1;
+            match certify_answer(index, query, answer) {
+                None => {}
+                Some(true) => stats.certified += 1,
+                Some(false) => stats.certify_failures += 1,
             }
         }
     }
+}
+
+/// Re-evaluates one answer against the shared index: `Some(true)` when the
+/// reported value lies within the index's recount bounds, `Some(false)` on
+/// a solver-contract violation, `None` for failed answers (nothing to
+/// check).  The index must cover the point/site sets the query ran against;
+/// box queries (which have no shared structure) scan [`SharedIndex::points`]
+/// / [`SharedIndex::sites`] directly.
+///
+/// This is the per-answer form of the executor's batch certification — the
+/// serving layer uses it to stamp each answer individually before caching
+/// it, so one bad answer in a batch cannot mislabel its neighbors.
+pub fn certify_answer<const D: usize>(
+    index: &SharedIndex<D>,
+    query: &BatchQuery<D>,
+    answer: &BatchAnswer<D>,
+) -> Option<bool> {
+    // Boundary membership is only re-decidable up to the rounding the
+    // reported center carries, which is relative to the coordinate
+    // magnitude — not to the query radius.
+    let slack = 1e-9 * (1.0 + index.coord_scale());
+    Some(match answer {
+        BatchAnswer::Failed(_) => return None,
+        BatchAnswer::Weighted(report) => {
+            let center = &report.placement.center;
+            let (lo, hi) = match query.shape() {
+                RangeShape::Ball { radius } if D == 1 => {
+                    index.interval_weight_bounds(center[0] - radius, center[0] + radius, slack)
+                }
+                RangeShape::Ball { radius } => index.ball_weight_bounds(center, *radius, slack),
+                RangeShape::AxisBox { extents } => {
+                    box_weight_bounds(index.points(), center, extents, slack)
+                }
+            };
+            let want = report.placement.value;
+            let tol = 1e-6 * (1.0 + want.abs());
+            want >= lo - tol && want <= hi + tol
+        }
+        BatchAnswer::Colored(report) => {
+            let center = &report.placement.center;
+            let (lo, hi) = match query.shape() {
+                RangeShape::Ball { radius } => index.ball_distinct_bounds(center, *radius, slack),
+                RangeShape::AxisBox { extents } => {
+                    box_distinct_bounds(index.sites(), center, extents, slack)
+                }
+            };
+            let want = report.placement.distinct;
+            want >= lo && want <= hi
+        }
+    })
 }
 
 /// Classifies a point against a slack-widened box: `None` when definitely
@@ -800,34 +579,6 @@ mod tests {
     }
 
     #[test]
-    fn shared_index_structures_are_built_once_per_radius() {
-        let points: Arc<[WeightedPoint<1>]> = (0..64)
-            .map(|i| WeightedPoint::new(Point::new([i as f64 * 0.25]), 1.0 + (i % 3) as f64))
-            .collect::<Vec<_>>()
-            .into();
-        let index = SharedIndex::new(Arc::clone(&points), Vec::new().into());
-        assert_eq!(index.builds(), 0);
-        // The line index (sorted event list + Fenwick) builds once.
-        let total: f64 = points.iter().map(|p| p.weight).sum();
-        assert!((index.interval_weight(-1.0, 1000.0) - total).abs() < 1e-9);
-        assert!(
-            (index.interval_weight(0.0, 0.5) - index.sorted_line().weight_in(0.0, 0.5)).abs()
-                < 1e-12
-        );
-        assert_eq!(index.builds(), 2);
-        // Ball queries build one grid per distinct radius, then reuse it.
-        let _ = index.ball_weight(&Point::new([1.0]), 0.5);
-        let _ = index.ball_weight(&Point::new([2.0]), 0.5);
-        assert_eq!(index.builds(), 3);
-        let _ = index.ball_weight(&Point::new([2.0]), 0.75);
-        assert_eq!(index.builds(), 4);
-        // Fenwick slab and grid ball agree in 1-D.
-        let a = index.interval_weight(1.0, 3.0);
-        let b = index.ball_weight(&Point::new([2.0]), 1.0);
-        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
-    }
-
-    #[test]
     fn certification_survives_large_coordinate_magnitudes() {
         // UTM/timestamp-scale coordinates: the reported center's rounding is
         // relative to ~1e6, far above any radius-relative tolerance.  The
@@ -854,27 +605,6 @@ mod tests {
     }
 
     #[test]
-    fn weight_bounds_handle_boundary_and_signs() {
-        let points: Arc<[WeightedPoint<1>]> = vec![
-            WeightedPoint::new(Point::new([0.0]), 2.0),
-            WeightedPoint::new(Point::new([1.0]), -1.0), // exactly on the hi endpoint
-            WeightedPoint::new(Point::new([2.0]), 4.0),
-        ]
-        .into();
-        let index = SharedIndex::new(Arc::clone(&points), Vec::new().into());
-        let slack = 1e-9;
-        // [0, 1]: the weight-2 point is definite; the -1 point sits on the
-        // boundary, so it widens the bounds downward only.
-        let (lo, hi) = index.interval_weight_bounds(0.0 - 0.5, 1.0, slack);
-        assert!((lo - 1.0).abs() < 1e-9, "{lo}");
-        assert!((hi - 2.0).abs() < 1e-9, "{hi}");
-        // Ball version agrees in 1-D.
-        let (blo, bhi) = index.ball_weight_bounds(&Point::new([0.25]), 0.75, slack);
-        assert!((blo - 1.0).abs() < 1e-9, "{blo}");
-        assert!((bhi - 2.0).abs() < 1e-9, "{bhi}");
-    }
-
-    #[test]
     fn empty_batch_reports_cleanly() {
         let request = BatchRequest::<2>::over_points(Vec::new());
         let registry = registry();
@@ -882,5 +612,38 @@ mod tests {
         assert!(report.answers.is_empty());
         assert!(report.all_ok());
         assert_eq!(report.stats.queries, 0);
+    }
+
+    #[test]
+    fn resident_index_amortizes_builds_across_calls() {
+        // The serving path: one catalog-owned index, many requests.  The
+        // first call builds the radius-1 grid; every later call over the same
+        // shapes reports zero new builds and identical answers.
+        let index = SharedIndex::new(planar_points().into(), planar_sites().into());
+        let mut request = BatchRequest::from_shared(index.shared_points(), index.shared_sites());
+        request.push(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0)));
+        request.push(BatchQuery::colored("output-sensitive-colored-disk", RangeShape::ball(1.0)));
+
+        let registry = registry();
+        let executor = BatchExecutor::new(&registry);
+        let first = executor.execute_with_index(&request, &index);
+        assert!(first.all_ok());
+        assert!(first.stats.index_builds > 0, "first call must build the shared structures");
+        let builds_after_first = index.builds();
+
+        for _ in 0..5 {
+            let again = executor.execute_with_index(&request, &index);
+            assert!(again.all_ok());
+            assert_eq!(again.stats.index_builds, 0, "warm index must not rebuild");
+            assert_eq!(
+                again.weighted(0).unwrap().placement.value,
+                first.weighted(0).unwrap().placement.value
+            );
+            assert_eq!(
+                again.colored(1).unwrap().placement.distinct,
+                first.colored(1).unwrap().placement.distinct
+            );
+        }
+        assert_eq!(index.builds(), builds_after_first, "structures were built exactly once");
     }
 }

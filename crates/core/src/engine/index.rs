@@ -1,0 +1,372 @@
+//! Long-lived shared spatial indexes over one point/site set.
+//!
+//! [`SharedIndex`] started life inside the batch executor, scoped to a single
+//! [`BatchExecutor::execute`](super::BatchExecutor::execute) call.  Promoting
+//! it into its own module gives it an owner-agnostic lifetime: a resident
+//! dataset (the `mrs_server` catalog) can hold one index per dataset, build
+//! each structure exactly once over the dataset's whole lifetime, and hand
+//! the same handle to every request via
+//! [`BatchExecutor::execute_with_index`](super::BatchExecutor::execute_with_index).
+//!
+//! All structures are built lazily and exactly once (interior mutability via
+//! [`OnceLock`] and per-radius grid maps), so the type is safely shared
+//! across worker threads: `SharedIndex<D>` is `Send + Sync` and every public
+//! method takes `&self`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use mrs_geom::{ColoredSite, Fenwick, HashGrid, Point, WeightedPoint};
+
+use crate::exact::interval1d::{LinePoint, SortedLine};
+
+/// The 1-D view of the shared point set: the sorted event list the Section 5
+/// batched solver builds from, plus a Fenwick tree over the sorted weights
+/// for `O(log n)` closed-interval weight queries.
+///
+/// The Fenwick tree deliberately duplicates what `SortedLine`'s prefix array
+/// can answer: it is the *update-capable* form of the same index, so a
+/// future dynamic batch (insertions/deletions between queries) reuses this
+/// structure instead of rebuilding the prefix array per update.
+struct LineIndex {
+    line: SortedLine,
+    /// Per-point weights in sorted-x order (`fenwick.range_sum(i, i)` without
+    /// the log factor), used to classify boundary points during
+    /// certification.
+    weights: Vec<f64>,
+    fenwick: Fenwick,
+}
+
+/// Spatial indexes over one shared point and site set, each built lazily and
+/// exactly once, then reused by every query that runs against the set.
+///
+/// * [`Self::sorted_line`] — the sorted event list of the first coordinate
+///   (the structure behind the Theorem 1.3 batched solver);
+/// * [`Self::interval_weight`] — Fenwick-tree range sums over the sorted
+///   order, `O(log n)` per query;
+/// * [`Self::ball_weight`] / [`Self::ball_distinct`] — hash-grid ball
+///   queries, one grid per distinct radius, `O(local density)` per query.
+///
+/// The index has two lifetimes in practice: the batch executor creates a
+/// fresh one per [`BatchRequest`](super::BatchRequest) (amortization within
+/// one batch), and the `mrs_server` dataset catalog keeps one resident per
+/// dataset (amortization across every request the dataset ever serves).
+pub struct SharedIndex<const D: usize> {
+    points: Arc<[WeightedPoint<D>]>,
+    sites: Arc<[ColoredSite<D>]>,
+    line: OnceLock<LineIndex>,
+    point_grids: Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
+    site_grids: Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
+    coord_scale: OnceLock<f64>,
+    builds: AtomicUsize,
+    build_time: Mutex<Duration>,
+}
+
+impl<const D: usize> SharedIndex<D> {
+    /// An index over the given shared point and site sets.  Nothing is built
+    /// until a query asks for a structure.
+    pub fn new(points: Arc<[WeightedPoint<D>]>, sites: Arc<[ColoredSite<D>]>) -> Self {
+        Self {
+            points,
+            sites,
+            line: OnceLock::new(),
+            point_grids: Mutex::new(HashMap::new()),
+            site_grids: Mutex::new(HashMap::new()),
+            coord_scale: OnceLock::new(),
+            builds: AtomicUsize::new(0),
+            build_time: Mutex::new(Duration::ZERO),
+        }
+    }
+
+    /// Largest absolute coordinate across the indexed points and sites.
+    /// Certification slack scales with this: the rounding carried by a
+    /// reported center is relative to the coordinate magnitude, not to the
+    /// query radius.
+    pub fn coord_scale(&self) -> f64 {
+        *self.coord_scale.get_or_init(|| {
+            let mut scale = 0.0f64;
+            for wp in self.points.iter() {
+                for i in 0..D {
+                    scale = scale.max(wp.point[i].abs());
+                }
+            }
+            for s in self.sites.iter() {
+                for i in 0..D {
+                    scale = scale.max(s.point[i].abs());
+                }
+            }
+            scale
+        })
+    }
+
+    /// The weighted points the index was built over.
+    pub fn points(&self) -> &[WeightedPoint<D>] {
+        &self.points
+    }
+
+    /// The colored sites the index was built over.
+    pub fn sites(&self) -> &[ColoredSite<D>] {
+        &self.sites
+    }
+
+    /// The shared handle to the indexed point set (`O(1)` to clone).  Request
+    /// builders use this to guarantee they query the exact set the index was
+    /// built over.
+    pub fn shared_points(&self) -> Arc<[WeightedPoint<D>]> {
+        Arc::clone(&self.points)
+    }
+
+    /// The shared handle to the indexed site set (`O(1)` to clone).
+    pub fn shared_sites(&self) -> Arc<[ColoredSite<D>]> {
+        Arc::clone(&self.sites)
+    }
+
+    /// Structures built so far (sorted line and Fenwick tree count once
+    /// each; every distinct-radius hash grid counts once).  Monotone over the
+    /// index's lifetime — a resident index that has warmed up stops counting.
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock time spent building structures.
+    pub fn build_time(&self) -> Duration {
+        *self.build_time.lock().expect("build-time lock poisoned")
+    }
+
+    fn record_build(&self, structures: usize, elapsed: Duration) {
+        self.builds.fetch_add(structures, Ordering::Relaxed);
+        *self.build_time.lock().expect("build-time lock poisoned") += elapsed;
+    }
+
+    fn line_index(&self) -> &LineIndex {
+        self.line.get_or_init(|| {
+            let start = Instant::now();
+            let line_points: Vec<LinePoint> =
+                self.points.iter().map(|wp| LinePoint::new(wp.point[0], wp.weight)).collect();
+            let line = SortedLine::new(&line_points);
+            let weights: Vec<f64> = line.prefix().windows(2).map(|w| w[1] - w[0]).collect();
+            let fenwick = Fenwick::from_values(&weights);
+            self.record_build(2, start.elapsed());
+            LineIndex { line, weights, fenwick }
+        })
+    }
+
+    /// The shared sorted event list over the points' first coordinate — the
+    /// build the Section 5 batched interval solver amortizes.  Built on
+    /// first use, meaningful for `D = 1` workloads.
+    pub fn sorted_line(&self) -> &SortedLine {
+        &self.line_index().line
+    }
+
+    /// Total weight of points whose first coordinate lies in the closed
+    /// interval `[lo, hi]`, in `O(log n)` via the shared Fenwick tree.
+    pub fn interval_weight(&self, lo: f64, hi: f64) -> f64 {
+        let index = self.line_index();
+        let xs = index.line.xs();
+        let a = xs.partition_point(|&v| v < lo - 1e-12);
+        let b = xs.partition_point(|&v| v <= hi + 1e-12);
+        if a >= b {
+            0.0
+        } else {
+            index.fenwick.range_sum(a, b - 1)
+        }
+    }
+
+    fn grid_for(
+        &self,
+        grids: &Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
+        radius: f64,
+        coords: impl Fn() -> Vec<Point<D>>,
+    ) -> Arc<HashGrid<D>> {
+        let mut map = grids.lock().expect("grid lock poisoned");
+        if let Some(grid) = map.get(&radius.to_bits()) {
+            return Arc::clone(grid);
+        }
+        let start = Instant::now();
+        let grid = Arc::new(HashGrid::build(radius, &coords()));
+        self.record_build(1, start.elapsed());
+        map.insert(radius.to_bits(), Arc::clone(&grid));
+        grid
+    }
+
+    /// The hash grid over the weighted points at cell side `radius`, built
+    /// once per distinct radius.
+    pub fn point_grid(&self, radius: f64) -> Arc<HashGrid<D>> {
+        self.grid_for(&self.point_grids, radius, || self.points.iter().map(|wp| wp.point).collect())
+    }
+
+    /// The hash grid over the colored sites at cell side `radius`, built
+    /// once per distinct radius.
+    pub fn site_grid(&self, radius: f64) -> Arc<HashGrid<D>> {
+        self.grid_for(&self.site_grids, radius, || self.sites.iter().map(|s| s.point).collect())
+    }
+
+    /// Total weight inside the closed ball of the given radius at `center`,
+    /// answered through the shared per-radius hash grid.
+    pub fn ball_weight(&self, center: &Point<D>, radius: f64) -> f64 {
+        let grid = self.point_grid(radius);
+        let mut total = 0.0;
+        grid.for_each_within(center, radius, |id| total += self.points[id].weight);
+        total
+    }
+
+    /// Distinct colors inside the closed ball of the given radius at
+    /// `center`, answered through the shared per-radius site grid.
+    pub fn ball_distinct(&self, center: &Point<D>, radius: f64) -> usize {
+        let grid = self.site_grid(radius);
+        let mut colors: Vec<usize> = Vec::new();
+        grid.for_each_within(center, radius, |id| colors.push(self.sites[id].color));
+        colors.sort_unstable();
+        colors.dedup();
+        colors.len()
+    }
+
+    /// Lower/upper bounds on the weight in the closed interval `[lo, hi]`
+    /// when endpoint comparisons may be off by `slack`: points deeper than
+    /// `slack` inside count definitely, points within `slack` of an endpoint
+    /// contribute their negative weight to the lower bound and their
+    /// positive weight to the upper bound (correct under mixed-sign
+    /// weights).  This is the certification primitive: a reported center
+    /// carries rounding proportional to the coordinate magnitude, so exact
+    /// boundary membership is not re-decidable.
+    pub fn interval_weight_bounds(&self, lo: f64, hi: f64, slack: f64) -> (f64, f64) {
+        let index = self.line_index();
+        let xs = index.line.xs();
+        let outer_a = xs.partition_point(|&v| v < lo - slack);
+        let outer_b = xs.partition_point(|&v| v <= hi + slack);
+        let inner_a = xs.partition_point(|&v| v < lo + slack).max(outer_a);
+        let inner_b = xs.partition_point(|&v| v <= hi - slack).min(outer_b);
+        let definite =
+            if inner_a < inner_b { index.fenwick.range_sum(inner_a, inner_b - 1) } else { 0.0 };
+        let mut lo_sum = definite;
+        let mut hi_sum = definite;
+        for i in (outer_a..inner_a).chain(inner_b.max(inner_a)..outer_b) {
+            let w = index.weights[i];
+            if w < 0.0 {
+                lo_sum += w;
+            } else {
+                hi_sum += w;
+            }
+        }
+        (lo_sum, hi_sum)
+    }
+
+    /// Lower/upper bounds on the weight inside the closed ball at `center`
+    /// under endpoint slack, through the shared per-radius grid.  See
+    /// [`Self::interval_weight_bounds`] for the contract.
+    pub fn ball_weight_bounds(&self, center: &Point<D>, radius: f64, slack: f64) -> (f64, f64) {
+        let grid = self.point_grid(radius);
+        let r_in = (radius - slack).max(0.0);
+        let mut definite = 0.0;
+        let mut neg = 0.0;
+        let mut pos = 0.0;
+        grid.for_each_within(center, radius + slack, |id| {
+            let wp = &self.points[id];
+            if wp.point.dist_sq(center) <= r_in * r_in {
+                definite += wp.weight;
+            } else if wp.weight < 0.0 {
+                neg += wp.weight;
+            } else {
+                pos += wp.weight;
+            }
+        });
+        (definite + neg, definite + pos)
+    }
+
+    /// Lower/upper bounds on the distinct colors inside the closed ball at
+    /// `center` under endpoint slack, through the shared per-radius site
+    /// grid.
+    pub fn ball_distinct_bounds(
+        &self,
+        center: &Point<D>,
+        radius: f64,
+        slack: f64,
+    ) -> (usize, usize) {
+        let grid = self.site_grid(radius);
+        let r_in = (radius - slack).max(0.0);
+        let mut definite: Vec<usize> = Vec::new();
+        let mut boundary: Vec<usize> = Vec::new();
+        grid.for_each_within(center, radius + slack, |id| {
+            let s = &self.sites[id];
+            if s.point.dist_sq(center) <= r_in * r_in {
+                definite.push(s.color);
+            } else {
+                boundary.push(s.color);
+            }
+        });
+        definite.sort_unstable();
+        definite.dedup();
+        let lo = definite.len();
+        let mut all = definite;
+        all.extend(boundary);
+        all.sort_unstable();
+        all.dedup();
+        (lo, all.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_index_structures_are_built_once_per_radius() {
+        let points: Arc<[WeightedPoint<1>]> = (0..64)
+            .map(|i| WeightedPoint::new(Point::new([i as f64 * 0.25]), 1.0 + (i % 3) as f64))
+            .collect::<Vec<_>>()
+            .into();
+        let index = SharedIndex::new(Arc::clone(&points), Vec::new().into());
+        assert_eq!(index.builds(), 0);
+        // The line index (sorted event list + Fenwick) builds once.
+        let total: f64 = points.iter().map(|p| p.weight).sum();
+        assert!((index.interval_weight(-1.0, 1000.0) - total).abs() < 1e-9);
+        assert!(
+            (index.interval_weight(0.0, 0.5) - index.sorted_line().weight_in(0.0, 0.5)).abs()
+                < 1e-12
+        );
+        assert_eq!(index.builds(), 2);
+        // Ball queries build one grid per distinct radius, then reuse it.
+        let _ = index.ball_weight(&Point::new([1.0]), 0.5);
+        let _ = index.ball_weight(&Point::new([2.0]), 0.5);
+        assert_eq!(index.builds(), 3);
+        let _ = index.ball_weight(&Point::new([2.0]), 0.75);
+        assert_eq!(index.builds(), 4);
+        // Fenwick slab and grid ball agree in 1-D.
+        let a = index.interval_weight(1.0, 3.0);
+        let b = index.ball_weight(&Point::new([2.0]), 1.0);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn weight_bounds_handle_boundary_and_signs() {
+        let points: Arc<[WeightedPoint<1>]> = vec![
+            WeightedPoint::new(Point::new([0.0]), 2.0),
+            WeightedPoint::new(Point::new([1.0]), -1.0), // exactly on the hi endpoint
+            WeightedPoint::new(Point::new([2.0]), 4.0),
+        ]
+        .into();
+        let index = SharedIndex::new(Arc::clone(&points), Vec::new().into());
+        let slack = 1e-9;
+        // [0, 1]: the weight-2 point is definite; the -1 point sits on the
+        // boundary, so it widens the bounds downward only.
+        let (lo, hi) = index.interval_weight_bounds(0.0 - 0.5, 1.0, slack);
+        assert!((lo - 1.0).abs() < 1e-9, "{lo}");
+        assert!((hi - 2.0).abs() < 1e-9, "{hi}");
+        // Ball version agrees in 1-D.
+        let (blo, bhi) = index.ball_weight_bounds(&Point::new([0.25]), 0.75, slack);
+        assert!((blo - 1.0).abs() < 1e-9, "{blo}");
+        assert!((bhi - 2.0).abs() < 1e-9, "{bhi}");
+    }
+
+    #[test]
+    fn shared_handles_point_at_the_indexed_sets() {
+        let points: Arc<[WeightedPoint<2>]> =
+            vec![WeightedPoint::unit(mrs_geom::Point2::xy(0.0, 0.0))].into();
+        let sites: Arc<[ColoredSite<2>]> = Vec::new().into();
+        let index = SharedIndex::new(Arc::clone(&points), Arc::clone(&sites));
+        assert!(Arc::ptr_eq(&index.shared_points(), &points));
+        assert!(Arc::ptr_eq(&index.shared_sites(), &sites));
+    }
+}

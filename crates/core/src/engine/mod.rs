@@ -40,12 +40,13 @@ mod colored;
 mod convert;
 mod descriptor;
 pub mod executor;
+pub mod index;
 mod instance;
 mod registry;
 mod report;
 mod weighted;
 
-pub use batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats};
+pub use batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats, LatencySummary};
 pub use colored::{
     ColoredBallSolver, ColoredDiskSamplingSolver, ExactColoredDiskEnumSolver,
     ExactColoredDiskUnionSolver, ExactColoredRectSolver, OutputSensitiveColoredDiskSolver,
@@ -54,7 +55,8 @@ pub use convert::{repack_colored_placement, repack_placement, repack_point};
 pub use descriptor::{
     BatchCapability, DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor,
 };
-pub use executor::{BatchExecutor, ExecutorConfig, SharedIndex};
+pub use executor::{certify_answer, BatchExecutor, ExecutorConfig};
+pub use index::SharedIndex;
 pub use instance::{ColoredInstance, RangeShape, WeightedInstance};
 pub use registry::{registry, EngineConfig, Registry, SharedColoredSolver, SharedWeightedSolver};
 pub use report::{Guarantee, SolveStats, SolverReport};

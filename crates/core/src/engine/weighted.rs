@@ -299,7 +299,14 @@ impl<const D: usize> WeightedSolver<D> for DynamicBallSolver {
         for wp in instance.points() {
             tracker.insert(wp.point, wp.weight);
         }
-        let placement = tracker.best().unwrap_or_else(Placement::empty);
+        let mut placement = tracker.best().unwrap_or_else(Placement::empty);
+        if !instance.is_empty() {
+            // Certify the report: the tracker's sampled depth matches the
+            // center's true coverage only up to floating-point boundary ties
+            // (see `approx_static_ball_with_stats`), and the engine contract
+            // is that reported values are exact for the returned center.
+            placement.value = instance.value_at(&placement.center);
+        }
         Ok(SolverReport {
             solver: name,
             placement,

@@ -51,8 +51,16 @@ pub fn approx_static_ball_with_stats<const D: usize>(
         samples_per_cell: set.samples_per_cell(),
     };
     let placement = match set.best() {
-        Some((scaled_center, value)) => {
-            Placement { center: instance.unscale(scaled_center), value }
+        Some((scaled_center, _sampled_depth)) => {
+            let center = instance.unscale(scaled_center);
+            // Report the true covered weight of the chosen center so the
+            // result is a certified placement.  The sampled depth equals it
+            // only up to floating-point boundary ties: samples sit exactly on
+            // dual ball boundaries, and on clustered inputs several input
+            // points can land within the scaled-vs-original rounding window
+            // of the returned ball's boundary (the colored sampler recounts
+            // for the same reason).
+            Placement { center, value: instance.value_at(&center) }
         }
         None => Placement::empty(),
     };

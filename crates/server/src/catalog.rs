@@ -1,0 +1,397 @@
+//! The dataset catalog: named, resident point sets with catalog-owned
+//! shared indexes.
+//!
+//! A one-shot `maxrs` invocation re-reads its CSV and rebuilds every index
+//! per process; the catalog is what makes the service fast instead.  Each
+//! dataset wraps the loaded points/sites in `Arc`s together with one
+//! [`SharedIndex`] that lives as long as the dataset does, so every
+//! structure (sorted event list, Fenwick tree, per-radius hash grids) is
+//! built at most once per dataset lifetime — the amortization the paper's
+//! batched setting (Theorem 1.3) argues for, extended from one batch to the
+//! whole serving process.
+//!
+//! Datasets come in two ambient dimensions: **planar** (`x,y[,weight
+//! [,color]]` CSV, the 2-D solvers) and **line** (`x[,weight]` CSV, the 1-D
+//! solvers — most importantly the index-shared Theorem 1.3 batched interval
+//! solver, which answers every warm query straight off the resident sorted
+//! event list).
+//!
+//! Every (re)load takes a fresh **epoch** from a catalog-global counter.
+//! Epochs are what the answer cache keys on: replacing a dataset bumps its
+//! epoch, so cached answers for the old contents can never be served again.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use mrs_core::engine::{BatchRequest, SharedIndex};
+use mrs_core::input::{self, LoadError};
+
+/// A resident dataset in ambient dimension `D`: shared points/sites plus
+/// their catalog-owned index.
+pub struct DatasetCore<const D: usize> {
+    name: String,
+    epoch: u64,
+    index: SharedIndex<D>,
+    requests: AtomicU64,
+}
+
+impl<const D: usize> DatasetCore<D> {
+    /// The catalog name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The load epoch (unique per catalog load, monotone over time).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The resident shared index (and through it, the points and sites).
+    pub fn index(&self) -> &SharedIndex<D> {
+        &self.index
+    }
+
+    /// Number of weighted points.
+    pub fn point_count(&self) -> usize {
+        self.index.points().len()
+    }
+
+    /// Number of colored sites.
+    pub fn site_count(&self) -> usize {
+        self.index.sites().len()
+    }
+
+    /// Queries answered against this dataset so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Counts `n` more answered queries.
+    pub fn count_requests(&self, n: u64) {
+        self.requests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// An empty batch request over this dataset's shared point/site sets —
+    /// guaranteed to alias the index's own `Arc`s, which is what
+    /// [`BatchExecutor::execute_with_index`] requires.
+    ///
+    /// [`BatchExecutor::execute_with_index`]: mrs_core::engine::BatchExecutor::execute_with_index
+    pub fn request(&self) -> BatchRequest<D> {
+        BatchRequest::from_shared(self.index.shared_points(), self.index.shared_sites())
+    }
+}
+
+/// A resident dataset of either supported ambient dimension.
+pub enum Dataset {
+    /// A planar (`D = 2`) dataset: weighted points and optional colored
+    /// sites.
+    Planar(DatasetCore<2>),
+    /// A line (`D = 1`) dataset: weighted points on the number line.
+    Line(DatasetCore<1>),
+}
+
+impl Dataset {
+    /// The catalog name.
+    pub fn name(&self) -> &str {
+        match self {
+            Dataset::Planar(core) => core.name(),
+            Dataset::Line(core) => core.name(),
+        }
+    }
+
+    /// The ambient dimension (1 or 2).
+    pub fn dim(&self) -> usize {
+        match self {
+            Dataset::Planar(_) => 2,
+            Dataset::Line(_) => 1,
+        }
+    }
+
+    /// The load epoch.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            Dataset::Planar(core) => core.epoch(),
+            Dataset::Line(core) => core.epoch(),
+        }
+    }
+
+    /// Number of weighted points.
+    pub fn point_count(&self) -> usize {
+        match self {
+            Dataset::Planar(core) => core.point_count(),
+            Dataset::Line(core) => core.point_count(),
+        }
+    }
+
+    /// Number of colored sites.
+    pub fn site_count(&self) -> usize {
+        match self {
+            Dataset::Planar(core) => core.site_count(),
+            Dataset::Line(core) => core.site_count(),
+        }
+    }
+
+    /// Queries answered against this dataset so far.
+    pub fn requests(&self) -> u64 {
+        match self {
+            Dataset::Planar(core) => core.requests(),
+            Dataset::Line(core) => core.requests(),
+        }
+    }
+
+    /// Index structures built so far (see [`SharedIndex::builds`]).
+    pub fn index_builds(&self) -> usize {
+        match self {
+            Dataset::Planar(core) => core.index().builds(),
+            Dataset::Line(core) => core.index().builds(),
+        }
+    }
+
+    /// Total time spent building index structures.
+    pub fn index_build_time(&self) -> Duration {
+        match self {
+            Dataset::Planar(core) => core.index().build_time(),
+            Dataset::Line(core) => core.index().build_time(),
+        }
+    }
+
+    /// The planar core, if this is a planar dataset.
+    pub fn as_planar(&self) -> Option<&DatasetCore<2>> {
+        match self {
+            Dataset::Planar(core) => Some(core),
+            Dataset::Line(_) => None,
+        }
+    }
+
+    /// The line core, if this is a line dataset.
+    pub fn as_line(&self) -> Option<&DatasetCore<1>> {
+        match self {
+            Dataset::Line(core) => Some(core),
+            Dataset::Planar(_) => None,
+        }
+    }
+}
+
+/// Why a dataset could not be registered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The dataset name contains characters outside `[A-Za-z0-9._-]` (it
+    /// appears in URL paths) or is empty.
+    BadName {
+        /// The offending name.
+        name: String,
+    },
+    /// The CSV text did not parse.
+    Load(LoadError),
+    /// The CSV parsed but held no points at all.
+    Empty,
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::BadName { name } => {
+                write!(f, "invalid dataset name `{name}` (use [A-Za-z0-9._-]+)")
+            }
+            CatalogError::Load(e) => write!(f, "{e}"),
+            CatalogError::Empty => write!(f, "dataset holds no points"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<LoadError> for CatalogError {
+    fn from(e: LoadError) -> Self {
+        CatalogError::Load(e)
+    }
+}
+
+/// `true` for names safe to appear in `/datasets/{name}` URLs.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b"._-".contains(&b))
+}
+
+/// The catalog: named datasets behind one `RwLock`d map (reads vastly
+/// outnumber loads) and the global epoch counter.
+pub struct Catalog {
+    datasets: RwLock<BTreeMap<String, Arc<Dataset>>>,
+    next_epoch: AtomicU64,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog.  Epochs start at 1 so `0` can mean "no epoch".
+    pub fn new() -> Self {
+        Self { datasets: RwLock::new(BTreeMap::new()), next_epoch: AtomicU64::new(1) }
+    }
+
+    fn insert(&self, name: &str, dataset: Dataset) -> Arc<Dataset> {
+        let dataset = Arc::new(dataset);
+        self.datasets
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name.to_string(), Arc::clone(&dataset));
+        dataset
+    }
+
+    fn next_epoch(&self) -> u64 {
+        self.next_epoch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Loads (or replaces) the named planar dataset from batch CSV text
+    /// (`x,y[,weight[,color]]` records — see
+    /// [`mrs_core::input::parse_point_set_csv`]).  Replacement bumps the
+    /// epoch; in-flight requests against the old `Arc`s finish safely on
+    /// the old contents.
+    pub fn load_planar_csv(&self, name: &str, csv: &str) -> Result<Arc<Dataset>, CatalogError> {
+        if !valid_name(name) {
+            return Err(CatalogError::BadName { name: name.to_string() });
+        }
+        let set = input::parse_point_set_csv(csv)?;
+        if set.points.is_empty() {
+            return Err(CatalogError::Empty);
+        }
+        Ok(self.insert(
+            name,
+            Dataset::Planar(DatasetCore {
+                name: name.to_string(),
+                epoch: self.next_epoch(),
+                index: SharedIndex::new(set.points.into(), set.sites.into()),
+                requests: AtomicU64::new(0),
+            }),
+        ))
+    }
+
+    /// Loads (or replaces) the named line dataset from 1-D CSV text
+    /// (`x[,weight]` records — see [`mrs_core::input::parse_line_csv`]).
+    pub fn load_line_csv(&self, name: &str, csv: &str) -> Result<Arc<Dataset>, CatalogError> {
+        if !valid_name(name) {
+            return Err(CatalogError::BadName { name: name.to_string() });
+        }
+        let points = input::parse_line_csv(csv)?;
+        if points.is_empty() {
+            return Err(CatalogError::Empty);
+        }
+        Ok(self.insert(
+            name,
+            Dataset::Line(DatasetCore {
+                name: name.to_string(),
+                epoch: self.next_epoch(),
+                index: SharedIndex::new(points.into(), Vec::new().into()),
+                requests: AtomicU64::new(0),
+            }),
+        ))
+    }
+
+    /// The named dataset, if loaded.
+    pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.datasets.read().expect("catalog lock poisoned").get(name).cloned()
+    }
+
+    /// Every resident dataset, in name order.
+    pub fn datasets(&self) -> Vec<Arc<Dataset>> {
+        self.datasets.read().expect("catalog lock poisoned").values().cloned().collect()
+    }
+
+    /// Number of resident datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.read().expect("catalog lock poisoned").len()
+    }
+
+    /// `true` when nothing is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_core::input::LoadErrorKind;
+
+    #[test]
+    fn load_get_and_replace_bump_epochs() {
+        let catalog = Catalog::new();
+        assert!(catalog.is_empty());
+        let first = catalog.load_planar_csv("demo", "0,0\n1,1,2.5\n2,2,1,7\n").unwrap();
+        assert_eq!(first.name(), "demo");
+        assert_eq!(first.dim(), 2);
+        assert_eq!(first.point_count(), 3);
+        assert_eq!(first.site_count(), 1);
+        assert_eq!(first.requests(), 0);
+        let fetched = catalog.get("demo").unwrap();
+        assert_eq!(fetched.epoch(), first.epoch());
+        assert!(catalog.get("nope").is_none());
+
+        let second = catalog.load_planar_csv("demo", "5,5\n").unwrap();
+        assert!(second.epoch() > first.epoch(), "reload must bump the epoch");
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.get("demo").unwrap().point_count(), 1);
+        // The replaced dataset's Arcs stay valid for in-flight requests.
+        assert_eq!(first.point_count(), 3);
+    }
+
+    #[test]
+    fn line_datasets_live_alongside_planar_ones() {
+        let catalog = Catalog::new();
+        let line = catalog.load_line_csv("ticks", "0\n1,2\n5.5\n").unwrap();
+        assert_eq!(line.dim(), 1);
+        assert_eq!(line.point_count(), 3);
+        assert_eq!(line.site_count(), 0);
+        assert!(line.as_line().is_some());
+        assert!(line.as_planar().is_none());
+        let planar = catalog.load_planar_csv("map", "0,0\n").unwrap();
+        assert!(planar.as_planar().is_some());
+        assert_eq!(catalog.len(), 2);
+        // A line dataset can be replaced by a planar one under the same name.
+        let swapped = catalog.load_planar_csv("ticks", "1,1\n").unwrap();
+        assert_eq!(swapped.dim(), 2);
+        assert!(swapped.epoch() > line.epoch());
+        assert!(catalog.load_line_csv("bad", "1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn requests_share_the_index_arcs() {
+        let catalog = Catalog::new();
+        let dataset = catalog.load_planar_csv("d", "0,0\n").unwrap();
+        let core = dataset.as_planar().unwrap();
+        let request = core.request();
+        assert!(Arc::ptr_eq(&request.shared_points(), &core.index().shared_points()));
+        assert!(Arc::ptr_eq(&request.shared_sites(), &core.index().shared_sites()));
+    }
+
+    #[test]
+    fn rejects_bad_names_and_bad_csv() {
+        let catalog = Catalog::new();
+        for bad in ["", "a b", "über", "x/y", &"n".repeat(129)] {
+            assert!(
+                matches!(catalog.load_planar_csv(bad, "0,0\n"), Err(CatalogError::BadName { .. })),
+                "{bad:?}"
+            );
+        }
+        assert!(valid_name("taxi_2024.v1-final"));
+        assert!(matches!(
+            catalog.load_planar_csv("d", "not,a,number,set,at,all\n"),
+            Err(CatalogError::Load(_))
+        ));
+        assert!(matches!(
+            catalog.load_planar_csv("d", "# only comments\n"),
+            Err(CatalogError::Empty)
+        ));
+        assert!(matches!(catalog.load_line_csv("d", "\n"), Err(CatalogError::Empty)));
+        let rendered =
+            CatalogError::Load(LoadError { line: 3, kind: LoadErrorKind::NegativeWeight })
+                .to_string();
+        assert!(rendered.contains("line 3"), "{rendered}");
+    }
+}

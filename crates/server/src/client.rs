@@ -1,0 +1,86 @@
+//! A tiny blocking HTTP/1.1 client for the service's own tests and the
+//! `serve_loadgen` benchmark driver.  Keep-alive by default: one [`Client`]
+//! holds one connection and issues requests sequentially on it, which is
+//! exactly the shape an open-loop load generator needs.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A persistent connection to one server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to the address (e.g. `127.0.0.1:7070` or a `SocketAddr`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let addr: SocketAddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: stream })
+    }
+
+    /// Issues one request and reads the full response.  Returns the status
+    /// code and the body as text.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: mrs\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    /// `POST path` with a body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let status_line = self.read_line()?;
+        let status: u16 =
+            status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(
+                || io::Error::new(io::ErrorKind::InvalidData, format!("bad status: {status_line}")),
+            )?;
+        let mut length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        Ok((status, body))
+    }
+}

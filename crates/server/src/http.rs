@@ -1,0 +1,379 @@
+//! A hand-rolled HTTP/1.1 subset: enough to parse the requests the service
+//! routes and to write well-formed responses, with hard limits on header and
+//! body sizes so a misbehaving client cannot balloon memory.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, keep-alive
+//! (the HTTP/1.1 default) and `Connection: close`.  Not supported (and
+//! rejected cleanly): chunked transfer encoding, upgrades, HTTP/2.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 16 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+/// Largest accepted request body (dataset uploads are CSV text; 64 MB is
+/// roughly twenty million points).
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, ...), uppercased by the client.
+    pub method: String,
+    /// The request target path, e.g. `/datasets/taxi`.
+    pub target: String,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of the named header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// `true` if the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The body as UTF-8 text, if it is valid UTF-8.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why a request could not be parsed.  Carries the HTTP status the server
+/// should answer with before closing the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// The status code to respond with (400, 413 or 431).
+    pub status: u16,
+    /// A short human-readable reason.
+    pub message: &'static str,
+}
+
+/// The outcome of reading one request off a connection.
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly before sending a request.
+    Closed,
+    /// The bytes on the wire were not an acceptable request.
+    Bad(ParseError),
+}
+
+fn bad(status: u16, message: &'static str) -> ReadOutcome {
+    ReadOutcome::Bad(ParseError { status, message })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, enforcing [`MAX_LINE`].
+/// `Ok(None)` means EOF before any byte of the line.
+///
+/// Timeout errors (the socket's short idle-poll read timeout) propagate
+/// immediately only when `idle_start` is set and no byte has arrived yet —
+/// that is the caller's "connection is idle" signal.  Once any byte of the
+/// line has been read (or for header lines, which only exist mid-request),
+/// timeouts are retried until the *request-wide* `deadline` — one budget
+/// for the whole request, not per line, so a client trickling one header
+/// every few seconds cannot pin a worker past [`MID_REQUEST_PATIENCE`].
+fn read_line(
+    reader: &mut impl BufRead,
+    idle_start: bool,
+    deadline: std::time::Instant,
+) -> io::Result<Option<Result<String, ParseError>>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = match io::Read::read(reader, &mut byte) {
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if line.is_empty() && idle_start {
+                    // Genuinely idle: surface the raw timeout kind, which is
+                    // the caller's "poll the shutdown flag" signal.
+                    return Err(e);
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(mid_request_timeout());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Ok(if line.is_empty() {
+                None
+            } else {
+                Some(Err(ParseError { status: 400, message: "truncated request line" }))
+            });
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(String::from_utf8(line).map_err(|_| ParseError {
+                status: 400,
+                message: "request line is not valid UTF-8",
+            })));
+        }
+        if line.len() >= MAX_LINE {
+            return Ok(Some(Err(ParseError { status: 431, message: "header line too long" })));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Reads one request from the stream.  I/O errors bubble up; protocol
+/// errors come back as [`ReadOutcome::Bad`] so the caller can answer with
+/// the right status before closing.
+///
+/// `continue_to`: where to write an interim `100 Continue` when the client
+/// sent `Expect: 100-continue` (curl does for large uploads, then stalls up
+/// to a second waiting for it).  Pass a sink to suppress.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    continue_to: &mut impl Write,
+) -> io::Result<ReadOutcome> {
+    // One stall budget for the WHOLE request (request line + headers +
+    // body).  It starts ticking here — before the first byte — but an idle
+    // connection exits immediately through the `idle_start` path below, so
+    // in practice the budget covers the transfer itself.
+    let deadline = std::time::Instant::now() + MID_REQUEST_PATIENCE;
+    let request_line = match read_line(reader, true, deadline)? {
+        None => return Ok(ReadOutcome::Closed),
+        Some(Err(e)) => return Ok(ReadOutcome::Bad(e)),
+        Some(Ok(line)) => line,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(bad(400, "malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(bad(400, "unsupported HTTP version"));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match read_line(reader, false, deadline)? {
+            None => return Ok(bad(400, "truncated headers")),
+            Some(Err(e)) => return Ok(ReadOutcome::Bad(e)),
+            Some(Ok(line)) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Ok(bad(431, "too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(bad(400, "malformed header"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Ok(bad(400, "chunked transfer encoding is not supported"));
+    }
+
+    let length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) if n <= MAX_BODY => n,
+            Ok(_) => return Ok(bad(413, "request body too large")),
+            Err(_) => return Ok(bad(400, "malformed Content-Length")),
+        },
+    };
+    if headers.iter().any(|(k, v)| k == "expect" && v.eq_ignore_ascii_case("100-continue")) {
+        // The client is holding the body back until it hears from us.
+        continue_to.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        continue_to.flush()?;
+    }
+    let mut body = vec![0u8; length];
+    read_exact_patiently(reader, &mut body, deadline)?;
+
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_ascii_uppercase(),
+        target: target.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// How long a request may stall in total once its first byte has arrived.
+/// The socket's short read timeout exists so *idle* connections can poll a
+/// shutdown flag; a partially-transferred request must not be dropped by it.
+const MID_REQUEST_PATIENCE: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// The error returned when a *partially transferred* request stalls past
+/// [`MID_REQUEST_PATIENCE`].  Deliberately NOT `WouldBlock`/`TimedOut`: the
+/// connection loop treats those as idle keep-alive polls and keeps the
+/// stream open, which after a half-consumed request would desynchronize
+/// the protocol.  This kind makes the caller drop the connection instead.
+fn mid_request_timeout() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "request stalled mid-transfer")
+}
+
+/// `read_exact` that retries timeout errors until the request-wide
+/// `deadline`: the per-read socket timeout is short (idle-poll
+/// granularity), but a large upload legitimately spans many reads.
+fn read_exact_patiently(
+    reader: &mut impl BufRead,
+    mut buf: &mut [u8],
+    deadline: std::time::Instant,
+) -> io::Result<()> {
+    while !buf.is_empty() {
+        match io::Read::read(reader, buf) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated body")),
+            Ok(n) => buf = &mut buf[n..],
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(mid_request_timeout());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// An HTTP response ready to be written.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self { status, content_type: "application/json", body: body.into().into_bytes() }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self { status, content_type: "text/plain; charset=utf-8", body: body.into().into_bytes() }
+    }
+
+    /// `true` for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes the response, flagging whether the connection will stay open.
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> ReadOutcome {
+        read_request(&mut BufReader::new(raw.as_bytes()), &mut io::sink()).unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world";
+        let ReadOutcome::Request(req) = parse(raw) else { panic!("expected a request") };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/query");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body_text(), Some("hello world"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn detects_connection_close_and_eof() {
+        let raw = "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let ReadOutcome::Request(req) = parse(raw) else { panic!("expected a request") };
+        assert!(req.wants_close());
+        assert!(matches!(parse(""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_statuses() {
+        let cases = [
+            ("FROB\r\n\r\n", 400),
+            ("GET / SPDY/3\r\n\r\n", 400),
+            ("GET / HTTP/1.1\r\nbad header\r\n\r\n", 400),
+            ("GET / HTTP/1.1\r\nContent-Length: pony\r\n\r\n", 400),
+            ("GET / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n", 413),
+            ("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 400),
+        ];
+        for (raw, status) in cases {
+            match parse(raw) {
+                ReadOutcome::Bad(e) => assert_eq!(e.status, status, "{raw:?}"),
+                _ => panic!("expected Bad for {raw:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn expect_100_continue_is_acknowledged() {
+        let raw =
+            "POST /datasets/x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 5\r\n\r\nhello";
+        let mut interim = Vec::new();
+        let outcome = read_request(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        let ReadOutcome::Request(req) = outcome else { panic!("expected a request") };
+        assert_eq!(req.body_text(), Some("hello"));
+        assert_eq!(String::from_utf8(interim).unwrap(), "HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    #[test]
+    fn writes_parseable_responses() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}"), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+        assert!(Response::json(200, "").is_success());
+        assert!(!Response::text(404, "nope").is_success());
+    }
+}

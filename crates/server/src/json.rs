@@ -1,0 +1,479 @@
+//! A minimal JSON value model with a hand-rolled parser and renderer.
+//!
+//! The server is deliberately std-only — no serde — so request and response
+//! bodies go through this ~300-line subset: all of JSON's value kinds, UTF-8
+//! strings with escapes (including `\uXXXX` surrogate pairs), and a renderer
+//! that round-trips every value this crate produces.  Objects preserve
+//! insertion order (a `Vec` of pairs, linear lookup), which keeps responses
+//! stable for golden tests and humans.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always held as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Where and why parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What the parser expected.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum container nesting the parser accepts.  The parser is recursive,
+/// so unbounded nesting would let a small hostile body (`[[[[...`) overflow
+/// the worker's stack — an abort `catch_unwind` cannot contain.
+const MAX_DEPTH: usize = 128;
+
+impl Json {
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    /// Containers may nest at most 128 levels deep (`MAX_DEPTH`).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.fail("end of input"));
+        }
+        Ok(value)
+    }
+
+    /// A string value (convenience constructor).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A numeric value.  Non-finite numbers have no JSON representation and
+    /// render as `null`.
+    pub fn num(n: f64) -> Json {
+        Json::Num(n)
+    }
+
+    /// The value under `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) if n.is_finite() => {
+                // Rust's `Display` for f64 is the shortest representation
+                // that round-trips, which is also valid JSON.
+                out.push_str(&format!("{n}"));
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, message: &'static str) -> JsonError {
+        JsonError { offset: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.fail("a JSON literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.fail("a JSON value")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.fail("shallower nesting (depth limit reached)"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[', "`[`")?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.leave();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.leave();
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.fail("`,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{', "`{`")?;
+        self.enter()?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.leave();
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "`:`")?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.leave();
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.fail("`,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "`\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.fail("a closing `\"`")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let high = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&high) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.fail("a low surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u', "`u` of a low surrogate")?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.fail("a low surrogate"));
+                                }
+                                let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code).ok_or_else(|| self.fail("a valid char"))?
+                            } else {
+                                char::from_u32(high).ok_or_else(|| self.fail("a valid char"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.fail("a valid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.fail("valid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads exactly four hex digits and advances past them.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.fail("four hex digits"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or_else(|| self.fail("four hex digits"))?;
+        self.pos = end;
+        Ok(hex)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.fail("a number"))?;
+        let n: f64 = text.parse().map_err(|_| self.fail("a number"))?;
+        if n.is_finite() {
+            Ok(Json::Num(n))
+        } else {
+            Err(self.fail("a finite number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_renders_round_trip() {
+        let text =
+            r#"{"name":"demo","n":3,"ok":true,"tags":["a","b"],"nest":{"x":-1.5e2},"none":null}"#;
+        let value = Json::parse(text).unwrap();
+        assert_eq!(value.get("name").unwrap().as_str(), Some("demo"));
+        assert_eq!(value.get("n").unwrap().as_f64(), Some(3.0));
+        assert_eq!(value.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(value.get("tags").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(value.get("nest").unwrap().get("x").unwrap().as_f64(), Some(-150.0));
+        assert_eq!(value.get("none"), Some(&Json::Null));
+        // Round trip: parse(render(v)) == v.
+        assert_eq!(Json::parse(&value.render()).unwrap(), value);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Json::Obj(vec![(
+            "s".to_string(),
+            Json::str("quote \" backslash \\ newline \n tab \t unicode ű control \u{1}"),
+        )]);
+        let parsed = Json::parse(&original.render()).unwrap();
+        assert_eq!(parsed, original);
+        // Incoming \uXXXX escapes, including a surrogate pair.
+        let v = Json::parse(r#""\u0041\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\" 1}",
+            "\"\\ud800\"",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Within the limit: fine.  Past it: a clean error, not a stack
+        // overflow that would abort the serving process.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+        let hostile = format!("{}1{}", "[".repeat(200_000), "]".repeat(200_000));
+        assert!(Json::parse(&hostile).is_err());
+        // Depth counts nesting, not breadth: many shallow siblings are fine.
+        let wide = format!("[{}1]", "[1],".repeat(50_000));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn numbers_render_shortest_and_valid() {
+        assert_eq!(Json::num(1.0).render(), "1");
+        assert_eq!(Json::num(0.25).render(), "0.25");
+        assert_eq!(Json::num(-3.5e-7).render(), "-0.00000035");
+        assert_eq!(Json::num(f64::NAN).render(), "null");
+        let big = Json::num(1234567890123.0).render();
+        assert_eq!(Json::parse(&big).unwrap().as_f64(), Some(1234567890123.0));
+    }
+}

@@ -1,0 +1,296 @@
+//! The serving runtime: bind, accept, fan connections out to a fixed worker
+//! pool over a channel, and shut down gracefully.
+//!
+//! ```text
+//!   TcpListener ──accept──▶ mpsc channel ──▶ worker 0 ─┐
+//!        (one accept thread)     ▲         ──▶ worker 1 ─┼─▶ Service::handle
+//!                                │         ──▶ worker N ─┘
+//!                                └──── idle connections PARKED back ────┘
+//! ```
+//!
+//! A worker serves a connection's requests back to back, but the moment one
+//! idle poll (`IDLE_POLL`, 200 ms) expires with no next request, the
+//! connection is **parked back into the queue** (with its accumulated idle
+//! budget) and the worker moves on.  Idle kept-alive connections therefore
+//! cost one poll per pass through the pool — they cannot pin workers, so
+//! `N` idle clients can never starve the service for the keep-alive
+//! window.  A connection whose total idle exceeds `KEEP_ALIVE_TIMEOUT`
+//! (30 s) is dropped.
+//!
+//! Shutdown: [`ServerHandle::shutdown`] (or `POST /shutdown`) flips the
+//! service's flag and pokes the listener with a throwaway connection so the
+//! blocking `accept` observes it.  Workers poll the flag between
+//! connections (and on every idle poll); in-flight requests always
+//! complete, parked connections are dropped.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{read_request, write_response, ReadOutcome, Response};
+use crate::service::{ServerConfig, Service};
+
+/// How long a connection may sit idle in total (across parks) before the
+/// server drops it.
+const KEEP_ALIVE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Granularity of the keep-alive wait: the socket read timeout is short so
+/// an idle connection costs one such poll per pass through the pool (and so
+/// idle workers re-check the shutdown flag often).
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// One unit of worker work: a connection, either fresh off the listener or
+/// parked by a worker after an idle poll, carrying its idle budget so far.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    idle: Duration,
+}
+
+impl Conn {
+    fn fresh(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(IDLE_POLL))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: stream, idle: Duration::ZERO })
+    }
+}
+
+/// A running server: its bound address, its shared service state, and the
+/// threads behind it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (catalog, cache, stats).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Requests shutdown and waits for every thread to finish.  In-flight
+    /// requests complete; idle kept-alive connections are abandoned.
+    pub fn shutdown(mut self) {
+        self.service.request_shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks until every server thread exits (e.g. after a remote
+    /// `POST /shutdown`).  This is what `maxrs serve` parks on.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds the configured address and starts the accept loop plus worker
+/// pool.  Returns once the socket is bound and the service is ready; the
+/// returned handle owns the threads.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    serve_with(Arc::new(Service::new(config)))
+}
+
+/// Like [`serve`], over an externally constructed (possibly pre-loaded)
+/// service.
+pub fn serve_with(service: Arc<Service>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&service.config().addr)?;
+    let addr = listener.local_addr()?;
+    service.set_local_addr(addr);
+
+    let (sender, receiver) = mpsc::channel::<Conn>();
+    let receiver = Arc::new(Mutex::new(receiver));
+    let threads = service.config().resolved_threads();
+    let workers: Vec<JoinHandle<()>> = (0..threads)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let receiver = Arc::clone(&receiver);
+            let sender = sender.clone();
+            std::thread::Builder::new()
+                .name(format!("mrs-worker-{i}"))
+                .spawn(move || worker_loop(&service, &receiver, &sender))
+                .expect("spawning a worker thread")
+        })
+        .collect();
+
+    let accept_service = Arc::clone(&service);
+    let accept_thread = std::thread::Builder::new()
+        .name("mrs-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_service, sender))
+        .expect("spawning the accept thread");
+
+    Ok(ServerHandle { addr, service, accept_thread: Some(accept_thread), workers })
+}
+
+fn accept_loop(listener: &TcpListener, service: &Service, sender: Sender<Conn>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if service.is_shutting_down() {
+                    // The poke connection (or a raced client) lands here.
+                    break;
+                }
+                let Ok(conn) = Conn::fresh(stream) else { continue };
+                if sender.send(conn).is_err() {
+                    break;
+                }
+            }
+            Err(_) if service.is_shutting_down() => break,
+            Err(_) => continue, // transient accept errors (EMFILE, resets)
+        }
+    }
+}
+
+fn worker_loop(service: &Service, receiver: &Arc<Mutex<Receiver<Conn>>>, sender: &Sender<Conn>) {
+    loop {
+        // Workers hold a sender clone (to park idle connections), so the
+        // channel can never disconnect; shutdown is observed by polling the
+        // flag between receives.
+        let next = receiver.lock().expect("connection queue poisoned").recv_timeout(IDLE_POLL);
+        if service.is_shutting_down() {
+            break;
+        }
+        match next {
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+            Ok(conn) => {
+                if let Some(parked) = handle_connection(service, conn) {
+                    let _ = sender.send(parked);
+                }
+            }
+        }
+    }
+}
+
+/// Serves a connection's requests back to back.  Returns `Some(conn)` when
+/// an idle poll expired and the connection should be parked back into the
+/// queue (its idle budget not yet exhausted); `None` when it was closed.
+fn handle_connection(service: &Service, mut conn: Conn) -> Option<Conn> {
+    loop {
+        match read_request(&mut conn.reader, &mut conn.writer) {
+            // An idle poll expired before any byte of a request arrived
+            // (mid-request stalls fail with a different error kind inside
+            // `read_request`): park the connection instead of pinning this
+            // worker on it.
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                conn.idle += IDLE_POLL;
+                if service.is_shutting_down() || conn.idle >= KEEP_ALIVE_TIMEOUT {
+                    break;
+                }
+                return Some(conn);
+            }
+            Err(_) => break, // reset, desync, or mid-request stall: drop
+            Ok(ReadOutcome::Closed) => break,
+            Ok(ReadOutcome::Bad(e)) => {
+                let response = Response::json(
+                    e.status,
+                    format!("{{\"error\":{:?}}}", e.message), // message is a literal: safe to quote
+                );
+                let _ = write_response(&mut conn.writer, &response, false);
+                break;
+            }
+            Ok(ReadOutcome::Request(request)) => {
+                conn.idle = Duration::ZERO;
+                let response = service.handle(&request);
+                let keep_alive = !request.wants_close() && !service.is_shutting_down();
+                if write_response(&mut conn.writer, &response, keep_alive).is_err() || !keep_alive {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = conn.writer.flush();
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn start() -> ServerHandle {
+        serve(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            seed: Some(7),
+            ..ServerConfig::default()
+        })
+        .expect("bind an ephemeral port")
+    }
+
+    #[test]
+    fn round_trips_requests_over_tcp() {
+        let server = start();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (status, body) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""), "{body}");
+        // Keep-alive: the same connection serves a second request.
+        let (status, body) = client.get("/solvers").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("exact-disk-2d"), "{body}");
+        let (status, _) = client.get("/no-such-route").unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_do_not_starve_new_clients() {
+        // Open as many idle connections as there are workers; a fresh
+        // client must still be served promptly because idle connections are
+        // parked back into the queue instead of pinning workers.
+        let server = start(); // 2 workers
+        let _idle_a = std::net::TcpStream::connect(server.addr()).unwrap();
+        let _idle_b = std::net::TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(300)); // workers pick them up
+        let started = std::time::Instant::now();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (status, _) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "a new client waited {:?} behind idle connections",
+            started.elapsed()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let server = start();
+        let addr = server.addr();
+        let mut client = Client::connect(addr).unwrap();
+        let (status, _) = client.post("/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        // join() returns because the accept loop observed the flag.
+        server.join();
+        assert!(
+            Client::connect(addr).is_err() || {
+                // The OS may accept into the backlog of the closed listener
+                // briefly; a request must at least fail.
+                let mut c = Client::connect(addr).unwrap();
+                c.get("/healthz").is_err()
+            },
+            "a shut-down server must not answer"
+        );
+    }
+}

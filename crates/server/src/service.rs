@@ -1,0 +1,955 @@
+//! The service layer: configuration, shared state, routing, and the
+//! endpoint handlers.
+//!
+//! Request flow for a query:
+//!
+//! 1. resolve the dataset in the [`Catalog`] (404 if absent);
+//! 2. look each query up in the [`AnswerCache`] under
+//!    `(epoch, solver, shape)` — hits return the stored rendered answer;
+//! 3. misses become one [`BatchRequest`](mrs_core::engine::BatchRequest)
+//!    over the dataset's shared `Arc`s, answered by
+//!    [`BatchExecutor::execute_with_index`] against the
+//!    catalog-resident [`SharedIndex`](mrs_core::engine::SharedIndex), so
+//!    index structures are built at most once per dataset lifetime;
+//! 4. computed answers are rendered to JSON once, stored in the cache, and
+//!    merged with the hits in request order.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use mrs_core::engine::{
+    certify_answer, BatchCapability, BatchExecutor, BatchQuery, BatchStats, DimSupport,
+    EngineConfig, ExecutorConfig, GuaranteeClass, LatencySummary, ProblemKind, RangeShape,
+    Registry,
+};
+
+use crate::cache::{AnswerCache, CacheKey};
+use crate::catalog::{Catalog, Dataset, DatasetCore};
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::stats::ServerStats;
+
+/// Server configuration.  [`ServerConfig::default`] is ready for local use.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, `HOST:PORT` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads; `0` picks `min(available_parallelism, 8)`.
+    pub threads: usize,
+    /// Approximation parameter handed to the approximate solvers.
+    pub eps: f64,
+    /// Seed for the randomized solvers.  `Some` makes every answer
+    /// deterministic (solvers are constructed per lookup from the seeded
+    /// config), which the end-to-end tests rely on; `None` leaves them
+    /// entropy-seeded.
+    pub seed: Option<u64>,
+    /// Shards of the answer cache.
+    pub cache_shards: usize,
+    /// Total capacity of the answer cache, in entries.
+    pub cache_capacity: usize,
+    /// Re-certify every computed answer against the resident index.
+    pub certify: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7070".to_string(),
+            threads: 0,
+            eps: 0.25,
+            seed: None,
+            cache_shards: 8,
+            cache_capacity: 4096,
+            certify: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The worker-pool size this configuration resolves to.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+        }
+    }
+}
+
+/// The full workspace registry under `config` (re-exported from
+/// [`mrs_batched::engine::full_registry`], where the wiring lives so every
+/// consumer — CLI, service, benchmarks — dispatches the same solver set).
+pub use mrs_batched::engine::full_registry;
+
+/// Shared, thread-safe service state: every worker holds an `Arc<Service>`.
+pub struct Service {
+    config: ServerConfig,
+    registry: Registry,
+    catalog: Catalog,
+    cache: AnswerCache,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    local_addr: OnceLock<std::net::SocketAddr>,
+}
+
+/// A parsed query before the target dataset's dimension is known.
+struct QuerySpec {
+    solver: String,
+    problem: ProblemKind,
+    shape: ShapeSpec,
+}
+
+/// A query shape before dimension resolution.
+#[derive(Clone, Copy)]
+enum ShapeSpec {
+    /// A ball of the given radius (`{"interval": L}` arrives as `L/2`).
+    Ball(f64),
+    /// A planar box of the given extents.
+    Box(f64, f64),
+}
+
+impl QuerySpec {
+    /// The concrete 2-D query, for planar datasets.
+    fn to_planar(&self) -> Result<BatchQuery<2>, String> {
+        let shape = match self.shape {
+            ShapeSpec::Ball(radius) => RangeShape::<2>::ball(radius),
+            ShapeSpec::Box(w, h) => RangeShape::rect(w, h),
+        };
+        Ok(self.query(shape))
+    }
+
+    /// The concrete 1-D query, for line datasets (box shapes are planar-only).
+    fn to_line(&self) -> Result<BatchQuery<1>, String> {
+        let shape = match self.shape {
+            ShapeSpec::Ball(radius) => RangeShape::<1>::ball(radius),
+            ShapeSpec::Box(..) => {
+                return Err("box queries need a planar (2-D) dataset".to_string());
+            }
+        };
+        Ok(self.query(shape))
+    }
+
+    fn query<const D: usize>(&self, shape: RangeShape<D>) -> BatchQuery<D> {
+        match self.problem {
+            ProblemKind::Weighted => BatchQuery::weighted(self.solver.clone(), shape),
+            ProblemKind::Colored => BatchQuery::colored(self.solver.clone(), shape),
+        }
+    }
+}
+
+/// How one query of a request was answered.
+enum Outcome {
+    /// Served from the answer cache.
+    Hit(Arc<str>),
+    /// Computed by the engine this request.
+    Computed(Arc<str>),
+    /// Failed dispatch (unknown solver, shape/dimension mismatch, ...).
+    Failed(String),
+}
+
+/// The merged result of answering a list of queries.
+struct Answered {
+    outcomes: Vec<Outcome>,
+    cache_hits: usize,
+    executed: usize,
+    stats: Option<BatchStats>,
+    latency: LatencySummary,
+}
+
+impl Service {
+    /// A service with the given configuration and an empty catalog.
+    pub fn new(config: ServerConfig) -> Self {
+        let mut engine_config = EngineConfig::practical(config.eps);
+        if let Some(seed) = config.seed {
+            engine_config = engine_config.with_seed(seed);
+        }
+        Self {
+            registry: full_registry(engine_config),
+            catalog: Catalog::new(),
+            cache: AnswerCache::new(config.cache_shards, config.cache_capacity),
+            stats: ServerStats::new(),
+            shutdown: AtomicBool::new(false),
+            local_addr: OnceLock::new(),
+            config,
+        }
+    }
+
+    /// The dataset catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The answer cache.
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// The per-endpoint statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The configuration the service runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// `true` once shutdown was requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown (idempotent).  The runtime's accept loop observes
+    /// the flag; see [`crate::runtime::ServerHandle`].
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the (possibly blocked) accept loop awake.  A wildcard bind
+        // (0.0.0.0 / ::) is not connectable on every platform, so aim the
+        // poke at the loopback of the same family instead.
+        if let Some(addr) = self.local_addr.get() {
+            let mut target = *addr;
+            if target.ip().is_unspecified() {
+                target.set_ip(match target {
+                    std::net::SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    std::net::SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            let _ = std::net::TcpStream::connect(target);
+        }
+    }
+
+    /// Records the bound address (runtime calls this once after binding).
+    pub(crate) fn set_local_addr(&self, addr: std::net::SocketAddr) {
+        let _ = self.local_addr.set(addr);
+    }
+
+    /// Routes one request to its handler and measures it into the stats.
+    pub fn handle(&self, request: &Request) -> Response {
+        let started = Instant::now();
+        let response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.route(request)))
+                .unwrap_or_else(|_| {
+                    Response::json(500, r#"{"error":"internal panic while handling the request"}"#)
+                });
+        self.stats.record(
+            crate::stats::Endpoint::of(&request.target),
+            started.elapsed(),
+            response.is_success(),
+        );
+        response
+    }
+
+    fn route(&self, request: &Request) -> Response {
+        let path = request.target.split('?').next().unwrap_or("");
+        match (request.method.as_str(), path) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/solvers") => self.solvers(),
+            ("GET", "/stats") => self.stats_endpoint(),
+            ("GET", "/datasets") => self.list_datasets(),
+            ("POST", "/query") => self.query(request),
+            ("POST", "/batch") => self.batch(request),
+            ("POST", "/shutdown") => {
+                self.request_shutdown();
+                Response::json(200, r#"{"status":"shutting down"}"#)
+            }
+            ("POST", p) if p.starts_with("/datasets/") => {
+                self.upload_dataset(&p["/datasets/".len()..], request)
+            }
+            ("GET" | "POST", _) => error_response(404, "no such endpoint"),
+            _ => error_response(405, "method not allowed"),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let body = Json::Obj(vec![
+            ("status".into(), Json::str("ok")),
+            ("uptime_us".into(), Json::num(self.stats.uptime().as_micros() as f64)),
+            ("datasets".into(), Json::num(self.catalog.len() as f64)),
+        ]);
+        Response::json(200, body.render())
+    }
+
+    fn solvers(&self) -> Response {
+        let solvers: Vec<Json> = self
+            .registry
+            .descriptors()
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(d.name)),
+                    (
+                        "problem".into(),
+                        Json::str(match d.problem {
+                            ProblemKind::Weighted => "weighted",
+                            ProblemKind::Colored => "colored",
+                        }),
+                    ),
+                    ("shape".into(), Json::str(d.shape.to_string())),
+                    (
+                        "dims".into(),
+                        match d.dims {
+                            DimSupport::Any => Json::str("any"),
+                            DimSupport::Fixed(n) => Json::num(n as f64),
+                        },
+                    ),
+                    (
+                        "guarantee".into(),
+                        Json::str(match d.guarantee {
+                            GuaranteeClass::Exact => "exact",
+                            GuaranteeClass::HalfMinusEps => "half-minus-eps",
+                            GuaranteeClass::OneMinusEps => "one-minus-eps",
+                        }),
+                    ),
+                    (
+                        "batch".into(),
+                        Json::str(match d.batch {
+                            BatchCapability::Independent => "independent",
+                            BatchCapability::IndexShared => "index-shared",
+                        }),
+                    ),
+                    ("reference".into(), Json::str(d.reference)),
+                ])
+            })
+            .collect();
+        Response::json(200, Json::Obj(vec![("solvers".into(), Json::Arr(solvers))]).render())
+    }
+
+    fn dataset_summary(&self, dataset: &Dataset) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(dataset.name())),
+            ("dim".into(), Json::num(dataset.dim() as f64)),
+            ("epoch".into(), Json::num(dataset.epoch() as f64)),
+            ("points".into(), Json::num(dataset.point_count() as f64)),
+            ("sites".into(), Json::num(dataset.site_count() as f64)),
+            ("requests".into(), Json::num(dataset.requests() as f64)),
+            ("index_builds".into(), Json::num(dataset.index_builds() as f64)),
+            (
+                "index_build_time_us".into(),
+                Json::num(dataset.index_build_time().as_micros() as f64),
+            ),
+        ])
+    }
+
+    fn list_datasets(&self) -> Response {
+        let datasets: Vec<Json> =
+            self.catalog.datasets().iter().map(|d| self.dataset_summary(d)).collect();
+        Response::json(200, Json::Obj(vec![("datasets".into(), Json::Arr(datasets))]).render())
+    }
+
+    fn upload_dataset(&self, name: &str, request: &Request) -> Response {
+        let Some(csv) = request.body_text() else {
+            return error_response(400, "dataset body must be UTF-8 CSV text");
+        };
+        let loaded = match query_param(&request.target, "dim") {
+            None | Some("2") => self.catalog.load_planar_csv(name, csv),
+            Some("1") => self.catalog.load_line_csv(name, csv),
+            Some(other) => {
+                return error_response(400, &format!("unsupported dataset dim `{other}`"));
+            }
+        };
+        match loaded {
+            Ok(dataset) => Response::json(
+                200,
+                Json::Obj(vec![("dataset".into(), self.dataset_summary(&dataset))]).render(),
+            ),
+            Err(e) => error_response(400, &e.to_string()),
+        }
+    }
+
+    fn stats_endpoint(&self) -> Response {
+        let endpoints: Vec<Json> = self
+            .stats
+            .snapshots()
+            .into_iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("endpoint".into(), Json::str(s.name)),
+                    ("requests".into(), Json::num(s.requests as f64)),
+                    ("errors".into(), Json::num(s.errors as f64)),
+                    ("total_us".into(), Json::num(s.total.as_micros() as f64)),
+                    ("latency".into(), latency_json(&s.latency)),
+                ])
+            })
+            .collect();
+        let cache = self.cache.counters();
+        let datasets: Vec<Json> =
+            self.catalog.datasets().iter().map(|d| self.dataset_summary(d)).collect();
+        let body = Json::Obj(vec![
+            ("uptime_us".into(), Json::num(self.stats.uptime().as_micros() as f64)),
+            ("requests".into(), Json::num(self.stats.total_requests() as f64)),
+            ("requests_per_sec".into(), Json::num(self.stats.requests_per_sec())),
+            ("endpoints".into(), Json::Arr(endpoints)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::num(cache.hits as f64)),
+                    ("misses".into(), Json::num(cache.misses as f64)),
+                    ("evictions".into(), Json::num(cache.evictions as f64)),
+                    ("entries".into(), Json::num(cache.entries as f64)),
+                    ("capacity".into(), Json::num(cache.capacity as f64)),
+                    ("hit_rate".into(), Json::num(cache.hit_rate())),
+                ]),
+            ),
+            ("datasets".into(), Json::Arr(datasets)),
+        ]);
+        Response::json(200, body.render())
+    }
+
+    /// Parses one query object — `{"solver": "...", "shape": {"ball": R} |
+    /// {"box": [W, H]} | {"interval": L}}` — into a dimension-agnostic spec.
+    /// The problem kind (weighted vs colored) comes from the solver's
+    /// registry descriptor (`descriptors` is hoisted by the caller so a
+    /// batch resolves the listing once, not per query); the spec becomes a
+    /// concrete [`BatchQuery`] only once the target dataset's dimension is
+    /// known.
+    fn parse_query_spec(
+        &self,
+        descriptors: &[mrs_core::engine::SolverDescriptor],
+        value: &Json,
+    ) -> Result<QuerySpec, String> {
+        let solver = value
+            .get("solver")
+            .and_then(Json::as_str)
+            .ok_or("query needs a `solver` name".to_string())?;
+        let shape = value.get("shape").ok_or("query needs a `shape`".to_string())?;
+        let positive = |what: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(v)
+            } else {
+                Err(format!("{what} must be positive, got {v}"))
+            }
+        };
+        let shape = if let Some(radius) = shape.get("ball").and_then(Json::as_f64) {
+            ShapeSpec::Ball(positive("ball radius", radius)?)
+        } else if let Some(length) = shape.get("interval").and_then(Json::as_f64) {
+            ShapeSpec::Ball(positive("interval length", length)? / 2.0)
+        } else if let Some(extents) = shape.get("box").and_then(Json::as_arr) {
+            let [Some(w), Some(h)] =
+                [extents.first().and_then(Json::as_f64), extents.get(1).and_then(Json::as_f64)]
+            else {
+                return Err("`box` must be an array of two numbers".to_string());
+            };
+            ShapeSpec::Box(positive("box width", w)?, positive("box height", h)?)
+        } else {
+            return Err(
+                "`shape` must be {\"ball\": R}, {\"box\": [W, H]} or {\"interval\": L}".to_string()
+            );
+        };
+        let descriptor = descriptors
+            .iter()
+            .find(|d| d.name == solver)
+            .ok_or_else(|| format!("no registered solver is named `{solver}`"))?;
+        Ok(QuerySpec { solver: solver.to_string(), problem: descriptor.problem, shape })
+    }
+
+    /// Answers queries against a dataset of any supported dimension: cache
+    /// lookups first, then one engine execution over the misses through the
+    /// resident index.
+    fn answer<const D: usize>(
+        &self,
+        dataset: &DatasetCore<D>,
+        queries: &[BatchQuery<D>],
+        use_cache: bool,
+    ) -> Answered {
+        let epoch = dataset.epoch();
+        let mut outcomes: Vec<Option<Outcome>> = Vec::with_capacity(queries.len());
+        outcomes.resize_with(queries.len(), || None);
+        let mut request = dataset.request();
+        let mut miss_positions: Vec<usize> = Vec::new();
+        for (i, query) in queries.iter().enumerate() {
+            if use_cache {
+                if let Some(rendered) = self.cache.get(&CacheKey::for_query(epoch, query)) {
+                    outcomes[i] = Some(Outcome::Hit(rendered));
+                    continue;
+                }
+            }
+            miss_positions.push(i);
+            request.push(query.clone());
+        }
+
+        let mut stats = None;
+        let mut latency = LatencySummary::default();
+        if !miss_positions.is_empty() {
+            // The executor's own certification pass only *counts*; the
+            // service certifies each answer individually instead, so the
+            // flag it renders (and caches) is per answer — one contract
+            // violation in a batch cannot mislabel its neighbors.
+            let executor = BatchExecutor::with_config(
+                &self.registry,
+                ExecutorConfig { threads: None, certify: false },
+            );
+            let report = executor.execute_with_index(&request, dataset.index());
+            let mut certified_count = 0;
+            let mut certify_failures = 0;
+            for ((&i, answer), query) in
+                miss_positions.iter().zip(&report.answers).zip(request.queries())
+            {
+                outcomes[i] = Some(match answer.error() {
+                    Some(e) => Outcome::Failed(e.to_string()),
+                    None => {
+                        let certified = self.config.certify
+                            && certify_answer(dataset.index(), query, answer) == Some(true);
+                        if self.config.certify {
+                            if certified {
+                                certified_count += 1;
+                            } else {
+                                certify_failures += 1;
+                            }
+                        }
+                        let rendered: Arc<str> = Arc::from(render_answer(answer, certified));
+                        // Never cache a contract violation: it must stay
+                        // loud, not be replayed from the LRU.
+                        if use_cache && (certified || !self.config.certify) {
+                            self.cache.insert(
+                                CacheKey::for_query(epoch, &queries[i]),
+                                Arc::clone(&rendered),
+                            );
+                        }
+                        Outcome::Computed(rendered)
+                    }
+                });
+            }
+            latency = report.per_query_latency();
+            let mut batch_stats = report.stats;
+            batch_stats.certified = certified_count;
+            batch_stats.certify_failures = certify_failures;
+            stats = Some(batch_stats);
+        }
+        dataset.count_requests(queries.len() as u64);
+
+        let executed = miss_positions.len();
+        Answered {
+            outcomes: outcomes.into_iter().map(|o| o.expect("every query answered")).collect(),
+            cache_hits: queries.len() - executed,
+            executed,
+            stats,
+            latency,
+        }
+    }
+
+    fn query(&self, request: &Request) -> Response {
+        let body = match parse_body(request) {
+            Ok(v) => v,
+            Err(resp) => return *resp,
+        };
+        let Some(dataset_name) = body.get("dataset").and_then(Json::as_str) else {
+            return error_response(400, "query needs a `dataset` name");
+        };
+        let Some(dataset) = self.catalog.get(dataset_name) else {
+            return error_response(404, &format!("no dataset is named `{dataset_name}`"));
+        };
+        let spec = match self.parse_query_spec(&self.registry.descriptors(), &body) {
+            Ok(spec) => spec,
+            Err(message) => return error_response(400, &message),
+        };
+        let use_cache = body.get("cache").and_then(Json::as_bool).unwrap_or(true);
+        let answered = match dataset.as_ref() {
+            Dataset::Planar(core) => match spec.to_planar() {
+                Ok(query) => self.answer(core, std::slice::from_ref(&query), use_cache),
+                Err(message) => return error_response(400, &message),
+            },
+            Dataset::Line(core) => match spec.to_line() {
+                Ok(query) => self.answer(core, std::slice::from_ref(&query), use_cache),
+                Err(message) => return error_response(400, &message),
+            },
+        };
+        match &answered.outcomes[0] {
+            Outcome::Failed(message) => error_response(422, message),
+            Outcome::Hit(rendered) => {
+                Response::json(200, format!("{{\"cached\":true,\"answer\":{rendered}}}"))
+            }
+            Outcome::Computed(rendered) => {
+                Response::json(200, format!("{{\"cached\":false,\"answer\":{rendered}}}"))
+            }
+        }
+    }
+
+    fn batch(&self, request: &Request) -> Response {
+        let body = match parse_body(request) {
+            Ok(v) => v,
+            Err(resp) => return *resp,
+        };
+        let Some(dataset_name) = body.get("dataset").and_then(Json::as_str) else {
+            return error_response(400, "batch needs a `dataset` name");
+        };
+        let Some(dataset) = self.catalog.get(dataset_name) else {
+            return error_response(404, &format!("no dataset is named `{dataset_name}`"));
+        };
+        let Some(raw_queries) = body.get("queries").and_then(Json::as_arr) else {
+            return error_response(400, "batch needs a `queries` array");
+        };
+        let descriptors = self.registry.descriptors();
+        let mut specs = Vec::with_capacity(raw_queries.len());
+        for (i, raw) in raw_queries.iter().enumerate() {
+            match self.parse_query_spec(&descriptors, raw) {
+                Ok(spec) => specs.push(spec),
+                Err(message) => return error_response(400, &format!("query {i}: {message}")),
+            }
+        }
+        let use_cache = body.get("cache").and_then(Json::as_bool).unwrap_or(true);
+        let queries_len = specs.len();
+        let answered = match dataset.as_ref() {
+            Dataset::Planar(core) => {
+                let mut queries = Vec::with_capacity(specs.len());
+                for (i, spec) in specs.iter().enumerate() {
+                    match spec.to_planar() {
+                        Ok(query) => queries.push(query),
+                        Err(message) => {
+                            return error_response(400, &format!("query {i}: {message}"));
+                        }
+                    }
+                }
+                self.answer(core, &queries, use_cache)
+            }
+            Dataset::Line(core) => {
+                let mut queries = Vec::with_capacity(specs.len());
+                for (i, spec) in specs.iter().enumerate() {
+                    match spec.to_line() {
+                        Ok(query) => queries.push(query),
+                        Err(message) => {
+                            return error_response(400, &format!("query {i}: {message}"));
+                        }
+                    }
+                }
+                self.answer(core, &queries, use_cache)
+            }
+        };
+
+        let mut body = String::from("{\"answers\":[");
+        let mut failed = 0usize;
+        for (i, outcome) in answered.outcomes.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            match outcome {
+                Outcome::Hit(rendered) => {
+                    body.push_str(&format!("{{\"cached\":true,\"answer\":{rendered}}}"));
+                }
+                Outcome::Computed(rendered) => {
+                    body.push_str(&format!("{{\"cached\":false,\"answer\":{rendered}}}"));
+                }
+                Outcome::Failed(message) => {
+                    failed += 1;
+                    body.push_str(
+                        &Json::Obj(vec![("error".into(), Json::str(message.clone()))]).render(),
+                    );
+                }
+            }
+        }
+        body.push_str("],\"stats\":");
+        let mut stats = vec![
+            ("queries".to_string(), Json::num(queries_len as f64)),
+            ("failed".to_string(), Json::num(failed as f64)),
+            ("cache_hits".to_string(), Json::num(answered.cache_hits as f64)),
+            ("executed".to_string(), Json::num(answered.executed as f64)),
+            ("latency".to_string(), latency_json(&answered.latency)),
+        ];
+        if let Some(batch_stats) = &answered.stats {
+            stats.extend([
+                ("certified".to_string(), Json::num(batch_stats.certified as f64)),
+                ("certify_failures".to_string(), Json::num(batch_stats.certify_failures as f64)),
+                ("index_builds".to_string(), Json::num(batch_stats.index_builds as f64)),
+                ("threads".to_string(), Json::num(batch_stats.threads as f64)),
+                ("wall_us".to_string(), Json::num(batch_stats.wall.as_micros() as f64)),
+            ]);
+        }
+        body.push_str(&Json::Obj(stats).render());
+        body.push('}');
+        Response::json(200, body)
+    }
+}
+
+/// Renders one successful engine answer as a JSON object string.  The
+/// center is an array of `D` coordinates.
+fn render_answer<const D: usize>(
+    answer: &mrs_core::engine::BatchAnswer<D>,
+    certified: bool,
+) -> String {
+    let center_of =
+        |center: &mrs_geom::Point<D>| Json::Arr((0..D).map(|i| Json::num(center[i])).collect());
+    match answer {
+        mrs_core::engine::BatchAnswer::Weighted(report) => Json::Obj(vec![
+            ("kind".into(), Json::str("weighted")),
+            ("solver".into(), Json::str(report.solver)),
+            ("center".into(), center_of(&report.placement.center)),
+            ("value".into(), Json::num(report.placement.value)),
+            ("guarantee".into(), Json::str(report.guarantee.to_string())),
+            ("certified".into(), Json::Bool(certified)),
+            ("solve_us".into(), Json::num(report.stats.elapsed.as_micros() as f64)),
+        ])
+        .render(),
+        mrs_core::engine::BatchAnswer::Colored(report) => Json::Obj(vec![
+            ("kind".into(), Json::str("colored")),
+            ("solver".into(), Json::str(report.solver)),
+            ("center".into(), center_of(&report.placement.center)),
+            ("distinct".into(), Json::num(report.placement.distinct as f64)),
+            ("guarantee".into(), Json::str(report.guarantee.to_string())),
+            ("certified".into(), Json::Bool(certified)),
+            ("solve_us".into(), Json::num(report.stats.elapsed.as_micros() as f64)),
+        ])
+        .render(),
+        mrs_core::engine::BatchAnswer::Failed(_) => {
+            unreachable!("render_answer is only called on successful answers")
+        }
+    }
+}
+
+/// The value of one `?name=value` query parameter of a request target.
+fn query_param<'t>(target: &'t str, name: &str) -> Option<&'t str> {
+    let (_, query) = target.split_once('?')?;
+    query.split('&').find_map(|pair| {
+        let (key, value) = pair.split_once('=')?;
+        (key == name).then_some(value)
+    })
+}
+
+/// A [`LatencySummary`] as a JSON object (microsecond fields).
+pub fn latency_json(summary: &LatencySummary) -> Json {
+    let us = |d: std::time::Duration| Json::num(d.as_secs_f64() * 1e6);
+    Json::Obj(vec![
+        ("count".into(), Json::num(summary.count as f64)),
+        ("min_us".into(), us(summary.min)),
+        ("mean_us".into(), us(summary.mean)),
+        ("p50_us".into(), us(summary.p50)),
+        ("p95_us".into(), us(summary.p95)),
+        ("max_us".into(), us(summary.max)),
+    ])
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, Json::Obj(vec![("error".into(), Json::str(message))]).render())
+}
+
+fn parse_body(request: &Request) -> Result<Json, Box<Response>> {
+    let Some(text) = request.body_text() else {
+        return Err(Box::new(error_response(400, "request body must be UTF-8 JSON")));
+    };
+    Json::parse(text).map_err(|e| Box::new(error_response(400, &e.to_string())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> Service {
+        Service::new(ServerConfig { seed: Some(42), ..ServerConfig::default() })
+    }
+
+    fn post(target: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            target: target.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(target: &str) -> Request {
+        Request { method: "GET".into(), target: target.into(), headers: Vec::new(), body: vec![] }
+    }
+
+    const CSV: &str = "0,0,1,0\n0.4,0,1,1\n0,0.4,1,2\n9,9,2,0\n";
+
+    #[test]
+    fn health_solvers_and_dataset_lifecycle() {
+        let service = service();
+        let health = service.handle(&get("/healthz"));
+        assert_eq!(health.status, 200);
+        let listing = service.handle(&get("/solvers"));
+        let parsed = Json::parse(std::str::from_utf8(&listing.body).unwrap()).unwrap();
+        let names: Vec<&str> = parsed
+            .get("solvers")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"exact-disk-2d"), "{names:?}");
+        assert!(names.contains(&"batched-interval-1d"), "{names:?}");
+
+        assert_eq!(service.handle(&post("/datasets/demo", CSV)).status, 200);
+        let listed = service.handle(&get("/datasets"));
+        assert!(std::str::from_utf8(&listed.body).unwrap().contains("\"demo\""));
+        // Bad CSV and bad names are clean 400s.
+        assert_eq!(service.handle(&post("/datasets/demo", "zap\n")).status, 400);
+        assert_eq!(service.handle(&post("/datasets/bad name", CSV)).status, 400);
+        // Unknown routes 404, wrong methods 405.
+        assert_eq!(service.handle(&get("/frob")).status, 404);
+        let del = Request {
+            method: "DELETE".into(),
+            target: "/query".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(service.handle(&del).status, 405);
+    }
+
+    #[test]
+    fn query_computes_then_hits_the_cache() {
+        let service = service();
+        service.handle(&post("/datasets/demo", CSV));
+        let body = r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        let first = service.handle(&post("/query", body));
+        assert_eq!(first.status, 200, "{:?}", String::from_utf8_lossy(&first.body));
+        let parsed = Json::parse(std::str::from_utf8(&first.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("cached").unwrap().as_bool(), Some(false));
+        let answer = parsed.get("answer").unwrap();
+        assert_eq!(answer.get("value").unwrap().as_f64(), Some(3.0));
+        assert_eq!(answer.get("certified").unwrap().as_bool(), Some(true));
+
+        let second = service.handle(&post("/query", body));
+        let parsed = Json::parse(std::str::from_utf8(&second.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("answer").unwrap().get("value").unwrap().as_f64(), Some(3.0));
+        assert_eq!(service.cache().counters().hits, 1);
+
+        // cache:false bypasses the cache (the warm-index measurement path).
+        let bypass =
+            r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0},"cache":false}"#;
+        let third = service.handle(&post("/query", bypass));
+        let parsed = Json::parse(std::str::from_utf8(&third.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("cached").unwrap().as_bool(), Some(false));
+        assert_eq!(service.cache().counters().hits, 1, "bypass must not touch the cache");
+
+        // Reloading the dataset bumps the epoch: the old entry cannot match.
+        service.handle(&post("/datasets/demo", CSV));
+        let fourth = service.handle(&post("/query", body));
+        let parsed = Json::parse(std::str::from_utf8(&fourth.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("cached").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn query_error_paths_are_typed_statuses() {
+        let service = service();
+        service.handle(&post("/datasets/demo", CSV));
+        // Unknown dataset → 404; unknown solver / malformed shape → 400;
+        // well-formed but undispatchable → 422.
+        let cases = [
+            (r#"{"dataset":"nope","solver":"exact-disk-2d","shape":{"ball":1}}"#, 404),
+            (r#"{"dataset":"demo","solver":"frob","shape":{"ball":1}}"#, 400),
+            (r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":-1}}"#, 400),
+            (r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"box":[1]}}"#, 400),
+            (r#"{"dataset":"demo","solver":"exact-disk-2d"}"#, 400),
+            (r#"not json"#, 400),
+            (r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"box":[1,1]}}"#, 422),
+            (r#"{"dataset":"demo","solver":"batched-interval-1d","shape":{"ball":1}}"#, 422),
+        ];
+        for (body, status) in cases {
+            let response = service.handle(&post("/query", body));
+            assert_eq!(
+                response.status,
+                status,
+                "{body} → {}",
+                String::from_utf8_lossy(&response.body)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_merges_hits_and_misses_in_order() {
+        let service = service();
+        service.handle(&post("/datasets/demo", CSV));
+        // Warm the cache with one query.
+        service.handle(&post(
+            "/query",
+            r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0}}"#,
+        ));
+        let body = r#"{"dataset":"demo","queries":[
+            {"solver":"exact-disk-2d","shape":{"ball":1.0}},
+            {"solver":"exact-rect-2d","shape":{"box":[1.0,1.0]}},
+            {"solver":"output-sensitive-colored-disk","shape":{"ball":1.0}},
+            {"solver":"exact-disk-2d","shape":{"ball":0.1}}
+        ]}"#;
+        let response = service.handle(&post("/batch", body));
+        assert_eq!(response.status, 200);
+        let parsed = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let answers = parsed.get("answers").unwrap().as_arr().unwrap();
+        assert_eq!(answers.len(), 4);
+        assert_eq!(answers[0].get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(answers[1].get("cached").unwrap().as_bool(), Some(false));
+        let a = |i: usize| answers[i].get("answer").unwrap();
+        assert_eq!(a(0).get("value").unwrap().as_f64(), Some(3.0));
+        assert_eq!(a(1).get("value").unwrap().as_f64(), Some(3.0));
+        assert_eq!(a(2).get("distinct").unwrap().as_f64(), Some(3.0));
+        assert_eq!(a(3).get("value").unwrap().as_f64(), Some(2.0));
+        let stats = parsed.get("stats").unwrap();
+        assert_eq!(stats.get("queries").unwrap().as_f64(), Some(4.0));
+        assert_eq!(stats.get("cache_hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stats.get("executed").unwrap().as_f64(), Some(3.0));
+        assert_eq!(stats.get("certified").unwrap().as_f64(), Some(3.0));
+        assert_eq!(stats.get("certify_failures").unwrap().as_f64(), Some(0.0));
+
+        // A second identical batch is served fully from cache.
+        let again = service.handle(&post("/batch", body));
+        let parsed = Json::parse(std::str::from_utf8(&again.body).unwrap()).unwrap();
+        let stats = parsed.get("stats").unwrap();
+        assert_eq!(stats.get("cache_hits").unwrap().as_f64(), Some(4.0));
+        assert_eq!(stats.get("executed").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn resident_index_is_built_once_across_requests() {
+        let service = service();
+        service.handle(&post("/datasets/demo", CSV));
+        let body =
+            r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0},"cache":false}"#;
+        service.handle(&post("/query", body));
+        let builds_after_first = service.catalog().get("demo").unwrap().index_builds();
+        for _ in 0..10 {
+            assert_eq!(service.handle(&post("/query", body)).status, 200);
+        }
+        let dataset = service.catalog().get("demo").unwrap();
+        assert_eq!(
+            dataset.index_builds(),
+            builds_after_first,
+            "the resident index must be built exactly once"
+        );
+        assert_eq!(dataset.requests(), 11);
+    }
+
+    #[test]
+    fn line_datasets_serve_interval_queries_off_the_resident_line() {
+        let service = service();
+        // 1-D upload: x[,weight] records, `?dim=1`.
+        let csv = "0\n1\n1.5\n2\n10,4\n";
+        let response = service.handle(&post("/datasets/ticks?dim=1", csv));
+        assert_eq!(response.status, 200, "{:?}", String::from_utf8_lossy(&response.body));
+        let parsed = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("dataset").unwrap().get("dim").unwrap().as_f64(), Some(1.0));
+
+        // The Theorem 1.3 batched solver answers off the resident sorted
+        // line; `{"interval": L}` sugar is a ball of radius L/2.
+        let body = r#"{"dataset":"ticks","solver":"batched-interval-1d","shape":{"interval":2.0},"cache":false}"#;
+        let first = service.handle(&post("/query", body));
+        assert_eq!(first.status, 200, "{:?}", String::from_utf8_lossy(&first.body));
+        let parsed = Json::parse(std::str::from_utf8(&first.body).unwrap()).unwrap();
+        let answer = parsed.get("answer").unwrap();
+        // Points 0,1,1.5,2 fit in one length-2 interval: weight 4.
+        assert_eq!(answer.get("value").unwrap().as_f64(), Some(4.0));
+        assert_eq!(answer.get("certified").unwrap().as_bool(), Some(true));
+        assert_eq!(answer.get("center").unwrap().as_arr().unwrap().len(), 1);
+
+        // Warm repeats must not rebuild the sorted line / Fenwick tree.
+        let builds = service.catalog().get("ticks").unwrap().index_builds();
+        for _ in 0..5 {
+            assert_eq!(service.handle(&post("/query", body)).status, 200);
+        }
+        assert_eq!(service.catalog().get("ticks").unwrap().index_builds(), builds);
+
+        // The independent exact 1-D solver agrees.
+        let exact = r#"{"dataset":"ticks","solver":"exact-interval-1d","shape":{"ball":1.0}}"#;
+        let response = service.handle(&post("/query", exact));
+        let parsed = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("answer").unwrap().get("value").unwrap().as_f64(), Some(4.0));
+
+        // Box queries need a planar dataset; planar-only solvers fail typed.
+        let boxy = r#"{"dataset":"ticks","solver":"exact-rect-2d","shape":{"box":[1,1]}}"#;
+        assert_eq!(service.handle(&post("/query", boxy)).status, 400);
+        let wrong_dim = r#"{"dataset":"ticks","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        assert_eq!(service.handle(&post("/query", wrong_dim)).status, 422);
+        // And a bad dim parameter is a clean 400.
+        assert_eq!(service.handle(&post("/datasets/x?dim=7", csv)).status, 400);
+    }
+}

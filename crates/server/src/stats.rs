@@ -1,0 +1,226 @@
+//! Per-endpoint request counters and latency tracking for `/stats`.
+//!
+//! Counters are lock-free atomics; latencies additionally feed a bounded
+//! ring of recent samples per endpoint, summarized on demand into the same
+//! [`LatencySummary`] the `maxrs batch` CLI prints — one stats vocabulary
+//! across the whole workspace.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mrs_core::engine::LatencySummary;
+
+/// How many recent latency samples each endpoint keeps for percentiles.
+const RING_CAPACITY: usize = 512;
+
+/// The endpoints the service tracks individually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /solvers`.
+    Solvers,
+    /// `GET /datasets` and `POST /datasets/{name}`.
+    Datasets,
+    /// `POST /query`.
+    Query,
+    /// `POST /batch`.
+    Batch,
+    /// `GET /stats`.
+    Stats,
+    /// Everything else (404s, bad requests, `/shutdown`).
+    Other,
+}
+
+/// All tracked endpoints, in `/stats` rendering order.
+pub const ENDPOINTS: [Endpoint; 7] = [
+    Endpoint::Healthz,
+    Endpoint::Solvers,
+    Endpoint::Datasets,
+    Endpoint::Query,
+    Endpoint::Batch,
+    Endpoint::Stats,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    /// The label used in `/stats`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Solvers => "solvers",
+            Endpoint::Datasets => "datasets",
+            Endpoint::Query => "query",
+            Endpoint::Batch => "batch",
+            Endpoint::Stats => "stats",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// Classifies a request target path.
+    pub fn of(target: &str) -> Endpoint {
+        let path = target.split('?').next().unwrap_or(target);
+        match path {
+            "/healthz" => Endpoint::Healthz,
+            "/solvers" => Endpoint::Solvers,
+            "/query" => Endpoint::Query,
+            "/batch" => Endpoint::Batch,
+            "/stats" => Endpoint::Stats,
+            p if p == "/datasets" || p.starts_with("/datasets/") => Endpoint::Datasets,
+            _ => Endpoint::Other,
+        }
+    }
+
+    fn index(&self) -> usize {
+        ENDPOINTS.iter().position(|e| e == self).expect("endpoint is enumerated")
+    }
+}
+
+/// Counters and a latency ring for one endpoint.
+#[derive(Default)]
+struct EndpointTrack {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_us: AtomicU64,
+    samples: Mutex<VecDeque<Duration>>,
+}
+
+/// A point-in-time view of one endpoint's counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EndpointSnapshot {
+    /// The endpoint label.
+    pub name: &'static str,
+    /// Requests answered (including errors).
+    pub requests: u64,
+    /// Responses with non-2xx statuses.
+    pub errors: u64,
+    /// Total handling time across all requests.
+    pub total: Duration,
+    /// Five-number summary over the recent-latency ring.
+    pub latency: LatencySummary,
+}
+
+/// Server-wide statistics: uptime plus one track per endpoint.
+pub struct ServerStats {
+    started: Instant,
+    tracks: [EndpointTrack; ENDPOINTS.len()],
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerStats {
+    /// Fresh statistics; uptime starts now.
+    pub fn new() -> Self {
+        Self { started: Instant::now(), tracks: Default::default() }
+    }
+
+    /// Time since the server started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, endpoint: Endpoint, elapsed: Duration, ok: bool) {
+        let track = &self.tracks[endpoint.index()];
+        track.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            track.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        track.total_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        let mut samples = track.samples.lock().expect("stats ring poisoned");
+        if samples.len() >= RING_CAPACITY {
+            samples.pop_front();
+        }
+        samples.push_back(elapsed);
+    }
+
+    /// Point-in-time snapshots for every endpoint, in [`ENDPOINTS`] order.
+    pub fn snapshots(&self) -> Vec<EndpointSnapshot> {
+        ENDPOINTS
+            .iter()
+            .map(|endpoint| {
+                let track = &self.tracks[endpoint.index()];
+                let samples: Vec<Duration> = {
+                    let ring = track.samples.lock().expect("stats ring poisoned");
+                    ring.iter().copied().collect()
+                };
+                EndpointSnapshot {
+                    name: endpoint.name(),
+                    requests: track.requests.load(Ordering::Relaxed),
+                    errors: track.errors.load(Ordering::Relaxed),
+                    total: Duration::from_micros(track.total_us.load(Ordering::Relaxed)),
+                    latency: LatencySummary::from_durations(&samples),
+                }
+            })
+            .collect()
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.tracks.iter().map(|t| t.requests.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Requests per second of uptime, across all endpoints.
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.uptime().as_secs_f64();
+        if secs > 0.0 {
+            self.total_requests() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_targets() {
+        assert_eq!(Endpoint::of("/healthz"), Endpoint::Healthz);
+        assert_eq!(Endpoint::of("/datasets"), Endpoint::Datasets);
+        assert_eq!(Endpoint::of("/datasets/taxi"), Endpoint::Datasets);
+        assert_eq!(Endpoint::of("/query?x=1"), Endpoint::Query);
+        assert_eq!(Endpoint::of("/batch"), Endpoint::Batch);
+        assert_eq!(Endpoint::of("/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn records_and_snapshots() {
+        let stats = ServerStats::new();
+        stats.record(Endpoint::Query, Duration::from_micros(100), true);
+        stats.record(Endpoint::Query, Duration::from_micros(300), true);
+        stats.record(Endpoint::Query, Duration::from_micros(200), false);
+        let snapshot = stats
+            .snapshots()
+            .into_iter()
+            .find(|s| s.name == "query")
+            .expect("query endpoint is tracked");
+        assert_eq!(snapshot.requests, 3);
+        assert_eq!(snapshot.errors, 1);
+        assert_eq!(snapshot.total, Duration::from_micros(600));
+        assert_eq!(snapshot.latency.count, 3);
+        assert_eq!(snapshot.latency.p50, Duration::from_micros(200));
+        assert_eq!(stats.total_requests(), 3);
+        assert!(stats.requests_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let stats = ServerStats::new();
+        for i in 0..(RING_CAPACITY + 100) {
+            stats.record(Endpoint::Healthz, Duration::from_micros(i as u64), true);
+        }
+        let snapshot = &stats.snapshots()[0];
+        assert_eq!(snapshot.requests as usize, RING_CAPACITY + 100);
+        assert_eq!(snapshot.latency.count, RING_CAPACITY);
+        // The ring kept the most recent samples, so the minimum moved up.
+        assert_eq!(snapshot.latency.min, Duration::from_micros(100));
+    }
+}

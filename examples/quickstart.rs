@@ -130,5 +130,23 @@ fn main() {
     assert_eq!(best.placement.value, 3.0);
 
     println!();
+    println!("== Loading points from CSV (the shared mrs_core::input loader) ==");
+    // The same loader serves the CLI (`maxrs batch`) and the server's
+    // dataset catalog (`maxrs serve`); errors are typed and line-numbered.
+    let csv = "0,0,1,0\n0.5,0.2,1,1\n0.4,0.5,2,2\n7,7,1,0  # far straggler\n";
+    let set = maxrs::core::input::parse_point_set_csv(csv).expect("well-formed CSV");
+    println!("loaded {} weighted points, {} colored sites", set.points.len(), set.sites.len());
+    let loaded = registry
+        .weighted::<2>("exact-disk-2d")
+        .expect("registered solver")
+        .solve(&WeightedInstance::ball(set.points, 1.0))
+        .expect("ball instance matches the disk solver");
+    println!("best unit disk over the loaded points covers weight {}", loaded.placement.value);
+    assert_eq!(loaded.placement.value, 4.0);
+    let error = maxrs::core::input::parse_point_set_csv("0,0\noops,1\n").unwrap_err();
+    println!("malformed CSV reports a typed, line-numbered error: {error}");
+    assert_eq!(error.line, 2);
+
+    println!();
     println!("quickstart finished — all placements match the expected optima");
 }

@@ -28,6 +28,11 @@ fn main() -> ExitCode {
             }
         },
     };
+    // Serve is the one long-lived command: load the startup datasets, bind,
+    // and park on the runtime until a `POST /shutdown` arrives.
+    if let Command::Serve { addr, threads, eps, seed, datasets } = &command {
+        return run_server(addr, *threads, *eps, *seed, datasets);
+    }
     // Batch commands read a second file (the query list) and run through the
     // shared-index executor; everything else is a single engine dispatch.
     let outcome = match &command {
@@ -51,6 +56,72 @@ fn main() -> ExitCode {
         Err(error) => {
             eprintln!("error: {error}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Boots the query service: loads every `--dataset name=path` into the
+/// catalog, binds the address, prints one line per loaded dataset plus the
+/// bound address, then blocks until shutdown.
+fn run_server(
+    addr: &str,
+    threads: Option<usize>,
+    eps: f64,
+    seed: Option<u64>,
+    datasets: &[(String, String, usize)],
+) -> ExitCode {
+    use maxrs::server::{serve_with, ServerConfig, Service};
+    use std::sync::Arc;
+
+    let config = ServerConfig {
+        addr: addr.to_string(),
+        threads: threads.unwrap_or(0),
+        eps,
+        seed,
+        ..ServerConfig::default()
+    };
+    let service = Arc::new(Service::new(config));
+    for (name, path, dim) in datasets {
+        let csv = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("error: cannot read {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let loaded = if *dim == 1 {
+            service.catalog().load_line_csv(name, &csv)
+        } else {
+            service.catalog().load_planar_csv(name, &csv)
+        };
+        match loaded {
+            Ok(dataset) => eprintln!(
+                "loaded {}-D dataset `{name}` from {path}: {} points, {} sites (epoch {})",
+                dataset.dim(),
+                dataset.point_count(),
+                dataset.site_count(),
+                dataset.epoch()
+            ),
+            Err(error) => {
+                eprintln!("error: dataset `{name}` ({path}): {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match serve_with(service) {
+        Err(error) => {
+            eprintln!("error: cannot bind {addr}: {error}");
+            ExitCode::FAILURE
+        }
+        Ok(handle) => {
+            eprintln!(
+                "maxrs serve listening on {} ({} workers); POST /shutdown to stop",
+                handle.addr(),
+                handle.service().config().resolved_threads()
+            );
+            handle.join();
+            eprintln!("maxrs serve: shut down cleanly");
+            ExitCode::SUCCESS
         }
     }
 }

@@ -7,7 +7,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use mrs_geom::{ColoredSite, Point2, WeightedPoint};
+use mrs_geom::{ColoredSite, WeightedPoint};
 
 use crate::engine::{
     registry_with, BatchAnswer, BatchExecutor, BatchQuery, BatchRequest, ColoredInstance,
@@ -71,6 +71,22 @@ pub enum Command {
         /// Input CSV path.
         path: String,
     },
+    /// Long-lived query service (`serve --addr HOST:PORT [--threads N]
+    /// [--eps E] [--seed S] [--dataset name=path]...`).
+    Serve {
+        /// Address to bind, `HOST:PORT`.
+        addr: String,
+        /// Worker threads (`None` lets the server pick).
+        threads: Option<usize>,
+        /// Approximation parameter for the approximate solvers.
+        eps: f64,
+        /// Seed for the randomized solvers (`None` = entropy-seeded).
+        seed: Option<u64>,
+        /// Datasets to load into the catalog at startup, as
+        /// `(name, path, dim)` where `dim` is 1 (`name=path@1d`, 1-D
+        /// `x[,weight]` CSV) or 2 (`name=path`, planar batch CSV).
+        datasets: Vec<(String, String, usize)>,
+    },
     /// List the solvers registered with the engine (`solvers`).
     Solvers,
     /// Print usage.
@@ -104,13 +120,19 @@ USAGE:
     maxrs colored-disk        --radius R            <colored.csv>
     maxrs colored-disk-approx --radius R --eps E    <colored.csv>
     maxrs batch --queries <queries.txt> [--threads N] [--eps E] <points.csv>
+    maxrs serve --addr HOST:PORT [--threads N] [--eps E] [--seed S]
+                [--dataset name=path[@1d]]...
     maxrs solvers
 
 Every query dispatches through the solver engine; `maxrs solvers` lists the
 registered solvers with their capabilities and guarantees.  `maxrs batch`
 answers a whole file of queries over one point set through the shared-index
 batch executor (spatial indexes built once, queries fanned out over a
-worker pool).
+worker pool).  `maxrs serve` keeps datasets resident behind an HTTP/1.1
+query service with per-dataset shared indexes and an answer cache; datasets
+are loaded at startup with repeated `--dataset name=path` flags (planar
+batch CSV; append `@1d` for 1-D `x[,weight]` CSV) or uploaded later via
+`POST /datasets/{name}[?dim=1]`.
 
 INPUT FORMATS (one record per line, '#' starts a comment):
     weighted points:  x,y[,weight]          (weight defaults to 1)
@@ -137,10 +159,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut height = None;
     let mut queries = None;
     let mut threads = None;
+    let mut addr = None;
+    let mut seed = None;
+    let mut datasets: Vec<(String, String, usize)> = Vec::new();
     let mut path = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--addr" => {
+                let Some(value) = args.get(i + 1) else {
+                    return err("--addr requires HOST:PORT");
+                };
+                addr = Some(value.clone());
+                i += 2;
+            }
+            "--seed" => {
+                let Some(raw) = args.get(i + 1) else {
+                    return err("--seed requires a value");
+                };
+                let value: u64 =
+                    raw.parse().map_err(|_| CliError(format!("--seed: invalid seed {raw}")))?;
+                seed = Some(value);
+                i += 2;
+            }
+            "--dataset" => {
+                let Some(value) = args.get(i + 1) else {
+                    return err("--dataset requires name=path (append @1d for 1-D CSV)");
+                };
+                let Some((name, file)) = value.split_once('=') else {
+                    return err(format!("--dataset: expected name=path, got `{value}`"));
+                };
+                let (file, dim) = match file.strip_suffix("@1d") {
+                    Some(stripped) => (stripped, 1),
+                    None => (file, 2),
+                };
+                if name.is_empty() || file.is_empty() {
+                    return err(format!("--dataset: expected name=path, got `{value}`"));
+                }
+                datasets.push((name.to_string(), file.to_string(), dim));
+                i += 2;
+            }
             "--radius" => {
                 radius = Some(parse_flag_value(args, &mut i, "--radius")?);
             }
@@ -198,15 +256,52 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         Ok(())
     };
-    if command != "batch" {
+    if command != "batch" && command != "serve" {
         reject_unused(
             command,
             &[("--queries", queries.is_some()), ("--threads", threads.is_some())],
         )?;
     }
+    if command != "serve" {
+        reject_unused(
+            command,
+            &[
+                ("--addr", addr.is_some()),
+                ("--seed", seed.is_some()),
+                ("--dataset", !datasets.is_empty()),
+            ],
+        )?;
+    }
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "solvers" => Ok(Command::Solvers),
+        "serve" => {
+            reject_unused(
+                "serve",
+                &[
+                    ("--radius", radius.is_some()),
+                    ("--width", width.is_some()),
+                    ("--height", height.is_some()),
+                    ("--queries", queries.is_some()),
+                ],
+            )?;
+            if let Some(extra) = path {
+                return err(format!(
+                    "serve takes no positional file (got `{extra}`); use --dataset name=path"
+                ));
+            }
+            let eps = eps.unwrap_or(0.25);
+            // Same validation as the query subcommands: a bad ε must be a
+            // CLI error, not an engine-config panic at startup.
+            check_eps(eps, 1.0)?;
+            Ok(Command::Serve {
+                addr: addr.ok_or_else(|| CliError("serve requires --addr HOST:PORT".into()))?,
+                threads,
+                eps,
+                seed,
+                datasets,
+            })
+        }
         "batch" => {
             reject_unused(
                 "batch",
@@ -297,48 +392,21 @@ fn parse_flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<f64, C
 }
 
 /// Parses weighted points from CSV text (`x,y[,weight]` per line).
+///
+/// Thin wrapper over the shared [`mrs_core::input`] loader, mapping its
+/// typed [`mrs_core::input::LoadError`] into the CLI's displayable error.
 pub fn parse_weighted_csv(text: &str) -> Result<Vec<WeightedPoint<2>>, CliError> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() < 2 || fields.len() > 3 {
-            return err(format!("line {}: expected `x,y[,weight]`, got `{line}`", lineno + 1));
-        }
-        let x = parse_number(fields[0], lineno)?;
-        let y = parse_number(fields[1], lineno)?;
-        let weight = if fields.len() == 3 { parse_number(fields[2], lineno)? } else { 1.0 };
-        if weight < 0.0 {
-            return err(format!("line {}: weights must be non-negative", lineno + 1));
-        }
-        out.push(WeightedPoint::new(Point2::xy(x, y), weight));
-    }
-    Ok(out)
+    mrs_core::input::parse_weighted_csv(text).map_err(load_error)
 }
 
-/// Parses colored sites from CSV text (`x,y,color` per line).
+/// Parses colored sites from CSV text (`x,y,color` per line) via the shared
+/// [`mrs_core::input`] loader.
 pub fn parse_colored_csv(text: &str) -> Result<Vec<ColoredSite<2>>, CliError> {
-    let mut out = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() != 3 {
-            return err(format!("line {}: expected `x,y,color`, got `{line}`", lineno + 1));
-        }
-        let x = parse_number(fields[0], lineno)?;
-        let y = parse_number(fields[1], lineno)?;
-        let color: usize = fields[2]
-            .parse()
-            .map_err(|_| CliError(format!("line {}: invalid color `{}`", lineno + 1, fields[2])))?;
-        out.push(ColoredSite::new(Point2::xy(x, y), color));
-    }
-    Ok(out)
+    mrs_core::input::parse_colored_csv(text).map_err(load_error)
+}
+
+fn load_error(e: mrs_core::input::LoadError) -> CliError {
+    CliError(e.to_string())
 }
 
 fn parse_number(raw: &str, lineno: usize) -> Result<f64, CliError> {
@@ -353,39 +421,14 @@ fn parse_number(raw: &str, lineno: usize) -> Result<f64, CliError> {
 
 /// Parses a batch point file (`x,y[,weight[,color]]` per line) into its
 /// weighted view (all lines) and its colored view (the lines carrying a
-/// color), so one point set serves both query families.
+/// color), so one point set serves both query families.  Wraps the shared
+/// [`mrs_core::input::parse_point_set_csv`] loader — the same one the
+/// server's dataset catalog uses.
 pub fn parse_batch_csv(
     text: &str,
 ) -> Result<(Vec<WeightedPoint<2>>, Vec<ColoredSite<2>>), CliError> {
-    let mut points = Vec::new();
-    let mut sites = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() < 2 || fields.len() > 4 {
-            return err(format!(
-                "line {}: expected `x,y[,weight[,color]]`, got `{line}`",
-                lineno + 1
-            ));
-        }
-        let x = parse_number(fields[0], lineno)?;
-        let y = parse_number(fields[1], lineno)?;
-        let weight = if fields.len() >= 3 { parse_number(fields[2], lineno)? } else { 1.0 };
-        if weight < 0.0 {
-            return err(format!("line {}: weights must be non-negative", lineno + 1));
-        }
-        points.push(WeightedPoint::new(Point2::xy(x, y), weight));
-        if fields.len() == 4 {
-            let color: usize = fields[3].parse().map_err(|_| {
-                CliError(format!("line {}: invalid color `{}`", lineno + 1, fields[3]))
-            })?;
-            sites.push(ColoredSite::new(Point2::xy(x, y), color));
-        }
-    }
-    Ok((points, sites))
+    let set = mrs_core::input::parse_point_set_csv(text).map_err(load_error)?;
+    Ok((set.points, set.sites))
 }
 
 /// Parses a batch query file: one query per line (`#` starts a comment),
@@ -509,6 +552,9 @@ pub fn run_batch_on_text(
         stats.queries - stats.failed,
         stats.certify_failures,
     ));
+    // Per-query wall time — the same `LatencySummary` the server's `/stats`
+    // endpoint serializes per HTTP endpoint.
+    out.push_str(&format!("per-query: {}\n", report.per_query_latency()));
     Ok(out)
 }
 
@@ -635,6 +681,11 @@ pub fn run_on_text(command: &Command, file_text: &str) -> Result<String, CliErro
             let _ = (threads, eps);
             err("batch commands need the query file too; use run_batch_on_text")
         }
+        Command::Serve { .. } => {
+            // Serving binds sockets and blocks; the binary dispatches it to
+            // `mrs_server` directly instead of through this pure function.
+            err("serve runs a long-lived network service; the binary handles it directly")
+        }
         Command::Disk { radius, .. } => {
             let points = parse_weighted_csv(file_text)?;
             check_radius(*radius)?;
@@ -712,7 +763,7 @@ pub fn run_on_text(command: &Command, file_text: &str) -> Result<String, CliErro
 /// The input file referenced by a command, if any.
 pub fn input_path(command: &Command) -> Option<&str> {
     match command {
-        Command::Help | Command::Solvers => None,
+        Command::Help | Command::Solvers | Command::Serve { .. } => None,
         Command::Disk { path, .. }
         | Command::DiskApprox { path, .. }
         | Command::Rect { path, .. }
@@ -940,6 +991,64 @@ registered solvers (name | problem | shape | dims | guarantee | batch | referenc
     }
 
     #[test]
+    fn parses_serve_command() {
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:7070",
+                "--threads",
+                "4",
+                "--dataset",
+                "demo=examples/data/batch_points.csv",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7070".into(),
+                threads: Some(4),
+                eps: 0.25,
+                seed: None,
+                datasets: vec![("demo".into(), "examples/data/batch_points.csv".into(), 2)],
+            }
+        );
+        // A `@1d` suffix marks a 1-D dataset file.
+        assert!(matches!(
+            parse_args(&args(&["serve", "--addr", "x:1", "--dataset", "ticks=events.csv@1d"]))
+                .unwrap(),
+            Command::Serve { ref datasets, .. }
+                if datasets == &[("ticks".to_string(), "events.csv".to_string(), 1)]
+        ));
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--dataset", "t=@1d"])).is_err());
+        assert!(matches!(
+            parse_args(&args(&["serve", "--addr", "x:1", "--seed", "7"])).unwrap(),
+            Command::Serve { seed: Some(7), .. }
+        ));
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--seed", "-2"])).is_err());
+        // A bad ε is a clean CLI error, not an engine-config panic.
+        let e = parse_args(&args(&["serve", "--addr", "x:1", "--eps", "1.5"])).unwrap_err();
+        assert!(e.0.contains("--eps"), "{e}");
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--seed", "7", "a.csv"])).is_err());
+        // --addr is mandatory, name=path must be well-formed, serve takes no
+        // positional file, and serve flags are rejected on other subcommands.
+        assert!(parse_args(&args(&["serve"])).is_err());
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--dataset", "nopath"])).is_err());
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--dataset", "=p"])).is_err());
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "stray.csv"])).is_err());
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--radius", "1"])).is_err());
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--addr", "x:1", "a.csv"])).is_err());
+        // The pure text runner refuses to serve; the binary owns that path.
+        let serve = Command::Serve {
+            addr: "127.0.0.1:0".into(),
+            threads: None,
+            eps: 0.25,
+            seed: None,
+            datasets: Vec::new(),
+        };
+        assert!(run_on_text(&serve, "").is_err());
+        assert_eq!(input_path(&serve), None);
+    }
+
+    #[test]
     fn parses_batch_points_and_queries() {
         let (points, sites) =
             parse_batch_csv("0,0\n1,1,2.5\n2,2,1,7  # weighted and colored\n").unwrap();
@@ -986,6 +1095,10 @@ registered solvers (name | problem | shape | dims | guarantee | batch | referenc
         assert!(out.contains("batch: 4 queries (0 failed)"), "{out}");
         assert!(out.contains("certified 4/4 (0 mismatches)"), "{out}");
         assert!(out.contains("threads = 2"), "{out}");
+        // Per-query wall-time summary (satellite of the serving PR): the
+        // batch report surfaces the same LatencySummary the server serializes.
+        assert!(out.contains("per-query: min"), "{out}");
+        assert!(out.contains("p95"), "{out}");
 
         assert!(run_batch_on_text(csv, "", None, 0.25).unwrap().contains("empty query file"));
         assert!(run_batch_on_text(csv, queries, None, 1.5).is_err());

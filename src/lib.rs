@@ -13,7 +13,10 @@
 //! * [`batched`] — batched 1-D MaxRS and the batched smallest-k-enclosing
 //!   interval problem (the upper bounds matched by Theorems 1.3 and 1.4);
 //! * [`hardness`] — the (min,+)-convolution family and the executable
-//!   reduction chains of Sections 5 and 6.
+//!   reduction chains of Sections 5 and 6;
+//! * [`server`] — the long-lived query service behind `maxrs serve`: a
+//!   dataset catalog with resident shared indexes, a sharded answer cache,
+//!   and a std-only HTTP/1.1 runtime.
 //!
 //! ## The solver engine
 //!
@@ -55,6 +58,7 @@ pub use mrs_batched as batched;
 pub use mrs_core as core;
 pub use mrs_geom as geom;
 pub use mrs_hardness as hardness;
+pub use mrs_server as server;
 
 /// The solver engine, fully wired: the `mrs_core` dispatch layer plus every
 /// solver the other workspace crates contribute.
@@ -70,11 +74,11 @@ pub mod engine {
         registry_with(EngineConfig::default())
     }
 
-    /// Like [`registry`], with an explicit engine configuration.
+    /// Like [`registry`], with an explicit engine configuration.  The
+    /// wiring lives in [`mrs_batched::engine::full_registry`] so the CLI
+    /// and the query service can never drift apart on which solvers exist.
     pub fn registry_with(config: EngineConfig) -> Registry {
-        let mut registry = Registry::with_config(config);
-        mrs_batched::engine::register(&mut registry);
-        registry
+        mrs_batched::engine::full_registry(config)
     }
 }
 
