@@ -115,6 +115,7 @@ impl WeightedSolver<1> for BatchedIntervalSolver {
         _base: &WeightedInstance<1>,
         shapes: &[RangeShape<1>],
         index: &SharedIndex<1>,
+        _threads: usize,
     ) -> Vec<EngineResult<SolverReport<Placement<1>>>> {
         let name = Self::DESCRIPTOR.name;
         let solver = BatchedMaxRS1D::from_sorted(index.sorted_line().clone());
@@ -213,7 +214,7 @@ mod tests {
             RangeShape::interval(10.0),
             RangeShape::<1>::axis_box([1.0]),
         ];
-        let results = BatchedIntervalSolver.solve_all(&instance, &shapes, &index);
+        let results = BatchedIntervalSolver.solve_all(&instance, &shapes, &index, 1);
         assert_eq!(results.len(), 4);
         for (shape, result) in shapes.iter().zip(&results) {
             match result {

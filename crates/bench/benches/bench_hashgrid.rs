@@ -1,0 +1,86 @@
+//! The CSR hash-grid hot path: build cost, allocation-free visitor queries,
+//! and the allocating `within` wrapper, across point counts and radius/cell
+//! ratios.  This is the substrate every planar solver leans on, so a
+//! regression here is a regression everywhere; the wall-clock-free
+//! counterpart lives in `tests/perf_smoke.rs`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_geom::{HashGrid, Point2};
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn clustered_points(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let extent = (n as f64).sqrt() * 1.2;
+    let centers: Vec<Point2> = (0..8)
+        .map(|_| Point2::xy(rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)))
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.gen_range(0..centers.len())];
+            Point2::xy(c.x() + rng.gen_range(-2.0..2.0), c.y() + rng.gen_range(-2.0..2.0))
+        })
+        .collect()
+}
+
+fn bench_hashgrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_hashgrid");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let points = clustered_points(n, 42);
+        let queries = clustered_points(256, 43);
+
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(HashGrid::build(1.0, &points).len()));
+        });
+
+        let index = HashGrid::build(1.0, &points);
+        group.bench_with_input(BenchmarkId::new("for_each_within_r1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in &queries {
+                    index.for_each_within(q, 1.0, |id| acc ^= id);
+                }
+                black_box(acc)
+            });
+        });
+        // Radius far above the cell side: many rows per query, still one
+        // contiguous slot scan per row.
+        group.bench_with_input(BenchmarkId::new("for_each_within_r8", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in queries.iter().take(32) {
+                    index.for_each_within(q, 8.0, |id| acc ^= id);
+                }
+                black_box(acc)
+            });
+        });
+        // The allocating convenience wrapper, for comparison with the
+        // visitor (the delta is the allocation the solvers no longer pay).
+        group.bench_with_input(BenchmarkId::new("within_r1", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in &queries {
+                    acc ^= index.within(q, 1.0).len();
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hashgrid
+}
+criterion_main!(benches);

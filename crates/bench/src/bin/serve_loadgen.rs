@@ -33,6 +33,7 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use mrs_bench::serve::{line_csv, planar_csv, query_pool, zipf_pick, zipf_weights};
 use mrs_core::engine::{
     BatchExecutor, BatchQuery, BatchRequest, EngineConfig, LatencySummary, RangeShape,
 };
@@ -112,40 +113,6 @@ fn parse_args() -> Result<Config, String> {
     config.n = n.unwrap_or(if config.smoke { 50_000 } else { 400_000 });
     config.requests = requests.unwrap_or(if config.smoke { 300 } else { 2_000 });
     Ok(config)
-}
-
-/// The 1-D canonical dataset: clustered weighted events on a line,
-/// rendered as `x,weight` CSV.
-fn line_csv(n: usize, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let extent = 1_000.0;
-    let centers: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..extent)).collect();
-    let mut csv = String::with_capacity(n * 16);
-    for _ in 0..n {
-        let c = centers[rng.gen_range(0..centers.len())];
-        let x = c + rng.gen_range(-15.0..15.0);
-        let weight = rng.gen_range(0.5..3.0);
-        csv.push_str(&format!("{x:.5},{weight:.3}\n"));
-    }
-    csv
-}
-
-/// The planar mixed-workload dataset: clustered weighted+colored points,
-/// rendered as batch CSV (`x,y,weight,color`).
-fn planar_csv(n: usize, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x2D);
-    let extent = 100.0;
-    let centers: Vec<(f64, f64)> =
-        (0..12).map(|_| (rng.gen_range(0.0..extent), rng.gen_range(0.0..extent))).collect();
-    let mut csv = String::with_capacity(n * 24);
-    for i in 0..n {
-        let (cx, cy) = centers[rng.gen_range(0..centers.len())];
-        let x = cx + rng.gen_range(-3.0..3.0);
-        let y = cy + rng.gen_range(-3.0..3.0);
-        let weight = rng.gen_range(0.5..3.0);
-        csv.push_str(&format!("{x:.4},{y:.4},{weight:.3},{}\n", i % 50));
-    }
-    csv
 }
 
 /// The canonical single query all three regimes are measured on: an
@@ -314,22 +281,13 @@ fn main() -> ExitCode {
 
     // 5. Mixed open-loop workload with Zipfian reuse over a query pool.
     let pool = query_pool(config.pool);
-    let zipf_weights: Vec<f64> =
-        (0..pool.len()).map(|i| 1.0 / ((i + 1) as f64).powf(1.1)).collect();
-    let zipf_total: f64 = zipf_weights.iter().sum();
+    let weights = zipf_weights(pool.len());
+    let zipf_total: f64 = weights.iter().sum();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xBEEF);
     let mut mixed_samples = Vec::with_capacity(config.requests);
     let mixed_started = Instant::now();
     for i in 0..config.requests {
-        let mut pick = rng.gen_range(0.0..zipf_total);
-        let mut index = 0;
-        for (j, w) in zipf_weights.iter().enumerate() {
-            if pick < *w {
-                index = j;
-                break;
-            }
-            pick -= w;
-        }
+        let index = zipf_pick(&weights, zipf_total, &mut rng);
         let (elapsed, status, body) = timed(&mut client, "/query", &pool[index]);
         check_answer(&mut violations, status, &body, &format!("mixed request {i}"));
         mixed_samples.push(elapsed);
@@ -435,40 +393,4 @@ fn dataset_index_builds(client: &mut Client, name: &str) -> f64 {
         .and_then(|d| d.get("index_builds"))
         .and_then(Json::as_f64)
         .unwrap_or_else(|| panic!("dataset {name} is listed in /stats"))
-}
-
-/// The mixed-solver query pool the Zipfian workload draws from: exact
-/// planar rectangle and colored-rectangle queries over the planar dataset
-/// plus 1-D interval queries (batched and independent) over the line
-/// dataset.  All pool solvers are exact with sub-second solves at the pool's
-/// dataset sizes — the colored *disk* solvers are output-sensitive and blow
-/// past minutes on clustered data at this density, so they are exercised by
-/// the smoke tests instead.
-fn query_pool(size: usize) -> Vec<String> {
-    let mut pool = Vec::with_capacity(size);
-    for i in 0..size {
-        let step = (i / 4) as f64;
-        let body = match i % 4 {
-            0 => format!(
-                r#"{{"dataset":"loadgen1d","solver":"batched-interval-1d","shape":{{"interval":{}}}}}"#,
-                10.0 + step
-            ),
-            1 => format!(
-                r#"{{"dataset":"loadgen","solver":"exact-rect-2d","shape":{{"box":[{},{}]}}}}"#,
-                2.0 + 0.5 * step,
-                1.0 + 0.25 * step
-            ),
-            2 => format!(
-                r#"{{"dataset":"loadgen","solver":"exact-colored-rect-2d","shape":{{"box":[{},{}]}}}}"#,
-                3.0 + 0.25 * step,
-                2.0 + 0.25 * step
-            ),
-            _ => format!(
-                r#"{{"dataset":"loadgen1d","solver":"exact-interval-1d","shape":{{"interval":{}}}}}"#,
-                20.0 + step
-            ),
-        };
-        pool.push(body);
-    }
-    pool
 }

@@ -256,6 +256,102 @@ pub mod batch {
     }
 }
 
+/// The canonical serving workload: dataset CSV generators and the mixed
+/// Zipf query pool, shared by `serve_loadgen` (the `BENCH_serve.json`
+/// emitter) and `planar_baseline` (the `BENCH_planar.json` emitter) so both
+/// measure the same traffic.
+pub mod serve {
+    use rand::prelude::*;
+
+    /// The 1-D canonical dataset: clustered weighted events on a line,
+    /// rendered as `x,weight` CSV.
+    pub fn line_csv(n: usize, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let extent = 1_000.0;
+        let centers: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..extent)).collect();
+        let mut csv = String::with_capacity(n * 16);
+        for _ in 0..n {
+            let c = centers[rng.gen_range(0..centers.len())];
+            let x = c + rng.gen_range(-15.0..15.0);
+            let weight = rng.gen_range(0.5..3.0);
+            csv.push_str(&format!("{x:.5},{weight:.3}\n"));
+        }
+        csv
+    }
+
+    /// The planar mixed-workload dataset: clustered weighted+colored points,
+    /// rendered as batch CSV (`x,y,weight,color`).
+    pub fn planar_csv(n: usize, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2D);
+        let extent = 100.0;
+        let centers: Vec<(f64, f64)> =
+            (0..12).map(|_| (rng.gen_range(0.0..extent), rng.gen_range(0.0..extent))).collect();
+        let mut csv = String::with_capacity(n * 24);
+        for i in 0..n {
+            let (cx, cy) = centers[rng.gen_range(0..centers.len())];
+            let x = cx + rng.gen_range(-3.0..3.0);
+            let y = cy + rng.gen_range(-3.0..3.0);
+            let weight = rng.gen_range(0.5..3.0);
+            csv.push_str(&format!("{x:.4},{y:.4},{weight:.3},{}\n", i % 50));
+        }
+        csv
+    }
+
+    /// The mixed-solver query pool the Zipfian workload draws from: exact
+    /// planar rectangle and colored-rectangle queries over the planar dataset
+    /// (named `loadgen`) plus 1-D interval queries (batched and independent)
+    /// over the line dataset (named `loadgen1d`).  All pool solvers are exact
+    /// with sub-second solves at the pool's dataset sizes — the colored
+    /// *disk* solvers are output-sensitive and blow past minutes on clustered
+    /// data at this density, so they are exercised by the smoke tests
+    /// instead.
+    pub fn query_pool(size: usize) -> Vec<String> {
+        let mut pool = Vec::with_capacity(size);
+        for i in 0..size {
+            let step = (i / 4) as f64;
+            let body = match i % 4 {
+                0 => format!(
+                    r#"{{"dataset":"loadgen1d","solver":"batched-interval-1d","shape":{{"interval":{}}}}}"#,
+                    10.0 + step
+                ),
+                1 => format!(
+                    r#"{{"dataset":"loadgen","solver":"exact-rect-2d","shape":{{"box":[{},{}]}}}}"#,
+                    2.0 + 0.5 * step,
+                    1.0 + 0.25 * step
+                ),
+                2 => format!(
+                    r#"{{"dataset":"loadgen","solver":"exact-colored-rect-2d","shape":{{"box":[{},{}]}}}}"#,
+                    3.0 + 0.25 * step,
+                    2.0 + 0.25 * step
+                ),
+                _ => format!(
+                    r#"{{"dataset":"loadgen1d","solver":"exact-interval-1d","shape":{{"interval":{}}}}}"#,
+                    20.0 + step
+                ),
+            };
+            pool.push(body);
+        }
+        pool
+    }
+
+    /// Draws one Zipf(1.1) index over `weights.len()` entries.
+    pub fn zipf_pick(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
+        let mut pick = rng.gen_range(0.0..total);
+        for (j, w) in weights.iter().enumerate() {
+            if pick < *w {
+                return j;
+            }
+            pick -= w;
+        }
+        0
+    }
+
+    /// The Zipf(1.1) weights over a pool of the given size.
+    pub fn zipf_weights(size: usize) -> Vec<f64> {
+        (0..size).map(|i| 1.0 / ((i + 1) as f64).powf(1.1)).collect()
+    }
+}
+
 /// Timing and table-formatting helpers for the experiment runner.
 pub mod measure {
     use std::time::{Duration, Instant};

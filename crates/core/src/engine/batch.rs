@@ -235,6 +235,15 @@ impl<const D: usize> BatchAnswer<D> {
             BatchAnswer::Failed(_) => Duration::ZERO,
         }
     }
+
+    /// The solve statistics, if the query succeeded.
+    pub fn solve_stats(&self) -> Option<&super::SolveStats> {
+        match self {
+            BatchAnswer::Weighted(report) => Some(&report.stats),
+            BatchAnswer::Colored(report) => Some(&report.stats),
+            BatchAnswer::Failed(_) => None,
+        }
+    }
 }
 
 /// Batch-level execution statistics.
@@ -244,7 +253,10 @@ pub struct BatchStats {
     pub queries: usize,
     /// Number of queries that failed dispatch.
     pub failed: usize,
-    /// Worker threads the executor ran with.
+    /// The executor's thread *budget*: at most this many scoped workers fan
+    /// out across tasks, and an index-shared group task receives the
+    /// leftover share for internal chunking — so fewer OS workers than this
+    /// may have spawned when the batch had fewer tasks.
     pub threads: usize,
     /// Shared-index structures built for this batch (sorted event list,
     /// Fenwick tree, one hash grid per distinct query radius).
@@ -261,6 +273,13 @@ pub struct BatchStats {
     /// Certifications whose re-evaluated value disagreed with the report
     /// (always 0 unless a solver violates its contract).
     pub certify_failures: usize,
+    /// Points distance-tested through spatial-index queries, summed over the
+    /// batch's successful answers (answers without the counter contribute
+    /// zero).  Wall-clock-free work measure; see
+    /// [`SolveStats::candidates_examined`](super::SolveStats).
+    pub candidates_examined: usize,
+    /// Spatial-index cells visited by those queries, summed likewise.
+    pub grid_cells_visited: usize,
 }
 
 impl BatchStats {

@@ -10,13 +10,14 @@ use super::convert::{repack_colored_placement, repack_point, repack_sites};
 use super::descriptor::{
     BatchCapability, DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor,
 };
-use super::instance::ColoredInstance;
+use super::index::SharedIndex;
+use super::instance::{ColoredInstance, RangeShape};
 use super::report::{Guarantee, SolveStats, SolverReport};
 use super::weighted::{require_ball, require_box, require_dim};
 use super::{ColoredSolver, EngineResult};
 use crate::config::{ColorSamplingConfig, SamplingConfig};
 use crate::exact::{exact_colored_disk, exact_colored_rect};
-use crate::input::ColoredPlacement;
+use crate::input::{ball_distinct_colors, ColoredPlacement};
 use crate::technique1::approx_colored_ball;
 use crate::technique2::{
     approx_colored_disk_sampling_with_details, exact_colored_disk_by_union,
@@ -154,6 +155,8 @@ impl<const D: usize> ColoredSolver<D> for OutputSensitiveColoredDiskSolver {
                 cells: Some(stats.cells),
                 samples: None,
                 candidates: Some(stats.boundary_intersections),
+                candidates_examined: Some(stats.grid_queries.candidates),
+                grid_cells_visited: Some(stats.grid_queries.cells),
             },
         })
     }
@@ -175,7 +178,7 @@ impl ColoredBallSolver {
         dims: DimSupport::Any,
         guarantee: GuaranteeClass::HalfMinusEps,
         dynamic: false,
-        batch: BatchCapability::Independent,
+        batch: BatchCapability::IndexShared,
         negative_weights: true,
         reference: "Theorem 1.5",
     };
@@ -217,6 +220,48 @@ impl<const D: usize> ColoredSolver<D> for ColoredBallSolver {
             guarantee: Guarantee::HalfMinusEps { eps: self.config.eps },
             stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
         })
+    }
+
+    /// The index-shared batch path: the colored Technique 1 sample set
+    /// (dual balls inserted grouped by color, Section 3.2) is built once per
+    /// distinct radius in the shared index; each query reads it through the
+    /// non-mutating `peek_best` and certifies the chosen center with an
+    /// exact distinct-color recount — the same center and count a fresh
+    /// per-query build reports.
+    fn solve_all(
+        &self,
+        base: &ColoredInstance<D>,
+        shapes: &[RangeShape<D>],
+        index: &SharedIndex<D>,
+        _threads: usize,
+    ) -> Vec<EngineResult<SolverReport<ColoredPlacement<D>>>> {
+        let name = Self::DESCRIPTOR.name;
+        shapes
+            .iter()
+            .map(|shape| {
+                let radius = require_ball(name, shape)?;
+                let start = Instant::now();
+                let placement = if base.is_empty() {
+                    ColoredPlacement::empty()
+                } else {
+                    let set = index.colored_sample_set(radius, &self.config);
+                    match set.peek_best() {
+                        None => ColoredPlacement::empty(),
+                        Some((scaled_center, _)) => {
+                            let center = scaled_center.scale(radius);
+                            let distinct = ball_distinct_colors(base.sites(), &center, radius);
+                            ColoredPlacement { center, distinct }
+                        }
+                    }
+                };
+                Ok(SolverReport {
+                    solver: name,
+                    placement,
+                    guarantee: Guarantee::HalfMinusEps { eps: self.config.eps },
+                    stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+                })
+            })
+            .collect()
     }
 }
 
@@ -283,10 +328,9 @@ impl<const D: usize> ColoredSolver<D> for ColoredDiskSamplingSolver {
             guarantee: Guarantee::OneMinusEps { eps: self.config.eps },
             stats: SolveStats {
                 elapsed: start.elapsed(),
-                grids: None,
-                cells: None,
                 samples: kept,
                 candidates: Some(details.opt_estimate),
+                ..SolveStats::default()
             },
         })
     }

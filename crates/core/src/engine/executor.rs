@@ -84,10 +84,10 @@ enum Task<const D: usize> {
 }
 
 impl<const D: usize> Task<D> {
-    fn run(&self, index: &SharedIndex<D>) -> Vec<(usize, BatchAnswer<D>)> {
+    fn run(&self, index: &SharedIndex<D>, threads: usize) -> Vec<(usize, BatchAnswer<D>)> {
         match self {
             Task::WeightedGroup { solver, base, indices, shapes } => {
-                let results = solver.solve_all(base, shapes, index);
+                let results = solver.solve_all(base, shapes, index, threads);
                 indices
                     .iter()
                     .zip(results)
@@ -104,7 +104,7 @@ impl<const D: usize> Task<D> {
                 vec![(*i, answer)]
             }
             Task::ColoredGroup { solver, base, indices, shapes } => {
-                let results = solver.solve_all(base, shapes, index);
+                let results = solver.solve_all(base, shapes, index, threads);
                 indices
                     .iter()
                     .zip(results)
@@ -184,17 +184,24 @@ impl<'r> BatchExecutor<'r> {
         let mut answers: Vec<Option<BatchAnswer<D>>> = vec![None; request.len()];
         let tasks = self.plan(request, &mut answers);
 
-        let threads = self
+        // The thread *budget* is what the caller configured (or the machine
+        // offers); the executor fans at most one worker per task out and
+        // grants each task the leftover budget for *internal* chunking, so
+        // `--threads` accelerates a single expensive query too (an
+        // index-shared group is one task).
+        let budget = self
             .config
             .threads
             .unwrap_or_else(|| {
                 std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
             })
-            .clamp(1, tasks.len().max(1));
+            .max(1);
+        let workers = budget.min(tasks.len().max(1));
+        let inner_threads = (budget / workers).max(1);
 
-        if threads <= 1 {
+        if workers <= 1 {
             for task in &tasks {
-                for (i, answer) in task.run(index) {
+                for (i, answer) in task.run(index, inner_threads) {
                     answers[i] = Some(answer);
                 }
             }
@@ -202,11 +209,11 @@ impl<'r> BatchExecutor<'r> {
             let next = AtomicUsize::new(0);
             let shared_answers = Mutex::new(&mut answers);
             std::thread::scope(|scope| {
-                for _ in 0..threads {
+                for _ in 0..workers {
                     scope.spawn(|| loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         let Some(task) = tasks.get(t) else { break };
-                        let results = task.run(index);
+                        let results = task.run(index, inner_threads);
                         let mut answers = shared_answers.lock().expect("answer lock poisoned");
                         for (i, answer) in results {
                             answers[i] = Some(answer);
@@ -228,8 +235,18 @@ impl<'r> BatchExecutor<'r> {
         let mut stats = BatchStats {
             queries: request.len(),
             failed: answers.iter().filter(|a| !a.is_ok()).count(),
-            threads,
+            threads: budget,
             solver_time: answers.iter().map(BatchAnswer::elapsed).sum(),
+            candidates_examined: answers
+                .iter()
+                .filter_map(BatchAnswer::solve_stats)
+                .filter_map(|s| s.candidates_examined)
+                .sum(),
+            grid_cells_visited: answers
+                .iter()
+                .filter_map(BatchAnswer::solve_stats)
+                .filter_map(|s| s.grid_cells_visited)
+                .sum(),
             ..BatchStats::default()
         };
         if self.config.certify {

@@ -18,9 +18,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use mrs_geom::{ColoredSite, Fenwick, HashGrid, Point, WeightedPoint};
+use mrs_geom::{Ball, ColoredSite, Fenwick, HashGrid, Point, WeightedPoint};
 
+use crate::config::SamplingConfig;
 use crate::exact::interval1d::{LinePoint, SortedLine};
+use crate::technique1::SampleSet;
 
 /// The 1-D view of the shared point set: the sorted event list the Section 5
 /// batched solver builds from, plus a Fenwick tree over the sorted weights
@@ -59,9 +61,46 @@ pub struct SharedIndex<const D: usize> {
     line: OnceLock<LineIndex>,
     point_grids: Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
     site_grids: Mutex<HashMap<u64, Arc<HashGrid<D>>>>,
+    /// Technique-1 sample sets, built once per `(radius, config, colored)`
+    /// key and then queried read-only via [`SampleSet::peek_best`].
+    sample_sets: Mutex<HashMap<SampleSetKey, Arc<SampleSet<D>>>>,
+    /// Point ids sorted by one coordinate (`(coordinate, id)` order), one
+    /// array per axis — the shared substrate of the planar sweep solvers.
+    projections: Mutex<HashMap<usize, Arc<[u32]>>>,
     coord_scale: OnceLock<f64>,
     builds: AtomicUsize,
     build_time: Mutex<Duration>,
+}
+
+/// Cache key of one Technique-1 sample set: the query radius, whether the
+/// set was fed colored or weighted balls, and every field of the
+/// [`SamplingConfig`] it was built with (bit-exact, so two configs that
+/// would sample differently never share a set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct SampleSetKey {
+    radius_bits: u64,
+    colored: bool,
+    eps_bits: u64,
+    seed: u64,
+    sample_constant_bits: u64,
+    min_samples: usize,
+    max_samples: usize,
+    max_grids: Option<usize>,
+}
+
+impl SampleSetKey {
+    fn new(radius: f64, colored: bool, config: &SamplingConfig) -> Self {
+        Self {
+            radius_bits: radius.to_bits(),
+            colored,
+            eps_bits: config.eps.to_bits(),
+            seed: config.seed,
+            sample_constant_bits: config.sample_constant.to_bits(),
+            min_samples: config.min_samples_per_cell,
+            max_samples: config.max_samples_per_cell,
+            max_grids: config.max_grids,
+        }
+    }
 }
 
 impl<const D: usize> SharedIndex<D> {
@@ -74,6 +113,8 @@ impl<const D: usize> SharedIndex<D> {
             line: OnceLock::new(),
             point_grids: Mutex::new(HashMap::new()),
             site_grids: Mutex::new(HashMap::new()),
+            sample_sets: Mutex::new(HashMap::new()),
+            projections: Mutex::new(HashMap::new()),
             coord_scale: OnceLock::new(),
             builds: AtomicUsize::new(0),
             build_time: Mutex::new(Duration::ZERO),
@@ -201,6 +242,79 @@ impl<const D: usize> SharedIndex<D> {
     /// once per distinct radius.
     pub fn site_grid(&self, radius: f64) -> Arc<HashGrid<D>> {
         self.grid_for(&self.site_grids, radius, || self.sites.iter().map(|s| s.point).collect())
+    }
+
+    /// The point ids sorted by coordinate `axis` (ties by id), built once per
+    /// axis — the shared sorted-projection substrate of the planar rectangle
+    /// sweep (and any future sweep that needs one coordinate order).  The
+    /// order comes from [`crate::exact::rect2d::sorted_order_by_axis`], the
+    /// same function the per-query sweep sorts with, so the presorted path
+    /// stays byte-identical by construction.
+    pub fn sorted_projection(&self, axis: usize) -> Arc<[u32]> {
+        assert!(axis < D, "axis {axis} out of range for dimension {D}");
+        let mut map = self.projections.lock().expect("projection lock poisoned");
+        if let Some(order) = map.get(&axis) {
+            return Arc::clone(order);
+        }
+        let start = Instant::now();
+        let order: Arc<[u32]> =
+            crate::exact::rect2d::sorted_order_by_axis(&self.points, axis).into();
+        self.record_build(1, start.elapsed());
+        map.insert(axis, Arc::clone(&order));
+        order
+    }
+
+    /// The Technique-1 *weighted* sample set for query radius `radius` under
+    /// `config`, built exactly once per `(radius, config)` and shared by
+    /// every query that asks for it.  The set is fed the dual unit balls of
+    /// the indexed points in input order (exactly what a fresh
+    /// `approx_static_ball` run would build), so querying it via
+    /// [`SampleSet::peek_best`] reproduces the per-query solver bit for bit.
+    pub fn weighted_sample_set(&self, radius: f64, config: &SamplingConfig) -> Arc<SampleSet<D>> {
+        self.sample_set(radius, false, config, |set| {
+            let inv = 1.0 / radius;
+            for wp in self.points.iter() {
+                set.insert_ball(&Ball::unit(wp.point.scale(inv)), wp.weight);
+            }
+        })
+    }
+
+    /// The Technique-1 *colored* sample set for query radius `radius` under
+    /// `config`: dual unit balls of the indexed sites, inserted grouped by
+    /// color (Section 3.2's ordering requirement), exactly as a fresh
+    /// `approx_colored_ball` run would insert them.
+    pub fn colored_sample_set(&self, radius: f64, config: &SamplingConfig) -> Arc<SampleSet<D>> {
+        self.sample_set(radius, true, config, |set| {
+            let inv = 1.0 / radius;
+            let mut dual: Vec<(Point<D>, usize)> =
+                self.sites.iter().map(|s| (s.point.scale(inv), s.color)).collect();
+            dual.sort_by_key(|(_, color)| *color);
+            for (center, color) in dual {
+                set.insert_colored_ball(&Ball::unit(center), color);
+            }
+        })
+    }
+
+    fn sample_set(
+        &self,
+        radius: f64,
+        colored: bool,
+        config: &SamplingConfig,
+        fill: impl FnOnce(&mut SampleSet<D>),
+    ) -> Arc<SampleSet<D>> {
+        let key = SampleSetKey::new(radius, colored, config);
+        let mut map = self.sample_sets.lock().expect("sample-set lock poisoned");
+        if let Some(set) = map.get(&key) {
+            return Arc::clone(set);
+        }
+        let start = Instant::now();
+        let expected = if colored { self.sites.len() } else { self.points.len() };
+        let mut set = SampleSet::new(*config, expected);
+        fill(&mut set);
+        let set = Arc::new(set);
+        self.record_build(1, start.elapsed());
+        map.insert(key, Arc::clone(&set));
+        set
     }
 
     /// Total weight inside the closed ball of the given radius at `center`,

@@ -143,15 +143,22 @@ pub trait WeightedSolver<const D: usize>: Send + Sync {
     /// instance per shape (an `O(1)` operation — instances share their
     /// points) and calls [`Self::solve`] on each.  Solvers whose descriptor
     /// declares [`BatchCapability::IndexShared`] override this to amortize
-    /// one build across the whole batch, optionally reusing the executor's
-    /// [`SharedIndex`] structures.
+    /// one build across the whole batch, reusing the executor's
+    /// [`SharedIndex`] structures (per-radius grids, sorted projections,
+    /// cached sample sets).
+    ///
+    /// `threads` is the worker budget the executor grants this call for
+    /// *internal* fan-out (chunking one expensive query over
+    /// `std::thread::scope` workers); implementations may ignore it, and
+    /// answers must not depend on it.
     fn solve_all(
         &self,
         base: &WeightedInstance<D>,
         shapes: &[RangeShape<D>],
         index: &SharedIndex<D>,
+        threads: usize,
     ) -> Vec<EngineResult<SolverReport<Placement<D>>>> {
-        let _ = index;
+        let _ = (index, threads);
         shapes.iter().map(|shape| self.solve(&base.with_shape(*shape))).collect()
     }
 
@@ -181,8 +188,9 @@ pub trait ColoredSolver<const D: usize>: Send + Sync {
         base: &ColoredInstance<D>,
         shapes: &[RangeShape<D>],
         index: &SharedIndex<D>,
+        threads: usize,
     ) -> Vec<EngineResult<SolverReport<ColoredPlacement<D>>>> {
-        let _ = index;
+        let _ = (index, threads);
         shapes.iter().map(|shape| self.solve(&base.with_shape(*shape))).collect()
     }
 

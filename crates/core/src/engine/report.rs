@@ -71,6 +71,13 @@ pub struct SolveStats {
     pub samples: Option<usize>,
     /// Candidate placements / boundary crossings examined.
     pub candidates: Option<usize>,
+    /// Points distance-tested through spatial-index queries (the work the
+    /// grid could not prune).  `None` when the solver runs no index queries.
+    pub candidates_examined: Option<usize>,
+    /// Spatial-index cells visited by those queries.  Together with
+    /// [`Self::candidates_examined`] this bounds the solver's index work
+    /// without a wall clock, which is what the perf-smoke tests assert on.
+    pub grid_cells_visited: Option<usize>,
 }
 
 /// The full result of dispatching one instance to one solver.

@@ -10,13 +10,16 @@ use super::convert::{repack_placement, repack_point, repack_weighted};
 use super::descriptor::{
     BatchCapability, DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor,
 };
+use super::index::SharedIndex;
 use super::instance::{RangeShape, WeightedInstance};
 use super::report::{Guarantee, SolveStats, SolverReport};
 use super::{EngineError, EngineResult, WeightedSolver};
 use crate::config::SamplingConfig;
+use crate::exact::disk2d::max_disk_placement_chunked;
 use crate::exact::interval1d::{max_interval_placement, LinePoint};
+use crate::exact::rect2d::max_rect_placement_presorted;
 use crate::exact::{max_disk_placement, max_rect_placement};
-use crate::input::Placement;
+use crate::input::{ball_coverage_weight, Placement};
 use crate::technique1::{approx_static_ball_with_stats, DynamicBallMaxRS};
 
 pub(super) fn require_dim<const D: usize>(solver: &'static str, wanted: usize) -> EngineResult<()> {
@@ -66,7 +69,7 @@ impl ExactIntervalSolver {
         dims: DimSupport::Fixed(1),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
-        batch: BatchCapability::Independent,
+        batch: BatchCapability::IndexShared,
         negative_weights: true,
         reference: "Section 5 per-length oracle (sorted sweep)",
     };
@@ -94,6 +97,42 @@ impl<const D: usize> WeightedSolver<D> for ExactIntervalSolver {
             stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
         })
     }
+
+    /// The index-shared batch path: answer every interval length off the
+    /// shared sorted event list (built once per point-set lifetime), so a
+    /// batch of `m` queries costs `O(n log n + m·n)` instead of `m`
+    /// independent sorts.  The sorted line is built by the same stable sort
+    /// a fresh solve runs, so answers are identical.
+    fn solve_all(
+        &self,
+        base: &WeightedInstance<D>,
+        shapes: &[RangeShape<D>],
+        index: &SharedIndex<D>,
+        _threads: usize,
+    ) -> Vec<EngineResult<SolverReport<Placement<D>>>> {
+        let name = Self::DESCRIPTOR.name;
+        if let Err(error) = require_dim::<D>(name, 1) {
+            return shapes.iter().map(|_| Err(error.clone())).collect();
+        }
+        let _ = base;
+        let line = index.sorted_line();
+        shapes
+            .iter()
+            .map(|shape| {
+                let radius = require_ball(name, shape)?;
+                let start = Instant::now();
+                let best = line.max_interval(2.0 * radius);
+                let mut center = Point::<D>::origin();
+                center[0] = 0.5 * (best.interval.lo + best.interval.hi);
+                Ok(SolverReport {
+                    solver: name,
+                    placement: Placement { center, value: best.value },
+                    guarantee: Guarantee::Exact,
+                    stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+                })
+            })
+            .collect()
+    }
 }
 
 /// Exact planar rectangle MaxRS (`O(n log n)`, Imai–Asano / Nandy–
@@ -110,7 +149,7 @@ impl ExactRectSolver {
         dims: DimSupport::Fixed(2),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
-        batch: BatchCapability::Independent,
+        batch: BatchCapability::IndexShared,
         negative_weights: false,
         reference: "[IA83]/[NB95] rectangle sweep",
     };
@@ -137,6 +176,46 @@ impl<const D: usize> WeightedSolver<D> for ExactRectSolver {
             stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
         })
     }
+
+    /// The index-shared batch path: the points are repacked once and both
+    /// sorted projections come from the shared index (built once per
+    /// point-set lifetime), so each query runs the sort-free
+    /// [`max_rect_placement_presorted`] sweep.  Identical placements to the
+    /// per-query path, bit for bit.
+    fn solve_all(
+        &self,
+        base: &WeightedInstance<D>,
+        shapes: &[RangeShape<D>],
+        index: &SharedIndex<D>,
+        _threads: usize,
+    ) -> Vec<EngineResult<SolverReport<Placement<D>>>> {
+        let name = Self::DESCRIPTOR.name;
+        if let Err(error) = require_dim::<D>(name, 2) {
+            return shapes.iter().map(|_| Err(error.clone())).collect();
+        }
+        if let Err(error) = require_nonnegative(name, base) {
+            return shapes.iter().map(|_| Err(error.clone())).collect();
+        }
+        let points = repack_weighted::<D, 2>(base.points());
+        let by_x = index.sorted_projection(0);
+        let by_y = index.sorted_projection(1);
+        shapes
+            .iter()
+            .map(|shape| {
+                let extents = require_box(name, shape)?;
+                let start = Instant::now();
+                let best =
+                    max_rect_placement_presorted(&points, extents[0], extents[1], &by_x, &by_y);
+                let center2 = best.rect.lo.lerp(&best.rect.hi, 0.5);
+                Ok(SolverReport {
+                    solver: name,
+                    placement: Placement { center: repack_point(&center2), value: best.value },
+                    guarantee: Guarantee::Exact,
+                    stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+                })
+            })
+            .collect()
+    }
 }
 
 /// Exact planar disk MaxRS (`O(n² log n)`, Chazelle–Lee sweep).
@@ -152,7 +231,7 @@ impl ExactDiskSolver {
         dims: DimSupport::Fixed(2),
         guarantee: GuaranteeClass::Exact,
         dynamic: false,
-        batch: BatchCapability::Independent,
+        batch: BatchCapability::IndexShared,
         negative_weights: false,
         reference: "[CL86] disk sweep",
     };
@@ -178,6 +257,50 @@ impl<const D: usize> WeightedSolver<D> for ExactDiskSolver {
             stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
         })
     }
+
+    /// The index-shared batch path: the neighbour grid comes from the shared
+    /// index (one CSR build per distinct radius, cached for the point set's
+    /// whole lifetime) and each sweep fans its candidate centers out over
+    /// `threads` chunk workers — so `--threads` accelerates a *single*
+    /// expensive query, not just query-level parallelism.  Chunk results
+    /// merge deterministically; placements are identical at every thread
+    /// count.
+    fn solve_all(
+        &self,
+        base: &WeightedInstance<D>,
+        shapes: &[RangeShape<D>],
+        index: &SharedIndex<D>,
+        threads: usize,
+    ) -> Vec<EngineResult<SolverReport<Placement<D>>>> {
+        let name = Self::DESCRIPTOR.name;
+        if let Err(error) = require_dim::<D>(name, 2) {
+            return shapes.iter().map(|_| Err(error.clone())).collect();
+        }
+        if let Err(error) = require_nonnegative(name, base) {
+            return shapes.iter().map(|_| Err(error.clone())).collect();
+        }
+        let points = base.points();
+        shapes
+            .iter()
+            .map(|shape| {
+                let radius = require_ball(name, shape)?;
+                let start = Instant::now();
+                let grid = index.point_grid(radius.max(1e-9));
+                let (best, sweep) = max_disk_placement_chunked(points, radius, &grid, threads);
+                Ok(SolverReport {
+                    solver: name,
+                    placement: best,
+                    guarantee: Guarantee::Exact,
+                    stats: SolveStats {
+                        elapsed: start.elapsed(),
+                        candidates_examined: Some(sweep.candidates_examined),
+                        grid_cells_visited: Some(sweep.grid_cells_visited),
+                        ..SolveStats::default()
+                    },
+                })
+            })
+            .collect()
+    }
 }
 
 /// Static `(1/2 − ε)`-approximate `d`-ball MaxRS via point sampling
@@ -196,7 +319,7 @@ impl StaticBallSolver {
         dims: DimSupport::Any,
         guarantee: GuaranteeClass::HalfMinusEps,
         dynamic: false,
-        batch: BatchCapability::Independent,
+        batch: BatchCapability::IndexShared,
         negative_weights: false,
         reference: "Theorem 1.2",
     };
@@ -239,9 +362,64 @@ impl<const D: usize> WeightedSolver<D> for StaticBallSolver {
                 grids: Some(stats.grids),
                 cells: Some(stats.cells),
                 samples: Some(stats.samples),
-                candidates: None,
+                ..SolveStats::default()
             },
         })
+    }
+
+    /// The index-shared batch path: the Technique 1 sample set is built once
+    /// per distinct radius (cached in the shared index for the point set's
+    /// whole lifetime) and every query reads it through the non-mutating
+    /// [`crate::technique1::SampleSet::peek_best`], then certifies the
+    /// chosen center by an exact recount — the same center and value a
+    /// fresh per-query build reports, without rebuilding anything.
+    fn solve_all(
+        &self,
+        base: &WeightedInstance<D>,
+        shapes: &[RangeShape<D>],
+        index: &SharedIndex<D>,
+        _threads: usize,
+    ) -> Vec<EngineResult<SolverReport<Placement<D>>>> {
+        let name = Self::DESCRIPTOR.name;
+        if let Err(error) = require_nonnegative(name, base) {
+            return shapes.iter().map(|_| Err(error.clone())).collect();
+        }
+        shapes
+            .iter()
+            .map(|shape| {
+                let radius = require_ball(name, shape)?;
+                let start = Instant::now();
+                let (placement, set_stats) = if base.is_empty() {
+                    (Placement::empty(), None)
+                } else {
+                    let set = index.weighted_sample_set(radius, &self.config);
+                    let placement = match set.peek_best() {
+                        None => Placement::empty(),
+                        Some((scaled_center, _)) => {
+                            let center = scaled_center.scale(radius);
+                            // Certify: report the exact covered weight of the
+                            // chosen center (see `approx_static_ball_with_stats`
+                            // for why the sampled depth is not reported as-is).
+                            let value = ball_coverage_weight(base.points(), &center, radius);
+                            Placement { center, value }
+                        }
+                    };
+                    (placement, Some((set.grid_count(), set.cell_count(), set.total_samples())))
+                };
+                Ok(SolverReport {
+                    solver: name,
+                    placement,
+                    guarantee: Guarantee::HalfMinusEps { eps: self.config.eps },
+                    stats: SolveStats {
+                        elapsed: start.elapsed(),
+                        grids: set_stats.map(|s| s.0),
+                        cells: set_stats.map(|s| s.1),
+                        samples: set_stats.map(|s| s.2),
+                        ..SolveStats::default()
+                    },
+                })
+            })
+            .collect()
     }
 }
 

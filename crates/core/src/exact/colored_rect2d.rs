@@ -10,8 +10,6 @@
 //! to serve as a baseline and test oracle for every workload in this
 //! repository.
 
-use std::collections::HashMap;
-
 use mrs_geom::{Aabb, ColoredSite, Point2, Rect};
 
 /// Result of an exact colored rectangle MaxRS query.
@@ -32,29 +30,52 @@ pub fn colored_rect_count(sites: &[ColoredSite<2>], rect: &Rect) -> usize {
     colors.len()
 }
 
-/// Incremental distinct-color counter over a multiset of colors.
-#[derive(Default)]
+/// Incremental distinct-color counter over a multiset of *dense* color
+/// indices (`0..m`, see [`dense_colors`]): a flat count array instead of a
+/// hash map, so every add/remove is one array access.
 struct DistinctCounter {
-    counts: HashMap<usize, usize>,
+    counts: Vec<u32>,
+    distinct: usize,
 }
 
 impl DistinctCounter {
-    fn add(&mut self, color: usize) {
-        *self.counts.entry(color).or_insert(0) += 1;
+    fn new(num_colors: usize) -> Self {
+        Self { counts: vec![0; num_colors], distinct: 0 }
     }
 
+    #[inline]
+    fn add(&mut self, color: usize) {
+        self.counts[color] += 1;
+        if self.counts[color] == 1 {
+            self.distinct += 1;
+        }
+    }
+
+    #[inline]
     fn remove(&mut self, color: usize) {
-        if let Some(c) = self.counts.get_mut(&color) {
-            *c -= 1;
-            if *c == 0 {
-                self.counts.remove(&color);
-            }
+        self.counts[color] -= 1;
+        if self.counts[color] == 0 {
+            self.distinct -= 1;
         }
     }
 
     fn distinct(&self) -> usize {
-        self.counts.len()
+        self.distinct
     }
+}
+
+/// Remaps arbitrary color ids to dense indices `0..m` (sorted-id order, so
+/// the mapping is deterministic).  Returns the per-site dense color array
+/// and `m`.
+fn dense_colors(sites: &[ColoredSite<2>]) -> (Vec<usize>, usize) {
+    let mut palette: Vec<usize> = sites.iter().map(|s| s.color).collect();
+    palette.sort_unstable();
+    palette.dedup();
+    let dense = sites
+        .iter()
+        .map(|s| palette.binary_search(&s.color).expect("color is in its own palette"))
+        .collect();
+    (dense, palette.len())
 }
 
 /// Exact colored MaxRS for a closed `width × height` axis-aligned rectangle:
@@ -82,9 +103,14 @@ pub fn exact_colored_rect(
         };
     }
 
-    // Sites sorted by x once; reused by every horizontal pass.
-    let mut by_x: Vec<&ColoredSite<2>> = sites.iter().collect();
-    by_x.sort_by(|a, b| a.point.x().partial_cmp(&b.point.x()).unwrap());
+    let (dense, num_colors) = dense_colors(sites);
+
+    // Sites sorted by x once (reused by every horizontal pass) and by y once
+    // (driving the incremental strip window).
+    let mut by_x: Vec<usize> = (0..sites.len()).collect();
+    by_x.sort_by(|&a, &b| sites[a].point.x().partial_cmp(&sites[b].point.x()).unwrap());
+    let mut by_y: Vec<usize> = (0..sites.len()).collect();
+    by_y.sort_by(|&a, &b| sites[a].point.y().partial_cmp(&sites[b].point.y()).unwrap());
 
     // Candidate bottom edges: a maximum-depth rectangle can always be pushed
     // down until its bottom or top edge touches a site.
@@ -98,42 +124,73 @@ pub fn exact_colored_rect(
 
     let mut best = ColoredRectPlacement {
         rect: Aabb::new(
-            Point2::xy(by_x[0].point.x(), bottoms[0]),
-            Point2::xy(by_x[0].point.x() + width, bottoms[0] + height),
+            Point2::xy(sites[by_x[0]].point.x(), bottoms[0]),
+            Point2::xy(sites[by_x[0]].point.x() + width, bottoms[0] + height),
         ),
         distinct: 0,
     };
 
+    // The strip `[bottom, bottom + height]` slides monotonically upward as
+    // the bottoms ascend, so its membership — and its distinct-color count —
+    // is maintained incrementally over `by_y`: each site enters and leaves
+    // exactly once across the whole sweep.  A strip whose distinct count
+    // cannot *strictly* beat the best is skipped before any per-strip work
+    // (behavior-identical: the horizontal pass could never improve on it).
+    let mut strip_counter = DistinctCounter::new(num_colors);
+    let mut win_lo = 0usize;
+    let mut win_hi = 0usize;
+    let mut counter = DistinctCounter::new(num_colors);
+    let mut strip: Vec<usize> = Vec::new();
+    let mut xs: Vec<f64> = Vec::new();
+    let mut starts: Vec<f64> = Vec::new();
     for &bottom in &bottoms {
         let top = bottom + height;
-        // The strip of sites whose y lies in [bottom, top], in x order.
-        let strip: Vec<&ColoredSite<2>> = by_x
-            .iter()
-            .copied()
-            .filter(|s| s.point.y() >= bottom - 1e-12 && s.point.y() <= top + 1e-12)
-            .collect();
-        if strip.len() <= best.distinct {
-            // Even if every strip site had a unique color we could not improve.
+        while win_hi < by_y.len() && sites[by_y[win_hi]].point.y() <= top + 1e-12 {
+            strip_counter.add(dense[by_y[win_hi]]);
+            win_hi += 1;
+        }
+        while win_lo < win_hi && sites[by_y[win_lo]].point.y() < bottom - 1e-12 {
+            strip_counter.remove(dense[by_y[win_lo]]);
+            win_lo += 1;
+        }
+        if strip_counter.distinct() <= best.distinct {
             continue;
         }
+        // The strip in x order (only materialized for strips that can win).
+        strip.clear();
+        strip.extend(by_x.iter().copied().filter(|&s| {
+            sites[s].point.y() >= bottom - 1e-12 && sites[s].point.y() <= top + 1e-12
+        }));
         // Two-pointer pass over candidate left edges: every strip x and every
-        // strip x − width, in increasing order.
-        let xs: Vec<f64> = strip.iter().map(|s| s.point.x()).collect();
-        let mut starts: Vec<f64> = xs.iter().map(|x| x - width).chain(xs.iter().copied()).collect();
-        starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // strip x − width, in increasing order (a merge of two already-sorted
+        // streams).
+        xs.clear();
+        xs.extend(strip.iter().map(|&s| sites[s].point.x()));
+        starts.clear();
+        let (mut ia, mut ib) = (0usize, 0usize);
+        while ia < xs.len() || ib < xs.len() {
+            let shifted = if ia < xs.len() { xs[ia] - width } else { f64::INFINITY };
+            let plain = if ib < xs.len() { xs[ib] } else { f64::INFINITY };
+            if shifted <= plain {
+                starts.push(shifted);
+                ia += 1;
+            } else {
+                starts.push(plain);
+                ib += 1;
+            }
+        }
         starts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
-        let mut counter = DistinctCounter::default();
         let mut lo = 0usize; // first strip index inside the window
         let mut hi = 0usize; // one past the last strip index inside the window
-        for &left in &starts {
+        for &left in starts.iter() {
             let right = left + width;
             while hi < strip.len() && xs[hi] <= right + 1e-12 {
-                counter.add(strip[hi].color);
+                counter.add(dense[strip[hi]]);
                 hi += 1;
             }
             while lo < hi && xs[lo] < left - 1e-12 {
-                counter.remove(strip[lo].color);
+                counter.remove(dense[strip[lo]]);
                 lo += 1;
             }
             if counter.distinct() > best.distinct {
@@ -142,6 +199,10 @@ pub fn exact_colored_rect(
                     distinct: counter.distinct(),
                 };
             }
+        }
+        // Drain the window so the counter is clean for the next strip.
+        for &s in &strip[lo..hi] {
+            counter.remove(dense[s]);
         }
     }
     best

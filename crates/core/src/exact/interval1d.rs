@@ -101,12 +101,16 @@ impl SortedLine {
         self.prefix[b] - self.prefix[a]
     }
 
-    /// Exact MaxRS for a closed interval of length `len`, in `O(n log n)`.
+    /// Exact MaxRS for a closed interval of length `len`, in `O(n)` on the
+    /// sorted line.
     ///
     /// The covered point set only changes when an interval endpoint crosses a
     /// point, so it suffices to evaluate placements whose left endpoint is at
     /// a point or whose right endpoint is at a point.  With negative weights
-    /// both candidate families are required.
+    /// both candidate families are required.  Each family's endpoints ascend
+    /// with the sorted coordinates, so four monotone pointers replace the
+    /// per-candidate binary searches (same tolerances, same candidate order,
+    /// identical results).
     ///
     /// # Panics
     /// Panics if `len` is negative or not finite.
@@ -115,21 +119,34 @@ impl SortedLine {
         if self.is_empty() {
             return IntervalPlacement { interval: Interval::from_start(0.0, len), value: 0.0 };
         }
+        let n = self.xs.len();
         let mut best = IntervalPlacement {
             // The empty placement (covering nothing) is always available; put
             // it far to the left of every point.
             interval: Interval::from_start(self.xs[0] - 2.0 * len - 2.0, len),
             value: 0.0,
         };
-        let mut consider = |start: f64| {
-            let value = self.weight_in(start, start + len);
+        // Family A: left endpoint on a point (`start = x`); family B: right
+        // endpoint on a point (`start = x - len`).  `a_* = lower_bound(start)`
+        // and `b_* = upper_bound(start + len)`, advanced monotonically.
+        let (mut a_left, mut b_left) = (0usize, 0usize);
+        let (mut a_right, mut b_right) = (0usize, 0usize);
+        let consider = |start: f64, a: &mut usize, b: &mut usize, best: &mut IntervalPlacement| {
+            while *a < n && self.xs[*a] < start - 1e-12 {
+                *a += 1;
+            }
+            while *b < n && self.xs[*b] <= start + len + 1e-12 {
+                *b += 1;
+            }
+            let value = self.prefix[*b] - self.prefix[*a];
             if value > best.value + 1e-15 {
-                best = IntervalPlacement { interval: Interval::from_start(start, len), value };
+                *best = IntervalPlacement { interval: Interval::from_start(start, len), value };
             }
         };
-        for &x in &self.xs {
-            consider(x); // left endpoint on a point
-            consider(x - len); // right endpoint on a point
+        for i in 0..n {
+            let x = self.xs[i];
+            consider(x, &mut a_left, &mut b_left, &mut best); // left endpoint on a point
+            consider(x - len, &mut a_right, &mut b_right, &mut best); // right endpoint on a point
         }
         best
     }

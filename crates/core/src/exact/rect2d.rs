@@ -59,8 +59,45 @@ struct Event {
 /// negative (the sweep's "snap to a box corner" argument needs monotone
 /// gains).
 pub fn max_rect_placement(points: &[WeightedPoint<2>], width: f64, height: f64) -> RectPlacement {
+    let by_x = sorted_order_by_axis(points, 0);
+    let by_y = sorted_order_by_axis(points, 1);
+    max_rect_placement_presorted(points, width, height, &by_x, &by_y)
+}
+
+/// The point ids sorted by coordinate `axis` (ties by id) — the sorted
+/// projection [`max_rect_placement_presorted`] consumes.  Batched callers
+/// build each axis once per point set (the engine's `SharedIndex` caches
+/// them by delegating here, so the two orders can never drift apart) and
+/// reuse them for every rectangle size.
+pub fn sorted_order_by_axis<const D: usize>(points: &[WeightedPoint<D>], axis: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+    ids.sort_by(|&a, &b| {
+        points[a as usize].point[axis].total_cmp(&points[b as usize].point[axis]).then(a.cmp(&b))
+    });
+    ids
+}
+
+/// The sort-free form of [`max_rect_placement`]: the caller supplies the
+/// point ids sorted by x and by y (ties by id, see
+/// [`sorted_order_by_axis`]), and the sweep derives its coordinate
+/// compression and event order by merging the two shifted sorted streams in
+/// `O(n)` instead of sorting per query.  The result is identical to
+/// [`max_rect_placement`] bit for bit.
+///
+/// # Panics
+/// Panics if `width` or `height` is negative/non-finite, if any weight is
+/// negative, or if the orders do not cover `points`.
+pub fn max_rect_placement_presorted(
+    points: &[WeightedPoint<2>],
+    width: f64,
+    height: f64,
+    by_x: &[u32],
+    by_y: &[u32],
+) -> RectPlacement {
     assert!(width.is_finite() && width >= 0.0, "rectangle width must be non-negative");
     assert!(height.is_finite() && height >= 0.0, "rectangle height must be non-negative");
+    assert_eq!(by_x.len(), points.len(), "one x-order entry per point");
+    assert_eq!(by_y.len(), points.len(), "one y-order entry per point");
     for p in points {
         assert!(p.weight >= 0.0, "rectangle MaxRS requires non-negative weights");
     }
@@ -70,52 +107,60 @@ pub fn max_rect_placement(points: &[WeightedPoint<2>], width: f64, height: f64) 
             value: 0.0,
         };
     }
+    let n = points.len();
 
     // Anchor = lower-left corner of the placed rectangle.  Point p is covered
     // iff the anchor lies in [p.x - width, p.x] × [p.y - height, p.y].
-    let mut xs: Vec<f64> = Vec::with_capacity(points.len() * 2);
-    for p in points {
-        xs.push(p.point.x() - width);
-        xs.push(p.point.x());
+    // The compressed x coordinates are the merge of the two sorted streams
+    // `x - width` and `x` (both ascending in `by_x` order).
+    let mut xs: Vec<f64> = Vec::with_capacity(n * 2);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < n || ib < n {
+        let shifted =
+            if ia < n { points[by_x[ia] as usize].point.x() - width } else { f64::INFINITY };
+        let plain = if ib < n { points[by_x[ib] as usize].point.x() } else { f64::INFINITY };
+        if shifted <= plain {
+            xs.push(shifted);
+            ia += 1;
+        } else {
+            xs.push(plain);
+            ib += 1;
+        }
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     let x_index = |x: f64| -> usize {
         // Position of the compressed coordinate equal to x.
         xs.partition_point(|&v| v < x - 1e-9)
     };
 
-    let mut events: Vec<Event> = Vec::with_capacity(points.len() * 2);
-    for p in points {
+    // Event order: additions ascend in `y - height` (the `by_y` order), and
+    // removals ascend in `y`; merging the two streams — additions first at
+    // equal y, so an anchor exactly on both a box top and another box bottom
+    // counts both (closed boxes) — reproduces the sorted event sequence.
+    let event_for = |id: u32, kind: EventKind| -> Event {
+        let p = &points[id as usize];
         let x_lo = x_index(p.point.x() - width);
         let x_hi = x_index(p.point.x());
-        events.push(Event {
-            y: p.point.y() - height,
-            kind: EventKind::Add,
-            x_lo,
-            x_hi,
-            weight: p.weight,
-        });
-        events.push(Event {
-            y: p.point.y(),
-            kind: EventKind::Remove,
-            x_lo,
-            x_hi,
-            weight: p.weight,
-        });
+        let y = match kind {
+            EventKind::Add => p.point.y() - height,
+            EventKind::Remove => p.point.y(),
+        };
+        Event { y, kind, x_lo, x_hi, weight: p.weight }
+    };
+    let mut events: Vec<Event> = Vec::with_capacity(n * 2);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < n || ib < n {
+        let add_y =
+            if ia < n { points[by_y[ia] as usize].point.y() - height } else { f64::INFINITY };
+        let rem_y = if ib < n { points[by_y[ib] as usize].point.y() } else { f64::INFINITY };
+        if add_y <= rem_y {
+            events.push(event_for(by_y[ia], EventKind::Add));
+            ia += 1;
+        } else {
+            events.push(event_for(by_y[ib], EventKind::Remove));
+            ib += 1;
+        }
     }
-    // Sort by y; at equal y process additions before removals so that an
-    // anchor exactly on both a box top and another box bottom counts both
-    // (closed boxes).
-    events.sort_by(|a, b| {
-        a.y.partial_cmp(&b.y).unwrap().then_with(|| {
-            let rank = |k: EventKind| match k {
-                EventKind::Add => 0,
-                EventKind::Remove => 1,
-            };
-            rank(a.kind).cmp(&rank(b.kind))
-        })
-    });
 
     let mut tree = MaxSegmentTree::new(xs.len());
     let mut best_value = 0.0f64;
@@ -237,6 +282,27 @@ mod tests {
         ];
         let res = max_rect_placement(&pts, 0.0, 0.0);
         assert_eq!(res.value, 3.0);
+    }
+
+    #[test]
+    fn presorted_form_is_byte_identical() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let pts: Vec<WeightedPoint<2>> = (0..80)
+            .map(|_| {
+                WeightedPoint::new(
+                    Point2::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)),
+                    rng.gen_range(0.0..4.0),
+                )
+            })
+            .collect();
+        let by_x = sorted_order_by_axis(&pts, 0);
+        let by_y = sorted_order_by_axis(&pts, 1);
+        for (w, h) in [(1.0, 1.0), (2.5, 0.5), (0.0, 3.0)] {
+            let plain = max_rect_placement(&pts, w, h);
+            let presorted = max_rect_placement_presorted(&pts, w, h, &by_x, &by_y);
+            assert_eq!(plain.value.to_bits(), presorted.value.to_bits());
+            assert_eq!(plain.rect, presorted.rect);
+        }
     }
 
     #[test]

@@ -112,9 +112,37 @@ impl<const D: usize> WeightedBallInstance<D> {
     /// weight of input points within distance `radius` of `center`.  This is
     /// the value of the placement with that center.
     pub fn value_at(&self, center: &Point<D>) -> f64 {
-        let query = Ball::new(*center, self.radius);
-        self.points.iter().filter(|wp| query.contains(&wp.point)).map(|wp| wp.weight).sum()
+        ball_coverage_weight(&self.points, center, self.radius)
     }
+}
+
+/// The exact covered weight of placing a closed ball at `center`: the
+/// slice-level form of [`WeightedBallInstance::value_at`], shared with the
+/// engine's index-shared batch paths so both always apply the same
+/// containment arithmetic.
+pub fn ball_coverage_weight<const D: usize>(
+    points: &[WeightedPoint<D>],
+    center: &Point<D>,
+    radius: f64,
+) -> f64 {
+    let query = Ball::new(*center, radius);
+    points.iter().filter(|wp| query.contains(&wp.point)).map(|wp| wp.weight).sum()
+}
+
+/// The exact distinct-color count of placing a closed ball at `center`: the
+/// slice-level form of [`ColoredBallInstance::distinct_at`], shared with the
+/// engine's index-shared batch paths.
+pub fn ball_distinct_colors<const D: usize>(
+    sites: &[ColoredSite<D>],
+    center: &Point<D>,
+    radius: f64,
+) -> usize {
+    let query = Ball::new(*center, radius);
+    let mut colors: Vec<usize> =
+        sites.iter().filter(|s| query.contains(&s.point)).map(|s| s.color).collect();
+    colors.sort_unstable();
+    colors.dedup();
+    colors.len()
 }
 
 /// A colored MaxRS instance with a `d`-ball query range of radius `radius`.
@@ -175,12 +203,7 @@ impl<const D: usize> ColoredBallInstance<D> {
     /// The colored depth at `center` in the original coordinates: number of
     /// distinct colors among sites within distance `radius` of `center`.
     pub fn distinct_at(&self, center: &Point<D>) -> usize {
-        let query = Ball::new(*center, self.radius);
-        let mut colors: Vec<usize> =
-            self.sites.iter().filter(|s| query.contains(&s.point)).map(|s| s.color).collect();
-        colors.sort_unstable();
-        colors.dedup();
-        colors.len()
+        ball_distinct_colors(&self.sites, center, self.radius)
     }
 }
 

@@ -144,22 +144,22 @@ impl<const D: usize> SampleSet<D> {
     }
 
     /// Applies `f` to every `(key, sample index)` pair whose sample point lies
-    /// inside `ball`, materializing cells on first touch.
+    /// inside `ball`, materializing cells on first touch.  Cell enumeration
+    /// goes through the allocation-free grid visitor, so an update allocates
+    /// only when it materializes a new cell.
     fn for_each_sample_in_ball<F: FnMut(&mut CellSamples<D>, usize)>(
         &mut self,
         ball: &Ball<D>,
         mut f: F,
     ) -> Vec<CellKey<D>> {
         let mut touched = Vec::new();
-        for (gi, grid) in self.grids.grids().iter().enumerate() {
-            for cell in grid.cells_intersecting_ball(ball) {
+        let Self { grids, cells, rng, samples_per_cell, total_samples, .. } = self;
+        for (gi, grid) in grids.grids().iter().enumerate() {
+            grid.for_each_cell_intersecting_ball(ball, |cell| {
                 let key: CellKey<D> = (gi as u32, cell);
-                let samples_per_cell = self.samples_per_cell;
-                let rng = &mut self.rng;
-                let total_samples = &mut self.total_samples;
-                let entry = self.cells.entry(key).or_insert_with(|| {
+                let entry = cells.entry(key).or_insert_with(|| {
                     let circumball = grid.cell_circumball(&cell);
-                    let pts = sample_points_on_boundary(&circumball, samples_per_cell, rng);
+                    let pts = sample_points_on_boundary(&circumball, *samples_per_cell, rng);
                     *total_samples += pts.len();
                     CellSamples::new(pts)
                 });
@@ -173,7 +173,7 @@ impl<const D: usize> SampleSet<D> {
                 if any {
                     touched.push(key);
                 }
-            }
+            });
         }
         touched
     }
@@ -221,6 +221,35 @@ impl<const D: usize> SampleSet<D> {
         for key in touched {
             self.refresh_cell_max(key);
         }
+    }
+
+    /// The deepest sample point and its depth without mutating the structure:
+    /// a scan over the per-cell maxima, `O(cells)`.  This is the read-only
+    /// query path of a *build-once, query-many* sample set (the engine caches
+    /// one per query radius in its `SharedIndex`); ties are broken by the
+    /// same `(depth, grid, cell)` total order the heap of [`Self::best`]
+    /// uses, so both report the same sample.
+    pub fn peek_best(&self) -> Option<(Point<D>, f64)> {
+        let mut best: Option<(&CellSamples<D>, CellKey<D>)> = None;
+        for (key, cell) in &self.cells {
+            let better = match &best {
+                None => true,
+                Some((champion, champion_key)) => {
+                    match cell.max_depth.total_cmp(&champion.max_depth) {
+                        Ordering::Greater => true,
+                        Ordering::Less => false,
+                        Ordering::Equal => {
+                            key.0.cmp(&champion_key.0).then_with(|| key.1.cmp(&champion_key.1))
+                                == Ordering::Greater
+                        }
+                    }
+                }
+            };
+            if better {
+                best = Some((cell, *key));
+            }
+        }
+        best.map(|(cell, _)| (cell.points[cell.argmax as usize], cell.max_depth))
     }
 
     /// The deepest sample point and its depth, or `None` if no cell has been
@@ -338,6 +367,22 @@ mod tests {
         let (p, v) = set.best().unwrap();
         let true_depth = balls.iter().filter(|b| b.contains(&p)).count() as f64;
         assert_eq!(v, true_depth);
+    }
+
+    #[test]
+    fn peek_best_matches_best_without_mutation() {
+        let mut set = SampleSet::<2>::new(config(), 32);
+        assert!(set.peek_best().is_none());
+        for i in 0..20 {
+            let c = Point2::xy((i % 5) as f64 * 0.3, (i / 5) as f64 * 0.3);
+            set.insert_ball(&Ball::unit(c), 1.0 + (i % 3) as f64);
+        }
+        let peeked = set.peek_best().expect("non-empty");
+        let heaped = set.best().expect("non-empty");
+        assert_eq!(peeked.0, heaped.0, "read-only query must select the same sample");
+        assert_eq!(peeked.1, heaped.1);
+        // Peeking again after the heap-based query still agrees.
+        assert_eq!(set.peek_best(), Some(heaped));
     }
 
     #[test]

@@ -23,4 +23,7 @@ pub use color_sampling::{
 pub use output_sensitive::{
     output_sensitive_colored_disk, output_sensitive_colored_disk_with_stats, OutputSensitiveStats,
 };
-pub use union_exact::{exact_colored_disk_by_union, max_colored_depth_union, DepthResult};
+pub use union_exact::{
+    exact_colored_disk_by_union, max_colored_depth_union, max_colored_depth_union_with,
+    DepthResult, UnionScratch,
+};

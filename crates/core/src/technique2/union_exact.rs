@@ -12,10 +12,20 @@
 //! `O(n log n + Σ_arc local + k log k)` where `k` is the number of
 //! boundary–boundary crossings — the same output-sensitive shape as the
 //! trapezoidal-map formulation of the paper (see DESIGN.md, "Substitutions").
+//!
+//! ## Hot-path layout
+//!
+//! The output-sensitive wrapper (Theorem 4.6) calls this routine once per
+//! non-empty grid cell — thousands of small invocations per query — so every
+//! buffer the sweep needs lives in a caller-owned [`UnionScratch`] that is
+//! reused across calls: the exposed-arc pools, the per-arc crossing-event
+//! pools, and the color-stamp array of the depth counter.  Exposed arcs are
+//! computed against one *global* CSR center index (filtering neighbours by
+//! color) instead of building a per-color `HashGrid` per call.
 
-use mrs_geom::arcs::normalize_angle;
-use mrs_geom::union_disks::{union_boundary_arcs, ExposedArc};
-use mrs_geom::{Ball, ColoredSite, HashGrid, Point2};
+use mrs_geom::arcs::{boundary_covered_by, complement_on_circle, normalize_angle, AngularInterval};
+use mrs_geom::union_disks::ExposedArc;
+use mrs_geom::{Ball, ColoredSite, GridQueryStats, HashGrid, Point2, TAU};
 
 use crate::input::ColoredPlacement;
 
@@ -35,32 +45,6 @@ impl ColoredArc {
     }
 }
 
-/// Reusable distinct-color counter: a stamp array avoids clearing a hash set
-/// for every evaluation.
-struct ColorCounter {
-    stamp: Vec<u64>,
-    generation: u64,
-}
-
-impl ColorCounter {
-    fn new(num_colors: usize) -> Self {
-        Self { stamp: vec![0; num_colors], generation: 0 }
-    }
-
-    fn count<F: FnMut(&mut dyn FnMut(usize))>(&mut self, mut for_each_color: F) -> usize {
-        self.generation += 1;
-        let generation = self.generation;
-        let mut distinct = 0;
-        for_each_color(&mut |color| {
-            if self.stamp[color] != generation {
-                self.stamp[color] = generation;
-                distinct += 1;
-            }
-        });
-        distinct
-    }
-}
-
 /// A crossing between the swept arc and another color's union boundary.
 #[derive(Clone, Copy, Debug)]
 struct CrossingEvent {
@@ -69,6 +53,55 @@ struct CrossingEvent {
     /// `+1` if the swept arc enters the other color's union here, `-1` if it
     /// leaves it.
     delta: i32,
+}
+
+/// Reusable buffers of the union sweep.  Create one per thread, pass it to
+/// every [`max_colored_depth_union_with`] call; capacities then stabilize at
+/// the densest instance and the sweep stops allocating.
+#[derive(Debug, Default)]
+pub struct UnionScratch {
+    /// Exposed arcs per global disk id (outer vec pooled, inner vecs keep
+    /// their capacity across calls).
+    arcs_by_disk: Vec<Vec<ColoredArc>>,
+    /// Crossing events per arc of the currently swept disk.
+    events_by_arc: Vec<Vec<CrossingEvent>>,
+    /// Same-color covering intervals of the currently processed disk.
+    covering: Vec<AngularInterval>,
+    /// Disk centers, rebuilt per call (the CSR grid borrows them only during
+    /// `build`).
+    centers: Vec<Point2>,
+    /// Color stamp array of the distinct-color counter.
+    stamp: Vec<u64>,
+    generation: u64,
+}
+
+impl UnionScratch {
+    /// Counts distinct colors over the visitation closure using the stamp
+    /// array (no per-call set allocation).
+    fn count_distinct<F: FnMut(&mut dyn FnMut(usize))>(&mut self, mut for_each_color: F) -> usize {
+        self.generation += 1;
+        let generation = self.generation;
+        let stamp = &mut self.stamp;
+        let mut distinct = 0;
+        for_each_color(&mut |color| {
+            if stamp[color] != generation {
+                stamp[color] = generation;
+                distinct += 1;
+            }
+        });
+        distinct
+    }
+
+    /// Clears the first `n` arc pools (keeping capacity) and grows the pool
+    /// list to `n` entries.
+    fn reset_arc_pools(&mut self, n: usize) {
+        for pool in self.arcs_by_disk.iter_mut().take(n) {
+            pool.clear();
+        }
+        if self.arcs_by_disk.len() < n {
+            self.arcs_by_disk.resize_with(n, Vec::new);
+        }
+    }
 }
 
 /// Result of the dual-space exact computation.
@@ -81,75 +114,119 @@ pub struct DepthResult {
     /// Number of boundary–boundary crossings processed (the `k` of
     /// Lemma 4.2 / Lemma 4.5), reported for the experiments.
     pub boundary_intersections: usize,
+    /// Grid-query work counters accumulated over the sweep.
+    pub grid_stats: GridQueryStats,
 }
 
 /// Exact maximum colored depth for a set of disks with colors in `0..m`
 /// (dual setting).  Disks may have arbitrary positive radii, although the
 /// paper's setting (and the output-sensitive wrapper) uses unit disks.
 ///
+/// Convenience wrapper over [`max_colored_depth_union_with`] with a fresh
+/// scratch; batch callers keep one scratch per thread instead.
+///
 /// # Panics
 /// Panics if `disks` and `colors` have different lengths.
 pub fn max_colored_depth_union(disks: &[Ball<2>], colors: &[usize]) -> DepthResult {
+    let mut scratch = UnionScratch::default();
+    max_colored_depth_union_with(disks, colors, &mut scratch)
+}
+
+/// The allocation-free form of [`max_colored_depth_union`]: every buffer the
+/// sweep needs lives in the caller-owned scratch.
+///
+/// # Panics
+/// Panics if `disks` and `colors` have different lengths.
+pub fn max_colored_depth_union_with(
+    disks: &[Ball<2>],
+    colors: &[usize],
+    scratch: &mut UnionScratch,
+) -> DepthResult {
     assert_eq!(disks.len(), colors.len(), "one color per disk is required");
+    let mut grid_stats = GridQueryStats::default();
     if disks.is_empty() {
-        return DepthResult { point: Point2::xy(0.0, 0.0), depth: 0, boundary_intersections: 0 };
+        return DepthResult {
+            point: Point2::xy(0.0, 0.0),
+            depth: 0,
+            boundary_intersections: 0,
+            grid_stats,
+        };
     }
     let num_colors = colors.iter().copied().max().unwrap_or(0) + 1;
+    if scratch.stamp.len() < num_colors {
+        scratch.stamp.resize(num_colors, 0);
+    }
     let max_radius = disks.iter().map(|d| d.radius).fold(0.0f64, f64::max);
 
-    // Per-color union boundaries, re-indexed to global disk ids.
-    let mut by_color: Vec<Vec<usize>> = vec![Vec::new(); num_colors];
-    for (i, &c) in colors.iter().enumerate() {
-        by_color[c].push(i);
-    }
-    let mut arcs_by_disk: Vec<Vec<ColoredArc>> = vec![Vec::new(); disks.len()];
-    for members in by_color.iter() {
-        if members.is_empty() {
+    // One global CSR index over every disk center; per-color neighbourhoods
+    // come from filtering by color, so no per-color grid is ever built.
+    scratch.centers.clear();
+    scratch.centers.extend(disks.iter().map(|d| d.center));
+    let index = HashGrid::build((2.0 * max_radius).max(1e-6), &scratch.centers);
+
+    // Exposed arcs of each color's union, re-indexed by the global disk id:
+    // subtract the angular intervals covered by same-color neighbours from
+    // each disk's full circle; what remains is on that color's `∂U`.
+    scratch.reset_arc_pools(disks.len());
+    for (i, disk) in disks.iter().enumerate() {
+        scratch.covering.clear();
+        let covering = &mut scratch.covering;
+        let mut swallowed = false;
+        grid_stats.merge(index.for_each_within(&disk.center, disk.radius + max_radius, |j| {
+            if j == i || colors[j] != colors[i] || swallowed {
+                return;
+            }
+            match boundary_covered_by(disk, &disks[j]) {
+                Some(iv) if iv.width >= TAU - 1e-12 => {
+                    // Another same-color disk contains this one entirely; but
+                    // two coincident disks would both vanish, so keep the one
+                    // with the smaller index in that exact-tie case.
+                    let other = &disks[j];
+                    let coincident = (other.radius - disk.radius).abs() < 1e-12
+                        && other.center.dist(&disk.center) < 1e-12;
+                    if !coincident || j < i {
+                        swallowed = true;
+                    }
+                }
+                Some(iv) => covering.push(iv),
+                None => {}
+            }
+        }));
+        if swallowed {
             continue;
         }
-        let subset: Vec<Ball<2>> = members.iter().map(|&i| disks[i]).collect();
-        for arc in union_boundary_arcs(&subset) {
-            let global = members[arc.disk];
-            arcs_by_disk[global].push(ColoredArc { disk: global, start: arc.start, end: arc.end });
+        for (start, end) in complement_on_circle(&scratch.covering) {
+            if end - start > 1e-12 {
+                scratch.arcs_by_disk[i].push(ColoredArc { disk: i, start, end });
+            }
         }
     }
-
-    // Global neighbour index over disk centers, used for crossing generation
-    // and for the per-arc initial depth evaluation.
-    let centers: Vec<Point2> = disks.iter().map(|d| d.center).collect();
-    let index = HashGrid::build((2.0 * max_radius).max(1e-6), &centers);
-    let mut counter = ColorCounter::new(num_colors);
-
-    // Colored depth at an arbitrary point (full neighbourhood query).
-    let depth_at = |p: &Point2, counter: &mut ColorCounter| -> usize {
-        counter.count(|visit| {
-            index.for_each_within(p, max_radius * (1.0 + 1e-12), |j| {
-                if disks[j].contains(p) {
-                    visit(colors[j]);
-                }
-            });
-        })
-    };
 
     let mut best_point = disks[0].center;
     let mut best_depth = 0usize;
     let mut boundary_intersections = 0usize;
 
     // Sweep every disk that carries at least one exposed arc.
-    let mut events_by_arc: Vec<Vec<CrossingEvent>> = Vec::new();
     for i in 0..disks.len() {
-        if arcs_by_disk[i].is_empty() {
+        if scratch.arcs_by_disk[i].is_empty() {
             continue;
         }
         let di = &disks[i];
-        events_by_arc.clear();
-        events_by_arc.resize(arcs_by_disk[i].len(), Vec::new());
+        let arc_count = scratch.arcs_by_disk[i].len();
+        for pool in scratch.events_by_arc.iter_mut().take(arc_count) {
+            pool.clear();
+        }
+        if scratch.events_by_arc.len() < arc_count {
+            scratch.events_by_arc.resize_with(arc_count, Vec::new);
+        }
 
         // Crossings of ∂D_i with exposed arcs of *other colors*.  Rather than
         // classifying intersection points by a derivative sign (fragile near
         // tangencies), use the covered angular interval directly: ∂D_i enters
         // disk j at the interval's start angle and leaves it at its end angle.
-        index.for_each_within(&di.center, di.radius + max_radius, |j| {
+        let arcs_by_disk = &scratch.arcs_by_disk;
+        let events_by_arc = &mut scratch.events_by_arc;
+        grid_stats.merge(index.for_each_within(&di.center, di.radius + max_radius, |j| {
             if j == i || arcs_by_disk[j].is_empty() || colors[i] == colors[j] {
                 return;
             }
@@ -181,23 +258,25 @@ pub fn max_colored_depth_union(disks: &[Ball<2>], colors: &[usize]) -> DepthResu
             let Some(interval) = mrs_geom::arcs::boundary_covered_by(di, dj) else {
                 return;
             };
-            if interval.width >= mrs_geom::TAU - 1e-12 {
+            if interval.width >= TAU - 1e-12 {
                 // Disk j covers all of ∂D_i: constant membership, no events.
                 return;
             }
             push_event(normalize_angle(interval.start), 1);
             push_event(normalize_angle(interval.start + interval.width), -1);
-        });
+        }));
 
-        for (arc_idx, arc) in arcs_by_disk[i].iter().enumerate() {
-            let events = &mut events_by_arc[arc_idx];
-            boundary_intersections += events.len();
+        for arc_idx in 0..arc_count {
+            let arc = scratch.arcs_by_disk[i][arc_idx];
+            boundary_intersections += scratch.events_by_arc[arc_idx].len();
             let start_point = di.center.polar_offset(di.radius, arc.start);
-            let closed_at_start = depth_at(&start_point, &mut counter);
+            let closed_at_start =
+                depth_at(disks, colors, &index, max_radius, &start_point, scratch, &mut grid_stats);
             if closed_at_start > best_depth {
                 best_depth = closed_at_start;
                 best_point = start_point;
             }
+            let events = &mut scratch.events_by_arc[arc_idx];
             if events.is_empty() {
                 continue;
             }
@@ -234,7 +313,8 @@ pub fn max_colored_depth_union(disks: &[Ball<2>], colors: &[usize]) -> DepthResu
     // always safe candidates.
     if best_depth == 0 {
         for d in disks {
-            let depth = depth_at(&d.center, &mut counter);
+            let depth =
+                depth_at(disks, colors, &index, max_radius, &d.center, scratch, &mut grid_stats);
             if depth > best_depth {
                 best_depth = depth;
                 best_point = d.center;
@@ -242,7 +322,30 @@ pub fn max_colored_depth_union(disks: &[Ball<2>], colors: &[usize]) -> DepthResu
         }
     }
 
-    DepthResult { point: best_point, depth: best_depth, boundary_intersections }
+    DepthResult { point: best_point, depth: best_depth, boundary_intersections, grid_stats }
+}
+
+/// Colored depth at an arbitrary point (full neighbourhood query through the
+/// global index, distinct colors counted with the scratch's stamp array).
+fn depth_at(
+    disks: &[Ball<2>],
+    colors: &[usize],
+    index: &HashGrid<2>,
+    max_radius: f64,
+    p: &Point2,
+    scratch: &mut UnionScratch,
+    grid_stats: &mut GridQueryStats,
+) -> usize {
+    let mut local = GridQueryStats::default();
+    let depth = scratch.count_distinct(|visit| {
+        local = index.for_each_within(p, max_radius * (1.0 + 1e-12), |j| {
+            if disks[j].contains(p) {
+                visit(colors[j]);
+            }
+        });
+    });
+    grid_stats.merge(local);
+    depth
 }
 
 /// Exact colored disk MaxRS in the primal setting via the union-boundary
@@ -289,6 +392,8 @@ mod tests {
         assert_eq!(res.depth, 2);
         // The reported point must genuinely lie in both disks.
         assert!(disks[0].contains(&res.point) && disks[1].contains(&res.point));
+        // The sweep went through the grid, so work was counted.
+        assert!(res.grid_stats.candidates > 0);
     }
 
     #[test]
@@ -334,6 +439,26 @@ mod tests {
         }
         let res = exact_colored_disk_by_union(&sites, 1.0);
         assert_eq!(res.distinct, 30);
+    }
+
+    #[test]
+    fn scratch_reuse_across_calls_is_stable() {
+        // The same scratch must serve instances of different sizes and color
+        // counts without contaminating later calls.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut scratch = UnionScratch::default();
+        for round in 0..25 {
+            let n = rng.gen_range(1..40);
+            let m = rng.gen_range(1..8usize);
+            let disks: Vec<Ball<2>> = (0..n)
+                .map(|_| Ball::unit(Point2::xy(rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0))))
+                .collect();
+            let colors: Vec<usize> = (0..n).map(|_| rng.gen_range(0..m)).collect();
+            let pooled = max_colored_depth_union_with(&disks, &colors, &mut scratch);
+            let fresh = max_colored_depth_union(&disks, &colors);
+            assert_eq!(pooled.depth, fresh.depth, "round {round}");
+            assert_eq!(pooled.point, fresh.point, "round {round}");
+        }
     }
 
     #[test]

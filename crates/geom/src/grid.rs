@@ -89,25 +89,39 @@ impl<const D: usize> Grid<D> {
 
     /// Enumerates the addresses of every cell intersected by `ball`.
     ///
+    /// Convenience wrapper over [`Self::for_each_cell_intersecting_ball`]
+    /// that allocates the result vector; hot paths use the visitor directly.
+    pub fn cells_intersecting_ball(&self, ball: &Ball<D>) -> Vec<CellCoord<D>> {
+        let mut out = Vec::new();
+        self.for_each_cell_intersecting_ball(ball, |cell| out.push(cell));
+        out
+    }
+
+    /// Calls `f` with the address of every cell intersected by `ball`,
+    /// without allocating.
+    ///
     /// A unit ball intersects `O((2/s)^d)` cells (proof of Lemma 3.4); the
     /// enumeration walks the integer bounding box of the ball and filters by an
     /// exact ball–box intersection test.
-    pub fn cells_intersecting_ball(&self, ball: &Ball<D>) -> Vec<CellCoord<D>> {
+    pub fn for_each_cell_intersecting_ball<F: FnMut(CellCoord<D>)>(
+        &self,
+        ball: &Ball<D>,
+        mut f: F,
+    ) {
         let bb = ball.bounding_box();
         let lo = self.cell_of(&bb.lo);
         let hi = self.cell_of(&bb.hi);
-        let mut out = Vec::new();
         let mut cursor = lo;
         loop {
             let cell_box = self.cell_aabb(&cursor);
             if ball.intersects_aabb(&cell_box) {
-                out.push(cursor);
+                f(cursor);
             }
             // Odometer-style increment over the integer box [lo, hi].
             let mut axis = 0;
             loop {
                 if axis == D {
-                    return out;
+                    return;
                 }
                 cursor[axis] += 1;
                 if cursor[axis] <= hi[axis] {

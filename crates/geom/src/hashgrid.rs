@@ -1,4 +1,4 @@
-//! A hash-grid spatial index for neighbour queries over point sets.
+//! A flat CSR grid index for neighbour queries over point sets.
 //!
 //! The exact colored-disk algorithms of Section 4 repeatedly ask "which unit
 //! disks can contain this point?" — exactly the disks whose centers lie within
@@ -6,139 +6,251 @@
 //! distance 2.  Bucketing the centers into a uniform grid answers both in time
 //! proportional to the local density, which is what makes the overall
 //! algorithm output-sensitive in practice.
-
-use std::collections::HashMap;
+//!
+//! ## Data layout
+//!
+//! The index is a *compressed sparse row* structure built once over the whole
+//! point set, not a hash map of buckets:
+//!
+//! * a **cell table** of the non-empty cells, sorted row-major (last axis
+//!   most significant, axis 0 least), so the cells of one grid row are
+//!   contiguous;
+//! * one contiguous **id array** holding every point id, grouped by cell in
+//!   cell-table order (`cell_starts[k]..cell_starts[k + 1]` delimit cell
+//!   `k`'s slice);
+//! * an **SoA copy of the coordinates** in the same slot order
+//!   (`coords[axis * len + slot]`), so the distance filter of a query scans
+//!   contiguous memory instead of chasing ids back into the caller's array.
+//!
+//! A ball query walks the `(2·reach + 1)^{D-1}` candidate rows, binary
+//! searches each row's overlap with the query's axis-0 span, and then runs
+//! one tight distance loop over the row's contiguous slot range.  No
+//! allocation happens on the query path; [`HashGrid::within`] exists as a
+//! convenience wrapper over the visitor form.
 
 use crate::grid::{CellCoord, Grid};
 use crate::point::Point;
 
-/// A uniform-grid index over a set of points identified by `usize` ids.
+/// Work counters reported by the visitor queries, the observability hook the
+/// perf-smoke tests assert on: a healthy query touches `O(output + cells)`
+/// candidates, a degenerate one (cell side ≪ radius) touches many cells.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GridQueryStats {
+    /// Non-empty cell-table entries whose contents were scanned.
+    pub cells: usize,
+    /// Points distance-tested (candidates examined).
+    pub candidates: usize,
+}
+
+impl GridQueryStats {
+    /// Accumulates another query's counters into this one.
+    pub fn merge(&mut self, other: GridQueryStats) {
+        self.cells += other.cells;
+        self.candidates += other.candidates;
+    }
+}
+
+/// A flat CSR uniform-grid index over a fixed set of points identified by
+/// their build-time slice positions.
 #[derive(Clone, Debug)]
 pub struct HashGrid<const D: usize> {
     grid: Grid<D>,
-    buckets: HashMap<CellCoord<D>, Vec<usize>>,
-    points: Vec<Point<D>>,
-    len: usize,
+    /// Non-empty cells, sorted row-major (axis `D-1` most significant, axis 0
+    /// least), so one row's cells are contiguous.
+    cell_keys: Vec<CellCoord<D>>,
+    /// CSR offsets into `ids`: cell `k` owns slots
+    /// `cell_starts[k]..cell_starts[k + 1]`.  Always `cell_keys.len() + 1`
+    /// entries.
+    cell_starts: Vec<u32>,
+    /// Point ids in cell-bucket order.
+    ids: Vec<u32>,
+    /// SoA coordinate copy in slot order: `coords[axis * len + slot]`.
+    coords: Vec<f64>,
+}
+
+/// Row-major comparison: axis `D-1` is most significant, axis 0 least, so the
+/// cells of one "row" (all axes above 0 fixed) sort contiguously.
+#[inline]
+fn cmp_cells<const D: usize>(a: &CellCoord<D>, b: &CellCoord<D>) -> std::cmp::Ordering {
+    for axis in (0..D).rev() {
+        match a[axis].cmp(&b[axis]) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
 }
 
 impl<const D: usize> HashGrid<D> {
-    /// Creates an empty index with the given cell side.
+    /// An empty index with the given cell side (every query answers empty).
     pub fn new(cell_side: f64) -> Self {
-        Self {
-            grid: Grid::at_origin(cell_side),
-            buckets: HashMap::new(),
-            points: Vec::new(),
-            len: 0,
-        }
+        Self::build(cell_side, &[])
     }
 
-    /// Builds an index over `points`, using their slice positions as ids.
+    /// Builds the CSR index over `points`, using their slice positions as
+    /// ids.  `O(n log n)`: one sort of the `(cell, id)` incidences.
+    ///
+    /// # Panics
+    /// Panics if `cell_side` is not strictly positive and finite, or if the
+    /// point count exceeds `u32::MAX`.
     pub fn build(cell_side: f64, points: &[Point<D>]) -> Self {
-        let mut index = Self::new(cell_side);
-        for (id, p) in points.iter().enumerate() {
-            index.insert(id, *p);
+        assert!(points.len() <= u32::MAX as usize, "CSR grid ids are u32");
+        let grid = Grid::at_origin(cell_side);
+        let mut order: Vec<(CellCoord<D>, u32)> =
+            points.iter().enumerate().map(|(i, p)| (grid.cell_of(p), i as u32)).collect();
+        // Sort by cell (row-major); ties keep ascending id so bucket contents
+        // stay in input order, matching the insertion-order semantics the
+        // sweep kernels rely on for deterministic tie-breaking.
+        order.sort_unstable_by(|a, b| cmp_cells(&a.0, &b.0).then(a.1.cmp(&b.1)));
+
+        let mut cell_keys: Vec<CellCoord<D>> = Vec::new();
+        let mut cell_starts: Vec<u32> = Vec::with_capacity(16);
+        let mut ids: Vec<u32> = Vec::with_capacity(points.len());
+        let mut coords: Vec<f64> = vec![0.0; D * points.len()];
+        let n = points.len();
+        for (slot, (cell, id)) in order.iter().enumerate() {
+            if cell_keys.last() != Some(cell) {
+                cell_keys.push(*cell);
+                cell_starts.push(slot as u32);
+            }
+            ids.push(*id);
+            let p = &points[*id as usize];
+            for axis in 0..D {
+                coords[axis * n + slot] = p[axis];
+            }
         }
-        index
+        cell_starts.push(points.len() as u32);
+        Self { grid, cell_keys, cell_starts, ids, coords }
     }
 
-    /// Number of live points in the index.
+    /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.len
+        self.ids.len()
     }
 
     /// Returns `true` if the index holds no points.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.ids.is_empty()
     }
 
-    /// Inserts point `p` under identifier `id`.  Ids beyond the current
-    /// capacity grow the internal table; re-inserting an existing id replaces
-    /// its location.
-    pub fn insert(&mut self, id: usize, p: Point<D>) {
-        if id >= self.points.len() {
-            self.points.resize(id + 1, Point::origin());
-        } else if self.contains_id(id) {
-            self.remove(id);
-        }
-        self.points[id] = p;
-        self.buckets.entry(self.grid.cell_of(&p)).or_default().push(id);
-        self.len += 1;
+    /// The cell side the index was built with.
+    pub fn cell_side(&self) -> f64 {
+        self.grid.side
     }
 
-    /// Removes the point with identifier `id`.  Returns `true` if it was
-    /// present.
-    pub fn remove(&mut self, id: usize) -> bool {
-        if id >= self.points.len() {
-            return false;
-        }
-        let cell = self.grid.cell_of(&self.points[id]);
-        if let Some(bucket) = self.buckets.get_mut(&cell) {
-            if let Some(pos) = bucket.iter().position(|&x| x == id) {
-                bucket.swap_remove(pos);
-                if bucket.is_empty() {
-                    self.buckets.remove(&cell);
-                }
-                self.len -= 1;
-                return true;
-            }
-        }
-        false
+    /// Number of non-empty cells in the cell table.
+    pub fn cell_count(&self) -> usize {
+        self.cell_keys.len()
     }
 
-    /// Returns `true` if `id` is currently stored.
-    pub fn contains_id(&self, id: usize) -> bool {
-        if id >= self.points.len() {
-            return false;
+    /// Squared distance from slot `slot` to `q`, over the SoA copy.
+    #[inline]
+    fn slot_dist_sq(&self, slot: usize, q: &Point<D>) -> f64 {
+        let n = self.ids.len();
+        let mut acc = 0.0;
+        for axis in 0..D {
+            let d = self.coords[axis * n + slot] - q[axis];
+            acc += d * d;
         }
-        let cell = self.grid.cell_of(&self.points[id]);
-        self.buckets.get(&cell).is_some_and(|b| b.contains(&id))
-    }
-
-    /// Location stored for `id` (meaningful only if [`Self::contains_id`] is true).
-    pub fn point(&self, id: usize) -> Point<D> {
-        self.points[id]
+        acc
     }
 
     /// Ids of every stored point within Euclidean distance `radius` of `q`
-    /// (closed ball query).
+    /// (closed ball query).  Convenience wrapper over
+    /// [`Self::for_each_within`]; allocates the result vector.
     pub fn within(&self, q: &Point<D>, radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
         self.for_each_within(q, radius, |id| out.push(id));
         out
     }
 
-    /// Calls `f` for every stored id within distance `radius` of `q`.
-    pub fn for_each_within<F: FnMut(usize)>(&self, q: &Point<D>, radius: f64, mut f: F) {
+    /// Calls `f` for every stored id within distance `radius` of `q`, without
+    /// allocating.  Ids inside one cell are visited in input order; cells are
+    /// visited in row-major order.  Returns the work counters of the query.
+    pub fn for_each_within<F: FnMut(usize)>(
+        &self,
+        q: &Point<D>,
+        radius: f64,
+        mut f: F,
+    ) -> GridQueryStats {
         let r_sq = {
             let r = radius * (1.0 + 1e-12) + 1e-12;
             r * r
         };
         let reach = (radius / self.grid.side).ceil() as i64;
         let center = self.grid.cell_of(q);
-        let mut cursor = [0i64; D];
-        let mut offsets = [-reach; D];
+        let mut lo = center;
+        let mut hi = center;
+        for axis in 0..D {
+            lo[axis] -= reach;
+            hi[axis] += reach;
+        }
+        self.scan_cell_range(&lo, &hi, |slot| {
+            if self.slot_dist_sq(slot, q) <= r_sq {
+                f(self.ids[slot] as usize);
+            }
+        })
+    }
+
+    /// Calls `f` for every id stored in a cell whose address lies in the
+    /// inclusive box `[lo, hi]`, without allocating or distance-testing —
+    /// the raw cell-range visitor behind [`Self::for_each_within`], exposed
+    /// for callers that bucket by cell themselves (box queries, per-cell
+    /// sweeps).  Returns the work counters of the query.
+    pub fn for_each_in_cell_range<F: FnMut(usize)>(
+        &self,
+        lo: &CellCoord<D>,
+        hi: &CellCoord<D>,
+        mut f: F,
+    ) -> GridQueryStats {
+        self.scan_cell_range(lo, hi, |slot| f(self.ids[slot] as usize))
+    }
+
+    /// Core row walk: visit every slot whose cell lies in `[lo, hi]`.
+    /// Rows (fixed axes `1..D`) are enumerated with an odometer; each row's
+    /// overlap with `[lo[0], hi[0]]` is found by binary search and scanned as
+    /// one contiguous slot range.
+    fn scan_cell_range<F: FnMut(usize)>(
+        &self,
+        lo: &CellCoord<D>,
+        hi: &CellCoord<D>,
+        mut visit: F,
+    ) -> GridQueryStats {
+        let mut stats = GridQueryStats::default();
+        if self.ids.is_empty() || (0..D).any(|axis| lo[axis] > hi[axis]) {
+            return stats;
+        }
+        // Odometer over the row axes (1..D); D == 1 has exactly one "row".
+        let mut row = *lo;
         loop {
-            for i in 0..D {
-                cursor[i] = center[i] + offsets[i];
-            }
-            if let Some(bucket) = self.buckets.get(&cursor) {
-                for &id in bucket {
-                    if self.points[id].dist_sq(q) <= r_sq {
-                        f(id);
-                    }
+            // The row's first candidate cell is (lo[0], row[1..]); find the
+            // cell-table range overlapping [lo[0], hi[0]] within this row.
+            let mut row_lo = row;
+            row_lo[0] = lo[0];
+            let mut row_hi = row;
+            row_hi[0] = hi[0];
+            let a = self.cell_keys.partition_point(|c| cmp_cells(c, &row_lo).is_lt());
+            let b = self.cell_keys.partition_point(|c| cmp_cells(c, &row_hi).is_le());
+            if a < b {
+                stats.cells += b - a;
+                let slot_lo = self.cell_starts[a] as usize;
+                let slot_hi = self.cell_starts[b] as usize;
+                stats.candidates += slot_hi - slot_lo;
+                for slot in slot_lo..slot_hi {
+                    visit(slot);
                 }
             }
-            // Odometer increment of `offsets` over [-reach, reach]^D.
-            let mut axis = 0;
+            // Advance the odometer over axes 1..D.
+            let mut axis = 1;
             loop {
-                if axis == D {
-                    return;
+                if axis >= D {
+                    return stats;
                 }
-                offsets[axis] += 1;
-                if offsets[axis] <= reach {
+                row[axis] += 1;
+                if row[axis] <= hi[axis] {
                     break;
                 }
-                offsets[axis] = -reach;
+                row[axis] = lo[axis];
                 axis += 1;
             }
         }
@@ -169,6 +281,7 @@ mod tests {
             .map(|_| Point2::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
             .collect();
         let index = HashGrid::build(1.0, &points);
+        assert_eq!(index.len(), 500);
         for _ in 0..50 {
             let q = Point2::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0));
             let r = rng.gen_range(0.1..3.0);
@@ -181,21 +294,55 @@ mod tests {
     }
 
     #[test]
-    fn insert_remove_roundtrip() {
-        let mut index = HashGrid::<2>::new(1.0);
-        index.insert(0, Point2::xy(0.0, 0.0));
-        index.insert(1, Point2::xy(0.5, 0.5));
-        index.insert(2, Point2::xy(5.0, 5.0));
-        assert_eq!(index.len(), 3);
-        assert_eq!(index.count_within(&Point2::xy(0.0, 0.0), 1.0), 2);
-        assert!(index.remove(1));
-        assert!(!index.remove(1));
-        assert_eq!(index.len(), 2);
-        assert_eq!(index.count_within(&Point2::xy(0.0, 0.0), 1.0), 1);
-        // Re-insert with a new location replaces the old one.
-        index.insert(0, Point2::xy(5.0, 5.0));
-        assert_eq!(index.len(), 2);
-        assert_eq!(index.count_within(&Point2::xy(5.0, 5.0), 0.1), 2);
+    fn negative_coordinates_and_boundaries() {
+        // Points exactly on cell boundaries, straddling the origin.
+        let points = vec![
+            Point2::xy(-1.0, -1.0),
+            Point2::xy(0.0, 0.0),
+            Point2::xy(1.0, 0.0),
+            Point2::xy(0.0, 1.0),
+            Point2::xy(-2.5, 3.5),
+        ];
+        let index = HashGrid::build(1.0, &points);
+        let mut got = index.within(&Point2::xy(0.0, 0.0), 1.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(index.count_within(&Point2::xy(-1.0, -1.0), 0.0), 1);
+        assert_eq!(index.count_within(&Point2::xy(-2.5, 3.5), 0.1), 1);
+    }
+
+    #[test]
+    fn query_stats_count_cells_and_candidates() {
+        let points: Vec<Point2> = (0..64).map(|i| Point2::xy(i as f64 * 0.25, 0.0)).collect();
+        let index = HashGrid::build(1.0, &points);
+        let mut hits = 0;
+        let stats = index.for_each_within(&Point2::xy(8.0, 0.0), 1.0, |_| hits += 1);
+        assert!(stats.cells >= 1 && stats.cells <= 9, "{stats:?}");
+        assert!(stats.candidates >= hits, "{stats:?} vs {hits} hits");
+        // A radius far below the cell side still pays for the whole cell.
+        let tiny = index.for_each_within(&Point2::xy(8.0, 0.0), 1e-6, |_| {});
+        assert!(tiny.candidates >= 1);
+    }
+
+    #[test]
+    fn cell_range_visitor_covers_rows() {
+        let points = vec![
+            Point2::xy(0.5, 0.5),
+            Point2::xy(1.5, 0.5),
+            Point2::xy(2.5, 0.5),
+            Point2::xy(0.5, 1.5),
+            Point2::xy(5.5, 5.5),
+        ];
+        let index = HashGrid::build(1.0, &points);
+        let mut got = Vec::new();
+        let stats = index.for_each_in_cell_range(&[0, 0], &[2, 1], |id| got.push(id));
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(stats.candidates, 4);
+        assert_eq!(stats.cells, 4);
+        // An inverted range is empty, not a panic.
+        let empty = index.for_each_in_cell_range(&[3, 3], &[1, 1], |_| unreachable!());
+        assert_eq!(empty, GridQueryStats::default());
     }
 
     #[test]
@@ -214,6 +361,17 @@ mod tests {
     fn empty_index_queries() {
         let index = HashGrid::<2>::new(1.0);
         assert!(index.is_empty());
+        assert_eq!(index.cell_count(), 0);
         assert!(index.within(&Point2::xy(0.0, 0.0), 10.0).is_empty());
+        let stats = index.for_each_within(&Point2::xy(0.0, 0.0), 10.0, |_| unreachable!());
+        assert_eq!(stats, GridQueryStats::default());
+    }
+
+    #[test]
+    fn duplicate_points_share_a_cell_in_input_order() {
+        let points = vec![Point2::xy(1.0, 1.0); 5];
+        let index = HashGrid::build(1.0, &points);
+        let got = index.within(&Point2::xy(1.0, 1.0), 0.5);
+        assert_eq!(got, vec![0, 1, 2, 3, 4], "bucket contents keep input order");
     }
 }

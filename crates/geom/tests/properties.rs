@@ -140,6 +140,56 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// The CSR grid's `within` and `for_each_within` agree with brute force —
+    /// and with each other — under the adversarial conditions of the flat
+    /// layout: negative coordinates (cell addresses below zero), points
+    /// snapped exactly onto cell boundaries (half of the workload below lands
+    /// on multiples of the cell side), and query radii far above and far
+    /// below the cell side (`reach` spanning one row to dozens of rows).
+    #[test]
+    fn csr_hashgrid_matches_brute_force_under_adversarial_layouts(
+        raw in proptest::collection::vec((-8.0f64..8.0, -8.0f64..8.0, 0u8..2), 1..80),
+        cell in 0.25f64..2.0,
+        qx in -8.0f64..8.0,
+        qy in -8.0f64..8.0,
+        radius_scale in 0.01f64..40.0,
+    ) {
+        // Snap every other point exactly onto the cell lattice so boundary
+        // ownership (half-open cells) is exercised.
+        let points: Vec<Point2> = raw
+            .iter()
+            .map(|&(x, y, snap)| {
+                if snap == 0 {
+                    Point2::xy(x, y)
+                } else {
+                    Point2::xy((x / cell).round() * cell, (y / cell).round() * cell)
+                }
+            })
+            .collect();
+        let index = HashGrid::build(cell, &points);
+        prop_assert_eq!(index.len(), points.len());
+        let q = Point2::xy(qx, qy);
+        let radius = cell * radius_scale; // from cell/100 to 40 cells
+        let mut got = index.within(&q, radius);
+        got.sort_unstable();
+        let mut visited = Vec::new();
+        let stats = index.for_each_within(&q, radius, |id| visited.push(id));
+        visited.sort_unstable();
+        prop_assert_eq!(&got, &visited, "within and the visitor must agree");
+        let mut want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(&q) <= radius + 1e-9)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Work accounting is sound: every hit was a tested candidate, and
+        // candidates only come from visited cells.
+        prop_assert!(stats.candidates >= visited.len());
+        prop_assert!(stats.cells <= index.cell_count());
+    }
+
     /// Circumballs of grid cells contain every corner of their cell, in three
     /// dimensions as well.
     #[test]

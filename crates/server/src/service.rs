@@ -379,6 +379,19 @@ impl Service {
             ("uptime_us".into(), Json::num(self.stats.uptime().as_micros() as f64)),
             ("requests".into(), Json::num(self.stats.total_requests() as f64)),
             ("requests_per_sec".into(), Json::num(self.stats.requests_per_sec())),
+            (
+                "work".into(),
+                Json::Obj(vec![
+                    (
+                        "candidates_examined".into(),
+                        Json::num(self.stats.candidates_examined() as f64),
+                    ),
+                    (
+                        "grid_cells_visited".into(),
+                        Json::num(self.stats.grid_cells_visited() as f64),
+                    ),
+                ]),
+            ),
             ("endpoints".into(), Json::Arr(endpoints)),
             (
                 "cache".into(),
@@ -514,6 +527,7 @@ impl Service {
             let mut batch_stats = report.stats;
             batch_stats.certified = certified_count;
             batch_stats.certify_failures = certify_failures;
+            self.stats.record_work(batch_stats.candidates_examined, batch_stats.grid_cells_visited);
             stats = Some(batch_stats);
         }
         dataset.count_requests(queries.len() as u64);
@@ -887,6 +901,31 @@ mod tests {
         let stats = parsed.get("stats").unwrap();
         assert_eq!(stats.get("cache_hits").unwrap().as_f64(), Some(4.0));
         assert_eq!(stats.get("executed").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn stats_aggregate_index_work_counters() {
+        let service = service();
+        service.handle(&post("/datasets/demo", CSV));
+        assert_eq!(service.stats().candidates_examined(), 0);
+        let body =
+            r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0},"cache":false}"#;
+        assert_eq!(service.handle(&post("/query", body)).status, 200);
+        let after_one = service.stats().candidates_examined();
+        assert!(after_one > 0, "the disk sweep must report grid work");
+        assert!(service.stats().grid_cells_visited() > 0);
+        // The counters surface on /stats under `work`.
+        let response = service.handle(&get("/stats"));
+        let parsed = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let work = parsed.get("work").expect("stats carries work counters");
+        assert_eq!(work.get("candidates_examined").and_then(Json::as_f64), Some(after_one as f64));
+        // The first cached query computes (work doubles); its repeat is a
+        // cache hit, executes nothing, and adds nothing.
+        let cached = r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        service.handle(&post("/query", cached));
+        assert_eq!(service.stats().candidates_examined(), 2 * after_one);
+        service.handle(&post("/query", cached));
+        assert_eq!(service.stats().candidates_examined(), 2 * after_one);
     }
 
     #[test]

@@ -102,10 +102,14 @@ pub struct EndpointSnapshot {
     pub latency: LatencySummary,
 }
 
-/// Server-wide statistics: uptime plus one track per endpoint.
+/// Server-wide statistics: uptime plus one track per endpoint, plus the
+/// engine's wall-clock-free work counters aggregated over every executed
+/// batch (cache hits execute nothing and so add nothing).
 pub struct ServerStats {
     started: Instant,
     tracks: [EndpointTrack; ENDPOINTS.len()],
+    candidates_examined: AtomicU64,
+    grid_cells_visited: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -117,7 +121,29 @@ impl Default for ServerStats {
 impl ServerStats {
     /// Fresh statistics; uptime starts now.
     pub fn new() -> Self {
-        Self { started: Instant::now(), tracks: Default::default() }
+        Self {
+            started: Instant::now(),
+            tracks: Default::default(),
+            candidates_examined: AtomicU64::new(0),
+            grid_cells_visited: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one executed batch's index-work counters (see
+    /// `BatchStats::candidates_examined` / `grid_cells_visited`).
+    pub fn record_work(&self, candidates_examined: usize, grid_cells_visited: usize) {
+        self.candidates_examined.fetch_add(candidates_examined as u64, Ordering::Relaxed);
+        self.grid_cells_visited.fetch_add(grid_cells_visited as u64, Ordering::Relaxed);
+    }
+
+    /// Total candidates examined through spatial-index queries since startup.
+    pub fn candidates_examined(&self) -> u64 {
+        self.candidates_examined.load(Ordering::Relaxed)
+    }
+
+    /// Total spatial-index grid cells visited since startup.
+    pub fn grid_cells_visited(&self) -> u64 {
+        self.grid_cells_visited.load(Ordering::Relaxed)
     }
 
     /// Time since the server started.

@@ -552,6 +552,12 @@ pub fn run_batch_on_text(
         stats.queries - stats.failed,
         stats.certify_failures,
     ));
+    // Wall-clock-free work counters: what the shared spatial indexes could
+    // not prune.  These are the numbers the perf-smoke tests bound.
+    out.push_str(&format!(
+        "index work: {} candidates examined | {} grid cells visited\n",
+        stats.candidates_examined, stats.grid_cells_visited,
+    ));
     // Per-query wall time — the same `LatencySummary` the server's `/stats`
     // endpoint serializes per HTTP endpoint.
     out.push_str(&format!("per-query: {}\n", report.per_query_latency()));
@@ -898,15 +904,15 @@ mod tests {
         let expected = "\
 registered solvers (name | problem | shape | dims | guarantee | batch | reference):
   batched-interval-1d            weighted  ball  d = 1   exact             index-shared  Theorem 1.3 upper bound (O(n log n + m·n))
-  exact-interval-1d              weighted  ball  d = 1   exact             independent   Section 5 per-length oracle (sorted sweep)
-  exact-rect-2d                  weighted  box   d = 2   exact             independent   [IA83]/[NB95] rectangle sweep
-  exact-disk-2d                  weighted  ball  d = 2   exact             independent   [CL86] disk sweep
-  approx-static-ball             weighted  ball  any d   (1/2 − ε)-approx  independent   Theorem 1.2
+  exact-interval-1d              weighted  ball  d = 1   exact             index-shared  Section 5 per-length oracle (sorted sweep)
+  exact-rect-2d                  weighted  box   d = 2   exact             index-shared  [IA83]/[NB95] rectangle sweep
+  exact-disk-2d                  weighted  ball  d = 2   exact             index-shared  [CL86] disk sweep
+  approx-static-ball             weighted  ball  any d   (1/2 − ε)-approx  index-shared  Theorem 1.2
   dynamic-ball                   weighted  ball  any d   (1/2 − ε)-approx  independent   Theorem 1.1
   exact-colored-disk-enum        colored   ball  d = 2   exact             independent   candidate enumeration baseline
   exact-colored-disk-union       colored   ball  d = 2   exact             independent   Lemma 4.2
   output-sensitive-colored-disk  colored   ball  d = 2   exact             independent   Theorem 4.6
-  approx-colored-ball            colored   ball  any d   (1/2 − ε)-approx  independent   Theorem 1.5
+  approx-colored-ball            colored   ball  any d   (1/2 − ε)-approx  index-shared  Theorem 1.5
   approx-colored-disk-sampling   colored   ball  d = 2   (1 − ε)-approx    independent   Theorem 1.6
   exact-colored-rect-2d          colored   box   d = 2   exact             independent   [ZGH+22]-style sweep
 ";
@@ -1099,6 +1105,10 @@ registered solvers (name | problem | shape | dims | guarantee | batch | referenc
         // batch report surfaces the same LatencySummary the server serializes.
         assert!(out.contains("per-query: min"), "{out}");
         assert!(out.contains("p95"), "{out}");
+        // Work counters: the disk query runs through the shared grid, so the
+        // batch must report nonzero candidates examined.
+        assert!(out.contains("index work:"), "{out}");
+        assert!(out.contains("candidates examined"), "{out}");
 
         assert!(run_batch_on_text(csv, "", None, 0.25).unwrap().contains("empty query file"));
         assert!(run_batch_on_text(csv, queries, None, 1.5).is_err());
