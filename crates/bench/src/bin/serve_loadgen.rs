@@ -44,6 +44,11 @@ use rand::prelude::*;
 struct Config {
     addr: String,
     smoke: bool,
+    /// Run the update-mix phase only: mutate resident datasets through
+    /// `POST /datasets/{name}/insert|delete` and fail on any uncertified or
+    /// stale-version answer (an answer computed at an older version than
+    /// the mutation the client already observed).
+    update_mix: bool,
     out: Option<String>,
     /// Points in the 1-D canonical dataset (the planar mixed dataset gets
     /// a tenth of this).
@@ -61,6 +66,7 @@ fn parse_args() -> Result<Config, String> {
     let mut config = Config {
         addr: "127.0.0.1:7070".to_string(),
         smoke: false,
+        update_mix: false,
         out: None,
         n: 0,
         requests: 0,
@@ -75,6 +81,10 @@ fn parse_args() -> Result<Config, String> {
         match args[i].as_str() {
             "--smoke" => {
                 config.smoke = true;
+                i += 1;
+            }
+            "--update-mix" => {
+                config.update_mix = true;
                 i += 1;
             }
             "--addr" => {
@@ -196,6 +206,10 @@ fn main() -> ExitCode {
     if status != 200 {
         eprintln!("error: /healthz answered {status}");
         return ExitCode::FAILURE;
+    }
+
+    if config.update_mix {
+        return run_update_mix(&config, &mut client);
     }
 
     // 1. The datasets, and the cold one-shot baseline (best of 3).
@@ -362,6 +376,175 @@ fn main() -> ExitCode {
             ]),
         ),
         ("server_cache".into(), cache.clone()),
+        ("violations".into(), Json::num(violations.0.len() as f64)),
+    ]);
+    if let Some(path) = &config.out {
+        std::fs::write(path, report.render() + "\n").expect("write the baseline file");
+        eprintln!("wrote {path}");
+    } else {
+        println!("{}", report.render());
+    }
+
+    if violations.0.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} violation(s); failing", violations.0.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The update-mix phase: mutate resident datasets through the streaming
+/// endpoints and gate on correctness, not speed —
+///
+/// * every answer must be 2xx and **certified**;
+/// * after the client observed a mutation land at version `v`, a repeated
+///   query must answer at version ≥ `v` with `"cached": false` the first
+///   time (a `cached: true` replay of the pre-mutation answer, or a
+///   version below `v`, is a **stale-version answer** and fails the run);
+/// * `/stats` must show fine-grained cache invalidations.
+fn run_update_mix(config: &Config, client: &mut Client) -> ExitCode {
+    use mrs_bench::serve::line_update_record;
+
+    let mut violations = Violations::default();
+    let rounds = if config.smoke { 20 } else { 100 };
+    let n = config.n.min(50_000);
+    eprintln!("update-mix: {n} line points + {} planar points, {rounds} rounds...", n / 10);
+    let line = line_csv(n, config.seed);
+    let planar = planar_csv((n / 10).min(5_000), config.seed);
+    let (_, status, body) = timed(client, "/datasets/loadgen1d?dim=1", &line);
+    violations.check(status == 200, format!("1-D upload: status {status}: {body}"));
+    let (_, status, body) = timed(client, "/datasets/loadgen", &planar);
+    violations.check(status == 200, format!("planar upload: status {status}: {body}"));
+
+    let query_body = format!(
+        r#"{{"dataset":"loadgen1d","solver":"{CANONICAL_SOLVER}","shape":{{"interval":{CANONICAL_LENGTH}}}}}"#
+    );
+    let dynamic_body = format!(
+        r#"{{"dataset":"loadgen1d","solver":"dynamic-ball","shape":{{"ball":{}}}}}"#,
+        CANONICAL_LENGTH / 2.0
+    );
+    let mut post_update_samples = Vec::with_capacity(rounds);
+    let mut update_samples = Vec::with_capacity(rounds);
+    let mut inserted_coords: Vec<f64> = Vec::new();
+    for round in 0..rounds {
+        // Prime the cache with the canonical query, so the post-mutation
+        // repeat can only be fresh if invalidation worked.
+        let (_, status, body) = timed(client, "/query", &query_body);
+        check_answer(&mut violations, status, &body, &format!("round {round} prime"));
+
+        // Mutate: inserts on even rounds, deletes of previously inserted
+        // records on odd rounds (when available).
+        let (path, record) = if round % 2 == 0 || inserted_coords.is_empty() {
+            let (x, w) = line_update_record(config.seed, round as u64);
+            inserted_coords.push(x);
+            ("/datasets/loadgen1d/insert", format!("{x},{w}\n"))
+        } else {
+            let x = inserted_coords.remove(0);
+            ("/datasets/loadgen1d/delete", format!("{x}\n"))
+        };
+        let (elapsed, status, body) = timed(client, path, &record);
+        violations.check(status == 200, format!("round {round} {path}: status {status}: {body}"));
+        update_samples.push(elapsed);
+        let mutated_version = Json::parse(&body)
+            .ok()
+            .and_then(|j| j.get("mutated").and_then(|m| m.get("version")).and_then(Json::as_f64))
+            .unwrap_or(f64::NAN);
+        violations.check(
+            mutated_version.is_finite(),
+            format!("round {round}: mutation response carries no version: {body}"),
+        );
+
+        // The post-update query: must recompute at (or after) the mutated
+        // version — never replay the pre-mutation cache entry.
+        let (elapsed, status, body) = timed(client, "/query", &query_body);
+        check_answer(&mut violations, status, &body, &format!("round {round} post-update"));
+        post_update_samples.push(elapsed);
+        if let Ok(parsed) = Json::parse(&body) {
+            violations.check(
+                parsed.get("cached").and_then(Json::as_bool) == Some(false),
+                format!("round {round}: stale cached answer replayed after a mutation: {body}"),
+            );
+            let answered_version = parsed
+                .get("answer")
+                .and_then(|a| a.get("version"))
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            violations.check(
+                answered_version >= mutated_version,
+                format!(
+                    "round {round}: stale-version answer v{answered_version} after mutation \
+                     v{mutated_version}"
+                ),
+            );
+        }
+
+        // The incrementally maintained tracker answers too (uncached
+        // solver path exercises the dynamic sampler end to end).
+        let (_, status, body) = timed(client, "/query", &dynamic_body);
+        check_answer(&mut violations, status, &body, &format!("round {round} dynamic"));
+    }
+
+    // A few planar mutations keep the 2-D path honest.
+    for round in 0..5 {
+        let body = format!("{},{},2\n", 3.0 + round as f64 * 0.1, 4.0);
+        let (_, status, response) = timed(client, "/datasets/loadgen/insert", &body);
+        violations.check(status == 200, format!("planar insert: status {status}: {response}"));
+        let (_, status, response) = timed(
+            client,
+            "/query",
+            r#"{"dataset":"loadgen","solver":"exact-rect-2d","shape":{"box":[2.0,2.0]}}"#,
+        );
+        check_answer(&mut violations, status, &response, "planar post-update query");
+    }
+
+    // Server-side counters: invalidations must be fine-grained and nonzero.
+    let (status, stats_body) = client.get("/stats").expect("stats I/O");
+    violations.check(status == 200, format!("/stats answered {status}"));
+    let stats = Json::parse(&stats_body).expect("stats body parses");
+    let cache = stats.get("cache").expect("stats carries cache counters");
+    let invalidations = cache.get("invalidations").and_then(Json::as_f64).unwrap_or(-1.0);
+    violations.check(
+        invalidations > 0.0,
+        format!("mutations must invalidate cached answers fine-grained, got {invalidations}"),
+    );
+    let dataset_version = stats
+        .get("datasets")
+        .and_then(Json::as_arr)
+        .and_then(|ds| {
+            ds.iter().find(|d| d.get("name").and_then(Json::as_str) == Some("loadgen1d"))
+        })
+        .and_then(|d| d.get("version"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    violations.check(
+        dataset_version as usize >= rounds,
+        format!("every mutation must bump the version, got v{dataset_version} after {rounds}"),
+    );
+
+    let updates = LatencySummary::from_durations(&update_samples);
+    let post_update = LatencySummary::from_durations(&post_update_samples);
+    eprintln!(
+        "update-mix: {rounds} rounds | update p50 {:.1} µs | post-update query p50 {:.1} µs | \
+         {invalidations} cache invalidations | dataset at v{dataset_version}",
+        updates.p50.as_secs_f64() * 1e6,
+        post_update.p50.as_secs_f64() * 1e6,
+    );
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("serve_update_mix")),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("n_line".into(), Json::num(n as f64)),
+                ("rounds".into(), Json::num(rounds as f64)),
+                ("seed".into(), Json::num(config.seed as f64)),
+                ("smoke".into(), Json::Bool(config.smoke)),
+            ]),
+        ),
+        ("update".into(), latency_json(&updates)),
+        ("post_update_query".into(), latency_json(&post_update)),
+        ("cache_invalidations".into(), Json::num(invalidations)),
+        ("dataset_version".into(), Json::num(dataset_version)),
         ("violations".into(), Json::num(violations.0.len() as f64)),
     ]);
     if let Some(path) = &config.out {

@@ -334,6 +334,16 @@ pub mod serve {
         pool
     }
 
+    /// One record of the canonical 1-D update mix: a weighted event near a
+    /// random hotspot center, deterministic in `(seed, i)`.  Shared by the
+    /// in-process `dynamic_baseline` emitter and the HTTP `serve_loadgen`
+    /// update-mix phase, so both mutate the same stream.
+    pub fn line_update_record(seed: u64, i: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C0 ^ i.wrapping_mul(0x9E3779B97F4A7C15));
+        let center = rng.gen_range(0.0..1_000.0f64);
+        (center + rng.gen_range(-15.0..15.0), rng.gen_range(0.5..3.0))
+    }
+
     /// Draws one Zipf(1.1) index over `weights.len()` entries.
     pub fn zipf_pick(weights: &[f64], total: f64, rng: &mut StdRng) -> usize {
         let mut pick = rng.gen_range(0.0..total);

@@ -27,16 +27,23 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mrs_geom::{ColoredSite, Point, WeightedPoint};
 
 use super::batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats};
 use super::instance::{ColoredInstance, RangeShape, WeightedInstance};
 use super::registry::{Registry, SharedColoredSolver, SharedWeightedSolver};
+use super::report::{Guarantee, SolveStats, SolverReport};
+use super::versioned::{ScriptOutcome, ScriptReport, ScriptStep, VersionedDataset, VersionedView};
 use super::{EngineError, ProblemKind};
 
-pub use super::index::SharedIndex;
+pub use super::index::{AnswerIndex, SharedIndex};
+
+/// One versioned answer: the answer itself, its per-answer certification
+/// flag (`None` when certification is off or the query failed), and the
+/// dataset version it was computed at.
+pub type VersionedAnswer<const D: usize> = (BatchAnswer<D>, Option<bool>, u64);
 
 /// Configuration of a [`BatchExecutor`].
 #[derive(Clone, Copy, Debug)]
@@ -258,6 +265,155 @@ impl<'r> BatchExecutor<'r> {
         BatchReport { answers, stats }
     }
 
+    /// Answers queries against one **version** of an updatable dataset (see
+    /// [`VersionedDataset`]): the current [`VersionedView`] is fetched once,
+    /// queries run through its (incrementally derived) index, and — when the
+    /// executor certifies — every answer is re-evaluated through the view's
+    /// *delta overlay*, i.e. against exactly the version it was computed at.
+    ///
+    /// Queries naming a solver whose descriptor declares `dynamic` support
+    /// (the Theorem 1.1 `dynamic-ball` tracker) are answered by the
+    /// dataset's **incrementally maintained** sampling structure via
+    /// [`VersionedDataset::dynamic_ball_best`] instead of a from-scratch
+    /// build; their answers carry the version the tracker observed.
+    ///
+    /// Returns the view the batch ran at plus one
+    /// [`VersionedAnswer`] per query; the certified flag is `None` when
+    /// certification is off or the query failed.
+    pub fn execute_versioned<const D: usize>(
+        &self,
+        dataset: &VersionedDataset<D>,
+        queries: &[BatchQuery<D>],
+    ) -> (VersionedView<D>, Vec<VersionedAnswer<D>>, BatchStats) {
+        let start = Instant::now();
+        let view = dataset.view();
+        let mut slots: Vec<Option<VersionedAnswer<D>>> = vec![None; queries.len()];
+        let mut request = view.request();
+        let mut engine_positions: Vec<usize> = Vec::new();
+        // Tracker answers bypass the inner executor, so their time must be
+        // folded into the batch statistics by hand.
+        let mut tracker_time = Duration::ZERO;
+        for (i, query) in queries.iter().enumerate() {
+            if let Some(answer) = self.try_dynamic_tracker(dataset, query) {
+                tracker_time += answer.0.elapsed();
+                slots[i] = Some(answer);
+            } else {
+                engine_positions.push(i);
+                request.push(query.clone());
+            }
+        }
+
+        let mut stats;
+        if engine_positions.is_empty() {
+            stats = BatchStats::default();
+        } else {
+            // Certification must go through the overlay (never through
+            // per-version grids), so the inner executor runs uncertified and
+            // the per-answer pass below does the work.
+            let inner = BatchExecutor::with_config(
+                self.registry,
+                ExecutorConfig { threads: self.config.threads, certify: false },
+            );
+            let index = view.index();
+            let report = inner.execute_with_index(&request, &index);
+            stats = report.stats;
+            for ((&i, answer), query) in
+                engine_positions.iter().zip(report.answers).zip(request.queries())
+            {
+                let certified = (self.config.certify && answer.is_ok())
+                    .then(|| certify_answer(&view, query, &answer) == Some(true));
+                slots[i] = Some((answer, certified, view.version()));
+            }
+        }
+        let answers: Vec<VersionedAnswer<D>> =
+            slots.into_iter().map(|slot| slot.expect("every query answered")).collect();
+        stats.queries = queries.len();
+        stats.failed = answers.iter().filter(|(a, _, _)| !a.is_ok()).count();
+        stats.solver_time += tracker_time;
+        stats.wall = start.elapsed();
+        if self.config.certify {
+            stats.certified = answers.iter().filter(|(_, c, _)| *c == Some(true)).count();
+            stats.certify_failures = answers.iter().filter(|(_, c, _)| *c == Some(false)).count();
+        }
+        (view, answers, stats)
+    }
+
+    /// Executes an interleaved update/query **script** against a versioned
+    /// dataset: consecutive queries form one amortized segment answered at
+    /// the then-current version (through [`Self::execute_versioned`], so
+    /// every answer is certified against the version it was computed at),
+    /// and each mutation bumps the version between segments.
+    pub fn execute_script<const D: usize>(
+        &self,
+        dataset: &VersionedDataset<D>,
+        steps: &[ScriptStep<D>],
+    ) -> ScriptReport<D> {
+        let mut outcomes: Vec<ScriptOutcome<D>> = Vec::with_capacity(steps.len());
+        let mut stats = BatchStats::default();
+        let mut updates = 0usize;
+        let mut pending: Vec<BatchQuery<D>> = Vec::new();
+        let flush = |pending: &mut Vec<BatchQuery<D>>,
+                     outcomes: &mut Vec<ScriptOutcome<D>>,
+                     stats: &mut BatchStats| {
+            if pending.is_empty() {
+                return;
+            }
+            let (_, answers, segment) = self.execute_versioned(dataset, pending);
+            for (answer, certified, version) in answers {
+                outcomes.push(ScriptOutcome::Answer { version, certified, answer });
+            }
+            merge_stats(stats, &segment);
+            pending.clear();
+        };
+        for step in steps {
+            match step {
+                ScriptStep::Query(query) => pending.push(query.clone()),
+                ScriptStep::Mutate(mutation) => {
+                    flush(&mut pending, &mut outcomes, &mut stats);
+                    let report = dataset.apply(std::slice::from_ref(mutation));
+                    updates += 1;
+                    outcomes.push(ScriptOutcome::Mutated {
+                        version: report.version,
+                        outcome: report.outcome,
+                        compacted: report.compacted,
+                    });
+                }
+            }
+        }
+        flush(&mut pending, &mut outcomes, &mut stats);
+        ScriptReport { outcomes, stats, updates, final_version: dataset.version() }
+    }
+
+    /// Answers one query through the dataset's resident dynamic tracker, if
+    /// the named solver declares incremental-update support and the tracker
+    /// path applies (weighted ball query, non-negative weights).  Returns
+    /// `None` to fall through to the ordinary engine dispatch.
+    fn try_dynamic_tracker<const D: usize>(
+        &self,
+        dataset: &VersionedDataset<D>,
+        query: &BatchQuery<D>,
+    ) -> Option<VersionedAnswer<D>> {
+        let BatchQuery::Weighted { solver, shape } = query else { return None };
+        let radius = shape.ball_radius()?;
+        let resolved = self.registry.weighted::<D>(solver)?;
+        if !resolved.descriptor().dynamic {
+            return None;
+        }
+        let start = Instant::now();
+        let config = self.registry.config().sampling;
+        let (view, placement) = dataset.dynamic_ball_best(radius, &config)?;
+        let report = SolverReport {
+            solver: resolved.descriptor().name,
+            placement,
+            guarantee: Guarantee::HalfMinusEps { eps: config.eps },
+            stats: SolveStats { elapsed: start.elapsed(), ..SolveStats::default() },
+        };
+        let answer = BatchAnswer::Weighted(report);
+        let certified =
+            self.config.certify.then(|| certify_answer(&view, query, &answer) == Some(true));
+        Some((answer, certified, view.version()))
+    }
+
     /// Groups queries per `(problem, solver)`, resolves each solver once,
     /// fails unknown names in place, and emits one task per index-sharing
     /// group or per independent query.
@@ -367,18 +523,36 @@ impl<'r> BatchExecutor<'r> {
     }
 }
 
-/// Re-evaluates one answer against the shared index: `Some(true)` when the
+/// Accumulates one query segment's statistics into a script-level total.
+fn merge_stats(total: &mut BatchStats, segment: &BatchStats) {
+    total.queries += segment.queries;
+    total.failed += segment.failed;
+    total.threads = total.threads.max(segment.threads);
+    total.index_builds += segment.index_builds;
+    total.index_build_time += segment.index_build_time;
+    total.wall += segment.wall;
+    total.solver_time += segment.solver_time;
+    total.certified += segment.certified;
+    total.certify_failures += segment.certify_failures;
+    total.candidates_examined += segment.candidates_examined;
+    total.grid_cells_visited += segment.grid_cells_visited;
+}
+
+/// Re-evaluates one answer against an index: `Some(true)` when the
 /// reported value lies within the index's recount bounds, `Some(false)` on
 /// a solver-contract violation, `None` for failed answers (nothing to
-/// check).  The index must cover the point/site sets the query ran against;
-/// box queries (which have no shared structure) scan [`SharedIndex::points`]
-/// / [`SharedIndex::sites`] directly.
+/// check).  The index must cover the point/site sets the query ran against
+/// — a [`SharedIndex`] for immutable snapshots, a
+/// [`VersionedView`] for one version of an updatable dataset (whose bounds
+/// go through the delta overlay, so no structure is rebuilt to certify);
+/// box queries (which have no shared structure) scan the index's points and
+/// sites directly.
 ///
 /// This is the per-answer form of the executor's batch certification — the
 /// serving layer uses it to stamp each answer individually before caching
 /// it, so one bad answer in a batch cannot mislabel its neighbors.
-pub fn certify_answer<const D: usize>(
-    index: &SharedIndex<D>,
+pub fn certify_answer<const D: usize, I: AnswerIndex<D> + ?Sized>(
+    index: &I,
     query: &BatchQuery<D>,
     answer: &BatchAnswer<D>,
 ) -> Option<bool> {
@@ -629,6 +803,97 @@ mod tests {
         assert!(report.answers.is_empty());
         assert!(report.all_ok());
         assert_eq!(report.stats.queries, 0);
+    }
+
+    #[test]
+    fn scripts_interleave_updates_and_certified_queries() {
+        use super::super::versioned::{Mutation, ScriptStep, VersionedDataset};
+        let dataset = VersionedDataset::new(planar_points(), planar_sites());
+        let registry = registry();
+        let executor = BatchExecutor::new(&registry);
+        let steps = vec![
+            ScriptStep::Query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0))),
+            ScriptStep::Mutate(Mutation::Insert {
+                point: WeightedPoint::new(Point2::xy(0.25, 0.25), 5.0),
+                color: Some(3),
+            }),
+            ScriptStep::Query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0))),
+            ScriptStep::Query(BatchQuery::colored(
+                "output-sensitive-colored-disk",
+                RangeShape::ball(1.0),
+            )),
+            ScriptStep::Mutate(Mutation::Delete { point: Point2::xy(0.25, 0.25) }),
+            ScriptStep::Query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0))),
+        ];
+        let report = executor.execute_script(&dataset, &steps);
+        assert_eq!(report.outcomes.len(), 6);
+        assert_eq!(report.updates, 2);
+        assert_eq!(report.final_version, 3);
+        assert!(report.all_ok());
+        // Every answer is certified against the version it was computed at.
+        let versions: Vec<u64> = report.outcomes.iter().map(|o| o.version()).collect();
+        assert_eq!(versions, vec![1, 2, 2, 2, 3, 3]);
+        for outcome in &report.outcomes {
+            if outcome.answer().is_some() {
+                assert_eq!(outcome.certified(), Some(true), "{outcome:?}");
+            }
+        }
+        // The insert raised the disk optimum from 3 to 8; the delete
+        // restored it.
+        let values: Vec<f64> = report
+            .outcomes
+            .iter()
+            .filter_map(ScriptOutcome::answer)
+            .filter_map(BatchAnswer::weighted)
+            .map(|r| r.placement.value)
+            .collect();
+        assert_eq!(values, vec![3.0, 8.0, 3.0]);
+        // The colored query saw the inserted site (colors 0,1,2,3).
+        let colored = report
+            .outcomes
+            .iter()
+            .filter_map(ScriptOutcome::answer)
+            .find_map(BatchAnswer::colored)
+            .expect("one colored answer");
+        assert_eq!(colored.placement.distinct, 4);
+        assert_eq!(report.stats.certify_failures, 0);
+        assert_eq!(report.stats.certified, 4);
+    }
+
+    #[test]
+    fn dynamic_solver_routes_through_the_maintained_tracker() {
+        use super::super::versioned::{Mutation, ScriptStep, VersionedDataset};
+        let dataset = VersionedDataset::new(planar_points(), Vec::new());
+        let registry = registry();
+        let executor = BatchExecutor::new(&registry);
+        let steps = vec![
+            ScriptStep::Query(BatchQuery::weighted("dynamic-ball", RangeShape::ball(1.0))),
+            ScriptStep::Mutate(Mutation::Insert {
+                point: WeightedPoint::new(Point2::xy(9.1, 9.0), 10.0),
+                color: None,
+            }),
+            ScriptStep::Query(BatchQuery::weighted("dynamic-ball", RangeShape::ball(1.0))),
+        ];
+        let report = executor.execute_script(&dataset, &steps);
+        assert!(report.all_ok());
+        let values: Vec<f64> = report
+            .outcomes
+            .iter()
+            .filter_map(ScriptOutcome::answer)
+            .filter_map(BatchAnswer::weighted)
+            .map(|r| r.placement.value)
+            .collect();
+        // The tracker follows the update: the heavy insert near (9, 9)
+        // makes that cluster the best (10 + 1 = 11) under the (1/2 − ε)
+        // guarantee; values are exact recounts of the returned center.
+        assert_eq!(values.len(), 2);
+        assert!(values[1] >= values[0], "{values:?}");
+        assert!(values[1] >= 0.25 * 11.0, "{values:?}");
+        for outcome in &report.outcomes {
+            if outcome.answer().is_some() {
+                assert_eq!(outcome.certified(), Some(true));
+            }
+        }
     }
 
     #[test]

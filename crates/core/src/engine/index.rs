@@ -103,6 +103,69 @@ impl SampleSetKey {
     }
 }
 
+/// The certification surface of an index: exact-recount *bounds* under
+/// endpoint slack, plus direct access to the indexed sets for shapes with no
+/// shared structure (boxes).
+///
+/// Two implementors exist: [`SharedIndex`] (an immutable snapshot — the
+/// bounds go through its own grids and Fenwick tree) and
+/// [`super::VersionedView`] (one version of an updatable dataset — the
+/// bounds go through a *delta overlay* on the base generation's structures,
+/// so certifying after an update never rebuilds an index).  The executor's
+/// [`certify_answer`](super::certify_answer) is generic over this trait, so
+/// every answer is certified against exactly the contents it was computed
+/// from.
+pub trait AnswerIndex<const D: usize>: Send + Sync {
+    /// Largest absolute coordinate across the indexed points and sites (the
+    /// magnitude certification slack scales with).
+    fn coord_scale(&self) -> f64;
+
+    /// The weighted points the answers were computed over.
+    fn points(&self) -> &[WeightedPoint<D>];
+
+    /// The colored sites the answers were computed over.
+    fn sites(&self) -> &[ColoredSite<D>];
+
+    /// Lower/upper bounds on the weight in the closed interval `[lo, hi]`
+    /// under endpoint slack (see [`SharedIndex::interval_weight_bounds`] for
+    /// the contract).
+    fn interval_weight_bounds(&self, lo: f64, hi: f64, slack: f64) -> (f64, f64);
+
+    /// Lower/upper bounds on the weight inside the closed ball at `center`
+    /// under endpoint slack.
+    fn ball_weight_bounds(&self, center: &Point<D>, radius: f64, slack: f64) -> (f64, f64);
+
+    /// Lower/upper bounds on the distinct colors inside the closed ball at
+    /// `center` under endpoint slack.
+    fn ball_distinct_bounds(&self, center: &Point<D>, radius: f64, slack: f64) -> (usize, usize);
+}
+
+impl<const D: usize> AnswerIndex<D> for SharedIndex<D> {
+    fn coord_scale(&self) -> f64 {
+        SharedIndex::coord_scale(self)
+    }
+
+    fn points(&self) -> &[WeightedPoint<D>] {
+        SharedIndex::points(self)
+    }
+
+    fn sites(&self) -> &[ColoredSite<D>] {
+        SharedIndex::sites(self)
+    }
+
+    fn interval_weight_bounds(&self, lo: f64, hi: f64, slack: f64) -> (f64, f64) {
+        SharedIndex::interval_weight_bounds(self, lo, hi, slack)
+    }
+
+    fn ball_weight_bounds(&self, center: &Point<D>, radius: f64, slack: f64) -> (f64, f64) {
+        SharedIndex::ball_weight_bounds(self, center, radius, slack)
+    }
+
+    fn ball_distinct_bounds(&self, center: &Point<D>, radius: f64, slack: f64) -> (usize, usize) {
+        SharedIndex::ball_distinct_bounds(self, center, radius, slack)
+    }
+}
+
 impl<const D: usize> SharedIndex<D> {
     /// An index over the given shared point and site sets.  Nothing is built
     /// until a query asks for a structure.
@@ -199,6 +262,39 @@ impl<const D: usize> SharedIndex<D> {
     /// first use, meaningful for `D = 1` workloads.
     pub fn sorted_line(&self) -> &SortedLine {
         &self.line_index().line
+    }
+
+    /// Seeds the line index with an externally built [`SortedLine`] — the
+    /// incremental path of a versioned dataset, which *merges* the previous
+    /// generation's order with a small sorted delta in `O(n)` instead of
+    /// re-sorting.  The per-point weights and the Fenwick tree are derived
+    /// from the seeded line exactly as [`Self::sorted_line`] would derive
+    /// them, so every downstream query is identical.  No-op (returns
+    /// `false`) if the line was already built.
+    pub(super) fn seed_sorted_line(&self, line: SortedLine) -> bool {
+        let start = Instant::now();
+        let weights: Vec<f64> = line.prefix().windows(2).map(|w| w[1] - w[0]).collect();
+        let fenwick = Fenwick::from_values(&weights);
+        let seeded = self.line.set(LineIndex { line, weights, fenwick }).is_ok();
+        if seeded {
+            self.record_build(2, start.elapsed());
+        }
+        seeded
+    }
+
+    /// Seeds the sorted projection for `axis` with an externally merged
+    /// order (see [`Self::seed_sorted_line`] for the contract).  No-op if
+    /// the projection was already built.
+    pub(super) fn seed_projection(&self, axis: usize, order: Arc<[u32]>) -> bool {
+        assert!(axis < D, "axis {axis} out of range for dimension {D}");
+        assert_eq!(order.len(), self.points.len(), "one order entry per point");
+        let mut map = self.projections.lock().expect("projection lock poisoned");
+        if map.contains_key(&axis) {
+            return false;
+        }
+        map.insert(axis, order);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Total weight of points whose first coordinate lies in the closed

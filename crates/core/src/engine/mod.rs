@@ -44,6 +44,7 @@ pub mod index;
 mod instance;
 mod registry;
 mod report;
+pub mod versioned;
 mod weighted;
 
 pub use batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats, LatencySummary};
@@ -56,10 +57,14 @@ pub use descriptor::{
     BatchCapability, DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor,
 };
 pub use executor::{certify_answer, BatchExecutor, ExecutorConfig};
-pub use index::SharedIndex;
+pub use index::{AnswerIndex, SharedIndex};
 pub use instance::{ColoredInstance, RangeShape, WeightedInstance};
 pub use registry::{registry, EngineConfig, Registry, SharedColoredSolver, SharedWeightedSolver};
 pub use report::{Guarantee, SolveStats, SolverReport};
+pub use versioned::{
+    Mutation, MutationOutcome, MutationReport, ScriptOutcome, ScriptReport, ScriptStep,
+    VersionedDataset, VersionedView,
+};
 pub use weighted::{
     DynamicBallSolver, ExactDiskSolver, ExactIntervalSolver, ExactRectSolver, StaticBallSolver,
 };

@@ -58,6 +58,30 @@ impl SortedLine {
         Self { xs, prefix }
     }
 
+    /// Builds the representation from points **already sorted** by
+    /// coordinate, in `O(n)` — the incremental path of a versioned dataset,
+    /// which produces the sorted sequence by merging a base order with a
+    /// small sorted delta instead of re-sorting.  The result is identical to
+    /// [`Self::new`] on any input ordering that sorts (stably) to `sorted`.
+    ///
+    /// # Panics
+    /// Debug-asserts the input is sorted by `x`.
+    pub fn from_sorted(sorted: &[LinePoint]) -> Self {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0].x <= w[1].x),
+            "from_sorted input must be sorted by coordinate"
+        );
+        let xs: Vec<f64> = sorted.iter().map(|p| p.x).collect();
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for p in sorted {
+            acc += p.weight;
+            prefix.push(acc);
+        }
+        Self { xs, prefix }
+    }
+
     /// Number of points.
     pub fn len(&self) -> usize {
         self.xs.len()

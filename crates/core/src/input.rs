@@ -13,6 +13,8 @@ use std::str::FromStr;
 
 use mrs_geom::{Ball, ColoredSite, Point, Point2, WeightedPoint};
 
+use crate::engine::versioned::Mutation;
+
 /// A placement of the query range for a weighted MaxRS problem: where to put
 /// the range's center, and the total weight it covers there.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -383,6 +385,32 @@ pub fn parse_line_csv(text: &str) -> Result<Vec<WeightedPoint<1>>, LoadError> {
     Ok(out)
 }
 
+/// The one definition of the planar `x,y[,weight[,color]]` record grammar
+/// (arity, weight default of 1, negative-weight rejection, color parsing):
+/// dataset loads ([`parse_point_set_csv`]) and insert-mutation bodies
+/// ([`parse_planar_inserts_csv`]) both parse through here, so the two can
+/// never accept different records.
+fn parse_planar_record(
+    data: &str,
+    line: usize,
+) -> Result<(WeightedPoint<2>, Option<usize>), LoadError> {
+    let fields: Vec<&str> = data.split(',').map(str::trim).collect();
+    if fields.len() < 2 || fields.len() > 4 {
+        return Err(LoadError {
+            line,
+            kind: LoadErrorKind::Arity { expected: "x,y[,weight[,color]]", got: data.to_string() },
+        });
+    }
+    let x = parse_number(fields[0], line)?;
+    let y = parse_number(fields[1], line)?;
+    let weight = if fields.len() >= 3 { parse_number(fields[2], line)? } else { 1.0 };
+    if weight < 0.0 {
+        return Err(LoadError { line, kind: LoadErrorKind::NegativeWeight });
+    }
+    let color = if fields.len() == 4 { Some(parse_color(fields[3], line)?) } else { None };
+    Ok((WeightedPoint::new(Point2::xy(x, y), weight), color))
+}
+
 /// Parses a dual-view point set from CSV text: one `x,y[,weight[,color]]`
 /// record per line.  Every record lands in [`PointSet::points`]; records
 /// with a 4th field also land in [`PointSet::sites`], so one file serves
@@ -391,30 +419,79 @@ pub fn parse_line_csv(text: &str) -> Result<Vec<WeightedPoint<1>>, LoadError> {
 pub fn parse_point_set_csv(text: &str) -> Result<PointSet, LoadError> {
     let mut set = PointSet::default();
     for (lineno, raw) in text.lines().enumerate() {
+        let Some(data) = data_of(raw) else { continue };
+        let (point, color) = parse_planar_record(data, lineno + 1)?;
+        set.points.push(point);
+        if let Some(color) = color {
+            set.sites.push(ColoredSite::new(point.point, color));
+        }
+    }
+    Ok(set)
+}
+
+/// Parses planar **insert** mutations: the same `x,y[,weight[,color]]`
+/// records as [`parse_point_set_csv`] (shared grammar, see
+/// `parse_planar_record`), each becoming one [`Mutation::Insert`] (a 4th
+/// field inserts a colored site at the same coordinates, exactly like a
+/// dataset row).
+pub fn parse_planar_inserts_csv(text: &str) -> Result<Vec<Mutation<2>>, LoadError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let Some(data) = data_of(raw) else { continue };
+        let (point, color) = parse_planar_record(data, lineno + 1)?;
+        out.push(Mutation::Insert { point, color });
+    }
+    Ok(out)
+}
+
+/// Parses planar **delete** mutations: one `x,y` record per line (deletes
+/// address coordinates only — the first live point, and first live site,
+/// at exactly those coordinates is removed).
+pub fn parse_planar_deletes_csv(text: &str) -> Result<Vec<Mutation<2>>, LoadError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
         let Some(data) = data_of(raw) else { continue };
         let fields: Vec<&str> = data.split(',').map(str::trim).collect();
-        if fields.len() < 2 || fields.len() > 4 {
+        if fields.len() != 2 {
             return Err(LoadError {
                 line,
-                kind: LoadErrorKind::Arity {
-                    expected: "x,y[,weight[,color]]",
-                    got: data.to_string(),
-                },
+                kind: LoadErrorKind::Arity { expected: "x,y", got: data.to_string() },
             });
         }
         let x = parse_number(fields[0], line)?;
         let y = parse_number(fields[1], line)?;
-        let weight = if fields.len() >= 3 { parse_number(fields[2], line)? } else { 1.0 };
-        if weight < 0.0 {
-            return Err(LoadError { line, kind: LoadErrorKind::NegativeWeight });
-        }
-        set.points.push(WeightedPoint::new(Point2::xy(x, y), weight));
-        if fields.len() == 4 {
-            set.sites.push(ColoredSite::new(Point2::xy(x, y), parse_color(fields[3], line)?));
-        }
+        out.push(Mutation::Delete { point: Point2::xy(x, y) });
     }
-    Ok(set)
+    Ok(out)
+}
+
+/// Parses 1-D **insert** mutations: `x[,weight]` records, like
+/// [`parse_line_csv`].
+pub fn parse_line_inserts_csv(text: &str) -> Result<Vec<Mutation<1>>, LoadError> {
+    Ok(parse_line_csv(text)?
+        .into_iter()
+        .map(|point| Mutation::Insert { point, color: None })
+        .collect())
+}
+
+/// Parses 1-D **delete** mutations: one `x` record per line.
+pub fn parse_line_deletes_csv(text: &str) -> Result<Vec<Mutation<1>>, LoadError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let Some(data) = data_of(raw) else { continue };
+        let fields: Vec<&str> = data.split(',').map(str::trim).collect();
+        if fields.len() != 1 {
+            return Err(LoadError {
+                line,
+                kind: LoadErrorKind::Arity { expected: "x", got: data.to_string() },
+            });
+        }
+        let x = parse_number(fields[0], line)?;
+        out.push(Mutation::Delete { point: Point::new([x]) });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -68,6 +68,16 @@ pub struct HashGrid<const D: usize> {
     coords: Vec<f64>,
 }
 
+/// The squared comparison radius of a closed-ball query: the boundary gets
+/// a small relative tolerance so points exactly on it are never dropped to
+/// rounding.  One definition serves the base CSR query and the overlay's
+/// delta scan — the two must always agree on boundary inclusion.
+#[inline]
+fn closed_ball_r_sq(radius: f64) -> f64 {
+    let r = radius * (1.0 + 1e-12) + 1e-12;
+    r * r
+}
+
 /// Row-major comparison: axis `D-1` is most significant, axis 0 least, so the
 /// cells of one "row" (all axes above 0 fixed) sort contiguously.
 #[inline]
@@ -173,10 +183,7 @@ impl<const D: usize> HashGrid<D> {
         radius: f64,
         mut f: F,
     ) -> GridQueryStats {
-        let r_sq = {
-            let r = radius * (1.0 + 1e-12) + 1e-12;
-            r * r
-        };
+        let r_sq = closed_ball_r_sq(radius);
         let reach = (radius / self.grid.side).ceil() as i64;
         let center = self.grid.cell_of(q);
         let mut lo = center;
@@ -261,6 +268,97 @@ impl<const D: usize> HashGrid<D> {
         let mut count = 0;
         self.for_each_within(q, radius, |_| count += 1);
         count
+    }
+}
+
+/// One hit of an overlay query: either a point of the base CSR grid (by its
+/// build-time id) or a point of the small delta slice (by its slice
+/// position).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverlayHit {
+    /// A live base point, identified by its id in the grid it was built into.
+    Base(usize),
+    /// A delta point, identified by its position in the overlay's `extra`
+    /// slice.
+    Extra(usize),
+}
+
+/// A delta overlay over a built [`HashGrid`]: the base structure answers the
+/// bulk of a query, a tombstone mask hides deleted base points, and a small
+/// `extra` slice of not-yet-indexed points is scanned linearly.
+///
+/// This is the query side of an *updatable* point set that keeps its CSR
+/// index immutable between compactions: mutations only grow the tombstone
+/// mask and the delta slice, and every ball query stays correct at
+/// `O(base query + |extra|)` — the overlay never rebuilds the grid.
+#[derive(Clone, Copy, Debug)]
+pub struct GridOverlay<'a, const D: usize> {
+    base: &'a HashGrid<D>,
+    dead: &'a [bool],
+    extra: &'a [Point<D>],
+}
+
+impl<'a, const D: usize> GridOverlay<'a, D> {
+    /// An overlay over `base` hiding the base ids flagged in `dead` and
+    /// adding the `extra` points.  `dead` may be empty (nothing deleted);
+    /// otherwise it must carry one flag per indexed base point.
+    ///
+    /// # Panics
+    /// Panics if `dead` is non-empty but does not match the base point count.
+    pub fn new(base: &'a HashGrid<D>, dead: &'a [bool], extra: &'a [Point<D>]) -> Self {
+        assert!(
+            dead.is_empty() || dead.len() == base.len(),
+            "tombstone mask must cover every base point ({} flags for {} points)",
+            dead.len(),
+            base.len()
+        );
+        Self { base, dead, extra }
+    }
+
+    /// Live points under the overlay: base points minus tombstones plus the
+    /// delta slice.
+    pub fn len(&self) -> usize {
+        self.base.len() - self.dead.iter().filter(|&&d| d).count() + self.extra.len()
+    }
+
+    /// `true` when no live point exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Calls `f` for every live point within distance `radius` of `q`
+    /// (closed ball, same boundary tolerance as
+    /// [`HashGrid::for_each_within`]): base hits come through the CSR walk
+    /// with tombstones filtered, delta hits from one linear scan.  The
+    /// returned counters include every delta point as a candidate — the
+    /// linear part of the query is real work the compaction policy bounds.
+    pub fn for_each_within<F: FnMut(OverlayHit)>(
+        &self,
+        q: &Point<D>,
+        radius: f64,
+        mut f: F,
+    ) -> GridQueryStats {
+        let mut stats = self.base.for_each_within(q, radius, |id| {
+            if !self.dead.get(id).copied().unwrap_or(false) {
+                f(OverlayHit::Base(id));
+            }
+        });
+        let r_sq = closed_ball_r_sq(radius);
+        for (j, p) in self.extra.iter().enumerate() {
+            stats.candidates += 1;
+            if p.dist_sq(q) <= r_sq {
+                f(OverlayHit::Extra(j));
+            }
+        }
+        stats
+    }
+
+    /// The live hits as a vector (convenience wrapper for tests and
+    /// one-off callers).
+    pub fn within(&self, q: &Point<D>, radius: f64) -> Vec<OverlayHit> {
+        let mut out = Vec::new();
+        self.for_each_within(q, radius, |hit| out.push(hit));
+        out
     }
 }
 
@@ -365,6 +463,61 @@ mod tests {
         assert!(index.within(&Point2::xy(0.0, 0.0), 10.0).is_empty());
         let stats = index.for_each_within(&Point2::xy(0.0, 0.0), 10.0, |_| unreachable!());
         assert_eq!(stats, GridQueryStats::default());
+    }
+
+    #[test]
+    fn overlay_matches_brute_force_over_the_live_set() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let base: Vec<Point2> = (0..200)
+            .map(|_| Point2::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let dead: Vec<bool> = (0..200).map(|_| rng.gen_bool(0.3)).collect();
+        let extra: Vec<Point2> = (0..37)
+            .map(|_| Point2::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let index = HashGrid::build(1.0, &base);
+        let overlay = GridOverlay::new(&index, &dead, &extra);
+        assert_eq!(overlay.len(), 200 - dead.iter().filter(|&&d| d).count() + 37);
+        for _ in 0..40 {
+            let q = Point2::xy(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0));
+            let r = rng.gen_range(0.1..3.0);
+            let mut got_base = Vec::new();
+            let mut got_extra = Vec::new();
+            let stats = overlay.for_each_within(&q, r, |hit| match hit {
+                OverlayHit::Base(id) => got_base.push(id),
+                OverlayHit::Extra(j) => got_extra.push(j),
+            });
+            let mut want_base: Vec<usize> = brute_within(&base, &q, r);
+            want_base.retain(|&i| !dead[i]);
+            let want_extra = brute_within(&extra, &q, r);
+            got_base.sort_unstable();
+            got_extra.sort_unstable();
+            assert_eq!(got_base, want_base, "base hits at {q:?} radius {r}");
+            assert_eq!(got_extra, want_extra, "extra hits at {q:?} radius {r}");
+            // Every delta point is a candidate: the overlay's linear scan is
+            // accounted work, not free.
+            assert!(stats.candidates >= extra.len());
+        }
+    }
+
+    #[test]
+    fn overlay_accepts_an_empty_tombstone_mask() {
+        let base = vec![Point2::xy(0.0, 0.0), Point2::xy(1.0, 0.0)];
+        let index = HashGrid::build(1.0, &base);
+        let extra = [Point2::xy(0.5, 0.0)];
+        let overlay = GridOverlay::new(&index, &[], &extra);
+        assert_eq!(overlay.len(), 3);
+        assert!(!overlay.is_empty());
+        let hits = overlay.within(&Point2::xy(0.0, 0.0), 0.6);
+        assert_eq!(hits, vec![OverlayHit::Base(0), OverlayHit::Extra(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tombstone mask")]
+    fn overlay_rejects_a_short_tombstone_mask() {
+        let base = vec![Point2::xy(0.0, 0.0), Point2::xy(1.0, 0.0)];
+        let index = HashGrid::build(1.0, &base);
+        let _ = GridOverlay::new(&index, &[true], &[]);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub use arcs::{AngularInterval, TAU};
 pub use ball::{Ball, Disk};
 pub use fenwick::Fenwick;
 pub use grid::{CellCoord, Grid, ShiftedGrids};
-pub use hashgrid::{GridQueryStats, HashGrid};
+pub use hashgrid::{GridOverlay, GridQueryStats, HashGrid, OverlayHit};
 pub use interval::Interval;
 pub use point::{ColoredSite, Point, Point2, WeightedPoint};
 pub use segtree::MaxSegmentTree;

@@ -4,9 +4,14 @@
 //! shape)`, so the service can hand back a previously rendered answer
 //! whenever the same query repeats — the Zipfian reuse real query logs show.
 //! Keys embed the dataset's **epoch** (bumped every time a dataset is
-//! (re)loaded), so a reload silently invalidates every cached answer for the
-//! old contents: stale keys can never match again and age out of the LRU
-//! order naturally.
+//! (re)loaded) *and* its **version** (bumped by every mutation), so
+//! invalidation is fine-grained: a reload silently invalidates every cached
+//! answer for the old contents (stale keys can never match again and age
+//! out of the LRU order naturally), while a mutation invalidates only the
+//! answers of **that dataset's** older versions — the service additionally
+//! purges those eagerly through [`AnswerCache::invalidate_dataset_below`],
+//! so one hot mutable dataset cannot pollute the LRU with unreachable
+//! entries, and the purge count is surfaced as a counter.
 //!
 //! The map is split into shards, each behind its own mutex, so concurrent
 //! workers contend only when their keys hash to the same shard.  Within a
@@ -45,14 +50,18 @@ impl<const D: usize> From<&RangeShape<D>> for ShapeKey {
 }
 
 /// What uniquely identifies a cacheable answer: which dataset *contents*
-/// (epoch), which problem family, which solver, and which query shape.
+/// (epoch + version), which problem family, which solver, and which query
+/// shape.
 ///
 /// The ambient dimension needs no field of its own: an epoch belongs to one
 /// dataset, and a dataset has one dimension.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// The dataset epoch the answer was computed against.
+    /// The dataset epoch the answer was computed against (identifies one
+    /// load of one dataset).
     pub epoch: u64,
+    /// The dataset version within that epoch (bumped by every mutation).
+    pub version: u64,
     /// `true` for colored queries, `false` for weighted ones.
     pub colored: bool,
     /// The registry name of the solver.
@@ -62,10 +71,11 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// The key for one batch query against a dataset epoch.
-    pub fn for_query<const D: usize>(epoch: u64, query: &BatchQuery<D>) -> Self {
+    /// The key for one batch query against a dataset epoch and version.
+    pub fn for_query<const D: usize>(epoch: u64, version: u64, query: &BatchQuery<D>) -> Self {
         Self {
             epoch,
+            version,
             colored: matches!(query, BatchQuery::Colored { .. }),
             solver: query.solver().to_string(),
             shape: ShapeKey::from(query.shape()),
@@ -132,6 +142,9 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Entries purged by fine-grained version invalidation (see
+    /// [`AnswerCache::invalidate_dataset_below`]).
+    pub invalidations: u64,
     /// Live entries right now, across all shards.
     pub entries: usize,
     /// Maximum live entries (shards × per-shard capacity).
@@ -158,6 +171,7 @@ pub struct AnswerCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl AnswerCache {
@@ -172,6 +186,7 @@ impl AnswerCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -203,6 +218,43 @@ impl AnswerCache {
         }
     }
 
+    /// Eagerly purges every entry of dataset `epoch` whose version is
+    /// below `version` — the fine-grained invalidation a mutation triggers.
+    /// Keys of other datasets (other epochs) and of the new version are
+    /// untouched.  Returns how many entries were purged (also accumulated
+    /// into [`CacheCounters::invalidations`]).
+    ///
+    /// Strictly speaking the purge is an optimization: stale keys could
+    /// never match again anyway (lookups embed the current version).  It
+    /// keeps a hot mutable dataset from filling the LRU with unreachable
+    /// entries, and gives operators a counter that proves invalidation is
+    /// per-dataset, not catalog-wide.
+    pub fn invalidate_dataset_below(&self, epoch: u64, version: u64) -> u64 {
+        let mut purged = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            // Collect the victims' recency stamps (cheap u64s, no key
+            // clones); each stamp owns its key in `order`, so removal pulls
+            // the key back out of the recency index for the map removal.
+            let stamps: Vec<u64> = shard
+                .map
+                .iter()
+                .filter(|(k, _)| k.epoch == epoch && k.version < version)
+                .map(|(_, (_, stamp))| *stamp)
+                .collect();
+            for stamp in stamps {
+                if let Some(key) = shard.order.remove(&stamp) {
+                    shard.map.remove(&key);
+                    purged += 1;
+                }
+            }
+        }
+        if purged > 0 {
+            self.invalidations.fetch_add(purged, Ordering::Relaxed);
+        }
+        purged
+    }
+
     /// Live entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
@@ -224,6 +276,7 @@ impl AnswerCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.len(),
             capacity: self.capacity(),
         }
@@ -235,8 +288,13 @@ mod tests {
     use super::*;
 
     fn key(epoch: u64, radius: f64) -> CacheKey {
+        versioned_key(epoch, 1, radius)
+    }
+
+    fn versioned_key(epoch: u64, version: u64, radius: f64) -> CacheKey {
         CacheKey {
             epoch,
+            version,
             colored: false,
             solver: "exact-disk-2d".to_string(),
             shape: ShapeKey::Ball(radius.to_bits()),
@@ -296,9 +354,33 @@ mod tests {
         let interval = ShapeKey::from(&RangeShape::<1>::interval(3.0));
         assert_eq!(interval, ShapeKey::Ball(1.5f64.to_bits()));
         let q = BatchQuery::colored("approx-colored-ball", RangeShape::<2>::ball(1.0));
-        let k = CacheKey::for_query(7, &q);
+        let k = CacheKey::for_query(7, 3, &q);
         assert!(k.colored);
         assert_eq!(k.epoch, 7);
+        assert_eq!(k.version, 3);
         assert_eq!(k.solver, "approx-colored-ball");
+    }
+
+    #[test]
+    fn version_invalidation_is_per_dataset_and_counted() {
+        let cache = AnswerCache::new(4, 64);
+        // Dataset epoch 1 at versions 1 and 2; dataset epoch 2 at version 1.
+        cache.insert(versioned_key(1, 1, 0.5), value("old"));
+        cache.insert(versioned_key(1, 1, 0.7), value("old"));
+        cache.insert(versioned_key(1, 2, 0.5), value("new"));
+        cache.insert(versioned_key(2, 1, 0.5), value("other"));
+        // A mutation bumps dataset 1 to version 2: only its older entries go.
+        let purged = cache.invalidate_dataset_below(1, 2);
+        assert_eq!(purged, 2);
+        assert!(cache.get(&versioned_key(1, 1, 0.5)).is_none());
+        assert!(cache.get(&versioned_key(1, 1, 0.7)).is_none());
+        assert_eq!(cache.get(&versioned_key(1, 2, 0.5)).as_deref(), Some("new"));
+        assert_eq!(
+            cache.get(&versioned_key(2, 1, 0.5)).as_deref(),
+            Some("other"),
+            "other datasets' entries must survive a mutation elsewhere"
+        );
+        assert_eq!(cache.counters().invalidations, 2);
+        assert_eq!(cache.invalidate_dataset_below(1, 2), 0, "idempotent");
     }
 }

@@ -3,12 +3,12 @@
 //!
 //! A one-shot `maxrs` invocation re-reads its CSV and rebuilds every index
 //! per process; the catalog is what makes the service fast instead.  Each
-//! dataset wraps the loaded points/sites in `Arc`s together with one
-//! [`SharedIndex`] that lives as long as the dataset does, so every
-//! structure (sorted event list, Fenwick tree, per-radius hash grids) is
-//! built at most once per dataset lifetime — the amortization the paper's
-//! batched setting (Theorem 1.3) argues for, extended from one batch to the
-//! whole serving process.
+//! dataset wraps the loaded points/sites in a
+//! [`VersionedDataset`] whose resident index lives as long as the dataset
+//! does, so every structure (sorted event list, Fenwick tree, per-radius
+//! hash grids) is built at most once per generation — the amortization the
+//! paper's batched setting (Theorem 1.3) argues for, extended from one
+//! batch to the whole serving process.
 //!
 //! Datasets come in two ambient dimensions: **planar** (`x,y[,weight
 //! [,color]]` CSV, the 2-D solvers) and **line** (`x[,weight]` CSV, the 1-D
@@ -16,24 +16,32 @@
 //! solver, which answers every warm query straight off the resident sorted
 //! event list).
 //!
-//! Every (re)load takes a fresh **epoch** from a catalog-global counter.
-//! Epochs are what the answer cache keys on: replacing a dataset bumps its
-//! epoch, so cached answers for the old contents can never be served again.
+//! Every (re)load takes a fresh **epoch** from a catalog-global counter,
+//! and every resident dataset is **versioned and mutable**
+//! ([`mrs_core::engine::VersionedDataset`]): `POST
+//! /datasets/{name}/insert|delete` bodies append to the dataset's delta
+//! log, bumping a per-dataset version without touching the epoch.  The
+//! answer cache keys on *(epoch, version)*: a reload invalidates wholesale
+//! (new epoch), a mutation invalidates **fine-grained** (new version, same
+//! epoch) — cached answers for other datasets and other versions stay
+//! untouched, and index structures are derived incrementally instead of
+//! rebuilt (see the engine's `versioned` module).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
-use mrs_core::engine::{BatchRequest, SharedIndex};
+use mrs_core::engine::{BatchRequest, MutationReport, VersionedDataset};
 use mrs_core::input::{self, LoadError};
 
-/// A resident dataset in ambient dimension `D`: shared points/sites plus
-/// their catalog-owned index.
+/// A resident dataset in ambient dimension `D`: a versioned, mutable point
+/// set whose index structures are owned by the catalog and derived
+/// incrementally across versions.
 pub struct DatasetCore<const D: usize> {
     name: String,
     epoch: u64,
-    index: SharedIndex<D>,
+    versioned: VersionedDataset<D>,
     requests: AtomicU64,
 }
 
@@ -48,19 +56,20 @@ impl<const D: usize> DatasetCore<D> {
         self.epoch
     }
 
-    /// The resident shared index (and through it, the points and sites).
-    pub fn index(&self) -> &SharedIndex<D> {
-        &self.index
+    /// The versioned dataset (and through it, the current view, its live
+    /// sets and its index).
+    pub fn versioned(&self) -> &VersionedDataset<D> {
+        &self.versioned
     }
 
-    /// Number of weighted points.
+    /// Number of live weighted points at the current version.
     pub fn point_count(&self) -> usize {
-        self.index.points().len()
+        self.versioned.view().point_count()
     }
 
-    /// Number of colored sites.
+    /// Number of live colored sites at the current version.
     pub fn site_count(&self) -> usize {
-        self.index.sites().len()
+        self.versioned.view().site_count()
     }
 
     /// Queries answered against this dataset so far.
@@ -73,13 +82,14 @@ impl<const D: usize> DatasetCore<D> {
         self.requests.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// An empty batch request over this dataset's shared point/site sets —
-    /// guaranteed to alias the index's own `Arc`s, which is what
+    /// An empty batch request over the current version's live sets —
+    /// guaranteed to alias the `Arc`s the version's index is built over,
+    /// which is what
     /// [`BatchExecutor::execute_with_index`] requires.
     ///
     /// [`BatchExecutor::execute_with_index`]: mrs_core::engine::BatchExecutor::execute_with_index
     pub fn request(&self) -> BatchRequest<D> {
-        BatchRequest::from_shared(self.index.shared_points(), self.index.shared_sites())
+        self.versioned.view().request()
     }
 }
 
@@ -141,19 +151,90 @@ impl Dataset {
         }
     }
 
-    /// Index structures built so far (see [`SharedIndex::builds`]).
+    /// Index structures built so far across every generation and version
+    /// (see [`mrs_core::engine::VersionedDataset::builds`]).
     pub fn index_builds(&self) -> usize {
         match self {
-            Dataset::Planar(core) => core.index().builds(),
-            Dataset::Line(core) => core.index().builds(),
+            Dataset::Planar(core) => core.versioned().builds(),
+            Dataset::Line(core) => core.versioned().builds(),
         }
     }
 
     /// Total time spent building index structures.
     pub fn index_build_time(&self) -> Duration {
         match self {
-            Dataset::Planar(core) => core.index().build_time(),
-            Dataset::Line(core) => core.index().build_time(),
+            Dataset::Planar(core) => core.versioned().build_time(),
+            Dataset::Line(core) => core.versioned().build_time(),
+        }
+    }
+
+    /// The current dataset version (bumped by every mutation, monotone).
+    pub fn version(&self) -> u64 {
+        match self {
+            Dataset::Planar(core) => core.versioned().version(),
+            Dataset::Line(core) => core.versioned().version(),
+        }
+    }
+
+    /// Tombstones plus live delta inserts at the current version (0 right
+    /// after a load or a compaction).
+    pub fn delta_size(&self) -> usize {
+        match self {
+            Dataset::Planar(core) => core.versioned().view().delta_size(),
+            Dataset::Line(core) => core.versioned().view().delta_size(),
+        }
+    }
+
+    /// Compactions performed since the dataset was loaded.
+    pub fn compactions(&self) -> usize {
+        match self {
+            Dataset::Planar(core) => core.versioned().compactions(),
+            Dataset::Line(core) => core.versioned().compactions(),
+        }
+    }
+
+    /// Applies an **insert** mutation body: the dataset's own CSV record
+    /// shape, one insert per record (`x,y[,weight[,color]]` for planar
+    /// datasets, `x[,weight]` for 1-D ones).  One call is one version bump.
+    pub fn insert_csv(&self, csv: &str) -> Result<MutationReport, CatalogError> {
+        match self {
+            Dataset::Planar(core) => {
+                let mutations = input::parse_planar_inserts_csv(csv)?;
+                if mutations.is_empty() {
+                    return Err(CatalogError::EmptyMutation);
+                }
+                Ok(core.versioned().apply(&mutations))
+            }
+            Dataset::Line(core) => {
+                let mutations = input::parse_line_inserts_csv(csv)?;
+                if mutations.is_empty() {
+                    return Err(CatalogError::EmptyMutation);
+                }
+                Ok(core.versioned().apply(&mutations))
+            }
+        }
+    }
+
+    /// Applies a **delete** mutation body: one coordinate record per line
+    /// (`x,y` for planar datasets, `x` for 1-D ones); each deletes the
+    /// first live point (and first live site) at exactly those
+    /// coordinates.  One call is one version bump.
+    pub fn delete_csv(&self, csv: &str) -> Result<MutationReport, CatalogError> {
+        match self {
+            Dataset::Planar(core) => {
+                let mutations = input::parse_planar_deletes_csv(csv)?;
+                if mutations.is_empty() {
+                    return Err(CatalogError::EmptyMutation);
+                }
+                Ok(core.versioned().apply(&mutations))
+            }
+            Dataset::Line(core) => {
+                let mutations = input::parse_line_deletes_csv(csv)?;
+                if mutations.is_empty() {
+                    return Err(CatalogError::EmptyMutation);
+                }
+                Ok(core.versioned().apply(&mutations))
+            }
         }
     }
 
@@ -187,6 +268,8 @@ pub enum CatalogError {
     Load(LoadError),
     /// The CSV parsed but held no points at all.
     Empty,
+    /// A mutation body parsed but held no records.
+    EmptyMutation,
 }
 
 impl std::fmt::Display for CatalogError {
@@ -197,6 +280,7 @@ impl std::fmt::Display for CatalogError {
             }
             CatalogError::Load(e) => write!(f, "{e}"),
             CatalogError::Empty => write!(f, "dataset holds no points"),
+            CatalogError::EmptyMutation => write!(f, "mutation body holds no records"),
         }
     }
 }
@@ -266,7 +350,7 @@ impl Catalog {
             Dataset::Planar(DatasetCore {
                 name: name.to_string(),
                 epoch: self.next_epoch(),
-                index: SharedIndex::new(set.points.into(), set.sites.into()),
+                versioned: VersionedDataset::new(set.points, set.sites),
                 requests: AtomicU64::new(0),
             }),
         ))
@@ -287,7 +371,7 @@ impl Catalog {
             Dataset::Line(DatasetCore {
                 name: name.to_string(),
                 epoch: self.next_epoch(),
-                index: SharedIndex::new(points.into(), Vec::new().into()),
+                versioned: VersionedDataset::new(points, Vec::new()),
                 requests: AtomicU64::new(0),
             }),
         ))
@@ -366,8 +450,46 @@ mod tests {
         let dataset = catalog.load_planar_csv("d", "0,0\n").unwrap();
         let core = dataset.as_planar().unwrap();
         let request = core.request();
-        assert!(Arc::ptr_eq(&request.shared_points(), &core.index().shared_points()));
-        assert!(Arc::ptr_eq(&request.shared_sites(), &core.index().shared_sites()));
+        let view = core.versioned().view();
+        assert!(Arc::ptr_eq(&request.shared_points(), &view.index().shared_points()));
+        assert!(Arc::ptr_eq(&request.shared_sites(), &view.index().shared_sites()));
+    }
+
+    #[test]
+    fn mutation_bodies_update_points_and_sites() {
+        let catalog = Catalog::new();
+        let csv: String = "0,0,1,0\n1,1,2\n".to_string()
+            + &(2..20).map(|i| format!("{i},{i}\n")).collect::<String>();
+        let dataset = catalog.load_planar_csv("d", &csv).unwrap();
+        assert_eq!(dataset.version(), 1);
+        assert_eq!(dataset.delta_size(), 0);
+        let report = dataset.insert_csv("50,50,3,5\n51,51\n").unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.outcome.inserted, 2);
+        assert_eq!(dataset.point_count(), 22);
+        assert_eq!(dataset.site_count(), 2);
+        assert!(dataset.delta_size() > 0, "small deltas stay resident, not compacted");
+        let report = dataset.delete_csv("0,0\n99,99\n").unwrap();
+        assert_eq!(report.version, 3);
+        assert_eq!(report.outcome.deleted, 1);
+        assert_eq!(report.outcome.missed, 1);
+        assert_eq!(dataset.point_count(), 21);
+        assert_eq!(dataset.site_count(), 1, "the site at (0,0) died with its point");
+        // Bad and empty bodies are typed errors, not version bumps.
+        assert!(matches!(dataset.insert_csv("zap\n"), Err(CatalogError::Load(_))));
+        assert!(matches!(dataset.insert_csv("# nothing\n"), Err(CatalogError::EmptyMutation)));
+        assert!(matches!(dataset.delete_csv("1,2,3\n"), Err(CatalogError::Load(_))));
+        assert_eq!(dataset.version(), 3);
+
+        // 1-D datasets mutate through their own record shape.
+        let line = catalog.load_line_csv("ticks", "0\n1,2\n").unwrap();
+        let report = line.insert_csv("5,4\n").unwrap();
+        assert_eq!(report.outcome.inserted, 1);
+        assert_eq!(line.point_count(), 3);
+        assert_eq!(line.delete_csv("0\n").unwrap().outcome.deleted, 1);
+        assert!(matches!(line.delete_csv("1,2\n"), Err(CatalogError::Load(_))));
+        let rendered = CatalogError::EmptyMutation.to_string();
+        assert!(rendered.contains("no records"), "{rendered}");
     }
 
     #[test]

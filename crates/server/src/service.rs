@@ -19,9 +19,9 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use mrs_core::engine::{
-    certify_answer, BatchCapability, BatchExecutor, BatchQuery, BatchStats, DimSupport,
-    EngineConfig, ExecutorConfig, GuaranteeClass, LatencySummary, ProblemKind, RangeShape,
-    Registry,
+    BatchCapability, BatchExecutor, BatchQuery, BatchStats, DimSupport, EngineConfig,
+    ExecutorConfig, GuaranteeClass, LatencySummary, ProblemKind, RangeShape, Registry,
+    ScriptOutcome, ScriptStep,
 };
 
 use crate::cache::{AnswerCache, CacheKey};
@@ -254,7 +254,14 @@ impl Service {
                 Response::json(200, r#"{"status":"shutting down"}"#)
             }
             ("POST", p) if p.starts_with("/datasets/") => {
-                self.upload_dataset(&p["/datasets/".len()..], request)
+                let rest = &p["/datasets/".len()..];
+                match rest.split_once('/') {
+                    None => self.upload_dataset(rest, request),
+                    Some((name, action @ ("insert" | "delete"))) => {
+                        self.mutate_dataset(name, action, request)
+                    }
+                    Some(_) => error_response(404, "no such endpoint"),
+                }
             }
             ("GET" | "POST", _) => error_response(404, "no such endpoint"),
             _ => error_response(405, "method not allowed"),
@@ -308,6 +315,7 @@ impl Service {
                             BatchCapability::IndexShared => "index-shared",
                         }),
                     ),
+                    ("updates".into(), Json::str(if d.dynamic { "incremental" } else { "static" })),
                     ("reference".into(), Json::str(d.reference)),
                 ])
             })
@@ -320,6 +328,9 @@ impl Service {
             ("name".into(), Json::str(dataset.name())),
             ("dim".into(), Json::num(dataset.dim() as f64)),
             ("epoch".into(), Json::num(dataset.epoch() as f64)),
+            ("version".into(), Json::num(dataset.version() as f64)),
+            ("delta".into(), Json::num(dataset.delta_size() as f64)),
+            ("compactions".into(), Json::num(dataset.compactions() as f64)),
             ("points".into(), Json::num(dataset.point_count() as f64)),
             ("sites".into(), Json::num(dataset.site_count() as f64)),
             ("requests".into(), Json::num(dataset.requests() as f64)),
@@ -353,6 +364,47 @@ impl Service {
                 200,
                 Json::Obj(vec![("dataset".into(), self.dataset_summary(&dataset))]).render(),
             ),
+            Err(e) => error_response(400, &e.to_string()),
+        }
+    }
+
+    /// `POST /datasets/{name}/insert|delete`: applies a mutation body (the
+    /// dataset's own CSV record shape for inserts, bare coordinates for
+    /// deletes) as one version bump, then purges the answer cache entries
+    /// of that dataset's older versions — fine-grained invalidation, no
+    /// catalog-wide epoch bump.
+    fn mutate_dataset(&self, name: &str, action: &str, request: &Request) -> Response {
+        let Some(dataset) = self.catalog.get(name) else {
+            return error_response(404, &format!("no dataset is named `{name}`"));
+        };
+        let Some(csv) = request.body_text() else {
+            return error_response(400, "mutation body must be UTF-8 CSV text");
+        };
+        let applied = match action {
+            "insert" => dataset.insert_csv(csv),
+            _ => dataset.delete_csv(csv),
+        };
+        match applied {
+            Ok(report) => {
+                let invalidated =
+                    self.cache.invalidate_dataset_below(dataset.epoch(), report.version);
+                let body = Json::Obj(vec![
+                    (
+                        "mutated".into(),
+                        Json::Obj(vec![
+                            ("action".into(), Json::str(action)),
+                            ("inserted".into(), Json::num(report.outcome.inserted as f64)),
+                            ("deleted".into(), Json::num(report.outcome.deleted as f64)),
+                            ("missed".into(), Json::num(report.outcome.missed as f64)),
+                            ("version".into(), Json::num(report.version as f64)),
+                            ("compacted".into(), Json::Bool(report.compacted)),
+                            ("cache_invalidated".into(), Json::num(invalidated as f64)),
+                        ]),
+                    ),
+                    ("dataset".into(), self.dataset_summary(&dataset)),
+                ]);
+                Response::json(200, body.render())
+            }
             Err(e) => error_response(400, &e.to_string()),
         }
     }
@@ -399,6 +451,7 @@ impl Service {
                     ("hits".into(), Json::num(cache.hits as f64)),
                     ("misses".into(), Json::num(cache.misses as f64)),
                     ("evictions".into(), Json::num(cache.evictions as f64)),
+                    ("invalidations".into(), Json::num(cache.invalidations as f64)),
                     ("entries".into(), Json::num(cache.entries as f64)),
                     ("capacity".into(), Json::num(cache.capacity as f64)),
                     ("hit_rate".into(), Json::num(cache.hit_rate())),
@@ -457,8 +510,10 @@ impl Service {
     }
 
     /// Answers queries against a dataset of any supported dimension: cache
-    /// lookups first, then one engine execution over the misses through the
-    /// resident index.
+    /// lookups first (keyed by the dataset's epoch *and* current version),
+    /// then one engine script over the misses at the dataset's current
+    /// version — every computed answer is certified against, stamped with,
+    /// and cached under exactly the version it was computed at.
     fn answer<const D: usize>(
         &self,
         dataset: &DatasetCore<D>,
@@ -466,56 +521,49 @@ impl Service {
         use_cache: bool,
     ) -> Answered {
         let epoch = dataset.epoch();
+        let version = dataset.versioned().version();
         let mut outcomes: Vec<Option<Outcome>> = Vec::with_capacity(queries.len());
         outcomes.resize_with(queries.len(), || None);
-        let mut request = dataset.request();
+        let mut steps: Vec<ScriptStep<D>> = Vec::new();
         let mut miss_positions: Vec<usize> = Vec::new();
         for (i, query) in queries.iter().enumerate() {
             if use_cache {
-                if let Some(rendered) = self.cache.get(&CacheKey::for_query(epoch, query)) {
+                if let Some(rendered) = self.cache.get(&CacheKey::for_query(epoch, version, query))
+                {
                     outcomes[i] = Some(Outcome::Hit(rendered));
                     continue;
                 }
             }
             miss_positions.push(i);
-            request.push(query.clone());
+            steps.push(ScriptStep::Query(query.clone()));
         }
 
         let mut stats = None;
         let mut latency = LatencySummary::default();
         if !miss_positions.is_empty() {
-            // The executor's own certification pass only *counts*; the
-            // service certifies each answer individually instead, so the
-            // flag it renders (and caches) is per answer — one contract
-            // violation in a batch cannot mislabel its neighbors.
+            // The executor certifies per answer against the version's delta
+            // overlay, so the flag rendered (and cached) here is per answer
+            // — one contract violation in a batch cannot mislabel its
+            // neighbors, and certifying after a mutation rebuilds nothing.
             let executor = BatchExecutor::with_config(
                 &self.registry,
-                ExecutorConfig { threads: None, certify: false },
+                ExecutorConfig { threads: None, certify: self.config.certify },
             );
-            let report = executor.execute_with_index(&request, dataset.index());
-            let mut certified_count = 0;
-            let mut certify_failures = 0;
-            for ((&i, answer), query) in
-                miss_positions.iter().zip(&report.answers).zip(request.queries())
-            {
+            let report = executor.execute_script(dataset.versioned(), &steps);
+            for (&i, outcome) in miss_positions.iter().zip(&report.outcomes) {
+                let ScriptOutcome::Answer { version, certified, answer } = outcome else {
+                    unreachable!("an all-query script answers every step");
+                };
                 outcomes[i] = Some(match answer.error() {
                     Some(e) => Outcome::Failed(e.to_string()),
                     None => {
-                        let certified = self.config.certify
-                            && certify_answer(dataset.index(), query, answer) == Some(true);
-                        if self.config.certify {
-                            if certified {
-                                certified_count += 1;
-                            } else {
-                                certify_failures += 1;
-                            }
-                        }
-                        let rendered: Arc<str> = Arc::from(render_answer(answer, certified));
+                        let flag = *certified == Some(true);
+                        let rendered: Arc<str> = Arc::from(render_answer(answer, flag, *version));
                         // Never cache a contract violation: it must stay
                         // loud, not be replayed from the LRU.
-                        if use_cache && (certified || !self.config.certify) {
+                        if use_cache && *certified != Some(false) {
                             self.cache.insert(
-                                CacheKey::for_query(epoch, &queries[i]),
+                                CacheKey::for_query(epoch, *version, &queries[i]),
                                 Arc::clone(&rendered),
                             );
                         }
@@ -524,9 +572,7 @@ impl Service {
                 });
             }
             latency = report.per_query_latency();
-            let mut batch_stats = report.stats;
-            batch_stats.certified = certified_count;
-            batch_stats.certify_failures = certify_failures;
+            let batch_stats = report.stats;
             self.stats.record_work(batch_stats.candidates_examined, batch_stats.grid_cells_visited);
             stats = Some(batch_stats);
         }
@@ -675,10 +721,13 @@ impl Service {
 }
 
 /// Renders one successful engine answer as a JSON object string.  The
-/// center is an array of `D` coordinates.
+/// center is an array of `D` coordinates; `version` stamps the dataset
+/// version the answer was computed (and certified) at, so clients of a
+/// mutable dataset can detect stale reads.
 fn render_answer<const D: usize>(
     answer: &mrs_core::engine::BatchAnswer<D>,
     certified: bool,
+    version: u64,
 ) -> String {
     let center_of =
         |center: &mrs_geom::Point<D>| Json::Arr((0..D).map(|i| Json::num(center[i])).collect());
@@ -690,6 +739,7 @@ fn render_answer<const D: usize>(
             ("value".into(), Json::num(report.placement.value)),
             ("guarantee".into(), Json::str(report.guarantee.to_string())),
             ("certified".into(), Json::Bool(certified)),
+            ("version".into(), Json::num(version as f64)),
             ("solve_us".into(), Json::num(report.stats.elapsed.as_micros() as f64)),
         ])
         .render(),
@@ -700,6 +750,7 @@ fn render_answer<const D: usize>(
             ("distinct".into(), Json::num(report.placement.distinct as f64)),
             ("guarantee".into(), Json::str(report.guarantee.to_string())),
             ("certified".into(), Json::Bool(certified)),
+            ("version".into(), Json::num(version as f64)),
             ("solve_us".into(), Json::num(report.stats.elapsed.as_micros() as f64)),
         ])
         .render(),
@@ -901,6 +952,115 @@ mod tests {
         let stats = parsed.get("stats").unwrap();
         assert_eq!(stats.get("cache_hits").unwrap().as_f64(), Some(4.0));
         assert_eq!(stats.get("executed").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn mutations_bump_versions_and_invalidate_fine_grained() {
+        let service = service();
+        // A base big enough that a few mutations stay below the compaction
+        // threshold.
+        let csv: String = (0..40).map(|i| format!("{},{},1,{}\n", i, i, i % 4)).collect();
+        service.handle(&post("/datasets/demo", &csv));
+        service.handle(&post("/datasets/other", &csv));
+
+        // Warm the cache on both datasets.
+        let q = |name: &str| {
+            format!(r#"{{"dataset":"{name}","solver":"exact-disk-2d","shape":{{"ball":1.0}}}}"#)
+        };
+        let first = service.handle(&post("/query", &q("demo")));
+        let parsed = Json::parse(std::str::from_utf8(&first.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("answer").unwrap().get("version").unwrap().as_f64(), Some(1.0));
+        service.handle(&post("/query", &q("other")));
+        assert_eq!(service.cache().counters().entries, 2);
+
+        // Mutate `demo`: a cluster of three points lands at (0.2, 0.2).
+        let mutate =
+            service.handle(&post("/datasets/demo/insert", "0.2,0.2,5\n0.3,0.2,5\n0.2,0.3,5,9\n"));
+        assert_eq!(mutate.status, 200, "{:?}", String::from_utf8_lossy(&mutate.body));
+        let parsed = Json::parse(std::str::from_utf8(&mutate.body).unwrap()).unwrap();
+        let mutated = parsed.get("mutated").unwrap();
+        assert_eq!(mutated.get("inserted").unwrap().as_f64(), Some(3.0));
+        assert_eq!(mutated.get("version").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            mutated.get("cache_invalidated").unwrap().as_f64(),
+            Some(1.0),
+            "only demo's stale entry is purged, not other's"
+        );
+        assert_eq!(parsed.get("dataset").unwrap().get("version").unwrap().as_f64(), Some(2.0));
+
+        // The same query now recomputes at version 2 and sees the new mass.
+        let after = service.handle(&post("/query", &q("demo")));
+        let parsed = Json::parse(std::str::from_utf8(&after.body).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("cached").unwrap().as_bool(),
+            Some(false),
+            "stale answers never replay"
+        );
+        let answer = parsed.get("answer").unwrap();
+        assert_eq!(answer.get("version").unwrap().as_f64(), Some(2.0));
+        assert_eq!(answer.get("certified").unwrap().as_bool(), Some(true));
+        assert!(
+            answer.get("value").unwrap().as_f64().unwrap() >= 17.0,
+            "the inserted cluster wins"
+        );
+        // `other` still serves its version-1 cache entry.
+        let other = service.handle(&post("/query", &q("other")));
+        let parsed = Json::parse(std::str::from_utf8(&other.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("cached").unwrap().as_bool(), Some(true));
+
+        // Deletes remove the cluster again; a repeated delete misses.
+        let del = service.handle(&post("/datasets/demo/delete", "0.2,0.2\n0.3,0.2\n0.2,0.3\n"));
+        let parsed = Json::parse(std::str::from_utf8(&del.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("mutated").unwrap().get("deleted").unwrap().as_f64(), Some(3.0));
+        let del = service.handle(&post("/datasets/demo/delete", "0.2,0.2\n"));
+        let parsed = Json::parse(std::str::from_utf8(&del.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("mutated").unwrap().get("missed").unwrap().as_f64(), Some(1.0));
+
+        // Error paths: unknown dataset 404, bad body 400, bad action 404.
+        assert_eq!(service.handle(&post("/datasets/nope/insert", "1,1\n")).status, 404);
+        assert_eq!(service.handle(&post("/datasets/demo/insert", "zap\n")).status, 400);
+        assert_eq!(service.handle(&post("/datasets/demo/insert", "# empty\n")).status, 400);
+        assert_eq!(service.handle(&post("/datasets/demo/frob", "1,1\n")).status, 404);
+
+        // /stats surfaces version, delta, compactions and invalidations.
+        let stats = service.handle(&get("/stats"));
+        let parsed = Json::parse(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+        let datasets = parsed.get("datasets").unwrap().as_arr().unwrap();
+        let demo =
+            datasets.iter().find(|d| d.get("name").and_then(Json::as_str) == Some("demo")).unwrap();
+        assert_eq!(demo.get("version").unwrap().as_f64(), Some(4.0));
+        assert!(demo.get("delta").unwrap().as_f64().is_some());
+        assert!(demo.get("compactions").unwrap().as_f64().is_some());
+        let cache = parsed.get("cache").unwrap();
+        assert!(cache.get("invalidations").unwrap().as_f64().unwrap() >= 1.0);
+        let endpoints = parsed.get("endpoints").unwrap().as_arr().unwrap();
+        let mutate_track = endpoints
+            .iter()
+            .find(|e| e.get("endpoint").and_then(Json::as_str) == Some("mutate"))
+            .expect("mutate endpoint is tracked");
+        assert!(mutate_track.get("requests").unwrap().as_f64().unwrap() >= 6.0);
+    }
+
+    #[test]
+    fn dynamic_ball_queries_follow_mutations_without_rebuilds() {
+        let service = service();
+        let csv: String = (0..30).map(|i| format!("{},0\n", 0.02 * i as f64)).collect();
+        service.handle(&post("/datasets/demo", &csv));
+        let q = r#"{"dataset":"demo","solver":"dynamic-ball","shape":{"ball":1.0},"cache":false}"#;
+        let first = service.handle(&post("/query", q));
+        assert_eq!(first.status, 200, "{:?}", String::from_utf8_lossy(&first.body));
+        let parsed = Json::parse(std::str::from_utf8(&first.body).unwrap()).unwrap();
+        let v1 = parsed.get("answer").unwrap().get("value").unwrap().as_f64().unwrap();
+        assert_eq!(v1, 30.0);
+        // Insert a far, heavier cluster: the maintained tracker must follow.
+        let body: String = (0..8).map(|i| format!("{},50,10\n", 50.0 + 0.01 * i as f64)).collect();
+        service.handle(&post("/datasets/demo/insert", &body));
+        let second = service.handle(&post("/query", q));
+        let parsed = Json::parse(std::str::from_utf8(&second.body).unwrap()).unwrap();
+        let answer = parsed.get("answer").unwrap();
+        assert_eq!(answer.get("value").unwrap().as_f64(), Some(80.0));
+        assert_eq!(answer.get("version").unwrap().as_f64(), Some(2.0));
+        assert_eq!(answer.get("certified").unwrap().as_bool(), Some(true));
     }
 
     #[test]

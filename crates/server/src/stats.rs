@@ -24,6 +24,8 @@ pub enum Endpoint {
     Solvers,
     /// `GET /datasets` and `POST /datasets/{name}`.
     Datasets,
+    /// `POST /datasets/{name}/insert` and `POST /datasets/{name}/delete`.
+    Mutate,
     /// `POST /query`.
     Query,
     /// `POST /batch`.
@@ -35,10 +37,11 @@ pub enum Endpoint {
 }
 
 /// All tracked endpoints, in `/stats` rendering order.
-pub const ENDPOINTS: [Endpoint; 7] = [
+pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Healthz,
     Endpoint::Solvers,
     Endpoint::Datasets,
+    Endpoint::Mutate,
     Endpoint::Query,
     Endpoint::Batch,
     Endpoint::Stats,
@@ -52,6 +55,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Solvers => "solvers",
             Endpoint::Datasets => "datasets",
+            Endpoint::Mutate => "mutate",
             Endpoint::Query => "query",
             Endpoint::Batch => "batch",
             Endpoint::Stats => "stats",
@@ -68,6 +72,18 @@ impl Endpoint {
             "/query" => Endpoint::Query,
             "/batch" => Endpoint::Batch,
             "/stats" => Endpoint::Stats,
+            // A mutation is /datasets/{name}/insert|delete with a non-empty
+            // name; a dataset literally *named* "insert" uploads via
+            // /datasets/insert (one segment) and stays under Datasets.
+            p if p
+                .strip_prefix("/datasets/")
+                .and_then(|rest| rest.split_once('/'))
+                .is_some_and(|(name, action)| {
+                    !name.is_empty() && matches!(action, "insert" | "delete")
+                }) =>
+            {
+                Endpoint::Mutate
+            }
             p if p == "/datasets" || p.starts_with("/datasets/") => Endpoint::Datasets,
             _ => Endpoint::Other,
         }
@@ -212,6 +228,11 @@ mod tests {
         assert_eq!(Endpoint::of("/healthz"), Endpoint::Healthz);
         assert_eq!(Endpoint::of("/datasets"), Endpoint::Datasets);
         assert_eq!(Endpoint::of("/datasets/taxi"), Endpoint::Datasets);
+        assert_eq!(Endpoint::of("/datasets/taxi/insert"), Endpoint::Mutate);
+        assert_eq!(Endpoint::of("/datasets/taxi/delete"), Endpoint::Mutate);
+        // A dataset literally named "insert" is an upload, not a mutation.
+        assert_eq!(Endpoint::of("/datasets/insert"), Endpoint::Datasets);
+        assert_eq!(Endpoint::of("/datasets/taxi/frob"), Endpoint::Datasets);
         assert_eq!(Endpoint::of("/query?x=1"), Endpoint::Query);
         assert_eq!(Endpoint::of("/batch"), Endpoint::Batch);
         assert_eq!(Endpoint::of("/nope"), Endpoint::Other);

@@ -10,6 +10,7 @@ use proptest::prelude::*;
 fn key(epoch: u64, id: u64) -> CacheKey {
     CacheKey {
         epoch,
+        version: 1 + id % 3,
         colored: id.is_multiple_of(2),
         solver: format!("solver-{}", id % 5),
         shape: ShapeKey::Ball(id),

@@ -33,6 +33,10 @@ fn main() -> ExitCode {
     if let Command::Serve { addr, threads, eps, seed, datasets } = &command {
         return run_server(addr, *threads, *eps, *seed, datasets);
     }
+    // Mutate posts the file to a running server's insert/delete endpoint.
+    if let Command::Mutate { addr, dataset, delete, .. } = &command {
+        return run_mutate(addr, dataset, *delete, &file_text);
+    }
     // Batch commands read a second file (the query list) and run through the
     // shared-index executor; everything else is a single engine dispatch.
     let outcome = match &command {
@@ -56,6 +60,62 @@ fn main() -> ExitCode {
         Err(error) => {
             eprintln!("error: {error}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Posts a mutation body to a running server: `POST
+/// /datasets/{name}/insert` (or `/delete`), then prints the server's
+/// summary — new version, what was inserted/deleted, and how many stale
+/// cached answers were invalidated.
+fn run_mutate(addr: &str, dataset: &str, delete: bool, body: &str) -> ExitCode {
+    use maxrs::server::{Client, Json};
+
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(error) => {
+            eprintln!("error: cannot connect to {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let action = if delete { "delete" } else { "insert" };
+    let path = format!("/datasets/{dataset}/{action}");
+    let (status, response) = match client.post(&path, body) {
+        Ok(result) => result,
+        Err(error) => {
+            eprintln!("error: {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if status != 200 {
+        eprintln!("error: {path} answered {status}: {response}");
+        return ExitCode::FAILURE;
+    }
+    match Json::parse(&response) {
+        Ok(parsed) => {
+            let field = |path: &[&str]| {
+                let mut node = Some(&parsed);
+                for key in path {
+                    node = node.and_then(|n| n.get(key));
+                }
+                node.and_then(Json::as_f64).unwrap_or(f64::NAN)
+            };
+            println!(
+                "{action}: +{} −{} (missed {}) → version {} | delta {} | compactions {} | \
+                 cache entries invalidated: {}",
+                field(&["mutated", "inserted"]),
+                field(&["mutated", "deleted"]),
+                field(&["mutated", "missed"]),
+                field(&["mutated", "version"]),
+                field(&["dataset", "delta"]),
+                field(&["dataset", "compactions"]),
+                field(&["mutated", "cache_invalidated"]),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(_) => {
+            println!("{response}");
+            ExitCode::SUCCESS
         }
     }
 }

@@ -10,8 +10,9 @@ use std::str::FromStr;
 use mrs_geom::{ColoredSite, WeightedPoint};
 
 use crate::engine::{
-    registry_with, BatchAnswer, BatchExecutor, BatchQuery, BatchRequest, ColoredInstance,
-    DimSupport, EngineConfig, EngineError, ExecutorConfig, RangeShape, WeightedInstance,
+    registry_with, BatchAnswer, BatchExecutor, BatchQuery, ColoredInstance, DimSupport,
+    EngineConfig, EngineError, ExecutorConfig, Mutation, RangeShape, ScriptOutcome, ScriptStep,
+    VersionedDataset, WeightedInstance,
 };
 
 /// A parsed command line.
@@ -87,6 +88,19 @@ pub enum Command {
         /// `x[,weight]` CSV) or 2 (`name=path`, planar batch CSV).
         datasets: Vec<(String, String, usize)>,
     },
+    /// Mutate a dataset resident in a running `maxrs serve` instance
+    /// (`mutate --addr HOST:PORT --dataset NAME [--delete] <records.csv>`).
+    Mutate {
+        /// Address of the running server, `HOST:PORT`.
+        addr: String,
+        /// Name of the resident dataset to mutate.
+        dataset: String,
+        /// `true` to delete the records (bare coordinates); `false` to
+        /// insert them (the dataset's own CSV record shape).
+        delete: bool,
+        /// Path of the mutation CSV file.
+        path: String,
+    },
     /// List the solvers registered with the engine (`solvers`).
     Solvers,
     /// Print usage.
@@ -119,9 +133,10 @@ USAGE:
     maxrs rect                --width W --height H  <points.csv>
     maxrs colored-disk        --radius R            <colored.csv>
     maxrs colored-disk-approx --radius R --eps E    <colored.csv>
-    maxrs batch --queries <queries.txt> [--threads N] [--eps E] <points.csv>
+    maxrs batch --queries <script.txt> [--threads N] [--eps E] <points.csv>
     maxrs serve --addr HOST:PORT [--threads N] [--eps E] [--seed S]
                 [--dataset name=path[@1d]]...
+    maxrs mutate --addr HOST:PORT --dataset NAME [--delete] <records.csv>
     maxrs solvers
 
 Every query dispatches through the solver engine; `maxrs solvers` lists the
@@ -132,7 +147,10 @@ worker pool).  `maxrs serve` keeps datasets resident behind an HTTP/1.1
 query service with per-dataset shared indexes and an answer cache; datasets
 are loaded at startup with repeated `--dataset name=path` flags (planar
 batch CSV; append `@1d` for 1-D `x[,weight]` CSV) or uploaded later via
-`POST /datasets/{name}[?dim=1]`.
+`POST /datasets/{name}[?dim=1]`.  Resident datasets are *versioned and
+mutable*: `maxrs mutate` posts a CSV of records to a running server's
+`POST /datasets/{name}/insert` (or `/delete` with `--delete`), bumping the
+dataset version and invalidating exactly the stale cached answers.
 
 INPUT FORMATS (one record per line, '#' starts a comment):
     weighted points:  x,y[,weight]          (weight defaults to 1)
@@ -140,12 +158,17 @@ INPUT FORMATS (one record per line, '#' starts a comment):
     batch points:     x,y[,weight[,color]]  (weighted and colored views of
                                              one point set; lines with a 4th
                                              field double as colored sites)
-    batch queries:    one query per line:
+    batch scripts:    one step per line; queries run at the dataset's
+                      then-current version, and update steps mutate it
+                      in between (the interleaved update+query setting):
                           disk,R
                           disk-approx,R
+                          disk-dynamic,R           (incrementally maintained)
                           rect,W,H
                           colored-disk,R
                           colored-disk-approx,R
+                          insert,x,y[,weight[,color]]
+                          delete,x,y
 ";
 
 /// Parses the command-line arguments (excluding the program name).
@@ -161,7 +184,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut threads = None;
     let mut addr = None;
     let mut seed = None;
-    let mut datasets: Vec<(String, String, usize)> = Vec::new();
+    let mut raw_datasets: Vec<String> = Vec::new();
+    let mut delete = false;
     let mut path = None;
     let mut i = 1;
     while i < args.len() {
@@ -184,20 +208,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--dataset" => {
                 let Some(value) = args.get(i + 1) else {
-                    return err("--dataset requires name=path (append @1d for 1-D CSV)");
+                    return err("--dataset requires a value");
                 };
-                let Some((name, file)) = value.split_once('=') else {
-                    return err(format!("--dataset: expected name=path, got `{value}`"));
-                };
-                let (file, dim) = match file.strip_suffix("@1d") {
-                    Some(stripped) => (stripped, 1),
-                    None => (file, 2),
-                };
-                if name.is_empty() || file.is_empty() {
-                    return err(format!("--dataset: expected name=path, got `{value}`"));
-                }
-                datasets.push((name.to_string(), file.to_string(), dim));
+                raw_datasets.push(value.clone());
                 i += 2;
+            }
+            "--delete" => {
+                delete = true;
+                i += 1;
             }
             "--radius" => {
                 radius = Some(parse_flag_value(args, &mut i, "--radius")?);
@@ -262,15 +280,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             &[("--queries", queries.is_some()), ("--threads", threads.is_some())],
         )?;
     }
-    if command != "serve" {
+    if command != "serve" && command != "mutate" {
         reject_unused(
             command,
             &[
                 ("--addr", addr.is_some()),
-                ("--seed", seed.is_some()),
-                ("--dataset", !datasets.is_empty()),
+                ("--dataset", !raw_datasets.is_empty()),
+                ("--delete", delete),
             ],
         )?;
+    }
+    if command != "serve" {
+        reject_unused(command, &[("--seed", seed.is_some())])?;
+    }
+    if command != "mutate" {
+        reject_unused(command, &[("--delete", delete)])?;
     }
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -290,6 +314,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "serve takes no positional file (got `{extra}`); use --dataset name=path"
                 ));
             }
+            let mut datasets: Vec<(String, String, usize)> = Vec::new();
+            for value in &raw_datasets {
+                let Some((name, file)) = value.split_once('=') else {
+                    return err(format!("--dataset: expected name=path, got `{value}`"));
+                };
+                let (file, dim) = match file.strip_suffix("@1d") {
+                    Some(stripped) => (stripped, 1),
+                    None => (file, 2),
+                };
+                if name.is_empty() || file.is_empty() {
+                    return err(format!("--dataset: expected name=path, got `{value}`"));
+                }
+                datasets.push((name.to_string(), file.to_string(), dim));
+            }
             let eps = eps.unwrap_or(0.25);
             // Same validation as the query subcommands: a bad ε must be a
             // CLI error, not an engine-config panic at startup.
@@ -300,6 +338,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 eps,
                 seed,
                 datasets,
+            })
+        }
+        "mutate" => {
+            reject_unused(
+                "mutate",
+                &[
+                    ("--radius", radius.is_some()),
+                    ("--eps", eps.is_some()),
+                    ("--width", width.is_some()),
+                    ("--height", height.is_some()),
+                    ("--queries", queries.is_some()),
+                    ("--threads", threads.is_some()),
+                ],
+            )?;
+            let [name] = raw_datasets.as_slice() else {
+                return err("mutate requires exactly one --dataset NAME");
+            };
+            if name.contains('=') {
+                return err(format!(
+                    "mutate takes a dataset *name* (got `{name}`); the records come from the file"
+                ));
+            }
+            Ok(Command::Mutate {
+                addr: addr.ok_or_else(|| CliError("mutate requires --addr HOST:PORT".into()))?,
+                dataset: name.clone(),
+                delete,
+                path: need_path(path)?,
             })
         }
         "batch" => {
@@ -431,12 +496,15 @@ pub fn parse_batch_csv(
     Ok((set.points, set.sites))
 }
 
-/// Parses a batch query file: one query per line (`#` starts a comment),
-/// `kind,params` with the same kinds and solver mapping as the single-query
-/// subcommands (`disk,R`, `disk-approx,R`, `rect,W,H`, `colored-disk,R`,
-/// `colored-disk-approx,R`).
-pub fn parse_batch_queries(text: &str) -> Result<Vec<BatchQuery<2>>, CliError> {
-    let mut queries = Vec::new();
+/// Parses a batch **script** file: one step per line (`#` starts a
+/// comment).  Query steps use `kind,params` with the same kinds and solver
+/// mapping as the single-query subcommands (`disk,R`, `disk-approx,R`,
+/// `disk-dynamic,R`, `rect,W,H`, `colored-disk,R`,
+/// `colored-disk-approx,R`); update steps mutate the dataset between
+/// queries (`insert,x,y[,weight[,color]]`, `delete,x,y`), so one file
+/// expresses the paper's interleaved update+query setting.
+pub fn parse_batch_script(text: &str) -> Result<Vec<ScriptStep<2>>, CliError> {
+    let mut steps = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -445,42 +513,83 @@ pub fn parse_batch_queries(text: &str) -> Result<Vec<BatchQuery<2>>, CliError> {
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         let arity_error =
             |want: &str| CliError(format!("line {}: `{}` expects `{want}`", lineno + 1, fields[0]));
-        let query = match (fields[0], fields.len()) {
-            ("disk", 2) => BatchQuery::weighted(
+        let step = match (fields[0], fields.len()) {
+            ("disk", 2) => ScriptStep::Query(BatchQuery::weighted(
                 "exact-disk-2d",
                 RangeShape::ball(checked_radius(fields[1], lineno)?),
-            ),
-            ("disk-approx", 2) => BatchQuery::weighted(
+            )),
+            ("disk-approx", 2) => ScriptStep::Query(BatchQuery::weighted(
                 "approx-static-ball",
                 RangeShape::ball(checked_radius(fields[1], lineno)?),
-            ),
+            )),
+            ("disk-dynamic", 2) => ScriptStep::Query(BatchQuery::weighted(
+                "dynamic-ball",
+                RangeShape::ball(checked_radius(fields[1], lineno)?),
+            )),
             ("rect", 3) => {
                 let width = parse_number(fields[1], lineno)?;
                 let height = parse_number(fields[2], lineno)?;
                 if !(width.is_finite() && width > 0.0 && height.is_finite() && height > 0.0) {
                     return err(format!("line {}: rect extents must be positive", lineno + 1));
                 }
-                BatchQuery::weighted("exact-rect-2d", RangeShape::rect(width, height))
+                ScriptStep::Query(BatchQuery::weighted(
+                    "exact-rect-2d",
+                    RangeShape::rect(width, height),
+                ))
             }
-            ("colored-disk", 2) => BatchQuery::colored(
+            ("colored-disk", 2) => ScriptStep::Query(BatchQuery::colored(
                 "output-sensitive-colored-disk",
                 RangeShape::ball(checked_radius(fields[1], lineno)?),
-            ),
-            ("colored-disk-approx", 2) => BatchQuery::colored(
+            )),
+            ("colored-disk-approx", 2) => ScriptStep::Query(BatchQuery::colored(
                 "approx-colored-disk-sampling",
                 RangeShape::ball(checked_radius(fields[1], lineno)?),
-            ),
-            ("disk" | "disk-approx" | "colored-disk" | "colored-disk-approx", _) => {
+            )),
+            // Update records delegate to the shared `mrs_core::input`
+            // mutation parsers — the *same* record semantics (weight
+            // default, negative-weight rejection, color parsing) the
+            // server's mutation bodies use, so CLI scripts and `POST
+            // /datasets/{name}/insert|delete` can never drift apart.
+            ("insert", 3..=5) => ScriptStep::Mutate(parse_mutation_record(
+                mrs_core::input::parse_planar_inserts_csv,
+                &fields[1..],
+                lineno,
+            )?),
+            ("delete", 3) => ScriptStep::Mutate(parse_mutation_record(
+                mrs_core::input::parse_planar_deletes_csv,
+                &fields[1..],
+                lineno,
+            )?),
+            (
+                "disk" | "disk-approx" | "disk-dynamic" | "colored-disk" | "colored-disk-approx",
+                _,
+            ) => {
                 return Err(arity_error("kind,R"));
             }
             ("rect", _) => return Err(arity_error("rect,W,H")),
+            ("insert", _) => return Err(arity_error("insert,x,y[,weight[,color]]")),
+            ("delete", _) => return Err(arity_error("delete,x,y")),
             (other, _) => {
-                return err(format!("line {}: unknown query kind `{other}`", lineno + 1));
+                return err(format!("line {}: unknown step kind `{other}`", lineno + 1));
             }
         };
-        queries.push(query);
+        steps.push(step);
     }
-    Ok(queries)
+    Ok(steps)
+}
+
+/// Parses one script update record through a shared [`mrs_core::input`]
+/// mutation parser, re-anchoring the parser's (record-relative) error line
+/// to the script line the record came from.
+fn parse_mutation_record(
+    parse: fn(&str) -> Result<Vec<Mutation<2>>, mrs_core::input::LoadError>,
+    fields: &[&str],
+    lineno: usize,
+) -> Result<Mutation<2>, CliError> {
+    let mut mutations = parse(&fields.join(","))
+        .map_err(|e| load_error(mrs_core::input::LoadError { line: lineno + 1, kind: e.kind }))?;
+    debug_assert_eq!(mutations.len(), 1, "one record parses to one mutation");
+    Ok(mutations.remove(0))
 }
 
 fn checked_radius(raw: &str, lineno: usize) -> Result<f64, CliError> {
@@ -492,9 +601,11 @@ fn checked_radius(raw: &str, lineno: usize) -> Result<f64, CliError> {
     }
 }
 
-/// Executes a batch command against already-loaded file contents: parses the
-/// point set and query list, runs the whole batch through the shared-index
-/// executor, and renders one line per answer plus the batch statistics.
+/// Executes a batch command against already-loaded file contents: parses
+/// the point set and the script, runs the whole thing through the
+/// versioned script executor (queries answered and certified at the
+/// dataset version they observe, update steps mutating it in between), and
+/// renders one line per step plus the batch statistics.
 pub fn run_batch_on_text(
     points_text: &str,
     queries_text: &str,
@@ -503,46 +614,53 @@ pub fn run_batch_on_text(
 ) -> Result<String, CliError> {
     check_eps(eps, 1.0)?;
     let (points, sites) = parse_batch_csv(points_text)?;
-    let queries = parse_batch_queries(queries_text)?;
-    if queries.is_empty() {
+    let steps = parse_batch_script(queries_text)?;
+    if steps.is_empty() {
         return Ok("empty query file: nothing to answer".to_string());
     }
-    let mut request = BatchRequest::new(points, sites);
-    for query in queries {
-        request.push(query);
-    }
+    let dataset = VersionedDataset::new(points, sites);
 
     let registry = registry_with(cli_config(eps));
     let executor = BatchExecutor::with_config(&registry, ExecutorConfig { threads, certify: true });
-    let report = executor.execute(&request);
+    let report = executor.execute_script(&dataset, &steps);
 
     let mut out = String::new();
-    for (i, (query, answer)) in request.queries().iter().zip(&report.answers).enumerate() {
-        let line = match answer {
-            BatchAnswer::Weighted(r) => format!(
-                "covered weight = {:.6} at ({:.6}, {:.6})  [{}]",
+    for (i, (step, outcome)) in steps.iter().zip(&report.outcomes).enumerate() {
+        let line = match outcome {
+            ScriptOutcome::Answer { answer: BatchAnswer::Weighted(r), version, .. } => format!(
+                "covered weight = {:.6} at ({:.6}, {:.6})  [{} @v{version}]",
                 r.placement.value,
                 r.placement.center.x(),
                 r.placement.center.y(),
                 r.solver
             ),
-            BatchAnswer::Colored(r) => format!(
-                "distinct colors = {} at ({:.6}, {:.6})  [{}]",
+            ScriptOutcome::Answer { answer: BatchAnswer::Colored(r), version, .. } => format!(
+                "distinct colors = {} at ({:.6}, {:.6})  [{} @v{version}]",
                 r.placement.distinct,
                 r.placement.center.x(),
                 r.placement.center.y(),
                 r.solver
             ),
-            BatchAnswer::Failed(error) => format!("FAILED: {error}"),
+            ScriptOutcome::Answer { answer: BatchAnswer::Failed(error), .. } => {
+                format!("FAILED: {error}")
+            }
+            ScriptOutcome::Mutated { version, outcome, compacted } => format!(
+                "applied: +{} −{} (missed {}) → v{version}{}",
+                outcome.inserted,
+                outcome.deleted,
+                outcome.missed,
+                if *compacted { ", compacted" } else { "" }
+            ),
         };
-        out.push_str(&format!("[{i:>4}] {:<28} {line}\n", render_query(query)));
+        out.push_str(&format!("[{i:>4}] {:<28} {line}\n", render_step(step)));
     }
     let stats = &report.stats;
     out.push_str(&format!(
-        "batch: {} queries ({} failed) in {:.2} ms | {:.0} queries/s | threads = {} | \
+        "batch: {} queries ({} failed), {} updates in {:.2} ms | {:.0} queries/s | threads = {} | \
          index builds = {} ({:.2} ms) | certified {}/{} ({} mismatches)\n",
         stats.queries,
         stats.failed,
+        report.updates,
         stats.wall.as_secs_f64() * 1e3,
         stats.queries_per_sec(),
         stats.threads,
@@ -551,6 +669,13 @@ pub fn run_batch_on_text(
         stats.certified,
         stats.queries - stats.failed,
         stats.certify_failures,
+    ));
+    // The versioned-dataset counters: where the update path left the data.
+    out.push_str(&format!(
+        "dataset: version = {} | delta = {} | compactions = {}\n",
+        report.final_version,
+        dataset.view().delta_size(),
+        dataset.compactions(),
     ));
     // Wall-clock-free work counters: what the shared spatial indexes could
     // not prune.  These are the numbers the perf-smoke tests bound.
@@ -564,14 +689,24 @@ pub fn run_batch_on_text(
     Ok(out)
 }
 
-fn render_query(query: &BatchQuery<2>) -> String {
-    let shape = match query.shape() {
-        RangeShape::Ball { radius } => format!("ball r={radius}"),
-        RangeShape::AxisBox { extents } => format!("box {}x{}", extents[0], extents[1]),
-    };
-    match query {
-        BatchQuery::Weighted { .. } => format!("weighted {shape}"),
-        BatchQuery::Colored { .. } => format!("colored {shape}"),
+fn render_step(step: &ScriptStep<2>) -> String {
+    match step {
+        ScriptStep::Query(query) => {
+            let shape = match query.shape() {
+                RangeShape::Ball { radius } => format!("ball r={radius}"),
+                RangeShape::AxisBox { extents } => format!("box {}x{}", extents[0], extents[1]),
+            };
+            match query {
+                BatchQuery::Weighted { .. } => format!("weighted {shape}"),
+                BatchQuery::Colored { .. } => format!("colored {shape}"),
+            }
+        }
+        ScriptStep::Mutate(Mutation::Insert { point, .. }) => {
+            format!("insert ({}, {})", point.point.x(), point.point.y())
+        }
+        ScriptStep::Mutate(Mutation::Delete { point }) => {
+            format!("delete ({}, {})", point.x(), point.y())
+        }
     }
 }
 
@@ -618,7 +753,8 @@ fn engine_error(e: EngineError) -> CliError {
 fn render_solvers() -> String {
     let registry = crate::engine::registry();
     let mut out = String::from(
-        "registered solvers (name | problem | shape | dims | guarantee | batch | reference):\n",
+        "registered solvers (name | problem | shape | dims | guarantee | batch | updates | \
+         reference):\n",
     );
     for d in registry.descriptors() {
         let dims = match d.dims {
@@ -634,14 +770,16 @@ fn render_solvers() -> String {
             crate::engine::ProblemKind::Weighted => "weighted",
             crate::engine::ProblemKind::Colored => "colored",
         };
+        let updates = if d.dynamic { "incremental" } else { "static" };
         out.push_str(&format!(
-            "  {:<30} {:<9} {:<5} {:<7} {:<17} {:<13} {}\n",
+            "  {:<30} {:<9} {:<5} {:<7} {:<17} {:<13} {:<11} {}\n",
             d.name,
             problem,
             d.shape.to_string(),
             dims,
             guarantee,
             d.batch.to_string(),
+            updates,
             d.reference
         ));
     }
@@ -691,6 +829,11 @@ pub fn run_on_text(command: &Command, file_text: &str) -> Result<String, CliErro
             // Serving binds sockets and blocks; the binary dispatches it to
             // `mrs_server` directly instead of through this pure function.
             err("serve runs a long-lived network service; the binary handles it directly")
+        }
+        Command::Mutate { .. } => {
+            // Mutations talk to a running server over TCP; the binary owns
+            // that path.
+            err("mutate talks to a running server; the binary handles it directly")
         }
         Command::Disk { radius, .. } => {
             let points = parse_weighted_csv(file_text)?;
@@ -775,6 +918,7 @@ pub fn input_path(command: &Command) -> Option<&str> {
         | Command::Rect { path, .. }
         | Command::ColoredDisk { path, .. }
         | Command::ColoredDiskApprox { path, .. }
+        | Command::Mutate { path, .. }
         | Command::Batch { path, .. } => Some(path),
     }
 }
@@ -896,25 +1040,27 @@ mod tests {
     }
 
     /// Doctest-style golden test: `maxrs solvers` must render exactly this
-    /// table — name, problem, shape, dims, guarantee, batch capability, and
-    /// reference for every registered solver.  Registering a new solver (or
-    /// changing a capability) means updating this expectation deliberately.
+    /// table — name, problem, shape, dims, guarantee, batch capability,
+    /// update capability (static | incremental, from
+    /// `SolverDescriptor::dynamic`), and reference for every registered
+    /// solver.  Registering a new solver (or changing a capability) means
+    /// updating this expectation deliberately.
     #[test]
     fn solvers_listing_golden_output() {
         let expected = "\
-registered solvers (name | problem | shape | dims | guarantee | batch | reference):
-  batched-interval-1d            weighted  ball  d = 1   exact             index-shared  Theorem 1.3 upper bound (O(n log n + m·n))
-  exact-interval-1d              weighted  ball  d = 1   exact             index-shared  Section 5 per-length oracle (sorted sweep)
-  exact-rect-2d                  weighted  box   d = 2   exact             index-shared  [IA83]/[NB95] rectangle sweep
-  exact-disk-2d                  weighted  ball  d = 2   exact             index-shared  [CL86] disk sweep
-  approx-static-ball             weighted  ball  any d   (1/2 − ε)-approx  index-shared  Theorem 1.2
-  dynamic-ball                   weighted  ball  any d   (1/2 − ε)-approx  independent   Theorem 1.1
-  exact-colored-disk-enum        colored   ball  d = 2   exact             independent   candidate enumeration baseline
-  exact-colored-disk-union       colored   ball  d = 2   exact             independent   Lemma 4.2
-  output-sensitive-colored-disk  colored   ball  d = 2   exact             independent   Theorem 4.6
-  approx-colored-ball            colored   ball  any d   (1/2 − ε)-approx  index-shared  Theorem 1.5
-  approx-colored-disk-sampling   colored   ball  d = 2   (1 − ε)-approx    independent   Theorem 1.6
-  exact-colored-rect-2d          colored   box   d = 2   exact             independent   [ZGH+22]-style sweep
+registered solvers (name | problem | shape | dims | guarantee | batch | updates | reference):
+  batched-interval-1d            weighted  ball  d = 1   exact             index-shared  static      Theorem 1.3 upper bound (O(n log n + m·n))
+  exact-interval-1d              weighted  ball  d = 1   exact             index-shared  static      Section 5 per-length oracle (sorted sweep)
+  exact-rect-2d                  weighted  box   d = 2   exact             index-shared  static      [IA83]/[NB95] rectangle sweep
+  exact-disk-2d                  weighted  ball  d = 2   exact             index-shared  static      [CL86] disk sweep
+  approx-static-ball             weighted  ball  any d   (1/2 − ε)-approx  index-shared  static      Theorem 1.2
+  dynamic-ball                   weighted  ball  any d   (1/2 − ε)-approx  independent   incremental Theorem 1.1
+  exact-colored-disk-enum        colored   ball  d = 2   exact             independent   static      candidate enumeration baseline
+  exact-colored-disk-union       colored   ball  d = 2   exact             independent   static      Lemma 4.2
+  output-sensitive-colored-disk  colored   ball  d = 2   exact             independent   static      Theorem 4.6
+  approx-colored-ball            colored   ball  any d   (1/2 − ε)-approx  index-shared  static      Theorem 1.5
+  approx-colored-disk-sampling   colored   ball  d = 2   (1 − ε)-approx    independent   static      Theorem 1.6
+  exact-colored-rect-2d          colored   box   d = 2   exact             independent   static      [ZGH+22]-style sweep
 ";
         assert_eq!(run_on_text(&Command::Solvers, "").unwrap(), expected);
     }
@@ -1055,6 +1201,100 @@ registered solvers (name | problem | shape | dims | guarantee | batch | referenc
     }
 
     #[test]
+    fn parses_mutate_command() {
+        assert_eq!(
+            parse_args(&args(&[
+                "mutate",
+                "--addr",
+                "127.0.0.1:7070",
+                "--dataset",
+                "demo",
+                "new.csv"
+            ]))
+            .unwrap(),
+            Command::Mutate {
+                addr: "127.0.0.1:7070".into(),
+                dataset: "demo".into(),
+                delete: false,
+                path: "new.csv".into(),
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&[
+                "mutate",
+                "--addr",
+                "x:1",
+                "--dataset",
+                "demo",
+                "--delete",
+                "gone.csv"
+            ]))
+            .unwrap(),
+            Command::Mutate { delete: true, .. }
+        ));
+        // --addr, --dataset NAME (exactly one, bare) and the file are all
+        // mandatory; serve-style name=path is rejected with a hint.
+        assert!(parse_args(&args(&["mutate", "--dataset", "demo", "f.csv"])).is_err());
+        assert!(parse_args(&args(&["mutate", "--addr", "x:1", "f.csv"])).is_err());
+        assert!(
+            parse_args(&args(&["mutate", "--addr", "x:1", "--dataset", "a=b", "f.csv"])).is_err()
+        );
+        assert!(parse_args(&args(&[
+            "mutate",
+            "--addr",
+            "x:1",
+            "--dataset",
+            "a",
+            "--dataset",
+            "b",
+            "f.csv"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["mutate", "--addr", "x:1", "--dataset", "demo"])).is_err());
+        // --delete applies to mutate only; query flags are rejected on mutate.
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--delete", "a.csv"])).is_err());
+        assert!(parse_args(&args(&[
+            "mutate",
+            "--addr",
+            "x:1",
+            "--dataset",
+            "d",
+            "--radius",
+            "1",
+            "f.csv"
+        ]))
+        .is_err());
+        // The pure text runner refuses; the binary owns the network path.
+        let mutate = Command::Mutate {
+            addr: "x:1".into(),
+            dataset: "demo".into(),
+            delete: false,
+            path: "f.csv".into(),
+        };
+        assert!(run_on_text(&mutate, "").is_err());
+        assert_eq!(input_path(&mutate), Some("f.csv"));
+    }
+
+    #[test]
+    fn batch_scripts_interleave_updates_and_queries() {
+        // Start with a 3-point cluster; insert a heavy point mid-script and
+        // delete it again: the same query sees three different versions.
+        let csv = "0,0\n0.4,0\n0,0.4\n9,9\n";
+        let script = "disk,1.0\ninsert,0.2,0.2,5\ndisk,1.0\ndelete,0.2,0.2\ndisk,1.0\n";
+        let out = run_batch_on_text(csv, script, None, 0.25).unwrap();
+        assert!(out.contains("covered weight = 3.000000"), "{out}");
+        assert!(out.contains("covered weight = 8.000000"), "{out}");
+        assert!(out.contains("@v1]"), "{out}");
+        assert!(out.contains("@v2]"), "{out}");
+        assert!(out.contains("@v3]"), "{out}");
+        assert!(out.contains("applied: +1 −0 (missed 0) → v2"), "{out}");
+        assert!(out.contains("batch: 3 queries (0 failed), 2 updates"), "{out}");
+        assert!(out.contains("certified 3/3 (0 mismatches)"), "{out}");
+        assert!(out.contains("dataset: version = 3 | delta ="), "{out}");
+        assert!(out.contains("compactions ="), "{out}");
+    }
+
+    #[test]
     fn parses_batch_points_and_queries() {
         let (points, sites) =
             parse_batch_csv("0,0\n1,1,2.5\n2,2,1,7  # weighted and colored\n").unwrap();
@@ -1072,18 +1312,41 @@ registered solvers (name | problem | shape | dims | guarantee | batch | referenc
         assert!(parse_weighted_csv("0,inf\n").is_err());
         assert!(parse_colored_csv("NaN,0,1\n").is_err());
 
-        let queries = parse_batch_queries(
+        let steps = parse_batch_script(
             "disk,1.0\nrect,2,1\ncolored-disk,0.5\n# comment\ndisk-approx,1\ncolored-disk-approx,1\n",
         )
         .unwrap();
-        assert_eq!(queries.len(), 5);
-        assert_eq!(queries[0].solver(), "exact-disk-2d");
-        assert_eq!(queries[1].solver(), "exact-rect-2d");
-        assert_eq!(queries[2].solver(), "output-sensitive-colored-disk");
-        assert!(parse_batch_queries("disk,1,2\n").is_err());
-        assert!(parse_batch_queries("rect,1\n").is_err());
-        assert!(parse_batch_queries("disk,-1\n").is_err());
-        assert!(parse_batch_queries("frobnicate,1\n").is_err());
+        assert_eq!(steps.len(), 5);
+        let solver_of = |step: &ScriptStep<2>| match step {
+            ScriptStep::Query(q) => q.solver().to_string(),
+            ScriptStep::Mutate(_) => unreachable!("query step"),
+        };
+        assert_eq!(solver_of(&steps[0]), "exact-disk-2d");
+        assert_eq!(solver_of(&steps[1]), "exact-rect-2d");
+        assert_eq!(solver_of(&steps[2]), "output-sensitive-colored-disk");
+        assert!(parse_batch_script("disk,1,2\n").is_err());
+        assert!(parse_batch_script("rect,1\n").is_err());
+        assert!(parse_batch_script("disk,-1\n").is_err());
+        assert!(parse_batch_script("frobnicate,1\n").is_err());
+
+        // Update steps: inserts with optional weight/color, deletes by
+        // coordinates, dynamic-disk queries through the maintained tracker.
+        let steps = parse_batch_script(
+            "insert,1,2\ninsert,1,2,3\ninsert,1,2,3,4\ndelete,1,2\ndisk-dynamic,1\n",
+        )
+        .unwrap();
+        assert_eq!(steps.len(), 5);
+        assert!(matches!(
+            steps[0],
+            ScriptStep::Mutate(Mutation::Insert { point, color: None }) if point.weight == 1.0
+        ));
+        assert!(matches!(steps[2], ScriptStep::Mutate(Mutation::Insert { color: Some(4), .. })));
+        assert!(matches!(steps[3], ScriptStep::Mutate(Mutation::Delete { .. })));
+        assert_eq!(solver_of(&steps[4]), "dynamic-ball");
+        assert!(parse_batch_script("insert,1\n").is_err());
+        assert!(parse_batch_script("insert,1,2,-1\n").is_err());
+        assert!(parse_batch_script("insert,1,2,3,red\n").is_err());
+        assert!(parse_batch_script("delete,1\n").is_err());
     }
 
     #[test]

@@ -251,6 +251,79 @@ fn batch_endpoint_merges_cache_hits_and_executions() {
     server.shutdown();
 }
 
+/// Streaming updates over real TCP: mutation bodies bump versions, the
+/// answer cache invalidates fine-grained, answers carry the version they
+/// were computed at, and the incrementally maintained dynamic tracker
+/// follows the stream.
+#[test]
+fn mutations_stream_through_versions_over_tcp() {
+    let (server, mut client) = boot();
+    let body = r#"{"dataset":"planar","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+
+    // Prime the cache at version 1.
+    let (_, first) = client.post("/query", body).expect("query I/O");
+    let parsed = parse(&first);
+    assert_eq!(
+        parsed.get("answer").and_then(|a| a.get("version")).and_then(Json::as_f64),
+        Some(1.0)
+    );
+
+    // Insert a heavy cluster near the origin: one request, one version.
+    let (status, response) =
+        client.post("/datasets/planar/insert", "0.2,0.2,4\n0.2,0.3,4,5\n").expect("insert I/O");
+    assert_eq!(status, 200, "{response}");
+    let mutated = parse(&response);
+    assert_eq!(
+        mutated.get("mutated").and_then(|m| m.get("version")).and_then(Json::as_f64),
+        Some(2.0)
+    );
+    assert!(
+        mutated.get("mutated").and_then(|m| m.get("cache_invalidated")).and_then(Json::as_f64)
+            >= Some(1.0),
+        "{response}"
+    );
+
+    // The repeated query recomputes at version 2 and sees the new mass
+    // (3 + 4 + 4 = 11), certified through the delta overlay.
+    let (_, after) = client.post("/query", body).expect("query I/O");
+    let parsed = parse(&after);
+    assert_eq!(parsed.get("cached").and_then(Json::as_bool), Some(false));
+    let answer = parsed.get("answer").expect("answer");
+    assert_eq!(answer.get("version").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(answer.get("value").and_then(Json::as_f64), Some(11.0));
+    assert_eq!(answer.get("certified").and_then(Json::as_bool), Some(true));
+
+    // The dynamic tracker answers the same contents incrementally.
+    let dynamic =
+        r#"{"dataset":"planar","solver":"dynamic-ball","shape":{"ball":1.0},"cache":false}"#;
+    let (_, response) = client.post("/query", dynamic).expect("dynamic I/O");
+    let answer = parse(&response);
+    let answer = answer.get("answer").expect("answer");
+    assert_eq!(answer.get("value").and_then(Json::as_f64), Some(11.0));
+    assert_eq!(answer.get("certified").and_then(Json::as_bool), Some(true));
+
+    // Delete the cluster again (version 3) and verify /stats counters.
+    let (status, response) =
+        client.post("/datasets/planar/delete", "0.2,0.2\n0.2,0.3\n").expect("delete I/O");
+    assert_eq!(status, 200, "{response}");
+    let (_, third) = client.post("/query", body).expect("query I/O");
+    let parsed = parse(&third);
+    assert_eq!(
+        parsed.get("answer").and_then(|a| a.get("value")).and_then(Json::as_f64),
+        Some(3.0),
+        "the delete must restore the original optimum"
+    );
+    let (_, stats) = client.get("/stats").expect("stats I/O");
+    let stats = parse(&stats);
+    let planar = stat_of(&stats, "planar");
+    assert_eq!(planar.get("version").and_then(Json::as_f64), Some(3.0));
+    assert!(planar.get("delta").and_then(Json::as_f64).is_some());
+    assert!(
+        stats.get("cache").and_then(|c| c.get("invalidations")).and_then(Json::as_f64) >= Some(1.0)
+    );
+    server.shutdown();
+}
+
 /// Basic service-surface sanity over real TCP: health, solver listing,
 /// dataset listing, error statuses, and graceful shutdown.
 #[test]
