@@ -7,6 +7,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrs_geom::kernels::{set_kernel_mode, KernelMode};
 use mrs_geom::{HashGrid, Point2};
 use rand::prelude::*;
 use std::hint::black_box;
@@ -78,9 +79,41 @@ fn bench_hashgrid(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar vs laned vs sieve throughput of the same queries over the same
+/// index: the per-kernel A/B the `kernel_baseline` emitter gates on.  All
+/// three modes return bit-identical hits (pinned by
+/// `tests/kernel_invariance.rs`), so the delta is pure kernel throughput.
+fn bench_kernel_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_modes");
+    let points = clustered_points(100_000, 42);
+    let queries = clustered_points(256, 43);
+    let index = HashGrid::build(1.0, &points);
+    for (label, mode) in [
+        ("scalar_f64", KernelMode::ScalarF64),
+        ("laned_f64", KernelMode::LanedF64),
+        ("sieve_f32", KernelMode::SieveF32),
+    ] {
+        for radius in [1.0, 4.0] {
+            let id = BenchmarkId::new(label, format!("r{radius}"));
+            group.bench_with_input(id, &radius, |b, &radius| {
+                set_kernel_mode(mode);
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for q in queries.iter().take(64) {
+                        index.for_each_within(q, radius, |id| acc ^= id);
+                    }
+                    black_box(acc)
+                });
+                set_kernel_mode(KernelMode::SieveF32);
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_hashgrid
+    targets = bench_hashgrid, bench_kernel_modes
 }
 criterion_main!(benches);

@@ -280,6 +280,10 @@ pub struct BatchStats {
     pub candidates_examined: usize,
     /// Spatial-index cells visited by those queries, summed likewise.
     pub grid_cells_visited: usize,
+    /// Of the candidates examined, how many the widened f32 sieve rejected
+    /// before the exact f64 verify, summed likewise (zero when the process
+    /// runs a pure-f64 kernel mode; see `mrs_geom::kernels`).
+    pub sieve_rejected: usize,
 }
 
 impl BatchStats {

@@ -254,6 +254,11 @@ impl<'r> BatchExecutor<'r> {
                 .filter_map(BatchAnswer::solve_stats)
                 .filter_map(|s| s.grid_cells_visited)
                 .sum(),
+            sieve_rejected: answers
+                .iter()
+                .filter_map(BatchAnswer::solve_stats)
+                .filter_map(|s| s.sieve_rejected)
+                .sum(),
             ..BatchStats::default()
         };
         if self.config.certify {
@@ -536,6 +541,7 @@ fn merge_stats(total: &mut BatchStats, segment: &BatchStats) {
     total.certify_failures += segment.certify_failures;
     total.candidates_examined += segment.candidates_examined;
     total.grid_cells_visited += segment.grid_cells_visited;
+    total.sieve_rejected += segment.sieve_rejected;
 }
 
 /// Re-evaluates one answer against an index: `Some(true)` when the

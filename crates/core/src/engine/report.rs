@@ -78,6 +78,11 @@ pub struct SolveStats {
     /// [`Self::candidates_examined`] this bounds the solver's index work
     /// without a wall clock, which is what the perf-smoke tests assert on.
     pub grid_cells_visited: Option<usize>,
+    /// Of the candidates examined, how many the widened f32 sieve rejected
+    /// before the exact f64 verify (see `mrs_geom::kernels`).  Zero when the
+    /// process runs a pure-f64 kernel mode; `None` when the solver runs no
+    /// index queries.
+    pub sieve_rejected: Option<usize>,
 }
 
 /// The full result of dispatching one instance to one solver.

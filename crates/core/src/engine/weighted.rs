@@ -295,6 +295,7 @@ impl<const D: usize> WeightedSolver<D> for ExactDiskSolver {
                         elapsed: start.elapsed(),
                         candidates_examined: Some(sweep.candidates_examined),
                         grid_cells_visited: Some(sweep.grid_cells_visited),
+                        sieve_rejected: Some(sweep.sieve_rejected),
                         ..SolveStats::default()
                     },
                 })

@@ -43,20 +43,22 @@ impl DistinctCounter {
         Self { counts: vec![0; num_colors], distinct: 0 }
     }
 
+    // Both updates are branch-free: the 0→1 / 1→0 transitions fold into the
+    // running distinct count as a boolean, so the window loops carry no
+    // data-dependent branch per site (see `mrs_geom::kernels` for the same
+    // idiom in the distance filters).
     #[inline]
     fn add(&mut self, color: usize) {
-        self.counts[color] += 1;
-        if self.counts[color] == 1 {
-            self.distinct += 1;
-        }
+        let c = self.counts[color] + 1;
+        self.counts[color] = c;
+        self.distinct += usize::from(c == 1);
     }
 
     #[inline]
     fn remove(&mut self, color: usize) {
-        self.counts[color] -= 1;
-        if self.counts[color] == 0 {
-            self.distinct -= 1;
-        }
+        let c = self.counts[color] - 1;
+        self.counts[color] = c;
+        self.distinct -= usize::from(c == 0);
     }
 
     fn distinct(&self) -> usize {
@@ -111,6 +113,10 @@ pub fn exact_colored_rect(
     by_x.sort_by(|&a, &b| sites[a].point.x().partial_cmp(&sites[b].point.x()).unwrap());
     let mut by_y: Vec<usize> = (0..sites.len()).collect();
     by_y.sort_by(|&a, &b| sites[a].point.y().partial_cmp(&sites[b].point.y()).unwrap());
+    // SoA mirrors in x order: contiguous rows the laned band filter streams
+    // through, instead of gathering `sites[s].point.y()` per index.
+    let ys_in_x_order: Vec<f64> = by_x.iter().map(|&s| sites[s].point.y()).collect();
+    let xs_in_x_order: Vec<f64> = by_x.iter().map(|&s| sites[s].point.x()).collect();
 
     // Candidate bottom edges: a maximum-depth rectangle can always be pushed
     // down until its bottom or top edge touches a site.
@@ -156,16 +162,18 @@ pub fn exact_colored_rect(
         if strip_counter.distinct() <= best.distinct {
             continue;
         }
-        // The strip in x order (only materialized for strips that can win).
+        // The strip in x order (only materialized for strips that can win):
+        // one laned band filter over the SoA y row fills the index list and
+        // the x row in the same in-order drain.
         strip.clear();
-        strip.extend(by_x.iter().copied().filter(|&s| {
-            sites[s].point.y() >= bottom - 1e-12 && sites[s].point.y() <= top + 1e-12
-        }));
+        xs.clear();
+        mrs_geom::kernels::filter_in_band(&ys_in_x_order, bottom - 1e-12, top + 1e-12, |i| {
+            strip.push(by_x[i]);
+            xs.push(xs_in_x_order[i]);
+        });
         // Two-pointer pass over candidate left edges: every strip x and every
         // strip x − width, in increasing order (a merge of two already-sorted
         // streams).
-        xs.clear();
-        xs.extend(strip.iter().map(|&s| sites[s].point.x()));
         starts.clear();
         let (mut ia, mut ib) = (0usize, 0usize);
         while ia < xs.len() || ib < xs.len() {

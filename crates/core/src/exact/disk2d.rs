@@ -44,17 +44,22 @@ pub struct DiskSweepStats {
     pub candidates_examined: usize,
     /// Grid cells visited across every grid query.
     pub grid_cells_visited: usize,
+    /// Candidates rejected by the widened f32 sieve before the exact f64
+    /// verify (zero outside [`mrs_geom::KernelMode::SieveF32`]).
+    pub sieve_rejected: usize,
 }
 
 impl DiskSweepStats {
     fn absorb(&mut self, q: GridQueryStats) {
         self.candidates_examined += q.candidates;
         self.grid_cells_visited += q.cells;
+        self.sieve_rejected += q.sieve_rejected;
     }
 
     fn merge(&mut self, other: DiskSweepStats) {
         self.candidates_examined += other.candidates_examined;
         self.grid_cells_visited += other.grid_cells_visited;
+        self.sieve_rejected += other.sieve_rejected;
     }
 }
 
@@ -291,8 +296,11 @@ fn sweep_chunk<const D: usize>(
                 }
                 // Sort by angle; at equal angles apply gains before losses so
                 // that the closed-interval endpoints (boundary-boundary
-                // intersection points) are counted on both sides.
-                events.sort_by(|a, b| {
+                // intersection points) are counted on both sides.  The event
+                // order is produced by this center's own grid scan alone, so
+                // it is identical at every chunking and the unstable sort
+                // stays deterministic.
+                events.sort_unstable_by(|a, b| {
                     a.0.partial_cmp(&b.0).unwrap().then_with(|| b.1.partial_cmp(&a.1).unwrap())
                 });
                 let mut running = initial;

@@ -20,7 +20,7 @@
 //! optimum point reproducible run to run, which the hash-map bucketing was
 //! not.
 
-use mrs_geom::grid::CellCoord;
+use mrs_geom::grid::{CellCoord, Grid};
 use mrs_geom::{Ball, ColoredSite, GridQueryStats, Point2, ShiftedGrids};
 
 use crate::input::ColoredPlacement;
@@ -50,11 +50,213 @@ pub struct OutputSensitiveStats {
     pub grid_queries: GridQueryStats,
 }
 
-/// Row-major cell comparison (axis 1 most significant), matching the CSR
-/// grid's ordering so bucketed runs come out in a deterministic order.
+/// Bit layout of a packed incidence: one `u128` holds `(cell y - bias y)` in
+/// the top 48 bits, `(cell x - bias x)` in the middle 48, and the disk id in
+/// the low 32.  Sorting the raw integers is then exactly "row-major cell,
+/// then ascending disk id" — one scalar compare, 16-byte elements, no
+/// comparator — which is what makes the per-grid CSR bucketing sort cheap.
+/// The bias is the instance's minimum cell, so the deltas are non-negative;
+/// spans beyond 48 bits per axis (coordinate spreads past ~10^14 cells,
+/// where `f64` cell addressing is already threadbare) take the full-width
+/// cold path instead.
+const INC_ID_BITS: u32 = 32;
+/// Bits per biased cell axis in a packed incidence.
+const INC_AXIS_BITS: u32 = 48;
+/// Mask of one packed axis field.
+const INC_AXIS_MASK: u128 = (1 << INC_AXIS_BITS) - 1;
+
+/// Packs a biased cell address and disk id into one sortable integer.
 #[inline]
-fn cmp_cells(a: &CellCoord<2>, b: &CellCoord<2>) -> std::cmp::Ordering {
-    a[1].cmp(&b[1]).then(a[0].cmp(&b[0]))
+fn pack_incidence(dx: u64, dy: u64, id: u32) -> u128 {
+    ((dy as u128) << (INC_AXIS_BITS + INC_ID_BITS)) | ((dx as u128) << INC_ID_BITS) | id as u128
+}
+
+/// Recovers the cell address from a packed incidence key (`key >> INC_ID_BITS`).
+#[inline]
+fn unpack_cell(cell_key: u128, bias: &CellCoord<2>) -> CellCoord<2> {
+    [bias[0] + ((cell_key & INC_AXIS_MASK) as i64), bias[1] + ((cell_key >> INC_AXIS_BITS) as i64)]
+}
+
+/// Planar specialization of [`Grid::for_each_cell_intersecting_ball`]: walks
+/// the integer bounding box of the disk row by row, hoisting the clamped
+/// y-distance out of each row and pushing packed `(cell, id)` incidences
+/// directly.  Cell boundaries and the intersection tolerance match
+/// `Ball::intersects_aabb` term for term, so the incidence set is identical
+/// to the generic enumerator's.  `pack` receives the biased non-negative
+/// cell deltas, so the same walk feeds the `u64` and `u128` key tiers.
+#[inline]
+fn push_disk_incidences<K>(
+    grid: &Grid<2>,
+    disk: &Ball<2>,
+    id: u32,
+    bias: &CellCoord<2>,
+    pack: impl Fn(u64, u64, u32) -> K,
+    out: &mut Vec<K>,
+) {
+    let (cx, cy) = (disk.center.x(), disk.center.y());
+    let r = disk.radius;
+    let lim = r * r * (1.0 + 1e-12) + 1e-12;
+    let lo = grid.cell_of(&Point2::xy(cx - r, cy - r));
+    let hi = grid.cell_of(&Point2::xy(cx + r, cy + r));
+    for gy in lo[1]..=hi[1] {
+        let y0 = grid.offset.y() + gy as f64 * grid.side;
+        let y1 = y0 + grid.side;
+        let dy = if cy < y0 {
+            y0 - cy
+        } else if cy > y1 {
+            cy - y1
+        } else {
+            0.0
+        };
+        let dy_sq = dy * dy;
+        let by = (gy - bias[1]) as u64;
+        for gx in lo[0]..=hi[0] {
+            let x0 = grid.offset.x() + gx as f64 * grid.side;
+            let x1 = x0 + grid.side;
+            let dx = if cx < x0 {
+                x0 - cx
+            } else if cx > x1 {
+                cx - x1
+            } else {
+                0.0
+            };
+            if dx * dx + dy_sq <= lim {
+                out.push(pack((gx - bias[0]) as u64, by, id));
+            }
+        }
+    }
+}
+
+/// Groups a cell-major sorted incidence buffer into per-cell runs and sweeps
+/// them longest first.  A cell's colored depth is bounded by its incidence
+/// count, so once the best depth reaches the longest remaining run the
+/// entire tail of the grid is prunable in one step — without corner tests.
+/// The order is fully specified (length descending, then buffer position),
+/// so runs stay reproducible and kernel-mode independent.
+#[allow(clippy::too_many_arguments)]
+fn sweep_sorted_incidences<K: Copy>(
+    incidences: &[K],
+    runs: &mut Vec<(u32, u32)>,
+    same_cell: impl Fn(K, K) -> bool,
+    cell_of: impl Fn(K) -> CellCoord<2>,
+    id_of: impl Fn(K) -> u32 + Copy,
+    grid: &Grid<2>,
+    disks: &[Ball<2>],
+    colors: &[usize],
+    st: &mut LocalizeState,
+) {
+    runs.clear();
+    let mut start = 0;
+    while start < incidences.len() {
+        let mut end = start + 1;
+        while end < incidences.len() && same_cell(incidences[start], incidences[end]) {
+            end += 1;
+        }
+        runs.push((start as u32, end as u32));
+        start = end;
+    }
+    runs.sort_unstable_by_key(|&(s, e)| (std::cmp::Reverse(e - s), s));
+    for (k, &(s, e)) in runs.iter().enumerate() {
+        if (e - s) as usize <= st.best_depth {
+            let skipped = runs.len() - k;
+            st.stats.cells += skipped;
+            st.stats.cells_pruned += skipped;
+            break;
+        }
+        let cell = cell_of(incidences[s as usize]);
+        let ids = incidences[s as usize..e as usize].iter().map(move |&key| id_of(key));
+        sweep_cell(grid, &cell, ids, disks, colors, st);
+    }
+}
+
+/// Mutable state threaded through every localized cell: the reusable sweep
+/// buffers, the pruning tables, and the best placement so far.
+struct LocalizeState {
+    surviving: Vec<u32>,
+    sub_disks: Vec<Ball<2>>,
+    sub_colors: Vec<usize>,
+    scratch: UnionScratch,
+    color_stamp: Vec<u64>,
+    color_generation: u64,
+    seen_subsets: std::collections::HashSet<Box<[u32]>>,
+    stats: OutputSensitiveStats,
+    best_point: Point2,
+    best_depth: usize,
+}
+
+/// Processes one localized cell: corner-filters the incident disks, applies
+/// the two behavior-identical prunes, and runs the union sweep on whatever
+/// survives.
+fn sweep_cell(
+    grid: &Grid<2>,
+    cell: &CellCoord<2>,
+    ids: impl Iterator<Item = u32>,
+    disks: &[Ball<2>],
+    colors: &[usize],
+    st: &mut LocalizeState,
+) {
+    st.stats.cells += 1;
+    let cell_box = grid.cell_aabb(cell);
+    // Lemma 4.3(1): only disks containing a corner of the cell can contain
+    // an optimum that is 0.25-near this cell.  The four corner tests share
+    // the per-axis center offsets, so evaluate them branch-free (one OR of
+    // four squared-distance compares, same tolerance as [`Ball::contains`])
+    // instead of chasing the allocating `corners()` path.
+    let (x0, y0) = (cell_box.lo.x(), cell_box.lo.y());
+    let (x1, y1) = (cell_box.hi.x(), cell_box.hi.y());
+    st.surviving.clear();
+    st.surviving.extend(ids.filter(|&i| {
+        let d = &disks[i as usize];
+        let r = d.radius * (1.0 + 1e-12) + 1e-12;
+        let r_sq = r * r;
+        let (dx0, dx1) = (d.center.x() - x0, d.center.x() - x1);
+        let (dy0, dy1) = (d.center.y() - y0, d.center.y() - y1);
+        let (dx0, dx1) = (dx0 * dx0, dx1 * dx1);
+        let (dy0, dy1) = (dy0 * dy0, dy1 * dy1);
+        (dx0 + dy0 <= r_sq) | (dx1 + dy0 <= r_sq) | (dx0 + dy1 <= r_sq) | (dx1 + dy1 <= r_sq)
+    }));
+    if st.surviving.is_empty() {
+        return;
+    }
+    st.stats.surviving_disks += st.surviving.len();
+    // Prune 1: a cell's colored depth is at most its number of distinct
+    // surviving colors; if that bound cannot *strictly* beat the best depth
+    // so far, the sweep could never improve it.
+    st.color_generation += 1;
+    let mut distinct_bound = 0usize;
+    for &i in &st.surviving {
+        let c = colors[i as usize];
+        // Branch-free stamp: unconditionally re-stamp and add the 0/1
+        // novelty flag, so the loop carries no mispredictable per-color
+        // branch.
+        let is_new = usize::from(st.color_stamp[c] != st.color_generation);
+        st.color_stamp[c] = st.color_generation;
+        distinct_bound += is_new;
+    }
+    if distinct_bound <= st.best_depth {
+        st.stats.cells_pruned += 1;
+        return;
+    }
+    // Prune 2: the shifted family revisits the same dense neighbourhoods; an
+    // exactly-identical surviving subset (ids are sorted ascending)
+    // reproduces an earlier sweep verbatim.  The membership probe borrows
+    // the slice; only genuinely new subsets pay the boxed-copy insertion.
+    if st.seen_subsets.contains(st.surviving.as_slice()) {
+        st.stats.cells_deduped += 1;
+        return;
+    }
+    st.seen_subsets.insert(st.surviving.as_slice().into());
+    st.sub_disks.clear();
+    st.sub_disks.extend(st.surviving.iter().map(|&i| disks[i as usize]));
+    st.sub_colors.clear();
+    st.sub_colors.extend(st.surviving.iter().map(|&i| colors[i as usize]));
+    let result = max_colored_depth_union_with(&st.sub_disks, &st.sub_colors, &mut st.scratch);
+    st.stats.boundary_intersections += result.boundary_intersections;
+    st.stats.grid_queries.merge(result.grid_stats);
+    if result.depth > st.best_depth {
+        st.best_depth = result.depth;
+        st.best_point = result.point;
+    }
 }
 
 /// Exact maximum colored depth for *unit* disks (dual setting) in
@@ -85,101 +287,118 @@ pub fn max_colored_depth_output_sensitive(
     let grids = ShiftedGrids::<2>::full(1.0, 0.25);
     stats.grids = grids.len();
 
-    let mut best_point = disks[0].center;
-    let mut best_depth = 0usize;
-
-    // Buffers reused across every grid and cell of the family.
-    let mut incidences: Vec<(CellCoord<2>, u32)> = Vec::new();
-    let mut surviving: Vec<u32> = Vec::new();
-    let mut sub_disks: Vec<Ball<2>> = Vec::new();
-    let mut sub_colors: Vec<usize> = Vec::new();
-    let mut scratch = UnionScratch::default();
-    // Pruning state.  Both prunes are *behavior-identical*: a cell whose
+    // Both prunes inside `sweep_cell` are *behavior-identical*: a cell whose
     // distinct surviving-color count cannot strictly exceed `best_depth`
     // could never update it (a cell's depth is bounded by its color count),
     // and a cell whose exact surviving subset was already swept would
     // reproduce the earlier result, which already had its chance to win.
     let num_colors = colors.iter().copied().max().unwrap_or(0) + 1;
-    let mut color_stamp: Vec<u64> = vec![0; num_colors];
-    let mut color_generation = 0u64;
-    let mut seen_subsets: std::collections::HashSet<Box<[u32]>> = std::collections::HashSet::new();
+    let mut st = LocalizeState {
+        surviving: Vec::new(),
+        sub_disks: Vec::new(),
+        sub_colors: Vec::new(),
+        scratch: UnionScratch::default(),
+        color_stamp: vec![0; num_colors],
+        color_generation: 0,
+        seen_subsets: std::collections::HashSet::new(),
+        stats,
+        best_point: disks[0].center,
+        best_depth: 0,
+    };
+
+    // Instance bounding box (over the disks, not just the centers): `cell_of`
+    // is monotone per axis, so these corners bound every cell address any
+    // grid of the family can produce — the bias of the packed incidences.
+    let mut bb_lo = Point2::xy(f64::INFINITY, f64::INFINITY);
+    let mut bb_hi = Point2::xy(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for d in disks {
+        bb_lo = bb_lo.component_min(&Point2::xy(d.center.x() - d.radius, d.center.y() - d.radius));
+        bb_hi = bb_hi.component_max(&Point2::xy(d.center.x() + d.radius, d.center.y() + d.radius));
+    }
+
+    // Reused across every grid of the family.
+    let mut inc64: Vec<u64> = Vec::new();
+    let mut incidences: Vec<u128> = Vec::new();
+    let mut runs: Vec<(u32, u32)> = Vec::new();
 
     for grid in grids.grids() {
-        // Bucket disks by the cells they intersect: collect (cell, disk)
-        // incidences into one flat buffer and sort it CSR-style.  Ties keep
-        // ascending disk id, so each cell's members arrive in input order.
-        incidences.clear();
-        for (i, disk) in disks.iter().enumerate() {
-            grid.for_each_cell_intersecting_ball(disk, |cell| {
-                incidences.push((cell, i as u32));
-            });
-        }
-        incidences.sort_unstable_by(|a, b| cmp_cells(&a.0, &b.0).then(a.1.cmp(&b.1)));
-
-        let mut start = 0;
-        while start < incidences.len() {
-            let cell = incidences[start].0;
-            let mut end = start;
-            while end < incidences.len() && incidences[end].0 == cell {
-                end += 1;
+        let bias = grid.cell_of(&bb_lo);
+        let top = grid.cell_of(&bb_hi);
+        let span_x = (top[0].wrapping_sub(bias[0])) as u64;
+        let span_y = (top[1].wrapping_sub(bias[1])) as u64;
+        // Bucket disks by the cells they intersect: collect packed
+        // (cell, disk) incidences into one flat buffer and sort it
+        // CSR-style.  The id sits in the low bits of the key, so the plain
+        // integer sort keeps ascending disk id within each cell.  Three key
+        // tiers trade width for sort speed: `u64` (`dy:16 | dx:16 | id:32`)
+        // covers spans up to 2^16 cells per axis — virtually every real
+        // instance — and sorts about twice as fast as the `u128` mid tier;
+        // full-width `(cell, id)` tuples are the cold fallback.
+        if span_x < (1 << 16) && span_y < (1 << 16) {
+            inc64.clear();
+            for (i, disk) in disks.iter().enumerate() {
+                push_disk_incidences(
+                    grid,
+                    disk,
+                    i as u32,
+                    &bias,
+                    |dx, dy, id| (dy << 48) | (dx << 32) | id as u64,
+                    &mut inc64,
+                );
             }
-            stats.cells += 1;
-            let cell_box = grid.cell_aabb(&cell);
-            let corners = cell_box.corners();
-            // Lemma 4.3(1): only disks containing a corner of the cell can
-            // contain an optimum that is 0.25-near this cell.
-            surviving.clear();
-            surviving.extend(
-                incidences[start..end]
-                    .iter()
-                    .map(|&(_, i)| i)
-                    .filter(|&i| corners.iter().any(|c| disks[i as usize].contains(c))),
+            inc64.sort_unstable();
+            sweep_sorted_incidences(
+                &inc64,
+                &mut runs,
+                |a, b| (a >> 32) == (b >> 32),
+                |key| [bias[0] + ((key >> 32) & 0xffff) as i64, bias[1] + (key >> 48) as i64],
+                |key| key as u32,
+                grid,
+                disks,
+                colors,
+                &mut st,
             );
-            start = end;
-            if surviving.is_empty() {
-                continue;
+        } else if span_x < (1 << INC_AXIS_BITS) && span_y < (1 << INC_AXIS_BITS) {
+            incidences.clear();
+            for (i, disk) in disks.iter().enumerate() {
+                push_disk_incidences(grid, disk, i as u32, &bias, pack_incidence, &mut incidences);
             }
-            stats.surviving_disks += surviving.len();
-            // Prune 1: a cell's colored depth is at most its number of
-            // distinct surviving colors; if that bound cannot *strictly*
-            // beat the best depth so far, the sweep could never improve it.
-            color_generation += 1;
-            let mut distinct_bound = 0usize;
-            for &i in &surviving {
-                let c = colors[i as usize];
-                if color_stamp[c] != color_generation {
-                    color_stamp[c] = color_generation;
-                    distinct_bound += 1;
-                }
+            incidences.sort_unstable();
+            sweep_sorted_incidences(
+                &incidences,
+                &mut runs,
+                |a, b| (a >> INC_ID_BITS) == (b >> INC_ID_BITS),
+                |key| unpack_cell(key >> INC_ID_BITS, &bias),
+                |key| key as u32,
+                grid,
+                disks,
+                colors,
+                &mut st,
+            );
+        } else {
+            // Cold path for coordinate spreads past ~10^14 cells: the same
+            // bucketing with full-width `(cell, id)` tuples via the generic
+            // enumerator, sorted on the fully-specified `(row, column, id)`
+            // key.
+            let mut wide: Vec<(CellCoord<2>, u32)> = Vec::new();
+            for (i, disk) in disks.iter().enumerate() {
+                grid.for_each_cell_intersecting_ball(disk, |cell| wide.push((cell, i as u32)));
             }
-            if distinct_bound <= best_depth {
-                stats.cells_pruned += 1;
-                continue;
-            }
-            // Prune 2: the shifted family revisits the same dense
-            // neighbourhoods; an exactly-identical surviving subset (ids are
-            // sorted ascending) reproduces an earlier sweep verbatim.  The
-            // membership probe borrows the slice; only genuinely new subsets
-            // pay the boxed-copy insertion.
-            if seen_subsets.contains(surviving.as_slice()) {
-                stats.cells_deduped += 1;
-                continue;
-            }
-            seen_subsets.insert(surviving.as_slice().into());
-            sub_disks.clear();
-            sub_disks.extend(surviving.iter().map(|&i| disks[i as usize]));
-            sub_colors.clear();
-            sub_colors.extend(surviving.iter().map(|&i| colors[i as usize]));
-            let result = max_colored_depth_union_with(&sub_disks, &sub_colors, &mut scratch);
-            stats.boundary_intersections += result.boundary_intersections;
-            stats.grid_queries.merge(result.grid_stats);
-            if result.depth > best_depth {
-                best_depth = result.depth;
-                best_point = result.point;
-            }
+            wide.sort_unstable_by_key(|&(cell, id)| (cell[1], cell[0], id));
+            sweep_sorted_incidences(
+                &wide,
+                &mut runs,
+                |a, b| a.0 == b.0,
+                |key| key.0,
+                |key| key.1,
+                grid,
+                disks,
+                colors,
+                &mut st,
+            );
         }
     }
-    (best_point, best_depth, stats)
+    (st.best_point, st.best_depth, st.stats)
 }
 
 /// Exact colored disk MaxRS in the primal setting via the output-sensitive

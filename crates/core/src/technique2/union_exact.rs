@@ -63,7 +63,10 @@ pub struct UnionScratch {
     /// Exposed arcs per global disk id (outer vec pooled, inner vecs keep
     /// their capacity across calls).
     arcs_by_disk: Vec<Vec<ColoredArc>>,
-    /// Crossing events per arc of the currently swept disk.
+    /// Prefix offsets of the global arc numbering: disk `i`'s arcs occupy
+    /// `arc_starts[i]..arc_starts[i + 1]` of `events_by_arc`.
+    arc_starts: Vec<u32>,
+    /// Crossing events per *global* arc id (pooled across calls).
     events_by_arc: Vec<Vec<CrossingEvent>>,
     /// Same-color covering intervals of the currently processed disk.
     covering: Vec<AngularInterval>,
@@ -83,11 +86,12 @@ impl UnionScratch {
         let generation = self.generation;
         let stamp = &mut self.stamp;
         let mut distinct = 0;
+        // Branch-free stamp update: unconditional store, counted via the
+        // comparison bit (the hot depth queries call this per candidate).
         for_each_color(&mut |color| {
-            if stamp[color] != generation {
-                stamp[color] = generation;
-                distinct += 1;
-            }
+            let is_new = usize::from(stamp[color] != generation);
+            stamp[color] = generation;
+            distinct += is_new;
         });
         distinct
     }
@@ -202,73 +206,65 @@ pub fn max_colored_depth_union_with(
         }
     }
 
+    // Crossing events, one pass per *unordered* pair: the two intersection
+    // points of ∂D_i and ∂D_j are shared by both sweeps, so the pair's
+    // geometry (one center angle, the acos half-widths) is computed once and
+    // the four crossing angles fall out analytically — where the old
+    // per-swept-disk formulation paid `atan2 + acos` per direction plus a
+    // `sin/cos + atan2` round trip per event endpoint to recover the angle
+    // on the other circle.  Rather than classifying intersection points by a
+    // derivative sign (fragile near tangencies), the covered angular
+    // interval is used directly: ∂D_i enters disk j at the interval's start
+    // angle and leaves it at its end angle.
+    scratch.arc_starts.clear();
+    scratch.arc_starts.push(0);
+    let mut total_arcs = 0u32;
+    for arcs in scratch.arcs_by_disk.iter().take(disks.len()) {
+        total_arcs += arcs.len() as u32;
+        scratch.arc_starts.push(total_arcs);
+    }
+    for pool in scratch.events_by_arc.iter_mut().take(total_arcs as usize) {
+        pool.clear();
+    }
+    if scratch.events_by_arc.len() < total_arcs as usize {
+        scratch.events_by_arc.resize_with(total_arcs as usize, Vec::new);
+    }
+    {
+        let arcs_by_disk = &scratch.arcs_by_disk;
+        let arc_starts = &scratch.arc_starts;
+        let events_by_arc = &mut scratch.events_by_arc;
+        for i in 0..disks.len() {
+            if arcs_by_disk[i].is_empty() {
+                continue;
+            }
+            let di = &disks[i];
+            grid_stats.merge(index.for_each_within(&di.center, di.radius + max_radius, |j| {
+                // Each unordered pair once, from its lower index (any pair
+                // with overlapping boundaries is within either disk's query
+                // radius, so enumerating from the lower side misses none).
+                if j <= i || arcs_by_disk[j].is_empty() || colors[i] == colors[j] {
+                    return;
+                }
+                pair_crossing_events(disks, i, j, arcs_by_disk, arc_starts, events_by_arc);
+            }));
+        }
+    }
+
     let mut best_point = disks[0].center;
     let mut best_depth = 0usize;
     let mut boundary_intersections = 0usize;
 
-    // Sweep every disk that carries at least one exposed arc.
+    // Sweep every arc: closed depth at the arc start, then walk the sorted
+    // crossings, tracking the running depth.
     for i in 0..disks.len() {
         if scratch.arcs_by_disk[i].is_empty() {
             continue;
         }
         let di = &disks[i];
-        let arc_count = scratch.arcs_by_disk[i].len();
-        for pool in scratch.events_by_arc.iter_mut().take(arc_count) {
-            pool.clear();
-        }
-        if scratch.events_by_arc.len() < arc_count {
-            scratch.events_by_arc.resize_with(arc_count, Vec::new);
-        }
-
-        // Crossings of ∂D_i with exposed arcs of *other colors*.  Rather than
-        // classifying intersection points by a derivative sign (fragile near
-        // tangencies), use the covered angular interval directly: ∂D_i enters
-        // disk j at the interval's start angle and leaves it at its end angle.
-        let arcs_by_disk = &scratch.arcs_by_disk;
-        let events_by_arc = &mut scratch.events_by_arc;
-        grid_stats.merge(index.for_each_within(&di.center, di.radius + max_radius, |j| {
-            if j == i || arcs_by_disk[j].is_empty() || colors[i] == colors[j] {
-                return;
-            }
-            let dj = &disks[j];
-            let mut push_event = |theta_i: f64, delta: i32| {
-                // The crossing only changes membership in the other color's
-                // union if the crossing point lies on that union's boundary
-                // (i.e. on one of disk j's exposed arcs).
-                let p = di.center.polar_offset(di.radius, theta_i);
-                let theta_j = dj.center.angle_to(&p);
-                if !arcs_by_disk[j].iter().any(|a| a.contains_angle(theta_j)) {
-                    return;
-                }
-                for (arc_idx, arc) in arcs_by_disk[i].iter().enumerate() {
-                    if arc.contains_angle(theta_i) {
-                        events_by_arc[arc_idx].push(CrossingEvent { theta: theta_i, delta });
-                    }
-                }
-            };
-            let d = di.center.dist(&dj.center);
-            if (d - (di.radius + dj.radius)).abs() <= 1e-9 {
-                // External tangency: a single touch point where the depth rises
-                // by one for a moment; emit an enter/leave pair at that angle.
-                let theta = normalize_angle(di.center.angle_to(&dj.center));
-                push_event(theta, 1);
-                push_event(theta, -1);
-                return;
-            }
-            let Some(interval) = mrs_geom::arcs::boundary_covered_by(di, dj) else {
-                return;
-            };
-            if interval.width >= TAU - 1e-12 {
-                // Disk j covers all of ∂D_i: constant membership, no events.
-                return;
-            }
-            push_event(normalize_angle(interval.start), 1);
-            push_event(normalize_angle(interval.start + interval.width), -1);
-        }));
-
-        for arc_idx in 0..arc_count {
+        let first_arc = scratch.arc_starts[i] as usize;
+        for arc_idx in 0..scratch.arcs_by_disk[i].len() {
             let arc = scratch.arcs_by_disk[i][arc_idx];
-            boundary_intersections += scratch.events_by_arc[arc_idx].len();
+            boundary_intersections += scratch.events_by_arc[first_arc + arc_idx].len();
             let start_point = di.center.polar_offset(di.radius, arc.start);
             let closed_at_start =
                 depth_at(disks, colors, &index, max_radius, &start_point, scratch, &mut grid_stats);
@@ -276,7 +272,7 @@ pub fn max_colored_depth_union_with(
                 best_depth = closed_at_start;
                 best_point = start_point;
             }
-            let events = &mut scratch.events_by_arc[arc_idx];
+            let events = &mut scratch.events_by_arc[first_arc + arc_idx];
             if events.is_empty() {
                 continue;
             }
@@ -291,8 +287,9 @@ pub fn max_colored_depth_union_with(
                     e.theta = arc.end;
                 }
             }
-            events
-                .sort_by(|a, b| a.theta.partial_cmp(&b.theta).unwrap().then(b.delta.cmp(&a.delta)));
+            events.sort_unstable_by(|a, b| {
+                a.theta.partial_cmp(&b.theta).unwrap().then(b.delta.cmp(&a.delta))
+            });
             // Unions entered exactly at the start angle are already included in
             // the closed depth of the start point; discount them so applying
             // their "+1" events does not double-count.
@@ -323,6 +320,112 @@ pub fn max_colored_depth_union_with(
     }
 
     DepthResult { point: best_point, depth: best_depth, boundary_intersections, grid_stats }
+}
+
+/// The angle of the vector `-v` given `atan2(v) = theta` in `(-π, π]` — one
+/// add instead of a second `atan2`.
+#[inline]
+pub(crate) fn opposite_angle(theta: f64) -> f64 {
+    if theta > 0.0 {
+        theta - std::f64::consts::PI
+    } else {
+        theta + std::f64::consts::PI
+    }
+}
+
+/// The half-width of the angular interval of `∂(center_a, ra)` covered by
+/// the disk `(center_b, rb)` at center distance `d` (law of cosines).
+#[inline]
+fn half_cover_angle(d: f64, ra: f64, rb: f64) -> f64 {
+    let cos_half = (d * d + ra * ra - rb * rb) / (2.0 * d * ra);
+    cos_half.clamp(-1.0, 1.0).acos()
+}
+
+#[inline]
+fn contains_any(arcs: &[ColoredArc], theta: f64) -> bool {
+    arcs.iter().any(|a| a.contains_angle(theta))
+}
+
+/// Emits the crossing events of the unordered pair `(i, j)` — different
+/// colors, both with exposed arcs — to both disks' per-arc event pools.
+///
+/// The two intersection points of the boundaries are shared: the point at
+/// angle `c_i - h_i` on circle `i` is the point at `c_j + h_j` on circle `j`
+/// and vice versa (`c` the center angles, `h` the covered half-widths), so
+/// one `atan2` and the acos half-widths determine all four crossing angles.
+/// A crossing only changes membership in the other color's union if it lies
+/// on that union's *exposed* boundary, so each event is gated on the
+/// crossing angle landing on one of the other disk's arcs.
+fn pair_crossing_events(
+    disks: &[Ball<2>],
+    i: usize,
+    j: usize,
+    arcs_by_disk: &[Vec<ColoredArc>],
+    arc_starts: &[u32],
+    events_by_arc: &mut [Vec<CrossingEvent>],
+) {
+    let di = &disks[i];
+    let dj = &disks[j];
+    let d = di.center.dist(&dj.center);
+    let mut push = |s: usize, theta: f64, delta: i32| {
+        for (arc_idx, arc) in arcs_by_disk[s].iter().enumerate() {
+            if arc.contains_angle(theta) {
+                events_by_arc[arc_starts[s] as usize + arc_idx]
+                    .push(CrossingEvent { theta, delta });
+            }
+        }
+    };
+    if (d - (di.radius + dj.radius)).abs() <= 1e-9 {
+        // External tangency: a single touch point where the depth rises by
+        // one for a moment; emit an enter/leave pair at that angle on each
+        // side whose touch point lies on the other side's exposed boundary.
+        let c_i = di.center.angle_to(&dj.center);
+        let theta_i = normalize_angle(c_i);
+        let theta_j = normalize_angle(opposite_angle(c_i));
+        if contains_any(&arcs_by_disk[j], theta_j) {
+            push(i, theta_i, 1);
+            push(i, theta_i, -1);
+        }
+        if contains_any(&arcs_by_disk[i], theta_i) {
+            push(j, theta_j, 1);
+            push(j, theta_j, -1);
+        }
+        return;
+    }
+    if d >= di.radius + dj.radius || d + di.radius <= dj.radius || d + dj.radius <= di.radius {
+        // Disjoint (the query radius over-approximates) or nested: either
+        // way one boundary never properly crosses the other, no events.
+        return;
+    }
+    let c_i = di.center.angle_to(&dj.center);
+    let c_j = opposite_angle(c_i);
+    let h_i = half_cover_angle(d, di.radius, dj.radius);
+    let h_j = if di.radius == dj.radius { h_i } else { half_cover_angle(d, dj.radius, di.radius) };
+    // Entering angle and leaving angle of the covered interval on each
+    // circle; `enter` on one circle is the same point as `leave` on the
+    // other.
+    let i_enter = normalize_angle(c_i - h_i);
+    let i_leave = normalize_angle(c_i + h_i);
+    let j_enter = normalize_angle(c_j - h_j);
+    let j_leave = normalize_angle(c_j + h_j);
+    // Degenerate grazing (half ≈ 0) or full cover (half ≈ π) yields no
+    // membership change — mirrors the old per-direction interval filter.
+    if h_i > 1e-12 && 2.0 * h_i < TAU - 1e-12 {
+        if contains_any(&arcs_by_disk[j], j_leave) {
+            push(i, i_enter, 1);
+        }
+        if contains_any(&arcs_by_disk[j], j_enter) {
+            push(i, i_leave, -1);
+        }
+    }
+    if h_j > 1e-12 && 2.0 * h_j < TAU - 1e-12 {
+        if contains_any(&arcs_by_disk[i], i_leave) {
+            push(j, j_enter, 1);
+        }
+        if contains_any(&arcs_by_disk[i], i_enter) {
+            push(j, j_leave, -1);
+        }
+    }
 }
 
 /// Colored depth at an arbitrary point (full neighbourhood query through the

@@ -2,17 +2,38 @@
 //!
 //! Used by the batched 1-D solvers and by workload statistics: point-update /
 //! prefix-sum in `O(log n)` with a flat memory layout.
+//!
+//! The prefix walk is *branch-free*: instead of the data-dependent
+//! `while i > 0 { acc += tree[i]; i -= i & i.wrapping_neg() }` loop (whose
+//! trip count — and branch pattern — depends on `popcount(i)`), the walk
+//! visits a fixed `height` iterations and masks each addend.  The scalar
+//! loop visits exactly the nodes `{ i & !((1 << b) - 1) : bit b set in i }`
+//! in order of ascending `b` (each step clears the lowest set bit), and the
+//! masked walk enumerates the same nodes in the same order, adding `tree[0]`
+//! (a permanent `0.0` sentinel) for the unset bits — so the f64 accumulation
+//! sequence, and therefore the result, is bit-identical.
 
 /// Fenwick tree over `len` positions holding `f64` values.
+///
+/// `tree[0]` is a zero sentinel the branch-free walk adds for skipped
+/// levels; `add` never writes it.
 #[derive(Clone, Debug)]
 pub struct Fenwick {
     tree: Vec<f64>,
+    /// Bits needed to index the tree: `ceil(log2(len + 1))`.
+    height: u32,
+}
+
+/// Bits needed to index a tree of `len` positions (node indices go up to
+/// `len`).
+fn tree_height(len: usize) -> u32 {
+    usize::BITS - len.leading_zeros()
 }
 
 impl Fenwick {
     /// Creates a tree of `len` zeroed positions.
     pub fn new(len: usize) -> Self {
-        Self { tree: vec![0.0; len + 1] }
+        Self { tree: vec![0.0; len + 1], height: tree_height(len) }
     }
 
     /// Builds a tree from initial values in `O(n)`.
@@ -27,7 +48,7 @@ impl Fenwick {
                 tree[parent] += val;
             }
         }
-        Self { tree }
+        Self { tree, height: tree_height(values.len()) }
     }
 
     /// Number of positions.
@@ -49,8 +70,26 @@ impl Fenwick {
         }
     }
 
-    /// Sum of positions `0..=index`.
+    /// Sum of positions `0..=index`, via the branch-free masked walk: a
+    /// fixed `height` iterations, one masked load per level, no
+    /// data-dependent branch.  Bit-identical to the lsb-clearing scalar walk
+    /// (same nodes, same order; skipped levels add the `tree[0]` zero
+    /// sentinel, and the tree never stores `-0.0`, so `+ 0.0` is an exact
+    /// identity).
     pub fn prefix_sum(&self, index: usize) -> f64 {
+        let x = (index + 1).min(self.tree.len() - 1);
+        let mut acc = 0.0;
+        for b in 0..self.height {
+            let bit = (x >> b) & 1;
+            let node = x & !((1usize << b) - 1);
+            acc += self.tree[node & bit.wrapping_neg()];
+        }
+        acc
+    }
+
+    /// The lsb-clearing reference walk, kept for the equivalence tests.
+    #[doc(hidden)]
+    pub fn prefix_sum_reference(&self, index: usize) -> f64 {
         let mut i = (index + 1).min(self.tree.len() - 1);
         let mut acc = 0.0;
         while i > 0 {
@@ -140,5 +179,25 @@ mod tests {
         let f = Fenwick::new(0);
         assert!(f.is_empty());
         assert_eq!(f.total(), 0.0);
+    }
+
+    #[test]
+    fn branch_free_walk_is_bit_identical_to_the_reference() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for len in [1usize, 2, 3, 7, 8, 9, 63, 64, 65, 100, 1000] {
+            let mut f = Fenwick::new(len);
+            for _ in 0..len * 2 {
+                f.add(rng.gen_range(0..len), rng.gen_range(-1e9..1e9));
+            }
+            for i in 0..len {
+                let fast = f.prefix_sum(i);
+                let reference = f.prefix_sum_reference(i);
+                assert_eq!(
+                    fast.to_bits(),
+                    reference.to_bits(),
+                    "len {len} index {i}: {fast} vs {reference}"
+                );
+            }
+        }
     }
 }

@@ -29,6 +29,7 @@
 //! convenience wrapper over the visitor form.
 
 use crate::grid::{CellCoord, Grid};
+use crate::kernels::{self, KernelMode};
 use crate::point::Point;
 
 /// Work counters reported by the visitor queries, the observability hook the
@@ -40,6 +41,9 @@ pub struct GridQueryStats {
     pub cells: usize,
     /// Points distance-tested (candidates examined).
     pub candidates: usize,
+    /// Candidates the f32 sieve rejected before the exact f64 test — a
+    /// subset of `candidates`, zero outside [`KernelMode::SieveF32`].
+    pub sieve_rejected: usize,
 }
 
 impl GridQueryStats {
@@ -47,6 +51,7 @@ impl GridQueryStats {
     pub fn merge(&mut self, other: GridQueryStats) {
         self.cells += other.cells;
         self.candidates += other.candidates;
+        self.sieve_rejected += other.sieve_rejected;
     }
 }
 
@@ -66,7 +71,17 @@ pub struct HashGrid<const D: usize> {
     ids: Vec<u32>,
     /// SoA coordinate copy in slot order: `coords[axis * len + slot]`.
     coords: Vec<f64>,
+    /// f32 mirror of `coords` (same layout), the sieve's lane input.
+    coords32: Vec<f32>,
+    /// Largest coordinate magnitude stored, the sieve's error-bound input.
+    max_abs: f64,
 }
+
+/// Below this many stored points a ball query skips the cell walk and lane-
+/// scans every slot: two binary searches per row cost more than distance-
+/// testing a handful of extra candidates.  Slot order is row-major cell
+/// order, so the hit sequence matches the cell walk exactly.
+const SMALL_SCAN: usize = 64;
 
 /// The squared comparison radius of a closed-ball query: the boundary gets
 /// a small relative tolerance so points exactly on it are never dropped to
@@ -118,6 +133,7 @@ impl<const D: usize> HashGrid<D> {
         let mut ids: Vec<u32> = Vec::with_capacity(points.len());
         let mut coords: Vec<f64> = vec![0.0; D * points.len()];
         let n = points.len();
+        let mut max_abs = 0.0f64;
         for (slot, (cell, id)) in order.iter().enumerate() {
             if cell_keys.last() != Some(cell) {
                 cell_keys.push(*cell);
@@ -127,10 +143,12 @@ impl<const D: usize> HashGrid<D> {
             let p = &points[*id as usize];
             for axis in 0..D {
                 coords[axis * n + slot] = p[axis];
+                max_abs = max_abs.max(p[axis].abs());
             }
         }
         cell_starts.push(points.len() as u32);
-        Self { grid, cell_keys, cell_starts, ids, coords }
+        let coords32: Vec<f32> = coords.iter().map(|&c| c as f32).collect();
+        Self { grid, cell_keys, cell_starts, ids, coords, coords32, max_abs }
     }
 
     /// Number of indexed points.
@@ -153,18 +171,6 @@ impl<const D: usize> HashGrid<D> {
         self.cell_keys.len()
     }
 
-    /// Squared distance from slot `slot` to `q`, over the SoA copy.
-    #[inline]
-    fn slot_dist_sq(&self, slot: usize, q: &Point<D>) -> f64 {
-        let n = self.ids.len();
-        let mut acc = 0.0;
-        for axis in 0..D {
-            let d = self.coords[axis * n + slot] - q[axis];
-            acc += d * d;
-        }
-        acc
-    }
-
     /// Ids of every stored point within Euclidean distance `radius` of `q`
     /// (closed ball query).  Convenience wrapper over
     /// [`Self::for_each_within`]; allocates the result vector.
@@ -176,7 +182,9 @@ impl<const D: usize> HashGrid<D> {
 
     /// Calls `f` for every stored id within distance `radius` of `q`, without
     /// allocating.  Ids inside one cell are visited in input order; cells are
-    /// visited in row-major order.  Returns the work counters of the query.
+    /// visited in row-major order — the laned kernels preserve both, so the
+    /// visit sequence is bit-identical across every [`KernelMode`].  Returns
+    /// the work counters of the query.
     pub fn for_each_within<F: FnMut(usize)>(
         &self,
         q: &Point<D>,
@@ -184,6 +192,63 @@ impl<const D: usize> HashGrid<D> {
         mut f: F,
     ) -> GridQueryStats {
         let r_sq = closed_ball_r_sq(radius);
+        let n = self.ids.len();
+        let qc = q.coords();
+        // The sieve needs a meaningful error bound over every coordinate in
+        // play (stored points and the query); otherwise drop to laned f64.
+        let mut mode = kernels::kernel_mode();
+        let q_abs = qc.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+        if mode == KernelMode::SieveF32
+            && !(kernels::sieve_supported(self.max_abs.max(q_abs)) && r_sq.is_finite())
+        {
+            mode = KernelMode::LanedF64;
+        }
+        let mut q32 = [0.0f32; D];
+        let mut r32_sq = 0.0f32;
+        if mode == KernelMode::SieveF32 {
+            for axis in 0..D {
+                q32[axis] = qc[axis] as f32;
+            }
+            r32_sq = kernels::sieve_threshold::<D>(r_sq, self.max_abs.max(q_abs));
+        }
+        let mut sieve_rejected = 0usize;
+        // Small-index fast path: below [`SMALL_SCAN`] points the cell walk's
+        // binary searches cost more than lane-scanning every slot, so feed
+        // the whole slot range to the kernel directly.  Slots are stored in
+        // row-major cell order, which is exactly the order the cell walk
+        // visits, so the hit sequence is identical.
+        if n <= SMALL_SCAN {
+            if n == 0 {
+                return GridQueryStats::default();
+            }
+            match mode {
+                KernelMode::ScalarF64 => {
+                    kernels::filter_within_scalar(&self.coords, n, 0, n, &qc, r_sq, |s| {
+                        f(self.ids[s] as usize)
+                    });
+                }
+                KernelMode::LanedF64 => {
+                    kernels::filter_within_laned(&self.coords, n, 0, n, &qc, r_sq, |s| {
+                        f(self.ids[s] as usize)
+                    });
+                }
+                KernelMode::SieveF32 => {
+                    sieve_rejected = kernels::filter_within_sieve(
+                        &self.coords,
+                        &self.coords32,
+                        n,
+                        0,
+                        n,
+                        &qc,
+                        &q32,
+                        r_sq,
+                        r32_sq,
+                        |s| f(self.ids[s] as usize),
+                    );
+                }
+            }
+            return GridQueryStats { cells: self.cell_keys.len(), candidates: n, sieve_rejected };
+        }
         let reach = (radius / self.grid.side).ceil() as i64;
         let center = self.grid.cell_of(q);
         let mut lo = center;
@@ -192,11 +257,34 @@ impl<const D: usize> HashGrid<D> {
             lo[axis] -= reach;
             hi[axis] += reach;
         }
-        self.scan_cell_range(&lo, &hi, |slot| {
-            if self.slot_dist_sq(slot, q) <= r_sq {
-                f(self.ids[slot] as usize);
+        let mut stats = self.scan_rows(&lo, &hi, |slot_lo, slot_hi| match mode {
+            KernelMode::ScalarF64 => {
+                kernels::filter_within_scalar(&self.coords, n, slot_lo, slot_hi, &qc, r_sq, |s| {
+                    f(self.ids[s] as usize)
+                });
             }
-        })
+            KernelMode::LanedF64 => {
+                kernels::filter_within_laned(&self.coords, n, slot_lo, slot_hi, &qc, r_sq, |s| {
+                    f(self.ids[s] as usize)
+                });
+            }
+            KernelMode::SieveF32 => {
+                sieve_rejected += kernels::filter_within_sieve(
+                    &self.coords,
+                    &self.coords32,
+                    n,
+                    slot_lo,
+                    slot_hi,
+                    &qc,
+                    &q32,
+                    r_sq,
+                    r32_sq,
+                    |s| f(self.ids[s] as usize),
+                );
+            }
+        });
+        stats.sieve_rejected = sieve_rejected;
+        stats
     }
 
     /// Calls `f` for every id stored in a cell whose address lies in the
@@ -210,18 +298,23 @@ impl<const D: usize> HashGrid<D> {
         hi: &CellCoord<D>,
         mut f: F,
     ) -> GridQueryStats {
-        self.scan_cell_range(lo, hi, |slot| f(self.ids[slot] as usize))
+        self.scan_rows(lo, hi, |slot_lo, slot_hi| {
+            for slot in slot_lo..slot_hi {
+                f(self.ids[slot] as usize);
+            }
+        })
     }
 
-    /// Core row walk: visit every slot whose cell lies in `[lo, hi]`.
-    /// Rows (fixed axes `1..D`) are enumerated with an odometer; each row's
-    /// overlap with `[lo[0], hi[0]]` is found by binary search and scanned as
-    /// one contiguous slot range.
-    fn scan_cell_range<F: FnMut(usize)>(
+    /// Core row walk: yield every contiguous slot range whose cells lie in
+    /// `[lo, hi]`.  Rows (fixed axes `1..D`) are enumerated with an odometer;
+    /// each row's overlap with `[lo[0], hi[0]]` is found by binary search and
+    /// reported as one `[slot_lo, slot_hi)` range — the unit of work the
+    /// laned kernels consume.
+    fn scan_rows<F: FnMut(usize, usize)>(
         &self,
         lo: &CellCoord<D>,
         hi: &CellCoord<D>,
-        mut visit: F,
+        mut visit_range: F,
     ) -> GridQueryStats {
         let mut stats = GridQueryStats::default();
         if self.ids.is_empty() || (0..D).any(|axis| lo[axis] > hi[axis]) {
@@ -243,9 +336,7 @@ impl<const D: usize> HashGrid<D> {
                 let slot_lo = self.cell_starts[a] as usize;
                 let slot_hi = self.cell_starts[b] as usize;
                 stats.candidates += slot_hi - slot_lo;
-                for slot in slot_lo..slot_hi {
-                    visit(slot);
-                }
+                visit_range(slot_lo, slot_hi);
             }
             // Advance the odometer over axes 1..D.
             let mut axis = 1;
@@ -344,9 +435,10 @@ impl<'a, const D: usize> GridOverlay<'a, D> {
             }
         });
         let r_sq = closed_ball_r_sq(radius);
+        let qc = q.coords();
         for (j, p) in self.extra.iter().enumerate() {
             stats.candidates += 1;
-            if p.dist_sq(q) <= r_sq {
+            if crate::kernels::dist_sq(&p.coords(), &qc) <= r_sq {
                 f(OverlayHit::Extra(j));
             }
         }
@@ -411,7 +503,7 @@ mod tests {
 
     #[test]
     fn query_stats_count_cells_and_candidates() {
-        let points: Vec<Point2> = (0..64).map(|i| Point2::xy(i as f64 * 0.25, 0.0)).collect();
+        let points: Vec<Point2> = (0..256).map(|i| Point2::xy(i as f64 * 0.25, 0.0)).collect();
         let index = HashGrid::build(1.0, &points);
         let mut hits = 0;
         let stats = index.for_each_within(&Point2::xy(8.0, 0.0), 1.0, |_| hits += 1);
@@ -420,6 +512,12 @@ mod tests {
         // A radius far below the cell side still pays for the whole cell.
         let tiny = index.for_each_within(&Point2::xy(8.0, 0.0), 1e-6, |_| {});
         assert!(tiny.candidates >= 1);
+        // At or below SMALL_SCAN points the whole index is one lane scan;
+        // the honest work counters are every cell and every slot.
+        let small_index = HashGrid::build(1.0, &points[..SMALL_SCAN]);
+        let s = small_index.for_each_within(&Point2::xy(8.0, 0.0), 1.0, |_| {});
+        assert_eq!(s.candidates, SMALL_SCAN, "{s:?}");
+        assert_eq!(s.cells, SMALL_SCAN / 4, "{s:?}");
     }
 
     #[test]

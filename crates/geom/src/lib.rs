@@ -7,6 +7,8 @@
 //!   axis-aligned boxes and real intervals in small constant dimension;
 //! * [`grid`] — uniform grids and the shifted-grid family of Lemma 2.1;
 //! * [`hashgrid`] — a hash-grid neighbour index for unit-disk locality queries;
+//! * [`kernels`] — the multi-lane, branch-free distance/filter kernels the
+//!   CSR hot loops run on (with the exact f32 sieve-then-verify mode);
 //! * [`sphere`] — uniform sampling on sphere boundaries (Muller's method),
 //!   the primitive of the paper's first technique;
 //! * [`cap`] — hyperspherical-cap areas validating the volume argument of
@@ -29,6 +31,7 @@ pub mod fenwick;
 pub mod grid;
 pub mod hashgrid;
 pub mod interval;
+pub mod kernels;
 pub mod point;
 pub mod segtree;
 pub mod sphere;
@@ -41,6 +44,7 @@ pub use fenwick::Fenwick;
 pub use grid::{CellCoord, Grid, ShiftedGrids};
 pub use hashgrid::{GridOverlay, GridQueryStats, HashGrid, OverlayHit};
 pub use interval::Interval;
+pub use kernels::KernelMode;
 pub use point::{ColoredSite, Point, Point2, WeightedPoint};
 pub use segtree::MaxSegmentTree;
 pub use union_disks::{union_boundary_arcs, ExposedArc};

@@ -44,15 +44,11 @@ impl<const D: usize> Point<D> {
         D
     }
 
-    /// Squared Euclidean distance to `other`.
+    /// Squared Euclidean distance to `other` (delegates to the kernel
+    /// layer's single distance expression, [`crate::kernels::dist_sq`]).
     #[inline]
     pub fn dist_sq(&self, other: &Self) -> f64 {
-        let mut acc = 0.0;
-        for i in 0..D {
-            let d = self.coords[i] - other.coords[i];
-            acc += d * d;
-        }
-        acc
+        crate::kernels::dist_sq(&self.coords, &other.coords)
     }
 
     /// Euclidean distance to `other`.

@@ -442,6 +442,7 @@ impl Service {
                         "grid_cells_visited".into(),
                         Json::num(self.stats.grid_cells_visited() as f64),
                     ),
+                    ("sieve_rejected".into(), Json::num(self.stats.sieve_rejected() as f64)),
                 ]),
             ),
             ("endpoints".into(), Json::Arr(endpoints)),
@@ -573,7 +574,11 @@ impl Service {
             }
             latency = report.per_query_latency();
             let batch_stats = report.stats;
-            self.stats.record_work(batch_stats.candidates_examined, batch_stats.grid_cells_visited);
+            self.stats.record_work(
+                batch_stats.candidates_examined,
+                batch_stats.grid_cells_visited,
+                batch_stats.sieve_rejected,
+            );
             stats = Some(batch_stats);
         }
         dataset.count_requests(queries.len() as u64);

@@ -126,6 +126,7 @@ pub struct ServerStats {
     tracks: [EndpointTrack; ENDPOINTS.len()],
     candidates_examined: AtomicU64,
     grid_cells_visited: AtomicU64,
+    sieve_rejected: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -142,14 +143,22 @@ impl ServerStats {
             tracks: Default::default(),
             candidates_examined: AtomicU64::new(0),
             grid_cells_visited: AtomicU64::new(0),
+            sieve_rejected: AtomicU64::new(0),
         }
     }
 
     /// Adds one executed batch's index-work counters (see
-    /// `BatchStats::candidates_examined` / `grid_cells_visited`).
-    pub fn record_work(&self, candidates_examined: usize, grid_cells_visited: usize) {
+    /// `BatchStats::candidates_examined` / `grid_cells_visited` /
+    /// `sieve_rejected`).
+    pub fn record_work(
+        &self,
+        candidates_examined: usize,
+        grid_cells_visited: usize,
+        sieve_rejected: usize,
+    ) {
         self.candidates_examined.fetch_add(candidates_examined as u64, Ordering::Relaxed);
         self.grid_cells_visited.fetch_add(grid_cells_visited as u64, Ordering::Relaxed);
+        self.sieve_rejected.fetch_add(sieve_rejected as u64, Ordering::Relaxed);
     }
 
     /// Total candidates examined through spatial-index queries since startup.
@@ -160,6 +169,13 @@ impl ServerStats {
     /// Total spatial-index grid cells visited since startup.
     pub fn grid_cells_visited(&self) -> u64 {
         self.grid_cells_visited.load(Ordering::Relaxed)
+    }
+
+    /// Total candidates the widened f32 sieve rejected before the exact f64
+    /// verify since startup (zero when the engine runs a pure-f64 kernel
+    /// mode).
+    pub fn sieve_rejected(&self) -> u64 {
+        self.sieve_rejected.load(Ordering::Relaxed)
     }
 
     /// Time since the server started.

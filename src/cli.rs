@@ -680,8 +680,8 @@ pub fn run_batch_on_text(
     // Wall-clock-free work counters: what the shared spatial indexes could
     // not prune.  These are the numbers the perf-smoke tests bound.
     out.push_str(&format!(
-        "index work: {} candidates examined | {} grid cells visited\n",
-        stats.candidates_examined, stats.grid_cells_visited,
+        "index work: {} candidates examined | {} grid cells visited | {} sieve-rejected\n",
+        stats.candidates_examined, stats.grid_cells_visited, stats.sieve_rejected,
     ));
     // Per-query wall time — the same `LatencySummary` the server's `/stats`
     // endpoint serializes per HTTP endpoint.
@@ -1372,6 +1372,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         // batch must report nonzero candidates examined.
         assert!(out.contains("index work:"), "{out}");
         assert!(out.contains("candidates examined"), "{out}");
+        assert!(out.contains("sieve-rejected"), "{out}");
 
         assert!(run_batch_on_text(csv, "", None, 0.25).unwrap().contains("empty query file"));
         assert!(run_batch_on_text(csv, queries, None, 1.5).is_err());

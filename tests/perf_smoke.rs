@@ -118,6 +118,72 @@ fn sampler_batches_build_one_sample_set_per_radius() {
     }
 }
 
+/// The f32 sieve must keep earning its keep on the loadgen planar dataset
+/// (the clustered workload `serve_loadgen` uploads): raw grid queries under
+/// the sieve-then-verify kernel — the process default — reject at least half
+/// of all candidates the cell walk could not prune, before any f64
+/// arithmetic runs.  A regression that widens the threshold until everything
+/// survives (an `M²`-proportional error bound does exactly that at these
+/// coordinate magnitudes) fails this floor deterministically.
+#[test]
+fn sieve_rejects_at_least_half_the_candidates_on_the_loadgen_dataset() {
+    assert_eq!(
+        maxrs::geom::kernels::kernel_mode(),
+        maxrs::geom::KernelMode::SieveF32,
+        "the sieve is the process default"
+    );
+    let csv = mrs_bench::serve::planar_csv(10_000, 42);
+    let set = maxrs::core::input::parse_point_set_csv(&csv).expect("loadgen CSV parses");
+    let points: Vec<Point2> = set.points.iter().map(|p| p.point).collect();
+    for radius in [0.5, 1.0, 2.0] {
+        let index = HashGrid::build(radius, &points);
+        let mut stats = maxrs::geom::GridQueryStats::default();
+        for q in points.iter().take(2000) {
+            stats.merge(index.for_each_within(q, radius, |_| {}));
+        }
+        assert!(stats.candidates > 0);
+        assert!(
+            stats.sieve_rejected * 2 >= stats.candidates,
+            "r={radius}: sieve rejected {} of {} candidates (< 50%)",
+            stats.sieve_rejected,
+            stats.candidates
+        );
+    }
+}
+
+/// End-to-end, the batch counters must carry the sieve's work through
+/// `SolveStats → BatchStats`: a candidates-bound planar batch over the
+/// loadgen dataset reports a `sieve_rejected` share that is substantial
+/// (the union sweeps run denser neighbourhoods than raw queries, so the
+/// floor is a third rather than half) yet strictly below the candidate
+/// total.
+#[test]
+fn batch_counters_carry_the_sieve_share() {
+    let csv = mrs_bench::serve::planar_csv(10_000, 42);
+    let set = maxrs::core::input::parse_point_set_csv(&csv).expect("loadgen CSV parses");
+    let index = SharedIndex::new(set.points.into(), set.sites.into());
+    let mut request = BatchRequest::from_shared(index.shared_points(), index.shared_sites());
+    for radius in [0.5, 1.0] {
+        request.push(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(radius)));
+        request
+            .push(BatchQuery::colored("output-sensitive-colored-disk", RangeShape::ball(radius)));
+    }
+    let registry = registry();
+    let executor =
+        BatchExecutor::with_config(&registry, ExecutorConfig { threads: Some(1), certify: false });
+    let report = executor.execute_with_index(&request, &index);
+    assert!(report.all_ok());
+    let stats = &report.stats;
+    assert!(stats.candidates_examined > 0);
+    assert!(
+        stats.sieve_rejected * 3 >= stats.candidates_examined,
+        "sieve rejected {} of {} candidates (< 1/3)",
+        stats.sieve_rejected,
+        stats.candidates_examined
+    );
+    assert!(stats.sieve_rejected < stats.candidates_examined);
+}
+
 /// The output-sensitive localization must keep doing its job: on a clustered
 /// instance the behavior-identical prunes (color-bound skip + subset dedup
 /// across the 36 shifted grids) eliminate the overwhelming majority of
