@@ -284,6 +284,13 @@ pub struct BatchStats {
     /// before the exact f64 verify, summed likewise (zero when the process
     /// runs a pure-f64 kernel mode; see `mrs_geom::kernels`).
     pub sieve_rejected: usize,
+    /// Queries the `auto` meta-solver routed (answers whose stats carry
+    /// [`SolveStats::auto_choice`](super::SolveStats)).
+    pub auto_picks: usize,
+    /// Sum of the cost model's predicted work over the auto-routed answers.
+    pub auto_predicted_work: f64,
+    /// Sum of the actual work the chosen solvers did over those answers.
+    pub auto_actual_work: f64,
 }
 
 impl BatchStats {

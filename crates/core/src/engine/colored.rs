@@ -158,6 +158,7 @@ impl<const D: usize> ColoredSolver<D> for OutputSensitiveColoredDiskSolver {
                 candidates_examined: Some(stats.grid_queries.candidates),
                 grid_cells_visited: Some(stats.grid_queries.cells),
                 sieve_rejected: Some(stats.grid_queries.sieve_rejected),
+                ..SolveStats::default()
             },
         })
     }

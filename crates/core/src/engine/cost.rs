@@ -1,0 +1,312 @@
+//! The per-solver cost model behind the `auto` meta-solver.
+//!
+//! Several registered solvers answer the same `(problem, shape, dimension)`
+//! query with sharply diverging cost profiles (the hardness results of
+//! Backurs–Dikkala–Tzamos guarantee the divergence grows with density), so
+//! choosing well matters.  This module prices a query without running it:
+//!
+//! * [`InstanceProfile`] summarizes an instance in one `O(n)` pass (size,
+//!   per-axis spread, distinct colors);
+//! * [`CostFeatures`] derives the per-query feature vector from a profile
+//!   and a [`RangeShape`] — `n`, `n·log₂(n+2)`, the expected points per
+//!   range `n·fill`, the pairwise-proximity mass `n²·fill`, the
+//!   grid-resolution mass `1/fill` (cells a range-sized grid needs to tile
+//!   the spread — the dominant cost of the grid-building samplers at small
+//!   radii), and the distinct-color count;
+//! * [`predicted_work`] evaluates a per-solver linear model over those
+//!   features.  The coefficients in [`COEFFICIENTS`] are fitted by the
+//!   `cost_calibrate` bench bin (`cargo run --release -p mrs-bench --bin
+//!   cost_calibrate`) against the deterministic work measure below and
+//!   committed as a table;
+//! * [`actual_work`] is that work measure: the input size plus every
+//!   deterministic counter the solver reported ([`SolveStats::grids`],
+//!   `cells`, `samples`, `candidates`, `candidates_examined`,
+//!   `grid_cells_visited`).  `sieve_rejected` is deliberately excluded —
+//!   it depends on the process-global kernel mode, and predicted work must
+//!   not.  Solvers that track no counters cost exactly `n`, their one
+//!   guaranteed pass over the input.
+//!
+//! The model is calibrated under [`EngineConfig::practical`](super::EngineConfig::practical)
+//! (`mrs_core::engine::EngineConfig::practical(0.25)`, the capped sampling
+//! configuration serving deployments run); other sampling configurations
+//! shift the samplers' true constants — the theory-faithful default's full
+//! `(2/ε)^d` grid family in particular makes the grid-building samplers far
+//! costlier than the fitted rows at small fill — but the *ordering* the
+//! `auto` solver needs is far coarser than the fit.
+
+use mrs_geom::{ColoredSite, WeightedPoint};
+
+use super::instance::RangeShape;
+use super::report::SolveStats;
+
+/// The feature vector one query is priced over.
+///
+/// All features are deterministic functions of the instance and the query
+/// shape; `fill` is the fraction of the instance's bounding box one range
+/// covers (clamped per axis), so `n_fill` estimates the points per range and
+/// `n_sq_fill` the pairwise-proximity work of neighbour sweeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostFeatures {
+    /// Input size `n`.
+    pub n: f64,
+    /// `n · log₂(n + 2)`, the sort/sweep term.
+    pub n_log_n: f64,
+    /// `n · fill`: expected points inside one range.
+    pub n_fill: f64,
+    /// `n² · fill`: expected point pairs within range proximity.
+    pub n_sq_fill: f64,
+    /// `1 / fill` (per-axis `spread/span` clamped at ≥ 1, multiplied across
+    /// axes): how many range-sized cells tile the instance's bounding box.
+    /// Grid-building samplers pay this per maintained grid, so their cost
+    /// *grows* as ranges shrink — the one regime the `fill` terms can't
+    /// express.
+    pub inv_fill: f64,
+    /// Distinct colors in the instance (zero for weighted instances).
+    pub colors: f64,
+}
+
+impl CostFeatures {
+    /// The feature row the linear models dot against, intercept first.
+    pub fn as_array(&self) -> [f64; 7] {
+        [1.0, self.n, self.n_log_n, self.n_fill, self.n_sq_fill, self.inv_fill, self.colors]
+    }
+}
+
+/// One `O(n)` summary of an instance, from which per-shape features derive
+/// in `O(D)` — so a batch of `m` queries over one point set profiles the
+/// points once, not `m` times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstanceProfile<const D: usize> {
+    n: usize,
+    extent: [f64; D],
+    colors: usize,
+}
+
+impl<const D: usize> InstanceProfile<D> {
+    /// Profiles a weighted point set (distinct-color feature is zero).
+    pub fn of_points(points: &[WeightedPoint<D>]) -> Self {
+        Self { n: points.len(), extent: extent_of(points.iter().map(|wp| &wp.point)), colors: 0 }
+    }
+
+    /// Profiles a colored site set, counting its distinct colors.
+    pub fn of_sites(sites: &[ColoredSite<D>]) -> Self {
+        let mut colors: Vec<usize> = sites.iter().map(|s| s.color).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        Self {
+            n: sites.len(),
+            extent: extent_of(sites.iter().map(|s| &s.point)),
+            colors: colors.len(),
+        }
+    }
+
+    /// Input size `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the empty instance.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The feature vector for one query shape over this instance.
+    pub fn features(&self, shape: &RangeShape<D>) -> CostFeatures {
+        let n = self.n as f64;
+        let (fill, inv_fill) = self.fill(shape);
+        CostFeatures {
+            n,
+            n_log_n: n * (n + 2.0).log2(),
+            n_fill: n * fill,
+            n_sq_fill: n * n * fill,
+            inv_fill,
+            colors: self.colors as f64,
+        }
+    }
+
+    /// Per-axis ratio of the range's span to the points' spread, folded two
+    /// ways: clamped to `[0, 1]` and multiplied (the covered *fraction* of
+    /// the bounding box) and the reciprocal clamped to `≥ 1` and multiplied
+    /// (how many range-sized cells *tile* the bounding box).  Degenerate
+    /// axes (all points equal) and degenerate spans count as fully covered
+    /// on both measures; both products are invariant under similarities
+    /// that scale points and range together.
+    fn fill(&self, shape: &RangeShape<D>) -> (f64, f64) {
+        let mut fill = 1.0;
+        let mut inv_fill = 1.0;
+        for axis in 0..D {
+            let span = match shape.ball_radius() {
+                Some(radius) => 2.0 * radius,
+                None => shape.box_extents().expect("a range is a ball or a box")[axis],
+            };
+            let spread = self.extent[axis];
+            if spread > 0.0 && span > 0.0 {
+                fill *= (span / spread).min(1.0);
+                inv_fill *= (spread / span).max(1.0);
+            }
+        }
+        (fill, inv_fill)
+    }
+}
+
+fn extent_of<'a, const D: usize>(points: impl Iterator<Item = &'a mrs_geom::Point<D>>) -> [f64; D] {
+    let mut lo = [f64::INFINITY; D];
+    let mut hi = [f64::NEG_INFINITY; D];
+    let mut any = false;
+    for p in points {
+        any = true;
+        for axis in 0..D {
+            lo[axis] = lo[axis].min(p[axis]);
+            hi[axis] = hi[axis].max(p[axis]);
+        }
+    }
+    let mut extent = [0.0; D];
+    if any {
+        for axis in 0..D {
+            extent[axis] = hi[axis] - lo[axis];
+        }
+    }
+    extent
+}
+
+/// Per-solver linear coefficients over [`CostFeatures::as_array`], fitted by
+/// the `cost_calibrate` bench bin against [`actual_work`] and committed here.
+/// Regenerate with `cargo run --release -p mrs-bench --bin cost_calibrate`.
+///
+/// Solvers that track no work counters cost exactly `n` under the measure,
+/// so their row is the exact `[0, 1, 0, 0, 0, 0, 0]` — no fit needed.  The
+/// fitted rows are nonnegative by construction (the calibration bin solves a
+/// sign-constrained least-squares problem), so every prediction is
+/// nonnegative and monotone in every feature.
+pub const COEFFICIENTS: &[(&str, [f64; 7])] = &[
+    // intercept      n      n·log2n   n·fill   n²·fill   1/fill   colors
+    ("exact-interval-1d", [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+    ("exact-rect-2d", [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+    ("exact-disk-2d", [0.0, 0.0, 1.166979, 0.0, 6.448543, 0.0, 0.0]),
+    ("approx-static-ball", [145327.038173, 24.330941, 0.0, 0.0, 0.0, 2127.354261, 0.0]),
+    ("dynamic-ball", [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+    ("exact-colored-disk-enum", [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+    ("exact-colored-disk-union", [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+    (
+        "output-sensitive-colored-disk",
+        [0.0, 0.0, 2.106741, 621.439820, 1.146182, 13.869317, 908.111187],
+    ),
+    ("approx-colored-ball", [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+    ("approx-colored-disk-sampling", [0.0, 1.003066, 0.0, 2.675812, 0.0, 0.0, 0.284129]),
+    ("exact-colored-rect-2d", [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+];
+
+/// Predicted work for `solver` on a query with features `features`, in
+/// [`actual_work`] units.  Unknown solvers price at `+∞`, so they are only
+/// chosen when nothing else is capable.
+pub fn predicted_work(solver: &str, features: &CostFeatures) -> f64 {
+    let Some((_, coeff)) = COEFFICIENTS.iter().find(|(name, _)| *name == solver) else {
+        return f64::INFINITY;
+    };
+    let row = features.as_array();
+    let mut acc = 0.0;
+    for (c, x) in coeff.iter().zip(row) {
+        acc += c * x;
+    }
+    acc.max(1.0)
+}
+
+/// The deterministic work a finished solve actually did: input size plus
+/// every reported counter (grids, cells, samples, candidates, candidates
+/// examined, grid cells visited).  `sieve_rejected` is excluded — it varies
+/// with the process-global kernel mode, and the measure must not.
+pub fn actual_work(stats: &SolveStats, n: usize) -> f64 {
+    let counters: usize = [
+        stats.grids,
+        stats.cells,
+        stats.samples,
+        stats.candidates,
+        stats.candidates_examined,
+        stats.grid_cells_visited,
+    ]
+    .iter()
+    .map(|c| c.unwrap_or(0))
+    .sum();
+    (n + counters) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrs_geom::{Point2, WeightedPoint};
+
+    fn spread_points() -> Vec<WeightedPoint<2>> {
+        (0..10).map(|i| WeightedPoint::unit(Point2::xy(f64::from(i), 0.5 * f64::from(i)))).collect()
+    }
+
+    #[test]
+    fn profile_features_scale_with_fill() {
+        let profile = InstanceProfile::of_points(&spread_points());
+        assert_eq!(profile.len(), 10);
+        let tight = profile.features(&RangeShape::ball(0.5));
+        let wide = profile.features(&RangeShape::ball(100.0));
+        assert!(tight.n_fill < wide.n_fill);
+        // A range covering the whole spread clamps at fill = 1 on both
+        // measures.
+        assert_eq!(wide.n_fill, 10.0);
+        assert_eq!(wide.n_sq_fill, 100.0);
+        assert_eq!(wide.inv_fill, 1.0);
+        // Spans of 1.0 against spreads of 9.0 × 4.5 tile 40.5 cells.
+        assert_eq!(tight.inv_fill, 9.0 * 4.5);
+        assert_eq!(tight.colors, 0.0);
+    }
+
+    #[test]
+    fn fill_is_invariant_under_exact_similarities() {
+        // The `auto` pick must be stable under the metamorphic transforms:
+        // scaling points and radius together leaves every feature unchanged.
+        let base = InstanceProfile::of_points(&spread_points());
+        let scaled: Vec<WeightedPoint<2>> = spread_points()
+            .into_iter()
+            .map(|wp| WeightedPoint::new(wp.point.scale(4.0), wp.weight))
+            .collect();
+        let mapped = InstanceProfile::of_points(&scaled);
+        assert_eq!(base.features(&RangeShape::ball(1.25)), mapped.features(&RangeShape::ball(5.0)));
+    }
+
+    #[test]
+    fn degenerate_instances_profile_cleanly() {
+        let empty = InstanceProfile::<2>::of_points(&[]);
+        assert!(empty.is_empty());
+        let f = empty.features(&RangeShape::ball(1.0));
+        assert_eq!(f.n, 0.0);
+        assert_eq!(f.n_fill, 0.0);
+        // All-coincident points: every axis is degenerate, fill clamps to 1.
+        let stacked = vec![
+            WeightedPoint::unit(Point2::xy(3.0, 3.0)),
+            WeightedPoint::unit(Point2::xy(3.0, 3.0)),
+        ];
+        let p = InstanceProfile::of_points(&stacked);
+        let f = p.features(&RangeShape::ball(0.001));
+        assert_eq!(f.n_fill, 2.0);
+        assert_eq!(f.inv_fill, 1.0);
+    }
+
+    #[test]
+    fn counterless_solvers_price_at_n() {
+        let profile = InstanceProfile::of_points(&spread_points());
+        let f = profile.features(&RangeShape::ball(1.0));
+        assert_eq!(predicted_work("exact-interval-1d", &f), 10.0);
+        assert_eq!(predicted_work("dynamic-ball", &f), 10.0);
+        assert!(predicted_work("exact-disk-2d", &f) > 10.0);
+        assert_eq!(predicted_work("no-such-solver", &f), f64::INFINITY);
+    }
+
+    #[test]
+    fn actual_work_sums_counters_and_floors_at_n() {
+        let bare = SolveStats::default();
+        assert_eq!(actual_work(&bare, 7), 7.0);
+        let counted = SolveStats {
+            candidates_examined: Some(40),
+            grid_cells_visited: Some(9),
+            sieve_rejected: Some(1000), // mode-dependent: must not count
+            ..SolveStats::default()
+        };
+        assert_eq!(actual_work(&counted, 7), 56.0);
+    }
+}

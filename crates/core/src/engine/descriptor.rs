@@ -19,6 +19,9 @@ pub enum ShapeClass {
     Ball,
     /// An axis-aligned box of fixed extents (a rectangle in 2-D).
     AxisBox,
+    /// Any shape class: the solver delegates per query (the `auto`
+    /// meta-solver, which routes each shape to a capable concrete solver).
+    Any,
 }
 
 impl std::fmt::Display for ShapeClass {
@@ -26,6 +29,7 @@ impl std::fmt::Display for ShapeClass {
         match self {
             ShapeClass::Ball => write!(f, "ball"),
             ShapeClass::AxisBox => write!(f, "box"),
+            ShapeClass::Any => write!(f, "any"),
         }
     }
 }
@@ -126,9 +130,12 @@ pub struct SolverDescriptor {
 
 impl SolverDescriptor {
     /// Does this solver apply to problem `problem`, shape `shape`, and
-    /// dimension `d`?
+    /// dimension `d`?  A solver declaring [`ShapeClass::Any`] accepts every
+    /// shape class.
     pub fn supports(&self, problem: ProblemKind, shape: ShapeClass, d: usize) -> bool {
-        self.problem == problem && self.shape == shape && self.dims.supports(d)
+        self.problem == problem
+            && (self.shape == shape || matches!(self.shape, ShapeClass::Any))
+            && self.dims.supports(d)
     }
 }
 

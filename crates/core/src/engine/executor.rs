@@ -259,6 +259,21 @@ impl<'r> BatchExecutor<'r> {
                 .filter_map(BatchAnswer::solve_stats)
                 .filter_map(|s| s.sieve_rejected)
                 .sum(),
+            auto_picks: answers
+                .iter()
+                .filter_map(BatchAnswer::solve_stats)
+                .filter(|s| s.auto_choice.is_some())
+                .count(),
+            auto_predicted_work: answers
+                .iter()
+                .filter_map(BatchAnswer::solve_stats)
+                .filter_map(|s| s.auto_predicted_work)
+                .sum(),
+            auto_actual_work: answers
+                .iter()
+                .filter_map(BatchAnswer::solve_stats)
+                .filter_map(|s| s.auto_actual_work)
+                .sum(),
             ..BatchStats::default()
         };
         if self.config.certify {
@@ -542,6 +557,9 @@ fn merge_stats(total: &mut BatchStats, segment: &BatchStats) {
     total.candidates_examined += segment.candidates_examined;
     total.grid_cells_visited += segment.grid_cells_visited;
     total.sieve_rejected += segment.sieve_rejected;
+    total.auto_picks += segment.auto_picks;
+    total.auto_predicted_work += segment.auto_predicted_work;
+    total.auto_actual_work += segment.auto_actual_work;
 }
 
 /// Re-evaluates one answer against an index: `Some(true)` when the

@@ -1,0 +1,538 @@
+//! Metamorphic equivalence harness for the solver family.
+//!
+//! Nothing tests the registry as a *whole* unless something drives every
+//! solver through identity-preserving transforms and checks that the
+//! answers transform accordingly.  This module provides the three pieces
+//! the `metamorphic_equivalence` integration test composes:
+//!
+//! 1. **Generators** — [`dyadic_points`] / [`dyadic_sites`] produce
+//!    instances on a dyadic lattice (coordinates are multiples of `1/8`,
+//!    weights small positive integers).  On this family every transform
+//!    below is *exact* in f64 arithmetic and every optimal score is an
+//!    integer-valued sum, so equivalence is assertable with `==`, not with
+//!    tolerances that could mask real bugs.
+//! 2. **Transforms** — [`weighted_variants`] / [`colored_variants`] derive
+//!    one instance per transform class: `translate`, `scale` (powers of
+//!    two), `reflect` (all via [`SimilarityMap`], see
+//!    `mrs_geom::transform`), `permute` (input order), `dup-zero-weight`
+//!    (weighted) / `color-remap` (colored).  The sixth class,
+//!    *split-into-script* (replaying the instance as insert mutations
+//!    through [`VersionedDataset`](super::VersionedDataset)), lives in the
+//!    integration test because it exercises the executor layer.
+//! 3. **Verifiers** — [`verify_weighted`] / [`verify_colored`] compare a
+//!    solver's report on the base instance against its report on a
+//!    variant: both answers must be *certified* (re-evaluating the
+//!    reported center reproduces the reported score), the variant's
+//!    placement pulled back through the inverse map must cover the same
+//!    score on the base instance, exact solvers must report identical
+//!    scores across frames, and — when an exact reference optimum is
+//!    supplied — every report must respect its declared guarantee ratio.
+//!
+//! The vendored `proptest` subset drives case generation with fixed seeds
+//! but performs no shrinking; the harness compensates by generating sizes
+//! smallest-first, so the first reported violation is already near-minimal.
+
+use mrs_geom::{ColoredSite, Point, SimilarityMap, WeightedPoint};
+
+use super::instance::{ColoredInstance, RangeShape, WeightedInstance};
+use super::report::SolverReport;
+use crate::input::{ColoredPlacement, Placement};
+
+/// One transformed instance plus the exact map that produced it (identity
+/// for the order/attribute transforms), so answers can be pulled back.
+#[derive(Clone, Debug)]
+pub struct Variant<I, const D: usize> {
+    /// Transform-class label (`"translate"`, `"permute"`, …) for messages.
+    pub label: &'static str,
+    /// The transformed instance.
+    pub instance: I,
+    /// The similarity that maps base-frame geometry into this variant's
+    /// frame ([`SimilarityMap::identity`] for non-geometric transforms).
+    pub map: SimilarityMap<D>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn dyadic_coord(rng: &mut u64) -> f64 {
+    // Multiples of 1/8 in [-8, 8]: exactly representable, and exact under
+    // every map the harness applies.
+    (splitmix(rng) % 129) as f64 * 0.125 - 8.0
+}
+
+/// `n` weighted points on the dyadic lattice with integer weights in
+/// `1..=8`, deterministically derived from `seed`.
+pub fn dyadic_points<const D: usize>(seed: u64, n: usize) -> Vec<WeightedPoint<D>> {
+    let mut rng = seed ^ 0xD1B5_4A32_D192_ED03;
+    (0..n)
+        .map(|_| {
+            let mut coords = [0.0; D];
+            for c in &mut coords {
+                *c = dyadic_coord(&mut rng);
+            }
+            WeightedPoint::new(Point::new(coords), (splitmix(&mut rng) % 8 + 1) as f64)
+        })
+        .collect()
+}
+
+/// `n` colored sites on the dyadic lattice with colors in `0..palette`,
+/// deterministically derived from `seed`.
+pub fn dyadic_sites<const D: usize>(seed: u64, n: usize, palette: usize) -> Vec<ColoredSite<D>> {
+    let mut rng = seed ^ 0xA076_1D64_78BD_642F;
+    let palette = palette.max(1);
+    (0..n)
+        .map(|_| {
+            let mut coords = [0.0; D];
+            for c in &mut coords {
+                *c = dyadic_coord(&mut rng);
+            }
+            ColoredSite::new(Point::new(coords), (splitmix(&mut rng) as usize) % palette)
+        })
+        .collect()
+}
+
+/// Applies an exact similarity to a range shape: radii and box extents pick
+/// up the scale; axis-aligned flips and translations leave them unchanged.
+pub fn map_shape<const D: usize>(shape: &RangeShape<D>, map: &SimilarityMap<D>) -> RangeShape<D> {
+    match shape.ball_radius() {
+        Some(radius) => RangeShape::ball(map.apply_length(radius)),
+        None => {
+            let extents = shape.box_extents().expect("a range is a ball or a box");
+            let mut mapped = [0.0; D];
+            for axis in 0..D {
+                mapped[axis] = map.apply_length(extents[axis]);
+            }
+            RangeShape::axis_box(mapped)
+        }
+    }
+}
+
+/// Applies an exact similarity to a weighted instance (weights unchanged).
+pub fn map_weighted<const D: usize>(
+    instance: &WeightedInstance<D>,
+    map: &SimilarityMap<D>,
+) -> WeightedInstance<D> {
+    let points = instance
+        .points()
+        .iter()
+        .map(|wp| WeightedPoint::new(map.apply(&wp.point), wp.weight))
+        .collect();
+    WeightedInstance::new(points, map_shape(instance.shape(), map))
+}
+
+/// Applies an exact similarity to a colored instance (colors unchanged).
+pub fn map_colored<const D: usize>(
+    instance: &ColoredInstance<D>,
+    map: &SimilarityMap<D>,
+) -> ColoredInstance<D> {
+    let sites =
+        instance.sites().iter().map(|s| ColoredSite::new(map.apply(&s.point), s.color)).collect();
+    ColoredInstance::new(sites, map_shape(instance.shape(), map))
+}
+
+fn similarity_maps<const D: usize>(seed: u64) -> [(&'static str, SimilarityMap<D>); 3] {
+    let mut rng = seed ^ 0x2545_F491_4F6C_DD1D;
+    let mut shift = [0.0; D];
+    for s in &mut shift {
+        // Multiples of 1/4 in [-16, 16]: dyadic, bounded, exact.
+        *s = (splitmix(&mut rng) % 129) as f64 * 0.25 - 16.0;
+    }
+    let scale = [0.25, 0.5, 2.0, 4.0][(splitmix(&mut rng) % 4) as usize];
+    let mut flip = [false; D];
+    for f in &mut flip {
+        *f = splitmix(&mut rng) % 2 == 1;
+    }
+    if flip.iter().all(|f| !f) {
+        flip[0] = true;
+    }
+    [
+        ("translate", SimilarityMap::translation(shift)),
+        ("scale", SimilarityMap::scaling(scale)),
+        ("reflect", SimilarityMap::reflection(flip)),
+    ]
+}
+
+fn permutation(seed: u64, n: usize) -> Vec<usize> {
+    let mut rng = seed ^ 0x9FB2_1C65_1E98_DF25;
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, (splitmix(&mut rng) as usize) % (i + 1));
+    }
+    order
+}
+
+/// The weighted transform catalog: `translate`, `scale`, `reflect`,
+/// `permute`, `dup-zero-weight`.  Every variant preserves the optimum
+/// score; geometric variants carry the map that relocates it.
+pub fn weighted_variants<const D: usize>(
+    base: &WeightedInstance<D>,
+    seed: u64,
+) -> Vec<Variant<WeightedInstance<D>, D>> {
+    let mut out: Vec<Variant<WeightedInstance<D>, D>> = similarity_maps::<D>(seed)
+        .into_iter()
+        .map(|(label, map)| Variant { label, instance: map_weighted(base, &map), map })
+        .collect();
+
+    let order = permutation(seed, base.len());
+    let permuted: Vec<WeightedPoint<D>> = order.iter().map(|&i| base.points()[i]).collect();
+    out.push(Variant {
+        label: "permute",
+        instance: WeightedInstance::new(permuted, *base.shape()),
+        map: SimilarityMap::identity(),
+    });
+
+    if !base.is_empty() {
+        let mut dup = base.points().to_vec();
+        let pick = dup[(seed as usize) % dup.len()].point;
+        dup.push(WeightedPoint::new(pick, 0.0));
+        out.push(Variant {
+            label: "dup-zero-weight",
+            instance: WeightedInstance::new(dup, *base.shape()),
+            map: SimilarityMap::identity(),
+        });
+    }
+    out
+}
+
+/// The colored transform catalog: `translate`, `scale`, `reflect`,
+/// `permute`, `color-remap` (a bijective rotation of the palette).
+pub fn colored_variants<const D: usize>(
+    base: &ColoredInstance<D>,
+    seed: u64,
+) -> Vec<Variant<ColoredInstance<D>, D>> {
+    let mut out: Vec<Variant<ColoredInstance<D>, D>> = similarity_maps::<D>(seed)
+        .into_iter()
+        .map(|(label, map)| Variant { label, instance: map_colored(base, &map), map })
+        .collect();
+
+    let order = permutation(seed, base.len());
+    let permuted: Vec<ColoredSite<D>> = order.iter().map(|&i| base.sites()[i]).collect();
+    out.push(Variant {
+        label: "permute",
+        instance: ColoredInstance::new(permuted, *base.shape()),
+        map: SimilarityMap::identity(),
+    });
+
+    let mut palette: Vec<usize> = base.sites().iter().map(|s| s.color).collect();
+    palette.sort_unstable();
+    palette.dedup();
+    if !palette.is_empty() {
+        let rot = 1 + (seed as usize) % palette.len().max(1);
+        let remap = |color: usize| {
+            let at = palette.binary_search(&color).expect("color drawn from the palette");
+            // Rotate within the palette, then lift out of it so remapped ids
+            // are disjoint from the originals — a stricter bijection test
+            // than a pure rotation.
+            palette[(at + rot) % palette.len()] + 1_000_000
+        };
+        let remapped: Vec<ColoredSite<D>> =
+            base.sites().iter().map(|s| ColoredSite::new(s.point, remap(s.color))).collect();
+        out.push(Variant {
+            label: "color-remap",
+            instance: ColoredInstance::new(remapped, *base.shape()),
+            map: SimilarityMap::identity(),
+        });
+    }
+    out
+}
+
+fn fail(
+    solver: &str,
+    label: &str,
+    what: &str,
+    detail: std::fmt::Arguments<'_>,
+) -> Result<(), String> {
+    Err(format!("[{solver} / {label}] {what}: {detail}"))
+}
+
+/// Verifies one weighted base/variant report pair.  `exact_opt` is the true
+/// optimum of the *base* instance when an exact reference solver exists for
+/// its shape and dimension (the optimum is invariant under every catalog
+/// transform); pass `None` to skip the guarantee-ratio floor.
+pub fn verify_weighted<const D: usize>(
+    base: &WeightedInstance<D>,
+    base_report: &SolverReport<Placement<D>>,
+    variant: &Variant<WeightedInstance<D>, D>,
+    variant_report: &SolverReport<Placement<D>>,
+    exact_opt: Option<f64>,
+) -> Result<(), String> {
+    let solver = base_report.solver;
+    let label = variant.label;
+
+    // 1. Both reports are certified: the reported score is the true score
+    //    of the reported center, in each frame.
+    let base_true = base.value_at(&base_report.placement.center);
+    if base_true != base_report.placement.value {
+        return fail(
+            solver,
+            label,
+            "base report is not certified",
+            format_args!("reported {}, recount {}", base_report.placement.value, base_true),
+        );
+    }
+    let variant_true = variant.instance.value_at(&variant_report.placement.center);
+    if variant_true != variant_report.placement.value {
+        return fail(
+            solver,
+            label,
+            "variant report is not certified",
+            format_args!("reported {}, recount {}", variant_report.placement.value, variant_true),
+        );
+    }
+
+    // 2. The variant's placement pulled back through the inverse map covers
+    //    the same score on the base instance.
+    let back = variant.map.inverse().apply(&variant_report.placement.center);
+    let pulled = base.value_at(&back);
+    if pulled != variant_report.placement.value {
+        return fail(
+            solver,
+            label,
+            "pulled-back placement does not reproduce the variant score",
+            format_args!("variant {}, base recount {}", variant_report.placement.value, pulled),
+        );
+    }
+
+    // 3. Exact runs must agree bit for bit across frames (integer-valued
+    //    scores on the dyadic family, so == is legitimate).
+    if base_report.guarantee.is_exact()
+        && variant_report.guarantee.is_exact()
+        && base_report.placement.value != variant_report.placement.value
+    {
+        return fail(
+            solver,
+            label,
+            "exact scores diverge across frames",
+            format_args!(
+                "base {}, variant {}",
+                base_report.placement.value, variant_report.placement.value
+            ),
+        );
+    }
+
+    // 4. Deterministic solvers must keep their guarantee across frames
+    //    (`auto` may legitimately re-route, so it is exempt).
+    if solver != "auto" && base_report.guarantee != variant_report.guarantee {
+        return fail(
+            solver,
+            label,
+            "guarantee changed across frames",
+            format_args!(
+                "base {:?}, variant {:?}",
+                base_report.guarantee, variant_report.guarantee
+            ),
+        );
+    }
+
+    // 5. Against an exact reference: every report respects its ratio.
+    if let Some(opt) = exact_opt {
+        for (frame, report) in [("base", base_report), ("variant", variant_report)] {
+            let floor = report.guarantee.ratio() * opt;
+            if report.placement.value < floor - 1e-9 {
+                return fail(
+                    solver,
+                    label,
+                    "guarantee ratio violated",
+                    format_args!(
+                        "{frame} score {} < {} (= {:.3} × opt {})",
+                        report.placement.value,
+                        floor,
+                        report.guarantee.ratio(),
+                        opt
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies one colored base/variant report pair; see [`verify_weighted`].
+pub fn verify_colored<const D: usize>(
+    base: &ColoredInstance<D>,
+    base_report: &SolverReport<ColoredPlacement<D>>,
+    variant: &Variant<ColoredInstance<D>, D>,
+    variant_report: &SolverReport<ColoredPlacement<D>>,
+    exact_opt: Option<usize>,
+) -> Result<(), String> {
+    let solver = base_report.solver;
+    let label = variant.label;
+
+    let base_true = base.distinct_at(&base_report.placement.center);
+    if base_true != base_report.placement.distinct {
+        return fail(
+            solver,
+            label,
+            "base report is not certified",
+            format_args!("reported {}, recount {}", base_report.placement.distinct, base_true),
+        );
+    }
+    let variant_true = variant.instance.distinct_at(&variant_report.placement.center);
+    if variant_true != variant_report.placement.distinct {
+        return fail(
+            solver,
+            label,
+            "variant report is not certified",
+            format_args!(
+                "reported {}, recount {}",
+                variant_report.placement.distinct, variant_true
+            ),
+        );
+    }
+
+    let back = variant.map.inverse().apply(&variant_report.placement.center);
+    let pulled = base.distinct_at(&back);
+    if pulled != variant_report.placement.distinct {
+        return fail(
+            solver,
+            label,
+            "pulled-back placement does not reproduce the variant count",
+            format_args!("variant {}, base recount {}", variant_report.placement.distinct, pulled),
+        );
+    }
+
+    if base_report.guarantee.is_exact()
+        && variant_report.guarantee.is_exact()
+        && base_report.placement.distinct != variant_report.placement.distinct
+    {
+        return fail(
+            solver,
+            label,
+            "exact counts diverge across frames",
+            format_args!(
+                "base {}, variant {}",
+                base_report.placement.distinct, variant_report.placement.distinct
+            ),
+        );
+    }
+
+    if solver != "auto" && base_report.guarantee != variant_report.guarantee {
+        return fail(
+            solver,
+            label,
+            "guarantee changed across frames",
+            format_args!(
+                "base {:?}, variant {:?}",
+                base_report.guarantee, variant_report.guarantee
+            ),
+        );
+    }
+
+    if let Some(opt) = exact_opt {
+        for (frame, report) in [("base", base_report), ("variant", variant_report)] {
+            let floor = report.guarantee.ratio() * opt as f64;
+            if (report.placement.distinct as f64) < floor - 1e-9 {
+                return fail(
+                    solver,
+                    label,
+                    "guarantee ratio violated",
+                    format_args!(
+                        "{frame} count {} < {} (= {:.3} × opt {})",
+                        report.placement.distinct,
+                        floor,
+                        report.guarantee.ratio(),
+                        opt
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The pull-back of a color remap is identity on geometry, so colored
+/// remap variants reuse [`verify_colored`] unchanged: counts are compared,
+/// never color ids.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ColoredSolver as _;
+    use crate::engine::{ExactDiskSolver, OutputSensitiveColoredDiskSolver, WeightedSolver};
+
+    #[test]
+    fn dyadic_generators_are_deterministic_and_on_lattice() {
+        let a = dyadic_points::<2>(7, 12);
+        let b = dyadic_points::<2>(7, 12);
+        assert_eq!(a, b);
+        for wp in &a {
+            for axis in 0..2 {
+                let scaled = wp.point[axis] * 8.0;
+                assert_eq!(scaled, scaled.round(), "coordinates live on the 1/8 lattice");
+            }
+            assert!(wp.weight >= 1.0 && wp.weight <= 8.0 && wp.weight.fract() == 0.0);
+        }
+        let sites = dyadic_sites::<2>(7, 12, 4);
+        assert!(sites.iter().all(|s| s.color < 4));
+    }
+
+    #[test]
+    fn weighted_catalog_has_five_instance_transforms() {
+        let base = WeightedInstance::<2>::ball(dyadic_points(3, 8), 1.25);
+        let variants = weighted_variants(&base, 3);
+        let labels: Vec<&str> = variants.iter().map(|v| v.label).collect();
+        assert_eq!(labels, vec!["translate", "scale", "reflect", "permute", "dup-zero-weight"]);
+        for v in &variants {
+            assert!(v.map.is_exact(), "{}: catalog maps must be exact", v.label);
+        }
+        assert_eq!(variants[4].instance.len(), base.len() + 1);
+        assert_eq!(variants[4].instance.total_weight(), base.total_weight());
+    }
+
+    #[test]
+    fn colored_catalog_remap_is_bijective() {
+        let base = ColoredInstance::<2>::ball(dyadic_sites(11, 10, 3), 1.25);
+        let variants = colored_variants(&base, 11);
+        let labels: Vec<&str> = variants.iter().map(|v| v.label).collect();
+        assert_eq!(labels, vec!["translate", "scale", "reflect", "permute", "color-remap"]);
+        let remapped = &variants[4].instance;
+        assert_eq!(remapped.distinct_colors(), base.distinct_colors());
+        // Remapped ids are disjoint from the original palette.
+        assert!(remapped.sites().iter().all(|s| s.color >= 1_000_000));
+    }
+
+    #[test]
+    fn exact_solver_passes_its_own_catalog() {
+        let base = WeightedInstance::<2>::ball(dyadic_points(5, 16), 1.25);
+        let base_report = ExactDiskSolver.solve(&base).unwrap();
+        for variant in weighted_variants(&base, 5) {
+            let variant_report = ExactDiskSolver.solve(&variant.instance).unwrap();
+            verify_weighted(
+                &base,
+                &base_report,
+                &variant,
+                &variant_report,
+                Some(base_report.placement.value),
+            )
+            .unwrap();
+        }
+        let herd = ColoredInstance::<2>::ball(dyadic_sites(5, 14, 4), 1.25);
+        let herd_report = OutputSensitiveColoredDiskSolver.solve(&herd).unwrap();
+        for variant in colored_variants(&herd, 5) {
+            let variant_report = OutputSensitiveColoredDiskSolver.solve(&variant.instance).unwrap();
+            verify_colored(
+                &herd,
+                &herd_report,
+                &variant,
+                &variant_report,
+                Some(herd_report.placement.distinct),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn verifier_catches_a_fabricated_violation() {
+        let base = WeightedInstance::<2>::ball(dyadic_points(9, 10), 1.25);
+        let base_report = ExactDiskSolver.solve(&base).unwrap();
+        let variant = &weighted_variants(&base, 9)[0];
+        let mut bad = ExactDiskSolver.solve(&variant.instance).unwrap();
+        bad.placement.value += 1.0; // an uncertified, inflated score
+        let err = verify_weighted(&base, &base_report, variant, &bad, None).unwrap_err();
+        assert!(err.contains("not certified"), "{err}");
+    }
+}

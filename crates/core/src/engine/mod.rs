@@ -35,18 +35,22 @@
 //! assert!(report.guarantee.is_exact());
 //! ```
 
+mod auto;
 pub mod batch;
 mod colored;
 mod convert;
+pub mod cost;
 mod descriptor;
 pub mod executor;
 pub mod index;
 mod instance;
+pub mod metamorphic;
 mod registry;
 mod report;
 pub mod versioned;
 mod weighted;
 
+pub use auto::{AutoColoredSolver, AutoWeightedSolver};
 pub use batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats, LatencySummary};
 pub use colored::{
     ColoredBallSolver, ColoredDiskSamplingSolver, ExactColoredDiskEnumSolver,

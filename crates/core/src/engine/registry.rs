@@ -12,6 +12,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
+use super::auto::{AutoColoredSolver, AutoWeightedSolver};
 use super::colored::{
     ColoredBallSolver, ColoredDiskSamplingSolver, ExactColoredDiskEnumSolver,
     ExactColoredDiskUnionSolver, ExactColoredRectSolver, OutputSensitiveColoredDiskSolver,
@@ -233,7 +234,7 @@ impl Registry {
 }
 
 /// Descriptors of the built-in solvers, in registry order.
-pub(super) const BUILTIN_DESCRIPTORS: [SolverDescriptor; 11] = [
+pub(super) const BUILTIN_DESCRIPTORS: [SolverDescriptor; 13] = [
     ExactIntervalSolver::DESCRIPTOR,
     ExactRectSolver::DESCRIPTOR,
     ExactDiskSolver::DESCRIPTOR,
@@ -245,9 +246,16 @@ pub(super) const BUILTIN_DESCRIPTORS: [SolverDescriptor; 11] = [
     ColoredBallSolver::DESCRIPTOR,
     ColoredDiskSamplingSolver::DESCRIPTOR,
     ExactColoredRectSolver::DESCRIPTOR,
+    AutoWeightedSolver::DESCRIPTOR,
+    AutoColoredSolver::DESCRIPTOR,
 ];
 
-fn builtin_weighted<const D: usize>(config: &EngineConfig) -> Vec<SharedWeightedSolver<D>> {
+/// The concrete (non-routing) built-in weighted solvers, in registry order.
+/// The `auto` router picks among exactly these, so it is excluded to keep
+/// the candidate set recursion-free.
+pub(super) fn concrete_weighted<const D: usize>(
+    config: &EngineConfig,
+) -> Vec<SharedWeightedSolver<D>> {
     vec![
         Arc::new(ExactIntervalSolver),
         Arc::new(ExactRectSolver),
@@ -257,7 +265,11 @@ fn builtin_weighted<const D: usize>(config: &EngineConfig) -> Vec<SharedWeighted
     ]
 }
 
-fn builtin_colored<const D: usize>(config: &EngineConfig) -> Vec<SharedColoredSolver<D>> {
+/// The concrete built-in colored solvers, in registry order (see
+/// [`concrete_weighted`]).
+pub(super) fn concrete_colored<const D: usize>(
+    config: &EngineConfig,
+) -> Vec<SharedColoredSolver<D>> {
     vec![
         Arc::new(ExactColoredDiskEnumSolver),
         Arc::new(ExactColoredDiskUnionSolver),
@@ -266,6 +278,18 @@ fn builtin_colored<const D: usize>(config: &EngineConfig) -> Vec<SharedColoredSo
         Arc::new(ColoredDiskSamplingSolver::new(config.color_sampling)),
         Arc::new(ExactColoredRectSolver),
     ]
+}
+
+fn builtin_weighted<const D: usize>(config: &EngineConfig) -> Vec<SharedWeightedSolver<D>> {
+    let mut solvers = concrete_weighted::<D>(config);
+    solvers.push(Arc::new(AutoWeightedSolver::new(*config)));
+    solvers
+}
+
+fn builtin_colored<const D: usize>(config: &EngineConfig) -> Vec<SharedColoredSolver<D>> {
+    let mut solvers = concrete_colored::<D>(config);
+    solvers.push(Arc::new(AutoColoredSolver::new(*config)));
+    solvers
 }
 
 #[cfg(test)]
@@ -295,9 +319,12 @@ mod tests {
             "approx-colored-ball",
             "approx-colored-disk-sampling",
             "exact-colored-rect-2d",
+            "auto",
         ] {
             assert!(names.contains(&expected), "missing solver {expected}");
         }
+        // `auto` registers once per problem kind.
+        assert_eq!(names.iter().filter(|n| **n == "auto").count(), 2);
     }
 
     #[test]
@@ -322,7 +349,7 @@ mod tests {
         assert!(planar.iter().all(|s| s.name() != "exact-interval-1d"));
         let spatial = reg.weighted_solvers::<5>();
         assert!(spatial.iter().all(|s| s.descriptor().dims.supports(5)));
-        assert_eq!(spatial.len(), 2, "only the samplers work in d = 5");
+        assert_eq!(spatial.len(), 3, "only the samplers (and their router) work in d = 5");
     }
 
     #[test]

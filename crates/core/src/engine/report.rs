@@ -83,6 +83,16 @@ pub struct SolveStats {
     /// process runs a pure-f64 kernel mode; `None` when the solver runs no
     /// index queries.
     pub sieve_rejected: Option<usize>,
+    /// Which concrete solver the `auto` meta-solver routed this query to.
+    /// `None` unless the solve went through `auto`.
+    pub auto_choice: Option<&'static str>,
+    /// The cost model's predicted index work for the chosen solver (same
+    /// unit as [`Self::auto_actual_work`]).  `None` unless `auto` solved.
+    pub auto_predicted_work: Option<f64>,
+    /// The work the chosen solver actually did (candidates examined plus
+    /// grid cells visited; falls back to `n` for solvers that run no index
+    /// queries).  `None` unless `auto` solved.
+    pub auto_actual_work: Option<f64>,
 }
 
 /// The full result of dispatching one instance to one solver.

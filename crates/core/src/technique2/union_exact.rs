@@ -295,12 +295,24 @@ pub fn max_colored_depth_union_with(
             // their "+1" events does not double-count.
             let entered_at_start =
                 events.iter().filter(|e| e.delta > 0 && e.theta <= arc.start + 1e-9).count();
+            let num_events = events.len();
             let mut running = closed_at_start as i64 - entered_at_start as i64;
-            for e in events.iter() {
+            for k in 0..num_events {
+                let e = scratch.events_by_arc[first_arc + arc_idx][k];
                 running += e.delta as i64;
                 if running > 0 && running as usize > best_depth {
-                    best_depth = running as usize;
-                    best_point = di.center.polar_offset(di.radius, e.theta);
+                    // The incremental counter can over-credit a crossing whose
+                    // floating-point position drifted off one of the counted
+                    // disks (boundary-exact inputs hit this), so a candidate
+                    // only wins with its *recounted* closed depth — the
+                    // reported point then always survives re-certification.
+                    let p = di.center.polar_offset(di.radius, e.theta);
+                    let depth =
+                        depth_at(disks, colors, &index, max_radius, &p, scratch, &mut grid_stats);
+                    if depth > best_depth {
+                        best_depth = depth;
+                        best_point = p;
+                    }
                 }
             }
         }

@@ -423,6 +423,9 @@ impl<'a, const D: usize> GridOverlay<'a, D> {
     /// with tombstones filtered, delta hits from one linear scan.  The
     /// returned counters include every delta point as a candidate — the
     /// linear part of the query is real work the compaction policy bounds.
+    /// Under [`KernelMode::SieveF32`] the delta scan runs the same widened
+    /// f32 pre-test as the CSR walk and accumulates its rejections into
+    /// `sieve_rejected`; the hit set is bit-identical across every mode.
     pub fn for_each_within<F: FnMut(OverlayHit)>(
         &self,
         q: &Point<D>,
@@ -436,10 +439,41 @@ impl<'a, const D: usize> GridOverlay<'a, D> {
         });
         let r_sq = closed_ball_r_sq(radius);
         let qc = q.coords();
-        for (j, p) in self.extra.iter().enumerate() {
-            stats.candidates += 1;
-            if crate::kernels::dist_sq(&p.coords(), &qc) <= r_sq {
-                f(OverlayHit::Extra(j));
+        let q_abs = qc.iter().fold(0.0f64, |m, c| m.max(c.abs()));
+        let extra_abs =
+            self.extra.iter().flat_map(|p| p.coords()).fold(0.0f64, |m, c| m.max(c.abs()));
+        let bound = self.base.max_abs.max(q_abs).max(extra_abs);
+        let sieve = kernels::kernel_mode() == KernelMode::SieveF32
+            && kernels::sieve_supported(bound)
+            && r_sq.is_finite();
+        if sieve {
+            let r32_sq = kernels::sieve_threshold::<D>(r_sq, bound);
+            let mut q32 = [0.0f32; D];
+            for axis in 0..D {
+                q32[axis] = qc[axis] as f32;
+            }
+            for (j, p) in self.extra.iter().enumerate() {
+                stats.candidates += 1;
+                let pc = p.coords();
+                let mut acc32 = 0.0f32;
+                for axis in 0..D {
+                    let d = pc[axis] as f32 - q32[axis];
+                    acc32 += d * d;
+                }
+                if acc32 > r32_sq {
+                    stats.sieve_rejected += 1;
+                    continue;
+                }
+                if kernels::dist_sq(&pc, &qc) <= r_sq {
+                    f(OverlayHit::Extra(j));
+                }
+            }
+        } else {
+            for (j, p) in self.extra.iter().enumerate() {
+                stats.candidates += 1;
+                if kernels::dist_sq(&p.coords(), &qc) <= r_sq {
+                    f(OverlayHit::Extra(j));
+                }
             }
         }
         stats
@@ -596,6 +630,34 @@ mod tests {
             // accounted work, not free.
             assert!(stats.candidates >= extra.len());
         }
+    }
+
+    #[test]
+    fn overlay_delta_scan_accumulates_sieve_rejections() {
+        let base = vec![Point2::xy(0.0, 0.0), Point2::xy(0.5, 0.0)];
+        let index = HashGrid::build(1.0, &base);
+        // 40 far delta points the sieve can reject cheaply + one true delta hit.
+        let mut extra: Vec<Point2> = (0..40).map(|i| Point2::xy(100.0 + i as f64, 50.0)).collect();
+        extra.push(Point2::xy(0.25, 0.0));
+        let overlay = GridOverlay::new(&index, &[], &extra);
+        let q = Point2::xy(0.0, 0.0);
+
+        let before = crate::kernels::kernel_mode();
+        crate::kernels::set_kernel_mode(KernelMode::SieveF32);
+        let mut sieve_hits = Vec::new();
+        let sieved = overlay.for_each_within(&q, 1.0, |hit| sieve_hits.push(hit));
+        crate::kernels::set_kernel_mode(KernelMode::ScalarF64);
+        let mut scalar_hits = Vec::new();
+        let scalar = overlay.for_each_within(&q, 1.0, |hit| scalar_hits.push(hit));
+        crate::kernels::set_kernel_mode(before);
+
+        // Same live hit sequence under both modes; the delta rejections are
+        // accounted in `sieve_rejected`, not silently dropped.
+        assert_eq!(sieve_hits, scalar_hits);
+        assert_eq!(sieved.candidates, scalar.candidates);
+        assert!(sieved.sieve_rejected >= 40, "delta rejections must be counted: {sieved:?}");
+        assert_eq!(scalar.sieve_rejected, 0, "{scalar:?}");
+        assert!(sieve_hits.contains(&OverlayHit::Extra(40)));
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! * [`arcs`], [`union_disks`] — angular-interval arithmetic and boundaries of
 //!   unions of disks, the substrate of the paper's second technique;
 //! * [`segtree`], [`fenwick`] — sweep-line data structures used by the exact
-//!   baselines.
+//!   baselines;
+//! * [`transform`] — exact similarity maps (reflect / power-of-two scale /
+//!   dyadic translate), the substrate of the metamorphic equivalence harness.
 //!
 //! Everything is implemented from scratch on top of `std` and `rand`.
 
@@ -35,6 +37,7 @@ pub mod kernels;
 pub mod point;
 pub mod segtree;
 pub mod sphere;
+pub mod transform;
 pub mod union_disks;
 
 pub use aabb::{bounding_box, Aabb, Rect};
@@ -47,4 +50,5 @@ pub use interval::Interval;
 pub use kernels::KernelMode;
 pub use point::{ColoredSite, Point, Point2, WeightedPoint};
 pub use segtree::MaxSegmentTree;
+pub use transform::SimilarityMap;
 pub use union_disks::{union_boundary_arcs, ExposedArc};

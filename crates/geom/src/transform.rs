@@ -1,0 +1,162 @@
+//! Exact similarity maps of `R^D`: per-axis reflection, a uniform scale and
+//! a translation, composed as `p ↦ s·σ(p) + t`.
+//!
+//! These are the identity-preserving transforms the metamorphic harness
+//! (`mrs_core::engine::metamorphic`) drives the solver family through: a
+//! MaxRS optimum is equivariant under any similarity, so a solver's answer on
+//! the mapped instance must be the mapped answer.  To make that assertable
+//! *bitwise* for the exact solvers, the maps here are designed to be exact in
+//! f64 arithmetic:
+//!
+//! * reflections only flip signs (always exact);
+//! * scales are restricted to powers of two ([`SimilarityMap::is_exact`]
+//!   checks this), so multiplication only shifts the exponent;
+//! * translations are exact whenever the inputs live on a dyadic lattice of
+//!   bounded magnitude, which the harness's generators guarantee.
+//!
+//! The inverse of an exact map is again exact, so mapped answers can be
+//! pulled back to the original frame without rounding.
+
+use crate::point::Point;
+
+/// An axis-aligned similarity of `R^D`: `p ↦ scale · σ(p) + shift`, where
+/// `σ` negates the axes flagged in `flip`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimilarityMap<const D: usize> {
+    /// Uniform scale factor, applied first; must be strictly positive.
+    pub scale: f64,
+    /// Per-axis sign flip, applied together with the scale.
+    pub flip: [bool; D],
+    /// Translation, applied last.
+    pub shift: [f64; D],
+}
+
+impl<const D: usize> SimilarityMap<D> {
+    /// The identity map.
+    pub const fn identity() -> Self {
+        Self { scale: 1.0, flip: [false; D], shift: [0.0; D] }
+    }
+
+    /// A pure translation by `shift`.
+    pub const fn translation(shift: [f64; D]) -> Self {
+        Self { scale: 1.0, flip: [false; D], shift }
+    }
+
+    /// A pure uniform scaling by `scale` (strictly positive).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not strictly positive and finite.
+    pub fn scaling(scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive and finite");
+        Self { scale, flip: [false; D], shift: [0.0; D] }
+    }
+
+    /// A pure reflection negating the axes flagged in `flip`.
+    pub const fn reflection(flip: [bool; D]) -> Self {
+        Self { scale: 1.0, flip, shift: [0.0; D] }
+    }
+
+    /// Applies the map to a point.
+    #[inline]
+    pub fn apply(&self, p: &Point<D>) -> Point<D> {
+        let mut coords = p.coords();
+        for (axis, c) in coords.iter_mut().enumerate() {
+            let sign = if self.flip[axis] { -1.0 } else { 1.0 };
+            *c = *c * self.scale * sign + self.shift[axis];
+        }
+        Point::new(coords)
+    }
+
+    /// Maps a length (radius, box extent, interval length): lengths pick up
+    /// the scale but neither the flips nor the translation.
+    #[inline]
+    pub fn apply_length(&self, len: f64) -> f64 {
+        len * self.scale
+    }
+
+    /// The inverse map: `p' ↦ σ(p')/scale − σ(shift)/scale`.
+    pub fn inverse(&self) -> Self {
+        let inv = 1.0 / self.scale;
+        let mut shift = [0.0; D];
+        for (axis, s) in shift.iter_mut().enumerate() {
+            let sign = if self.flip[axis] { -1.0 } else { 1.0 };
+            *s = -self.shift[axis] * sign * inv;
+        }
+        Self { scale: inv, flip: self.flip, shift }
+    }
+
+    /// `true` when the map is exact in f64 arithmetic for dyadic inputs: the
+    /// scale is a (positive or negative) power of two and every component is
+    /// finite.  Reflections and dyadic translations never round; a
+    /// power-of-two scale only shifts the exponent.
+    pub fn is_exact(&self) -> bool {
+        let exact_scale = self.scale.is_finite() && self.scale > 0.0 && {
+            // A finite positive f64 is a power of two iff its mantissa
+            // bits are all zero.
+            let bits = self.scale.to_bits();
+            bits & ((1u64 << 52) - 1) == 0
+        };
+        exact_scale && self.shift.iter().all(|s| s.is_finite())
+    }
+}
+
+impl<const D: usize> Default for SimilarityMap<D> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let p = Point2::xy(1.25, -3.5);
+        let m = SimilarityMap::<2>::identity();
+        assert_eq!(m.apply(&p), p);
+        assert_eq!(m.apply_length(2.5), 2.5);
+        assert!(m.is_exact());
+    }
+
+    #[test]
+    fn exact_round_trip_on_dyadic_lattice() {
+        let m = SimilarityMap::<2> { scale: 4.0, flip: [true, false], shift: [2.625, -7.125] };
+        assert!(m.is_exact());
+        let inv = m.inverse();
+        assert!(inv.is_exact());
+        for i in -20i32..20 {
+            for j in -20i32..20 {
+                let p = Point2::xy(f64::from(i) * 0.125, f64::from(j) * 0.125);
+                let back = inv.apply(&m.apply(&p));
+                assert_eq!(back, p, "round trip must be bitwise exact at {p:?}");
+            }
+        }
+        assert_eq!(inv.apply_length(m.apply_length(1.3)), 1.3);
+    }
+
+    #[test]
+    fn reflections_flip_signs() {
+        let m = SimilarityMap::<2>::reflection([true, false]);
+        assert_eq!(m.apply(&Point2::xy(2.0, 3.0)), Point2::xy(-2.0, 3.0));
+        // Distances are preserved exactly by sign flips.
+        let a = Point2::xy(0.5, 1.5);
+        let b = Point2::xy(-2.25, 4.0);
+        assert_eq!(m.apply(&a).dist_sq(&m.apply(&b)), a.dist_sq(&b));
+    }
+
+    #[test]
+    fn non_power_of_two_scales_are_flagged_inexact() {
+        assert!(SimilarityMap::<2>::scaling(0.5).is_exact());
+        assert!(SimilarityMap::<2>::scaling(8.0).is_exact());
+        assert!(!SimilarityMap::<2>::scaling(3.0).is_exact());
+        assert!(!SimilarityMap::<2>::scaling(0.1).is_exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_is_rejected() {
+        let _ = SimilarityMap::<2>::scaling(0.0);
+    }
+}

@@ -445,6 +445,14 @@ impl Service {
                     ("sieve_rejected".into(), Json::num(self.stats.sieve_rejected() as f64)),
                 ]),
             ),
+            (
+                "auto".into(),
+                Json::Obj(vec![
+                    ("picks".into(), Json::num(self.stats.auto_picks() as f64)),
+                    ("predicted_work".into(), Json::num(self.stats.auto_predicted_work() as f64)),
+                    ("actual_work".into(), Json::num(self.stats.auto_actual_work() as f64)),
+                ]),
+            ),
             ("endpoints".into(), Json::Arr(endpoints)),
             (
                 "cache".into(),
@@ -503,10 +511,32 @@ impl Service {
                 "`shape` must be {\"ball\": R}, {\"box\": [W, H]} or {\"interval\": L}".to_string()
             );
         };
+        // One name can serve both problem kinds (the `auto` router does);
+        // an explicit `"problem"` field picks the side, otherwise the first
+        // registered descriptor under that name wins.
+        let problem = match value.get("problem").and_then(Json::as_str) {
+            None => None,
+            Some("weighted") => Some(ProblemKind::Weighted),
+            Some("colored") => Some(ProblemKind::Colored),
+            Some(other) => {
+                return Err(format!(
+                    "`problem` must be \"weighted\" or \"colored\", got `{other}`"
+                ));
+            }
+        };
         let descriptor = descriptors
             .iter()
-            .find(|d| d.name == solver)
-            .ok_or_else(|| format!("no registered solver is named `{solver}`"))?;
+            .find(|d| d.name == solver && problem.is_none_or(|p| d.problem == p))
+            .ok_or_else(|| match problem {
+                None => format!("no registered solver is named `{solver}`"),
+                Some(p) => format!(
+                    "no registered {} solver is named `{solver}`",
+                    match p {
+                        ProblemKind::Weighted => "weighted",
+                        ProblemKind::Colored => "colored",
+                    }
+                ),
+            })?;
         Ok(QuerySpec { solver: solver.to_string(), problem: descriptor.problem, shape })
     }
 
@@ -578,6 +608,11 @@ impl Service {
                 batch_stats.candidates_examined,
                 batch_stats.grid_cells_visited,
                 batch_stats.sieve_rejected,
+            );
+            self.stats.record_auto(
+                batch_stats.auto_picks,
+                batch_stats.auto_predicted_work,
+                batch_stats.auto_actual_work,
             );
             stats = Some(batch_stats);
         }
@@ -736,29 +771,50 @@ fn render_answer<const D: usize>(
 ) -> String {
     let center_of =
         |center: &mrs_geom::Point<D>| Json::Arr((0..D).map(|i| Json::num(center[i])).collect());
+    // Answers routed by the `auto` meta-solver carry their routing record:
+    // the solver it picked plus the predicted and actual work.
+    let auto_of = |stats: &mrs_core::engine::SolveStats| {
+        stats.auto_choice.map(|choice| {
+            Json::Obj(vec![
+                ("choice".into(), Json::str(choice)),
+                ("predicted_work".into(), Json::num(stats.auto_predicted_work.unwrap_or(0.0))),
+                ("actual_work".into(), Json::num(stats.auto_actual_work.unwrap_or(0.0))),
+            ])
+        })
+    };
     match answer {
-        mrs_core::engine::BatchAnswer::Weighted(report) => Json::Obj(vec![
-            ("kind".into(), Json::str("weighted")),
-            ("solver".into(), Json::str(report.solver)),
-            ("center".into(), center_of(&report.placement.center)),
-            ("value".into(), Json::num(report.placement.value)),
-            ("guarantee".into(), Json::str(report.guarantee.to_string())),
-            ("certified".into(), Json::Bool(certified)),
-            ("version".into(), Json::num(version as f64)),
-            ("solve_us".into(), Json::num(report.stats.elapsed.as_micros() as f64)),
-        ])
-        .render(),
-        mrs_core::engine::BatchAnswer::Colored(report) => Json::Obj(vec![
-            ("kind".into(), Json::str("colored")),
-            ("solver".into(), Json::str(report.solver)),
-            ("center".into(), center_of(&report.placement.center)),
-            ("distinct".into(), Json::num(report.placement.distinct as f64)),
-            ("guarantee".into(), Json::str(report.guarantee.to_string())),
-            ("certified".into(), Json::Bool(certified)),
-            ("version".into(), Json::num(version as f64)),
-            ("solve_us".into(), Json::num(report.stats.elapsed.as_micros() as f64)),
-        ])
-        .render(),
+        mrs_core::engine::BatchAnswer::Weighted(report) => {
+            let mut fields = vec![
+                ("kind".into(), Json::str("weighted")),
+                ("solver".into(), Json::str(report.solver)),
+                ("center".into(), center_of(&report.placement.center)),
+                ("value".into(), Json::num(report.placement.value)),
+                ("guarantee".into(), Json::str(report.guarantee.to_string())),
+                ("certified".into(), Json::Bool(certified)),
+                ("version".into(), Json::num(version as f64)),
+                ("solve_us".into(), Json::num(report.stats.elapsed.as_micros() as f64)),
+            ];
+            if let Some(auto) = auto_of(&report.stats) {
+                fields.push(("auto".into(), auto));
+            }
+            Json::Obj(fields).render()
+        }
+        mrs_core::engine::BatchAnswer::Colored(report) => {
+            let mut fields = vec![
+                ("kind".into(), Json::str("colored")),
+                ("solver".into(), Json::str(report.solver)),
+                ("center".into(), center_of(&report.placement.center)),
+                ("distinct".into(), Json::num(report.placement.distinct as f64)),
+                ("guarantee".into(), Json::str(report.guarantee.to_string())),
+                ("certified".into(), Json::Bool(certified)),
+                ("version".into(), Json::num(version as f64)),
+                ("solve_us".into(), Json::num(report.stats.elapsed.as_micros() as f64)),
+            ];
+            if let Some(auto) = auto_of(&report.stats) {
+                fields.push(("auto".into(), auto));
+            }
+            Json::Obj(fields).render()
+        }
         mrs_core::engine::BatchAnswer::Failed(_) => {
             unreachable!("render_answer is only called on successful answers")
         }

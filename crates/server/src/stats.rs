@@ -127,6 +127,9 @@ pub struct ServerStats {
     candidates_examined: AtomicU64,
     grid_cells_visited: AtomicU64,
     sieve_rejected: AtomicU64,
+    auto_picks: AtomicU64,
+    auto_predicted_work: AtomicU64,
+    auto_actual_work: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -144,6 +147,9 @@ impl ServerStats {
             candidates_examined: AtomicU64::new(0),
             grid_cells_visited: AtomicU64::new(0),
             sieve_rejected: AtomicU64::new(0),
+            auto_picks: AtomicU64::new(0),
+            auto_predicted_work: AtomicU64::new(0),
+            auto_actual_work: AtomicU64::new(0),
         }
     }
 
@@ -176,6 +182,34 @@ impl ServerStats {
     /// mode).
     pub fn sieve_rejected(&self) -> u64 {
         self.sieve_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Adds one executed batch's `auto`-routing counters (see
+    /// `BatchStats::auto_picks` and friends).  Work sums are rounded to
+    /// whole units; the accuracy signal they carry is far coarser.
+    pub fn record_auto(&self, picks: usize, predicted_work: f64, actual_work: f64) {
+        if picks == 0 {
+            return;
+        }
+        self.auto_picks.fetch_add(picks as u64, Ordering::Relaxed);
+        self.auto_predicted_work.fetch_add(predicted_work.round() as u64, Ordering::Relaxed);
+        self.auto_actual_work.fetch_add(actual_work.round() as u64, Ordering::Relaxed);
+    }
+
+    /// Queries the `auto` meta-solver routed since startup.
+    pub fn auto_picks(&self) -> u64 {
+        self.auto_picks.load(Ordering::Relaxed)
+    }
+
+    /// Total work the `auto` cost model predicted for its picks.
+    pub fn auto_predicted_work(&self) -> u64 {
+        self.auto_predicted_work.load(Ordering::Relaxed)
+    }
+
+    /// Total work the `auto` picks actually performed (the deterministic
+    /// counter measure of `mrs_core::engine::cost::actual_work`).
+    pub fn auto_actual_work(&self) -> u64 {
+        self.auto_actual_work.load(Ordering::Relaxed)
     }
 
     /// Time since the server started.

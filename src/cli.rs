@@ -12,7 +12,7 @@ use mrs_geom::{ColoredSite, WeightedPoint};
 use crate::engine::{
     registry_with, BatchAnswer, BatchExecutor, BatchQuery, ColoredInstance, DimSupport,
     EngineConfig, EngineError, ExecutorConfig, Mutation, RangeShape, ScriptOutcome, ScriptStep,
-    VersionedDataset, WeightedInstance,
+    SolveStats, VersionedDataset, WeightedInstance,
 };
 
 /// A parsed command line.
@@ -163,10 +163,13 @@ INPUT FORMATS (one record per line, '#' starts a comment):
                       in between (the interleaved update+query setting):
                           disk,R
                           disk-approx,R
+                          disk-auto,R              (cost-model routed)
                           disk-dynamic,R           (incrementally maintained)
                           rect,W,H
+                          rect-auto,W,H            (cost-model routed)
                           colored-disk,R
                           colored-disk-approx,R
+                          colored-disk-auto,R      (cost-model routed)
                           insert,x,y[,weight[,color]]
                           delete,x,y
 ";
@@ -500,7 +503,9 @@ pub fn parse_batch_csv(
 /// comment).  Query steps use `kind,params` with the same kinds and solver
 /// mapping as the single-query subcommands (`disk,R`, `disk-approx,R`,
 /// `disk-dynamic,R`, `rect,W,H`, `colored-disk,R`,
-/// `colored-disk-approx,R`); update steps mutate the dataset between
+/// `colored-disk-approx,R`), plus the `-auto` variants (`disk-auto,R`,
+/// `rect-auto,W,H`, `colored-disk-auto,R`) that hand the query to the
+/// cost-model router; update steps mutate the dataset between
 /// queries (`insert,x,y[,weight[,color]]`, `delete,x,y`), so one file
 /// expresses the paper's interleaved update+query setting.
 pub fn parse_batch_script(text: &str) -> Result<Vec<ScriptStep<2>>, CliError> {
@@ -522,20 +527,22 @@ pub fn parse_batch_script(text: &str) -> Result<Vec<ScriptStep<2>>, CliError> {
                 "approx-static-ball",
                 RangeShape::ball(checked_radius(fields[1], lineno)?),
             )),
+            ("disk-auto", 2) => ScriptStep::Query(BatchQuery::weighted(
+                "auto",
+                RangeShape::ball(checked_radius(fields[1], lineno)?),
+            )),
             ("disk-dynamic", 2) => ScriptStep::Query(BatchQuery::weighted(
                 "dynamic-ball",
                 RangeShape::ball(checked_radius(fields[1], lineno)?),
             )),
-            ("rect", 3) => {
+            (kind @ ("rect" | "rect-auto"), 3) => {
                 let width = parse_number(fields[1], lineno)?;
                 let height = parse_number(fields[2], lineno)?;
                 if !(width.is_finite() && width > 0.0 && height.is_finite() && height > 0.0) {
                     return err(format!("line {}: rect extents must be positive", lineno + 1));
                 }
-                ScriptStep::Query(BatchQuery::weighted(
-                    "exact-rect-2d",
-                    RangeShape::rect(width, height),
-                ))
+                let solver = if kind == "rect" { "exact-rect-2d" } else { "auto" };
+                ScriptStep::Query(BatchQuery::weighted(solver, RangeShape::rect(width, height)))
             }
             ("colored-disk", 2) => ScriptStep::Query(BatchQuery::colored(
                 "output-sensitive-colored-disk",
@@ -543,6 +550,10 @@ pub fn parse_batch_script(text: &str) -> Result<Vec<ScriptStep<2>>, CliError> {
             )),
             ("colored-disk-approx", 2) => ScriptStep::Query(BatchQuery::colored(
                 "approx-colored-disk-sampling",
+                RangeShape::ball(checked_radius(fields[1], lineno)?),
+            )),
+            ("colored-disk-auto", 2) => ScriptStep::Query(BatchQuery::colored(
+                "auto",
                 RangeShape::ball(checked_radius(fields[1], lineno)?),
             )),
             // Update records delegate to the shared `mrs_core::input`
@@ -561,12 +572,18 @@ pub fn parse_batch_script(text: &str) -> Result<Vec<ScriptStep<2>>, CliError> {
                 lineno,
             )?),
             (
-                "disk" | "disk-approx" | "disk-dynamic" | "colored-disk" | "colored-disk-approx",
+                "disk"
+                | "disk-approx"
+                | "disk-auto"
+                | "disk-dynamic"
+                | "colored-disk"
+                | "colored-disk-approx"
+                | "colored-disk-auto",
                 _,
             ) => {
                 return Err(arity_error("kind,R"));
             }
-            ("rect", _) => return Err(arity_error("rect,W,H")),
+            ("rect" | "rect-auto", _) => return Err(arity_error("kind,W,H")),
             ("insert", _) => return Err(arity_error("insert,x,y[,weight[,color]]")),
             ("delete", _) => return Err(arity_error("delete,x,y")),
             (other, _) => {
@@ -632,14 +649,14 @@ pub fn run_batch_on_text(
                 r.placement.value,
                 r.placement.center.x(),
                 r.placement.center.y(),
-                r.solver
+                solver_label(r.solver, &r.stats),
             ),
             ScriptOutcome::Answer { answer: BatchAnswer::Colored(r), version, .. } => format!(
                 "distinct colors = {} at ({:.6}, {:.6})  [{} @v{version}]",
                 r.placement.distinct,
                 r.placement.center.x(),
                 r.placement.center.y(),
-                r.solver
+                solver_label(r.solver, &r.stats),
             ),
             ScriptOutcome::Answer { answer: BatchAnswer::Failed(error), .. } => {
                 format!("FAILED: {error}")
@@ -683,10 +700,28 @@ pub fn run_batch_on_text(
         "index work: {} candidates examined | {} grid cells visited | {} sieve-rejected\n",
         stats.candidates_examined, stats.grid_cells_visited, stats.sieve_rejected,
     ));
+    // Cost-model routing: how many queries the `auto` solver routed and how
+    // well its predictions tracked the work the chosen solvers then did.
+    if stats.auto_picks > 0 {
+        out.push_str(&format!(
+            "auto: routed {} | predicted work = {:.0} | actual work = {:.0}\n",
+            stats.auto_picks, stats.auto_predicted_work, stats.auto_actual_work,
+        ));
+    }
     // Per-query wall time — the same `LatencySummary` the server's `/stats`
     // endpoint serializes per HTTP endpoint.
     out.push_str(&format!("per-query: {}\n", report.per_query_latency()));
     Ok(out)
+}
+
+/// The solver tag of a per-step answer line: `auto→exact-disk-2d` when the
+/// cost-model router answered (the routed choice matters more than the
+/// literal name), the plain solver name otherwise.
+fn solver_label(solver: &str, stats: &SolveStats) -> String {
+    match stats.auto_choice {
+        Some(choice) => format!("{solver}→{choice}"),
+        None => solver.to_string(),
+    }
 }
 
 fn render_step(step: &ScriptStep<2>) -> String {
@@ -1061,6 +1096,8 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
   approx-colored-ball            colored   ball  any d   (1/2 − ε)-approx  index-shared  static      Theorem 1.5
   approx-colored-disk-sampling   colored   ball  d = 2   (1 − ε)-approx    independent   static      Theorem 1.6
   exact-colored-rect-2d          colored   box   d = 2   exact             independent   static      [ZGH+22]-style sweep
+  auto                           weighted  any   any d   (1/2 − ε)-approx  index-shared  static      cost-model router over the registered solvers
+  auto                           colored   any   any d   (1/2 − ε)-approx  index-shared  static      cost-model router over the registered solvers
 ";
         assert_eq!(run_on_text(&Command::Solvers, "").unwrap(), expected);
     }
@@ -1329,6 +1366,15 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         assert!(parse_batch_script("disk,-1\n").is_err());
         assert!(parse_batch_script("frobnicate,1\n").is_err());
 
+        // The `-auto` variants all hand their query to the cost-model router.
+        let steps =
+            parse_batch_script("disk-auto,1\nrect-auto,2,1\ncolored-disk-auto,0.5\n").unwrap();
+        assert_eq!(steps.len(), 3);
+        assert!(steps.iter().all(|s| solver_of(s) == "auto"), "{steps:?}");
+        assert!(parse_batch_script("disk-auto,0\n").is_err());
+        assert!(parse_batch_script("rect-auto,1\n").is_err());
+        assert!(parse_batch_script("colored-disk-auto\n").is_err());
+
         // Update steps: inserts with optional weight/color, deletes by
         // coordinates, dynamic-disk queries through the maintained tracker.
         let steps = parse_batch_script(
@@ -1376,5 +1422,32 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
 
         assert!(run_batch_on_text(csv, "", None, 0.25).unwrap().contains("empty query file"));
         assert!(run_batch_on_text(csv, queries, None, 1.5).is_err());
+    }
+
+    #[test]
+    fn batch_surfaces_auto_routing_choices_and_work() {
+        // Three `-auto` steps and one explicitly-solved step: the routed
+        // lines carry the `auto→<choice>` tag, the explicit one stays plain,
+        // and the aggregate line reports picks plus predicted/actual work.
+        let csv = "0,0,1,0\n0.4,0,1,1\n0,0.4,1,2\n9,9,2,0\n";
+        let queries = "disk-auto,1.0\nrect-auto,1,1\ncolored-disk-auto,1.0\ndisk,0.1\n";
+        let out = run_batch_on_text(csv, queries, None, 0.25).unwrap();
+        assert!(out.contains("[auto→"), "{out}");
+        // A weighted axis-box can only go to the exact rect solver, so this
+        // pick is deterministic; the colored-ball step must answer exactly
+        // (all three cluster colors fit in a unit disk) whichever capable
+        // solver the model scores cheapest.
+        assert!(out.contains("[auto→exact-rect-2d @v1]"), "{out}");
+        assert!(out.contains("covered weight = 3.000000"), "{out}");
+        assert!(out.contains("distinct colors = 3"), "{out}");
+        assert!(out.contains("[exact-disk-2d @v1]"), "{out}");
+        assert!(out.contains("batch: 4 queries (0 failed)"), "{out}");
+        assert!(out.contains("(0 mismatches)"), "{out}");
+        assert!(out.contains("auto: routed 3 | predicted work = "), "{out}");
+        assert!(out.contains("| actual work = "), "{out}");
+
+        // No `-auto` steps → no aggregate auto line.
+        let out = run_batch_on_text(csv, "disk,1.0\n", None, 0.25).unwrap();
+        assert!(!out.contains("auto:"), "{out}");
     }
 }

@@ -209,6 +209,8 @@ fn every_solver_rejects_the_wrong_shape_with_a_typed_error() {
                 maxrs::core::engine::ShapeClass::AxisBox => {
                     WeightedInstance::<D>::ball(vec![], 1.0)
                 }
+                // The auto router accepts every shape class: no wrong shape.
+                maxrs::core::engine::ShapeClass::Any => continue,
             };
             match solver.solve(&wrong) {
                 Err(EngineError::UnsupportedShape { solver, .. }) => {
@@ -226,6 +228,8 @@ fn every_solver_rejects_the_wrong_shape_with_a_typed_error() {
                     ColoredInstance::<D>::axis_box(vec![], [1.0; D])
                 }
                 maxrs::core::engine::ShapeClass::AxisBox => ColoredInstance::<D>::ball(vec![], 1.0),
+                // The auto router accepts every shape class: no wrong shape.
+                maxrs::core::engine::ShapeClass::Any => continue,
             };
             match solver.solve(&wrong) {
                 Err(EngineError::UnsupportedShape { solver, .. }) => {
@@ -299,7 +303,11 @@ fn negative_weights_are_accepted_or_refused_per_descriptor() {
                 WeightedPoint::new(negative, -1.0),
             ];
             let instance = match descriptor.shape {
-                maxrs::core::engine::ShapeClass::Ball => WeightedInstance::<D>::ball(points, 1.0),
+                // The auto router takes any shape; probe its negative-weight
+                // refusal with a ball.
+                maxrs::core::engine::ShapeClass::Ball | maxrs::core::engine::ShapeClass::Any => {
+                    WeightedInstance::<D>::ball(points, 1.0)
+                }
                 maxrs::core::engine::ShapeClass::AxisBox => {
                     WeightedInstance::<D>::axis_box(points, [1.0; D])
                 }

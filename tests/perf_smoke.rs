@@ -184,6 +184,127 @@ fn batch_counters_carry_the_sieve_share() {
     assert!(stats.sieve_rejected < stats.candidates_examined);
 }
 
+/// The `auto` router must keep routing well on the loadgen mix, measured in
+/// the same deterministic work units the cost model is calibrated in: for
+/// every query, the chosen solver must be *capable* (a routing bug that
+/// dispatches an incapable solver fails hard), and on at least 80% of the
+/// mix the choice's measured work must be within 10% of the cheapest
+/// capable solver's measured work.  Each run executes against a fresh
+/// index, so counters are cold and comparable across solvers.
+#[test]
+fn auto_picks_the_measured_cheapest_solver_on_the_loadgen_mix() {
+    use maxrs::core::engine::cost;
+    use maxrs::engine::{EngineConfig, ProblemKind, Registry, ShapeClass};
+
+    // The same practical caps the cost table was calibrated under (the
+    // theory-faithful default keeps the full shifted-grid family, whose
+    // build cost at loadgen extents is off the model's scale).
+    let registry = Registry::with_config(EngineConfig::practical(0.25).with_seed(42));
+    // Sizes are loadgen-shaped but trimmed for debug-mode CI: the colored
+    // slice stays small because the exact colored-disk solvers are
+    // output-sensitive and superlinear on clustered data.
+    let weighted_set =
+        maxrs::core::input::parse_point_set_csv(&mrs_bench::serve::planar_csv(1_200, 42))
+            .expect("loadgen CSV parses");
+    let colored_set =
+        maxrs::core::input::parse_point_set_csv(&mrs_bench::serve::planar_csv(160, 7))
+            .expect("loadgen CSV parses");
+    let points: std::sync::Arc<[WeightedPoint<2>]> = weighted_set.points.into();
+    let sites: std::sync::Arc<[maxrs::geom::ColoredSite<2>]> = colored_set.sites.into();
+    let no_points: std::sync::Arc<[WeightedPoint<2>]> = Vec::new().into();
+    let no_sites: std::sync::Arc<[maxrs::geom::ColoredSite<2>]> = Vec::new().into();
+
+    // The loadgen shape mix: rectangle sweeps, ball queries across the fill
+    // range, and the colored variants on the smaller colored slice.
+    let weighted_shapes = [
+        RangeShape::ball(0.4),
+        RangeShape::ball(1.0),
+        RangeShape::ball(2.5),
+        RangeShape::rect(2.0, 1.0),
+        RangeShape::rect(3.0, 2.0),
+        RangeShape::rect(1.5, 1.5),
+        RangeShape::rect(4.0, 1.0),
+    ];
+    let colored_shapes = [RangeShape::ball(0.3), RangeShape::ball(0.5), RangeShape::rect(3.0, 2.0)];
+
+    // One cold execution of one (solver, shape) query; returns the solve
+    // stats so the caller can put every candidate on the same work scale.
+    let run = |solver: &str, shape: &RangeShape<2>, colored: bool| {
+        let request = if colored {
+            BatchRequest::from_shared(no_points.clone(), sites.clone())
+                .with_query(BatchQuery::colored(solver, *shape))
+        } else {
+            BatchRequest::from_shared(points.clone(), no_sites.clone())
+                .with_query(BatchQuery::weighted(solver, *shape))
+        };
+        let executor = BatchExecutor::with_config(
+            &registry,
+            ExecutorConfig { threads: Some(1), certify: false },
+        );
+        let mut report = executor.execute(&request);
+        assert!(report.all_ok(), "{solver} failed on {shape:?}: {:?}", report.answers);
+        report.answers.remove(0)
+    };
+
+    let descriptors = registry.descriptors();
+    let mut total = 0usize;
+    let mut cheap = 0usize;
+    for (shapes, colored) in [(&weighted_shapes[..], false), (&colored_shapes[..], true)] {
+        let problem = if colored { ProblemKind::Colored } else { ProblemKind::Weighted };
+        let n = if colored { sites.len() } else { points.len() };
+        for shape in shapes {
+            let class =
+                if shape.ball_radius().is_some() { ShapeClass::Ball } else { ShapeClass::AxisBox };
+            let answer = run("auto", shape, colored);
+            let (report_stats, placement_ok) = if colored {
+                let r = answer.colored().expect("auto answers the colored query");
+                (r.stats.clone(), r.placement.distinct >= 1)
+            } else {
+                let r = answer.weighted().expect("auto answers the weighted query");
+                (r.stats.clone(), r.placement.value > 0.0)
+            };
+            assert!(placement_ok, "auto produced an empty answer for {shape:?}");
+            let choice = report_stats.auto_choice.expect("auto stamps its choice");
+            let choice_work = report_stats.auto_actual_work.expect("auto stamps actual work");
+            assert!(report_stats.auto_predicted_work.expect("predicted work stamped") >= 1.0);
+
+            // Hard invariant: the choice is a capable registered solver.
+            let descriptor = descriptors
+                .iter()
+                .find(|d| d.name == choice && d.problem == problem)
+                .unwrap_or_else(|| panic!("auto chose unregistered `{choice}`"));
+            assert!(
+                descriptor.supports(problem, class, 2),
+                "auto chose `{choice}`, incapable of {class:?} in d=2"
+            );
+
+            // Measure every capable candidate cold and find the floor.
+            let min_work = descriptors
+                .iter()
+                .filter(|d| d.name != "auto" && d.supports(problem, class, 2))
+                .map(|d| {
+                    let answer = run(d.name, shape, colored);
+                    let stats = if colored {
+                        &answer.colored().expect("candidate answers").stats
+                    } else {
+                        &answer.weighted().expect("candidate answers").stats
+                    };
+                    cost::actual_work(stats, n)
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(min_work.is_finite(), "no capable candidate for {shape:?}");
+            total += 1;
+            if choice_work <= 1.1 * min_work + 1e-6 {
+                cheap += 1;
+            }
+        }
+    }
+    assert!(
+        cheap * 5 >= total * 4,
+        "auto picked the measured-cheapest solver on only {cheap} of {total} queries (< 80%)"
+    );
+}
+
 /// The output-sensitive localization must keep doing its job: on a clustered
 /// instance the behavior-identical prunes (color-bound skip + subset dedup
 /// across the 36 shifted grids) eliminate the overwhelming majority of

@@ -65,7 +65,8 @@ fn every_dispatchable_solver_matches_direct_dispatch() {
     for descriptor in registry.descriptors() {
         // The query the descriptor admits: a unit ball or a unit box.
         let (shape_json, planar_shape) = match descriptor.shape {
-            ShapeClass::Ball => (r#"{"ball":1.0}"#, RangeShape::<2>::ball(1.0)),
+            // `Any` routes per query (the auto solver); probe it with a ball.
+            ShapeClass::Ball | ShapeClass::Any => (r#"{"ball":1.0}"#, RangeShape::<2>::ball(1.0)),
             ShapeClass::AxisBox => (r#"{"box":[1.0,1.0]}"#, RangeShape::rect(1.0, 1.0)),
         };
         let (dataset, supports) = match descriptor.dims {
@@ -77,8 +78,14 @@ fn every_dispatchable_solver_matches_direct_dispatch() {
         if !supports || (dataset == "ticks" && descriptor.shape == ShapeClass::AxisBox) {
             continue;
         }
+        // The problem field disambiguates names registered on both sides
+        // (the auto router is); harmless for the single-problem solvers.
+        let problem = match descriptor.problem {
+            ProblemKind::Weighted => "weighted",
+            ProblemKind::Colored => "colored",
+        };
         let body = format!(
-            r#"{{"dataset":"{dataset}","solver":"{}","shape":{shape_json}}}"#,
+            r#"{{"dataset":"{dataset}","solver":"{}","problem":"{problem}","shape":{shape_json}}}"#,
             descriptor.name
         );
         let (status, response) = client.post("/query", &body).expect("query I/O");

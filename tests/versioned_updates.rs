@@ -159,6 +159,77 @@ fn line_solvers_byte_identical_through_updates_and_compactions() {
     assert!(dataset.compactions() >= 1);
 }
 
+/// Pins the compaction threshold at the *exact* `α` boundary: the predicate
+/// is strictly `delta > α · live`, so a delta of exactly `α · live` must NOT
+/// compact, and the very next mutation must.  Insert-only scripts make the
+/// boundary reachable exactly: after `k` inserts on a base of `n` points the
+/// delta is `k` and the live size is `n + k`, so `n = 96`, `α = 0.25` puts
+/// equality at `k = 32` (`32 == 0.25 · 128`).  Along the way every version
+/// bumps by exactly one (compaction itself adds no bump), the delta resets
+/// to zero at the compaction, and answers computed right before, at, and
+/// after the boundary stay bit-identical to a cold rebuild — any derived
+/// structure cached for the old generation must have been invalidated.
+#[test]
+fn compaction_at_exact_alpha_boundary_is_strict() {
+    let registry = registry();
+    let mut rng = StdRng::seed_from_u64(0xA1FA);
+    let lattice = |rng: &mut StdRng| {
+        Point2::xy((rng.gen_range(0..24) as f64) * 0.5, (rng.gen_range(0..24) as f64) * 0.5)
+    };
+    let base: Vec<WeightedPoint<2>> =
+        (0..96).map(|_| WeightedPoint::new(lattice(&mut rng), rng.gen_range(0.5..2.0))).collect();
+    let dataset = VersionedDataset::new(base, Vec::new()).with_compaction_alpha(0.25);
+    assert_eq!(dataset.version(), 1);
+    let query = BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.3));
+
+    for step in 1..=33usize {
+        let steps = [
+            ScriptStep::Mutate(Mutation::Insert {
+                point: WeightedPoint::new(lattice(&mut rng), rng.gen_range(0.5..2.0)),
+                color: None,
+            }),
+            ScriptStep::Query(query.clone()),
+        ];
+        let report = executor(&registry).execute_script(&dataset, &steps);
+        assert!(report.all_ok(), "step {step}: {:?}", report.outcomes);
+        let ScriptOutcome::Mutated { version, compacted, .. } = &report.outcomes[0] else {
+            panic!("mutation steps report a mutation outcome");
+        };
+        // Versions advance one per mutation, with no extra bump from the
+        // compaction itself.
+        assert_eq!(*version, 1 + step as u64, "step {step}");
+        assert_eq!(dataset.version(), 1 + step as u64, "step {step}");
+        // delta == α · live is NOT enough (strict inequality): at step 32
+        // the delta sits exactly on the boundary and survives; step 33
+        // (33 > 0.25 · 129) compacts and resets the delta.
+        match step {
+            32 => {
+                assert!(!compacted, "step 32 sits exactly on the α boundary");
+                assert_eq!(dataset.view().delta_size(), 32);
+                assert_eq!(dataset.compactions(), 0);
+            }
+            33 => {
+                assert!(*compacted, "step 33 crosses the α boundary");
+                assert_eq!(dataset.view().delta_size(), 0, "compaction resets the delta");
+                assert_eq!(dataset.compactions(), 1);
+            }
+            _ => {
+                assert!(!compacted, "step {step} is below the α boundary");
+                assert_eq!(dataset.view().delta_size(), step);
+            }
+        }
+        // The overlay (and, at step 33, the freshly compacted generation)
+        // answers bit-identically to a cold rebuild of the live snapshot.
+        let ScriptOutcome::Answer { answer, certified, .. } = &report.outcomes[1] else {
+            panic!("query steps answer");
+        };
+        assert_eq!(*certified, Some(true), "step {step}");
+        let rebuilt = rebuild_answer(&registry, dataset.view().live_points(), &query);
+        assert_bits_equal(answer, &rebuilt, &format!("step {step}"));
+    }
+    assert_eq!(dataset.view().live_points().len(), 96 + 33);
+}
+
 proptest! {
     /// Interleaved insert/delete/query scripts pin the delta-overlay index
     /// and the dynamic sampler against a brute-force rebuild at every
