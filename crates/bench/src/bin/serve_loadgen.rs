@@ -317,6 +317,7 @@ fn main() -> ExitCode {
     let cache = stats.get("cache").expect("stats carries cache counters");
     let cache_hits = cache.get("hits").and_then(Json::as_f64).unwrap_or(0.0);
     violations.check(cache_hits > 0.0, "the Zipfian workload must produce cache hits");
+    check_metrics(&mut violations, &mut client, true);
 
     // 7. Verdicts and the baseline artifact.
     let speedup_warm = cold.as_secs_f64() / warm.p50.as_secs_f64();
@@ -520,6 +521,7 @@ fn run_update_mix(config: &Config, client: &mut Client) -> ExitCode {
         dataset_version as usize >= rounds,
         format!("every mutation must bump the version, got v{dataset_version} after {rounds}"),
     );
+    check_metrics(&mut violations, client, true);
 
     let updates = LatencySummary::from_durations(&update_samples);
     let post_update = LatencySummary::from_durations(&post_update_samples);
@@ -559,6 +561,113 @@ fn run_update_mix(config: &Config, client: &mut Client) -> ExitCode {
     } else {
         eprintln!("{} violation(s); failing", violations.0.len());
         ExitCode::FAILURE
+    }
+}
+
+/// Fetches `GET /metrics` and checks the Prometheus exposition text is
+/// well-formed: every `_bucket` series is monotone non-decreasing in `le`
+/// with its `+Inf` bucket equal to the family's `_count`, and the
+/// per-endpoint request histogram carries the complete label set (all
+/// eight routed endpoints appear even when unvisited).  After traffic has
+/// flowed, per-solver and per-dataset histogram series must exist too.
+fn check_metrics(violations: &mut Violations, client: &mut Client, traffic: bool) {
+    let (status, body) = client.get("/metrics").expect("metrics I/O");
+    violations.check(status == 200, format!("/metrics answered {status}"));
+
+    // Group bucket lines by (family, labels-without-le); collect counts.
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    for line in body.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => {
+                violations.check(false, format!("/metrics: malformed line: {line}"));
+                continue;
+            }
+        };
+        let value: f64 = match value.parse() {
+            Ok(value) => value,
+            Err(_) => {
+                violations.check(false, format!("/metrics: non-numeric sample: {line}"));
+                continue;
+            }
+        };
+        if let Some((name, labels)) = series.split_once('{') {
+            let labels = labels.trim_end_matches('}');
+            if let Some(family) = name.strip_suffix("_bucket") {
+                let mut le = f64::NAN;
+                let rest: Vec<&str> = labels
+                    .split(',')
+                    .filter(|pair| match pair.strip_prefix("le=\"") {
+                        Some(bound) => {
+                            let bound = bound.trim_end_matches('"');
+                            le = if bound == "+Inf" {
+                                f64::INFINITY
+                            } else {
+                                bound.parse().unwrap_or(f64::NAN)
+                            };
+                            false
+                        }
+                        None => true,
+                    })
+                    .collect();
+                violations.check(le.is_finite() || le == f64::INFINITY, format!("bad le: {line}"));
+                buckets
+                    .entry(format!("{family}{{{}}}", rest.join(",")))
+                    .or_default()
+                    .push((le, value));
+            } else if let Some(family) = name.strip_suffix("_count") {
+                counts.insert(format!("{family}{{{labels}}}"), value);
+            }
+        }
+    }
+
+    violations.check(!buckets.is_empty(), "/metrics must expose histogram bucket series");
+    for (series, samples) in &buckets {
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le bounds are ordered"));
+        violations.check(
+            sorted.windows(2).all(|w| w[0].1 <= w[1].1),
+            format!("/metrics: non-monotone bucket series {series}"),
+        );
+        let inf = sorted.last().expect("series has buckets");
+        violations.check(
+            inf.0 == f64::INFINITY,
+            format!("/metrics: {series} is missing its +Inf bucket"),
+        );
+        match counts.get(series) {
+            None => violations.check(false, format!("/metrics: {series} has no _count")),
+            Some(count) => violations.check(
+                inf.1 == *count,
+                format!("/metrics: {series}: +Inf bucket {} != count {count}", inf.1),
+            ),
+        }
+    }
+
+    // Label-set completeness: the per-endpoint family always renders all
+    // eight endpoints, visited or not.
+    for endpoint in ["healthz", "solvers", "datasets", "mutate", "query", "batch", "stats", "other"]
+    {
+        violations.check(
+            buckets.contains_key(&format!(
+                "maxrs_request_duration_seconds{{endpoint=\"{endpoint}\"}}"
+            )),
+            format!("/metrics: endpoint label set incomplete: missing {endpoint}"),
+        );
+    }
+    if traffic {
+        violations.check(
+            buckets.keys().any(|k| k.starts_with("maxrs_solver_duration_seconds{")),
+            "/metrics: no per-solver histogram after traffic",
+        );
+        violations.check(
+            buckets.keys().any(|k| k.starts_with("maxrs_dataset_query_duration_seconds{")),
+            "/metrics: no per-dataset histogram after traffic",
+        );
     }
 }
 

@@ -316,7 +316,8 @@ impl BatchStats {
     }
 }
 
-/// A five-number latency summary over a set of duration samples.
+/// A latency summary (min/mean/p50/p95/p99/max) over a set of duration
+/// samples.
 ///
 /// One struct serves every consumer that reports per-query wall time: the
 /// `maxrs batch` CLI summary line, the `mrs_server` `/stats` endpoint (which
@@ -334,6 +335,8 @@ pub struct LatencySummary {
     pub p50: Duration,
     /// 95th percentile.
     pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
     /// Slowest sample.
     pub max: Duration,
 }
@@ -360,6 +363,7 @@ impl LatencySummary {
             mean: total / sorted.len() as u32,
             p50: rank(0.50),
             p95: rank(0.95),
+            p99: rank(0.99),
             max: *sorted.last().expect("non-empty"),
         }
     }
@@ -370,10 +374,11 @@ impl std::fmt::Display for LatencySummary {
         let us = |d: Duration| d.as_secs_f64() * 1e6;
         write!(
             f,
-            "min {:.1} µs | p50 {:.1} µs | p95 {:.1} µs | max {:.1} µs | mean {:.1} µs",
+            "min {:.1} µs | p50 {:.1} µs | p95 {:.1} µs | p99 {:.1} µs | max {:.1} µs | mean {:.1} µs",
             us(self.min),
             us(self.p50),
             us(self.p95),
+            us(self.p99),
             us(self.max),
             us(self.mean),
         )
@@ -453,6 +458,7 @@ mod tests {
         assert_eq!(s.max, ms(20));
         assert_eq!(s.p50, ms(10));
         assert_eq!(s.p95, ms(19));
+        assert_eq!(s.p99, ms(20));
         assert_eq!(s.mean, ms(10) + Duration::from_micros(500));
         assert_eq!(LatencySummary::from_durations(&[]), LatencySummary::default());
         let one = LatencySummary::from_durations(&[ms(7)]);

@@ -33,6 +33,7 @@ use mrs_geom::{ColoredSite, Point, WeightedPoint};
 
 use super::batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats};
 use super::instance::{ColoredInstance, RangeShape, WeightedInstance};
+use super::obs::{Phase, QueryTrace, TraceRecorder};
 use super::registry::{Registry, SharedColoredSolver, SharedWeightedSolver};
 use super::report::{Guarantee, SolveStats, SolverReport};
 use super::versioned::{ScriptOutcome, ScriptReport, ScriptStep, VersionedDataset, VersionedView};
@@ -180,6 +181,24 @@ impl<'r> BatchExecutor<'r> {
         request: &BatchRequest<D>,
         index: &SharedIndex<D>,
     ) -> BatchReport<D> {
+        self.execute_with_index_traced(request, index, &mut TraceRecorder::disabled())
+    }
+
+    /// [`Self::execute_with_index`], recording one phase-timed
+    /// [`QueryTrace`] per query into `recorder` (a disabled recorder makes
+    /// this identical to the untraced call).
+    ///
+    /// Phase attribution keeps per-trace sums below the batch wall time:
+    /// the batch-level plan and index-build durations are split evenly
+    /// across the batch's queries, each query's solver time is reduced by
+    /// its index-build share (lazy builds run inside solver calls), and —
+    /// only when tracing — certification is timed per answer.
+    pub fn execute_with_index_traced<const D: usize>(
+        &self,
+        request: &BatchRequest<D>,
+        index: &SharedIndex<D>,
+        recorder: &mut TraceRecorder,
+    ) -> BatchReport<D> {
         debug_assert!(
             std::ptr::eq(request.points().as_ptr(), index.points().as_ptr())
                 && std::ptr::eq(request.sites().as_ptr(), index.sites().as_ptr()),
@@ -189,7 +208,9 @@ impl<'r> BatchExecutor<'r> {
         let builds_before = index.builds();
         let build_time_before = index.build_time();
         let mut answers: Vec<Option<BatchAnswer<D>>> = vec![None; request.len()];
+        let plan_start = Instant::now();
         let tasks = self.plan(request, &mut answers);
+        let plan_time = plan_start.elapsed();
 
         // The thread *budget* is what the caller configured (or the machine
         // offers); the executor fans at most one worker per task out and
@@ -276,12 +297,61 @@ impl<'r> BatchExecutor<'r> {
                 .sum(),
             ..BatchStats::default()
         };
+        // Untraced certification keeps the existing aggregate pass; the
+        // traced variant times each answer individually and remembers the
+        // per-answer verdicts for the trace.
+        let mut certify_times: Vec<Duration> = Vec::new();
+        let mut certify_flags: Vec<Option<bool>> = Vec::new();
         if self.config.certify {
-            self.certify(request, &answers, index, &mut stats);
+            if recorder.is_enabled() {
+                certify_times = Vec::with_capacity(answers.len());
+                certify_flags = Vec::with_capacity(answers.len());
+                for (query, answer) in request.queries().iter().zip(&answers) {
+                    let t = Instant::now();
+                    let verdict = certify_answer(index, query, answer);
+                    certify_times.push(t.elapsed());
+                    certify_flags.push(verdict);
+                    match verdict {
+                        None => {}
+                        Some(true) => stats.certified += 1,
+                        Some(false) => stats.certify_failures += 1,
+                    }
+                }
+            } else {
+                self.certify(request, &answers, index, &mut stats);
+            }
         }
         stats.index_builds = index.builds() - builds_before;
         stats.index_build_time = index.build_time().saturating_sub(build_time_before);
         stats.wall = start.elapsed();
+        if recorder.is_enabled() {
+            let n = request.len().max(1) as u32;
+            let plan_share = plan_time / n;
+            let build_share = stats.index_build_time / n;
+            for (i, (query, answer)) in request.queries().iter().zip(&answers).enumerate() {
+                let mut trace = QueryTrace {
+                    query: i,
+                    solver: query.solver().to_string(),
+                    shape: format!("{:?}", query.shape()),
+                    ok: answer.is_ok(),
+                    certified: certify_flags.get(i).copied().flatten(),
+                    ..QueryTrace::default()
+                };
+                trace.set_phase(Phase::Plan, plan_share);
+                trace.set_phase(Phase::IndexBuild, build_share);
+                trace.set_phase(Phase::Solve, answer.elapsed().saturating_sub(build_share));
+                if let Some(t) = certify_times.get(i) {
+                    trace.set_phase(Phase::Certify, *t);
+                }
+                if let Some(s) = answer.solve_stats() {
+                    trace.routed = s.auto_choice;
+                    trace.candidates_examined = s.candidates_examined.unwrap_or(0);
+                    trace.grid_cells_visited = s.grid_cells_visited.unwrap_or(0);
+                    trace.sieve_rejected = s.sieve_rejected.unwrap_or(0);
+                }
+                recorder.record(trace);
+            }
+        }
         BatchReport { answers, stats }
     }
 
@@ -305,6 +375,19 @@ impl<'r> BatchExecutor<'r> {
         dataset: &VersionedDataset<D>,
         queries: &[BatchQuery<D>],
     ) -> (VersionedView<D>, Vec<VersionedAnswer<D>>, BatchStats) {
+        self.execute_versioned_traced(dataset, queries, &mut TraceRecorder::disabled())
+    }
+
+    /// [`Self::execute_versioned`], recording one phase-timed
+    /// [`QueryTrace`] per query into `recorder` (one per tracker-answered
+    /// query too); every trace carries the version its answer was computed
+    /// at, and the overlay certification pass is timed per answer.
+    pub fn execute_versioned_traced<const D: usize>(
+        &self,
+        dataset: &VersionedDataset<D>,
+        queries: &[BatchQuery<D>],
+        recorder: &mut TraceRecorder,
+    ) -> (VersionedView<D>, Vec<VersionedAnswer<D>>, BatchStats) {
         let start = Instant::now();
         let view = dataset.view();
         let mut slots: Vec<Option<VersionedAnswer<D>>> = vec![None; queries.len()];
@@ -316,6 +399,19 @@ impl<'r> BatchExecutor<'r> {
         for (i, query) in queries.iter().enumerate() {
             if let Some(answer) = self.try_dynamic_tracker(dataset, query) {
                 tracker_time += answer.0.elapsed();
+                if recorder.is_enabled() {
+                    let mut trace = QueryTrace {
+                        query: i,
+                        solver: query.solver().to_string(),
+                        shape: format!("{:?}", query.shape()),
+                        ok: answer.0.is_ok(),
+                        certified: answer.1,
+                        version: answer.2,
+                        ..QueryTrace::default()
+                    };
+                    trace.set_phase(Phase::Solve, answer.0.elapsed());
+                    recorder.record(trace);
+                }
                 slots[i] = Some(answer);
             } else {
                 engine_positions.push(i);
@@ -335,14 +431,30 @@ impl<'r> BatchExecutor<'r> {
                 ExecutorConfig { threads: self.config.threads, certify: false },
             );
             let index = view.index();
-            let report = inner.execute_with_index(&request, &index);
+            let mut inner_recorder = if recorder.is_enabled() {
+                TraceRecorder::new()
+            } else {
+                TraceRecorder::disabled()
+            };
+            let report = inner.execute_with_index_traced(&request, &index, &mut inner_recorder);
             stats = report.stats;
-            for ((&i, answer), query) in
-                engine_positions.iter().zip(report.answers).zip(request.queries())
+            let mut inner_traces = inner_recorder.take();
+            for (pos, ((&i, answer), query)) in
+                engine_positions.iter().zip(report.answers).zip(request.queries()).enumerate()
             {
+                let t = Instant::now();
                 let certified = (self.config.certify && answer.is_ok())
                     .then(|| certify_answer(&view, query, &answer) == Some(true));
+                if let Some(trace) = inner_traces.get_mut(pos) {
+                    trace.query = i;
+                    trace.version = view.version();
+                    trace.certified = certified;
+                    trace.set_phase(Phase::Certify, t.elapsed());
+                }
                 slots[i] = Some((answer, certified, view.version()));
+            }
+            for trace in inner_traces {
+                recorder.record(trace);
             }
         }
         let answers: Vec<VersionedAnswer<D>> =
@@ -368,17 +480,39 @@ impl<'r> BatchExecutor<'r> {
         dataset: &VersionedDataset<D>,
         steps: &[ScriptStep<D>],
     ) -> ScriptReport<D> {
+        self.execute_script_traced(dataset, steps, &mut TraceRecorder::disabled())
+    }
+
+    /// [`Self::execute_script`], recording one phase-timed [`QueryTrace`]
+    /// per query step into `recorder`.  Each trace's `query` field is the
+    /// query's **step position** in the script, so traces line up with the
+    /// report's outcomes.
+    pub fn execute_script_traced<const D: usize>(
+        &self,
+        dataset: &VersionedDataset<D>,
+        steps: &[ScriptStep<D>],
+        recorder: &mut TraceRecorder,
+    ) -> ScriptReport<D> {
         let mut outcomes: Vec<ScriptOutcome<D>> = Vec::with_capacity(steps.len());
         let mut stats = BatchStats::default();
         let mut updates = 0usize;
         let mut pending: Vec<BatchQuery<D>> = Vec::new();
         let flush = |pending: &mut Vec<BatchQuery<D>>,
                      outcomes: &mut Vec<ScriptOutcome<D>>,
-                     stats: &mut BatchStats| {
+                     stats: &mut BatchStats,
+                     recorder: &mut TraceRecorder| {
             if pending.is_empty() {
                 return;
             }
-            let (_, answers, segment) = self.execute_versioned(dataset, pending);
+            // Segment-local trace indices become script step positions: the
+            // segment's queries occupy the step slots right after the
+            // outcomes already emitted.
+            let base = outcomes.len();
+            let mark = recorder.traces().len();
+            let (_, answers, segment) = self.execute_versioned_traced(dataset, pending, recorder);
+            for trace in &mut recorder.traces_mut()[mark..] {
+                trace.query += base;
+            }
             for (answer, certified, version) in answers {
                 outcomes.push(ScriptOutcome::Answer { version, certified, answer });
             }
@@ -389,7 +523,7 @@ impl<'r> BatchExecutor<'r> {
             match step {
                 ScriptStep::Query(query) => pending.push(query.clone()),
                 ScriptStep::Mutate(mutation) => {
-                    flush(&mut pending, &mut outcomes, &mut stats);
+                    flush(&mut pending, &mut outcomes, &mut stats, recorder);
                     let report = dataset.apply(std::slice::from_ref(mutation));
                     updates += 1;
                     outcomes.push(ScriptOutcome::Mutated {
@@ -400,7 +534,7 @@ impl<'r> BatchExecutor<'r> {
                 }
             }
         }
-        flush(&mut pending, &mut outcomes, &mut stats);
+        flush(&mut pending, &mut outcomes, &mut stats, recorder);
         ScriptReport { outcomes, stats, updates, final_version: dataset.version() }
     }
 
@@ -917,6 +1051,74 @@ mod tests {
             if outcome.answer().is_some() {
                 assert_eq!(outcome.certified(), Some(true));
             }
+        }
+    }
+
+    #[test]
+    fn traced_batches_yield_one_bounded_trace_per_query() {
+        let request = BatchRequest::new(planar_points(), planar_sites())
+            .with_query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0)))
+            .with_query(BatchQuery::colored("output-sensitive-colored-disk", RangeShape::ball(1.0)))
+            .with_query(BatchQuery::weighted("auto", RangeShape::ball(0.7)))
+            .with_query(BatchQuery::weighted("no-such-solver", RangeShape::ball(1.0)));
+        let registry = registry();
+        let executor = BatchExecutor::new(&registry);
+        let index = SharedIndex::new(request.shared_points(), request.shared_sites());
+        let mut recorder = TraceRecorder::new();
+        let report = executor.execute_with_index_traced(&request, &index, &mut recorder);
+
+        assert_eq!(recorder.traces().len(), request.len(), "one trace per query");
+        for (i, trace) in recorder.traces().iter().enumerate() {
+            assert_eq!(trace.query, i);
+            assert_eq!(trace.solver, request.queries()[i].solver());
+            assert!(
+                trace.phase_total() <= report.stats.wall,
+                "query {i}: phases {:?} exceed wall {:?}",
+                trace.phase_total(),
+                report.stats.wall
+            );
+        }
+        assert!(recorder.traces()[0].ok && recorder.traces()[0].certified == Some(true));
+        assert!(recorder.traces()[2].routed.is_some(), "auto query records its routing");
+        assert!(!recorder.traces()[3].ok);
+        assert_eq!(recorder.traces()[3].certified, None);
+
+        // The untraced call is behaviorally identical.
+        let untraced = executor.execute_with_index(&request, &index);
+        assert_eq!(untraced.stats.certified, report.stats.certified);
+        assert_eq!(untraced.stats.failed, report.stats.failed);
+    }
+
+    #[test]
+    fn traced_scripts_key_traces_by_step_position() {
+        use super::super::versioned::{Mutation, ScriptStep, VersionedDataset};
+        let dataset = VersionedDataset::new(planar_points(), Vec::new());
+        let registry = registry();
+        let executor = BatchExecutor::new(&registry);
+        let steps = vec![
+            ScriptStep::Query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0))),
+            ScriptStep::Query(BatchQuery::weighted("dynamic-ball", RangeShape::ball(1.0))),
+            ScriptStep::Mutate(Mutation::Insert {
+                point: WeightedPoint::new(Point2::xy(0.25, 0.25), 5.0),
+                color: None,
+            }),
+            ScriptStep::Query(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0))),
+        ];
+        let mut recorder = TraceRecorder::new();
+        let report = executor.execute_script_traced(&dataset, &steps, &mut recorder);
+        assert!(report.all_ok());
+
+        // Every query step has a trace keyed by its step position, stamped
+        // with the version its answer was computed at, and its phase sum is
+        // bounded by the script's accumulated wall time.
+        let mut positions: Vec<usize> = recorder.traces().iter().map(|t| t.query).collect();
+        positions.sort_unstable();
+        assert_eq!(positions, vec![0, 1, 3]);
+        for trace in recorder.traces() {
+            let outcome = &report.outcomes[trace.query];
+            assert_eq!(Some(trace.version), Some(outcome.version()));
+            assert_eq!(trace.certified, outcome.certified());
+            assert!(trace.phase_total() <= report.stats.wall);
         }
     }
 

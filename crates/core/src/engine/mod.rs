@@ -45,6 +45,7 @@ pub mod executor;
 pub mod index;
 mod instance;
 pub mod metamorphic;
+pub mod obs;
 mod registry;
 mod report;
 pub mod versioned;
@@ -63,6 +64,7 @@ pub use descriptor::{
 pub use executor::{certify_answer, BatchExecutor, ExecutorConfig};
 pub use index::{AnswerIndex, SharedIndex};
 pub use instance::{ColoredInstance, RangeShape, WeightedInstance};
+pub use obs::{Histogram, Phase, QueryTrace, TraceRecorder};
 pub use registry::{registry, EngineConfig, Registry, SharedColoredSolver, SharedWeightedSolver};
 pub use report::{Guarantee, SolveStats, SolverReport};
 pub use versioned::{

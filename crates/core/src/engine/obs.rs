@@ -1,0 +1,535 @@
+//! Lock-free observability primitives: a log-linear latency histogram and
+//! phase-timed query traces.
+//!
+//! ## Histogram layout
+//!
+//! [`Histogram`] buckets nanosecond samples HdrHistogram-style: values below
+//! 64 ns get one bucket each, and every power-of-two octave above is split
+//! into 64 linear sub-buckets, so the relative bucket width never exceeds
+//! 1/64 ≈ 1.6% and midpoint reconstruction stays within ~0.8% of the true
+//! value.  Values are clamped to [`Histogram::MAX_NS`] (~2.4 hours), which
+//! fixes the table at [`Histogram::BUCKETS`] `AtomicU64`s (~19 KiB).  Every
+//! operation is a relaxed atomic add — recording never takes a lock, which
+//! is what lets the server's hot request path feed one histogram per
+//! endpoint without contention.  Histograms merge bucket-wise
+//! ([`Histogram::merge_from`]), which is associative and loss-free, so
+//! per-shard histograms can be folded into a global one at read time.
+//!
+//! ## Query traces
+//!
+//! A [`QueryTrace`] records where one query's time went, split into the
+//! disjoint [`Phase`]s of the serving pipeline (cache lookup, plan, index
+//! build, solve, certify, render) plus the engine's wall-clock-free work
+//! counters.  The executor fills the engine phases when handed an enabled
+//! [`TraceRecorder`]; the server adds its own phases and keeps a bounded
+//! ring of recent traces for `GET /debug/traces`.  Phase attributions are
+//! constructed so that a trace's phase sum never exceeds the batch wall
+//! time: batch-level phases (plan, index build) are divided evenly across
+//! the batch's queries, and per-query solver time is reduced by the query's
+//! index-build share (lazy builds run inside solver calls).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use super::batch::LatencySummary;
+
+/// Linear sub-buckets per power-of-two octave (as a shift: 2^6 = 64).
+const SUB_BITS: u32 = 6;
+const SUB: u64 = 1 << SUB_BITS;
+
+impl Histogram {
+    /// Largest representable sample in nanoseconds (~2.4 hours); larger
+    /// samples are clamped, never dropped.
+    pub const MAX_NS: u64 = (1 << 43) - 1;
+
+    /// Number of fixed buckets: 64 unit buckets for the first octaves plus
+    /// 64 sub-buckets for each of the 37 octaves up to 2^43.
+    pub const BUCKETS: usize = ((43 - SUB_BITS as usize) + 1) * SUB as usize;
+}
+
+/// Index of the bucket holding `v` (clamped) nanoseconds.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    let v = v.min(Histogram::MAX_NS);
+    if v < SUB {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros();
+        (((e - (SUB_BITS - 1)) as u64 * SUB) | ((v >> (e - SUB_BITS)) & (SUB - 1))) as usize
+    }
+}
+
+/// Inclusive `(low, high)` nanosecond range of bucket `i`.
+#[inline]
+fn bucket_range(i: usize) -> (u64, u64) {
+    let i = i as u64;
+    if i < SUB {
+        (i, i)
+    } else {
+        let octave = i >> SUB_BITS; // ≥ 1
+        let sub = i & (SUB - 1);
+        let width = 1u64 << (octave - 1);
+        let low = (SUB + sub) << (octave - 1);
+        (low, low + width - 1)
+    }
+}
+
+/// The reconstructed representative value of bucket `i` (its midpoint).
+#[inline]
+fn bucket_mid(i: usize) -> u64 {
+    let (lo, hi) = bucket_range(i);
+    lo + (hi - lo) / 2
+}
+
+/// A lock-free log-linear latency histogram (see the [module docs](self)).
+///
+/// ```
+/// use std::time::Duration;
+/// use mrs_core::engine::Histogram;
+///
+/// let h = Histogram::new();
+/// for ms in 1..=100u64 {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// let p50 = h.quantile(0.50).as_millis();
+/// assert!((49..=51).contains(&p50), "p50 within bucket error: {p50}");
+/// assert_eq!(h.count(), 100);
+/// ```
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..Self::BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (lock-free; relaxed atomics).
+    pub fn record(&self, sample: Duration) {
+        self.record_ns(sample.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let clamped = ns.min(Self::MAX_NS);
+        self.buckets[bucket_of(clamped)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(clamped, Ordering::Relaxed);
+        self.min_ns.fetch_min(clamped, Ordering::Relaxed);
+        self.max_ns.fetch_max(clamped, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (clamped values).
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// Smallest recorded sample, exact (zero when empty).
+    pub fn min(&self) -> Duration {
+        let ns = self.min_ns.load(Ordering::Relaxed);
+        Duration::from_nanos(if ns == u64::MAX { 0 } else { ns })
+    }
+
+    /// Largest recorded sample, exact up to clamping (zero when empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// The nearest-rank `q`-quantile (`0.0 ≤ q ≤ 1.0`), reconstructed from
+    /// the bucket midpoints and clamped into the exact `[min, max]` range —
+    /// within ~0.8% of the sort-based nearest-rank percentile.  Zero when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let mid = bucket_mid(i).clamp(
+                    self.min_ns.load(Ordering::Relaxed),
+                    self.max_ns.load(Ordering::Relaxed),
+                );
+                return Duration::from_nanos(mid);
+            }
+        }
+        self.max()
+    }
+
+    /// Adds every bucket of `other` into `self` (associative, loss-free;
+    /// lock-free on both sides).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns.fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min_ns.fetch_min(other.min_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns.fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The [`LatencySummary`] view of this histogram: exact count/min/max,
+    /// mean from the exact sum, and bucket-reconstructed p50/p95/p99.
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.count();
+        if count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: count as usize,
+            min: self.min(),
+            mean: Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / count),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Cumulative counts at the given ascending nanosecond bounds — the
+    /// Prometheus `le` series.  A fine bucket counts toward the first bound
+    /// that covers its upper edge, so the returned series is monotone and
+    /// its (implicit) `+Inf` value equals [`Self::count`].
+    pub fn cumulative_le(&self, bounds_ns: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; bounds_ns.len()];
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            let (_, hi) = bucket_range(i);
+            if let Some(slot) = bounds_ns.iter().position(|&b| hi <= b) {
+                for v in &mut out[slot..] {
+                    *v += n;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One phase of the serving pipeline a [`QueryTrace`] attributes time to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Answer-cache probe (server only; cache hits produce no trace, so
+    /// this is the cost of the *miss* probe).
+    CacheLookup,
+    /// Batch planning: grouping queries and resolving solvers.
+    Plan,
+    /// This query's share of the shared-index structures built during the
+    /// batch (zero on a warm index).
+    IndexBuild,
+    /// Solver time, net of the index-build share.
+    Solve,
+    /// Re-evaluating the answer against the index / delta overlay.
+    Certify,
+    /// Rendering the answer to JSON (server only).
+    Render,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 6] = [
+        Phase::CacheLookup,
+        Phase::Plan,
+        Phase::IndexBuild,
+        Phase::Solve,
+        Phase::Certify,
+        Phase::Render,
+    ];
+
+    /// The phase's label in traces and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::CacheLookup => "cache_lookup",
+            Phase::Plan => "plan",
+            Phase::IndexBuild => "index_build",
+            Phase::Solve => "solve",
+            Phase::Certify => "certify",
+            Phase::Render => "render",
+        }
+    }
+
+    /// The phase's slot in [`QueryTrace::phases`].
+    pub const fn index(&self) -> usize {
+        match self {
+            Phase::CacheLookup => 0,
+            Phase::Plan => 1,
+            Phase::IndexBuild => 2,
+            Phase::Solve => 3,
+            Phase::Certify => 4,
+            Phase::Render => 5,
+        }
+    }
+}
+
+/// Where one query's time went: per-[`Phase`] durations plus the engine's
+/// work counters and routing record.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryTrace {
+    /// The request id the server stamped (empty for CLI-local traces).
+    pub id: String,
+    /// The dataset the query ran against (empty for CLI-local traces).
+    pub dataset: String,
+    /// The query's position in its batch.
+    pub query: usize,
+    /// The solver name the query asked for.
+    pub solver: String,
+    /// The solver the `auto` meta-solver routed to, if routing happened.
+    pub routed: Option<&'static str>,
+    /// The query's range shape, rendered.
+    pub shape: String,
+    /// The dataset version the answer was computed at (0 for plain
+    /// snapshot batches).
+    pub version: u64,
+    /// Per-phase durations, indexed by [`Phase::index`].
+    pub phases: [Duration; Phase::ALL.len()],
+    /// Per-answer certification flag (`None`: certification off or failed
+    /// query).
+    pub certified: Option<bool>,
+    /// `false` if the query failed dispatch (its phases are all zero).
+    pub ok: bool,
+    /// Points distance-tested through spatial-index queries.
+    pub candidates_examined: usize,
+    /// Spatial-index cells visited.
+    pub grid_cells_visited: usize,
+    /// Candidates rejected by the widened f32 sieve.
+    pub sieve_rejected: usize,
+}
+
+impl QueryTrace {
+    /// The duration recorded for `phase`.
+    pub fn phase(&self, phase: Phase) -> Duration {
+        self.phases[phase.index()]
+    }
+
+    /// Sets the duration of `phase`.
+    pub fn set_phase(&mut self, phase: Phase, d: Duration) {
+        self.phases[phase.index()] = d;
+    }
+
+    /// Sum of all phase durations.  By construction this never exceeds the
+    /// wall time of the batch the query ran in (see the [module
+    /// docs](self)).
+    pub fn phase_total(&self) -> Duration {
+        self.phases.iter().sum()
+    }
+}
+
+/// Collects [`QueryTrace`]s through an executor call.  A disabled recorder
+/// ([`TraceRecorder::disabled`]) makes every hook a no-op, so the untraced
+/// hot path pays only a branch.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    enabled: bool,
+    traces: Vec<QueryTrace>,
+}
+
+impl TraceRecorder {
+    /// An enabled recorder.
+    pub fn new() -> Self {
+        Self { enabled: true, traces: Vec::new() }
+    }
+
+    /// A disabled recorder: records nothing.
+    pub fn disabled() -> Self {
+        Self { enabled: false, traces: Vec::new() }
+    }
+
+    /// `true` if traces are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends one trace (no-op when disabled).
+    pub fn record(&mut self, trace: QueryTrace) {
+        if self.enabled {
+            self.traces.push(trace);
+        }
+    }
+
+    /// The traces collected so far.
+    pub fn traces(&self) -> &[QueryTrace] {
+        &self.traces
+    }
+
+    /// Mutable access, for callers that stamp ids / add phases after the
+    /// engine recorded the trace.
+    pub fn traces_mut(&mut self) -> &mut [QueryTrace] {
+        &mut self.traces
+    }
+
+    /// Takes the collected traces, leaving the recorder empty (and still
+    /// enabled/disabled as before).
+    pub fn take(&mut self) -> Vec<QueryTrace> {
+        std::mem::take(&mut self.traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every bucket's range follows its predecessor's with no gap, and
+        // bucket_of is the inverse of bucket_range over the whole domain.
+        let mut expected_low = 0u64;
+        for i in 0..Histogram::BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(lo, expected_low, "bucket {i} starts where {0} ended", i - 1);
+            assert!(hi >= lo);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi), i);
+            assert_eq!(bucket_of(bucket_mid(i)), i);
+            expected_low = hi + 1;
+        }
+        assert_eq!(expected_low, Histogram::MAX_NS + 1);
+    }
+
+    #[test]
+    fn relative_error_is_below_one_percent() {
+        for &v in &[100u64, 999, 12_345, 1_000_000, 123_456_789, Histogram::MAX_NS] {
+            let mid = bucket_mid(bucket_of(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.01, "value {v}: midpoint {mid} errs by {err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_and_summary_track_exact_percentiles() {
+        let h = Histogram::new();
+        let samples: Vec<Duration> = (1..=1000u64).map(Duration::from_micros).collect();
+        for s in &samples {
+            h.record(*s);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), Duration::from_micros(1));
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        for (q, exact_us) in [(0.5, 500u64), (0.9, 900), (0.99, 990), (0.999, 999)] {
+            let got = h.quantile(q).as_nanos() as f64;
+            let want = (exact_us * 1000) as f64;
+            assert!((got - want).abs() / want < 0.01, "q{q}: {got} vs {want}");
+        }
+        let summary = h.summary();
+        assert_eq!(summary.count, 1000);
+        assert_eq!(summary.mean, Duration::from_nanos(500_500));
+        assert!(summary.p99 >= summary.p95 && summary.p95 >= summary.p50);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.summary(), LatencySummary::default());
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds_bucket_wise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for us in 1..=100u64 {
+            a.record(Duration::from_micros(us));
+            b.record(Duration::from_micros(us * 10));
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), Duration::from_micros(1));
+        assert_eq!(a.max(), Duration::from_micros(1000));
+        let direct = Histogram::new();
+        for us in 1..=100u64 {
+            direct.record(Duration::from_micros(us));
+            direct.record(Duration::from_micros(us * 10));
+        }
+        assert_eq!(a.quantile(0.5), direct.quantile(0.5));
+        assert_eq!(a.sum(), direct.sum());
+    }
+
+    #[test]
+    fn cumulative_le_is_monotone_and_complete() {
+        let h = Histogram::new();
+        for us in [5u64, 50, 500, 5_000, 50_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let bounds: Vec<u64> =
+            [10u64, 100, 1_000, 10_000, 100_000].iter().map(|us| us * 1000).collect();
+        let cum = h.cumulative_le(&bounds);
+        assert_eq!(cum, vec![1, 2, 3, 4, 5]);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_ns(1 + t * 13 + i % 1000);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn traces_accumulate_phases() {
+        let mut recorder = TraceRecorder::new();
+        let mut trace =
+            QueryTrace { solver: "exact-disk-2d".into(), ok: true, ..QueryTrace::default() };
+        trace.set_phase(Phase::Solve, Duration::from_micros(80));
+        trace.set_phase(Phase::Certify, Duration::from_micros(20));
+        assert_eq!(trace.phase(Phase::Solve), Duration::from_micros(80));
+        assert_eq!(trace.phase_total(), Duration::from_micros(100));
+        recorder.record(trace);
+        assert_eq!(recorder.traces().len(), 1);
+        let mut off = TraceRecorder::disabled();
+        off.record(QueryTrace::default());
+        assert!(off.traces().is_empty());
+        assert!(!off.is_enabled());
+    }
+}

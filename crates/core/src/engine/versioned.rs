@@ -46,7 +46,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mrs_geom::{ColoredSite, GridOverlay, OverlayHit, Point, WeightedPoint};
 
@@ -729,6 +729,9 @@ pub struct VersionedDataset<const D: usize> {
     trackers: Mutex<HashMap<TrackerKey, TrackerEntry<D>>>,
     next_uid: AtomicU64,
     compactions: AtomicUsize,
+    /// Total wall-clock time spent materializing compacted generations
+    /// (nanoseconds; atomic so `/metrics` reads it without locking).
+    compaction_time_ns: AtomicU64,
     /// Builds and build time of retired generations and per-version
     /// indexes, folded in as views are replaced so
     /// [`Self::builds`] stays monotone.
@@ -780,6 +783,7 @@ impl<const D: usize> VersionedDataset<D> {
             trackers: Mutex::new(HashMap::new()),
             next_uid: AtomicU64::new(n as u64),
             compactions: AtomicUsize::new(0),
+            compaction_time_ns: AtomicU64::new(0),
             retired_builds: AtomicUsize::new(0),
             retired_build_time: Mutex::new(Duration::ZERO),
             saw_negative: std::sync::atomic::AtomicBool::new(saw_negative),
@@ -812,6 +816,12 @@ impl<const D: usize> VersionedDataset<D> {
     /// Compactions performed so far.
     pub fn compactions(&self) -> usize {
         self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock time spent materializing compacted generations
+    /// (monotone, like [`Self::compactions`]).
+    pub fn compaction_time(&self) -> Duration {
+        Duration::from_nanos(self.compaction_time_ns.load(Ordering::Relaxed))
     }
 
     /// Index structures built so far across every generation and version,
@@ -907,6 +917,7 @@ impl<const D: usize> VersionedDataset<D> {
         let next = if compacted {
             // Materialize the canonical live order into a fresh generation;
             // live ids, uids and every derived order stay consistent.
+            let compact_start = Instant::now();
             self.retired_builds.fetch_add(generation.index.builds(), Ordering::Relaxed);
             *self.retired_build_time.lock().expect("build-time lock poisoned") +=
                 generation.index.build_time();
@@ -920,12 +931,15 @@ impl<const D: usize> VersionedDataset<D> {
             let mut sites = Vec::with_capacity(live_sites);
             overlay.for_each_live_site(&generation, |site| sites.push(*site));
             let generation = Arc::new(Generation::new(points.into(), sites.into(), uids.into()));
-            VersionedView {
+            let view = VersionedView {
                 version,
                 overlay: Arc::new(Overlay::empty(live_points, live_sites)),
                 derived: Arc::new(Derived::default()),
                 generation,
-            }
+            };
+            self.compaction_time_ns
+                .fetch_add(compact_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            view
         } else {
             VersionedView {
                 version,
@@ -1260,6 +1274,7 @@ mod tests {
         }
         assert!(compacted, "a 100% churn must cross the α = 0.25 threshold");
         assert!(dataset.compactions() >= 1);
+        assert!(dataset.compaction_time() > Duration::ZERO, "compactions are timed");
         assert_eq!(dataset.version(), 11, "compaction does not bump the version");
         // Contents are exactly the canonical live order of the script.
         let live = dataset.view().live_points();

@@ -1,0 +1,179 @@
+//! Property tests for the lock-free log-linear [`Histogram`]: quantiles
+//! stay within the bucket error bound of the sort-based exact percentile,
+//! merging is associative and loss-free, cumulative `le` series are
+//! monotone with `+Inf == count`, and concurrent recording never loses a
+//! sample.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mrs_core::engine::Histogram;
+use proptest::prelude::*;
+
+/// The exact nearest-rank `q`-quantile of `samples` (matches the rank rule
+/// the histogram uses: `ceil(q * count)` clamped to `[1, count]`).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let count = sorted.len() as f64;
+    let rank = ((q * count).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The histogram's bucket error bound around an exact value: sub-64 ns
+/// buckets are exact, wider buckets have relative width `2^-6`, and the
+/// midpoint reconstruction lands within one full bucket width of any
+/// member of the bucket.
+fn error_bound(exact: u64) -> u64 {
+    1 + exact / 64
+}
+
+fn record_all(samples: &[u64]) -> Histogram {
+    let hist = Histogram::new();
+    for &ns in samples {
+        hist.record_ns(ns);
+    }
+    hist
+}
+
+/// A ladder of `le` bounds spanning the generated sample range.
+const LE_LADDER: [u64; 12] = [
+    10,
+    100,
+    1_000,
+    10_000,
+    50_000,
+    100_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    Histogram::MAX_NS,
+];
+
+proptest! {
+    #[test]
+    fn quantiles_stay_within_the_bucket_error_bound(
+        samples in proptest::collection::vec(0u64..2_000_000_000, 1..400),
+    ) {
+        let hist = record_all(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let approx = hist.quantile(q).as_nanos() as u64;
+            let bound = error_bound(exact);
+            prop_assert!(
+                approx.abs_diff(exact) <= bound,
+                "q={q}: approx {approx} vs exact {exact} (bound {bound}, n={})",
+                sorted.len()
+            );
+        }
+        // The exact scalars are exact, not bucketed.
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        prop_assert_eq!(hist.min().as_nanos() as u64, sorted[0]);
+        prop_assert_eq!(hist.max().as_nanos() as u64, *sorted.last().unwrap());
+        prop_assert_eq!(hist.sum().as_nanos() as u64, samples.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_is_associative_and_loss_free(
+        a in proptest::collection::vec(0u64..1_000_000_000, 1..120),
+        b in proptest::collection::vec(0u64..1_000_000_000, 1..120),
+        c in proptest::collection::vec(0u64..1_000_000_000, 1..120),
+    ) {
+        // (a ⊕ b) ⊕ c merged left-to-right …
+        let left = record_all(&a);
+        left.merge_from(&record_all(&b));
+        left.merge_from(&record_all(&c));
+        // … equals a ⊕ (b ⊕ c) merged right-to-left …
+        let bc = record_all(&b);
+        bc.merge_from(&record_all(&c));
+        let right = record_all(&a);
+        right.merge_from(&bc);
+        // … and both equal recording every sample into one histogram.
+        let direct: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = record_all(&direct);
+
+        for other in [&right, &direct] {
+            prop_assert_eq!(left.count(), other.count());
+            prop_assert_eq!(left.sum(), other.sum());
+            prop_assert_eq!(left.min(), other.min());
+            prop_assert_eq!(left.max(), other.max());
+            prop_assert_eq!(left.cumulative_le(&LE_LADDER), other.cumulative_le(&LE_LADDER));
+            for q in [0.5, 0.9, 0.99] {
+                prop_assert_eq!(left.quantile(q), other.quantile(q), "q={}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_le_is_monotone_and_complete(
+        samples in proptest::collection::vec(0u64..2_000_000_000_000, 1..300),
+    ) {
+        let hist = record_all(&samples);
+        let series = hist.cumulative_le(&LE_LADDER);
+        prop_assert!(
+            series.windows(2).all(|w| w[0] <= w[1]),
+            "le series must be monotone: {series:?}"
+        );
+        // MAX_NS is the last bound and every recorded value is clamped to
+        // it, so the final bucket is the +Inf bucket: it holds everything.
+        prop_assert_eq!(*series.last().unwrap(), hist.count());
+    }
+}
+
+/// Concurrent recording loses no counts: `count`, `sum`, `min`, `max`, and
+/// the bucket totals all agree with a single-threaded replay of the same
+/// samples.
+#[test]
+fn concurrent_recording_loses_no_samples() {
+    let hist = Arc::new(Histogram::new());
+    let per_thread = 10_000u64;
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    // A spread of magnitudes, different per thread.
+                    hist.record_ns((i * 997 + t) % 5_000_000);
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("recorder thread panicked");
+    }
+
+    let replay = Histogram::new();
+    for t in 0..4u64 {
+        for i in 0..per_thread {
+            replay.record_ns((i * 997 + t) % 5_000_000);
+        }
+    }
+    assert_eq!(hist.count(), 4 * per_thread);
+    assert_eq!(hist.count(), replay.count());
+    assert_eq!(hist.sum(), replay.sum());
+    assert_eq!(hist.min(), replay.min());
+    assert_eq!(hist.max(), replay.max());
+    assert_eq!(hist.cumulative_le(&LE_LADDER), replay.cumulative_le(&LE_LADDER));
+    assert_eq!(hist.quantile(0.5), replay.quantile(0.5));
+    assert_eq!(hist.quantile(0.999), replay.quantile(0.999));
+}
+
+/// Merging an empty histogram is the identity, and an empty histogram
+/// reports zeros rather than sentinel values.
+#[test]
+fn empty_histogram_is_the_merge_identity() {
+    let empty = Histogram::new();
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.quantile(0.99), Duration::ZERO);
+    assert_eq!(empty.min(), Duration::ZERO);
+    assert_eq!(empty.max(), Duration::ZERO);
+
+    let hist = Histogram::new();
+    hist.record_ns(1_234);
+    hist.merge_from(&empty);
+    assert_eq!(hist.count(), 1);
+    assert_eq!(hist.min(), Duration::from_nanos(1_234));
+    assert_eq!(hist.max(), Duration::from_nanos(1_234));
+}

@@ -193,6 +193,14 @@ impl Dataset {
         }
     }
 
+    /// Total wall-clock time spent materializing compacted generations.
+    pub fn compaction_time(&self) -> Duration {
+        match self {
+            Dataset::Planar(core) => core.versioned().compaction_time(),
+            Dataset::Line(core) => core.versioned().compaction_time(),
+        }
+    }
+
     /// Applies an **insert** mutation body: the dataset's own CSV record
     /// shape, one insert per record (`x,y[,weight[,color]]` for planar
     /// datasets, `x[,weight]` for 1-D ones).  One call is one version bump.

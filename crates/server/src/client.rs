@@ -13,6 +13,10 @@ pub struct Client {
     writer: TcpStream,
 }
 
+/// A full response: status code, headers (lowercased names, trimmed
+/// values), and the body as text.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
 impl Client {
     /// Connects to the address (e.g. `127.0.0.1:7070` or a `SocketAddr`).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
@@ -49,6 +53,24 @@ impl Client {
         self.request("POST", path, body)
     }
 
+    /// Issues one request and returns the status code, the response
+    /// headers (lowercased names, trimmed values) and the body — the
+    /// variant observability tests use to read `X-Request-Id`.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> io::Result<FullResponse> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: mrs\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.writer.flush()?;
+        self.read_response_with_headers()
+    }
+
     fn read_line(&mut self) -> io::Result<String> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -58,12 +80,18 @@ impl Client {
     }
 
     fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let (status, _, body) = self.read_response_with_headers()?;
+        Ok((status, body))
+    }
+
+    fn read_response_with_headers(&mut self) -> io::Result<FullResponse> {
         let status_line = self.read_line()?;
         let status: u16 =
             status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(
                 || io::Error::new(io::ErrorKind::InvalidData, format!("bad status: {status_line}")),
             )?;
         let mut length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -75,12 +103,13 @@ impl Client {
                         io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
                     })?;
                 }
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
             }
         }
         let mut body = vec![0u8; length];
         self.reader.read_exact(&mut body)?;
         let body = String::from_utf8(body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-        Ok((status, body))
+        Ok((status, headers, body))
     }
 }

@@ -250,6 +250,9 @@ pub struct Response {
     pub status: u16,
     /// The `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written verbatim after
+    /// `Content-Type` — the request-id stamp rides here.
+    pub headers: Vec<(&'static str, String)>,
     /// The response body.
     pub body: Vec<u8>,
 }
@@ -257,12 +260,32 @@ pub struct Response {
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: impl Into<String>) -> Self {
-        Self { status, content_type: "application/json", body: body.into().into_bytes() }
+        Self {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
     }
 
     /// A plain-text response with the given status.
     pub fn text(status: u16, body: impl Into<String>) -> Self {
-        Self { status, content_type: "text/plain; charset=utf-8", body: body.into().into_bytes() }
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds one response header (builder style).  The value must not
+    /// contain CR or LF; this is asserted, since a header value is written
+    /// to the wire verbatim.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        let value = value.into();
+        assert!(!value.contains(['\r', '\n']), "header values must be single-line");
+        self.headers.push((name, value));
+        self
     }
 
     /// `true` for 2xx statuses.
@@ -295,13 +318,17 @@ pub fn write_response(
 ) -> io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in &response.headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(&response.body)?;
     writer.flush()
 }
@@ -375,5 +402,17 @@ mod tests {
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
         assert!(Response::json(200, "").is_success());
         assert!(!Response::text(404, "nope").is_success());
+    }
+
+    #[test]
+    fn writes_extra_headers_before_the_body() {
+        let mut out = Vec::new();
+        let response = Response::json(200, "{}").with_header("X-Request-Id", "r-000042");
+        write_response(&mut out, &response, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Request-Id: r-000042\r\n"), "{text}");
+        let (head, body) = text.split_once("\r\n\r\n").expect("header/body separator");
+        assert!(head.contains("X-Request-Id"));
+        assert_eq!(body, "{}");
     }
 }

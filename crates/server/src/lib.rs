@@ -15,10 +15,16 @@
 //!   real logs) skip the solver entirely, and epoch bumps on reload make
 //!   stale answers unmatchable;
 //! * **[`service`]** — the routed endpoints (`/solvers`, `/datasets/{name}`,
-//!   `/query`, `/batch`, `/healthz`, `/stats`, `/shutdown`) over the
-//!   hand-rolled [`http`] + [`json`] layers (std-only, no dependencies);
+//!   `/query`, `/batch`, `/healthz`, `/stats`, `/metrics`, `/debug/traces`,
+//!   `/shutdown`) over the hand-rolled [`http`] + [`json`] layers (std-only,
+//!   no dependencies);
 //! * **[`runtime`]** — the accept loop, the fixed worker pool fed over a
-//!   channel, and graceful shutdown.
+//!   channel, and graceful shutdown;
+//! * **[`stats`]**, **[`metrics`]**, **[`trace`]** — the observability
+//!   layer: lock-free latency histograms per endpoint/solver/dataset, a
+//!   Prometheus text renderer for `GET /metrics`, and a bounded ring of
+//!   phase-timed query traces served from `GET /debug/traces` and keyed by
+//!   the `X-Request-Id` every response carries.
 //!
 //! ## Quick start
 //!
@@ -48,9 +54,11 @@ pub mod catalog;
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod runtime;
 pub mod service;
 pub mod stats;
+pub mod trace;
 
 pub use cache::{AnswerCache, CacheCounters, CacheKey};
 pub use catalog::{Catalog, CatalogError, Dataset};
@@ -58,3 +66,4 @@ pub use client::Client;
 pub use json::Json;
 pub use runtime::{serve, serve_with, ServerHandle};
 pub use service::{full_registry, ServerConfig, Service};
+pub use trace::TraceRing;

@@ -14,21 +14,23 @@
 //! 4. computed answers are rendered to JSON once, stored in the cache, and
 //!    merged with the hits in request order.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mrs_core::engine::{
     BatchCapability, BatchExecutor, BatchQuery, BatchStats, DimSupport, EngineConfig,
-    ExecutorConfig, GuaranteeClass, LatencySummary, ProblemKind, RangeShape, Registry,
-    ScriptOutcome, ScriptStep,
+    ExecutorConfig, GuaranteeClass, LatencySummary, Phase, ProblemKind, QueryTrace, RangeShape,
+    Registry, ScriptOutcome, ScriptStep, TraceRecorder,
 };
 
 use crate::cache::{AnswerCache, CacheKey};
 use crate::catalog::{Catalog, Dataset, DatasetCore};
 use crate::http::{Request, Response};
 use crate::json::Json;
+use crate::metrics::render_metrics;
 use crate::stats::ServerStats;
+use crate::trace::{trace_json, TraceRing};
 
 /// Server configuration.  [`ServerConfig::default`] is ready for local use.
 #[derive(Clone, Debug)]
@@ -50,6 +52,9 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Re-certify every computed answer against the resident index.
     pub certify: bool,
+    /// Slow-query threshold: an executed query whose phases sum past this
+    /// gets one structured line on stderr (`None` disables the log).
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +67,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             cache_capacity: 4096,
             certify: true,
+            slow_query: None,
         }
     }
 }
@@ -89,6 +95,8 @@ pub struct Service {
     catalog: Catalog,
     cache: AnswerCache,
     stats: ServerStats,
+    traces: TraceRing,
+    next_request_id: AtomicU64,
     shutdown: AtomicBool,
     local_addr: OnceLock<std::net::SocketAddr>,
 }
@@ -169,6 +177,8 @@ impl Service {
             catalog: Catalog::new(),
             cache: AnswerCache::new(config.cache_shards, config.cache_capacity),
             stats: ServerStats::new(),
+            traces: TraceRing::default(),
+            next_request_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             local_addr: OnceLock::new(),
             config,
@@ -188,6 +198,11 @@ impl Service {
     /// The per-endpoint statistics.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The ring of recent query traces (`GET /debug/traces`).
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
     }
 
     /// The configuration the service runs with.
@@ -225,10 +240,13 @@ impl Service {
     }
 
     /// Routes one request to its handler and measures it into the stats.
+    /// Every response — success or error — carries an `X-Request-Id`
+    /// header; executed queries key their `/debug/traces` entries by it.
     pub fn handle(&self, request: &Request) -> Response {
         let started = Instant::now();
+        let rid = format!("r-{:06}", self.next_request_id.fetch_add(1, Ordering::Relaxed));
         let response =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.route(request)))
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.route(request, &rid)))
                 .unwrap_or_else(|_| {
                     Response::json(500, r#"{"error":"internal panic while handling the request"}"#)
                 });
@@ -237,18 +255,20 @@ impl Service {
             started.elapsed(),
             response.is_success(),
         );
-        response
+        response.with_header("X-Request-Id", rid)
     }
 
-    fn route(&self, request: &Request) -> Response {
+    fn route(&self, request: &Request, rid: &str) -> Response {
         let path = request.target.split('?').next().unwrap_or("");
         match (request.method.as_str(), path) {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/solvers") => self.solvers(),
             ("GET", "/stats") => self.stats_endpoint(),
+            ("GET", "/metrics") => self.metrics_endpoint(),
+            ("GET", "/debug/traces") => self.debug_traces(request),
             ("GET", "/datasets") => self.list_datasets(),
-            ("POST", "/query") => self.query(request),
-            ("POST", "/batch") => self.batch(request),
+            ("POST", "/query") => self.query(request, rid),
+            ("POST", "/batch") => self.batch(request, rid),
             ("POST", "/shutdown") => {
                 self.request_shutdown();
                 Response::json(200, r#"{"status":"shutting down"}"#)
@@ -331,6 +351,7 @@ impl Service {
             ("version".into(), Json::num(dataset.version() as f64)),
             ("delta".into(), Json::num(dataset.delta_size() as f64)),
             ("compactions".into(), Json::num(dataset.compactions() as f64)),
+            ("compaction_time_us".into(), Json::num(dataset.compaction_time().as_micros() as f64)),
             ("points".into(), Json::num(dataset.point_count() as f64)),
             ("sites".into(), Json::num(dataset.site_count() as f64)),
             ("requests".into(), Json::num(dataset.requests() as f64)),
@@ -471,6 +492,31 @@ impl Service {
         Response::json(200, body.render())
     }
 
+    /// `GET /metrics`: the whole observability surface in Prometheus text
+    /// exposition format (see [`crate::metrics`]).
+    fn metrics_endpoint(&self) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+            body: render_metrics(&self.stats, &self.catalog, &self.cache.counters()).into_bytes(),
+        }
+    }
+
+    /// `GET /debug/traces[?id=r-000042]`: the retained phase-timed traces,
+    /// oldest first, optionally filtered to one request id.
+    fn debug_traces(&self, request: &Request) -> Response {
+        let traces = match query_param(&request.target, "id") {
+            Some(id) => self.traces.for_request(id),
+            None => self.traces.snapshot(),
+        };
+        let body = Json::Obj(vec![
+            ("capacity".into(), Json::num(self.traces.capacity() as f64)),
+            ("traces".into(), Json::Arr(traces.iter().map(trace_json).collect())),
+        ]);
+        Response::json(200, body.render())
+    }
+
     /// Parses one query object — `{"solver": "...", "shape": {"ball": R} |
     /// {"box": [W, H]} | {"interval": L}}` — into a dimension-agnostic spec.
     /// The problem kind (weighted vs colored) comes from the solver's
@@ -545,11 +591,18 @@ impl Service {
     /// then one engine script over the misses at the dataset's current
     /// version — every computed answer is certified against, stamped with,
     /// and cached under exactly the version it was computed at.
+    ///
+    /// Every executed (non-cache-hit) query leaves one phase-timed
+    /// [`QueryTrace`] in the [`TraceRing`], keyed by `rid` — the same id
+    /// the response's `X-Request-Id` header carries — with the service-side
+    /// cache-probe and render phases stitched onto the engine's
+    /// plan/build/solve/certify phases.
     fn answer<const D: usize>(
         &self,
         dataset: &DatasetCore<D>,
         queries: &[BatchQuery<D>],
         use_cache: bool,
+        rid: &str,
     ) -> Answered {
         let epoch = dataset.epoch();
         let version = dataset.versioned().version();
@@ -557,7 +610,9 @@ impl Service {
         outcomes.resize_with(queries.len(), || None);
         let mut steps: Vec<ScriptStep<D>> = Vec::new();
         let mut miss_positions: Vec<usize> = Vec::new();
+        let mut miss_probe: Vec<Duration> = Vec::new();
         for (i, query) in queries.iter().enumerate() {
+            let probe_start = Instant::now();
             if use_cache {
                 if let Some(rendered) = self.cache.get(&CacheKey::for_query(epoch, version, query))
                 {
@@ -566,6 +621,7 @@ impl Service {
                 }
             }
             miss_positions.push(i);
+            miss_probe.push(if use_cache { probe_start.elapsed() } else { Duration::ZERO });
             steps.push(ScriptStep::Query(query.clone()));
         }
 
@@ -580,8 +636,10 @@ impl Service {
                 &self.registry,
                 ExecutorConfig { threads: None, certify: self.config.certify },
             );
-            let report = executor.execute_script(dataset.versioned(), &steps);
-            for (&i, outcome) in miss_positions.iter().zip(&report.outcomes) {
+            let mut recorder = TraceRecorder::new();
+            let report = executor.execute_script_traced(dataset.versioned(), &steps, &mut recorder);
+            let mut render_times = vec![Duration::ZERO; steps.len()];
+            for (slot, (&i, outcome)) in miss_positions.iter().zip(&report.outcomes).enumerate() {
                 let ScriptOutcome::Answer { version, certified, answer } = outcome else {
                     unreachable!("an all-query script answers every step");
                 };
@@ -589,7 +647,9 @@ impl Service {
                     Some(e) => Outcome::Failed(e.to_string()),
                     None => {
                         let flag = *certified == Some(true);
+                        let render_start = Instant::now();
                         let rendered: Arc<str> = Arc::from(render_answer(answer, flag, *version));
+                        render_times[slot] = render_start.elapsed();
                         // Never cache a contract violation: it must stay
                         // loud, not be replayed from the LRU.
                         if use_cache && *certified != Some(false) {
@@ -615,6 +675,34 @@ impl Service {
                 batch_stats.auto_actual_work,
             );
             stats = Some(batch_stats);
+
+            // Stamp, account and retain the traces: `trace.query` comes
+            // back as the script step position, which is the miss slot.
+            for mut trace in recorder.take() {
+                let slot = trace.query;
+                trace.id = rid.to_string();
+                trace.dataset = dataset.name().to_string();
+                trace.query = miss_positions.get(slot).copied().unwrap_or(slot);
+                trace.set_phase(
+                    Phase::CacheLookup,
+                    miss_probe.get(slot).copied().unwrap_or(Duration::ZERO),
+                );
+                trace.set_phase(
+                    Phase::Render,
+                    render_times.get(slot).copied().unwrap_or(Duration::ZERO),
+                );
+                self.stats.record_solver(&trace.solver, trace.phase(Phase::Solve));
+                self.stats.record_dataset_query(dataset.name(), trace.phase_total());
+                if let Some(choice) = trace.routed {
+                    self.stats.record_auto_choice(choice);
+                }
+                if let Some(threshold) = self.config.slow_query {
+                    if trace.phase_total() >= threshold {
+                        eprintln!("{}", slow_query_line(&trace));
+                    }
+                }
+                self.traces.push(trace);
+            }
         }
         dataset.count_requests(queries.len() as u64);
 
@@ -628,7 +716,7 @@ impl Service {
         }
     }
 
-    fn query(&self, request: &Request) -> Response {
+    fn query(&self, request: &Request, rid: &str) -> Response {
         let body = match parse_body(request) {
             Ok(v) => v,
             Err(resp) => return *resp,
@@ -646,26 +734,28 @@ impl Service {
         let use_cache = body.get("cache").and_then(Json::as_bool).unwrap_or(true);
         let answered = match dataset.as_ref() {
             Dataset::Planar(core) => match spec.to_planar() {
-                Ok(query) => self.answer(core, std::slice::from_ref(&query), use_cache),
+                Ok(query) => self.answer(core, std::slice::from_ref(&query), use_cache, rid),
                 Err(message) => return error_response(400, &message),
             },
             Dataset::Line(core) => match spec.to_line() {
-                Ok(query) => self.answer(core, std::slice::from_ref(&query), use_cache),
+                Ok(query) => self.answer(core, std::slice::from_ref(&query), use_cache, rid),
                 Err(message) => return error_response(400, &message),
             },
         };
         match &answered.outcomes[0] {
             Outcome::Failed(message) => error_response(422, message),
-            Outcome::Hit(rendered) => {
-                Response::json(200, format!("{{\"cached\":true,\"answer\":{rendered}}}"))
-            }
-            Outcome::Computed(rendered) => {
-                Response::json(200, format!("{{\"cached\":false,\"answer\":{rendered}}}"))
-            }
+            Outcome::Hit(rendered) => Response::json(
+                200,
+                format!("{{\"cached\":true,\"trace\":\"{rid}\",\"answer\":{rendered}}}"),
+            ),
+            Outcome::Computed(rendered) => Response::json(
+                200,
+                format!("{{\"cached\":false,\"trace\":\"{rid}\",\"answer\":{rendered}}}"),
+            ),
         }
     }
 
-    fn batch(&self, request: &Request) -> Response {
+    fn batch(&self, request: &Request, rid: &str) -> Response {
         let body = match parse_body(request) {
             Ok(v) => v,
             Err(resp) => return *resp,
@@ -700,7 +790,7 @@ impl Service {
                         }
                     }
                 }
-                self.answer(core, &queries, use_cache)
+                self.answer(core, &queries, use_cache, rid)
             }
             Dataset::Line(core) => {
                 let mut queries = Vec::with_capacity(specs.len());
@@ -712,7 +802,7 @@ impl Service {
                         }
                     }
                 }
-                self.answer(core, &queries, use_cache)
+                self.answer(core, &queries, use_cache, rid)
             }
         };
 
@@ -724,10 +814,14 @@ impl Service {
             }
             match outcome {
                 Outcome::Hit(rendered) => {
-                    body.push_str(&format!("{{\"cached\":true,\"answer\":{rendered}}}"));
+                    body.push_str(&format!(
+                        "{{\"cached\":true,\"trace\":\"{rid}\",\"answer\":{rendered}}}"
+                    ));
                 }
                 Outcome::Computed(rendered) => {
-                    body.push_str(&format!("{{\"cached\":false,\"answer\":{rendered}}}"));
+                    body.push_str(&format!(
+                        "{{\"cached\":false,\"trace\":\"{rid}\",\"answer\":{rendered}}}"
+                    ));
                 }
                 Outcome::Failed(message) => {
                     failed += 1;
@@ -839,8 +933,30 @@ pub fn latency_json(summary: &LatencySummary) -> Json {
         ("mean_us".into(), us(summary.mean)),
         ("p50_us".into(), us(summary.p50)),
         ("p95_us".into(), us(summary.p95)),
+        ("p99_us".into(), us(summary.p99)),
         ("max_us".into(), us(summary.max)),
     ])
+}
+
+/// The one structured stderr line the slow-query log emits per offending
+/// query: `key=value` pairs, grep- and cut-friendly.
+fn slow_query_line(trace: &QueryTrace) -> String {
+    let mut line = format!(
+        "slow-query trace={} dataset={} query={} solver={}",
+        trace.id, trace.dataset, trace.query, trace.solver
+    );
+    if let Some(choice) = trace.routed {
+        line.push_str(&format!(" routed={choice}"));
+    }
+    line.push_str(&format!(" total_us={}", trace.phase_total().as_micros()));
+    for phase in Phase::ALL {
+        line.push_str(&format!(" {}_us={}", phase.name(), trace.phase(phase).as_micros()));
+    }
+    line.push_str(&format!(
+        " ok={} candidates={} cells={}",
+        trace.ok, trace.candidates_examined, trace.grid_cells_visited
+    ));
+    line
 }
 
 fn error_response(status: u16, message: &str) -> Response {
@@ -1167,6 +1283,132 @@ mod tests {
             "the resident index must be built exactly once"
         );
         assert_eq!(dataset.requests(), 11);
+    }
+
+    #[test]
+    fn every_response_carries_a_request_id_and_answers_echo_it() {
+        let service = service();
+        let health = service.handle(&get("/healthz"));
+        let rid_of = |response: &Response| {
+            response
+                .headers
+                .iter()
+                .find(|(name, _)| *name == "X-Request-Id")
+                .map(|(_, value)| value.clone())
+                .expect("every response is stamped")
+        };
+        assert_eq!(rid_of(&health), "r-000001");
+        // Errors are stamped too.
+        assert_eq!(rid_of(&service.handle(&get("/frob"))), "r-000002");
+
+        service.handle(&post("/datasets/demo", CSV));
+        let body = r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        let computed = service.handle(&post("/query", body));
+        let rid = rid_of(&computed);
+        let parsed = Json::parse(std::str::from_utf8(&computed.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("trace").and_then(Json::as_str), Some(rid.as_str()));
+        // Cache hits echo their own request's id, not the computing one's.
+        let hit = service.handle(&post("/query", body));
+        let parsed = Json::parse(std::str::from_utf8(&hit.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("trace").and_then(Json::as_str), Some(rid_of(&hit).as_str()));
+    }
+
+    #[test]
+    fn executed_queries_leave_retrievable_traces() {
+        let service = service();
+        service.handle(&post("/datasets/demo", CSV));
+        let body = r#"{"dataset":"demo","queries":[
+            {"solver":"exact-disk-2d","shape":{"ball":1.0}},
+            {"solver":"auto","shape":{"ball":0.7}}
+        ]}"#;
+        let response = service.handle(&post("/batch", body));
+        assert_eq!(response.status, 200);
+        let rid = response
+            .headers
+            .iter()
+            .find(|(name, _)| *name == "X-Request-Id")
+            .map(|(_, value)| value.clone())
+            .unwrap();
+
+        // Both executed queries left one trace each under the request id.
+        let traces = service.handle(&get(&format!("/debug/traces?id={rid}")));
+        let parsed = Json::parse(std::str::from_utf8(&traces.body).unwrap()).unwrap();
+        let listed = parsed.get("traces").unwrap().as_arr().unwrap();
+        assert_eq!(listed.len(), 2, "one trace per executed query");
+        for (i, trace) in listed.iter().enumerate() {
+            assert_eq!(trace.get("trace").and_then(Json::as_str), Some(rid.as_str()));
+            assert_eq!(trace.get("dataset").and_then(Json::as_str), Some("demo"));
+            assert_eq!(trace.get("query").and_then(Json::as_f64), Some(i as f64));
+            assert_eq!(trace.get("ok").and_then(Json::as_bool), Some(true));
+            let phases = trace.get("phases_us").unwrap();
+            assert!(phases.get("solve").and_then(Json::as_f64).is_some());
+        }
+        assert_eq!(listed[1].get("solver").and_then(Json::as_str), Some("auto"));
+        assert!(listed[1].get("routed").and_then(Json::as_str).is_some());
+
+        // Cache hits execute nothing and leave no trace.
+        let before = service.traces().snapshot().len();
+        service.handle(&post("/batch", body));
+        assert_eq!(service.traces().snapshot().len(), before);
+
+        // Per-solver and per-dataset histograms got the samples.
+        let solvers: Vec<String> =
+            service.stats().solver_histograms().into_iter().map(|(name, _)| name).collect();
+        assert!(solvers.contains(&"auto".to_string()), "{solvers:?}");
+        assert!(solvers.contains(&"exact-disk-2d".to_string()), "{solvers:?}");
+        assert_eq!(service.stats().dataset_histograms()[0].0, "demo");
+        assert!(!service.stats().auto_choice_counts().is_empty());
+    }
+
+    #[test]
+    fn metrics_serve_prometheus_text() {
+        let service = service();
+        service.handle(&post("/datasets/demo", CSV));
+        let q = r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        service.handle(&post("/query", q));
+        service.handle(&post("/query", q)); // cache hit
+        let response = service.handle(&get("/metrics"));
+        assert_eq!(response.status, 200);
+        assert!(response.content_type.starts_with("text/plain"));
+        let text = std::str::from_utf8(&response.body).unwrap();
+        assert!(text.contains("# TYPE maxrs_request_duration_seconds histogram"));
+        assert!(text.contains("maxrs_requests_total{endpoint=\"query\"} 2"));
+        assert!(text.contains("maxrs_solver_duration_seconds_count{solver=\"exact-disk-2d\"} 1"));
+        assert!(text.contains("maxrs_dataset_query_duration_seconds_count{dataset=\"demo\"} 1"));
+        assert!(text.contains("maxrs_cache_hits_total 1"));
+        assert!(text.contains("maxrs_dataset_points{dataset=\"demo\"} 4"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn stats_latency_reports_p99_and_slow_query_lines_format() {
+        let service = service();
+        service.handle(&get("/healthz"));
+        let stats = service.handle(&get("/stats"));
+        let parsed = Json::parse(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+        let endpoints = parsed.get("endpoints").unwrap().as_arr().unwrap();
+        for endpoint in endpoints {
+            assert!(
+                endpoint.get("latency").unwrap().get("p99_us").is_some(),
+                "every endpoint latency carries p99_us"
+            );
+        }
+
+        let mut trace = QueryTrace {
+            id: "r-000007".into(),
+            dataset: "demo".into(),
+            query: 3,
+            solver: "auto".into(),
+            routed: Some("exact-disk-2d"),
+            ok: true,
+            ..QueryTrace::default()
+        };
+        trace.set_phase(Phase::Solve, Duration::from_micros(1500));
+        let line = slow_query_line(&trace);
+        assert!(line.starts_with("slow-query trace=r-000007 dataset=demo query=3 solver=auto"));
+        assert!(line.contains("routed=exact-disk-2d"));
+        assert!(line.contains("total_us=1500"));
+        assert!(line.contains("solve_us=1500"));
     }
 
     #[test]

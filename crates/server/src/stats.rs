@@ -1,19 +1,23 @@
-//! Per-endpoint request counters and latency tracking for `/stats`.
+//! Per-endpoint request counters and latency tracking for `/stats` and
+//! `/metrics`.
 //!
-//! Counters are lock-free atomics; latencies additionally feed a bounded
-//! ring of recent samples per endpoint, summarized on demand into the same
-//! [`LatencySummary`] the `maxrs batch` CLI prints — one stats vocabulary
-//! across the whole workspace.
+//! Everything on the record path is lock-free: counters are atomics and
+//! latencies feed one [`Histogram`] per endpoint (log-linear atomic
+//! buckets, ~1% relative error, cumulative since startup — so p99/p999 are
+//! real tail quantiles, not a sliding-window artifact).  Histograms are
+//! summarized on demand into the same [`LatencySummary`] the `maxrs batch`
+//! CLI prints — one stats vocabulary across the whole workspace — and
+//! walked bucket-wise by the `/metrics` Prometheus renderer.  Per-solver
+//! and per-dataset latency series live in [`LabeledHistograms`] maps that
+//! take a read lock only to find (or, once per label, insert) the `Arc`'d
+//! histogram.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use mrs_core::engine::LatencySummary;
-
-/// How many recent latency samples each endpoint keeps for percentiles.
-const RING_CAPACITY: usize = 512;
+use mrs_core::engine::{Histogram, LatencySummary};
 
 /// The endpoints the service tracks individually.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,18 +93,29 @@ impl Endpoint {
         }
     }
 
-    fn index(&self) -> usize {
-        ENDPOINTS.iter().position(|e| e == self).expect("endpoint is enumerated")
+    /// The endpoint's slot in [`ENDPOINTS`] (const: the record hot path
+    /// must not scan the table).
+    pub const fn index(&self) -> usize {
+        match self {
+            Endpoint::Healthz => 0,
+            Endpoint::Solvers => 1,
+            Endpoint::Datasets => 2,
+            Endpoint::Mutate => 3,
+            Endpoint::Query => 4,
+            Endpoint::Batch => 5,
+            Endpoint::Stats => 6,
+            Endpoint::Other => 7,
+        }
     }
 }
 
-/// Counters and a latency ring for one endpoint.
+/// Counters and a latency histogram for one endpoint.  The request count is
+/// the histogram's sample count — every handled request records exactly one
+/// latency.
 #[derive(Default)]
 struct EndpointTrack {
-    requests: AtomicU64,
     errors: AtomicU64,
-    total_us: AtomicU64,
-    samples: Mutex<VecDeque<Duration>>,
+    latency: Histogram,
 }
 
 /// A point-in-time view of one endpoint's counters.
@@ -114,8 +129,39 @@ pub struct EndpointSnapshot {
     pub errors: u64,
     /// Total handling time across all requests.
     pub total: Duration,
-    /// Five-number summary over the recent-latency ring.
+    /// Latency summary over every request since startup (histogram-backed:
+    /// count/min/max/mean exact, quantiles within ~1%).
     pub latency: LatencySummary,
+}
+
+/// A family of latency histograms keyed by a runtime label (solver or
+/// dataset name).  Recording takes a read lock to find the label's `Arc`'d
+/// histogram (insertion, once per label, takes the write lock); the
+/// histogram update itself is lock-free.
+#[derive(Default)]
+pub struct LabeledHistograms {
+    map: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl LabeledHistograms {
+    /// Records one sample under `label`.
+    pub fn record(&self, label: &str, sample: Duration) {
+        if let Some(hist) = self.map.read().expect("labeled histograms poisoned").get(label) {
+            hist.record(sample);
+            return;
+        }
+        let mut map = self.map.write().expect("labeled histograms poisoned");
+        map.entry(label.to_string()).or_default().record(sample);
+    }
+
+    /// The labels and their histograms, sorted by label.
+    pub fn snapshot(&self) -> Vec<(String, Arc<Histogram>)> {
+        let map = self.map.read().expect("labeled histograms poisoned");
+        let mut entries: Vec<(String, Arc<Histogram>)> =
+            map.iter().map(|(label, hist)| (label.clone(), Arc::clone(hist))).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
 }
 
 /// Server-wide statistics: uptime plus one track per endpoint, plus the
@@ -124,6 +170,9 @@ pub struct EndpointSnapshot {
 pub struct ServerStats {
     started: Instant,
     tracks: [EndpointTrack; ENDPOINTS.len()],
+    solver_latency: LabeledHistograms,
+    dataset_latency: LabeledHistograms,
+    auto_choices: Mutex<BTreeMap<&'static str, u64>>,
     candidates_examined: AtomicU64,
     grid_cells_visited: AtomicU64,
     sieve_rejected: AtomicU64,
@@ -144,6 +193,9 @@ impl ServerStats {
         Self {
             started: Instant::now(),
             tracks: Default::default(),
+            solver_latency: LabeledHistograms::default(),
+            dataset_latency: LabeledHistograms::default(),
+            auto_choices: Mutex::new(BTreeMap::new()),
             candidates_examined: AtomicU64::new(0),
             grid_cells_visited: AtomicU64::new(0),
             sieve_rejected: AtomicU64::new(0),
@@ -217,19 +269,61 @@ impl ServerStats {
         self.started.elapsed()
     }
 
-    /// Records one handled request.
+    /// Records one handled request (lock-free).
     pub fn record(&self, endpoint: Endpoint, elapsed: Duration, ok: bool) {
         let track = &self.tracks[endpoint.index()];
-        track.requests.fetch_add(1, Ordering::Relaxed);
         if !ok {
             track.errors.fetch_add(1, Ordering::Relaxed);
         }
-        track.total_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
-        let mut samples = track.samples.lock().expect("stats ring poisoned");
-        if samples.len() >= RING_CAPACITY {
-            samples.pop_front();
-        }
-        samples.push_back(elapsed);
+        track.latency.record(elapsed);
+    }
+
+    /// Records one executed query's solver wall time under the solver's
+    /// registry name (the `auto` meta-solver records under `auto`; its
+    /// routing decision goes to [`Self::record_auto_choice`]).
+    pub fn record_solver(&self, solver: &str, elapsed: Duration) {
+        self.solver_latency.record(solver, elapsed);
+    }
+
+    /// Records one executed (non-cache-hit) query's end-to-end time under
+    /// the dataset it ran against.
+    pub fn record_dataset_query(&self, dataset: &str, elapsed: Duration) {
+        self.dataset_latency.record(dataset, elapsed);
+    }
+
+    /// Counts one `auto` routing decision toward `choice`.
+    pub fn record_auto_choice(&self, choice: &'static str) {
+        *self
+            .auto_choices
+            .lock()
+            .expect("auto-choice counters poisoned")
+            .entry(choice)
+            .or_insert(0) += 1;
+    }
+
+    /// Per-solver latency histograms, sorted by solver name.
+    pub fn solver_histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.solver_latency.snapshot()
+    }
+
+    /// Per-dataset query-latency histograms, sorted by dataset name.
+    pub fn dataset_histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.dataset_latency.snapshot()
+    }
+
+    /// `auto` routing decisions per chosen solver, sorted by choice.
+    pub fn auto_choice_counts(&self) -> Vec<(&'static str, u64)> {
+        self.auto_choices
+            .lock()
+            .expect("auto-choice counters poisoned")
+            .iter()
+            .map(|(&choice, &n)| (choice, n))
+            .collect()
+    }
+
+    /// The latency histogram of one endpoint (for the `/metrics` renderer).
+    pub fn endpoint_histogram(&self, endpoint: Endpoint) -> &Histogram {
+        &self.tracks[endpoint.index()].latency
     }
 
     /// Point-in-time snapshots for every endpoint, in [`ENDPOINTS`] order.
@@ -238,16 +332,12 @@ impl ServerStats {
             .iter()
             .map(|endpoint| {
                 let track = &self.tracks[endpoint.index()];
-                let samples: Vec<Duration> = {
-                    let ring = track.samples.lock().expect("stats ring poisoned");
-                    ring.iter().copied().collect()
-                };
                 EndpointSnapshot {
                     name: endpoint.name(),
-                    requests: track.requests.load(Ordering::Relaxed),
+                    requests: track.latency.count(),
                     errors: track.errors.load(Ordering::Relaxed),
-                    total: Duration::from_micros(track.total_us.load(Ordering::Relaxed)),
-                    latency: LatencySummary::from_durations(&samples),
+                    total: track.latency.sum(),
+                    latency: track.latency.summary(),
                 }
             })
             .collect()
@@ -255,7 +345,7 @@ impl ServerStats {
 
     /// Total requests across all endpoints.
     pub fn total_requests(&self) -> u64 {
-        self.tracks.iter().map(|t| t.requests.load(Ordering::Relaxed)).sum()
+        self.tracks.iter().map(|t| t.latency.count()).sum()
     }
 
     /// Requests per second of uptime, across all endpoints.
@@ -303,21 +393,60 @@ mod tests {
         assert_eq!(snapshot.errors, 1);
         assert_eq!(snapshot.total, Duration::from_micros(600));
         assert_eq!(snapshot.latency.count, 3);
-        assert_eq!(snapshot.latency.p50, Duration::from_micros(200));
+        // Histogram-backed quantiles are bucket midpoints, within ~1%.
+        let p50 = snapshot.latency.p50.as_nanos() as f64;
+        assert!((p50 - 200_000.0).abs() / 200_000.0 < 0.01, "p50 {p50} ≉ 200 µs");
+        assert_eq!(snapshot.latency.min, Duration::from_micros(100));
+        assert_eq!(snapshot.latency.max, Duration::from_micros(300));
         assert_eq!(stats.total_requests(), 3);
         assert!(stats.requests_per_sec() > 0.0);
     }
 
     #[test]
-    fn latency_ring_is_bounded() {
+    fn latency_histograms_keep_every_sample() {
+        // The old per-endpoint ring dropped everything past 512 samples;
+        // the histogram is cumulative since startup and loses none.
         let stats = ServerStats::new();
-        for i in 0..(RING_CAPACITY + 100) {
-            stats.record(Endpoint::Healthz, Duration::from_micros(i as u64), true);
+        for i in 0..10_000u64 {
+            stats.record(Endpoint::Healthz, Duration::from_micros(i + 1), true);
         }
-        let snapshot = &stats.snapshots()[0];
-        assert_eq!(snapshot.requests as usize, RING_CAPACITY + 100);
-        assert_eq!(snapshot.latency.count, RING_CAPACITY);
-        // The ring kept the most recent samples, so the minimum moved up.
-        assert_eq!(snapshot.latency.min, Duration::from_micros(100));
+        let snapshot = &stats.snapshots()[Endpoint::Healthz.index()];
+        assert_eq!(snapshot.requests, 10_000);
+        assert_eq!(snapshot.latency.count, 10_000);
+        assert_eq!(snapshot.latency.min, Duration::from_micros(1));
+        assert_eq!(snapshot.latency.max, Duration::from_micros(10_000));
+        let p99 = snapshot.latency.p99.as_nanos() as f64;
+        assert!((p99 - 9_900_000.0).abs() / 9_900_000.0 < 0.01, "p99 {p99} ≉ 9.9 ms");
+    }
+
+    #[test]
+    fn labeled_histograms_track_solvers_datasets_and_auto_choices() {
+        let stats = ServerStats::new();
+        stats.record_solver("exact-disk-2d", Duration::from_micros(40));
+        stats.record_solver("auto", Duration::from_micros(10));
+        stats.record_solver("exact-disk-2d", Duration::from_micros(60));
+        stats.record_dataset_query("taxi", Duration::from_micros(120));
+        stats.record_auto_choice("exact-disk-2d");
+        stats.record_auto_choice("exact-disk-2d");
+        stats.record_auto_choice("batched-interval-1d");
+
+        let solvers = stats.solver_histograms();
+        assert_eq!(
+            solvers.iter().map(|(name, _)| name.as_str()).collect::<Vec<_>>(),
+            vec!["auto", "exact-disk-2d"],
+        );
+        assert_eq!(solvers[1].1.count(), 2);
+        assert_eq!(stats.dataset_histograms()[0].0, "taxi");
+        assert_eq!(
+            stats.auto_choice_counts(),
+            vec![("batched-interval-1d", 1), ("exact-disk-2d", 2)],
+        );
+    }
+
+    #[test]
+    fn endpoint_index_is_the_endpoints_position() {
+        for (i, endpoint) in ENDPOINTS.iter().enumerate() {
+            assert_eq!(endpoint.index(), i);
+        }
     }
 }

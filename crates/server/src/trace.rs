@@ -1,0 +1,154 @@
+//! A bounded ring of recently executed query traces.
+//!
+//! Every non-cache-hit query the service executes leaves behind a
+//! [`QueryTrace`] — the per-phase wall-time
+//! breakdown recorded by the engine's
+//! [`TraceRecorder`](mrs_core::engine::TraceRecorder), stamped with the
+//! request id the client saw in its `X-Request-Id` header.  The ring keeps
+//! the most recent [`TraceRing::capacity`] of them so `GET /debug/traces`
+//! can answer "what did request `r-000042` actually spend its time on?"
+//! without unbounded memory growth: the ring is a `Mutex<VecDeque>` touched
+//! once per *executed* query (cache hits never lock it), so it is far off
+//! the hot path.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use mrs_core::engine::{Phase, QueryTrace};
+
+use crate::json::Json;
+
+/// How many traces `GET /debug/traces` retains by default.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// A fixed-capacity FIFO of the most recent query traces.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    ring: Mutex<VecDeque<QueryTrace>>,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceRing {
+    /// Creates a ring that retains the `capacity` most recent traces.
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+        }
+    }
+
+    /// The maximum number of traces retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a trace, evicting the oldest when full.
+    pub fn push(&self, trace: QueryTrace) {
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// The retained traces, oldest first.
+    pub fn snapshot(&self) -> Vec<QueryTrace> {
+        self.ring.lock().expect("trace ring poisoned").iter().cloned().collect()
+    }
+
+    /// All retained traces for one request id, oldest first (a batch request
+    /// leaves one trace per executed query under the same id).
+    pub fn for_request(&self, id: &str) -> Vec<QueryTrace> {
+        self.ring
+            .lock()
+            .expect("trace ring poisoned")
+            .iter()
+            .filter(|t| t.id == id)
+            .cloned()
+            .collect()
+    }
+}
+
+/// Renders one trace as the JSON object `/debug/traces` serves.
+pub fn trace_json(trace: &QueryTrace) -> Json {
+    let mut phases = Vec::with_capacity(Phase::ALL.len());
+    for phase in Phase::ALL {
+        phases.push((phase.name().to_string(), Json::num(trace.phase(phase).as_micros() as f64)));
+    }
+    let mut fields = vec![
+        ("trace".to_string(), Json::str(trace.id.clone())),
+        ("dataset".to_string(), Json::str(trace.dataset.clone())),
+        ("query".to_string(), Json::num(trace.query as f64)),
+        ("solver".to_string(), Json::str(trace.solver.clone())),
+    ];
+    if let Some(routed) = trace.routed {
+        fields.push(("routed".to_string(), Json::str(routed)));
+    }
+    fields.push(("shape".to_string(), Json::str(trace.shape.clone())));
+    fields.push(("version".to_string(), Json::num(trace.version as f64)));
+    fields.push(("ok".to_string(), Json::Bool(trace.ok)));
+    match trace.certified {
+        Some(flag) => fields.push(("certified".to_string(), Json::Bool(flag))),
+        None => fields.push(("certified".to_string(), Json::Null)),
+    }
+    fields.push(("phases_us".to_string(), Json::Obj(phases)));
+    fields.push(("total_us".to_string(), Json::num(trace.phase_total().as_micros() as f64)));
+    fields.push(("candidates_examined".to_string(), Json::num(trace.candidates_examined as f64)));
+    fields.push(("grid_cells_visited".to_string(), Json::num(trace.grid_cells_visited as f64)));
+    fields.push(("sieve_rejected".to_string(), Json::num(trace.sieve_rejected as f64)));
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn trace(id: &str, query: usize) -> QueryTrace {
+        let mut t = QueryTrace {
+            id: id.to_string(),
+            dataset: "demo".to_string(),
+            query,
+            solver: "exact-disk-2d".to_string(),
+            ok: true,
+            certified: Some(true),
+            ..QueryTrace::default()
+        };
+        t.set_phase(Phase::Solve, Duration::from_micros(120));
+        t
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.push(trace("r-000001", i));
+        }
+        let kept: Vec<usize> = ring.snapshot().iter().map(|t| t.query).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn traces_are_found_by_request_id() {
+        let ring = TraceRing::default();
+        ring.push(trace("r-000001", 0));
+        ring.push(trace("r-000002", 0));
+        ring.push(trace("r-000002", 1));
+        assert_eq!(ring.for_request("r-000002").len(), 2);
+        assert_eq!(ring.for_request("r-000009").len(), 0);
+    }
+
+    #[test]
+    fn trace_json_carries_phases_and_id() {
+        let rendered = trace_json(&trace("r-000042", 7)).render();
+        assert!(rendered.contains("\"trace\":\"r-000042\""));
+        assert!(rendered.contains("\"solve\":120"));
+        assert!(rendered.contains("\"certified\":true"));
+    }
+}

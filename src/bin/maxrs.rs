@@ -30,8 +30,8 @@ fn main() -> ExitCode {
     };
     // Serve is the one long-lived command: load the startup datasets, bind,
     // and park on the runtime until a `POST /shutdown` arrives.
-    if let Command::Serve { addr, threads, eps, seed, datasets } = &command {
-        return run_server(addr, *threads, *eps, *seed, datasets);
+    if let Command::Serve { addr, threads, eps, seed, slow_query_ms, datasets } = &command {
+        return run_server(addr, *threads, *eps, *seed, *slow_query_ms, datasets);
     }
     // Mutate posts the file to a running server's insert/delete endpoint.
     if let Command::Mutate { addr, dataset, delete, .. } = &command {
@@ -40,14 +40,16 @@ fn main() -> ExitCode {
     // Batch commands read a second file (the query list) and run through the
     // shared-index executor; everything else is a single engine dispatch.
     let outcome = match &command {
-        Command::Batch { threads, eps, .. } => {
+        Command::Batch { threads, eps, trace, .. } => {
             let queries = queries_path(&command).expect("batch commands carry a query path");
             match std::fs::read_to_string(queries) {
                 Err(error) => {
                     eprintln!("error: cannot read {queries}: {error}");
                     return ExitCode::FAILURE;
                 }
-                Ok(queries_text) => run_batch_on_text(&file_text, &queries_text, *threads, *eps),
+                Ok(queries_text) => {
+                    run_batch_on_text(&file_text, &queries_text, *threads, *eps, *trace)
+                }
             }
         }
         _ => run_on_text(&command, &file_text),
@@ -128,16 +130,19 @@ fn run_server(
     threads: Option<usize>,
     eps: f64,
     seed: Option<u64>,
+    slow_query_ms: Option<u64>,
     datasets: &[(String, String, usize)],
 ) -> ExitCode {
     use maxrs::server::{serve_with, ServerConfig, Service};
     use std::sync::Arc;
+    use std::time::Duration;
 
     let config = ServerConfig {
         addr: addr.to_string(),
         threads: threads.unwrap_or(0),
         eps,
         seed,
+        slow_query: slow_query_ms.map(Duration::from_millis),
         ..ServerConfig::default()
     };
     let service = Arc::new(Service::new(config));

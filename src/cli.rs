@@ -11,8 +11,8 @@ use mrs_geom::{ColoredSite, WeightedPoint};
 
 use crate::engine::{
     registry_with, BatchAnswer, BatchExecutor, BatchQuery, ColoredInstance, DimSupport,
-    EngineConfig, EngineError, ExecutorConfig, Mutation, RangeShape, ScriptOutcome, ScriptStep,
-    SolveStats, VersionedDataset, WeightedInstance,
+    EngineConfig, EngineError, ExecutorConfig, Mutation, Phase, RangeShape, ScriptOutcome,
+    ScriptStep, SolveStats, TraceRecorder, VersionedDataset, WeightedInstance,
 };
 
 /// A parsed command line.
@@ -61,7 +61,8 @@ pub enum Command {
         path: String,
     },
     /// Batch execution: many queries over one point set through the
-    /// shared-index executor (`batch --queries Q [--threads N] [--eps E] <file>`).
+    /// shared-index executor (`batch --queries Q [--threads N] [--eps E]
+    /// [--trace] <file>`).
     Batch {
         /// Path of the query-list file.
         queries: String,
@@ -69,11 +70,13 @@ pub enum Command {
         threads: Option<usize>,
         /// Approximation parameter for the approximate solvers in the batch.
         eps: f64,
+        /// Print one phase-timed trace line per executed query.
+        trace: bool,
         /// Input CSV path.
         path: String,
     },
     /// Long-lived query service (`serve --addr HOST:PORT [--threads N]
-    /// [--eps E] [--seed S] [--dataset name=path]...`).
+    /// [--eps E] [--seed S] [--slow-query-ms MS] [--dataset name=path]...`).
     Serve {
         /// Address to bind, `HOST:PORT`.
         addr: String,
@@ -83,6 +86,8 @@ pub enum Command {
         eps: f64,
         /// Seed for the randomized solvers (`None` = entropy-seeded).
         seed: Option<u64>,
+        /// Slow-query log threshold in milliseconds (`None` disables it).
+        slow_query_ms: Option<u64>,
         /// Datasets to load into the catalog at startup, as
         /// `(name, path, dim)` where `dim` is 1 (`name=path@1d`, 1-D
         /// `x[,weight]` CSV) or 2 (`name=path`, planar batch CSV).
@@ -133,9 +138,9 @@ USAGE:
     maxrs rect                --width W --height H  <points.csv>
     maxrs colored-disk        --radius R            <colored.csv>
     maxrs colored-disk-approx --radius R --eps E    <colored.csv>
-    maxrs batch --queries <script.txt> [--threads N] [--eps E] <points.csv>
+    maxrs batch --queries <script.txt> [--threads N] [--eps E] [--trace] <points.csv>
     maxrs serve --addr HOST:PORT [--threads N] [--eps E] [--seed S]
-                [--dataset name=path[@1d]]...
+                [--slow-query-ms MS] [--dataset name=path[@1d]]...
     maxrs mutate --addr HOST:PORT --dataset NAME [--delete] <records.csv>
     maxrs solvers
 
@@ -151,6 +156,12 @@ batch CSV; append `@1d` for 1-D `x[,weight]` CSV) or uploaded later via
 mutable*: `maxrs mutate` posts a CSV of records to a running server's
 `POST /datasets/{name}/insert` (or `/delete` with `--delete`), bumping the
 dataset version and invalidating exactly the stale cached answers.
+
+Observability: `maxrs batch --trace` prints one phase-timed line per
+executed query (plan | index build | solve | certify); `maxrs serve`
+exposes Prometheus text at `GET /metrics`, recent phase-timed traces at
+`GET /debug/traces`, and — with `--slow-query-ms MS` — logs one structured
+stderr line per query whose phases sum past the threshold.
 
 INPUT FORMATS (one record per line, '#' starts a comment):
     weighted points:  x,y[,weight]          (weight defaults to 1)
@@ -187,6 +198,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut threads = None;
     let mut addr = None;
     let mut seed = None;
+    let mut slow_query_ms = None;
+    let mut trace = false;
     let mut raw_datasets: Vec<String> = Vec::new();
     let mut delete = false;
     let mut path = None;
@@ -219,6 +232,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--delete" => {
                 delete = true;
                 i += 1;
+            }
+            "--trace" => {
+                trace = true;
+                i += 1;
+            }
+            "--slow-query-ms" => {
+                let Some(raw) = args.get(i + 1) else {
+                    return err("--slow-query-ms requires a value");
+                };
+                let value: u64 = raw
+                    .parse()
+                    .map_err(|_| CliError(format!("--slow-query-ms: invalid threshold {raw}")))?;
+                slow_query_ms = Some(value);
+                i += 2;
             }
             "--radius" => {
                 radius = Some(parse_flag_value(args, &mut i, "--radius")?);
@@ -294,10 +321,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         )?;
     }
     if command != "serve" {
-        reject_unused(command, &[("--seed", seed.is_some())])?;
+        reject_unused(
+            command,
+            &[("--seed", seed.is_some()), ("--slow-query-ms", slow_query_ms.is_some())],
+        )?;
     }
     if command != "mutate" {
         reject_unused(command, &[("--delete", delete)])?;
+    }
+    if command != "batch" {
+        reject_unused(command, &[("--trace", trace)])?;
     }
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -340,6 +373,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 eps,
                 seed,
+                slow_query_ms,
                 datasets,
             })
         }
@@ -383,6 +417,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 queries: queries.ok_or_else(|| CliError("batch requires --queries".into()))?,
                 threads,
                 eps: eps.unwrap_or(0.25),
+                trace,
                 path: need_path(path)?,
             })
         }
@@ -628,6 +663,7 @@ pub fn run_batch_on_text(
     queries_text: &str,
     threads: Option<usize>,
     eps: f64,
+    trace: bool,
 ) -> Result<String, CliError> {
     check_eps(eps, 1.0)?;
     let (points, sites) = parse_batch_csv(points_text)?;
@@ -639,7 +675,8 @@ pub fn run_batch_on_text(
 
     let registry = registry_with(cli_config(eps));
     let executor = BatchExecutor::with_config(&registry, ExecutorConfig { threads, certify: true });
-    let report = executor.execute_script(&dataset, &steps);
+    let mut recorder = if trace { TraceRecorder::new() } else { TraceRecorder::disabled() };
+    let report = executor.execute_script_traced(&dataset, &steps, &mut recorder);
 
     let mut out = String::new();
     for (i, (step, outcome)) in steps.iter().zip(&report.outcomes).enumerate() {
@@ -711,6 +748,30 @@ pub fn run_batch_on_text(
     // Per-query wall time — the same `LatencySummary` the server's `/stats`
     // endpoint serializes per HTTP endpoint.
     out.push_str(&format!("per-query: {}\n", report.per_query_latency()));
+    // `--trace`: one phase-timed line per executed query, keyed by the
+    // step position the query ran at.
+    if trace {
+        out.push_str("traces:\n");
+        for t in recorder.traces() {
+            let us = |p: Phase| t.phase(p).as_secs_f64() * 1e6;
+            out.push_str(&format!(
+                "  [q{:>4}] {:<28} plan {:.1} µs | build {:.1} µs | solve {:.1} µs | certify \
+                 {:.1} µs | total {:.1} µs | v{}{}\n",
+                t.query,
+                match t.routed {
+                    Some(choice) => format!("{}→{choice}", t.solver),
+                    None => t.solver.clone(),
+                },
+                us(Phase::Plan),
+                us(Phase::IndexBuild),
+                us(Phase::Solve),
+                us(Phase::Certify),
+                t.phase_total().as_secs_f64() * 1e6,
+                t.version,
+                if t.ok { "" } else { " FAILED" },
+            ));
+        }
+    }
     Ok(out)
 }
 
@@ -1143,6 +1204,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
             queries: "q.txt".into(),
             threads: Some(2),
             eps: 0.25,
+            trace: false,
             path: "pts.csv".into(),
         };
         assert_eq!(input_path(&batch), Some("pts.csv"));
@@ -1168,9 +1230,16 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
                 queries: "q.txt".into(),
                 threads: Some(3),
                 eps: 0.3,
+                trace: false,
                 path: "pts.csv".into(),
             }
         );
+        // `--trace` turns per-query tracing on; it applies to batch only.
+        assert!(matches!(
+            parse_args(&args(&["batch", "--queries", "q.txt", "--trace", "pts.csv"])).unwrap(),
+            Command::Batch { trace: true, .. }
+        ));
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--trace", "p"])).is_err());
         // --queries is mandatory, --threads must be a positive integer, and
         // batch flags are rejected on other subcommands.
         assert!(parse_args(&args(&["batch", "pts.csv"])).is_err());
@@ -1197,9 +1266,17 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
                 threads: Some(4),
                 eps: 0.25,
                 seed: None,
+                slow_query_ms: None,
                 datasets: vec![("demo".into(), "examples/data/batch_points.csv".into(), 2)],
             }
         );
+        // `--slow-query-ms` arms the slow-query log; serve-only.
+        assert!(matches!(
+            parse_args(&args(&["serve", "--addr", "x:1", "--slow-query-ms", "250"])).unwrap(),
+            Command::Serve { slow_query_ms: Some(250), .. }
+        ));
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--slow-query-ms", "fast"])).is_err());
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--slow-query-ms", "9", "a"])).is_err());
         // A `@1d` suffix marks a 1-D dataset file.
         assert!(matches!(
             parse_args(&args(&["serve", "--addr", "x:1", "--dataset", "ticks=events.csv@1d"]))
@@ -1231,6 +1308,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
             threads: None,
             eps: 0.25,
             seed: None,
+            slow_query_ms: None,
             datasets: Vec::new(),
         };
         assert!(run_on_text(&serve, "").is_err());
@@ -1318,7 +1396,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         // delete it again: the same query sees three different versions.
         let csv = "0,0\n0.4,0\n0,0.4\n9,9\n";
         let script = "disk,1.0\ninsert,0.2,0.2,5\ndisk,1.0\ndelete,0.2,0.2\ndisk,1.0\n";
-        let out = run_batch_on_text(csv, script, None, 0.25).unwrap();
+        let out = run_batch_on_text(csv, script, None, 0.25, false).unwrap();
         assert!(out.contains("covered weight = 3.000000"), "{out}");
         assert!(out.contains("covered weight = 8.000000"), "{out}");
         assert!(out.contains("@v1]"), "{out}");
@@ -1403,7 +1481,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         // 0.1, where no two points fit in one disk.
         let csv = "0,0,1,0\n0.4,0,1,1\n0,0.4,1,2\n9,9,2,0\n";
         let queries = "disk,1.0\nrect,1,1\ncolored-disk,1.0\ndisk,0.1\n";
-        let out = run_batch_on_text(csv, queries, Some(2), 0.25).unwrap();
+        let out = run_batch_on_text(csv, queries, Some(2), 0.25, false).unwrap();
         assert!(out.contains("covered weight = 3.000000"), "{out}");
         assert!(out.contains("distinct colors = 3"), "{out}");
         assert!(out.contains("covered weight = 2.000000"), "{out}");
@@ -1411,17 +1489,41 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         assert!(out.contains("certified 4/4 (0 mismatches)"), "{out}");
         assert!(out.contains("threads = 2"), "{out}");
         // Per-query wall-time summary (satellite of the serving PR): the
-        // batch report surfaces the same LatencySummary the server serializes.
+        // batch report surfaces the same LatencySummary the server serializes,
+        // tail quantiles included.
         assert!(out.contains("per-query: min"), "{out}");
         assert!(out.contains("p95"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        // Untraced runs print no trace block.
+        assert!(!out.contains("traces:"), "{out}");
         // Work counters: the disk query runs through the shared grid, so the
         // batch must report nonzero candidates examined.
         assert!(out.contains("index work:"), "{out}");
         assert!(out.contains("candidates examined"), "{out}");
         assert!(out.contains("sieve-rejected"), "{out}");
 
-        assert!(run_batch_on_text(csv, "", None, 0.25).unwrap().contains("empty query file"));
-        assert!(run_batch_on_text(csv, queries, None, 1.5).is_err());
+        assert!(run_batch_on_text(csv, "", None, 0.25, false)
+            .unwrap()
+            .contains("empty query file"));
+        assert!(run_batch_on_text(csv, queries, None, 1.5, false).is_err());
+    }
+
+    #[test]
+    fn batch_trace_prints_one_phase_line_per_query() {
+        let csv = "0,0,1,0\n0.4,0,1,1\n0,0.4,1,2\n9,9,2,0\n";
+        let queries = "disk,1.0\ninsert,0.2,0.2,5\ndisk-auto,1.0\n";
+        let out = run_batch_on_text(csv, queries, None, 0.25, true).unwrap();
+        assert!(out.contains("traces:"), "{out}");
+        // Two queries executed (the insert is an update, not a query): the
+        // trace lines carry the step position, the solver (with the routed
+        // choice for `auto`), the phase split and the observed version.
+        assert!(out.contains("[q   0] exact-disk-2d"), "{out}");
+        assert!(out.contains("[q   2] auto→"), "{out}");
+        assert!(out.contains("plan "), "{out}");
+        assert!(out.contains("solve "), "{out}");
+        assert!(out.contains("certify "), "{out}");
+        assert!(out.matches("| v").count() >= 2, "{out}");
+        assert!(!out.contains("FAILED"), "{out}");
     }
 
     #[test]
@@ -1431,7 +1533,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         // and the aggregate line reports picks plus predicted/actual work.
         let csv = "0,0,1,0\n0.4,0,1,1\n0,0.4,1,2\n9,9,2,0\n";
         let queries = "disk-auto,1.0\nrect-auto,1,1\ncolored-disk-auto,1.0\ndisk,0.1\n";
-        let out = run_batch_on_text(csv, queries, None, 0.25).unwrap();
+        let out = run_batch_on_text(csv, queries, None, 0.25, false).unwrap();
         assert!(out.contains("[auto→"), "{out}");
         // A weighted axis-box can only go to the exact rect solver, so this
         // pick is deterministic; the colored-ball step must answer exactly
@@ -1447,7 +1549,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         assert!(out.contains("| actual work = "), "{out}");
 
         // No `-auto` steps → no aggregate auto line.
-        let out = run_batch_on_text(csv, "disk,1.0\n", None, 0.25).unwrap();
+        let out = run_batch_on_text(csv, "disk,1.0\n", None, 0.25, false).unwrap();
         assert!(!out.contains("auto:"), "{out}");
     }
 }

@@ -331,6 +331,98 @@ fn mutations_stream_through_versions_over_tcp() {
     server.shutdown();
 }
 
+/// The observability surface over real TCP: every response carries an
+/// `X-Request-Id`, executed queries leave retrievable phase traces at
+/// `/debug/traces` keyed by it, and `/metrics` serves well-formed
+/// Prometheus text with per-endpoint, per-solver and per-dataset series.
+#[test]
+fn metrics_traces_and_request_ids_over_tcp() {
+    let (server, mut client) = boot();
+
+    // Request ids: present on every response, unique per request, echoed
+    // in the answer JSON's `trace` field.
+    let body = r#"{"dataset":"planar","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+    let (status, headers, first) =
+        client.request_with_headers("POST", "/query", body).expect("query I/O");
+    assert_eq!(status, 200, "{first}");
+    let first_id = headers
+        .iter()
+        .find(|(name, _)| name == "x-request-id")
+        .map(|(_, value)| value.clone())
+        .expect("every response carries X-Request-Id");
+    assert_eq!(parse(&first).get("trace").and_then(Json::as_str), Some(first_id.as_str()));
+    let (_, headers, _) = client.request_with_headers("GET", "/healthz", "").expect("healthz I/O");
+    let second_id = headers
+        .iter()
+        .find(|(name, _)| name == "x-request-id")
+        .map(|(_, value)| value.clone())
+        .expect("non-query responses carry X-Request-Id too");
+    assert_ne!(first_id, second_id, "request ids are unique");
+
+    // The executed query's phase trace is retrievable by its request id.
+    let (status, traces) = client.get(&format!("/debug/traces?id={first_id}")).expect("traces I/O");
+    assert_eq!(status, 200, "{traces}");
+    let traces = parse(&traces);
+    let listed = traces.get("traces").and_then(Json::as_arr).expect("traces array");
+    assert_eq!(listed.len(), 1, "one executed query, one trace");
+    let trace = &listed[0];
+    assert_eq!(trace.get("trace").and_then(Json::as_str), Some(first_id.as_str()));
+    assert_eq!(trace.get("dataset").and_then(Json::as_str), Some("planar"));
+    assert_eq!(trace.get("solver").and_then(Json::as_str), Some("exact-disk-2d"));
+    assert_eq!(trace.get("ok").and_then(Json::as_bool), Some(true));
+    let phases = trace.get("phases_us").expect("phase timings");
+    assert!(phases.get("solve").and_then(Json::as_f64).is_some());
+    let phase_sum: f64 = ["cache_lookup", "plan", "index_build", "solve", "certify", "render"]
+        .iter()
+        .map(|p| phases.get(p).and_then(Json::as_f64).unwrap_or(0.0))
+        .sum();
+    let total = trace.get("total_us").and_then(Json::as_f64).expect("total");
+    // Each of the six phases truncates to whole µs independently of the
+    // total, so the rendered sum may undershoot by up to 6 µs.
+    assert!((phase_sum - total).abs() <= 6.0, "phases {phase_sum} must sum to total {total}");
+
+    // A cache hit adds no new trace.
+    client.post("/query", body).expect("cache-hit I/O");
+    let (_, all) = client.get("/debug/traces").expect("traces I/O");
+    let count = parse(&all).get("traces").and_then(Json::as_arr).map(<[Json]>::len);
+    assert_eq!(count, Some(1), "cache hits must not produce traces");
+
+    // /metrics: Prometheus text with the full endpoint label set, the
+    // observed solver and dataset series, and monotone histogram buckets.
+    let (status, headers, metrics) =
+        client.request_with_headers("GET", "/metrics", "").expect("metrics I/O");
+    assert_eq!(status, 200);
+    let content_type = headers
+        .iter()
+        .find(|(name, _)| name == "content-type")
+        .map(|(_, value)| value.as_str())
+        .expect("content type");
+    assert!(content_type.starts_with("text/plain"), "got {content_type}");
+    for needle in [
+        "# TYPE maxrs_request_duration_seconds histogram",
+        r#"maxrs_request_duration_seconds_bucket{endpoint="query",le="+Inf"}"#,
+        r#"maxrs_request_duration_seconds_bucket{endpoint="batch",le="+Inf"}"#,
+        r#"maxrs_solver_duration_seconds_bucket{solver="exact-disk-2d",le="+Inf"}"#,
+        r#"maxrs_dataset_query_duration_seconds_bucket{dataset="planar",le="+Inf"}"#,
+        "maxrs_cache_hits_total 1",
+        "maxrs_uptime_seconds",
+    ] {
+        assert!(metrics.contains(needle), "missing `{needle}` in /metrics:\n{metrics}");
+    }
+
+    // /stats carries the new tail quantile.
+    let (_, stats) = client.get("/stats").expect("stats I/O");
+    let stats = parse(&stats);
+    let endpoints = stats.get("endpoints").and_then(Json::as_arr).expect("endpoints");
+    for endpoint in endpoints {
+        assert!(
+            endpoint.get("latency").and_then(|l| l.get("p99_us")).and_then(Json::as_f64).is_some(),
+            "every endpoint latency summary reports p99"
+        );
+    }
+    server.shutdown();
+}
+
 /// Basic service-surface sanity over real TCP: health, solver listing,
 /// dataset listing, error statuses, and graceful shutdown.
 #[test]
