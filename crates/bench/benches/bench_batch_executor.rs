@@ -37,8 +37,10 @@ fn bench_planar_mixed(c: &mut Criterion) {
     let registry = batch_registry();
     // Certification off for timing parity: the one-at-a-time baseline does
     // no certification either.
-    let executor =
-        BatchExecutor::with_config(&registry, ExecutorConfig { threads: None, certify: false });
+    let executor = BatchExecutor::with_config(
+        &registry,
+        ExecutorConfig { threads: None, certify: false, ..ExecutorConfig::default() },
+    );
     let mut group = c.benchmark_group("batch_executor_planar_mixed");
     for &m in &[6usize, 12] {
         let request = mixed_planar_request(300, m, 91);
@@ -59,7 +61,7 @@ fn bench_interval_1d(c: &mut Criterion) {
         &registry,
         // Serial workers isolate the index-sharing amortization from the
         // fan-out speedup (the planar group measures the latter).
-        ExecutorConfig { threads: Some(1), certify: false },
+        ExecutorConfig { threads: Some(1), certify: false, ..ExecutorConfig::default() },
     );
     let mut group = c.benchmark_group("batch_executor_interval_1d");
     for &m in &[64usize, 256] {

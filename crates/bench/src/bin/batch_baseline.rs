@@ -41,8 +41,10 @@ fn measure<const D: usize>(
     request: &BatchRequest<D>,
     reps: usize,
 ) -> Row {
-    let timed =
-        BatchExecutor::with_config(registry, ExecutorConfig { threads: None, certify: false });
+    let timed = BatchExecutor::with_config(
+        registry,
+        ExecutorConfig { threads: None, certify: false, ..ExecutorConfig::default() },
+    );
     let certifying = BatchExecutor::new(registry);
     let certified = certifying.execute(request);
     assert!(certified.all_ok(), "{name}: every batch query must succeed");

@@ -143,8 +143,10 @@ fn main() -> ExitCode {
 
     let engine_config = EngineConfig::practical(0.25).with_seed(config.seed);
     let registry = full_registry(engine_config);
-    let executor =
-        BatchExecutor::with_config(&registry, ExecutorConfig { threads: None, certify: true });
+    let executor = BatchExecutor::with_config(
+        &registry,
+        ExecutorConfig { threads: None, certify: true, ..ExecutorConfig::default() },
+    );
 
     // Warm-up: the one-time builds (generation sorted line, the resident
     // dynamic tracker) are reported separately — they are paid once per

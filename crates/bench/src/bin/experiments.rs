@@ -404,8 +404,10 @@ fn e11_batch_executor() {
     // Certification off: the one-at-a-time loop does no certification, so
     // leaving it on would charge the batch side for extra work the loop
     // never does.
-    let executor =
-        BatchExecutor::with_config(&registry, ExecutorConfig { threads: None, certify: false });
+    let executor = BatchExecutor::with_config(
+        &registry,
+        ExecutorConfig { threads: None, certify: false, ..ExecutorConfig::default() },
+    );
     let planar: Vec<(&str, _)> = vec![
         ("planar mixed (n = 400)", mrs_bench::batch::mixed_planar_request(400, 24, 91)),
         ("planar mixed (n = 400)", mrs_bench::batch::mixed_planar_request(400, 48, 91)),

@@ -256,8 +256,10 @@ fn main() {
         }
 
         // Cert-off batch wall clock, best of 3 (matching BENCH_planar.json).
-        let timed =
-            BatchExecutor::with_config(&registry, ExecutorConfig { threads: None, certify: false });
+        let timed = BatchExecutor::with_config(
+            &registry,
+            ExecutorConfig { threads: None, certify: false, ..ExecutorConfig::default() },
+        );
         let mut batch = Duration::MAX;
         for _ in 0..3 {
             let (report, elapsed) = time(|| timed.execute(&request));

@@ -66,8 +66,10 @@ fn main() {
     }
 
     // Timed runs, certification off in both modes (matching BENCH_batch.json).
-    let timed =
-        BatchExecutor::with_config(&registry, ExecutorConfig { threads: None, certify: false });
+    let timed = BatchExecutor::with_config(
+        &registry,
+        ExecutorConfig { threads: None, certify: false, ..ExecutorConfig::default() },
+    );
     let mut one_at_a_time = Duration::MAX;
     let mut batch = Duration::MAX;
     let mut threads = 0;

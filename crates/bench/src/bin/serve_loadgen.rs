@@ -29,6 +29,15 @@
 //! keep-alive connection) and records total QPS plus the server's own
 //! `/stats` counters.  Exit code is non-zero if any response is non-2xx,
 //! any answer is uncertified, or any other checked invariant fails.
+//!
+//! `--chaos` runs the deterministic fault-injection harness instead (see
+//! [`run_chaos`]): malformed frames, oversized bodies, slow-loris drips,
+//! mid-body disconnects, a connection flood past the bounded queue, panic
+//! injection through the test-only `chaos-panic` solver, and an expired
+//! deadline storm — gating on zero worker deaths, zero uncertified
+//! answers, well-formed 5xx responses, and p50 recovery.  The target
+//! server must be booted with `--chaos-solver` and a small
+//! `--queue-capacity`.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -49,6 +58,8 @@ struct Config {
     /// stale-version answer (an answer computed at an older version than
     /// the mutation the client already observed).
     update_mix: bool,
+    /// Run the seeded fault-injection harness instead of the load phases.
+    chaos: bool,
     out: Option<String>,
     /// Points in the 1-D canonical dataset (the planar mixed dataset gets
     /// a tenth of this).
@@ -67,6 +78,7 @@ fn parse_args() -> Result<Config, String> {
         addr: "127.0.0.1:7070".to_string(),
         smoke: false,
         update_mix: false,
+        chaos: false,
         out: None,
         n: 0,
         requests: 0,
@@ -85,6 +97,10 @@ fn parse_args() -> Result<Config, String> {
             }
             "--update-mix" => {
                 config.update_mix = true;
+                i += 1;
+            }
+            "--chaos" => {
+                config.chaos = true;
                 i += 1;
             }
             "--addr" => {
@@ -208,6 +224,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if config.chaos {
+        return run_chaos(&config);
+    }
     if config.update_mix {
         return run_update_mix(&config, &mut client);
     }
@@ -562,6 +581,427 @@ fn run_update_mix(config: &Config, client: &mut Client) -> ExitCode {
         eprintln!("{} violation(s); failing", violations.0.len());
         ExitCode::FAILURE
     }
+}
+
+/// The deterministic fault-injection harness (`--chaos`): a seeded
+/// sequence of hostile clients, each phase followed by proof the worker
+/// pool recovered.  Phases, in order:
+///
+/// 1. malformed frames (binary junk, truncated request lines, bogus
+///    `Content-Length`) — any response must be a well-formed 4xx/5xx;
+/// 2. an oversized body announced with `Expect: 100-continue` — rejected
+///    `413` before any body byte, never invited with `100 Continue`;
+/// 3. slow-loris drips — partial headers trickled on several sockets,
+///    then abandoned; the pool must not pin workers on them;
+/// 4. mid-body disconnects — complete headers, a fraction of the
+///    promised body, then a close;
+/// 5. a connection flood past the bounded queue — the accept loop must
+///    shed the overflow with well-formed `503` + `Retry-After` and keep
+///    accepting afterwards;
+/// 6. panic injection through the test-only `chaos-panic` solver — every
+///    response a well-formed `500`, the `/stats` panic counter counts
+///    them, and the pool keeps serving;
+/// 7. an expired-deadline storm (`X-Deadline-Ms: 0`) — typed `504`
+///    timeouts, counted, and **never cached** (the first clean repeat
+///    must compute, the second must replay from cache).
+///
+/// Run-wide gates: zero worker deaths (the server answers a certified
+/// query after every phase), zero uncertified answers, every observed
+/// 5xx well-formed JSON, in-flight drains to zero, and the post-chaos
+/// warm p50 stays within 1.5× of the pre-chaos baseline (+2 ms absolute
+/// slack for CI jitter).
+///
+/// The server must be booted with `--chaos-solver` (phase 6 queries it)
+/// and a `--queue-capacity` of at most 256 so phase 5 can overflow the
+/// queue with a bounded flood.
+fn run_chaos(config: &Config) -> ExitCode {
+    use mrs_server::{RetryPolicy, RetryingClient};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let mut violations = Violations::default();
+    // The control-plane client retries sheds and reconnects after the
+    // flood drops its parked connection — satellite proof the retry path
+    // works against a real overloaded server.  `max_backoff` trims the
+    // server-directed waits so the harness stays fast.
+    let policy = RetryPolicy {
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(200),
+        seed: config.seed,
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryingClient::new(config.addr.as_str(), policy).expect("address resolves");
+
+    // 0. Preconditions and counter baselines.
+    let overload = overload_stats(&mut client, &mut violations);
+    let queue_capacity = field(&overload, "queue_capacity");
+    violations.check(
+        queue_capacity > 0.0 && queue_capacity <= 256.0,
+        format!(
+            "the chaos run needs a small bounded queue (boot the server with \
+             --queue-capacity <= 256), got {queue_capacity}"
+        ),
+    );
+    let shed_before = field(&overload, "shed");
+    let panics_before = field(&overload, "panics");
+    let deadline_before = field(&overload, "deadline_exceeded");
+
+    // 1. The dataset and the pre-chaos warm baseline.
+    let n = config.n.min(50_000);
+    eprintln!("chaos: uploading {n} line points...");
+    let line = line_csv(n, config.seed);
+    let (status, body) = client.post("/datasets/chaos1d?dim=1", &line).expect("upload I/O");
+    violations.check(status == 200, format!("chaos upload: status {status}: {body}"));
+    let warm_body = format!(
+        r#"{{"dataset":"chaos1d","solver":"{CANONICAL_SOLVER}","shape":{{"interval":{CANONICAL_LENGTH}}},"cache":false}}"#
+    );
+    let reps = if config.smoke { 15 } else { 40 };
+    let before = warm_p50(&mut client, &warm_body, reps, &mut violations, "baseline");
+    eprintln!("chaos: pre-chaos warm p50 {:.1} µs", before.as_secs_f64() * 1e6);
+
+    // 2. Malformed frames: a response, if any, must be a well-formed
+    // error; silently dropping the connection is also acceptable.
+    let malformed: &[&[u8]] = &[
+        b"\x00\x01\x02\x03\x04garbage\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"POST /query HTTP/1.1\r\nContent-Length: nonsense\r\n\r\n",
+        b"FETCH /query HTTP/9.9\r\n\r\n",
+    ];
+    for (i, payload) in malformed.iter().enumerate() {
+        if let Some(text) = raw_exchange(&config.addr, payload, Duration::from_millis(500)) {
+            check_error_frame(&mut violations, &text, &format!("malformed frame {i}"));
+        }
+    }
+    assert_alive(&mut client, &warm_body, &mut violations, "after malformed frames");
+
+    // 3. Oversized body with `Expect: 100-continue`.
+    let oversized: &[u8] =
+        b"POST /datasets/x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 999999999999\r\n\r\n";
+    match raw_exchange(&config.addr, oversized, Duration::from_secs(2)) {
+        None => violations.check(false, "oversized body: the server sent no response"),
+        Some(text) => {
+            violations.check(text.starts_with("HTTP/1.1 413"), format!("oversized body: {text:?}"));
+            violations.check(
+                !text.contains("100 Continue"),
+                "oversized body: an interim 100 Continue invited the upload",
+            );
+            check_error_frame(&mut violations, &text, "oversized body");
+        }
+    }
+    assert_alive(&mut client, &warm_body, &mut violations, "after the oversized body");
+
+    // 4. Slow-loris: drip partial headers on several sockets, then vanish.
+    let loris = if config.smoke { 4 } else { 8 };
+    let mut drips = Vec::new();
+    for _ in 0..loris {
+        if let Ok(mut stream) = TcpStream::connect(config.addr.as_str()) {
+            let _ = stream.write_all(b"POST /query HTTP/1.1\r\nContent-Le");
+            drips.push(stream);
+        }
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    for mut stream in drips {
+        let _ = stream.write_all(b"ngth: 10\r\n"); // headers never complete
+    }
+    assert_alive(&mut client, &warm_body, &mut violations, "after slow-loris");
+
+    // 5. Mid-body disconnects: complete headers, a sliver of body, gone.
+    for _ in 0..4 {
+        if let Ok(mut stream) = TcpStream::connect(config.addr.as_str()) {
+            let _ =
+                stream.write_all(b"POST /query HTTP/1.1\r\nContent-Length: 1000\r\n\r\n{\"datas");
+        }
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    assert_alive(&mut client, &warm_body, &mut violations, "after mid-body disconnects");
+
+    // 6. Connection flood past the bounded queue.
+    let flood = (queue_capacity as usize + 32).min(512);
+    eprintln!("chaos: flooding {flood} connections against a {queue_capacity}-slot queue...");
+    let mut sockets = Vec::with_capacity(flood);
+    for _ in 0..flood {
+        match TcpStream::connect(config.addr.as_str()) {
+            Ok(stream) => sockets.push(stream),
+            Err(_) => break, // backlog exhausted: the flood already peaked
+        }
+    }
+    // Scan from the most recent connections (the likeliest to be shed)
+    // until three sheds prove the 503s are well-formed.
+    let mut shed_seen = 0usize;
+    for stream in sockets.iter_mut().rev().take(32) {
+        if shed_seen >= 3 {
+            break;
+        }
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut text = String::new();
+        let mut buf = [0u8; 2048];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(k) => text.push_str(&String::from_utf8_lossy(&buf[..k])),
+            }
+        }
+        if !text.is_empty() && check_error_frame(&mut violations, &text, "flood shed") == Some(503)
+        {
+            shed_seen += 1;
+        }
+    }
+    drop(sockets);
+    violations.check(
+        shed_seen >= 1,
+        format!("a {flood}-connection flood past a {queue_capacity}-slot queue shed nothing"),
+    );
+    std::thread::sleep(Duration::from_millis(300)); // workers drain the dropped flood
+    let overload_mid = overload_stats(&mut client, &mut violations);
+    violations.check(
+        field(&overload_mid, "shed") > shed_before,
+        "the flood must increment the /stats shed counter",
+    );
+    assert_alive(&mut client, &warm_body, &mut violations, "after the connection flood");
+
+    // 7. Panic injection: the test-only solver fires inside a worker.
+    let panic_shots = if config.smoke { 3 } else { 5 };
+    let chaos_query = r#"{"dataset":"chaos1d","solver":"chaos-panic","shape":{"ball":1.0}}"#;
+    for i in 0..panic_shots {
+        let (status, body) = client.post("/query", chaos_query).expect("chaos query I/O");
+        violations.check(
+            status == 500,
+            format!(
+                "chaos-panic shot {i}: status {status} (boot the server with --chaos-solver): \
+                 {body}"
+            ),
+        );
+        violations.check(
+            Json::parse(&body).ok().is_some_and(|j| j.get("error").is_some()),
+            format!("chaos-panic shot {i}: 500 body is not a JSON error: {body}"),
+        );
+    }
+    assert_alive(&mut client, &warm_body, &mut violations, "after panic injection");
+
+    // 8. Expired-deadline storm, over a plain client that can set headers.
+    let deadline_shots = if config.smoke { 3 } else { 5 };
+    let deadline_body = format!(
+        r#"{{"dataset":"chaos1d","solver":"{CANONICAL_SOLVER}","shape":{{"interval":{}}}}}"#,
+        CANONICAL_LENGTH * 2.0
+    );
+    let mut plain = Client::connect(config.addr.as_str()).expect("connect for the deadline storm");
+    for i in 0..deadline_shots {
+        let (status, _, body) = plain
+            .request_with("POST", "/query", &[("X-Deadline-Ms", "0")], &deadline_body)
+            .expect("deadline query I/O");
+        violations.check(status == 504, format!("deadline shot {i}: status {status}: {body}"));
+        violations.check(
+            body.contains("exceeded its deadline"),
+            format!("deadline shot {i}: not the typed timeout: {body}"),
+        );
+    }
+    let cached =
+        |body: &str| Json::parse(body).ok().and_then(|j| j.get("cached").and_then(Json::as_bool));
+    let (status, body) = plain.post("/query", &deadline_body).expect("deadline I/O");
+    check_answer(&mut violations, status, &body, "post-deadline compute");
+    violations.check(
+        cached(&body) == Some(false),
+        format!("a deadline-expired query left a cache entry behind: {body}"),
+    );
+    let (status, body) = plain.post("/query", &deadline_body).expect("deadline I/O");
+    check_answer(&mut violations, status, &body, "post-deadline replay");
+    violations.check(
+        cached(&body) == Some(true),
+        format!("the clean compute must be cached on replay: {body}"),
+    );
+
+    // 9. Recovery: latency, counters, exposition.
+    let after = warm_p50(&mut client, &warm_body, reps, &mut violations, "recovery");
+    let bound = before.mul_f64(1.5) + Duration::from_millis(2);
+    violations.check(
+        after <= bound,
+        format!(
+            "post-chaos warm p50 {:.1} µs exceeds 1.5× the {:.1} µs baseline",
+            after.as_secs_f64() * 1e6,
+            before.as_secs_f64() * 1e6
+        ),
+    );
+    let overload_end = overload_stats(&mut client, &mut violations);
+    violations.check(
+        field(&overload_end, "inflight") == 0.0,
+        format!("in-flight must drain to zero, got {}", field(&overload_end, "inflight")),
+    );
+    violations.check(
+        field(&overload_end, "panics") >= panics_before + panic_shots as f64,
+        format!(
+            "panics counter {} must cover the {panic_shots} injected panics",
+            field(&overload_end, "panics")
+        ),
+    );
+    violations.check(
+        field(&overload_end, "deadline_exceeded") >= deadline_before + deadline_shots as f64,
+        format!(
+            "deadline_exceeded counter {} must cover the {deadline_shots} expired queries",
+            field(&overload_end, "deadline_exceeded")
+        ),
+    );
+    check_metrics(&mut violations, &mut plain, true);
+
+    let counters = client.counters();
+    eprintln!(
+        "chaos: recovered warm p50 {:.1} µs (baseline {:.1} µs) | {} sheds | {} panics | \
+         {} deadline timeouts | client retries {} ({} honored Retry-After)",
+        after.as_secs_f64() * 1e6,
+        before.as_secs_f64() * 1e6,
+        field(&overload_end, "shed") - shed_before,
+        field(&overload_end, "panics") - panics_before,
+        field(&overload_end, "deadline_exceeded") - deadline_before,
+        counters.retries,
+        counters.retry_after_honored,
+    );
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("serve_chaos")),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("n_line".into(), Json::num(n as f64)),
+                ("seed".into(), Json::num(config.seed as f64)),
+                ("smoke".into(), Json::Bool(config.smoke)),
+                ("queue_capacity".into(), Json::num(queue_capacity)),
+                ("flood_connections".into(), Json::num(flood as f64)),
+                ("panic_shots".into(), Json::num(panic_shots as f64)),
+                ("deadline_shots".into(), Json::num(deadline_shots as f64)),
+            ]),
+        ),
+        ("warm_p50_before_us".into(), Json::num(before.as_secs_f64() * 1e6)),
+        ("warm_p50_after_us".into(), Json::num(after.as_secs_f64() * 1e6)),
+        ("sheds".into(), Json::num(field(&overload_end, "shed") - shed_before)),
+        ("panics".into(), Json::num(field(&overload_end, "panics") - panics_before)),
+        (
+            "deadline_exceeded".into(),
+            Json::num(field(&overload_end, "deadline_exceeded") - deadline_before),
+        ),
+        (
+            "client_retries".into(),
+            Json::Obj(vec![
+                ("attempts".into(), Json::num(counters.attempts as f64)),
+                ("retries".into(), Json::num(counters.retries as f64)),
+                ("retry_after_honored".into(), Json::num(counters.retry_after_honored as f64)),
+                ("budget_exhausted".into(), Json::num(counters.budget_exhausted as f64)),
+            ]),
+        ),
+        ("violations".into(), Json::num(violations.0.len() as f64)),
+    ]);
+    if let Some(path) = &config.out {
+        std::fs::write(path, report.render() + "\n").expect("write the chaos baseline file");
+        eprintln!("wrote {path}");
+    } else {
+        println!("{}", report.render());
+    }
+
+    if violations.0.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} violation(s); failing", violations.0.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The `/stats` `overload` object (empty on any parse failure, which the
+/// per-field checks then surface as `-1` readings).
+fn overload_stats(client: &mut mrs_server::RetryingClient, violations: &mut Violations) -> Json {
+    let (status, body) = client.get("/stats").expect("stats I/O");
+    violations.check(status == 200, format!("/stats answered {status}"));
+    Json::parse(&body)
+        .ok()
+        .and_then(|stats| stats.get("overload").cloned())
+        .unwrap_or(Json::Obj(Vec::new()))
+}
+
+/// A numeric field of a JSON object, `-1` when missing.
+fn field(obj: &Json, key: &str) -> f64 {
+    obj.get(key).and_then(Json::as_f64).unwrap_or(-1.0)
+}
+
+/// The warm (cache-bypassing) p50 over `reps` certified queries.
+fn warm_p50(
+    client: &mut mrs_server::RetryingClient,
+    body: &str,
+    reps: usize,
+    violations: &mut Violations,
+    context: &str,
+) -> Duration {
+    let mut samples = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let started = Instant::now();
+        let (status, text) = client.post("/query", body).expect("query I/O");
+        samples.push(started.elapsed());
+        check_answer(violations, status, &text, &format!("{context} warm query {i}"));
+    }
+    LatencySummary::from_durations(&samples).p50
+}
+
+/// Proof of life after a chaos phase: `/healthz` answers and a certified
+/// query still computes — i.e. no worker died.
+fn assert_alive(
+    client: &mut mrs_server::RetryingClient,
+    warm_body: &str,
+    violations: &mut Violations,
+    context: &str,
+) {
+    let (status, _) = client.get("/healthz").expect("healthz I/O");
+    violations.check(status == 200, format!("{context}: /healthz answered {status}"));
+    let (status, body) = client.post("/query", warm_body).expect("query I/O");
+    check_answer(violations, status, &body, context);
+}
+
+/// Connects, writes the raw payload, and collects whatever the server
+/// sends back until EOF or the timeout.  `None` when the server sent
+/// nothing — silently dropping a hostile connection is acceptable.
+fn raw_exchange(addr: &str, payload: &[u8], timeout: Duration) -> Option<String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    let _ = stream.write_all(payload);
+    let _ = stream.flush();
+    let mut text = String::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(k) => {
+                text.push_str(&String::from_utf8_lossy(&buf[..k]));
+                if text.len() > 65_536 {
+                    break;
+                }
+            }
+        }
+    }
+    (!text.is_empty()).then_some(text)
+}
+
+/// A raw error exchange must still be well-formed HTTP: an `HTTP/1.1`
+/// 4xx/5xx status line, a parseable JSON `error` body, and — for sheds —
+/// a `Retry-After` header.  Returns the parsed status code.
+fn check_error_frame(violations: &mut Violations, text: &str, context: &str) -> Option<u16> {
+    let status: Option<u16> = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|code| code.parse().ok());
+    let Some(status) = status else {
+        violations.check(false, format!("{context}: unparseable response: {text:?}"));
+        return None;
+    };
+    violations
+        .check((400..600).contains(&status), format!("{context}: hostile input answered {status}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, body)| body).unwrap_or("");
+    violations.check(
+        Json::parse(body).ok().is_some_and(|j| j.get("error").is_some()),
+        format!("{context}: error body is not JSON with an `error` field: {body:?}"),
+    );
+    if status == 503 {
+        violations.check(
+            text.to_ascii_lowercase().contains("retry-after:"),
+            format!("{context}: a 503 without Retry-After"),
+        );
+    }
+    Some(status)
 }
 
 /// Fetches `GET /metrics` and checks the Prometheus exposition text is

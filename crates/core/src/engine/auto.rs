@@ -30,6 +30,7 @@
 
 use std::time::Instant;
 
+use super::cancel;
 use super::cost::{self, InstanceProfile};
 use super::descriptor::{
     BatchCapability, DimSupport, GuaranteeClass, ProblemKind, ShapeClass, SolverDescriptor,
@@ -51,6 +52,22 @@ fn stamp<P>(report: &mut SolverReport<P>, choice: &'static str, predicted: f64, 
     report.stats.auto_choice = Some(choice);
     report.stats.auto_predicted_work = Some(predicted);
     report.stats.auto_actual_work = Some(actual);
+    report.stats.degraded = cancel::degraded();
+}
+
+/// Under overload degradation the router drops the `Exact` guarantee tier —
+/// whose hardness-walled worst cases (the (min,+)-convolution-hard rectangle
+/// sweep among them) are exactly what an overloaded server cannot afford —
+/// as long as at least one approximate solver stays capable.  With no
+/// capable approximate solver the full candidate set is kept: shedding a
+/// query entirely is the admission layer's job, not the router's.
+fn degrade_candidates<S>(candidates: &mut Vec<S>, guarantee_of: impl Fn(&S) -> GuaranteeClass) {
+    if !cancel::degraded() {
+        return;
+    }
+    if candidates.iter().any(|s| guarantee_of(s) != GuaranteeClass::Exact) {
+        candidates.retain(|s| guarantee_of(s) != GuaranteeClass::Exact);
+    }
 }
 
 /// The cost-routed weighted meta-solver.  See the module docs.
@@ -84,9 +101,13 @@ impl AutoWeightedSolver {
         profile: &InstanceProfile<D>,
     ) -> Option<(SharedWeightedSolver<D>, f64)> {
         let features = profile.features(shape);
-        concrete_weighted::<D>(&self.config)
+        let mut candidates: Vec<SharedWeightedSolver<D>> = concrete_weighted::<D>(&self.config)
             .into_iter()
             .filter(|s| s.descriptor().supports(ProblemKind::Weighted, shape.class(), D))
+            .collect();
+        degrade_candidates(&mut candidates, |s| s.descriptor().guarantee);
+        candidates
+            .into_iter()
             .map(|s| {
                 let work = cost::predicted_work(s.name(), &features);
                 (s, work)
@@ -224,9 +245,13 @@ impl AutoColoredSolver {
         profile: &InstanceProfile<D>,
     ) -> Option<(SharedColoredSolver<D>, f64)> {
         let features = profile.features(shape);
-        concrete_colored::<D>(&self.config)
+        let mut candidates: Vec<SharedColoredSolver<D>> = concrete_colored::<D>(&self.config)
             .into_iter()
             .filter(|s| s.descriptor().supports(ProblemKind::Colored, shape.class(), D))
+            .collect();
+        degrade_candidates(&mut candidates, |s| s.descriptor().guarantee);
+        candidates
+            .into_iter()
             .map(|s| {
                 let work = cost::predicted_work(s.name(), &features);
                 (s, work)

@@ -32,12 +32,13 @@ use std::time::{Duration, Instant};
 use mrs_geom::{ColoredSite, Point, WeightedPoint};
 
 use super::batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats};
+use super::cancel::{self, CancelToken};
 use super::instance::{ColoredInstance, RangeShape, WeightedInstance};
 use super::obs::{Phase, QueryTrace, TraceRecorder};
 use super::registry::{Registry, SharedColoredSolver, SharedWeightedSolver};
 use super::report::{Guarantee, SolveStats, SolverReport};
 use super::versioned::{ScriptOutcome, ScriptReport, ScriptStep, VersionedDataset, VersionedView};
-use super::{EngineError, ProblemKind};
+use super::{EngineError, PartialWork, ProblemKind};
 
 pub use super::index::{AnswerIndex, SharedIndex};
 
@@ -56,11 +57,23 @@ pub struct ExecutorConfig {
     /// count the outcome in [`BatchStats::certified`] /
     /// [`BatchStats::certify_failures`].
     pub certify: bool,
+    /// Wall-clock deadline for the whole call.  A [`cancel::CancelToken`]
+    /// armed with it is installed around every task; solver hot loops poll
+    /// it (amortized) and bail, and any task still running when it trips
+    /// has its answers converted to
+    /// [`EngineError::DeadlineExceeded`] with partial work counters.
+    /// `None` (the default) disables cancellation entirely.
+    pub deadline: Option<Instant>,
+    /// Overload-degradation flag propagated to the `auto` router via the
+    /// same thread-local scope (see [`cancel::degraded`]): when set, `auto`
+    /// restricts its candidate set to predicted-cheap solvers and stamps
+    /// the restriction into the answer's stats.
+    pub degraded: bool,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        Self { threads: None, certify: true }
+        Self { threads: None, certify: true, deadline: None, degraded: false }
     }
 }
 
@@ -227,10 +240,18 @@ impl<'r> BatchExecutor<'r> {
         let workers = budget.min(tasks.len().max(1));
         let inner_threads = (budget / workers).max(1);
 
+        // One token for the whole call: installed around every task (and
+        // re-installed inside chunked kernels' own scoped workers), polled
+        // by the solver hot loops.  A task still running when it trips has
+        // bailed early; its answers are converted to typed timeouts below.
+        let token = self.config.deadline.map(CancelToken::with_deadline);
         if workers <= 1 {
+            let _scope = cancel::install(token.clone(), self.config.degraded);
             for task in &tasks {
-                for (i, answer) in task.run(index, inner_threads) {
-                    answers[i] = Some(answer);
+                let results = task.run(index, inner_threads);
+                let expired = token.as_ref().is_some_and(CancelToken::is_cancelled);
+                for (i, answer) in results {
+                    answers[i] = Some(deadline_guard(answer, expired));
                 }
             }
         } else {
@@ -238,13 +259,19 @@ impl<'r> BatchExecutor<'r> {
             let shared_answers = Mutex::new(&mut answers);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let t = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(task) = tasks.get(t) else { break };
-                        let results = task.run(index, inner_threads);
-                        let mut answers = shared_answers.lock().expect("answer lock poisoned");
-                        for (i, answer) in results {
-                            answers[i] = Some(answer);
+                    scope.spawn(|| {
+                        let _scope = cancel::install(token.clone(), self.config.degraded);
+                        loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(t) else { break };
+                            let results = task.run(index, inner_threads);
+                            let expired = token.as_ref().is_some_and(CancelToken::is_cancelled);
+                            let mut answers = shared_answers
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            for (i, answer) in results {
+                                answers[i] = Some(deadline_guard(answer, expired));
+                            }
                         }
                     });
                 }
@@ -349,6 +376,7 @@ impl<'r> BatchExecutor<'r> {
                     trace.grid_cells_visited = s.grid_cells_visited.unwrap_or(0);
                     trace.sieve_rejected = s.sieve_rejected.unwrap_or(0);
                 }
+                trace.degraded = self.config.degraded;
                 recorder.record(trace);
             }
         }
@@ -428,7 +456,7 @@ impl<'r> BatchExecutor<'r> {
             // the per-answer pass below does the work.
             let inner = BatchExecutor::with_config(
                 self.registry,
-                ExecutorConfig { threads: self.config.threads, certify: false },
+                ExecutorConfig { certify: false, ..self.config },
             );
             let index = view.index();
             let mut inner_recorder = if recorder.is_enabled() {
@@ -825,6 +853,31 @@ fn box_distinct_bounds<const D: usize>(
     (lo, all.len())
 }
 
+/// Converts a task's answers into typed timeouts when the call's deadline
+/// tripped while the task ran: a kernel that bailed out of its sweep
+/// returns a best-so-far *partial* placement, and letting that through as a
+/// successful answer would mislabel an incomplete search as a complete one.
+/// The partial work counters ride along so callers can see how far the
+/// sweep got.  Already-failed answers keep their original error.
+fn deadline_guard<const D: usize>(answer: BatchAnswer<D>, expired: bool) -> BatchAnswer<D> {
+    if !expired {
+        return answer;
+    }
+    let (solver, stats) = match &answer {
+        BatchAnswer::Weighted(report) => (report.solver, &report.stats),
+        BatchAnswer::Colored(report) => (report.solver, &report.stats),
+        BatchAnswer::Failed(_) => return answer,
+    };
+    BatchAnswer::Failed(EngineError::DeadlineExceeded {
+        solver: solver.to_string(),
+        partial: PartialWork {
+            candidates_examined: stats.candidates_examined.unwrap_or(0),
+            grid_cells_visited: stats.grid_cells_visited.unwrap_or(0),
+            elapsed_us: stats.elapsed.as_micros() as u64,
+        },
+    })
+}
+
 fn fail_group<const D: usize>(
     answers: &mut [Option<BatchAnswer<D>>],
     indices: &[usize],
@@ -895,12 +948,12 @@ mod tests {
         let registry = registry();
         let serial = BatchExecutor::with_config(
             &registry,
-            ExecutorConfig { threads: Some(1), certify: true },
+            ExecutorConfig { threads: Some(1), ..ExecutorConfig::default() },
         )
         .execute(&request);
         let parallel = BatchExecutor::with_config(
             &registry,
-            ExecutorConfig { threads: Some(4), certify: true },
+            ExecutorConfig { threads: Some(4), ..ExecutorConfig::default() },
         )
         .execute(&request);
         assert_eq!(serial.stats.threads, 1);
@@ -1153,5 +1206,74 @@ mod tests {
             );
         }
         assert_eq!(index.builds(), builds_after_first, "structures were built exactly once");
+    }
+
+    #[test]
+    fn expired_deadlines_yield_typed_timeouts_with_partial_work() {
+        let mut request = BatchRequest::over_points(planar_points());
+        request.push(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0)));
+        request.push(BatchQuery::weighted("exact-rect-2d", RangeShape::rect(1.0, 1.0)));
+        let registry = registry();
+        let executor = BatchExecutor::with_config(
+            &registry,
+            ExecutorConfig {
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+                ..ExecutorConfig::default()
+            },
+        );
+        let report = executor.execute(&request);
+        assert_eq!(report.stats.failed, 2, "every answer under an expired deadline fails");
+        for answer in &report.answers {
+            match answer.error() {
+                Some(EngineError::DeadlineExceeded { solver, partial }) => {
+                    assert!(!solver.is_empty());
+                    let message = answer.error().unwrap().to_string();
+                    assert!(message.contains("exceeded its deadline"), "{message}");
+                    let _ = partial; // counters may be zero: the sweep bailed at entry
+                }
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unexpired_deadlines_leave_answers_intact() {
+        let mut request = BatchRequest::over_points(planar_points());
+        request.push(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(1.0)));
+        let registry = registry();
+        let executor = BatchExecutor::with_config(
+            &registry,
+            ExecutorConfig {
+                deadline: Some(Instant::now() + std::time::Duration::from_secs(3600)),
+                ..ExecutorConfig::default()
+            },
+        );
+        let report = executor.execute(&request);
+        assert!(report.all_ok(), "a generous deadline changes nothing");
+        assert_eq!(report.weighted(0).unwrap().placement.value, 3.0);
+    }
+
+    #[test]
+    fn degraded_executor_routes_auto_away_from_exact_solvers() {
+        let mut request = BatchRequest::over_points(planar_points());
+        request.push(BatchQuery::weighted("auto", RangeShape::ball(1.0)));
+        let registry = registry();
+        let normal = BatchExecutor::new(&registry).execute(&request);
+        assert!(normal.weighted(0).unwrap().stats.auto_choice.is_some());
+        assert!(!normal.weighted(0).unwrap().stats.degraded);
+
+        let degraded = BatchExecutor::with_config(
+            &registry,
+            ExecutorConfig { degraded: true, ..ExecutorConfig::default() },
+        )
+        .execute(&request);
+        let report = degraded.weighted(0).unwrap();
+        let choice = report.stats.auto_choice.unwrap();
+        let routed = registry.weighted::<2>(choice).expect("the routed solver is registered");
+        assert!(
+            !routed.descriptor().guarantee.is_exact(),
+            "degraded auto avoids the exact tier, got {choice}"
+        );
+        assert!(report.stats.degraded, "degradation is stamped into the stats");
     }
 }

@@ -37,6 +37,7 @@
 
 mod auto;
 pub mod batch;
+pub mod cancel;
 mod colored;
 mod convert;
 pub mod cost;
@@ -53,6 +54,7 @@ mod weighted;
 
 pub use auto::{AutoColoredSolver, AutoWeightedSolver};
 pub use batch::{BatchAnswer, BatchQuery, BatchReport, BatchRequest, BatchStats, LatencySummary};
+pub use cancel::CancelToken;
 pub use colored::{
     ColoredBallSolver, ColoredDiskSamplingSolver, ExactColoredDiskEnumSolver,
     ExactColoredDiskUnionSolver, ExactColoredRectSolver, OutputSensitiveColoredDiskSolver,
@@ -109,6 +111,30 @@ pub enum EngineError {
         /// The name the query asked for.
         name: String,
     },
+    /// The query's cancellation deadline passed before the solve completed
+    /// (see [`cancel`]).  The kernel bailed out of its sweep cooperatively;
+    /// `partial` records the work it had done when it stopped.
+    DeadlineExceeded {
+        /// The solver that was cancelled.
+        solver: String,
+        /// Work counters at the moment the sweep was abandoned.
+        partial: PartialWork,
+    },
+}
+
+/// Integer work counters carried by
+/// [`EngineError::DeadlineExceeded`]: what a cancelled solve had done when
+/// it stopped.  A deliberately `Eq`-safe subset of
+/// [`SolveStats`] (which carries floats and so cannot ride inside the
+/// error enum).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartialWork {
+    /// Points distance-tested through spatial-index queries before the bail.
+    pub candidates_examined: usize,
+    /// Spatial-index cells visited before the bail.
+    pub grid_cells_visited: usize,
+    /// Wall-clock microseconds spent before the bail.
+    pub elapsed_us: u64,
 }
 
 impl std::fmt::Display for EngineError {
@@ -125,6 +151,17 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::UnknownSolver { name } => {
                 write!(f, "no registered solver answers `{name}` for this query")
+            }
+            EngineError::DeadlineExceeded { solver, partial } => {
+                write!(
+                    f,
+                    "solver `{}` exceeded its deadline after {} µs \
+                     ({} candidates examined, {} grid cells visited)",
+                    solver,
+                    partial.elapsed_us,
+                    partial.candidates_examined,
+                    partial.grid_cells_visited
+                )
             }
         }
     }

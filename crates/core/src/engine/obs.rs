@@ -334,6 +334,9 @@ pub struct QueryTrace {
     pub grid_cells_visited: usize,
     /// Candidates rejected by the widened f32 sieve.
     pub sieve_rejected: usize,
+    /// `true` when the query ran under overload degradation (the `auto`
+    /// router restricted to predicted-cheap solvers).
+    pub degraded: bool,
 }
 
 impl QueryTrace {

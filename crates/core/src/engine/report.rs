@@ -93,6 +93,10 @@ pub struct SolveStats {
     /// grid cells visited; falls back to `n` for solvers that run no index
     /// queries).  `None` unless `auto` solved.
     pub auto_actual_work: Option<f64>,
+    /// `true` when the solve ran under the serving layer's overload
+    /// degradation mode, where the `auto` router restricts itself to
+    /// predicted-cheap solvers (see `engine::cancel::degraded`).
+    pub degraded: bool,
 }
 
 /// The full result of dispatching one instance to one solver.

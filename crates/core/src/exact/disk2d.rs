@@ -25,6 +25,7 @@
 
 use mrs_geom::{Ball, GridQueryStats, HashGrid, Point, Point2, WeightedPoint};
 
+use crate::engine::cancel;
 use crate::input::Placement;
 
 /// Reusable per-thread scratch of the sweep: the angular event list of one
@@ -171,6 +172,10 @@ pub fn max_disk_placement_chunked<const D: usize>(
     let chunk = n.div_ceil(threads);
     let mut stats = DiskSweepStats::default();
     let mut best = Placement { center: points[0].point, value: points[0].weight };
+    // Thread-locals do not cross `scope.spawn`; re-install the caller's
+    // cancellation token (if any) inside every worker.
+    let token = cancel::current();
+    let degraded = cancel::degraded();
     for phase in [Phase::Centers, Phase::Boundaries] {
         // Every chunk starts from the best found so far (phase 0 completes
         // before phase 1, as in the serial sweep); candidates must strictly
@@ -182,7 +187,9 @@ pub fn max_disk_placement_chunked<const D: usize>(
                 .step_by(chunk)
                 .map(|start| {
                     let end = (start + chunk).min(n);
+                    let token = token.clone();
                     scope.spawn(move || {
+                        let _cancel = cancel::install(token, degraded);
                         let mut local_best = baseline;
                         let mut scratch = DiskSweepScratch::default();
                         let chunk_stats = sweep_chunk(
@@ -240,7 +247,10 @@ fn sweep_chunk<const D: usize>(
     let mut stats = DiskSweepStats::default();
     match phase {
         Phase::Centers => {
-            for i in range {
+            for (k, i) in range.enumerate() {
+                if cancel::poll(k) {
+                    break;
+                }
                 let p = &points[i];
                 let mut value = 0.0;
                 stats.absorb(index.for_each_within(&p.point, radius, |j| {
@@ -253,7 +263,10 @@ fn sweep_chunk<const D: usize>(
         }
         Phase::Boundaries => {
             let two_r = 2.0 * radius;
-            for i in range {
+            for (k, i) in range.enumerate() {
+                if cancel::poll(k) {
+                    break;
+                }
                 let pi = &points[i];
                 // Events on the circle of radius `radius` around p_i:
                 // neighbour j covers the angular interval centred on the

@@ -9,6 +9,8 @@
 
 use mrs_geom::{Aabb, MaxSegmentTree, Point2, Rect, WeightedPoint};
 
+use crate::engine::cancel;
+
 /// Result of an exact rectangle MaxRS query.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RectPlacement {
@@ -166,7 +168,14 @@ pub fn max_rect_placement_presorted(
     let mut best_value = 0.0f64;
     let mut best_anchor = Point2::xy(xs[0], events[0].y);
     let mut i = 0;
+    let mut ticks = 0usize;
     while i < events.len() {
+        // `i` advances by whole same-y groups, so it can skip the poll
+        // stride; count outer iterations instead.
+        if cancel::poll(ticks) {
+            break;
+        }
+        ticks += 1;
         let y = events[i].y;
         // Apply every addition at this y, then evaluate, then apply removals.
         let mut j = i;

@@ -23,6 +23,7 @@
 use mrs_geom::grid::{CellCoord, Grid};
 use mrs_geom::{Ball, ColoredSite, GridQueryStats, Point2, ShiftedGrids};
 
+use crate::engine::cancel;
 use crate::input::ColoredPlacement;
 use crate::technique2::union_exact::{max_colored_depth_union_with, UnionScratch};
 
@@ -157,6 +158,9 @@ fn sweep_sorted_incidences<K: Copy>(
     }
     runs.sort_unstable_by_key(|&(s, e)| (std::cmp::Reverse(e - s), s));
     for (k, &(s, e)) in runs.iter().enumerate() {
+        if cancel::poll(k) {
+            break;
+        }
         if (e - s) as usize <= st.best_depth {
             let skipped = runs.len() - k;
             st.stats.cells += skipped;
@@ -322,6 +326,11 @@ pub fn max_colored_depth_output_sensitive(
     let mut runs: Vec<(u32, u32)> = Vec::new();
 
     for grid in grids.grids() {
+        // Coarse check once per shifted grid (the family has 36 members);
+        // the fine-grained polling lives in `sweep_sorted_incidences`.
+        if cancel::should_stop() {
+            break;
+        }
         let bias = grid.cell_of(&bb_lo);
         let top = grid.cell_of(&bb_hi);
         let span_x = (top[0].wrapping_sub(bias[0])) as u64;

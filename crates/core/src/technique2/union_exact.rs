@@ -27,6 +27,7 @@ use mrs_geom::arcs::{boundary_covered_by, complement_on_circle, normalize_angle,
 use mrs_geom::union_disks::ExposedArc;
 use mrs_geom::{Ball, ColoredSite, GridQueryStats, HashGrid, Point2, TAU};
 
+use crate::engine::cancel;
 use crate::input::ColoredPlacement;
 
 /// An exposed arc of one color's union boundary, referencing the *global* disk
@@ -173,6 +174,9 @@ pub fn max_colored_depth_union_with(
     // each disk's full circle; what remains is on that color's `∂U`.
     scratch.reset_arc_pools(disks.len());
     for (i, disk) in disks.iter().enumerate() {
+        if cancel::poll(i) {
+            break;
+        }
         scratch.covering.clear();
         let covering = &mut scratch.covering;
         let mut swallowed = false;
@@ -234,6 +238,9 @@ pub fn max_colored_depth_union_with(
         let arc_starts = &scratch.arc_starts;
         let events_by_arc = &mut scratch.events_by_arc;
         for i in 0..disks.len() {
+            if cancel::poll(i) {
+                break;
+            }
             if arcs_by_disk[i].is_empty() {
                 continue;
             }
@@ -257,6 +264,9 @@ pub fn max_colored_depth_union_with(
     // Sweep every arc: closed depth at the arc start, then walk the sorted
     // crossings, tracking the running depth.
     for i in 0..disks.len() {
+        if cancel::poll(i) {
+            break;
+        }
         if scratch.arcs_by_disk[i].is_empty() {
             continue;
         }

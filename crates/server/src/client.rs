@@ -62,11 +62,23 @@ impl Client {
         path: &str,
         body: &str,
     ) -> io::Result<FullResponse> {
-        write!(
-            self.writer,
-            "{method} {path} HTTP/1.1\r\nHost: mrs\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len(),
-        )?;
+        self.request_with(method, path, &[], body)
+    }
+
+    /// Issues one request carrying extra headers (e.g. `X-Deadline-Ms`)
+    /// and returns the full response.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<FullResponse> {
+        write!(self.writer, "{method} {path} HTTP/1.1\r\nHost: mrs\r\n")?;
+        for (name, value) in extra_headers {
+            write!(self.writer, "{name}: {value}\r\n")?;
+        }
+        write!(self.writer, "Content-Length: {}\r\n\r\n{body}", body.len())?;
         self.writer.flush()?;
         self.read_response_with_headers()
     }
@@ -111,5 +123,292 @@ impl Client {
         let body = String::from_utf8(body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
         Ok((status, headers, body))
+    }
+}
+
+/// Retry policy for [`RetryingClient`]: jittered exponential backoff on
+/// transport errors, server-directed waits (`Retry-After`) on `503` sheds,
+/// and a hard cap on the total time a client will spend sleeping between
+/// retries so a flooded server cannot hold its clients hostage.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries per request (on top of the first attempt).
+    pub max_retries: u32,
+    /// First backoff; attempt `n` waits `base_backoff * 2^(n-1)`, jittered.
+    pub base_backoff: Duration,
+    /// Upper bound on any single wait, including server-directed ones.
+    pub max_backoff: Duration,
+    /// Total sleep budget across the client's lifetime; a wait that would
+    /// exceed it is not taken and the last outcome is returned as-is.
+    pub retry_budget: Duration,
+    /// Seed for the backoff jitter (deterministic for tests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            retry_budget: Duration::from_secs(10),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// What a [`RetryingClient`] did so far, surfaced so load generators and
+/// operators can see retry pressure instead of silently absorbed sheds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RetryCounters {
+    /// Requests attempted (every try, including retries).
+    pub attempts: u64,
+    /// Attempts that were retried (after a shed or a transport error).
+    pub retries: u64,
+    /// Waits taken from a `503`'s `Retry-After` header.
+    pub retry_after_honored: u64,
+    /// Requests abandoned because the retry budget ran dry.
+    pub budget_exhausted: u64,
+}
+
+/// A [`Client`] wrapper with admission-control-aware retries: `503` sheds
+/// wait the server-directed `Retry-After`, transport errors reconnect under
+/// jittered exponential backoff, and both are bounded per request
+/// (`max_retries`) and across the client's lifetime (`retry_budget`).
+pub struct RetryingClient {
+    addr: SocketAddr,
+    client: Option<Client>,
+    policy: RetryPolicy,
+    rng: u64,
+    slept: Duration,
+    counters: RetryCounters,
+}
+
+impl RetryingClient {
+    /// A retrying client for the address; the connection is established
+    /// lazily on the first request (and re-established after failures).
+    pub fn new(addr: impl ToSocketAddrs, policy: RetryPolicy) -> io::Result<Self> {
+        let addr: SocketAddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let rng = policy.seed | 1; // xorshift must not start at 0
+        Ok(Self {
+            addr,
+            client: None,
+            policy,
+            rng,
+            slept: Duration::ZERO,
+            counters: RetryCounters::default(),
+        })
+    }
+
+    /// The retry counters accumulated so far.
+    pub fn counters(&self) -> RetryCounters {
+        self.counters
+    }
+
+    /// `GET path`, with retries.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    /// `POST path` with a body, with retries.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    /// Issues one request, retrying sheds and transport errors under the
+    /// policy.  Returns the last status/body (or error) when retries or the
+    /// budget run out — a shed is then the caller's to observe, never
+    /// silently swallowed.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.counters.attempts += 1;
+            match self.try_once(method, path, body) {
+                Ok((503, headers, text)) if attempt <= self.policy.max_retries => {
+                    let retry_after = headers
+                        .iter()
+                        .find(|(name, _)| name == "retry-after")
+                        .and_then(|(_, value)| value.parse::<u64>().ok());
+                    let wait = match retry_after {
+                        Some(secs) => {
+                            self.counters.retry_after_honored += 1;
+                            Duration::from_secs(secs).min(self.policy.max_backoff)
+                        }
+                        None => self.backoff(attempt),
+                    };
+                    if !self.sleep_within_budget(wait) {
+                        self.counters.budget_exhausted += 1;
+                        return Ok((503, text));
+                    }
+                    self.counters.retries += 1;
+                }
+                Ok((status, _, text)) => return Ok((status, text)),
+                Err(e) if attempt <= self.policy.max_retries => {
+                    // The connection is suspect (reset, EOF, stall): drop it
+                    // and reconnect on the next attempt.
+                    self.client = None;
+                    let wait = self.backoff(attempt);
+                    if !self.sleep_within_budget(wait) {
+                        self.counters.budget_exhausted += 1;
+                        return Err(e);
+                    }
+                    self.counters.retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_once(&mut self, method: &str, path: &str, body: &str) -> io::Result<FullResponse> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect(self.addr)?);
+        }
+        let result =
+            self.client.as_mut().expect("just connected").request_with_headers(method, path, body);
+        if result.is_err() {
+            self.client = None;
+        }
+        result
+    }
+
+    /// The jittered exponential backoff for the `attempt`-th try:
+    /// `base * 2^(attempt-1)`, scaled by a factor in `[0.5, 1.5)`, capped.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self.policy.base_backoff.saturating_mul(1u32 << (attempt - 1).min(16));
+        let jitter = 0.5 + self.next_unit();
+        exp.mul_f64(jitter).min(self.policy.max_backoff)
+    }
+
+    /// The next xorshift64 draw in `[0, 1)` (std-only, deterministic).
+    fn next_unit(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Sleeps `wait` if the lifetime budget allows it; `false` means the
+    /// budget is exhausted and the caller must stop retrying.
+    fn sleep_within_budget(&mut self, wait: Duration) -> bool {
+        if self.slept + wait > self.policy.retry_budget {
+            return false;
+        }
+        self.slept += wait;
+        std::thread::sleep(wait);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Serves the canned responses in order on one keep-alive connection,
+    /// reading (and discarding) one request before each.
+    fn canned_server(responses: Vec<String>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            for canned in responses {
+                let mut length = 0usize;
+                loop {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        return;
+                    }
+                    let line = line.trim_end();
+                    if line.is_empty() {
+                        break;
+                    }
+                    if let Some((name, value)) = line.split_once(':') {
+                        if name.eq_ignore_ascii_case("content-length") {
+                            length = value.trim().parse().unwrap_or(0);
+                        }
+                    }
+                }
+                let mut body = vec![0u8; length];
+                let _ = reader.read_exact(&mut body);
+                writer.write_all(canned.as_bytes()).unwrap();
+                writer.flush().unwrap();
+            }
+        });
+        addr
+    }
+
+    fn response(status: u16, reason: &str, extra: &str, body: &str) -> String {
+        format!("HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\n{extra}\r\n{body}", body.len())
+    }
+
+    #[test]
+    fn sheds_are_retried_after_the_server_directed_wait() {
+        let addr = canned_server(vec![
+            response(503, "Service Unavailable", "Retry-After: 1\r\n", "{\"error\":\"shed\"}"),
+            response(200, "OK", "", "{\"ok\":true}"),
+        ]);
+        let policy = RetryPolicy {
+            // Keep the honored wait short so the test stays fast: the
+            // server says 1 s, the cap trims it to 20 ms.
+            max_backoff: Duration::from_millis(20),
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new(addr, policy).unwrap();
+        let (status, body) = client.get("/query").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let counters = client.counters();
+        assert_eq!(counters.attempts, 2);
+        assert_eq!(counters.retries, 1);
+        assert_eq!(counters.retry_after_honored, 1);
+        assert_eq!(counters.budget_exhausted, 0);
+    }
+
+    #[test]
+    fn the_retry_budget_caps_how_long_a_client_waits() {
+        let addr = canned_server(vec![response(
+            503,
+            "Service Unavailable",
+            "Retry-After: 60\r\n",
+            "{\"error\":\"shed\"}",
+        )]);
+        let policy = RetryPolicy {
+            max_backoff: Duration::from_secs(120),
+            retry_budget: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new(addr, policy).unwrap();
+        let started = std::time::Instant::now();
+        let (status, _) = client.get("/query").unwrap();
+        assert_eq!(status, 503, "the shed is surfaced, not swallowed");
+        assert!(started.elapsed() < Duration::from_secs(5), "no 60 s sleep was taken");
+        let counters = client.counters();
+        assert_eq!(counters.budget_exhausted, 1);
+        assert_eq!(counters.retries, 0);
+    }
+
+    #[test]
+    fn transport_errors_reconnect_with_backoff() {
+        // The canned server hangs up after its one response: the second
+        // request hits EOF, reconnects, and fails cleanly once retries run
+        // out (nothing is listening anymore).
+        let addr = canned_server(vec![response(200, "OK", "", "{\"ok\":true}")]);
+        let policy = RetryPolicy {
+            max_retries: 1,
+            base_backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new(addr, policy).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().0, 200);
+        let result = client.request("GET", "/healthz", "");
+        assert!(result.is_err(), "a dead server fails after bounded retries");
+        assert!(client.counters().retries >= 1);
     }
 }

@@ -62,7 +62,7 @@ pub mod trace;
 
 pub use cache::{AnswerCache, CacheCounters, CacheKey};
 pub use catalog::{Catalog, CatalogError, Dataset};
-pub use client::Client;
+pub use client::{Client, RetryCounters, RetryPolicy, RetryingClient};
 pub use json::Json;
 pub use runtime::{serve, serve_with, ServerHandle};
 pub use service::{full_registry, ServerConfig, Service};

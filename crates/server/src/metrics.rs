@@ -231,6 +231,43 @@ pub fn render_metrics(stats: &ServerStats, catalog: &Catalog, cache: &CacheCount
     );
     let _ = writeln!(out, "maxrs_auto_actual_work_total {}", stats.auto_actual_work());
 
+    // -- overload & failure handling --------------------------------------
+    header(
+        &mut out,
+        "maxrs_shed_total",
+        "counter",
+        "Requests shed by admission control with a 503 + Retry-After.",
+    );
+    let _ = writeln!(out, "maxrs_shed_total {}", stats.shed());
+    header(
+        &mut out,
+        "maxrs_deadline_exceeded_total",
+        "counter",
+        "Queries that exceeded their compute deadline (typed 504s).",
+    );
+    let _ = writeln!(out, "maxrs_deadline_exceeded_total {}", stats.deadline_exceeded());
+    header(
+        &mut out,
+        "maxrs_panics_total",
+        "counter",
+        "Handler panics caught and converted to well-formed 500s.",
+    );
+    let _ = writeln!(out, "maxrs_panics_total {}", stats.panics());
+    header(
+        &mut out,
+        "maxrs_degraded_total",
+        "counter",
+        "Executed requests solved in overload degradation mode.",
+    );
+    let _ = writeln!(out, "maxrs_degraded_total {}", stats.degraded());
+    header(
+        &mut out,
+        "maxrs_inflight",
+        "gauge",
+        "Compute requests (query/batch) currently being handled.",
+    );
+    let _ = writeln!(out, "maxrs_inflight {}", stats.inflight());
+
     // -- engine work counters ---------------------------------------------
     header(
         &mut out,

@@ -14,15 +14,18 @@
 //! 4. computed answers are rendered to JSON once, stored in the cache, and
 //!    merged with the hits in request order.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use mrs_core::engine::{
-    BatchCapability, BatchExecutor, BatchQuery, BatchStats, DimSupport, EngineConfig,
-    ExecutorConfig, GuaranteeClass, LatencySummary, Phase, ProblemKind, QueryTrace, RangeShape,
-    Registry, ScriptOutcome, ScriptStep, TraceRecorder,
+    BatchCapability, BatchExecutor, BatchQuery, BatchStats, DimSupport, EngineConfig, EngineError,
+    EngineResult, ExecutorConfig, GuaranteeClass, LatencySummary, Phase, ProblemKind, QueryTrace,
+    RangeShape, Registry, ScriptOutcome, ScriptStep, ShapeClass, SolverDescriptor, SolverReport,
+    TraceRecorder, WeightedInstance, WeightedSolver,
 };
+use mrs_core::Placement;
 
 use crate::cache::{AnswerCache, CacheKey};
 use crate::catalog::{Catalog, Dataset, DatasetCore};
@@ -55,6 +58,30 @@ pub struct ServerConfig {
     /// Slow-query threshold: an executed query whose phases sum past this
     /// gets one structured line on stderr (`None` disables the log).
     pub slow_query: Option<Duration>,
+    /// Default per-request compute deadline for `/query` and `/batch`
+    /// (`--request-timeout-ms`).  A request's `X-Deadline-Ms` header
+    /// overrides it per call; `None` disables the default.
+    pub request_timeout: Option<Duration>,
+    /// Capacity of the bounded accepted-connection queue; connections
+    /// arriving when it is full are shed with a `503` + `Retry-After`.
+    pub queue_capacity: usize,
+    /// Global limit on concurrently-handled `/query` + `/batch` requests;
+    /// requests past it are shed with a `503` + `Retry-After`.
+    pub max_inflight: usize,
+    /// Per-dataset limit on concurrently-handled query requests (`0`
+    /// derives `max_inflight / 2`, floored at 1).
+    pub max_inflight_per_dataset: usize,
+    /// Overload watermark in `[0, 1]`: once global in-flight reaches this
+    /// fraction of `max_inflight`, new queries run in degradation mode (the
+    /// `auto` router restricts to predicted-cheap solvers).  `>= 1.0`
+    /// disables degradation.
+    pub overload_watermark: f64,
+    /// Keep-alive window for idle connections (the runtime evicts idle
+    /// connections past it).
+    pub keep_alive: Duration,
+    /// Registers the test-only `chaos-panic` solver (always panics) so the
+    /// fault-injection harness can exercise panic isolation end to end.
+    pub chaos_solver: bool,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +95,13 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             certify: true,
             slow_query: None,
+            request_timeout: None,
+            queue_capacity: 1024,
+            max_inflight: 256,
+            max_inflight_per_dataset: 0,
+            overload_watermark: 0.75,
+            keep_alive: Duration::from_secs(30),
+            chaos_solver: false,
         }
     }
 }
@@ -79,6 +113,15 @@ impl ServerConfig {
             self.threads
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+        }
+    }
+
+    /// The per-dataset in-flight limit this configuration resolves to.
+    pub fn resolved_max_inflight_per_dataset(&self) -> usize {
+        if self.max_inflight_per_dataset > 0 {
+            self.max_inflight_per_dataset
+        } else {
+            (self.max_inflight / 2).max(1)
         }
     }
 }
@@ -99,6 +142,38 @@ pub struct Service {
     next_request_id: AtomicU64,
     shutdown: AtomicBool,
     local_addr: OnceLock<std::net::SocketAddr>,
+    dataset_inflight: Mutex<HashMap<String, Arc<AtomicU64>>>,
+}
+
+/// The test-only always-panicking solver behind `--chaos-solver`: the
+/// fault-injection harness queries it to prove a worker survives a handler
+/// panic (the client sees a well-formed `500`, `/stats` counts it, and the
+/// pool keeps serving).  Registered *externally* — never part of the default
+/// registry, so `maxrs solvers` output is untouched without the flag.
+struct ChaosPanicSolver;
+
+impl ChaosPanicSolver {
+    const DESCRIPTOR: SolverDescriptor = SolverDescriptor {
+        name: "chaos-panic",
+        problem: ProblemKind::Weighted,
+        shape: ShapeClass::Any,
+        dims: DimSupport::Any,
+        guarantee: GuaranteeClass::HalfMinusEps,
+        dynamic: false,
+        batch: BatchCapability::Independent,
+        negative_weights: true,
+        reference: "test-only always-panicking solver (fault-injection harness)",
+    };
+}
+
+impl<const D: usize> WeightedSolver<D> for ChaosPanicSolver {
+    fn descriptor(&self) -> &SolverDescriptor {
+        &Self::DESCRIPTOR
+    }
+
+    fn solve(&self, _instance: &WeightedInstance<D>) -> EngineResult<SolverReport<Placement<D>>> {
+        panic!("chaos-panic solver fired (fault injection)");
+    }
 }
 
 /// A parsed query before the target dataset's dimension is known.
@@ -152,8 +227,32 @@ enum Outcome {
     Hit(Arc<str>),
     /// Computed by the engine this request.
     Computed(Arc<str>),
-    /// Failed dispatch (unknown solver, shape/dimension mismatch, ...).
-    Failed(String),
+    /// A typed engine failure: failed dispatch (unknown solver,
+    /// shape/dimension mismatch, ...) or an exceeded deadline.
+    Failed(EngineError),
+}
+
+/// RAII guard for one slot of the global in-flight window; dropping it
+/// releases the slot even when the handler panics.
+struct InflightPermit<'s> {
+    stats: &'s ServerStats,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.stats.inflight_exit();
+    }
+}
+
+/// RAII guard for one slot of a dataset's in-flight window.
+struct DatasetPermit {
+    counter: Arc<AtomicU64>,
+}
+
+impl Drop for DatasetPermit {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// The merged result of answering a list of queries.
@@ -172,8 +271,13 @@ impl Service {
         if let Some(seed) = config.seed {
             engine_config = engine_config.with_seed(seed);
         }
+        let mut registry = full_registry(engine_config);
+        if config.chaos_solver {
+            registry.register_weighted::<2>(Arc::new(ChaosPanicSolver));
+            registry.register_weighted::<1>(Arc::new(ChaosPanicSolver));
+        }
         Self {
-            registry: full_registry(engine_config),
+            registry,
             catalog: Catalog::new(),
             cache: AnswerCache::new(config.cache_shards, config.cache_capacity),
             stats: ServerStats::new(),
@@ -181,6 +285,7 @@ impl Service {
             next_request_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             local_addr: OnceLock::new(),
+            dataset_inflight: Mutex::new(HashMap::new()),
             config,
         }
     }
@@ -245,17 +350,96 @@ impl Service {
     pub fn handle(&self, request: &Request) -> Response {
         let started = Instant::now();
         let rid = format!("r-{:06}", self.next_request_id.fetch_add(1, Ordering::Relaxed));
+        let endpoint = crate::stats::Endpoint::of(&request.target);
+        // Admission: the compute endpoints hold a global in-flight permit
+        // for their whole handling window; past the limit they shed with a
+        // well-formed 503 + Retry-After instead of queueing unboundedly.
+        let compute =
+            matches!(endpoint, crate::stats::Endpoint::Query | crate::stats::Endpoint::Batch);
+        let _permit = if compute {
+            match self.admit_global() {
+                Ok(permit) => Some(permit),
+                Err(response) => {
+                    self.stats.record(endpoint, started.elapsed(), false);
+                    return response.with_header("X-Request-Id", rid);
+                }
+            }
+        } else {
+            None
+        };
         let response =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.route(request, &rid)))
                 .unwrap_or_else(|_| {
+                    self.stats.record_panic();
                     Response::json(500, r#"{"error":"internal panic while handling the request"}"#)
                 });
-        self.stats.record(
-            crate::stats::Endpoint::of(&request.target),
-            started.elapsed(),
-            response.is_success(),
-        );
+        self.stats.record(endpoint, started.elapsed(), response.is_success());
         response.with_header("X-Request-Id", rid)
+    }
+
+    /// Takes one slot of the global in-flight window, or builds the 503 the
+    /// request is shed with.
+    fn admit_global(&self) -> Result<InflightPermit<'_>, Response> {
+        let max = self.config.max_inflight as u64;
+        if max > 0 && self.stats.inflight() >= max {
+            self.stats.record_shed();
+            return Err(self.shed_response("server is at its in-flight request limit"));
+        }
+        self.stats.inflight_enter();
+        Ok(InflightPermit { stats: &self.stats })
+    }
+
+    /// Takes one slot of `dataset`'s in-flight window, or builds the 503
+    /// the request is shed with.
+    fn admit_dataset(&self, dataset: &str) -> Result<DatasetPermit, Response> {
+        let limit = self.config.resolved_max_inflight_per_dataset() as u64;
+        let counter = {
+            let mut map =
+                self.dataset_inflight.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            Arc::clone(map.entry(dataset.to_string()).or_default())
+        };
+        // Optimistic increment with rollback: contention on one dataset
+        // never blocks queries against the others.
+        if counter.fetch_add(1, Ordering::AcqRel) >= limit {
+            counter.fetch_sub(1, Ordering::AcqRel);
+            self.stats.record_shed();
+            return Err(self
+                .shed_response(&format!("dataset `{dataset}` is at its in-flight request limit")));
+        }
+        Ok(DatasetPermit { counter })
+    }
+
+    /// The well-formed shed response: `503` + `Retry-After` derived from
+    /// the query endpoint's p99 scaled by the current in-flight depth —
+    /// roughly how long the backlog needs to drain — clamped to `[1, 60]`
+    /// seconds.
+    pub(crate) fn shed_response(&self, message: &str) -> Response {
+        let p99 = self
+            .stats
+            .endpoint_histogram(crate::stats::Endpoint::Query)
+            .quantile(0.99)
+            .as_secs_f64();
+        let depth = self.stats.inflight().max(1) as f64;
+        let retry_after = (p99 * depth).ceil().clamp(1.0, 60.0) as u64;
+        error_response(503, message).with_header("Retry-After", retry_after.to_string())
+    }
+
+    /// `true` once global in-flight load crosses the overload watermark:
+    /// new queries then run in degradation mode.
+    fn overloaded(&self) -> bool {
+        let max = self.config.max_inflight as f64;
+        let watermark = self.config.overload_watermark;
+        max > 0.0 && watermark < 1.0 && self.stats.inflight() as f64 >= watermark * max
+    }
+
+    /// The compute deadline for one request: the `X-Deadline-Ms` header
+    /// when present (and parseable), else the configured default.
+    fn request_deadline(&self, request: &Request) -> Option<Instant> {
+        let timeout = match request.header("x-deadline-ms").map(str::trim) {
+            Some(raw) => raw.parse::<u64>().ok().map(Duration::from_millis),
+            None => self.config.request_timeout,
+        };
+        timeout.map(|t| Instant::now() + t)
     }
 
     fn route(&self, request: &Request, rid: &str) -> Response {
@@ -474,6 +658,19 @@ impl Service {
                     ("actual_work".into(), Json::num(self.stats.auto_actual_work() as f64)),
                 ]),
             ),
+            (
+                "overload".into(),
+                Json::Obj(vec![
+                    ("shed".into(), Json::num(self.stats.shed() as f64)),
+                    ("deadline_exceeded".into(), Json::num(self.stats.deadline_exceeded() as f64)),
+                    ("panics".into(), Json::num(self.stats.panics() as f64)),
+                    ("degraded".into(), Json::num(self.stats.degraded() as f64)),
+                    ("inflight".into(), Json::num(self.stats.inflight() as f64)),
+                    ("max_inflight".into(), Json::num(self.config.max_inflight as f64)),
+                    ("queue_capacity".into(), Json::num(self.config.queue_capacity as f64)),
+                    ("overload_watermark".into(), Json::num(self.config.overload_watermark)),
+                ]),
+            ),
             ("endpoints".into(), Json::Arr(endpoints)),
             (
                 "cache".into(),
@@ -603,6 +800,8 @@ impl Service {
         queries: &[BatchQuery<D>],
         use_cache: bool,
         rid: &str,
+        deadline: Option<Instant>,
+        degraded: bool,
     ) -> Answered {
         let epoch = dataset.epoch();
         let version = dataset.versioned().version();
@@ -634,8 +833,11 @@ impl Service {
             // neighbors, and certifying after a mutation rebuilds nothing.
             let executor = BatchExecutor::with_config(
                 &self.registry,
-                ExecutorConfig { threads: None, certify: self.config.certify },
+                ExecutorConfig { threads: None, certify: self.config.certify, deadline, degraded },
             );
+            if degraded {
+                self.stats.record_degraded();
+            }
             let mut recorder = TraceRecorder::new();
             let report = executor.execute_script_traced(dataset.versioned(), &steps, &mut recorder);
             let mut render_times = vec![Duration::ZERO; steps.len()];
@@ -644,7 +846,12 @@ impl Service {
                     unreachable!("an all-query script answers every step");
                 };
                 outcomes[i] = Some(match answer.error() {
-                    Some(e) => Outcome::Failed(e.to_string()),
+                    Some(e) => {
+                        if matches!(e, EngineError::DeadlineExceeded { .. }) {
+                            self.stats.record_deadline_exceeded();
+                        }
+                        Outcome::Failed(e.clone())
+                    }
                     None => {
                         let flag = *certified == Some(true);
                         let render_start = Instant::now();
@@ -732,18 +939,41 @@ impl Service {
             Err(message) => return error_response(400, &message),
         };
         let use_cache = body.get("cache").and_then(Json::as_bool).unwrap_or(true);
+        let _dataset_permit = match self.admit_dataset(dataset_name) {
+            Ok(permit) => permit,
+            Err(response) => return response,
+        };
+        let deadline = self.request_deadline(request);
+        let degraded = self.overloaded();
         let answered = match dataset.as_ref() {
             Dataset::Planar(core) => match spec.to_planar() {
-                Ok(query) => self.answer(core, std::slice::from_ref(&query), use_cache, rid),
+                Ok(query) => self.answer(
+                    core,
+                    std::slice::from_ref(&query),
+                    use_cache,
+                    rid,
+                    deadline,
+                    degraded,
+                ),
                 Err(message) => return error_response(400, &message),
             },
             Dataset::Line(core) => match spec.to_line() {
-                Ok(query) => self.answer(core, std::slice::from_ref(&query), use_cache, rid),
+                Ok(query) => self.answer(
+                    core,
+                    std::slice::from_ref(&query),
+                    use_cache,
+                    rid,
+                    deadline,
+                    degraded,
+                ),
                 Err(message) => return error_response(400, &message),
             },
         };
         match &answered.outcomes[0] {
-            Outcome::Failed(message) => error_response(422, message),
+            Outcome::Failed(error @ EngineError::DeadlineExceeded { .. }) => {
+                error_response(504, &error.to_string())
+            }
+            Outcome::Failed(error) => error_response(422, &error.to_string()),
             Outcome::Hit(rendered) => Response::json(
                 200,
                 format!("{{\"cached\":true,\"trace\":\"{rid}\",\"answer\":{rendered}}}"),
@@ -779,6 +1009,12 @@ impl Service {
         }
         let use_cache = body.get("cache").and_then(Json::as_bool).unwrap_or(true);
         let queries_len = specs.len();
+        let _dataset_permit = match self.admit_dataset(dataset_name) {
+            Ok(permit) => permit,
+            Err(response) => return response,
+        };
+        let deadline = self.request_deadline(request);
+        let degraded = self.overloaded();
         let answered = match dataset.as_ref() {
             Dataset::Planar(core) => {
                 let mut queries = Vec::with_capacity(specs.len());
@@ -790,7 +1026,7 @@ impl Service {
                         }
                     }
                 }
-                self.answer(core, &queries, use_cache, rid)
+                self.answer(core, &queries, use_cache, rid, deadline, degraded)
             }
             Dataset::Line(core) => {
                 let mut queries = Vec::with_capacity(specs.len());
@@ -802,7 +1038,7 @@ impl Service {
                         }
                     }
                 }
-                self.answer(core, &queries, use_cache, rid)
+                self.answer(core, &queries, use_cache, rid, deadline, degraded)
             }
         };
 
@@ -823,11 +1059,13 @@ impl Service {
                         "{{\"cached\":false,\"trace\":\"{rid}\",\"answer\":{rendered}}}"
                     ));
                 }
-                Outcome::Failed(message) => {
+                Outcome::Failed(error) => {
                     failed += 1;
-                    body.push_str(
-                        &Json::Obj(vec![("error".into(), Json::str(message.clone()))]).render(),
-                    );
+                    let mut fields = vec![("error".into(), Json::str(error.to_string()))];
+                    if matches!(error, EngineError::DeadlineExceeded { .. }) {
+                        fields.push(("deadline_exceeded".into(), Json::Bool(true)));
+                    }
+                    body.push_str(&Json::Obj(fields).render());
                 }
             }
         }
@@ -1453,5 +1691,187 @@ mod tests {
         assert_eq!(service.handle(&post("/query", wrong_dim)).status, 422);
         // And a bad dim parameter is a clean 400.
         assert_eq!(service.handle(&post("/datasets/x?dim=7", csv)).status, 400);
+    }
+
+    fn post_with_header(target: &str, body: &str, name: &str, value: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            target: target.into(),
+            headers: vec![(name.to_string(), value.to_string())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_return_typed_504_and_never_cache() {
+        let service = service();
+        service.handle(&post("/datasets/demo", CSV));
+        let body = r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        // `X-Deadline-Ms: 0` is expired by the time the executor runs.
+        let timed_out = service.handle(&post_with_header("/query", body, "x-deadline-ms", "0"));
+        assert_eq!(timed_out.status, 504, "{:?}", String::from_utf8_lossy(&timed_out.body));
+        let text = std::str::from_utf8(&timed_out.body).unwrap();
+        assert!(text.contains("exceeded its deadline"), "{text}");
+        assert_eq!(service.stats().deadline_exceeded(), 1);
+        // The expired answer must not have been cached: the same query
+        // without a deadline computes fresh.
+        let fresh = service.handle(&post("/query", body));
+        assert_eq!(fresh.status, 200);
+        let parsed = Json::parse(std::str::from_utf8(&fresh.body).unwrap()).unwrap();
+        assert_eq!(parsed.get("cached").unwrap().as_bool(), Some(false));
+
+        // The configured default applies when no header is present...
+        let strict = Service::new(ServerConfig {
+            seed: Some(42),
+            request_timeout: Some(Duration::ZERO),
+            ..ServerConfig::default()
+        });
+        strict.handle(&post("/datasets/demo", CSV));
+        assert_eq!(strict.handle(&post("/query", body)).status, 504);
+        // ...and a generous header overrides the strict default.
+        let relaxed = strict.handle(&post_with_header("/query", body, "x-deadline-ms", "60000"));
+        assert_eq!(relaxed.status, 200, "{:?}", String::from_utf8_lossy(&relaxed.body));
+
+        // Batch deadline failures are per-answer error objects, flagged.
+        let batch = r#"{"dataset":"demo","queries":[
+            {"solver":"exact-disk-2d","shape":{"ball":1.0}}
+        ],"cache":false}"#;
+        let response = strict.handle(&post("/batch", batch));
+        assert_eq!(response.status, 200);
+        let parsed = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let answers = parsed.get("answers").unwrap().as_arr().unwrap();
+        assert_eq!(answers[0].get("deadline_exceeded").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("stats").unwrap().get("failed").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn panicking_solver_yields_well_formed_500_and_the_worker_survives() {
+        let service = Service::new(ServerConfig {
+            seed: Some(42),
+            chaos_solver: true,
+            ..ServerConfig::default()
+        });
+        service.handle(&post("/datasets/demo", CSV));
+        let chaos = r#"{"dataset":"demo","solver":"chaos-panic","shape":{"ball":1.0}}"#;
+        let response = service.handle(&post("/query", chaos));
+        assert_eq!(response.status, 500);
+        let parsed = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert!(parsed.get("error").and_then(Json::as_str).is_some(), "500s carry a JSON error");
+        assert_eq!(service.stats().panics(), 1);
+        // The service keeps answering after the panic, and the in-flight
+        // permit was released on the unwind path.
+        assert_eq!(service.stats().inflight(), 0);
+        let body = r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        assert_eq!(service.handle(&post("/query", body)).status, 200);
+    }
+
+    #[test]
+    fn saturated_inflight_window_sheds_with_retry_after() {
+        let service = Service::new(ServerConfig {
+            seed: Some(42),
+            max_inflight: 1,
+            ..ServerConfig::default()
+        });
+        service.handle(&post("/datasets/demo", CSV));
+        let body = r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        // Occupy the only slot, as a concurrent in-flight request would.
+        service.stats().inflight_enter();
+        let shed = service.handle(&post("/query", body));
+        assert_eq!(shed.status, 503, "{:?}", String::from_utf8_lossy(&shed.body));
+        let retry_after = shed
+            .headers
+            .iter()
+            .find(|(name, _)| *name == "Retry-After")
+            .map(|(_, value)| value.parse::<u64>().unwrap())
+            .expect("every shed carries Retry-After");
+        assert!((1..=60).contains(&retry_after), "{retry_after}");
+        assert_eq!(service.stats().shed(), 1);
+        // Shed responses are well-formed JSON errors.
+        let parsed = Json::parse(std::str::from_utf8(&shed.body).unwrap()).unwrap();
+        assert!(parsed.get("error").and_then(Json::as_str).is_some());
+        // Non-compute endpoints are never shed.
+        assert_eq!(service.handle(&get("/healthz")).status, 200);
+        assert_eq!(service.handle(&get("/stats")).status, 200);
+        // Releasing the slot restores service.
+        service.stats().inflight_exit();
+        assert_eq!(service.handle(&post("/query", body)).status, 200);
+        // /stats surfaces the overload block.
+        let stats = service.handle(&get("/stats"));
+        let parsed = Json::parse(std::str::from_utf8(&stats.body).unwrap()).unwrap();
+        let overload = parsed.get("overload").expect("stats carries overload counters");
+        assert_eq!(overload.get("shed").unwrap().as_f64(), Some(1.0));
+        assert_eq!(overload.get("max_inflight").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn saturated_dataset_window_sheds_but_leaves_other_datasets_alone() {
+        let service = Service::new(ServerConfig {
+            seed: Some(42),
+            max_inflight: 64,
+            max_inflight_per_dataset: 1,
+            ..ServerConfig::default()
+        });
+        service.handle(&post("/datasets/demo", CSV));
+        service.handle(&post("/datasets/other", CSV));
+        // Occupy demo's only slot, as a concurrent request would.
+        service
+            .dataset_inflight
+            .lock()
+            .unwrap()
+            .entry("demo".to_string())
+            .or_default()
+            .fetch_add(1, Ordering::AcqRel);
+        let demo = r#"{"dataset":"demo","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        let other = r#"{"dataset":"other","solver":"exact-disk-2d","shape":{"ball":1.0}}"#;
+        assert_eq!(service.handle(&post("/query", demo)).status, 503);
+        assert_eq!(service.handle(&post("/query", other)).status, 200);
+        assert_eq!(service.stats().shed(), 1);
+    }
+
+    #[test]
+    fn overload_watermark_degrades_auto_routing() {
+        let service = Service::new(ServerConfig {
+            seed: Some(42),
+            max_inflight: 2,
+            overload_watermark: 0.5,
+            ..ServerConfig::default()
+        });
+        service.handle(&post("/datasets/demo", CSV));
+        // One synthetic in-flight request + this one = 2 >= 0.5 * 2.
+        service.stats().inflight_enter();
+        let body = r#"{"dataset":"demo","solver":"auto","shape":{"ball":1.0},"cache":false}"#;
+        let response = service.handle(&post("/query", body));
+        assert_eq!(response.status, 200, "{:?}", String::from_utf8_lossy(&response.body));
+        service.stats().inflight_exit();
+        assert!(service.stats().degraded() >= 1, "the degraded solve is counted");
+        // The auto router was restricted to non-exact solvers.
+        let parsed = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        let choice = parsed
+            .get("answer")
+            .unwrap()
+            .get("auto")
+            .expect("auto answers carry their routing record")
+            .get("choice")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let listing = service.handle(&get("/solvers"));
+        let parsed = Json::parse(std::str::from_utf8(&listing.body).unwrap()).unwrap();
+        let guarantee = parsed
+            .get("solvers")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(choice.as_str()))
+            .unwrap()
+            .get("guarantee")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert_ne!(guarantee, "exact", "degraded routing avoids exact-tier solvers: {choice}");
+        // The solve's trace is stamped degraded.
+        let traces = service.traces().snapshot();
+        assert!(traces.last().is_some_and(|t| t.degraded), "the trace records degradation");
     }
 }

@@ -179,6 +179,11 @@ pub struct ServerStats {
     auto_picks: AtomicU64,
     auto_predicted_work: AtomicU64,
     auto_actual_work: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    panics: AtomicU64,
+    degraded: AtomicU64,
+    inflight: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -202,7 +207,68 @@ impl ServerStats {
             auto_picks: AtomicU64::new(0),
             auto_predicted_work: AtomicU64::new(0),
             auto_actual_work: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
         }
+    }
+
+    /// Counts one connection or request shed by admission control (bounded
+    /// queue full or an in-flight limit reached).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections/requests shed by admission control since startup.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Counts one query that exceeded its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queries that exceeded their deadline since startup.
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Counts one handler panic caught and converted to a 500.
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler panics caught since startup (the workers survive every one).
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Counts one query answered in overload-degradation mode.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queries answered in overload-degradation mode since startup.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Registers one request entering the in-flight window (gauge up).
+    pub fn inflight_enter(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers one request leaving the in-flight window (gauge down).
+    pub fn inflight_exit(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently in flight (between admission and response).
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
     }
 
     /// Adds one executed batch's index-work counters (see

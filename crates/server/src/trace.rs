@@ -48,9 +48,12 @@ impl TraceRing {
         self.capacity
     }
 
-    /// Appends a trace, evicting the oldest when full.
+    /// Appends a trace, evicting the oldest when full.  A panic while a
+    /// previous holder had the lock poisons the mutex, but the ring's data
+    /// (a deque of plain clones) cannot be left half-updated, so the lock
+    /// is recovered rather than propagating the poison.
     pub fn push(&self, trace: QueryTrace) {
-        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        let mut ring = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() == self.capacity {
             ring.pop_front();
         }
@@ -59,7 +62,12 @@ impl TraceRing {
 
     /// The retained traces, oldest first.
     pub fn snapshot(&self) -> Vec<QueryTrace> {
-        self.ring.lock().expect("trace ring poisoned").iter().cloned().collect()
+        self.ring
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// All retained traces for one request id, oldest first (a batch request
@@ -67,7 +75,7 @@ impl TraceRing {
     pub fn for_request(&self, id: &str) -> Vec<QueryTrace> {
         self.ring
             .lock()
-            .expect("trace ring poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .filter(|t| t.id == id)
             .cloned()
@@ -93,6 +101,7 @@ pub fn trace_json(trace: &QueryTrace) -> Json {
     fields.push(("shape".to_string(), Json::str(trace.shape.clone())));
     fields.push(("version".to_string(), Json::num(trace.version as f64)));
     fields.push(("ok".to_string(), Json::Bool(trace.ok)));
+    fields.push(("degraded".to_string(), Json::Bool(trace.degraded)));
     match trace.certified {
         Some(flag) => fields.push(("certified".to_string(), Json::Bool(flag))),
         None => fields.push(("certified".to_string(), Json::Null)),

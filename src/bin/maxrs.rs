@@ -30,8 +30,8 @@ fn main() -> ExitCode {
     };
     // Serve is the one long-lived command: load the startup datasets, bind,
     // and park on the runtime until a `POST /shutdown` arrives.
-    if let Command::Serve { addr, threads, eps, seed, slow_query_ms, datasets } = &command {
-        return run_server(addr, *threads, *eps, *seed, *slow_query_ms, datasets);
+    if let Command::Serve { .. } = &command {
+        return run_server(&command);
     }
     // Mutate posts the file to a running server's insert/delete endpoint.
     if let Command::Mutate { addr, dataset, delete, .. } = &command {
@@ -40,16 +40,21 @@ fn main() -> ExitCode {
     // Batch commands read a second file (the query list) and run through the
     // shared-index executor; everything else is a single engine dispatch.
     let outcome = match &command {
-        Command::Batch { threads, eps, trace, .. } => {
+        Command::Batch { threads, eps, deadline_ms, trace, .. } => {
             let queries = queries_path(&command).expect("batch commands carry a query path");
             match std::fs::read_to_string(queries) {
                 Err(error) => {
                     eprintln!("error: cannot read {queries}: {error}");
                     return ExitCode::FAILURE;
                 }
-                Ok(queries_text) => {
-                    run_batch_on_text(&file_text, &queries_text, *threads, *eps, *trace)
-                }
+                Ok(queries_text) => run_batch_on_text(
+                    &file_text,
+                    &queries_text,
+                    *threads,
+                    *eps,
+                    *deadline_ms,
+                    *trace,
+                ),
             }
         }
         _ => run_on_text(&command, &file_text),
@@ -125,25 +130,40 @@ fn run_mutate(addr: &str, dataset: &str, delete: bool, body: &str) -> ExitCode {
 /// Boots the query service: loads every `--dataset name=path` into the
 /// catalog, binds the address, prints one line per loaded dataset plus the
 /// bound address, then blocks until shutdown.
-fn run_server(
-    addr: &str,
-    threads: Option<usize>,
-    eps: f64,
-    seed: Option<u64>,
-    slow_query_ms: Option<u64>,
-    datasets: &[(String, String, usize)],
-) -> ExitCode {
+fn run_server(command: &Command) -> ExitCode {
     use maxrs::server::{serve_with, ServerConfig, Service};
     use std::sync::Arc;
     use std::time::Duration;
 
+    let Command::Serve {
+        addr,
+        threads,
+        eps,
+        seed,
+        slow_query_ms,
+        request_timeout_ms,
+        queue_capacity,
+        max_inflight,
+        overload_watermark,
+        chaos_solver,
+        datasets,
+    } = command
+    else {
+        unreachable!("run_server is only called on Command::Serve");
+    };
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         addr: addr.to_string(),
         threads: threads.unwrap_or(0),
-        eps,
-        seed,
+        eps: *eps,
+        seed: *seed,
         slow_query: slow_query_ms.map(Duration::from_millis),
-        ..ServerConfig::default()
+        request_timeout: request_timeout_ms.map(Duration::from_millis),
+        queue_capacity: queue_capacity.unwrap_or(defaults.queue_capacity),
+        max_inflight: max_inflight.unwrap_or(defaults.max_inflight),
+        overload_watermark: overload_watermark.unwrap_or(defaults.overload_watermark),
+        chaos_solver: *chaos_solver,
+        ..defaults
     };
     let service = Arc::new(Service::new(config));
     for (name, path, dim) in datasets {

@@ -62,7 +62,7 @@ pub enum Command {
     },
     /// Batch execution: many queries over one point set through the
     /// shared-index executor (`batch --queries Q [--threads N] [--eps E]
-    /// [--trace] <file>`).
+    /// [--deadline-ms MS] [--trace] <file>`).
     Batch {
         /// Path of the query-list file.
         queries: String,
@@ -70,13 +70,18 @@ pub enum Command {
         threads: Option<usize>,
         /// Approximation parameter for the approximate solvers in the batch.
         eps: f64,
+        /// Compute deadline for the whole batch, in milliseconds; queries
+        /// still unanswered at the deadline fail typed (`None` disables it).
+        deadline_ms: Option<u64>,
         /// Print one phase-timed trace line per executed query.
         trace: bool,
         /// Input CSV path.
         path: String,
     },
     /// Long-lived query service (`serve --addr HOST:PORT [--threads N]
-    /// [--eps E] [--seed S] [--slow-query-ms MS] [--dataset name=path]...`).
+    /// [--eps E] [--seed S] [--slow-query-ms MS] [--request-timeout-ms MS]
+    /// [--queue-capacity N] [--max-inflight N] [--overload-watermark F]
+    /// [--dataset name=path]...`).
     Serve {
         /// Address to bind, `HOST:PORT`.
         addr: String,
@@ -88,6 +93,18 @@ pub enum Command {
         seed: Option<u64>,
         /// Slow-query log threshold in milliseconds (`None` disables it).
         slow_query_ms: Option<u64>,
+        /// Default per-request compute deadline in milliseconds (`None`
+        /// disables it; `X-Deadline-Ms` overrides per request).
+        request_timeout_ms: Option<u64>,
+        /// Bounded accepted-connection queue capacity (`None` = default).
+        queue_capacity: Option<usize>,
+        /// Global in-flight query/batch limit (`None` = default).
+        max_inflight: Option<usize>,
+        /// Overload watermark in `[0, 1]` (`None` = default).
+        overload_watermark: Option<f64>,
+        /// Register the test-only always-panicking `chaos-panic` solver
+        /// (fault-injection harness only).
+        chaos_solver: bool,
         /// Datasets to load into the catalog at startup, as
         /// `(name, path, dim)` where `dim` is 1 (`name=path@1d`, 1-D
         /// `x[,weight]` CSV) or 2 (`name=path`, planar batch CSV).
@@ -138,9 +155,12 @@ USAGE:
     maxrs rect                --width W --height H  <points.csv>
     maxrs colored-disk        --radius R            <colored.csv>
     maxrs colored-disk-approx --radius R --eps E    <colored.csv>
-    maxrs batch --queries <script.txt> [--threads N] [--eps E] [--trace] <points.csv>
+    maxrs batch --queries <script.txt> [--threads N] [--eps E]
+                [--deadline-ms MS] [--trace] <points.csv>
     maxrs serve --addr HOST:PORT [--threads N] [--eps E] [--seed S]
-                [--slow-query-ms MS] [--dataset name=path[@1d]]...
+                [--slow-query-ms MS] [--request-timeout-ms MS]
+                [--queue-capacity N] [--max-inflight N]
+                [--overload-watermark F] [--dataset name=path[@1d]]...
     maxrs mutate --addr HOST:PORT --dataset NAME [--delete] <records.csv>
     maxrs solvers
 
@@ -162,6 +182,16 @@ executed query (plan | index build | solve | certify); `maxrs serve`
 exposes Prometheus text at `GET /metrics`, recent phase-timed traces at
 `GET /debug/traces`, and — with `--slow-query-ms MS` — logs one structured
 stderr line per query whose phases sum past the threshold.
+
+Overload safety: `maxrs serve` sheds work past its limits instead of
+queueing unboundedly.  `--queue-capacity N` bounds the accepted-connection
+queue and `--max-inflight N` the concurrently-handled query/batch requests
+(both shed with `503` + `Retry-After`); `--request-timeout-ms MS` sets the
+default compute deadline (a request's `X-Deadline-Ms` header overrides it;
+expired queries fail with a typed `504`); `--overload-watermark F` (default
+0.75) picks the in-flight fraction past which the `auto` router restricts
+itself to predicted-cheap solvers.  `maxrs batch --deadline-ms MS` applies
+the same cooperative-cancellation deadline to an offline batch.
 
 INPUT FORMATS (one record per line, '#' starts a comment):
     weighted points:  x,y[,weight]          (weight defaults to 1)
@@ -199,6 +229,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut addr = None;
     let mut seed = None;
     let mut slow_query_ms = None;
+    let mut request_timeout_ms = None;
+    let mut deadline_ms = None;
+    let mut queue_capacity = None;
+    let mut max_inflight = None;
+    let mut overload_watermark = None;
+    let mut chaos_solver = false;
     let mut trace = false;
     let mut raw_datasets: Vec<String> = Vec::new();
     let mut delete = false;
@@ -246,6 +282,64 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| CliError(format!("--slow-query-ms: invalid threshold {raw}")))?;
                 slow_query_ms = Some(value);
                 i += 2;
+            }
+            "--request-timeout-ms" => {
+                let Some(raw) = args.get(i + 1) else {
+                    return err("--request-timeout-ms requires a value");
+                };
+                let value: u64 = raw.parse().map_err(|_| {
+                    CliError(format!("--request-timeout-ms: invalid timeout {raw}"))
+                })?;
+                request_timeout_ms = Some(value);
+                i += 2;
+            }
+            "--deadline-ms" => {
+                let Some(raw) = args.get(i + 1) else {
+                    return err("--deadline-ms requires a value");
+                };
+                let value: u64 = raw
+                    .parse()
+                    .map_err(|_| CliError(format!("--deadline-ms: invalid deadline {raw}")))?;
+                deadline_ms = Some(value);
+                i += 2;
+            }
+            "--queue-capacity" => {
+                let Some(raw) = args.get(i + 1) else {
+                    return err("--queue-capacity requires a value");
+                };
+                let value: usize =
+                    raw.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        CliError(format!("--queue-capacity: invalid capacity {raw}"))
+                    })?;
+                queue_capacity = Some(value);
+                i += 2;
+            }
+            "--max-inflight" => {
+                let Some(raw) = args.get(i + 1) else {
+                    return err("--max-inflight requires a value");
+                };
+                let value: usize = raw
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError(format!("--max-inflight: invalid limit {raw}")))?;
+                max_inflight = Some(value);
+                i += 2;
+            }
+            "--overload-watermark" => {
+                let Some(raw) = args.get(i + 1) else {
+                    return err("--overload-watermark requires a value");
+                };
+                let value: f64 =
+                    raw.parse().ok().filter(|w: &f64| w.is_finite() && *w > 0.0).ok_or_else(
+                        || CliError(format!("--overload-watermark: invalid fraction {raw}")),
+                    )?;
+                overload_watermark = Some(value);
+                i += 2;
+            }
+            "--chaos-solver" => {
+                chaos_solver = true;
+                i += 1;
             }
             "--radius" => {
                 radius = Some(parse_flag_value(args, &mut i, "--radius")?);
@@ -323,14 +417,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     if command != "serve" {
         reject_unused(
             command,
-            &[("--seed", seed.is_some()), ("--slow-query-ms", slow_query_ms.is_some())],
+            &[
+                ("--seed", seed.is_some()),
+                ("--slow-query-ms", slow_query_ms.is_some()),
+                ("--request-timeout-ms", request_timeout_ms.is_some()),
+                ("--queue-capacity", queue_capacity.is_some()),
+                ("--max-inflight", max_inflight.is_some()),
+                ("--overload-watermark", overload_watermark.is_some()),
+                ("--chaos-solver", chaos_solver),
+            ],
         )?;
     }
     if command != "mutate" {
         reject_unused(command, &[("--delete", delete)])?;
     }
     if command != "batch" {
-        reject_unused(command, &[("--trace", trace)])?;
+        reject_unused(command, &[("--trace", trace), ("--deadline-ms", deadline_ms.is_some())])?;
     }
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -374,6 +476,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 eps,
                 seed,
                 slow_query_ms,
+                request_timeout_ms,
+                queue_capacity,
+                max_inflight,
+                overload_watermark,
+                chaos_solver,
                 datasets,
             })
         }
@@ -417,6 +524,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 queries: queries.ok_or_else(|| CliError("batch requires --queries".into()))?,
                 threads,
                 eps: eps.unwrap_or(0.25),
+                deadline_ms,
                 trace,
                 path: need_path(path)?,
             })
@@ -663,6 +771,7 @@ pub fn run_batch_on_text(
     queries_text: &str,
     threads: Option<usize>,
     eps: f64,
+    deadline_ms: Option<u64>,
     trace: bool,
 ) -> Result<String, CliError> {
     check_eps(eps, 1.0)?;
@@ -674,7 +783,12 @@ pub fn run_batch_on_text(
     let dataset = VersionedDataset::new(points, sites);
 
     let registry = registry_with(cli_config(eps));
-    let executor = BatchExecutor::with_config(&registry, ExecutorConfig { threads, certify: true });
+    let deadline =
+        deadline_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    let executor = BatchExecutor::with_config(
+        &registry,
+        ExecutorConfig { threads, certify: true, deadline, ..ExecutorConfig::default() },
+    );
     let mut recorder = if trace { TraceRecorder::new() } else { TraceRecorder::disabled() };
     let report = executor.execute_script_traced(&dataset, &steps, &mut recorder);
 
@@ -1204,6 +1318,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
             queries: "q.txt".into(),
             threads: Some(2),
             eps: 0.25,
+            deadline_ms: None,
             trace: false,
             path: "pts.csv".into(),
         };
@@ -1230,6 +1345,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
                 queries: "q.txt".into(),
                 threads: Some(3),
                 eps: 0.3,
+                deadline_ms: None,
                 trace: false,
                 path: "pts.csv".into(),
             }
@@ -1240,6 +1356,13 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
             Command::Batch { trace: true, .. }
         ));
         assert!(parse_args(&args(&["disk", "--radius", "1", "--trace", "p"])).is_err());
+        // `--deadline-ms` arms the batch compute deadline; batch-only.
+        assert!(matches!(
+            parse_args(&args(&["batch", "--queries", "q", "--deadline-ms", "500", "p"])).unwrap(),
+            Command::Batch { deadline_ms: Some(500), .. }
+        ));
+        assert!(parse_args(&args(&["batch", "--queries", "q", "--deadline-ms", "x", "p"])).is_err());
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--deadline-ms", "5", "p"])).is_err());
         // --queries is mandatory, --threads must be a positive integer, and
         // batch flags are rejected on other subcommands.
         assert!(parse_args(&args(&["batch", "pts.csv"])).is_err());
@@ -1267,9 +1390,47 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
                 eps: 0.25,
                 seed: None,
                 slow_query_ms: None,
+                request_timeout_ms: None,
+                queue_capacity: None,
+                max_inflight: None,
+                overload_watermark: None,
+                chaos_solver: false,
                 datasets: vec![("demo".into(), "examples/data/batch_points.csv".into(), 2)],
             }
         );
+        // The overload knobs parse and are serve-only.
+        assert!(matches!(
+            parse_args(&args(&[
+                "serve",
+                "--addr",
+                "x:1",
+                "--request-timeout-ms",
+                "250",
+                "--queue-capacity",
+                "64",
+                "--max-inflight",
+                "8",
+                "--overload-watermark",
+                "0.5",
+                "--chaos-solver",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                request_timeout_ms: Some(250),
+                queue_capacity: Some(64),
+                max_inflight: Some(8),
+                overload_watermark: Some(watermark),
+                chaos_solver: true,
+                ..
+            } if watermark == 0.5
+        ));
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--queue-capacity", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--max-inflight", "no"])).is_err());
+        assert!(
+            parse_args(&args(&["serve", "--addr", "x:1", "--overload-watermark", "-1"])).is_err()
+        );
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--max-inflight", "4", "a"])).is_err());
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--chaos-solver", "a"])).is_err());
         // `--slow-query-ms` arms the slow-query log; serve-only.
         assert!(matches!(
             parse_args(&args(&["serve", "--addr", "x:1", "--slow-query-ms", "250"])).unwrap(),
@@ -1309,6 +1470,11 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
             eps: 0.25,
             seed: None,
             slow_query_ms: None,
+            request_timeout_ms: None,
+            queue_capacity: None,
+            max_inflight: None,
+            overload_watermark: None,
+            chaos_solver: false,
             datasets: Vec::new(),
         };
         assert!(run_on_text(&serve, "").is_err());
@@ -1396,7 +1562,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         // delete it again: the same query sees three different versions.
         let csv = "0,0\n0.4,0\n0,0.4\n9,9\n";
         let script = "disk,1.0\ninsert,0.2,0.2,5\ndisk,1.0\ndelete,0.2,0.2\ndisk,1.0\n";
-        let out = run_batch_on_text(csv, script, None, 0.25, false).unwrap();
+        let out = run_batch_on_text(csv, script, None, 0.25, None, false).unwrap();
         assert!(out.contains("covered weight = 3.000000"), "{out}");
         assert!(out.contains("covered weight = 8.000000"), "{out}");
         assert!(out.contains("@v1]"), "{out}");
@@ -1481,7 +1647,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         // 0.1, where no two points fit in one disk.
         let csv = "0,0,1,0\n0.4,0,1,1\n0,0.4,1,2\n9,9,2,0\n";
         let queries = "disk,1.0\nrect,1,1\ncolored-disk,1.0\ndisk,0.1\n";
-        let out = run_batch_on_text(csv, queries, Some(2), 0.25, false).unwrap();
+        let out = run_batch_on_text(csv, queries, Some(2), 0.25, None, false).unwrap();
         assert!(out.contains("covered weight = 3.000000"), "{out}");
         assert!(out.contains("distinct colors = 3"), "{out}");
         assert!(out.contains("covered weight = 2.000000"), "{out}");
@@ -1502,17 +1668,17 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         assert!(out.contains("candidates examined"), "{out}");
         assert!(out.contains("sieve-rejected"), "{out}");
 
-        assert!(run_batch_on_text(csv, "", None, 0.25, false)
+        assert!(run_batch_on_text(csv, "", None, 0.25, None, false)
             .unwrap()
             .contains("empty query file"));
-        assert!(run_batch_on_text(csv, queries, None, 1.5, false).is_err());
+        assert!(run_batch_on_text(csv, queries, None, 1.5, None, false).is_err());
     }
 
     #[test]
     fn batch_trace_prints_one_phase_line_per_query() {
         let csv = "0,0,1,0\n0.4,0,1,1\n0,0.4,1,2\n9,9,2,0\n";
         let queries = "disk,1.0\ninsert,0.2,0.2,5\ndisk-auto,1.0\n";
-        let out = run_batch_on_text(csv, queries, None, 0.25, true).unwrap();
+        let out = run_batch_on_text(csv, queries, None, 0.25, None, true).unwrap();
         assert!(out.contains("traces:"), "{out}");
         // Two queries executed (the insert is an update, not a query): the
         // trace lines carry the step position, the solver (with the routed
@@ -1533,7 +1699,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         // and the aggregate line reports picks plus predicted/actual work.
         let csv = "0,0,1,0\n0.4,0,1,1\n0,0.4,1,2\n9,9,2,0\n";
         let queries = "disk-auto,1.0\nrect-auto,1,1\ncolored-disk-auto,1.0\ndisk,0.1\n";
-        let out = run_batch_on_text(csv, queries, None, 0.25, false).unwrap();
+        let out = run_batch_on_text(csv, queries, None, 0.25, None, false).unwrap();
         assert!(out.contains("[auto→"), "{out}");
         // A weighted axis-box can only go to the exact rect solver, so this
         // pick is deterministic; the colored-ball step must answer exactly
@@ -1549,7 +1715,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
         assert!(out.contains("| actual work = "), "{out}");
 
         // No `-auto` steps → no aggregate auto line.
-        let out = run_batch_on_text(csv, "disk,1.0\n", None, 0.25, false).unwrap();
+        let out = run_batch_on_text(csv, "disk,1.0\n", None, 0.25, None, false).unwrap();
         assert!(!out.contains("auto:"), "{out}");
     }
 }

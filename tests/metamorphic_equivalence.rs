@@ -115,7 +115,7 @@ fn weighted_report<const D: usize>(
         .with_query(BatchQuery::weighted(solver, *instance.shape()));
     let executor = BatchExecutor::with_config(
         registry,
-        ExecutorConfig { threads: Some(threads), certify: true },
+        ExecutorConfig { threads: Some(threads), certify: true, ..ExecutorConfig::default() },
     );
     let mut report = executor.execute(&request);
     assert_eq!(report.stats.certify_failures, 0, "{solver}: batch certification failed");
@@ -137,7 +137,7 @@ fn colored_report<const D: usize>(
         .with_query(BatchQuery::colored(solver, *instance.shape()));
     let executor = BatchExecutor::with_config(
         registry,
-        ExecutorConfig { threads: Some(threads), certify: true },
+        ExecutorConfig { threads: Some(threads), certify: true, ..ExecutorConfig::default() },
     );
     let mut report = executor.execute(&request);
     assert_eq!(report.stats.certify_failures, 0, "{solver}: batch certification failed");
@@ -285,7 +285,7 @@ fn split_into_script_matches_cold_build_for_weighted_solvers() {
         steps.push(ScriptStep::Query(BatchQuery::weighted(descriptor.name, shape)));
         let executor = BatchExecutor::with_config(
             &registry,
-            ExecutorConfig { threads: Some(1), certify: true },
+            ExecutorConfig { threads: Some(1), certify: true, ..ExecutorConfig::default() },
         );
         let script = executor.execute_script(&dataset, &steps);
         assert!(script.all_ok(), "{}: {:?}", descriptor.name, script.outcomes);
@@ -341,7 +341,7 @@ fn split_into_script_matches_cold_build_for_colored_solvers() {
         steps.push(ScriptStep::Query(BatchQuery::colored(descriptor.name, shape)));
         let executor = BatchExecutor::with_config(
             &registry,
-            ExecutorConfig { threads: Some(1), certify: true },
+            ExecutorConfig { threads: Some(1), certify: true, ..ExecutorConfig::default() },
         );
         let script = executor.execute_script(&dataset, &steps);
         assert!(script.all_ok(), "{}: {:?}", descriptor.name, script.outcomes);

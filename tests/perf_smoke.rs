@@ -72,8 +72,10 @@ fn batch_reuses_the_shared_index_with_zero_rebuilds() {
         request.push(BatchQuery::weighted("exact-disk-2d", RangeShape::ball(radius)));
     }
     let registry = registry();
-    let executor =
-        BatchExecutor::with_config(&registry, ExecutorConfig { threads: Some(1), certify: false });
+    let executor = BatchExecutor::with_config(
+        &registry,
+        ExecutorConfig { threads: Some(1), certify: false, ..ExecutorConfig::default() },
+    );
 
     let first = executor.execute_with_index(&request, &index);
     assert!(first.all_ok());
@@ -104,8 +106,10 @@ fn sampler_batches_build_one_sample_set_per_radius() {
         request.push(BatchQuery::weighted("approx-static-ball", RangeShape::ball(1.0)));
     }
     let registry = registry();
-    let executor =
-        BatchExecutor::with_config(&registry, ExecutorConfig { threads: Some(1), certify: true });
+    let executor = BatchExecutor::with_config(
+        &registry,
+        ExecutorConfig { threads: Some(1), certify: true, ..ExecutorConfig::default() },
+    );
     let report = executor.execute_with_index(&request, &index);
     assert!(report.all_ok());
     assert_eq!(report.stats.certify_failures, 0);
@@ -170,8 +174,10 @@ fn batch_counters_carry_the_sieve_share() {
             .push(BatchQuery::colored("output-sensitive-colored-disk", RangeShape::ball(radius)));
     }
     let registry = registry();
-    let executor =
-        BatchExecutor::with_config(&registry, ExecutorConfig { threads: Some(1), certify: false });
+    let executor = BatchExecutor::with_config(
+        &registry,
+        ExecutorConfig { threads: Some(1), certify: false, ..ExecutorConfig::default() },
+    );
     let report = executor.execute_with_index(&request, &index);
     assert!(report.all_ok());
     let stats = &report.stats;
@@ -240,7 +246,7 @@ fn auto_picks_the_measured_cheapest_solver_on_the_loadgen_mix() {
         };
         let executor = BatchExecutor::with_config(
             &registry,
-            ExecutorConfig { threads: Some(1), certify: false },
+            ExecutorConfig { threads: Some(1), certify: false, ..ExecutorConfig::default() },
         );
         let mut report = executor.execute(&request);
         assert!(report.all_ok(), "{solver} failed on {shape:?}: {:?}", report.answers);
@@ -338,8 +344,10 @@ fn tracing_overhead_stays_under_five_percent() {
         )));
     }
     let registry = registry();
-    let executor =
-        BatchExecutor::with_config(&registry, ExecutorConfig { threads: Some(1), certify: false });
+    let executor = BatchExecutor::with_config(
+        &registry,
+        ExecutorConfig { threads: Some(1), certify: false, ..ExecutorConfig::default() },
+    );
 
     // Warm up once (index builds amortize identically on both sides since
     // each run gets a fresh dataset view — keep both paths fully symmetric).

@@ -16,7 +16,10 @@ use proptest::prelude::*;
 use rand::prelude::*;
 
 fn executor(registry: &Registry) -> BatchExecutor<'_> {
-    BatchExecutor::with_config(registry, ExecutorConfig { threads: Some(1), certify: true })
+    BatchExecutor::with_config(
+        registry,
+        ExecutorConfig { threads: Some(1), certify: true, ..ExecutorConfig::default() },
+    )
 }
 
 /// Answers `query` from scratch over a materialized live snapshot — the
