@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p mrs-bench --bin serve_loadgen -- \
 //!     --addr 127.0.0.1:7070 [--smoke] [--out BENCH_serve.json] \
-//!     [--n POINTS] [--requests Q] [--pool P] [--seed S]
+//!     [--n POINTS] [--requests Q] [--pool P] [--seed S] [--pipeline-depth N]
 //! ```
 //!
 //! The driver measures the three serving regimes on one canonical query —
@@ -27,8 +27,13 @@
 //! It then fires a mixed open-loop workload (planar rectangle + colored
 //! disk + 1-D interval queries, Zipfian reuse over a query pool, one
 //! keep-alive connection) and records total QPS plus the server's own
-//! `/stats` counters.  Exit code is non-zero if any response is non-2xx,
-//! any answer is uncertified, or any other checked invariant fails.
+//! `/stats` counters, followed by a **pipelined keep-alive** phase: the
+//! same mix issued `--pipeline-depth` requests per coalesced write, gating
+//! on in-order responses (strictly increasing `X-Request-Id`s), zero
+//! uncertified answers, and — on a full run — at least ten times the
+//! committed sequential baseline's throughput.  Exit code is non-zero if
+//! any response is non-2xx, any answer is uncertified, or any other
+//! checked invariant fails.
 //!
 //! `--chaos` runs the deterministic fault-injection harness instead (see
 //! [`run_chaos`]): malformed frames, oversized bodies, slow-loris drips,
@@ -47,7 +52,7 @@ use mrs_core::engine::{
     BatchExecutor, BatchQuery, BatchRequest, EngineConfig, LatencySummary, RangeShape,
 };
 use mrs_server::service::latency_json;
-use mrs_server::{full_registry, Client, Json};
+use mrs_server::{full_registry, Client, Json, PipelineRequest};
 use rand::prelude::*;
 
 struct Config {
@@ -67,6 +72,8 @@ struct Config {
     requests: usize,
     pool: usize,
     seed: u64,
+    /// Requests per pipelined burst in the pipelined keep-alive phase.
+    pipeline_depth: usize,
 }
 
 fn flag_value(args: &[String], i: usize, name: &str) -> Result<String, String> {
@@ -84,6 +91,7 @@ fn parse_args() -> Result<Config, String> {
         requests: 0,
         pool: 64,
         seed: 2025,
+        pipeline_depth: 32,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -133,6 +141,15 @@ fn parse_args() -> Result<Config, String> {
                     flag_value(&args, i, "--seed")?.parse().map_err(|_| "--seed: invalid seed")?;
                 i += 2;
             }
+            "--pipeline-depth" => {
+                config.pipeline_depth = flag_value(&args, i, "--pipeline-depth")?
+                    .parse()
+                    .map_err(|_| "--pipeline-depth: invalid depth")?;
+                if config.pipeline_depth == 0 {
+                    return Err("--pipeline-depth must be at least 1".into());
+                }
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -145,6 +162,12 @@ fn parse_args() -> Result<Config, String> {
 /// interval of this length over the 1-D dataset, exact via Theorem 1.3.
 const CANONICAL_SOLVER: &str = "batched-interval-1d";
 const CANONICAL_LENGTH: f64 = 25.0;
+
+/// The pipelined-throughput gate: the committed sequential mixed baseline
+/// is 2619 q/s (one request per round trip); the pipelined phase on the
+/// epoll runtime must clear ten times that, or the full (non-smoke) run
+/// fails.
+const PIPELINE_GATE_QPS: f64 = 10.0 * 2619.0;
 
 /// The cold one-shot pipeline: parse the CSV, build a registry, execute the
 /// canonical query over a fresh (per-call) index with certification on —
@@ -329,7 +352,71 @@ fn main() -> ExitCode {
     let mixed = LatencySummary::from_durations(&mixed_samples);
     let qps = config.requests as f64 / mixed_wall.as_secs_f64();
 
-    // 6. Server-side counters.
+    // 6. Pipelined keep-alive: the same Zipfian mix, issued `--pipeline-depth`
+    // requests per coalesced write on one connection.  Gates: every burst's
+    // responses arrive in request order (strictly increasing X-Request-Ids —
+    // the loadgen is the only client), every answer is certified, and on a
+    // full run the throughput clears [`PIPELINE_GATE_QPS`].
+    let depth = config.pipeline_depth;
+    let bursts = (config.requests / depth).max(8);
+    let mut pipe_rng = StdRng::seed_from_u64(config.seed ^ 0xF1FE);
+    let mut pipelined_requests = 0usize;
+    let mut burst_samples = Vec::with_capacity(bursts);
+    let pipelined_started = Instant::now();
+    for burst in 0..bursts {
+        let bodies: Vec<&str> = (0..depth)
+            .map(|_| pool[zipf_pick(&weights, zipf_total, &mut pipe_rng)].as_str())
+            .collect();
+        let requests: Vec<PipelineRequest> =
+            bodies.iter().map(|body| PipelineRequest::post("/query", body)).collect();
+        let burst_started = Instant::now();
+        let responses = client.pipeline(&requests).expect("pipelined I/O");
+        burst_samples.push(burst_started.elapsed());
+        pipelined_requests += responses.len();
+        let mut last_id = 0u64;
+        for (i, (status, headers, body)) in responses.iter().enumerate() {
+            check_answer(
+                &mut violations,
+                *status,
+                body,
+                &format!("pipelined burst {burst} response {i}"),
+            );
+            let id = headers
+                .iter()
+                .find(|(name, _)| name == "x-request-id")
+                .and_then(|(_, value)| value.strip_prefix("r-"))
+                .and_then(|digits| digits.parse::<u64>().ok());
+            match id {
+                Some(id) if id > last_id => last_id = id,
+                _ => violations.check(
+                    false,
+                    format!(
+                        "pipelined burst {burst} response {i}: X-Request-Id {id:?} is not \
+                         strictly increasing (responses out of order)"
+                    ),
+                ),
+            }
+        }
+    }
+    let pipelined_wall = pipelined_started.elapsed();
+    let pipelined_qps = pipelined_requests as f64 / pipelined_wall.as_secs_f64();
+    let burst_latency = LatencySummary::from_durations(&burst_samples);
+    eprintln!(
+        "pipelined: {pipelined_requests} requests at depth {depth} → {pipelined_qps:.0} q/s \
+         ({:.1}× the sequential mix)",
+        pipelined_qps / qps,
+    );
+    if !config.smoke {
+        violations.check(
+            pipelined_qps >= PIPELINE_GATE_QPS,
+            format!(
+                "pipelined throughput {pipelined_qps:.0} q/s is below the \
+                 {PIPELINE_GATE_QPS:.0} q/s gate (10× the sequential baseline)"
+            ),
+        );
+    }
+
+    // 7. Server-side counters.
     let (status, stats_body) = client.get("/stats").expect("stats I/O");
     violations.check(status == 200, format!("/stats answered {status}"));
     let stats = Json::parse(&stats_body).expect("stats body parses");
@@ -338,7 +425,7 @@ fn main() -> ExitCode {
     violations.check(cache_hits > 0.0, "the Zipfian workload must produce cache hits");
     check_metrics(&mut violations, &mut client, true);
 
-    // 7. Verdicts and the baseline artifact.
+    // 8. Verdicts and the baseline artifact.
     let speedup_warm = cold.as_secs_f64() / warm.p50.as_secs_f64();
     let speedup_hit = cold.as_secs_f64() / hits.p50.as_secs_f64();
     violations.check(
@@ -393,6 +480,18 @@ fn main() -> ExitCode {
                 ("wall_us".into(), Json::num(mixed_wall.as_secs_f64() * 1e6)),
                 ("qps".into(), Json::num(qps)),
                 ("latency".into(), latency_json(&mixed)),
+            ]),
+        ),
+        (
+            "pipelined".into(),
+            Json::Obj(vec![
+                ("depth".into(), Json::num(depth as f64)),
+                ("requests".into(), Json::num(pipelined_requests as f64)),
+                ("wall_us".into(), Json::num(pipelined_wall.as_secs_f64() * 1e6)),
+                ("qps".into(), Json::num(pipelined_qps)),
+                ("speedup_vs_sequential".into(), Json::num(pipelined_qps / qps)),
+                ("gate_qps".into(), Json::num(PIPELINE_GATE_QPS)),
+                ("burst_latency".into(), latency_json(&burst_latency)),
             ]),
         ),
         ("server_cache".into(), cache.clone()),

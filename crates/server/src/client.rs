@@ -3,14 +3,49 @@
 //! holds one connection and issues requests sequentially on it, which is
 //! exactly the shape an open-loop load generator needs.
 
+use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// A persistent connection to one server.
+/// A persistent connection to one server.  The request head, response
+/// line, and response body all go through connection-owned scratch buffers
+/// reused across requests, so a long-lived client (the load generator's
+/// shape) allocates per response body, not per protocol step.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Request serialization scratch: the whole head (+ body) is built
+    /// here and written with one `write` syscall.
+    scratch: String,
+    /// Response status/header line scratch.
+    line: String,
+    /// Response body scratch; the returned `String` is the only per-body
+    /// allocation.
+    body_buf: Vec<u8>,
+}
+
+/// One request of a pipelined burst (see [`Client::pipeline`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineRequest<'a> {
+    /// The HTTP method.
+    pub method: &'a str,
+    /// The request target.
+    pub path: &'a str,
+    /// The request body (`Content-Length` is derived).
+    pub body: &'a str,
+}
+
+impl<'a> PipelineRequest<'a> {
+    /// A `GET` with an empty body.
+    pub fn get(path: &'a str) -> Self {
+        Self { method: "GET", path, body: "" }
+    }
+
+    /// A `POST` carrying `body`.
+    pub fn post(path: &'a str, body: &'a str) -> Self {
+        Self { method: "POST", path, body }
+    }
 }
 
 /// A full response: status code, headers (lowercased names, trimmed
@@ -28,19 +63,20 @@ impl Client {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(60)))?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self { reader, writer: stream })
+        Ok(Self {
+            reader,
+            writer: stream,
+            scratch: String::new(),
+            line: String::new(),
+            body_buf: Vec::new(),
+        })
     }
 
     /// Issues one request and reads the full response.  Returns the status
     /// code and the body as text.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
-        write!(
-            self.writer,
-            "{method} {path} HTTP/1.1\r\nHost: mrs\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len(),
-        )?;
-        self.writer.flush()?;
-        self.read_response()
+        let (status, _, text) = self.request_with(method, path, &[], body)?;
+        Ok((status, text))
     }
 
     /// `GET path`.
@@ -74,34 +110,58 @@ impl Client {
         extra_headers: &[(&str, &str)],
         body: &str,
     ) -> io::Result<FullResponse> {
-        write!(self.writer, "{method} {path} HTTP/1.1\r\nHost: mrs\r\n")?;
+        self.scratch.clear();
+        let _ = write!(self.scratch, "{method} {path} HTTP/1.1\r\nHost: mrs\r\n");
         for (name, value) in extra_headers {
-            write!(self.writer, "{name}: {value}\r\n")?;
+            let _ = write!(self.scratch, "{name}: {value}\r\n");
         }
-        write!(self.writer, "Content-Length: {}\r\n\r\n{body}", body.len())?;
+        let _ = write!(self.scratch, "Content-Length: {}\r\n\r\n", body.len());
+        self.scratch.push_str(body);
+        self.writer.write_all(self.scratch.as_bytes())?;
         self.writer.flush()?;
         self.read_response_with_headers()
     }
 
-    fn read_line(&mut self) -> io::Result<String> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+    /// Writes every request back-to-back as one coalesced burst (a single
+    /// `write` syscall), then reads the responses in order.  HTTP/1.1
+    /// answers pipelined requests strictly in request order, so response
+    /// `i` belongs to request `i`.
+    pub fn pipeline(&mut self, requests: &[PipelineRequest<'_>]) -> io::Result<Vec<FullResponse>> {
+        self.scratch.clear();
+        for request in requests {
+            let _ = write!(
+                self.scratch,
+                "{} {} HTTP/1.1\r\nHost: mrs\r\nContent-Length: {}\r\n\r\n",
+                request.method,
+                request.path,
+                request.body.len()
+            );
+            self.scratch.push_str(request.body);
         }
-        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+        self.writer.write_all(self.scratch.as_bytes())?;
+        self.writer.flush()?;
+        requests.iter().map(|_| self.read_response_with_headers()).collect()
     }
 
-    fn read_response(&mut self) -> io::Result<(u16, String)> {
-        let (status, _, body) = self.read_response_with_headers()?;
-        Ok((status, body))
+    /// Reads the next `\r\n`-terminated line into the connection-owned
+    /// scratch and returns it trimmed.
+    fn read_line(&mut self) -> io::Result<&str> {
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+        }
+        Ok(self.line.trim_end_matches(['\r', '\n']))
     }
 
     fn read_response_with_headers(&mut self) -> io::Result<FullResponse> {
         let status_line = self.read_line()?;
-        let status: u16 =
-            status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(
-                || io::Error::new(io::ErrorKind::InvalidData, format!("bad status: {status_line}")),
-            )?;
+        let status: u16 = match status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()) {
+            Some(status) => status,
+            None => {
+                let bad = format!("bad status: {status_line}");
+                return Err(io::Error::new(io::ErrorKind::InvalidData, bad));
+            }
+        };
         let mut length = 0usize;
         let mut headers = Vec::new();
         loop {
@@ -118,10 +178,11 @@ impl Client {
                 headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
             }
         }
-        let mut body = vec![0u8; length];
-        self.reader.read_exact(&mut body)?;
-        let body = String::from_utf8(body)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        self.body_buf.resize(length, 0);
+        self.reader.read_exact(&mut self.body_buf)?;
+        let body = std::str::from_utf8(&self.body_buf)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?
+            .to_string();
         Ok((status, headers, body))
     }
 }
@@ -392,6 +453,25 @@ mod tests {
         let counters = client.counters();
         assert_eq!(counters.budget_exhausted, 1);
         assert_eq!(counters.retries, 0);
+    }
+
+    #[test]
+    fn pipelined_bursts_read_responses_in_order() {
+        let addr = canned_server(vec![
+            response(200, "OK", "", "{\"n\":1}"),
+            response(404, "Not Found", "", "{\"n\":2}"),
+            response(200, "OK", "", "{\"n\":3}"),
+        ]);
+        let mut client = Client::connect(addr).unwrap();
+        let burst = [
+            PipelineRequest::get("/healthz"),
+            PipelineRequest::get("/nope"),
+            PipelineRequest::post("/query", "{\"q\":1}"),
+        ];
+        let responses = client.pipeline(&burst).unwrap();
+        let seen: Vec<(u16, &str)> =
+            responses.iter().map(|(status, _, body)| (*status, body.as_str())).collect();
+        assert_eq!(seen, [(200, "{\"n\":1}"), (404, "{\"n\":2}"), (200, "{\"n\":3}")]);
     }
 
     #[test]

@@ -5,8 +5,23 @@
 //! Supported: request line + headers + `Content-Length` bodies, keep-alive
 //! (the HTTP/1.1 default) and `Connection: close`.  Not supported (and
 //! rejected cleanly): chunked transfer encoding, upgrades, HTTP/2.
+//!
+//! Two parsing front ends share these semantics:
+//!
+//! * [`read_request`] — the blocking one-shot reader the threaded runtime
+//!   uses: it pulls bytes off a `BufRead` until one request is complete.
+//! * [`Parser`] — the incremental, zero-copy state machine the epoll
+//!   reactor uses: it is fed a connection's growing read buffer, resumes
+//!   across arbitrary split points (mid-header, mid-body, between pipelined
+//!   requests), borrows every slice in place (header names are lowercased
+//!   and the method uppercased *inside* the buffer) and only materializes
+//!   an owned [`Request`] once a frame is complete.  Both front ends
+//!   enforce the same limits and produce the same typed [`ParseError`]s —
+//!   a property test splits pipelined streams at every boundary to hold
+//!   them to that.
 
 use std::io::{self, BufRead, Write};
+use std::ops::Range;
 
 /// Longest accepted request line or header line, in bytes.
 const MAX_LINE: usize = 16 * 1024;
@@ -209,7 +224,7 @@ pub fn read_request(
 /// How long a request may stall in total once its first byte has arrived.
 /// The socket's short read timeout exists so *idle* connections can poll a
 /// shutdown flag; a partially-transferred request must not be dropped by it.
-const MID_REQUEST_PATIENCE: std::time::Duration = std::time::Duration::from_secs(30);
+pub(crate) const MID_REQUEST_PATIENCE: std::time::Duration = std::time::Duration::from_secs(30);
 
 /// The error returned when a *partially transferred* request stalls past
 /// [`MID_REQUEST_PATIENCE`].  Deliberately NOT `WouldBlock`/`TimedOut`: the
@@ -241,6 +256,380 @@ fn read_exact_patiently(
         }
     }
     Ok(())
+}
+
+/// One parsing step of the incremental [`Parser`].
+#[derive(Debug)]
+pub enum ParseStep {
+    /// The buffer does not yet hold a complete request; read more bytes and
+    /// call [`Parser::advance`] again.
+    NeedMore,
+    /// A complete request occupies the first [`RequestFrame::end`] bytes of
+    /// the buffer.  Drain them; the parser has already reset itself for the
+    /// next pipelined request.
+    Complete(RequestFrame),
+    /// The bytes are not an acceptable request: answer with the error's
+    /// status and close the connection.
+    Bad(ParseError),
+}
+
+/// What a connection should do when the peer closes with an incomplete
+/// parse in flight.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EofOutcome {
+    /// EOF between requests: a clean close, nothing to answer.
+    Clean,
+    /// EOF mid-head: answer the typed `400` before closing (the same error
+    /// [`read_request`] reports for a truncated head).
+    Error(ParseError),
+    /// EOF mid-body: drop the connection without a response (the blocking
+    /// reader surfaces this as an I/O error, never a response).
+    Drop,
+}
+
+/// A complete request located inside a connection's read buffer: every
+/// field is a byte range into that buffer, nothing is copied until
+/// [`RequestFrame::to_request`] materializes the owned [`Request`] handed
+/// to the worker pool.  Header names have been lowercased and the method
+/// uppercased *in place* by the parser.
+#[derive(Debug)]
+pub struct RequestFrame {
+    /// Total bytes the request occupies at the front of the buffer
+    /// (head + body): the caller drains exactly this many.
+    pub end: usize,
+    /// Whether the head carried `Expect: 100-continue` (and passed the
+    /// body-size check, so an interim `100 Continue` is owed).
+    pub expect_continue: bool,
+    method: Range<usize>,
+    target: Range<usize>,
+    headers: Vec<(Range<usize>, Range<usize>)>,
+    body: Range<usize>,
+}
+
+impl RequestFrame {
+    /// The method as a borrowed slice of `buf` (already uppercased).
+    pub fn method<'a>(&self, buf: &'a [u8]) -> &'a str {
+        str_range(buf, &self.method)
+    }
+
+    /// The target as a borrowed slice of `buf`.
+    pub fn target<'a>(&self, buf: &'a [u8]) -> &'a str {
+        str_range(buf, &self.target)
+    }
+
+    /// The body as a borrowed slice of `buf`.
+    pub fn body<'a>(&self, buf: &'a [u8]) -> &'a [u8] {
+        &buf[self.body.clone()]
+    }
+
+    /// Materializes the owned [`Request`] (the one allocation point of the
+    /// zero-copy path: the dispatch to a worker thread must outlive the
+    /// connection buffer the frame borrows).
+    pub fn to_request(&self, buf: &[u8]) -> Request {
+        Request {
+            method: self.method(buf).to_string(),
+            target: self.target(buf).to_string(),
+            headers: self
+                .headers
+                .iter()
+                .map(|(name, value)| {
+                    (str_range(buf, name).to_string(), str_range(buf, value).to_string())
+                })
+                .collect(),
+            body: self.body(buf).to_vec(),
+        }
+    }
+}
+
+/// The range as `&str`.  Only called on ranges the parser validated as
+/// UTF-8 line content, so the unwrap cannot fire.
+fn str_range<'a>(buf: &'a [u8], range: &Range<usize>) -> &'a str {
+    std::str::from_utf8(&buf[range.clone()]).expect("parser validated this range as UTF-8")
+}
+
+/// Head-scanning state: how far the terminator search got and what the
+/// completed lines parsed into.  All offsets are absolute positions in the
+/// connection buffer, which only ever grows between frames (the caller
+/// drains it exactly at frame boundaries).
+#[derive(Debug, Default)]
+struct HeadScan {
+    /// Resume position of the byte scan.
+    pos: usize,
+    /// First byte of the current (incomplete) line.
+    line_start: usize,
+    /// Completed lines so far (the request line is line 0).
+    lines: usize,
+    method: Range<usize>,
+    target: Range<usize>,
+    headers: Vec<(Range<usize>, Range<usize>)>,
+}
+
+#[derive(Debug)]
+enum ParserState {
+    /// Scanning the head (request line + headers) for the blank line.
+    Head(HeadScan),
+    /// Head parsed; waiting for `length` body bytes after `body_start`.
+    Body { frame: RequestFrame, body_start: usize, length: usize },
+}
+
+/// The incremental, resumable request parser behind the epoll reactor: feed
+/// it a connection's growing read buffer and it picks up exactly where the
+/// previous call stopped — mid-header, mid-body, or between pipelined
+/// requests.  It enforces the same limits (`MAX_LINE`, `MAX_HEADERS`,
+/// [`MAX_BODY`]) with the same typed [`ParseError`]s as [`read_request`],
+/// *at the same byte positions*: an over-long line is rejected as soon as
+/// its `MAX_LINE+1`-th byte arrives, without waiting for a terminator, and
+/// an oversized `Content-Length` is rejected at the head — before any body
+/// byte — so `Expect: 100-continue` probes are refused with `413` and no
+/// interim response.
+#[derive(Debug)]
+pub struct Parser {
+    state: ParserState,
+    /// Latched when a head completes carrying `Expect: 100-continue`; the
+    /// caller collects it via [`Parser::take_continue`] and owes the peer
+    /// an interim `100 Continue` before the real response.
+    continue_latch: bool,
+}
+
+impl Default for Parser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parser {
+    /// A parser at the start of a request.
+    pub fn new() -> Self {
+        Self { state: ParserState::Head(HeadScan::default()), continue_latch: false }
+    }
+
+    /// `true` exactly once after a head carrying `Expect: 100-continue`
+    /// completed: the connection owes the peer `HTTP/1.1 100 Continue`.
+    pub fn take_continue(&mut self) -> bool {
+        std::mem::take(&mut self.continue_latch)
+    }
+
+    /// Drives parsing as far as the buffer allows.  `buf` is the
+    /// connection's unconsumed read buffer; it is mutated in place (header
+    /// names lowercased, the method uppercased) but never truncated or
+    /// reordered.  After [`ParseStep::Complete`] the caller drains
+    /// `frame.end` bytes and the parser is already reset; after
+    /// [`ParseStep::Bad`] the connection must answer and close.
+    pub fn advance(&mut self, buf: &mut [u8]) -> ParseStep {
+        loop {
+            match &mut self.state {
+                ParserState::Head(scan) => match scan_head(scan, buf) {
+                    Err(error) => return ParseStep::Bad(error),
+                    Ok(false) => return ParseStep::NeedMore,
+                    Ok(true) => {
+                        let scan = std::mem::take(scan);
+                        match finish_head(scan, buf) {
+                            Err(error) => return ParseStep::Bad(error),
+                            Ok((frame, body_start, length, expect)) => {
+                                self.continue_latch = expect;
+                                self.state = ParserState::Body { frame, body_start, length };
+                            }
+                        }
+                    }
+                },
+                ParserState::Body { body_start, length, .. } => {
+                    if buf.len() < *body_start + *length {
+                        return ParseStep::NeedMore;
+                    }
+                    let frame = match std::mem::replace(
+                        &mut self.state,
+                        ParserState::Head(HeadScan::default()),
+                    ) {
+                        ParserState::Body { frame, .. } => frame,
+                        ParserState::Head(_) => unreachable!("state checked above"),
+                    };
+                    return ParseStep::Complete(frame);
+                }
+            }
+        }
+    }
+
+    /// Classifies a peer close given `buffered` unconsumed bytes: clean
+    /// between requests, a typed `400` mid-head (matching
+    /// [`read_request`]'s truncation errors), or a silent drop mid-body.
+    pub fn eof_outcome(&self, buffered: usize) -> EofOutcome {
+        match &self.state {
+            ParserState::Head(scan) => {
+                if buffered == 0 && scan.lines == 0 {
+                    EofOutcome::Clean
+                } else if scan.line_start < buffered {
+                    // EOF mid-line: the same error `read_line` reports.
+                    EofOutcome::Error(ParseError { status: 400, message: "truncated request line" })
+                } else {
+                    EofOutcome::Error(ParseError { status: 400, message: "truncated headers" })
+                }
+            }
+            ParserState::Body { .. } => EofOutcome::Drop,
+        }
+    }
+
+    /// `true` while a request is partially transferred (any head byte seen
+    /// or a body pending): the reactor's slow-loris sweep uses this to
+    /// distinguish a stalled transfer from an idle keep-alive.
+    pub fn mid_request(&self, buffered: usize) -> bool {
+        match &self.state {
+            ParserState::Head(scan) => buffered > 0 || scan.lines > 0,
+            ParserState::Body { .. } => true,
+        }
+    }
+}
+
+/// Scans for the head terminator (the first empty line), parsing each line
+/// as it completes so errors fire at the same byte position as the blocking
+/// reader's.  `Ok(true)` means the head is complete (`scan.pos` is the
+/// first body byte).
+fn scan_head(scan: &mut HeadScan, buf: &mut [u8]) -> Result<bool, ParseError> {
+    while scan.pos < buf.len() {
+        let byte = buf[scan.pos];
+        if byte != b'\n' {
+            // `read_line` rejects the MAX_LINE+1-th byte of a line without
+            // waiting for the terminator; `\r` counts (it is only stripped
+            // when the `\n` lands).
+            if scan.pos - scan.line_start >= MAX_LINE {
+                return Err(ParseError { status: 431, message: "header line too long" });
+            }
+            scan.pos += 1;
+            continue;
+        }
+        let start = scan.line_start;
+        let mut content_end = scan.pos;
+        if content_end > start && buf[content_end - 1] == b'\r' {
+            content_end -= 1;
+        }
+        let line_index = scan.lines;
+        scan.pos += 1;
+        scan.line_start = scan.pos;
+        scan.lines += 1;
+        let head_done = process_line(scan, buf, start, content_end, line_index)?;
+        if head_done {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Handles one completed head line: request line, header, or the blank
+/// terminator.  Returns `Ok(true)` when the head is complete.
+fn process_line(
+    scan: &mut HeadScan,
+    buf: &mut [u8],
+    start: usize,
+    content_end: usize,
+    line_index: usize,
+) -> Result<bool, ParseError> {
+    let line = std::str::from_utf8(&buf[start..content_end])
+        .map_err(|_| ParseError { status: 400, message: "request line is not valid UTF-8" })?;
+    if line_index == 0 {
+        // The request line: METHOD TARGET VERSION (split on whitespace,
+        // extra tokens ignored — exactly `split_whitespace` semantics).
+        let mut tokens = token_ranges(line, start).into_iter();
+        let (Some(method), Some(target), Some(version)) =
+            (tokens.next(), tokens.next(), tokens.next())
+        else {
+            return Err(ParseError { status: 400, message: "malformed request line" });
+        };
+        if !str_range(buf, &version).starts_with("HTTP/1.") {
+            return Err(ParseError { status: 400, message: "unsupported HTTP version" });
+        }
+        buf[method.clone()].make_ascii_uppercase();
+        scan.method = method;
+        scan.target = target;
+        return Ok(false);
+    }
+    if line.is_empty() {
+        return Ok(true);
+    }
+    if scan.headers.len() >= MAX_HEADERS {
+        return Err(ParseError { status: 431, message: "too many headers" });
+    }
+    let Some(colon) = line.find(':') else {
+        return Err(ParseError { status: 400, message: "malformed header" });
+    };
+    let name = trimmed_range(&line[..colon], start);
+    let value = trimmed_range(&line[colon + 1..], start + colon + 1);
+    buf[name.clone()].make_ascii_lowercase();
+    scan.headers.push((name, value));
+    Ok(false)
+}
+
+/// Whitespace-separated token ranges of `line`, absolute (offset by
+/// `base`).  Unicode whitespace, like `split_whitespace`.
+fn token_ranges(line: &str, base: usize) -> Vec<Range<usize>> {
+    let mut tokens = Vec::new();
+    let mut token_start: Option<usize> = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = token_start.take() {
+                tokens.push(base + s..base + i);
+            }
+        } else if token_start.is_none() {
+            token_start = Some(i);
+        }
+    }
+    if let Some(s) = token_start {
+        tokens.push(base + s..base + line.len());
+    }
+    tokens
+}
+
+/// The absolute range of `piece` with surrounding whitespace trimmed
+/// (Unicode trim, like `str::trim`).
+fn trimmed_range(piece: &str, base: usize) -> Range<usize> {
+    let trimmed = piece.trim_start();
+    let lead = piece.len() - trimmed.len();
+    let trimmed = trimmed.trim_end();
+    base + lead..base + lead + trimmed.len()
+}
+
+/// Runs the post-head checks in [`read_request`]'s order — transfer
+/// encoding, `Content-Length`, then `Expect` — and builds the frame
+/// skeleton.  Returns `(frame, body_start, length, expect_continue)`.
+fn finish_head(
+    scan: HeadScan,
+    buf: &[u8],
+) -> Result<(RequestFrame, usize, usize, bool), ParseError> {
+    let header = |name: &str| {
+        scan.headers
+            .iter()
+            .find(|(n, _)| &buf[n.clone()] == name.as_bytes())
+            .map(|(_, v)| str_range(buf, v))
+    };
+    let chunked = scan.headers.iter().any(|(n, v)| {
+        &buf[n.clone()] == b"transfer-encoding"
+            && !str_range(buf, v).eq_ignore_ascii_case("identity")
+    });
+    if chunked {
+        return Err(ParseError {
+            status: 400,
+            message: "chunked transfer encoding is not supported",
+        });
+    }
+    let length = match header("content-length") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n <= MAX_BODY => n,
+            Ok(_) => return Err(ParseError { status: 413, message: "request body too large" }),
+            Err(_) => return Err(ParseError { status: 400, message: "malformed Content-Length" }),
+        },
+    };
+    let expect = scan.headers.iter().any(|(n, v)| {
+        &buf[n.clone()] == b"expect" && str_range(buf, v).eq_ignore_ascii_case("100-continue")
+    });
+    let body_start = scan.pos;
+    let frame = RequestFrame {
+        end: body_start + length,
+        expect_continue: expect,
+        method: scan.method,
+        target: scan.target,
+        headers: scan.headers,
+        body: body_start..body_start + length,
+    };
+    Ok((frame, body_start, length, expect))
 }
 
 /// An HTTP response ready to be written.
@@ -390,6 +779,151 @@ mod tests {
         let ReadOutcome::Request(req) = outcome else { panic!("expected a request") };
         assert_eq!(req.body_text(), Some("hello"));
         assert_eq!(String::from_utf8(interim).unwrap(), "HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    /// Feeds `raw` to a fresh [`Parser`] in two chunks split at `split`,
+    /// collecting every completed request and the terminal error, if any.
+    fn drive_split(raw: &[u8], split: usize) -> (Vec<Request>, Option<ParseError>) {
+        let mut parser = Parser::new();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut requests = Vec::new();
+        for chunk in [&raw[..split], &raw[split..]] {
+            buf.extend_from_slice(chunk);
+            loop {
+                match parser.advance(&mut buf) {
+                    ParseStep::NeedMore => break,
+                    ParseStep::Bad(e) => return (requests, Some(e)),
+                    ParseStep::Complete(frame) => {
+                        requests.push(frame.to_request(&buf));
+                        buf.drain(..frame.end);
+                    }
+                }
+            }
+        }
+        (requests, None)
+    }
+
+    #[test]
+    fn incremental_parser_matches_one_shot_at_every_split() {
+        let raw = b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world\
+                    GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        // One-shot reference: both requests through the blocking reader.
+        let mut reader = BufReader::new(&raw[..]);
+        let mut reference = Vec::new();
+        while let ReadOutcome::Request(req) = read_request(&mut reader, &mut io::sink()).unwrap() {
+            reference.push(req);
+        }
+        assert_eq!(reference.len(), 2);
+        for split in 0..=raw.len() {
+            let (requests, error) = drive_split(raw, split);
+            assert!(error.is_none(), "split {split}: {error:?}");
+            assert_eq!(requests.len(), reference.len(), "split {split}");
+            for (got, want) in requests.iter().zip(&reference) {
+                assert_eq!(got.method, want.method, "split {split}");
+                assert_eq!(got.target, want.target, "split {split}");
+                assert_eq!(got.headers, want.headers, "split {split}");
+                assert_eq!(got.body, want.body, "split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_rejects_with_the_same_typed_errors() {
+        let cases: [(&[u8], u16); 7] = [
+            (b"FROB\r\n\r\n", 400),
+            (b"GET / SPDY/3\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nbad header\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: pony\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n", 413),
+            (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nHost: \xff\xfe\r\n\r\n", 400),
+        ];
+        for (raw, status) in cases {
+            for split in 0..=raw.len() {
+                let (_, error) = drive_split(raw, split);
+                let error = error.unwrap_or_else(|| panic!("{raw:?} split {split} must fail"));
+                assert_eq!(error.status, status, "{raw:?} split {split}");
+                // The one-shot reader agrees on the exact error.
+                match read_request(&mut BufReader::new(raw), &mut io::sink()).unwrap() {
+                    ReadOutcome::Bad(e) => assert_eq!(e, error, "{raw:?}"),
+                    _ => panic!("one-shot reader accepted {raw:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_before_the_terminator_arrives() {
+        // MAX_LINE+1 bytes of a single line, no newline in sight: the
+        // parser must refuse immediately instead of buffering unboundedly.
+        let mut parser = Parser::new();
+        let mut buf = vec![b'A'; MAX_LINE + 1];
+        match parser.advance(&mut buf) {
+            ParseStep::Bad(e) => assert_eq!(e.status, 431),
+            other => panic!("expected Bad(431), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expect_continue_latches_at_head_completion_before_the_body() {
+        let mut parser = Parser::new();
+        let mut buf =
+            b"POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 5\r\n\r\n".to_vec();
+        assert!(matches!(parser.advance(&mut buf), ParseStep::NeedMore));
+        assert!(parser.take_continue(), "interim owed once the head completes");
+        assert!(!parser.take_continue(), "the latch reads once");
+        buf.extend_from_slice(b"hello");
+        match parser.advance(&mut buf) {
+            ParseStep::Complete(frame) => {
+                assert!(frame.expect_continue);
+                assert_eq!(frame.to_request(&buf).body_text(), Some("hello"));
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declared_bodies_refuse_without_an_interim_continue() {
+        let mut parser = Parser::new();
+        let mut buf =
+            b"POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 999999999999\r\n\r\n"
+                .to_vec();
+        match parser.advance(&mut buf) {
+            ParseStep::Bad(e) => assert_eq!(e.status, 413),
+            other => panic!("expected Bad(413), got {other:?}"),
+        }
+        assert!(!parser.take_continue(), "no interim invites a refused body");
+    }
+
+    #[test]
+    fn eof_outcomes_mirror_the_blocking_reader() {
+        // Clean close between requests.
+        let parser = Parser::new();
+        assert_eq!(parser.eof_outcome(0), EofOutcome::Clean);
+        assert!(!parser.mid_request(0));
+        // Mid-line: truncated request line.
+        let mut parser = Parser::new();
+        let mut buf = b"GET /he".to_vec();
+        assert!(matches!(parser.advance(&mut buf), ParseStep::NeedMore));
+        assert!(parser.mid_request(buf.len()));
+        match parser.eof_outcome(buf.len()) {
+            EofOutcome::Error(e) => assert_eq!(e.message, "truncated request line"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // At a line boundary mid-head: truncated headers.
+        let mut parser = Parser::new();
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        assert!(matches!(parser.advance(&mut buf), ParseStep::NeedMore));
+        match parser.eof_outcome(buf.len()) {
+            EofOutcome::Error(e) => assert_eq!(e.message, "truncated headers"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        // Mid-body: a silent drop.
+        let mut parser = Parser::new();
+        let mut buf = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhe".to_vec();
+        assert!(matches!(parser.advance(&mut buf), ParseStep::NeedMore));
+        assert_eq!(parser.eof_outcome(buf.len()), EofOutcome::Drop);
+        assert!(parser.mid_request(buf.len()));
     }
 
     #[test]

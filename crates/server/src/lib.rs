@@ -18,8 +18,11 @@
 //!   `/query`, `/batch`, `/healthz`, `/stats`, `/metrics`, `/debug/traces`,
 //!   `/shutdown`) over the hand-rolled [`http`] + [`json`] layers (std-only,
 //!   no dependencies);
-//! * **[`runtime`]** — the accept loop, the fixed worker pool fed over a
-//!   channel, and graceful shutdown;
+//! * **[`runtime`]** — connection I/O and graceful shutdown, in two
+//!   flavors selected by [`ServerConfig::runtime`](service::ServerConfig):
+//!   an edge-triggered epoll reactor with pipelined keep-alive (the Linux
+//!   default) and a portable blocking worker-pool fallback — both hand
+//!   compute to the same worker pool via [`Service::handle`](service::Service::handle);
 //! * **[`stats`]**, **[`metrics`]**, **[`trace`]** — the observability
 //!   layer: lock-free latency histograms per endpoint/solver/dataset, a
 //!   Prometheus text renderer for `GET /metrics`, and a bounded ring of
@@ -55,6 +58,8 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod runtime;
 pub mod service;
 pub mod stats;
@@ -62,8 +67,8 @@ pub mod trace;
 
 pub use cache::{AnswerCache, CacheCounters, CacheKey};
 pub use catalog::{Catalog, CatalogError, Dataset};
-pub use client::{Client, RetryCounters, RetryPolicy, RetryingClient};
+pub use client::{Client, PipelineRequest, RetryCounters, RetryPolicy, RetryingClient};
 pub use json::Json;
 pub use runtime::{serve, serve_with, ServerHandle};
-pub use service::{full_registry, ServerConfig, Service};
+pub use service::{full_registry, RuntimeKind, ServerConfig, Service};
 pub use trace::TraceRing;

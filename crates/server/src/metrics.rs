@@ -268,6 +268,62 @@ pub fn render_metrics(stats: &ServerStats, catalog: &Catalog, cache: &CacheCount
     );
     let _ = writeln!(out, "maxrs_inflight {}", stats.inflight());
 
+    // -- reactor counters (all zero under the threaded runtime) -----------
+    let reactor = stats.reactor();
+    header(
+        &mut out,
+        "maxrs_reactor_wakeups_total",
+        "counter",
+        "epoll_wait returns that carried at least one readiness event.",
+    );
+    let _ = writeln!(out, "maxrs_reactor_wakeups_total {}", reactor.wakeups);
+    header(
+        &mut out,
+        "maxrs_reactor_readiness_events_total",
+        "counter",
+        "Readiness events delivered across all reactor wakeups.",
+    );
+    let _ = writeln!(out, "maxrs_reactor_readiness_events_total {}", reactor.readiness_events);
+    header(
+        &mut out,
+        "maxrs_reactor_connections_accepted_total",
+        "counter",
+        "Connections accepted and registered by the reactor.",
+    );
+    let _ = writeln!(out, "maxrs_reactor_connections_accepted_total {}", reactor.accepted);
+    header(
+        &mut out,
+        "maxrs_reactor_connections_closed_total",
+        "counter",
+        "Reactor connections closed (clean, error, eviction, or shutdown).",
+    );
+    let _ = writeln!(out, "maxrs_reactor_connections_closed_total {}", reactor.closed);
+    header(
+        &mut out,
+        "maxrs_reactor_max_pipeline_depth",
+        "gauge",
+        "Highest unanswered pipelined request count seen on one connection.",
+    );
+    let _ = writeln!(out, "maxrs_reactor_max_pipeline_depth {}", reactor.max_pipeline_depth);
+    header(
+        &mut out,
+        "maxrs_reactor_coalesced_write_bytes_total",
+        "counter",
+        "Bytes written as part of multi-response coalesced writes.",
+    );
+    let _ = writeln!(
+        out,
+        "maxrs_reactor_coalesced_write_bytes_total {}",
+        reactor.coalesced_write_bytes
+    );
+    header(
+        &mut out,
+        "maxrs_reactor_spurious_wakeups_total",
+        "counter",
+        "Readiness events that carried no work (stale tokens, empty eventfd edges).",
+    );
+    let _ = writeln!(out, "maxrs_reactor_spurious_wakeups_total {}", reactor.spurious_wakeups);
+
     // -- engine work counters ---------------------------------------------
     header(
         &mut out,

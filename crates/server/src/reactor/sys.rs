@@ -1,0 +1,222 @@
+//! Hand-declared Linux syscall bindings for the reactor: `epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, and `eventfd`, plus the `read`/`write`/`close`
+//! trio the eventfd needs.  No `libc` crate — the same no-external-deps
+//! discipline as the rest of the workspace — so the ABI surface is declared
+//! here once, kept deliberately tiny, and wrapped in two RAII types
+//! ([`Epoll`], [`EventFd`]) so no raw fd escapes unmanaged.
+//!
+//! ## Why this is sound
+//!
+//! * The signatures below match the glibc/musl prototypes (`man epoll_ctl`,
+//!   `man eventfd`): every argument is a plain integer or a pointer to a
+//!   caller-owned buffer whose length travels alongside it, so the only
+//!   unsafety is the FFI call itself — no callbacks, no ownership transfer.
+//! * `epoll_event` is declared `#[repr(C)]` and, on x86-64 only,
+//!   `#[repr(packed)]` — mirroring the kernel's `__attribute__((packed))`
+//!   on that architecture (`include/uapi/linux/eventpoll.h`).  Getting this
+//!   wrong would misalign the `u64` payload the kernel writes; the layout
+//!   is asserted by a unit test against the known ABI sizes (12 bytes on
+//!   x86-64, 16 elsewhere).
+//! * Every call site checks the `-1` error return and surfaces `errno` via
+//!   [`io::Error::last_os_error`]; `EINTR` on `epoll_wait` is retried here
+//!   so callers never observe it.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+const EINTR: i32 = 4;
+const EAGAIN: i32 = 11;
+
+/// The kernel's `struct epoll_event`: an interest/readiness mask plus a
+/// caller-chosen 64-bit token (we store a connection slot key).  Packed on
+/// x86-64 to match the kernel ABI (see module docs).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub token: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event, for pre-sizing the `epoll_wait` output buffer.
+    pub const fn zeroed() -> Self {
+        Self { events: 0, token: 0 }
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn last_errno() -> i32 {
+    io::Error::last_os_error().raw_os_error().unwrap_or(0)
+}
+
+/// An owned epoll instance; closed on drop.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers involved; the return value is checked.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    /// Registers `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent { events: interest, token };
+        // SAFETY: `event` is a live stack value for the duration of the call.
+        let rc = unsafe { epoll_ctl(self.fd, EPOLL_CTL_ADD, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Deregisters `fd`.  Best-effort: a concurrent close already removed it.
+    pub fn delete(&self, fd: RawFd) {
+        // SAFETY: the event argument is ignored for EPOLL_CTL_DEL on any
+        // kernel ≥ 2.6.9; a null pointer is the documented calling form.
+        unsafe { epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) };
+    }
+
+    /// Waits up to `timeout_ms` for readiness events, retrying `EINTR`.
+    /// Returns the number of events written to the front of `events`.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `events` is a live, correctly-sized caller buffer; the
+            // kernel writes at most `events.len()` entries.
+            let rc = unsafe {
+                epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
+            };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            if last_errno() != EINTR {
+                return Err(io::Error::last_os_error());
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is an fd this type owns exclusively.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// An owned nonblocking eventfd: the worker pool writes it to wake the
+/// reactor when completions are queued.  Closed on drop.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)`.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers involved; the return value is checked.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn raw(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Adds 1 to the counter, waking any `epoll_wait` on it.  `EAGAIN`
+    /// (counter saturated — the reactor is already hopelessly awake) is
+    /// deliberately ignored.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a live stack value.
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Drains the counter so the next `wake` produces a fresh edge.
+    /// Returns `true` when a wake had actually been posted (`false` means
+    /// the readiness was spurious).
+    pub fn drain(&self) -> bool {
+        let mut value: u64 = 0;
+        // SAFETY: reads exactly 8 bytes into a live stack value.
+        let rc = unsafe { read(self.fd, (&mut value as *mut u64).cast(), 8) };
+        if rc == 8 {
+            return value > 0;
+        }
+        debug_assert!(rc < 0 && last_errno() == EAGAIN, "eventfd read returned {rc}");
+        false
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is an fd this type owns exclusively.
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_event_layout_matches_the_kernel_abi() {
+        let expected = if cfg!(target_arch = "x86_64") { 12 } else { 16 };
+        assert_eq!(std::mem::size_of::<EpollEvent>(), expected);
+    }
+
+    #[test]
+    fn eventfd_wakes_and_drains() {
+        let efd = EventFd::new().unwrap();
+        assert!(!efd.drain(), "a fresh eventfd has nothing posted");
+        efd.wake();
+        efd.wake();
+        assert!(efd.drain(), "two wakes coalesce into one posted edge");
+        assert!(!efd.drain(), "drained");
+    }
+
+    #[test]
+    fn epoll_observes_an_eventfd_edge() {
+        let ep = Epoll::new().unwrap();
+        let efd = EventFd::new().unwrap();
+        ep.add(efd.raw(), EPOLLIN | EPOLLET, 42).unwrap();
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "nothing ready yet");
+        efd.wake();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let (events_mask, token) = (events[0].events, events[0].token);
+        assert_eq!(token, 42);
+        assert!(events_mask & EPOLLIN != 0);
+        ep.delete(efd.raw());
+    }
+}

@@ -1,5 +1,20 @@
-//! The serving runtime: bind, accept, fan connections out to a fixed worker
-//! pool over a channel, and shut down gracefully.
+//! The serving runtime: bind, drive connection I/O, and shut down
+//! gracefully.  Two runtimes share this entry point, selected by
+//! [`ServerConfig::runtime`]:
+//!
+//! * **epoll** (Linux default) — the event-driven reactor in
+//!   `crate::reactor`: one event-loop thread drives every connection
+//!   with edge-triggered nonblocking sockets, incremental in-place
+//!   parsing, HTTP/1.1 pipelining, and coalesced writes, handing parsed
+//!   requests to the worker pool;
+//! * **threaded** (portable fallback, and the only runtime off Linux) —
+//!   the blocking worker pool documented below.
+//!
+//! Both call [`Service::handle`](crate::service::Service::handle) for
+//! compute, so admission control, deadlines, panic isolation, and stats
+//! are identical; only the I/O strategy differs.
+//!
+//! ## The threaded runtime
 //!
 //! ```text
 //!   TcpListener ──accept──▶ mpsc channel ──▶ worker 0 ─┐
@@ -39,8 +54,17 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::http::{read_request, write_response, ReadOutcome, Response};
+use crate::http::{read_request, write_response, ParseError, ReadOutcome, Response};
+#[cfg(target_os = "linux")]
+use crate::service::RuntimeKind;
 use crate::service::{ServerConfig, Service};
+
+/// The response both runtimes answer a malformed frame with before closing
+/// the connection (the message is a literal, so quoting via `{:?}` is
+/// valid JSON).
+pub(crate) fn bad_frame_response(error: &ParseError) -> Response {
+    Response::json(error.status, format!("{{\"error\":{:?}}}", error.message))
+}
 
 /// Granularity of the keep-alive wait: the socket read timeout is short so
 /// an idle connection costs one such poll per pass through the pool (and so
@@ -69,7 +93,8 @@ impl Conn {
 pub struct ServerHandle {
     addr: SocketAddr,
     service: Arc<Service>,
-    accept_thread: Option<JoinHandle<()>>,
+    /// The accept thread (threaded runtime) or the reactor thread (epoll).
+    driver: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -88,7 +113,7 @@ impl ServerHandle {
     /// requests complete; idle kept-alive connections are abandoned.
     pub fn shutdown(mut self) {
         self.service.request_shutdown();
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.driver.take() {
             let _ = handle.join();
         }
         for worker in self.workers.drain(..) {
@@ -99,7 +124,7 @@ impl ServerHandle {
     /// Blocks until every server thread exits (e.g. after a remote
     /// `POST /shutdown`).  This is what `maxrs serve` parks on.
     pub fn join(mut self) {
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.driver.take() {
             let _ = handle.join();
         }
         for worker in self.workers.drain(..) {
@@ -116,12 +141,26 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
 }
 
 /// Like [`serve`], over an externally constructed (possibly pre-loaded)
-/// service.
+/// service.  Dispatches to the configured runtime; requesting `epoll` off
+/// Linux silently falls back to the threaded runtime.
 pub fn serve_with(service: Arc<Service>) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&service.config().addr)?;
     let addr = listener.local_addr()?;
     service.set_local_addr(addr);
+    #[cfg(target_os = "linux")]
+    if service.config().runtime == RuntimeKind::Epoll {
+        let (driver, workers) = crate::reactor::spawn(listener, Arc::clone(&service))?;
+        return Ok(ServerHandle { addr, service, driver: Some(driver), workers });
+    }
+    serve_threaded(listener, service, addr)
+}
 
+/// The blocking worker-pool runtime (see the module docs).
+fn serve_threaded(
+    listener: TcpListener,
+    service: Arc<Service>,
+    addr: SocketAddr,
+) -> io::Result<ServerHandle> {
     let (sender, receiver) = mpsc::sync_channel::<Conn>(service.config().queue_capacity.max(1));
     let receiver = Arc::new(Mutex::new(receiver));
     let threads = service.config().resolved_threads();
@@ -143,7 +182,7 @@ pub fn serve_with(service: Arc<Service>) -> io::Result<ServerHandle> {
         .spawn(move || accept_loop(&listener, &accept_service, sender))
         .expect("spawning the accept thread");
 
-    Ok(ServerHandle { addr, service, accept_thread: Some(accept_thread), workers })
+    Ok(ServerHandle { addr, service, driver: Some(accept_thread), workers })
 }
 
 fn accept_loop(listener: &TcpListener, service: &Service, sender: SyncSender<Conn>) {
@@ -228,11 +267,7 @@ fn handle_connection(service: &Service, mut conn: Conn) -> Option<Conn> {
             Err(_) => break, // reset, desync, or mid-request stall: drop
             Ok(ReadOutcome::Closed) => break,
             Ok(ReadOutcome::Bad(e)) => {
-                let response = Response::json(
-                    e.status,
-                    format!("{{\"error\":{:?}}}", e.message), // message is a literal: safe to quote
-                );
-                let _ = write_response(&mut conn.writer, &response, false);
+                let _ = write_response(&mut conn.writer, &bad_frame_response(&e), false);
                 break;
             }
             Ok(ReadOutcome::Request(request)) => {
@@ -253,134 +288,240 @@ fn handle_connection(service: &Service, mut conn: Conn) -> Option<Conn> {
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::service::RuntimeKind;
 
-    fn start() -> ServerHandle {
+    /// Every behavioral test runs against both runtimes (off Linux, the
+    /// epoll entry falls back to threaded and the pass is trivial).
+    const RUNTIMES: [RuntimeKind; 2] = [RuntimeKind::Threaded, RuntimeKind::Epoll];
+
+    fn start(runtime: RuntimeKind) -> ServerHandle {
         serve(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 2,
             seed: Some(7),
+            runtime,
             ..ServerConfig::default()
         })
         .expect("bind an ephemeral port")
     }
 
-    #[test]
-    fn round_trips_requests_over_tcp() {
-        let server = start();
-        let mut client = Client::connect(server.addr()).unwrap();
-        let (status, body) = client.get("/healthz").unwrap();
-        assert_eq!(status, 200);
-        assert!(body.contains("\"ok\""), "{body}");
-        // Keep-alive: the same connection serves a second request.
-        let (status, body) = client.get("/solvers").unwrap();
-        assert_eq!(status, 200);
-        assert!(body.contains("exact-disk-2d"), "{body}");
-        let (status, _) = client.get("/no-such-route").unwrap();
-        assert_eq!(status, 404);
-        server.shutdown();
-    }
-
-    #[test]
-    fn idle_connections_do_not_starve_new_clients() {
-        // Open as many idle connections as there are workers; a fresh
-        // client must still be served promptly because idle connections are
-        // parked back into the queue instead of pinning workers.
-        let server = start(); // 2 workers
-        let _idle_a = std::net::TcpStream::connect(server.addr()).unwrap();
-        let _idle_b = std::net::TcpStream::connect(server.addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(300)); // workers pick them up
-        let started = std::time::Instant::now();
-        let mut client = Client::connect(server.addr()).unwrap();
-        let (status, _) = client.get("/healthz").unwrap();
-        assert_eq!(status, 200);
-        assert!(
-            started.elapsed() < Duration::from_secs(5),
-            "a new client waited {:?} behind idle connections",
-            started.elapsed()
-        );
-        server.shutdown();
-    }
-
-    #[test]
-    fn idle_connections_are_evicted_at_the_keep_alive_window() {
+    fn read_to_string_until(stream: &mut TcpStream, done: impl Fn(&str) -> bool) -> String {
         use std::io::Read;
-        let server = serve(ServerConfig {
-            addr: "127.0.0.1:0".to_string(),
-            threads: 2,
-            seed: Some(7),
-            keep_alive: Duration::from_millis(400),
-            ..ServerConfig::default()
-        })
-        .expect("bind an ephemeral port");
-        // A connection that stays within the window keeps serving...
-        let mut client = Client::connect(server.addr()).unwrap();
-        assert_eq!(client.get("/healthz").unwrap().0, 200);
-        std::thread::sleep(Duration::from_millis(250));
-        assert_eq!(client.get("/healthz").unwrap().0, 200, "idle resets on every request");
-        // ...while one idle past it is dropped by the server.
-        let mut idle = TcpStream::connect(server.addr()).unwrap();
-        idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        std::thread::sleep(Duration::from_millis(1500));
-        let mut buf = [0u8; 16];
-        let dead = match idle.read(&mut buf) {
-            Ok(0) => true,  // clean EOF
-            Ok(_) => false, // the server sent data?!
-            // A reset is fine; a read timeout means it was never dropped.
-            Err(e) => !matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
-        };
-        assert!(dead, "an idle connection past the keep-alive window must be dropped");
-        server.shutdown();
-    }
-
-    #[test]
-    fn oversized_bodies_are_rejected_before_the_body_is_read() {
-        use std::io::Read;
-        let server = start();
-        // Announce a body far past MAX_BODY with `Expect: 100-continue` and
-        // send none of it: the server must answer 413 *without* inviting the
-        // upload with an interim `100 Continue`.
-        let mut stream = TcpStream::connect(server.addr()).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-        stream
-            .write_all(
-                b"POST /datasets/x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 999999999999\r\n\r\n",
-            )
-            .unwrap();
-        let mut response = String::new();
-        let mut buf = [0u8; 1024];
+        let mut text = String::new();
+        let mut buf = [0u8; 4096];
         loop {
             match stream.read(&mut buf) {
                 Ok(0) | Err(_) => break,
                 Ok(n) => {
-                    response.push_str(&String::from_utf8_lossy(&buf[..n]));
-                    if response.contains("\r\n\r\n") {
+                    text.push_str(&String::from_utf8_lossy(&buf[..n]));
+                    if done(&text) {
                         break;
                     }
                 }
             }
         }
-        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
-        assert!(!response.contains("100 Continue"), "no interim response invites the body");
+        text
+    }
+
+    #[test]
+    fn round_trips_requests_over_tcp() {
+        for runtime in RUNTIMES {
+            let server = start(runtime);
+            let mut client = Client::connect(server.addr()).unwrap();
+            let (status, body) = client.get("/healthz").unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("\"ok\""), "{body}");
+            // Keep-alive: the same connection serves a second request.
+            let (status, body) = client.get("/solvers").unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("exact-disk-2d"), "{body}");
+            let (status, _) = client.get("/no-such-route").unwrap();
+            assert_eq!(status, 404);
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn idle_connections_do_not_starve_new_clients() {
+        // Open as many idle connections as there are workers; a fresh
+        // client must still be served promptly (the threaded runtime parks
+        // idle connections; the reactor never pins a thread on one).
+        for runtime in RUNTIMES {
+            let server = start(runtime); // 2 workers
+            let _idle_a = std::net::TcpStream::connect(server.addr()).unwrap();
+            let _idle_b = std::net::TcpStream::connect(server.addr()).unwrap();
+            std::thread::sleep(Duration::from_millis(300)); // runtimes pick them up
+            let started = std::time::Instant::now();
+            let mut client = Client::connect(server.addr()).unwrap();
+            let (status, _) = client.get("/healthz").unwrap();
+            assert_eq!(status, 200);
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "a new client waited {:?} behind idle connections",
+                started.elapsed()
+            );
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn idle_connections_are_evicted_at_the_keep_alive_window() {
+        use std::io::Read;
+        for runtime in RUNTIMES {
+            let server = serve(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                threads: 2,
+                seed: Some(7),
+                keep_alive: Duration::from_millis(400),
+                runtime,
+                ..ServerConfig::default()
+            })
+            .expect("bind an ephemeral port");
+            // A connection that stays within the window keeps serving...
+            let mut client = Client::connect(server.addr()).unwrap();
+            assert_eq!(client.get("/healthz").unwrap().0, 200);
+            std::thread::sleep(Duration::from_millis(250));
+            assert_eq!(client.get("/healthz").unwrap().0, 200, "idle resets on every request");
+            // ...while one idle past it is dropped by the server.
+            let mut idle = TcpStream::connect(server.addr()).unwrap();
+            idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            std::thread::sleep(Duration::from_millis(1500));
+            let mut buf = [0u8; 16];
+            let dead = match idle.read(&mut buf) {
+                Ok(0) => true,  // clean EOF
+                Ok(_) => false, // the server sent data?!
+                // A reset is fine; a read timeout means it was never dropped.
+                Err(e) => !matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
+            };
+            assert!(
+                dead,
+                "an idle connection past the keep-alive window must be dropped ({})",
+                runtime.name()
+            );
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_the_body_is_read() {
+        for runtime in RUNTIMES {
+            let server = start(runtime);
+            // Announce a body far past MAX_BODY with `Expect: 100-continue`
+            // and send none of it: the server must answer 413 *without*
+            // inviting the upload with an interim `100 Continue`.
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            stream
+                .write_all(
+                    b"POST /datasets/x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 999999999999\r\n\r\n",
+                )
+                .unwrap();
+            let response = read_to_string_until(&mut stream, |text| text.contains("\r\n\r\n"));
+            assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+            assert!(!response.contains("100 Continue"), "no interim response invites the body");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn expect_continue_is_answered_with_an_interim_response() {
+        for runtime in RUNTIMES {
+            let server = start(runtime);
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            stream
+                .write_all(
+                    b"POST /datasets/t HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 8\r\n\r\n",
+                )
+                .unwrap();
+            let interim =
+                read_to_string_until(&mut stream, |text| text.contains("100 Continue\r\n\r\n"));
+            assert!(interim.starts_with("HTTP/1.1 100 Continue"), "{interim}");
+            stream.write_all(b"0,0\n1,1\n").unwrap();
+            let rest = read_to_string_until(&mut stream, |text| text.contains("HTTP/1.1 2"));
+            assert!(rest.contains("HTTP/1.1 200"), "{rest}");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn pipelined_requests_are_answered_in_order() {
+        let server = start(RuntimeKind::Epoll);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\n\r\n\
+                  GET /solvers HTTP/1.1\r\n\r\n\
+                  GET /no-such-route HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        // `Connection: close` on the last request ends the stream.
+        let text = read_to_string_until(&mut stream, |_| false);
+        // Bodies are not newline-terminated, so the next status line begins
+        // mid-line: scan by substring, not by line.
+        let statuses: Vec<&str> = text
+            .match_indices("HTTP/1.1 ")
+            .filter_map(|(pos, needle)| text[pos + needle.len()..].split_whitespace().next())
+            .collect();
+        assert_eq!(statuses, ["200", "200", "404"], "{text}");
+        let rids: Vec<&str> =
+            text.lines().filter_map(|line| line.strip_prefix("X-Request-Id: ")).collect();
+        assert_eq!(rids.len(), 3, "{text}");
+        assert!(
+            rids.windows(2).all(|pair| pair[0] < pair[1]),
+            "pipelined responses out of order: {rids:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn at_capacity_arrivals_are_shed_with_retry_after() {
+        let server = serve(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            seed: Some(7),
+            queue_capacity: 1,
+            runtime: RuntimeKind::Epoll,
+            ..ServerConfig::default()
+        })
+        .expect("bind an ephemeral port");
+        let mut first = Client::connect(server.addr()).unwrap();
+        assert_eq!(first.get("/healthz").unwrap().0, 200);
+        // The only slot is held by a live keep-alive: the next arrival is
+        // shed at the door, exactly like the threaded runtime's full queue.
+        let mut second = TcpStream::connect(server.addr()).unwrap();
+        second.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let text = read_to_string_until(&mut second, |_| false);
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(text.contains("Retry-After:"), "{text}");
+        assert!(server.service().stats().shed() >= 1);
+        assert_eq!(first.get("/healthz").unwrap().0, 200, "the live connection is unharmed");
         server.shutdown();
     }
 
     #[test]
     fn shutdown_endpoint_stops_the_server() {
-        let server = start();
-        let addr = server.addr();
-        let mut client = Client::connect(addr).unwrap();
-        let (status, _) = client.post("/shutdown", "").unwrap();
-        assert_eq!(status, 200);
-        // join() returns because the accept loop observed the flag.
-        server.join();
-        assert!(
-            Client::connect(addr).is_err() || {
-                // The OS may accept into the backlog of the closed listener
-                // briefly; a request must at least fail.
-                let mut c = Client::connect(addr).unwrap();
-                c.get("/healthz").is_err()
-            },
-            "a shut-down server must not answer"
-        );
+        for runtime in RUNTIMES {
+            let server = start(runtime);
+            let addr = server.addr();
+            let mut client = Client::connect(addr).unwrap();
+            let (status, _) = client.post("/shutdown", "").unwrap();
+            assert_eq!(status, 200);
+            // join() returns because the runtime observed the flag.
+            server.join();
+            assert!(
+                Client::connect(addr).is_err() || {
+                    // The OS may accept into the backlog of the closed
+                    // listener briefly; a request must at least fail.
+                    let mut c = Client::connect(addr).unwrap();
+                    c.get("/healthz").is_err()
+                },
+                "a shut-down server must not answer ({})",
+                runtime.name()
+            );
+        }
     }
 }

@@ -35,6 +35,51 @@ use crate::metrics::render_metrics;
 use crate::stats::ServerStats;
 use crate::trace::{trace_json, TraceRing};
 
+/// Which runtime drives connection I/O (compute always goes through the
+/// same worker pool and [`Service::handle`], so admission, deadlines, and
+/// panic isolation are identical under either).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// The epoll reactor (Linux only): one event-loop thread drives every
+    /// connection with edge-triggered nonblocking sockets, incremental
+    /// in-place parsing, HTTP/1.1 pipelining, and coalesced writes.  On
+    /// other platforms this falls back to [`RuntimeKind::Threaded`].
+    Epoll,
+    /// The portable blocking runtime: an accept thread feeds a bounded
+    /// queue; workers do blocking reads/writes and park idle keep-alives.
+    Threaded,
+}
+
+impl Default for RuntimeKind {
+    /// `Epoll` where it exists, `Threaded` elsewhere.
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            RuntimeKind::Epoll
+        } else {
+            RuntimeKind::Threaded
+        }
+    }
+}
+
+impl RuntimeKind {
+    /// Parses a `--runtime` flag value.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "epoll" => Some(RuntimeKind::Epoll),
+            "threaded" => Some(RuntimeKind::Threaded),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this runtime.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Epoll => "epoll",
+            RuntimeKind::Threaded => "threaded",
+        }
+    }
+}
+
 /// Server configuration.  [`ServerConfig::default`] is ready for local use.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -82,6 +127,8 @@ pub struct ServerConfig {
     /// Registers the test-only `chaos-panic` solver (always panics) so the
     /// fault-injection harness can exercise panic isolation end to end.
     pub chaos_solver: bool,
+    /// Which runtime drives connection I/O (`--runtime {threaded,epoll}`).
+    pub runtime: RuntimeKind,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +149,7 @@ impl Default for ServerConfig {
             overload_watermark: 0.75,
             keep_alive: Duration::from_secs(30),
             chaos_solver: false,
+            runtime: RuntimeKind::default(),
         }
     }
 }
@@ -670,6 +718,25 @@ impl Service {
                     ("queue_capacity".into(), Json::num(self.config.queue_capacity as f64)),
                     ("overload_watermark".into(), Json::num(self.config.overload_watermark)),
                 ]),
+            ),
+            (
+                "reactor".into(),
+                Json::Obj({
+                    let reactor = self.stats.reactor();
+                    vec![
+                        ("runtime".into(), Json::Str(self.config.runtime.name().into())),
+                        ("wakeups".into(), Json::num(reactor.wakeups as f64)),
+                        ("readiness_events".into(), Json::num(reactor.readiness_events as f64)),
+                        ("accepted".into(), Json::num(reactor.accepted as f64)),
+                        ("closed".into(), Json::num(reactor.closed as f64)),
+                        ("max_pipeline_depth".into(), Json::num(reactor.max_pipeline_depth as f64)),
+                        (
+                            "coalesced_write_bytes".into(),
+                            Json::num(reactor.coalesced_write_bytes as f64),
+                        ),
+                        ("spurious_wakeups".into(), Json::num(reactor.spurious_wakeups as f64)),
+                    ]
+                }),
             ),
             ("endpoints".into(), Json::Arr(endpoints)),
             (

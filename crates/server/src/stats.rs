@@ -134,6 +134,28 @@ pub struct EndpointSnapshot {
     pub latency: LatencySummary,
 }
 
+/// A point-in-time view of the epoll reactor's counters.  All zero when
+/// the threaded runtime is serving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReactorSnapshot {
+    /// `epoll_wait` returns that carried at least one readiness event.
+    pub wakeups: u64,
+    /// Total readiness events delivered across all wakeups.
+    pub readiness_events: u64,
+    /// Connections accepted and registered with the reactor.
+    pub accepted: u64,
+    /// Connections closed (clean, error, eviction, or shutdown).
+    pub closed: u64,
+    /// Highest number of unanswered pipelined requests observed on one
+    /// connection.
+    pub max_pipeline_depth: u64,
+    /// Bytes written as part of multi-response coalesced writes.
+    pub coalesced_write_bytes: u64,
+    /// Readiness events that carried no work (stale connection tokens,
+    /// empty eventfd edges).
+    pub spurious_wakeups: u64,
+}
+
 /// A family of latency histograms keyed by a runtime label (solver or
 /// dataset name).  Recording takes a read lock to find the label's `Arc`'d
 /// histogram (insertion, once per label, takes the write lock); the
@@ -184,6 +206,13 @@ pub struct ServerStats {
     panics: AtomicU64,
     degraded: AtomicU64,
     inflight: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    reactor_readiness_events: AtomicU64,
+    reactor_accepted: AtomicU64,
+    reactor_closed: AtomicU64,
+    reactor_max_pipeline_depth: AtomicU64,
+    reactor_coalesced_bytes: AtomicU64,
+    reactor_spurious_wakeups: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -212,6 +241,63 @@ impl ServerStats {
             panics: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
+            reactor_readiness_events: AtomicU64::new(0),
+            reactor_accepted: AtomicU64::new(0),
+            reactor_closed: AtomicU64::new(0),
+            reactor_max_pipeline_depth: AtomicU64::new(0),
+            reactor_coalesced_bytes: AtomicU64::new(0),
+            reactor_spurious_wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one `epoll_wait` return that carried `events` readiness
+    /// events (timeout ticks with no events are not wakeups).
+    pub fn record_reactor_wakeup(&self, events: u64) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+        self.reactor_readiness_events.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Counts one connection accepted and registered by the reactor.
+    pub fn record_reactor_accept(&self) {
+        self.reactor_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one reactor connection closed (any reason: clean, error,
+    /// eviction, shutdown).
+    pub fn record_reactor_close(&self) {
+        self.reactor_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raises the high-water mark of unanswered pipelined requests
+    /// observed on a single connection.
+    pub fn record_reactor_depth(&self, depth: u64) {
+        self.reactor_max_pipeline_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Adds the size of one multi-response batch written as a single
+    /// coalesced write (single-response batches do not count).
+    pub fn record_reactor_coalesced(&self, bytes: u64) {
+        self.reactor_coalesced_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts one spurious readiness: an event for an already-closed
+    /// connection, or an eventfd edge with nothing posted.
+    pub fn record_reactor_spurious(&self) {
+        self.reactor_spurious_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the reactor counters (all zero under the
+    /// threaded runtime).
+    pub fn reactor(&self) -> ReactorSnapshot {
+        ReactorSnapshot {
+            wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            readiness_events: self.reactor_readiness_events.load(Ordering::Relaxed),
+            accepted: self.reactor_accepted.load(Ordering::Relaxed),
+            closed: self.reactor_closed.load(Ordering::Relaxed),
+            max_pipeline_depth: self.reactor_max_pipeline_depth.load(Ordering::Relaxed),
+            coalesced_write_bytes: self.reactor_coalesced_bytes.load(Ordering::Relaxed),
+            spurious_wakeups: self.reactor_spurious_wakeups.load(Ordering::Relaxed),
         }
     }
 

@@ -1,0 +1,229 @@
+//! Parity properties for the two HTTP parsing front ends: the incremental
+//! zero-copy [`Parser`] behind the epoll reactor must produce byte-identical
+//! requests and the same typed [`ParseError`]s as the blocking one-shot
+//! [`read_request`] reader, no matter where a pipelined stream is split —
+//! mid-request-line, mid-header, mid-body, or between requests.  Every test
+//! replays the same byte stream through both front ends and through the
+//! incremental parser at *every* two-chunk split point (plus byte-at-a-time).
+
+use mrs_server::http::{
+    read_request, EofOutcome, ParseError, ParseStep, Parser, ReadOutcome, Request, MAX_BODY,
+};
+use proptest::prelude::*;
+
+/// How one front end's run of a stream ended.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    /// The peer closed cleanly between requests.
+    Clean,
+    /// A typed protocol error (answer it, then close).
+    Error(ParseError),
+    /// EOF mid-body: dropped without a response.
+    Dropped,
+}
+
+/// One parsed request flattened into comparable owned fields.
+type Flat = (String, String, Vec<(String, String)>, Vec<u8>);
+
+/// Everything observable about a run: the requests parsed before the end,
+/// each request's `Expect: 100-continue` flag, and how the stream ended.
+type Run = (Vec<Flat>, Vec<bool>, Outcome);
+
+fn flat(request: &Request) -> Flat {
+    (request.method.clone(), request.target.clone(), request.headers.clone(), request.body.clone())
+}
+
+/// Replays the whole stream through the blocking one-shot reader.  An
+/// in-memory slice never times out, so EOF surfaces exactly like a peer
+/// close: `Closed` between requests, a typed error mid-head, an I/O error
+/// mid-body.
+fn one_shot(stream: &[u8]) -> Run {
+    let mut reader: &[u8] = stream;
+    let mut requests = Vec::new();
+    let mut expects = Vec::new();
+    loop {
+        let mut interim = Vec::new();
+        match read_request(&mut reader, &mut interim).map_err(|e| e.kind()) {
+            Ok(ReadOutcome::Request(request)) => {
+                expects.push(!interim.is_empty());
+                requests.push(flat(&request));
+            }
+            Ok(ReadOutcome::Closed) => return (requests, expects, Outcome::Clean),
+            Ok(ReadOutcome::Bad(error)) => return (requests, expects, Outcome::Error(error)),
+            Err(_) => return (requests, expects, Outcome::Dropped),
+        }
+    }
+}
+
+/// Feeds the stream to the incremental parser one chunk at a time, exactly
+/// the way the reactor does: append to the connection buffer, advance until
+/// `NeedMore`, drain completed frames, classify EOF when the chunks run out.
+fn incremental(chunks: &[&[u8]]) -> Run {
+    let mut parser = Parser::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut requests = Vec::new();
+    let mut expects = Vec::new();
+    for chunk in chunks {
+        buf.extend_from_slice(chunk);
+        loop {
+            match parser.advance(&mut buf) {
+                ParseStep::NeedMore => break,
+                ParseStep::Complete(frame) => {
+                    requests.push(flat(&frame.to_request(&buf)));
+                    expects.push(frame.expect_continue);
+                    buf.drain(..frame.end);
+                }
+                ParseStep::Bad(error) => return (requests, expects, Outcome::Error(error)),
+            }
+        }
+    }
+    let outcome = match parser.eof_outcome(buf.len()) {
+        EofOutcome::Clean => Outcome::Clean,
+        EofOutcome::Error(error) => Outcome::Error(error),
+        EofOutcome::Drop => Outcome::Dropped,
+    };
+    (requests, expects, outcome)
+}
+
+/// Asserts the incremental parser matches `expected` at every two-chunk
+/// split of `stream`, and when fed one byte at a time.
+fn assert_every_split_matches(stream: &[u8], expected: &Run, context: &str) {
+    for split in 0..=stream.len() {
+        let got = incremental(&[&stream[..split], &stream[split..]]);
+        assert_eq!(&got, expected, "{context}: two-chunk split at byte {split}");
+    }
+    let bytes: Vec<&[u8]> = stream.chunks(1).collect();
+    assert_eq!(&incremental(&bytes), expected, "{context}: byte-at-a-time");
+}
+
+const PATHS: [&str; 4] = ["/healthz", "/stats", "/query", "/datasets/demo/insert"];
+
+/// Builds a pipelined stream from `(path, body_len, flags)` specs.  Flag
+/// bits: 1 = `Expect: 100-continue`, 2 = lowercase method spelling (the
+/// parser must uppercase it), 4 = bare-LF line endings.
+fn build(specs: &[(u64, usize, u64)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &(path, body_len, flags) in specs {
+        let method = if flags & 2 != 0 { "post" } else { "POST" };
+        let eol = if flags & 4 != 0 { "\n" } else { "\r\n" };
+        let path = PATHS[(path as usize) % PATHS.len()];
+        let body: Vec<u8> = (0..body_len).map(|i| b'a' + (i % 23) as u8).collect();
+        out.extend_from_slice(format!("{method} {path} HTTP/1.1{eol}Host: t{eol}").as_bytes());
+        if flags & 1 != 0 {
+            out.extend_from_slice(format!("Expect: 100-continue{eol}").as_bytes());
+        }
+        // Mixed-case name and padded value: both front ends must lowercase
+        // the name and trim the value identically.
+        out.extend_from_slice(
+            format!("X-Mixed-CASE:  padded value {eol}content-length: {}{eol}{eol}", body.len())
+                .as_bytes(),
+        );
+        out.extend(body);
+    }
+    out
+}
+
+proptest! {
+    /// Well-formed pipelined streams: the incremental parser yields the
+    /// same requests (methods uppercased, header names lowercased, values
+    /// trimmed, bodies byte-identical), the same `Expect` latches, and the
+    /// same clean close, at every split point.
+    #[test]
+    fn every_split_of_a_pipelined_stream_parses_identically(
+        specs in proptest::collection::vec((0u64..4, 0usize..40, 0u64..8), 1..5),
+    ) {
+        let stream = build(&specs);
+        let expected = one_shot(&stream);
+        prop_assert_eq!(expected.0.len(), specs.len(), "one-shot parsed every request");
+        prop_assert_eq!(&expected.2, &Outcome::Clean);
+        assert_every_split_matches(&stream, &expected, "well-formed");
+    }
+
+    /// Truncated streams: cutting a well-formed stream anywhere — inside
+    /// the request line, the headers, or the body — makes both front ends
+    /// report the same typed outcome (clean close, `400` truncation error,
+    /// or a silent drop) after the same parsed prefix.
+    #[test]
+    fn truncated_streams_report_the_same_typed_outcome(
+        specs in proptest::collection::vec((0u64..4, 0usize..40, 0u64..8), 1..4),
+        cut_permille in 0u64..1000,
+    ) {
+        let full = build(&specs);
+        let cut = (full.len() as u64 * cut_permille / 1000) as usize;
+        let stream = &full[..cut];
+        let expected = one_shot(stream);
+        assert_every_split_matches(stream, &expected, "truncated");
+    }
+}
+
+/// Malformed heads: a fixed enumeration of protocol violations, each held
+/// to the same typed error (status *and* message) at every split point.
+#[test]
+fn malformed_streams_fail_identically_at_every_split() {
+    let mut too_many_headers = b"GET /x HTTP/1.1\r\n".to_vec();
+    for i in 0..101 {
+        too_many_headers.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+    }
+    too_many_headers.extend_from_slice(b"\r\n");
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (b"GARBAGE\r\n\r\n".to_vec(), 400),
+        (b"GET /x SPDY/3\r\n\r\n".to_vec(), 400),
+        (b"GET /\xff HTTP/1.1\r\n\r\n".to_vec(), 400),
+        (b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n".to_vec(), 400),
+        (b"GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n".to_vec(), 400),
+        (b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(), 400),
+        (
+            format!(
+                "POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )
+            .into_bytes(),
+            413,
+        ),
+        (too_many_headers, 431),
+    ];
+    for (stream, status) in cases {
+        let expected = one_shot(&stream);
+        match &expected.2 {
+            Outcome::Error(error) => assert_eq!(error.status, status, "{stream:?}"),
+            other => panic!("expected a {status} for {stream:?}, got {other:?}"),
+        }
+        assert!(expected.1.is_empty(), "no interim 100 Continue for a rejected head");
+        assert_every_split_matches(&stream, &expected, "malformed");
+    }
+}
+
+/// An over-long line is rejected as soon as its `MAX_LINE+1`-th byte
+/// arrives — no terminator needed — by both front ends.  Splits are sampled
+/// (the stream is 17 KB; every split would be quadratic) but include every
+/// boundary around the limit itself.
+#[test]
+fn overlong_lines_are_rejected_at_the_same_byte() {
+    const MAX_LINE: usize = 16 * 1024;
+    let mut stream = b"GET /".to_vec();
+    stream.resize(MAX_LINE + 1024, b'a');
+    let expected = one_shot(&stream);
+    assert_eq!(
+        expected.2,
+        Outcome::Error(ParseError { status: 431, message: "header line too long" })
+    );
+    let splits = (0..=stream.len()).step_by(1021).chain([
+        MAX_LINE - 1,
+        MAX_LINE,
+        MAX_LINE + 1,
+        stream.len(),
+    ]);
+    for split in splits {
+        let got = incremental(&[&stream[..split], &stream[split..]]);
+        assert_eq!(got, expected, "over-long line, split at byte {split}");
+    }
+    // The truncated prefix (one byte under the limit, no terminator) is a
+    // 400 truncation on both sides, not a 431.
+    let prefix = &stream[..MAX_LINE];
+    let expected = one_shot(prefix);
+    assert_eq!(
+        expected.2,
+        Outcome::Error(ParseError { status: 400, message: "truncated request line" })
+    );
+    assert_eq!(incremental(&[prefix, b""]), expected);
+}

@@ -105,6 +105,9 @@ pub enum Command {
         /// Register the test-only always-panicking `chaos-panic` solver
         /// (fault-injection harness only).
         chaos_solver: bool,
+        /// Connection-I/O runtime, `"threaded"` or `"epoll"` (`None` lets
+        /// the server pick: epoll on Linux, threaded elsewhere).
+        runtime: Option<String>,
         /// Datasets to load into the catalog at startup, as
         /// `(name, path, dim)` where `dim` is 1 (`name=path@1d`, 1-D
         /// `x[,weight]` CSV) or 2 (`name=path`, planar batch CSV).
@@ -160,7 +163,8 @@ USAGE:
     maxrs serve --addr HOST:PORT [--threads N] [--eps E] [--seed S]
                 [--slow-query-ms MS] [--request-timeout-ms MS]
                 [--queue-capacity N] [--max-inflight N]
-                [--overload-watermark F] [--dataset name=path[@1d]]...
+                [--overload-watermark F] [--runtime threaded|epoll]
+                [--dataset name=path[@1d]]...
     maxrs mutate --addr HOST:PORT --dataset NAME [--delete] <records.csv>
     maxrs solvers
 
@@ -235,6 +239,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut max_inflight = None;
     let mut overload_watermark = None;
     let mut chaos_solver = false;
+    let mut runtime: Option<String> = None;
     let mut trace = false;
     let mut raw_datasets: Vec<String> = Vec::new();
     let mut delete = false;
@@ -341,6 +346,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 chaos_solver = true;
                 i += 1;
             }
+            "--runtime" => {
+                let Some(raw) = args.get(i + 1) else {
+                    return err("--runtime requires a value");
+                };
+                if raw != "threaded" && raw != "epoll" {
+                    return err(format!(
+                        "--runtime: unknown runtime `{raw}` (expected threaded or epoll)"
+                    ));
+                }
+                runtime = Some(raw.clone());
+                i += 2;
+            }
             "--radius" => {
                 radius = Some(parse_flag_value(args, &mut i, "--radius")?);
             }
@@ -425,6 +442,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 ("--max-inflight", max_inflight.is_some()),
                 ("--overload-watermark", overload_watermark.is_some()),
                 ("--chaos-solver", chaos_solver),
+                ("--runtime", runtime.is_some()),
             ],
         )?;
     }
@@ -481,6 +499,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 max_inflight,
                 overload_watermark,
                 chaos_solver,
+                runtime,
                 datasets,
             })
         }
@@ -1395,9 +1414,22 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
                 max_inflight: None,
                 overload_watermark: None,
                 chaos_solver: false,
+                runtime: None,
                 datasets: vec![("demo".into(), "examples/data/batch_points.csv".into(), 2)],
             }
         );
+        // `--runtime` parses its two spellings, rejects others, serve-only.
+        assert!(matches!(
+            parse_args(&args(&["serve", "--addr", "x:1", "--runtime", "threaded"])).unwrap(),
+            Command::Serve { runtime: Some(r), .. } if r == "threaded"
+        ));
+        assert!(matches!(
+            parse_args(&args(&["serve", "--addr", "x:1", "--runtime", "epoll"])).unwrap(),
+            Command::Serve { runtime: Some(r), .. } if r == "epoll"
+        ));
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--runtime", "fibers"])).is_err());
+        assert!(parse_args(&args(&["serve", "--addr", "x:1", "--runtime"])).is_err());
+        assert!(parse_args(&args(&["disk", "--radius", "1", "--runtime", "epoll", "a"])).is_err());
         // The overload knobs parse and are serve-only.
         assert!(matches!(
             parse_args(&args(&[
@@ -1475,6 +1507,7 @@ registered solvers (name | problem | shape | dims | guarantee | batch | updates 
             max_inflight: None,
             overload_watermark: None,
             chaos_solver: false,
+            runtime: None,
             datasets: Vec::new(),
         };
         assert!(run_on_text(&serve, "").is_err());
